@@ -1,0 +1,142 @@
+//! Primitive function chaining (§3.3.2.3, Table 3.2).
+//!
+//! "Primitive function chaining has occurred if the value returned by
+//! one primitive function is immediately passed to another primitive
+//! function." Table 3.2 reports the percentage of CAR and CDR calls that
+//! occurred *inside* such a chain — i.e. the call either consumed the
+//! previous primitive's result or fed its own result to the next one.
+
+use small_trace::{Prim, Trace};
+
+/// Chaining statistics for one trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChainStats {
+    /// CAR calls inside a chain / total CAR calls.
+    pub car_chained: u64,
+    /// Total CAR calls.
+    pub car_total: u64,
+    /// CDR calls inside a chain / total CDR calls.
+    pub cdr_chained: u64,
+    /// Total CDR calls.
+    pub cdr_total: u64,
+    /// All primitives inside a chain.
+    pub all_chained: u64,
+    /// All primitive calls.
+    pub all_total: u64,
+}
+
+impl ChainStats {
+    /// Compute chaining statistics.
+    pub fn of(trace: &Trace) -> ChainStats {
+        let prims: Vec<(Prim, bool)> = trace
+            .prims()
+            .map(|(p, args, _)| (p, args.iter().any(|a| a.chained)))
+            .collect();
+        let mut s = ChainStats::default();
+        for (i, (p, consumed_prev)) in prims.iter().enumerate() {
+            // Fed the next primitive?
+            let fed_next = prims.get(i + 1).is_some_and(|(_, c)| *c);
+            let in_chain = *consumed_prev || fed_next;
+            s.all_total += 1;
+            s.all_chained += u64::from(in_chain);
+            match p {
+                Prim::Car => {
+                    s.car_total += 1;
+                    s.car_chained += u64::from(in_chain);
+                }
+                Prim::Cdr => {
+                    s.cdr_total += 1;
+                    s.cdr_chained += u64::from(in_chain);
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Percentage of CAR calls inside a chain (Table 3.2 column).
+    pub fn car_pct(&self) -> f64 {
+        pct(self.car_chained, self.car_total)
+    }
+
+    /// Percentage of CDR calls inside a chain (Table 3.2 column).
+    pub fn cdr_pct(&self) -> f64 {
+        pct(self.cdr_chained, self.cdr_total)
+    }
+
+    /// Percentage of all primitive calls inside a chain.
+    pub fn all_pct(&self) -> f64 {
+        pct(self.all_chained, self.all_total)
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_trace::event::{Event, ListRef, UidInfo};
+
+    fn lref(uid: u32, chained: bool) -> ListRef {
+        ListRef {
+            uid,
+            exact: Some(uid as u64),
+            chained,
+        }
+    }
+
+    fn prim(p: Prim, arg_chained: bool) -> Event {
+        Event::Prim {
+            prim: p,
+            args: vec![lref(0, arg_chained)],
+            result: lref(1, false),
+        }
+    }
+
+    fn trace(events: Vec<Event>) -> Trace {
+        Trace {
+            name: "t".into(),
+            events,
+            uids: vec![UidInfo::default(); 4],
+            fn_names: vec![],
+        }
+    }
+
+    #[test]
+    fn consumer_and_producer_both_count() {
+        // cdr (feeds next) → car (consumes prev): both in the chain.
+        let t = trace(vec![prim(Prim::Cdr, false), prim(Prim::Car, true)]);
+        let s = ChainStats::of(&t);
+        assert_eq!(s.car_pct(), 100.0);
+        assert_eq!(s.cdr_pct(), 100.0);
+    }
+
+    #[test]
+    fn isolated_calls_do_not_count() {
+        let t = trace(vec![prim(Prim::Car, false), prim(Prim::Cdr, false)]);
+        let s = ChainStats::of(&t);
+        assert_eq!(s.car_pct(), 0.0);
+        assert_eq!(s.cdr_pct(), 0.0);
+    }
+
+    #[test]
+    fn mixed_stream() {
+        let t = trace(vec![
+            prim(Prim::Car, false), // feeds nothing
+            prim(Prim::Cdr, false), // feeds next
+            prim(Prim::Car, true),  // consumes
+            prim(Prim::Car, false), // isolated
+        ]);
+        let s = ChainStats::of(&t);
+        assert_eq!(s.cdr_pct(), 100.0);
+        assert!((s.car_pct() - 100.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.all_total, 4);
+        assert_eq!(s.all_chained, 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cumulative-distribution helpers shared by the Chapter 3 figures.
+
+/// A cumulative distribution: points `(x, cumulative fraction ≤ x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    /// Sorted `(value, cumulative fraction)` points in `[0, 1]`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Build from raw samples.
+    pub fn from_samples(mut xs: Vec<f64>) -> Cdf {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = xs.len().max(1) as f64;
+        let mut points = Vec::new();
+        for (i, x) in xs.iter().enumerate() {
+            let frac = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some((px, pf)) if *px == *x => *pf = frac,
+                _ => points.push((*x, frac)),
+            }
+        }
+        Cdf { points }
+    }
+
+    /// Build from weighted samples `(value, weight)`.
+    pub fn from_weighted(mut xs: Vec<(f64, f64)>) -> Cdf {
+        xs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN samples"));
+        let total: f64 = xs.iter().map(|(_, w)| w).sum::<f64>().max(f64::MIN_POSITIVE);
+        let mut acc = 0.0;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (x, w) in xs {
+            acc += w;
+            match points.last_mut() {
+                Some((px, pf)) if *px == x => *pf = acc / total,
+                _ => points.push((x, acc / total)),
+            }
+        }
+        Cdf { points }
+    }
+
+    /// Fraction of mass at or below `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        match self.points.iter().rev().find(|(px, _)| *px <= x) {
+            Some((_, f)) => *f,
+            None => 0.0,
+        }
+    }
+
+    /// Smallest `x` whose cumulative fraction reaches `q` (quantile).
+    pub fn quantile(&self, q: f64) -> f64 {
+        for (x, f) in &self.points {
+            if *f >= q {
+                return *x;
+            }
+        }
+        self.points.last().map_or(0.0, |(x, _)| *x)
+    }
+
+    /// Render as fixed-width rows for the repro CLI.
+    pub fn rows(&self, max_rows: usize) -> Vec<(f64, f64)> {
+        if self.points.len() <= max_rows {
+            return self.points.clone();
+        }
+        let step = self.points.len() as f64 / max_rows as f64;
+        (0..max_rows)
+            .map(|k| self.points[((k as f64 + 1.0) * step) as usize - 1])
+            .chain(std::iter::once(*self.points.last().expect("nonempty")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_from_samples() {
+        let c = Cdf::from_samples(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.01), 1.0);
+    }
+
+    #[test]
+    fn weighted_mass() {
+        let c = Cdf::from_weighted(vec![(1.0, 9.0), (2.0, 1.0)]);
+        assert!((c.at(1.0) - 0.9).abs() < 1e-12);
+        assert!((c.at(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_subsample_monotonically() {
+        let c = Cdf::from_samples((0..1000).map(f64::from).collect());
+        let rows = c.rows(10);
+        assert!(rows.len() <= 11);
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(rows.last().unwrap().1, 1.0);
+    }
+}

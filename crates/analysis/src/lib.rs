@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Structural-locality analyses of Lisp list access streams (Chapter 3).
+//!
+//! The thesis's methodological contribution is the study of list access
+//! at the *data structure* level, independent of representation and
+//! implementation (§3.3): partitioning a reference stream into **list
+//! sets** — closures of car/cdr-related references subject to a temporal
+//! separation constraint — and characterizing their sizes, lifetimes,
+//! and LRU temporal locality. This crate implements:
+//!
+//! * [`np`] — n/p distributions over lists (Table 3.1, Figures 3.3a/b),
+//! * [`list_sets`] — the list-set partition (Figures 3.4–3.6) with
+//!   configurable separation constraints (Figures 3.8–3.13),
+//! * [`lru`] — Mattson one-pass LRU stack-distance profiles
+//!   (Figure 3.7),
+//! * [`chains`] — primitive function chaining (Table 3.2),
+//! * [`hist`] — shared cumulative-distribution helpers.
+
+pub mod chains;
+pub mod hist;
+pub mod list_sets;
+pub mod lru;
+pub mod np;
+
+pub use chains::ChainStats;
+pub use list_sets::{partition, ListSet, Partition, SeparationConstraint};
+pub use lru::StackDistances;

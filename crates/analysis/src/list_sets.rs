@@ -1,0 +1,410 @@
+//! The list-set partition of a list access stream (§3.3.2.1).
+//!
+//! Two list references are **related** if one is the car or cdr of the
+//! other; a **list set** is a closure of related references with the
+//! constraint that no two temporally adjacent members are separated by
+//! more than a fraction (the thesis uses 10%) of the trace length. The
+//! lifetime of a list set is the distance between its first and last
+//! members.
+//!
+//! Implementation: union–find over list uids driven by the car/cdr
+//! relation (the thesis definition relates exactly those pairs: a `car`
+//! or `cdr` call relates its argument to its result — a consed list
+//! becomes related to its components only when a later access walks into
+//! them), followed by a temporal pass that splits each structural class
+//! wherever the separation constraint is exceeded.
+//!
+//! Note the thesis caveat, faithfully preserved: references are at the
+//! s-expression level, so "two list references could be mistaken for
+//! each other if they were made to identical lists" — uids are the
+//! looks-identical classes of §5.2.1.
+
+use small_trace::{Prim, Trace};
+
+/// The separation constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeparationConstraint {
+    /// A fraction of the trace length (the thesis default is 0.10).
+    Fraction(f64),
+    /// An absolute event-count window (Figures 3.11–3.13 use 10% of the
+    /// shortest trace for every trace).
+    Absolute(usize),
+}
+
+impl SeparationConstraint {
+    fn window(self, trace_len: usize) -> usize {
+        match self {
+            SeparationConstraint::Fraction(f) => {
+                ((trace_len as f64) * f).ceil() as usize
+            }
+            SeparationConstraint::Absolute(n) => n,
+        }
+    }
+}
+
+/// One list set of the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListSet {
+    /// Number of list references in the set (its *size*).
+    pub size: usize,
+    /// Trace position of the first member.
+    pub first: usize,
+    /// Trace position of the last member.
+    pub last: usize,
+    /// Number of distinct uids among the members.
+    pub distinct_lists: usize,
+}
+
+impl ListSet {
+    /// Lifetime in events.
+    pub fn lifetime(&self) -> usize {
+        self.last - self.first
+    }
+
+    /// Lifetime as a fraction of the trace length.
+    pub fn lifetime_frac(&self, trace_len: usize) -> f64 {
+        self.lifetime() as f64 / trace_len.max(1) as f64
+    }
+}
+
+/// The full partition result.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// All list sets, unordered.
+    pub sets: Vec<ListSet>,
+    /// Total list references in the stream.
+    pub total_refs: usize,
+    /// Trace length (primitive events).
+    pub trace_len: usize,
+    /// For each reference (in order), the index into `sets` it belongs
+    /// to — the stream consumed by the LRU stack analysis (Figure 3.7).
+    pub ref_set_ids: Vec<u32>,
+}
+
+impl Partition {
+    /// Sets sorted by size, largest first (Figure 3.4's x-axis order).
+    pub fn by_size_desc(&self) -> Vec<ListSet> {
+        let mut v = self.sets.clone();
+        v.sort_by_key(|s| std::cmp::Reverse(s.size));
+        v
+    }
+
+    /// Cumulative fraction of references covered by the `k` largest sets
+    /// (Figure 3.4): returns (k, fraction) points.
+    pub fn coverage_curve(&self) -> Vec<(usize, f64)> {
+        let total = self.total_refs.max(1) as f64;
+        let mut acc = 0usize;
+        self.by_size_desc()
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                acc += s.size;
+                (k + 1, acc as f64 / total)
+            })
+            .collect()
+    }
+
+    /// Number of sets needed to cover fraction `q` of all references.
+    pub fn sets_to_cover(&self, q: f64) -> usize {
+        for (k, f) in self.coverage_curve() {
+            if f >= q {
+                return k;
+            }
+        }
+        self.sets.len()
+    }
+
+    /// Lifetimes (as trace fractions) of all sets (Figure 3.5 samples).
+    pub fn lifetimes(&self) -> Vec<f64> {
+        self.sets
+            .iter()
+            .map(|s| s.lifetime_frac(self.trace_len))
+            .collect()
+    }
+
+    /// Weighted lifetimes: (lifetime fraction, reference count) pairs
+    /// (Figure 3.6 samples).
+    pub fn lifetimes_weighted(&self) -> Vec<(f64, f64)> {
+        self.sets
+            .iter()
+            .map(|s| (s.lifetime_frac(self.trace_len), s.size as f64))
+            .collect()
+    }
+}
+
+/// Union-find over uids.
+struct Uf {
+    parent: Vec<u32>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Partition a trace's list reference stream into list sets.
+pub fn partition(trace: &Trace, constraint: SeparationConstraint) -> Partition {
+    let n_uids = trace.uids.len();
+    let mut uf = Uf::new(n_uids);
+
+    // Pass 1: structural closure over the car/cdr relation only
+    // (§3.3.2.1: "two list references are related if one is the car or
+    // cdr of the other").
+    for (prim, args, result) in trace.prims() {
+        if matches!(prim, Prim::Car | Prim::Cdr) {
+            if let (Some(arg), true) = (args.first(), result.is_list()) {
+                if arg.is_list() {
+                    uf.union(arg.uid, result.uid);
+                }
+            }
+        }
+    }
+
+    // Pass 2: temporal split under the separation constraint.
+    // Reference stream: every list operand occurrence, positioned by its
+    // primitive-event index.
+    let trace_len = trace.primitive_count();
+    let window = constraint.window(trace_len).max(1);
+
+    // Per structural class: the currently open set and its stats.
+    #[derive(Clone, Copy)]
+    struct Open {
+        set_idx: u32,
+        last: usize,
+    }
+    let mut open: Vec<Option<Open>> = vec![None; n_uids];
+    let mut sets: Vec<ListSet> = Vec::new();
+    let mut ref_set_ids: Vec<u32> = Vec::new();
+    let mut total_refs = 0usize;
+    // Track distinct uids per set with a per-set mark (uid → set id of
+    // last membership).
+    let mut uid_last_set: Vec<u32> = vec![u32::MAX; n_uids];
+
+    for (pos, (_, args, result)) in trace.prims().enumerate() {
+        for r in args.iter().chain(std::iter::once(result)) {
+            if !r.is_list() {
+                continue;
+            }
+            total_refs += 1;
+            let class = uf.find(r.uid) as usize;
+            let set_idx = match open[class] {
+                Some(o) if pos - o.last <= window => {
+                    let s = &mut sets[o.set_idx as usize];
+                    s.size += 1;
+                    s.last = pos;
+                    open[class] = Some(Open {
+                        set_idx: o.set_idx,
+                        last: pos,
+                    });
+                    o.set_idx
+                }
+                _ => {
+                    let idx = sets.len() as u32;
+                    sets.push(ListSet {
+                        size: 1,
+                        first: pos,
+                        last: pos,
+                        distinct_lists: 0,
+                    });
+                    open[class] = Some(Open {
+                        set_idx: idx,
+                        last: pos,
+                    });
+                    idx
+                }
+            };
+            if uid_last_set[r.uid as usize] != set_idx {
+                uid_last_set[r.uid as usize] = set_idx;
+                sets[set_idx as usize].distinct_lists += 1;
+            }
+            ref_set_ids.push(set_idx);
+        }
+    }
+
+    Partition {
+        sets,
+        total_refs,
+        trace_len,
+        ref_set_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_trace::event::{Event, ListRef, UidInfo};
+
+    fn lref(uid: u32) -> ListRef {
+        ListRef {
+            uid,
+            exact: Some(uid as u64),
+            chained: false,
+        }
+    }
+
+    fn atom_ref(uid: u32) -> ListRef {
+        ListRef {
+            uid,
+            exact: None,
+            chained: false,
+        }
+    }
+
+    fn mk_trace(events: Vec<Event>, n_uids: u32) -> Trace {
+        Trace {
+            name: "t".into(),
+            events,
+            uids: (0..n_uids)
+                .map(|_| UidInfo {
+                    n: 2,
+                    p: 0,
+                    atom: false,
+                })
+                .collect(),
+            fn_names: vec![],
+        }
+    }
+
+    fn car(arg: u32, result: u32) -> Event {
+        Event::Prim {
+            prim: Prim::Car,
+            args: vec![lref(arg)],
+            result: lref(result),
+        }
+    }
+
+    fn car_atom(arg: u32, result: u32) -> Event {
+        Event::Prim {
+            prim: Prim::Car,
+            args: vec![lref(arg)],
+            result: atom_ref(result),
+        }
+    }
+
+    #[test]
+    fn related_references_form_one_set() {
+        // car(0)=1, car(1)=2 — all related: one set of 4 references.
+        let t = mk_trace(vec![car(0, 1), car(1, 2)], 3);
+        let p = partition(&t, SeparationConstraint::Fraction(0.10));
+        assert_eq!(p.sets.len(), 1);
+        assert_eq!(p.sets[0].size, 4);
+        assert_eq!(p.total_refs, 4);
+        assert_eq!(p.sets[0].distinct_lists, 3);
+    }
+
+    #[test]
+    fn unrelated_references_form_separate_sets() {
+        let t = mk_trace(vec![car(0, 1), car(2, 3)], 4);
+        let p = partition(&t, SeparationConstraint::Fraction(0.10));
+        assert_eq!(p.sets.len(), 2);
+        assert_eq!(p.sets[0].size, 2);
+    }
+
+    #[test]
+    fn separation_constraint_splits_in_time() {
+        // Same structural class touched at positions 0 and 50 of a
+        // 51-event trace; a 10% window (≈6 events) must split them.
+        let mut events = vec![car(0, 1)];
+        for _ in 0..49 {
+            events.push(car(2, 3)); // unrelated filler
+        }
+        events.push(car(0, 1));
+        let t = mk_trace(events, 4);
+        let p = partition(&t, SeparationConstraint::Fraction(0.10));
+        // Class {0,1}: two sets (split); class {2,3}: one set.
+        assert_eq!(p.sets.len(), 3);
+        // A 100% constraint keeps them together.
+        let p2 = partition(&t, SeparationConstraint::Fraction(1.0));
+        assert_eq!(p2.sets.len(), 2);
+    }
+
+    #[test]
+    fn absolute_constraint() {
+        let mut events = vec![car(0, 1)];
+        for _ in 0..10 {
+            events.push(car(2, 3));
+        }
+        events.push(car(0, 1));
+        let t = mk_trace(events, 4);
+        assert_eq!(
+            partition(&t, SeparationConstraint::Absolute(3)).sets.len(),
+            3
+        );
+        assert_eq!(
+            partition(&t, SeparationConstraint::Absolute(100)).sets.len(),
+            2
+        );
+    }
+
+    #[test]
+    fn atoms_are_not_references() {
+        let t = mk_trace(vec![car_atom(0, 1)], 2);
+        let p = partition(&t, SeparationConstraint::Fraction(0.1));
+        assert_eq!(p.total_refs, 1, "only the list argument counts");
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_to_one() {
+        let t = mk_trace(vec![car(0, 1), car(2, 3), car(0, 1)], 4);
+        let p = partition(&t, SeparationConstraint::Fraction(1.0));
+        let curve = p.coverage_curve();
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert_eq!(p.sets_to_cover(0.6), 1, "largest set covers 4/6 refs");
+    }
+
+    #[test]
+    fn lifetimes_reflect_first_and_last() {
+        let mut events = vec![car(0, 1)];
+        events.push(car(2, 3));
+        events.push(car(0, 1));
+        let t = mk_trace(events, 4);
+        let p = partition(&t, SeparationConstraint::Fraction(1.0));
+        let lifetimes = p.lifetimes();
+        assert!(lifetimes.contains(&(2.0 / 3.0)));
+        assert!(lifetimes.contains(&0.0));
+    }
+
+    #[test]
+    fn smaller_separation_gives_more_smaller_sets() {
+        // The Figure 3.8 observation.
+        let suite = small_trace::Trace {
+            name: "synthetic-check".into(),
+            ..Default::default()
+        };
+        let _ = suite;
+        let mut events = Vec::new();
+        for k in 0..200 {
+            events.push(car(k % 5, 5 + k % 5)); // 5 structural classes
+        }
+        let t = mk_trace(events, 10);
+        let tight = partition(&t, SeparationConstraint::Absolute(2)).sets.len();
+        let loose = partition(&t, SeparationConstraint::Absolute(100)).sets.len();
+        assert!(tight >= loose);
+    }
+}

@@ -1,0 +1,85 @@
+//! Distributions of the n/p list-complexity measures over the lists a
+//! trace encounters (Table 3.1 means, Figures 3.3a/b distributions).
+
+use crate::hist::Cdf;
+use small_trace::Trace;
+
+/// Summary of n/p over the lists a trace encounters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpSummary {
+    /// Mean n per list *encounter* (§3.3.1 notes n and p "for each list
+    /// encountered") — Table 3.1.
+    pub mean_n: f64,
+    /// Mean p per list encounter (Table 3.1).
+    pub mean_p: f64,
+    /// Distribution of n over encounters (Figure 3.3a).
+    pub n_cdf: Cdf,
+    /// Distribution of p over encounters (Figure 3.3b).
+    pub p_cdf: Cdf,
+    /// Number of distinct lists seen.
+    pub lists: usize,
+    /// Number of list encounters weighted into the means.
+    pub encounters: usize,
+}
+
+/// Compute n/p statistics over every list encounter in the trace
+/// (argument operands of the traced primitives).
+pub fn np_summary(trace: &Trace) -> NpSummary {
+    let mut ns: Vec<f64> = Vec::new();
+    let mut ps: Vec<f64> = Vec::new();
+    for (_, args, _) in trace.prims() {
+        for r in args {
+            if r.is_list() {
+                let u = trace.uids[r.uid as usize];
+                ns.push(u.n as f64);
+                ps.push(u.p as f64);
+            }
+        }
+    }
+    let count = ns.len().max(1) as f64;
+    NpSummary {
+        mean_n: ns.iter().sum::<f64>() / count,
+        mean_p: ps.iter().sum::<f64>() / count,
+        n_cdf: Cdf::from_samples(ns.clone()),
+        p_cdf: Cdf::from_samples(ps),
+        lists: trace.uids.iter().filter(|u| !u.atom).count(),
+        encounters: ns.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_trace::event::UidInfo;
+
+    #[test]
+    fn summary_weights_by_encounter() {
+        use small_trace::event::{Event, ListRef};
+        use small_trace::Prim;
+        let lref = |uid: u32| ListRef {
+            uid,
+            exact: Some(uid as u64),
+            chained: false,
+        };
+        let car = |arg: u32| Event::Prim {
+            prim: Prim::Car,
+            args: vec![lref(arg)],
+            result: lref(2),
+        };
+        let t = Trace {
+            // uid 0 encountered twice, uid 1 once.
+            events: vec![car(0), car(0), car(1)],
+            uids: vec![
+                UidInfo { n: 10, p: 2, atom: false },
+                UidInfo { n: 40, p: 8, atom: false },
+                UidInfo { n: 1, p: 0, atom: false },
+            ],
+            ..Default::default()
+        };
+        let s = np_summary(&t);
+        assert_eq!(s.encounters, 3);
+        assert_eq!(s.lists, 3);
+        assert!((s.mean_n - 20.0).abs() < 1e-12, "weighted: (10+10+40)/3");
+        assert!((s.mean_p - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: list-set partition invariants on arbitrary traces.
+
+use proptest::prelude::*;
+use small_analysis::list_sets::{partition, SeparationConstraint};
+use small_analysis::lru::StackDistances;
+use small_trace::event::{Event, ListRef, Prim, Trace, UidInfo};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let max_uid = 12u32;
+    let lref = move |uid: u32| ListRef {
+        uid,
+        exact: Some(uid as u64),
+        chained: false,
+    };
+    prop::collection::vec(
+        (
+            prop::sample::select(vec![Prim::Car, Prim::Cdr, Prim::Cons, Prim::Rplaca]),
+            0..max_uid,
+            0..max_uid,
+            0..max_uid,
+        ),
+        1..200,
+    )
+    .prop_map(move |ops| Trace {
+        name: "prop".into(),
+        events: ops
+            .into_iter()
+            .map(|(prim, a, b, r)| Event::Prim {
+                prim,
+                args: if matches!(prim, Prim::Car | Prim::Cdr) {
+                    vec![lref(a)]
+                } else {
+                    vec![lref(a), lref(b)]
+                },
+                result: lref(r),
+            })
+            .collect(),
+        uids: (0..max_uid)
+            .map(|_| UidInfo {
+                n: 2,
+                p: 0,
+                atom: false,
+            })
+            .collect(),
+        fn_names: vec![],
+    })
+}
+
+proptest! {
+    #[test]
+    fn partition_is_total_and_consistent(t in arb_trace(), frac in 0.02f64..1.0) {
+        let p = partition(&t, SeparationConstraint::Fraction(frac));
+        // Totality: every list reference classified exactly once.
+        prop_assert_eq!(p.ref_set_ids.len(), p.total_refs);
+        prop_assert_eq!(p.sets.iter().map(|s| s.size).sum::<usize>(), p.total_refs);
+        // Set ids are in range; first <= last <= trace length.
+        for s in &p.sets {
+            prop_assert!(s.first <= s.last);
+            prop_assert!(s.last < p.trace_len.max(1));
+            prop_assert!(s.size >= 1);
+            prop_assert!(s.distinct_lists >= 1);
+        }
+        // Coverage curve monotone to 1.
+        let c = p.coverage_curve();
+        prop_assert!(c.windows(2).all(|w| w[0].1 <= w[1].1));
+        if let Some(last) = c.last() {
+            prop_assert!((last.1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tighter_window_never_reduces_set_count(t in arb_trace()) {
+        let loose = partition(&t, SeparationConstraint::Fraction(1.0)).sets.len();
+        let mid = partition(&t, SeparationConstraint::Fraction(0.2)).sets.len();
+        let tight = partition(&t, SeparationConstraint::Absolute(1)).sets.len();
+        prop_assert!(tight >= mid);
+        prop_assert!(mid >= loose);
+    }
+
+    #[test]
+    fn lru_hit_rates_monotone_and_bounded(t in arb_trace()) {
+        let p = partition(&t, SeparationConstraint::Fraction(0.1));
+        let d = StackDistances::of(p.ref_set_ids.iter().copied());
+        let mut prev = 0.0;
+        for depth in 1..20 {
+            let r = d.hit_rate(depth);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(r >= prev);
+            prev = r;
+        }
+        // Cold misses = number of distinct set instances first touched.
+        prop_assert_eq!(d.cold as usize, p.sets.len());
+    }
+}

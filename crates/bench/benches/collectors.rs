@@ -1,0 +1,88 @@
+//! Garbage collector ablation (§2.3.4): mark-sweep vs reference
+//! counting vs semispace copying on an allocation-churn workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use small_heap::gc::{CopyingHeap, MarkSweep, RefCountHeap};
+use small_heap::{TwoPointerHeap, Word};
+use std::hint::black_box;
+
+const CELLS: usize = 8192;
+const CHURN: usize = 6000;
+
+fn bench_collectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_churn");
+
+    group.bench_function("mark_sweep", |b| {
+        b.iter(|| {
+            let mut h = TwoPointerHeap::with_capacity(CELLS);
+            let mut gc = MarkSweep::new();
+            let mut root = Word::NIL;
+            for k in 0..CHURN {
+                let cell = loop {
+                    match h.alloc(Word::int(k as i64), root) {
+                        Some(a) => break a,
+                        None => {
+                            gc.collect(&mut h, &[root]);
+                        }
+                    }
+                };
+                // Keep a bounded window live: drop the root periodically.
+                root = if k % 64 == 0 { Word::NIL } else { Word::ptr(cell) };
+            }
+            black_box(h.live())
+        })
+    });
+
+    group.bench_function("refcount", |b| {
+        b.iter(|| {
+            let mut h = RefCountHeap::with_capacity(CELLS);
+            let mut root = Word::NIL;
+            for k in 0..CHURN {
+                let cell = h.cons(Word::int(k as i64), root).expect("churn fits");
+                if root.is_ptr() {
+                    h.release(root); // spine now holds the only older ref
+                }
+                root = if k % 64 == 0 {
+                    h.release(Word::ptr(cell));
+                    Word::NIL
+                } else {
+                    Word::ptr(cell)
+                };
+            }
+            black_box(h.live())
+        })
+    });
+
+    group.bench_function("copying", |b| {
+        b.iter(|| {
+            let mut h = CopyingHeap::with_capacity(CELLS);
+            let mut root = Word::NIL;
+            for k in 0..CHURN {
+                let cell = loop {
+                    match h.alloc(Word::int(k as i64), root) {
+                        Some(a) => break a,
+                        None => {
+                            let mut roots = [root];
+                            h.collect(&mut roots);
+                            root = roots[0];
+                        }
+                    }
+                };
+                root = if k % 64 == 0 { Word::NIL } else { Word::ptr(cell) };
+            }
+            black_box(h.used())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(30);
+    targets = bench_collectors
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Environment ablation (§2.3.2): deep vs shallow vs value-cached
+//! binding under call-heavy and lookup-heavy mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use small_lisp::env::{DeepEnv, Environment, ShallowEnv, ValueCacheEnv};
+use small_lisp::value::Value;
+use small_sexpr::{Interner, Symbol};
+use std::hint::black_box;
+
+fn workload<E: Environment>(env: &mut E, names: &[Symbol], lookups_per_call: usize) {
+    // 100 nested calls, each binding 3 names then doing lookups of a
+    // mix of locals and deep names.
+    for depth in 0..100 {
+        env.push_frame();
+        for k in 0..3 {
+            env.bind(names[(depth * 3 + k) % names.len()], Value::Int(depth as i64));
+        }
+        for k in 0..lookups_per_call {
+            black_box(env.lookup(names[(depth + k * 7) % names.len()]));
+        }
+    }
+    for _ in 0..100 {
+        env.pop_frame();
+    }
+}
+
+fn bench_envs(c: &mut Criterion) {
+    let mut i = Interner::new();
+    let names: Vec<Symbol> = (0..48).map(|k| i.intern(&format!("v{k}"))).collect();
+    for (mix, lookups) in [("call_heavy", 2usize), ("lookup_heavy", 24)] {
+        let mut group = c.benchmark_group(format!("env_{mix}"));
+        group.bench_function("deep", |b| {
+            b.iter(|| workload(&mut DeepEnv::new(), &names, lookups))
+        });
+        group.bench_function("shallow", |b| {
+            b.iter(|| workload(&mut ShallowEnv::new(), &names, lookups))
+        });
+        group.bench_function("value_cache", |b| {
+            b.iter(|| workload(&mut ValueCacheEnv::new(16), &names, lookups))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(30);
+    targets = bench_envs
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The headline comparison: the same compiled Lisp programs on the
+//! conventional direct-heap backend vs the SMALL LP/LPT backend, plus
+//! raw LP operation costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use small_core::machine::SmallBackend;
+use small_core::{LpConfig, LpValue};
+use small_lisp::compiler::compile_program;
+use small_lisp::vm::{DirectBackend, Vm};
+use small_sexpr::Interner;
+use std::hint::black_box;
+
+const APPEND_PROGRAM: &str = "
+(def app (lambda (a b)
+  (cond ((null a) b)
+        (t (cons (car a) (app (cdr a) b))))))
+(def build (lambda (n)
+  (cond ((equal n 0) nil)
+        (t (cons n (build (sub n 1)))))))
+(def go* (lambda (n) (app (build n) (build n))))
+(go* 60)";
+
+const FACT_PROGRAM: &str = "
+(def fact (lambda (x)
+  (cond ((equal x 0) 1) (t (times x (fact (sub x 1)))))))
+(fact 18)";
+
+fn bench_vm_backends(c: &mut Criterion) {
+    for (name, src) in [("append", APPEND_PROGRAM), ("fact", FACT_PROGRAM)] {
+        let mut group = c.benchmark_group(format!("vm_{name}"));
+        group.bench_function("direct_heap", |b| {
+            b.iter(|| {
+                let mut i = Interner::new();
+                let p = compile_program(src, &mut i).unwrap();
+                let mut vm = Vm::new(p, DirectBackend::new(1 << 16));
+                black_box(vm.run().unwrap())
+            })
+        });
+        group.bench_function("small_lpt", |b| {
+            b.iter(|| {
+                let mut i = Interner::new();
+                let p = compile_program(src, &mut i).unwrap();
+                let mut vm = Vm::new(p, SmallBackend::new(1 << 16, LpConfig::default()));
+                black_box(vm.run().unwrap())
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_lp_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_primitive");
+    group.bench_function("cons_release", |b| {
+        let backend = SmallBackend::new(1 << 16, LpConfig::default());
+        let mut lp = backend.lp;
+        b.iter(|| {
+            let v = lp
+                .cons(
+                    LpValue::Atom(small_heap::Word::int(1)),
+                    LpValue::Atom(small_heap::Word::NIL),
+                )
+                .unwrap();
+            lp.stack_release(v);
+            black_box(lp.occupancy())
+        })
+    });
+    group.bench_function("car_hit", |b| {
+        let mut i = Interner::new();
+        let backend = SmallBackend::new(1 << 16, LpConfig::default());
+        let mut lp = backend.lp;
+        let e = small_sexpr::parse("(a b c d)", &mut i).unwrap();
+        let v = lp.readlist(None, &e).unwrap();
+        let id = v.obj().unwrap();
+        let _ = lp.car(id).unwrap(); // materialize once
+        b.iter(|| {
+            let c = lp.car(id).unwrap();
+            lp.stack_release(c);
+            black_box(c)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(30);
+    targets = bench_vm_backends, bench_lp_primitives
+}
+criterion_main!(benches);

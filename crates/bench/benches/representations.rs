@@ -1,0 +1,126 @@
+//! Representation ablation (§2.3.3): traversal and construction cost of
+//! two-pointer cells vs cdr-coding vs linked vectors vs structure-coded
+//! exception tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use small_heap::cdr_coded::CdrCodedHeap;
+use small_heap::linked_vector::LinkedVectorHeap;
+use small_heap::structure_coded::StructureCodedHeap;
+use small_heap::{TwoPointerHeap, Word};
+use small_sexpr::{parse, Interner, SExpr};
+use std::hint::black_box;
+
+fn sample_list(len: usize, i: &mut Interner) -> SExpr {
+    let body = (0..len)
+        .map(|k| {
+            if k % 7 == 3 {
+                format!("(s{k} t{k})")
+            } else {
+                format!("a{k}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    parse(&format!("({body})"), i).unwrap()
+}
+
+fn walk_two_pointer(h: &TwoPointerHeap, mut w: Word) -> usize {
+    let mut n = 0;
+    while w.is_ptr() {
+        let a = w.addr();
+        black_box(h.car(a));
+        w = h.cdr(a);
+        n += 1;
+    }
+    n
+}
+
+fn bench_traverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traverse");
+    for len in [64usize, 512] {
+        let mut i = Interner::new();
+        let e = sample_list(len, &mut i);
+
+        let mut tp = TwoPointerHeap::with_capacity(len * 8);
+        let wtp = tp.intern(&e).unwrap();
+        group.bench_with_input(BenchmarkId::new("two_pointer", len), &len, |b, _| {
+            b.iter(|| walk_two_pointer(&tp, wtp))
+        });
+
+        let mut cc = CdrCodedHeap::with_capacity(len * 8);
+        let wcc = cc.intern(&e).unwrap();
+        group.bench_with_input(BenchmarkId::new("cdr_coded", len), &len, |b, _| {
+            b.iter(|| {
+                let mut w = wcc;
+                let mut n = 0;
+                while w.is_ptr() {
+                    let a = w.addr();
+                    black_box(cc.car(a));
+                    w = cc.cdr(a);
+                    n += 1;
+                }
+                n
+            })
+        });
+
+        let mut lv = LinkedVectorHeap::with_capacity(len * 8);
+        let wlv = lv.intern(&e).unwrap();
+        group.bench_with_input(BenchmarkId::new("linked_vector", len), &len, |b, _| {
+            b.iter(|| {
+                let mut w = wlv;
+                let mut n = 0;
+                while w.is_ptr() {
+                    let a = w.addr();
+                    black_box(lv.car(a));
+                    w = lv.cdr(a);
+                    n += 1;
+                }
+                n
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("structure_coded", len), &len, |b, _| {
+            b.iter(|| {
+                let mut sc = StructureCodedHeap::new();
+                let w = sc.intern(&e);
+                black_box(sc.extract(w))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern");
+    let mut i = Interner::new();
+    let e = sample_list(256, &mut i);
+    group.bench_function("two_pointer", |b| {
+        b.iter(|| {
+            let mut h = TwoPointerHeap::with_capacity(4096);
+            black_box(h.intern(&e).unwrap())
+        })
+    });
+    group.bench_function("cdr_coded", |b| {
+        b.iter(|| {
+            let mut h = CdrCodedHeap::with_capacity(4096);
+            black_box(h.intern(&e).unwrap())
+        })
+    });
+    group.bench_function("structure_coded", |b| {
+        b.iter(|| {
+            let mut h = StructureCodedHeap::new();
+            black_box(h.intern(&e))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(30);
+    targets = bench_traverse, bench_intern
+}
+criterion_main!(benches);

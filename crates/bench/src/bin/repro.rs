@@ -1,0 +1,83 @@
+//! Regenerate the thesis's tables and figures.
+//!
+//! ```text
+//! repro all            # everything, written to results/ and stdout
+//! repro list           # the experiment inventory
+//! repro fig3.4 …       # specific experiments to stdout
+//! repro --quick all    # reduced synthetic-trace sizes (CI-fast)
+//! ```
+
+use small_bench::experiments;
+use small_bench::Suite;
+use std::io::Write;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    if args.is_empty() || args[0] == "help" {
+        eprintln!("usage: repro [--quick] (all | list | <experiment-id>...)");
+        eprintln!("experiments: {}", experiments::ALL.join(" "));
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    if args[0] == "traces" {
+        // Dump the workload traces as trace files (the §3.3.1 artifact)
+        // and verify they reload identically.
+        let _ = std::fs::create_dir_all("results/traces");
+        for t in small_workloads::standard_suite(1) {
+            let path = std::path::PathBuf::from(format!("results/traces/{}.trace", t.name));
+            small_trace::io::save_file(&t, &path).expect("write trace");
+            let back = small_trace::io::load_file(&path).expect("reload trace");
+            assert_eq!(t, back, "trace file round-trip");
+            println!(
+                "{}: {} events -> {}",
+                t.name,
+                t.events.len(),
+                path.display()
+            );
+        }
+        return;
+    }
+
+    eprintln!("generating workload traces…");
+    let suite = if quick {
+        Suite::generate_quick()
+    } else {
+        Suite::generate()
+    };
+
+    let ids: Vec<&str> = if args[0] == "all" {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let write_results = args[0] == "all";
+    if write_results {
+        let _ = std::fs::create_dir_all("results");
+    }
+    for id in ids {
+        match experiments::run(id, &suite) {
+            Some(text) => {
+                println!("================================================================");
+                println!("{text}");
+                if write_results {
+                    let path = format!("results/{}.txt", id.replace('.', "_"));
+                    if let Ok(mut f) = std::fs::File::create(&path) {
+                        let _ = f.write_all(text.as_bytes());
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

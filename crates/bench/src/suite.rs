@@ -1,0 +1,107 @@
+//! Workload suite shared by the repro experiments: the five organic
+//! traces plus the Table 5.1-scale synthetic traces, generated once.
+
+use small_trace::Trace;
+use small_workloads as workloads;
+
+/// The trace inventory for one repro session.
+pub struct Suite {
+    /// Organic traces from the five Lisp workloads (scale 1):
+    /// slang, plagen, lyra, editor, pearl.
+    pub organic: Vec<Trace>,
+    /// Synthetic traces pinned to the Table 5.1 scale:
+    /// lyra, plagen, slang, editor.
+    pub synthetic: Vec<Trace>,
+}
+
+impl Suite {
+    /// Generate the full suite (runs all five Lisp workloads).
+    pub fn generate() -> Suite {
+        let organic = workloads::standard_suite(1);
+        let synthetic = ["lyra", "plagen", "slang", "editor"]
+            .into_iter()
+            .map(|n| workloads::synthetic::generate(&workloads::synthetic::table_5_1(n)))
+            .collect();
+        Suite { organic, synthetic }
+    }
+
+    /// Generate a reduced suite for fast runs (shrunken synthetic
+    /// traces, same organic workloads).
+    pub fn generate_quick() -> Suite {
+        let organic = workloads::standard_suite(1);
+        let synthetic = ["lyra", "plagen", "slang", "editor"]
+            .into_iter()
+            .map(|n| {
+                let mut p = workloads::synthetic::table_5_1(n);
+                p.primitives = p.primitives.min(8000);
+                workloads::synthetic::generate(&p)
+            })
+            .collect();
+        Suite { organic, synthetic }
+    }
+
+    /// Find an organic trace by name.
+    pub fn organic_by_name(&self, name: &str) -> &Trace {
+        self.organic
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| panic!("no organic trace {name}"))
+    }
+
+    /// Find a synthetic trace by name.
+    pub fn synthetic_by_name(&self, name: &str) -> &Trace {
+        self.synthetic
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| panic!("no synthetic trace {name}"))
+    }
+
+    /// The four Chapter 5 traces in thesis order — the synthetic,
+    /// Table 5.1-calibrated versions: their primitive-to-call ratio
+    /// matches the thesis traces, which the LPT activity accounting
+    /// (Tables 5.2-5.5) is sensitive to. The organic workloads drive
+    /// Chapter 3.
+    pub fn chapter5(&self) -> Vec<&Trace> {
+        ["lyra", "plagen", "slang", "editor"]
+            .into_iter()
+            .map(|n| self.synthetic_by_name(n))
+            .collect()
+    }
+}
+
+/// Right-pad to a column width.
+pub fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Format a whole table: header row + separator + rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let hdr: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(k, h)| pad(h, widths[k]))
+        .collect();
+    out.push_str(&hdr.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(out.len().saturating_sub(1).min(100)));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(k, c)| pad(c, *widths.get(k).unwrap_or(&8)))
+            .collect();
+        out.push_str(cells.join("  ").trim_end());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,12 @@
+//! Every repro experiment must produce non-trivial output on the quick
+//! suite (reduced synthetic traces; same organic workloads).
+
+use small_bench::{experiments, Suite};
+
+#[test]
+fn every_experiment_produces_output() {
+    let suite = Suite::generate_quick();
+    for (id, len) in experiments::smoke(&suite) {
+        assert!(len > 40, "experiment {id} produced only {len} bytes");
+    }
+}

@@ -1,0 +1,1515 @@
+//! The List Processor and its LPT (§4.3.2).
+//!
+//! Every list object the EP can name is an entry in the LPT. An entry is
+//! an `(identifier, car, cdr, refcount, address, mark)` tuple
+//! (Figure 4.2): `car`/`cdr` cache the object's children (other
+//! identifiers, or immediate atoms), `address` points at the backing
+//! heap object when the children are *not* materialized, and the
+//! reference count governs reclamation. Invariant: a live entry either
+//! has its fields materialized or an address, never both (a split
+//! consumes the heap object; a compression merge re-creates one).
+//!
+//! Reclamation follows §4.3.2.1 exactly:
+//!
+//! * freed entries go on a LIFO **free stack** threaded through the
+//!   table, so the most recently freed entry is reused first;
+//! * a freed entry's children are decremented **lazily**, when the entry
+//!   is reallocated ([`DecrementPolicy::Lazy`]) — the alternative
+//!   recursive policy is implemented for the Table 5.2 comparison;
+//! * stack references can be counted EP-side
+//!   ([`RefcountMode::Split`]): the LPT keeps one `StackBit` per entry
+//!   and only hears about the *last* stack reference dying (§5.2.4,
+//!   Table 5.3).
+//!
+//! Overflow handling (§4.3.2.3): **pseudo overflow** compresses
+//! table-internal structure back into the heap (merge); **true
+//! overflow** breaks unreachable reference cycles by a mark/sweep over
+//! the table; only if both fail does the machine degrade to overflow
+//! mode (surfaced as [`LpError::TrueOverflow`]).
+
+use small_heap::controller::{HeapController, HeapError};
+use small_heap::{Tag, Word};
+use small_sexpr::SExpr;
+
+/// An LPT identifier — the small name the EP uses for a list object.
+pub type Id = u32;
+
+/// A value crossing the EP–LP interface: an immediate atom or a list
+/// object identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpValue {
+    /// An immediate (nil / integer / symbol), as a tagged word.
+    Atom(Word),
+    /// A list object named by an LPT identifier.
+    Obj(Id),
+}
+
+impl LpValue {
+    /// The identifier, if a list object.
+    pub fn obj(self) -> Option<Id> {
+        match self {
+            LpValue::Obj(id) => Some(id),
+            LpValue::Atom(_) => None,
+        }
+    }
+
+    /// True for nil.
+    pub fn is_nil(self) -> bool {
+        matches!(self, LpValue::Atom(w) if w.is_nil())
+    }
+}
+
+/// Pseudo-overflow compression policy (§5.2.3, Figure 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressPolicy {
+    /// Compress just enough to satisfy the immediate need.
+    #[default]
+    CompressOne,
+    /// Compress every compressible entry at overflow time.
+    CompressAll,
+    /// The hybrid §5.2.3 sketches: Compress-One by default, switching to
+    /// Compress-All when pseudo overflows become frequent (more than
+    /// the given number of overflows within the last `window` sampled
+    /// operations).
+    Hybrid {
+        /// Pseudo overflows tolerated within the window.
+        threshold: u32,
+        /// Window length in occupancy samples.
+        window: u64,
+    },
+}
+
+/// What happens to a freed entry's children (§4.3.2.1, Table 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecrementPolicy {
+    /// Children decremented when the entry is *reallocated* (the paper's
+    /// choice: freeing is O(1)).
+    #[default]
+    Lazy,
+    /// Children decremented immediately on free (unbounded cascades; the
+    /// "RecRefops" comparison column).
+    Recursive,
+}
+
+/// How freed entries are remembered for reuse (§4.3.2.1).
+///
+/// The thesis argues for a LIFO *stack* ("the most recently freed entry
+/// will be the first to be re-used. This minimizes the period during
+/// which more LPT space than is necessary is occupied"); the FIFO queue
+/// alternative is implemented for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FreeDiscipline {
+    /// LIFO free stack (the paper's choice).
+    #[default]
+    Stack,
+    /// FIFO free queue (the rejected alternative).
+    Queue,
+}
+
+/// Where stack references are counted (§5.2.4, Table 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefcountMode {
+    /// All references counted in the LPT (every stack retain/release is
+    /// EP→LP bus traffic).
+    #[default]
+    Unified,
+    /// Stack references counted in an EP-side table; the LPT keeps a
+    /// StackBit and is told only when the EP count reaches zero.
+    Split,
+}
+
+/// LP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LpConfig {
+    /// Number of LPT entries.
+    pub table_size: usize,
+    /// Pseudo-overflow policy.
+    pub compression: CompressPolicy,
+    /// Child-decrement policy.
+    pub decrement: DecrementPolicy,
+    /// Reference-count placement.
+    pub refcounts: RefcountMode,
+    /// Free-entry reuse order.
+    pub free_discipline: FreeDiscipline,
+}
+
+impl Default for LpConfig {
+    fn default() -> Self {
+        LpConfig {
+            table_size: 2048,
+            compression: CompressPolicy::CompressOne,
+            decrement: DecrementPolicy::Lazy,
+            refcounts: RefcountMode::Unified,
+            free_discipline: FreeDiscipline::Stack,
+        }
+    }
+}
+
+/// LP/LPT activity counters (Tables 5.2–5.4).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LptStats {
+    /// Reference-count updates performed in the LPT (EP–LP bus traffic).
+    pub refops: u64,
+    /// Reference-count updates performed EP-side (split mode only).
+    pub ep_refops: u64,
+    /// LPT entry allocation requests ("Gets").
+    pub gets: u64,
+    /// Entries whose count reached zero ("Frees").
+    pub frees: u64,
+    /// car/cdr requests satisfied from LPT fields.
+    pub hits: u64,
+    /// car/cdr requests that required a heap split.
+    pub misses: u64,
+    /// Pseudo overflows (compression runs).
+    pub pseudo_overflows: u64,
+    /// Entries reclaimed by compression.
+    pub compressed: u64,
+    /// True-overflow cycle-breaking collections.
+    pub cycle_collections: u64,
+    /// Entries reclaimed by cycle breaking.
+    pub cycles_reclaimed: u64,
+    /// Peak simultaneous occupancy.
+    pub max_occupancy: usize,
+    /// Sum of occupancy over samples (for averages).
+    pub occupancy_sum: u64,
+    /// Occupancy samples taken.
+    pub occupancy_samples: u64,
+    /// Largest LPT reference count observed.
+    pub max_refcount: u32,
+    /// Largest EP-side count observed (split mode).
+    pub max_ep_refcount: u32,
+}
+
+impl LptStats {
+    /// Average occupancy over the run.
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// Hit rate of car/cdr requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LP errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The LPT is full and neither compression nor cycle breaking could
+    /// recover space: the machine must degrade to overflow mode.
+    TrueOverflow,
+    /// The backing heap failed.
+    Heap(HeapError),
+    /// car/cdr of an atom reached the LP (EP type check should prevent).
+    NotAList,
+}
+
+impl From<HeapError> for LpError {
+    fn from(e: HeapError) -> Self {
+        LpError::Heap(e)
+    }
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::TrueOverflow => write!(f, "LPT true overflow"),
+            LpError::Heap(e) => write!(f, "heap: {e}"),
+            LpError::NotAList => write!(f, "LP operand is not a list object"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// One LPT field: empty (backed by the heap), an immediate atom, or a
+/// child object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Field {
+    #[default]
+    Empty,
+    Atom(Word),
+    Obj(Id),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    car: Field,
+    cdr: Field,
+    rc: u32,
+    addr: Option<small_heap::HeapAddr>,
+    stack_bit: bool,
+    live: bool,
+    /// Free-stack link (the paper threads this through the addr field).
+    free_next: Option<Id>,
+    /// Freed with children still in the fields (lazy decrement pending).
+    lazy: bool,
+}
+
+/// The List Processor: the LPT plus the algorithms that manage it,
+/// fronting a heap controller.
+pub struct ListProcessor<C: HeapController> {
+    /// The backing heap controller (§4.3.3).
+    pub controller: C,
+    entries: Vec<Entry>,
+    free_head: Option<Id>,
+    /// Tail of the free list (queue discipline appends here).
+    free_tail: Option<Id>,
+    live: usize,
+    config: LpConfig,
+    stats: LptStats,
+    /// EP-side stack reference counts (split mode). Conceptually this
+    /// table lives in the EP (§5.2.4); it is held here so the LP API is
+    /// self-contained.
+    ep_counts: std::collections::HashMap<Id, u32>,
+    /// Recent pseudo-overflow times (in occupancy samples), for the
+    /// hybrid compression policy.
+    recent_overflows: std::collections::VecDeque<u64>,
+}
+
+impl<C: HeapController> ListProcessor<C> {
+    /// Create an LP with the given table size and policies.
+    pub fn new(controller: C, config: LpConfig) -> Self {
+        let mut lp = ListProcessor {
+            controller,
+            entries: vec![Entry::default(); config.table_size],
+            free_head: None,
+            free_tail: None,
+            live: 0,
+            config,
+            stats: LptStats::default(),
+            ep_counts: std::collections::HashMap::new(),
+            recent_overflows: std::collections::VecDeque::new(),
+        };
+        // Thread the initial free list, low ids first.
+        for id in (0..config.table_size as u32).rev() {
+            lp.entries[id as usize].free_next = lp.free_head;
+            lp.free_head = Some(id);
+        }
+        lp.free_tail = config.table_size.checked_sub(1).map(|t| t as u32);
+        lp
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> LptStats {
+        self.stats
+    }
+
+    /// Live entry count.
+    pub fn occupancy(&self) -> usize {
+        self.live
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.config.table_size
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> LpConfig {
+        self.config
+    }
+
+    /// Debug-only consistency audit: every live entry's reference count
+    /// must cover the internal references (fields of live entries plus
+    /// pending fields of lazily-freed entries) that point at it.
+    #[cfg(feature = "lp-debug")]
+    fn audit(&self, whence: &str) {
+        let n = self.entries.len();
+        let mut indeg = vec![0u32; n];
+        for e in &self.entries {
+            if e.live || e.lazy {
+                for f in [e.car, e.cdr] {
+                    if let Field::Obj(c) = f {
+                        indeg[c as usize] += 1;
+                    }
+                }
+            }
+        }
+        for (id, e) in self.entries.iter().enumerate() {
+            if e.live {
+                assert!(
+                    e.rc >= indeg[id] || e.stack_bit,
+                    "{whence}: entry {id} rc {} < internal indegree {}",
+                    e.rc,
+                    indeg[id]
+                );
+            } else {
+                assert!(
+                    indeg[id] == 0,
+                    "{whence}: dead entry {id} referenced {} times by live/pending fields",
+                    indeg[id]
+                );
+            }
+        }
+    }
+
+    fn sample_occupancy(&mut self) {
+        #[cfg(feature = "lp-debug")]
+        self.audit("sample");
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.live);
+        self.stats.occupancy_sum += self.live as u64;
+        self.stats.occupancy_samples += 1;
+    }
+
+    // -----------------------------------------------------------------
+    // Reference counting
+    // -----------------------------------------------------------------
+
+    fn incref(&mut self, id: Id) {
+        self.stats.refops += 1;
+        let e = &mut self.entries[id as usize];
+        debug_assert!(e.live, "incref of dead entry {id}");
+        e.rc += 1;
+        self.stats.max_refcount = self.stats.max_refcount.max(e.rc);
+    }
+
+    fn decref(&mut self, id: Id) {
+        #[cfg(feature = "lp-debug")]
+        self.audit("pre-decref");
+        self.stats.refops += 1;
+        let e = &mut self.entries[id as usize];
+        debug_assert!(e.live, "decref of dead entry {id}");
+        debug_assert!(e.rc > 0, "decref of zero-count entry {id}");
+        e.rc -= 1;
+        if e.rc == 0 && !e.stack_bit {
+            self.free_entry(id);
+        }
+    }
+
+    /// Take a *register* reference to a value: protects an operand
+    /// while a multi-step operation is in flight. The real EP holds
+    /// operands in processor registers, which generate no LPT
+    /// reference-count traffic — so guards do not count toward
+    /// [`LptStats::refops`]. Used by the trace-driven simulator.
+    pub fn guard(&mut self, v: LpValue) {
+        if let Some(id) = v.obj() {
+            let e = &mut self.entries[id as usize];
+            debug_assert!(e.live, "guard of dead entry {id}");
+            e.rc += 1;
+        }
+    }
+
+    /// Drop a register reference taken by [`ListProcessor::guard`].
+    pub fn unguard(&mut self, v: LpValue) {
+        if let Some(id) = v.obj() {
+            let e = &mut self.entries[id as usize];
+            debug_assert!(e.live && e.rc > 0, "unguard of dead entry {id}");
+            e.rc -= 1;
+            if e.rc == 0 && !e.stack_bit {
+                self.free_entry(id);
+            }
+        }
+    }
+
+    /// The EP took a stack/binding reference to a value (push, bind).
+    pub fn stack_retain(&mut self, v: LpValue) {
+        let Some(id) = v.obj() else { return };
+        match self.config.refcounts {
+            RefcountMode::Unified => self.incref(id),
+            RefcountMode::Split => {
+                self.stats.ep_refops += 1;
+                let c = self.ep_counts.entry(id).or_insert(0);
+                *c += 1;
+                self.stats.max_ep_refcount = self.stats.max_ep_refcount.max(*c);
+                let e = &mut self.entries[id as usize];
+                if !e.stack_bit {
+                    // First stack reference: one message to set the bit.
+                    e.stack_bit = true;
+                    self.stats.refops += 1;
+                }
+            }
+        }
+    }
+
+    /// The EP dropped a stack/binding reference (pop, unbind, return).
+    pub fn stack_release(&mut self, v: LpValue) {
+        #[cfg(feature = "lp-debug")]
+        self.audit("pre-stack-release");
+        let Some(id) = v.obj() else { return };
+        match self.config.refcounts {
+            RefcountMode::Unified => self.decref(id),
+            RefcountMode::Split => {
+                self.stats.ep_refops += 1;
+                let c = self
+                    .ep_counts
+                    .get_mut(&id)
+                    .unwrap_or_else(|| panic!("stack_release of untracked {id}"));
+                debug_assert!(*c > 0);
+                *c -= 1;
+                if *c == 0 {
+                    self.ep_counts.remove(&id);
+                    // The last stack reference died: one message to the
+                    // LP to clear the StackBit (§5.2.4).
+                    self.stats.refops += 1;
+                    let e = &mut self.entries[id as usize];
+                    e.stack_bit = false;
+                    if e.rc == 0 {
+                        self.free_entry(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Link a freed entry into the free list per the configured
+    /// discipline.
+    fn push_free(&mut self, id: Id) {
+        match self.config.free_discipline {
+            FreeDiscipline::Stack => {
+                self.entries[id as usize].free_next = self.free_head;
+                self.free_head = Some(id);
+                if self.free_tail.is_none() {
+                    self.free_tail = Some(id);
+                }
+            }
+            FreeDiscipline::Queue => {
+                self.entries[id as usize].free_next = None;
+                match self.free_tail {
+                    Some(t) => self.entries[t as usize].free_next = Some(id),
+                    None => self.free_head = Some(id),
+                }
+                self.free_tail = Some(id);
+            }
+        }
+    }
+
+    fn free_entry(&mut self, id: Id) {
+        #[cfg(feature = "lp-debug")]
+        {
+            // The entry being freed must not be referenced by any
+            // live/pending field (its rc is 0 or being forced to 0).
+            let mut refs = 0;
+            for (oid, e) in self.entries.iter().enumerate() {
+                if (e.live || e.lazy) && oid != id as usize {
+                    for f in [e.car, e.cdr] {
+                        if f == Field::Obj(id) {
+                            refs += 1;
+                        }
+                    }
+                }
+            }
+            assert!(refs == 0, "freeing entry {id} with {refs} internal refs");
+        }
+        self.stats.frees += 1;
+        let e = &mut self.entries[id as usize];
+        debug_assert!(e.live);
+        e.live = false;
+        self.live -= 1;
+        if let Some(addr) = e.addr.take() {
+            // Signal the heap controller to reclaim the object.
+            self.controller.free_object(addr);
+        }
+        match self.config.decrement {
+            DecrementPolicy::Lazy => {
+                // Children stay in the fields until reallocation.
+                e.lazy = e.car != Field::Empty || e.cdr != Field::Empty;
+                self.push_free(id);
+            }
+            DecrementPolicy::Recursive => {
+                let (car, cdr) = (e.car, e.cdr);
+                e.car = Field::Empty;
+                e.cdr = Field::Empty;
+                e.lazy = false;
+                self.push_free(id);
+                if let Field::Obj(c) = car {
+                    self.decref(c);
+                }
+                if let Field::Obj(c) = cdr {
+                    self.decref(c);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Entry allocation, compression, cycle breaking
+    // -----------------------------------------------------------------
+
+    fn try_pop_free(&mut self) -> Option<Id> {
+        #[cfg(feature = "lp-debug")]
+        self.audit("pre-pop");
+        let id = self.free_head?;
+        let e = &mut self.entries[id as usize];
+        self.free_head = e.free_next;
+        if self.free_head.is_none() {
+            self.free_tail = None;
+        }
+        e.free_next = None;
+        let lazy = std::mem::replace(&mut e.lazy, false);
+        let (car, cdr) = (e.car, e.cdr);
+        *e = Entry {
+            live: true,
+            ..Entry::default()
+        };
+        self.live += 1;
+        self.stats.gets += 1;
+        if lazy {
+            // Deferred child decrements happen now (§4.3.2.1).
+            if let Field::Obj(c) = car {
+                self.decref(c);
+            }
+            if let Field::Obj(c) = cdr {
+                self.decref(c);
+            }
+        }
+        Some(id)
+    }
+
+    fn allocate(&mut self) -> Result<Id, LpError> {
+        if let Some(id) = self.try_pop_free() {
+            self.sample_occupancy();
+            return Ok(id);
+        }
+        // Pseudo overflow: compress.
+        self.stats.pseudo_overflows += 1;
+        self.recent_overflows.push_back(self.stats.occupancy_samples);
+        let freed = self.compress();
+        #[cfg(feature = "lp-debug")]
+        self.audit("post-compress");
+        if freed > 0 {
+            if let Some(id) = self.try_pop_free() {
+                self.sample_occupancy();
+                return Ok(id);
+            }
+        }
+        // True overflow: break cycles.
+        self.stats.cycle_collections += 1;
+        let reclaimed = self.break_cycles();
+        #[cfg(feature = "lp-debug")]
+        self.audit("post-break-cycles");
+        self.stats.cycles_reclaimed += reclaimed as u64;
+        if let Some(id) = self.try_pop_free() {
+            self.sample_occupancy();
+            return Ok(id);
+        }
+        Err(LpError::TrueOverflow)
+    }
+
+    /// Whether the value in `f` can be flushed to a heap word: an
+    /// immediate atom, or an *internal-only* child (exactly one
+    /// reference — the parent field — and no stack bit) whose own
+    /// sub-structure is flushable or already heap-backed. The rc==1
+    /// condition excludes shared structure; reference *cycles* of
+    /// rc==1 entries (unreachable circular garbage, §4.3.2.1) are
+    /// excluded by the path check — they are reclaimed by
+    /// [`ListProcessor::break_cycles`] instead.
+    fn flushable(&self, f: Field, path: &mut Vec<Id>) -> bool {
+        match f {
+            Field::Atom(_) => true,
+            Field::Empty => false,
+            Field::Obj(c) => {
+                if path.contains(&c) {
+                    return false; // circular structure: not a tree
+                }
+                let e = &self.entries[c as usize];
+                if !(e.live && e.rc == 1 && !e.stack_bit) {
+                    return false;
+                }
+                if e.addr.is_some() {
+                    return true;
+                }
+                path.push(c);
+                let ok = self.flushable(e.car, path) && self.flushable(e.cdr, path);
+                path.pop();
+                ok
+            }
+        }
+    }
+
+    /// Flush a field to a heap word, freeing the internal entries it
+    /// consumed. Precondition: [`ListProcessor::flushable`].
+    fn flush_field(&mut self, f: Field) -> Result<Word, LpError> {
+        match f {
+            Field::Atom(w) => Ok(w),
+            Field::Obj(c) => {
+                let (addr, car, cdr) = {
+                    let e = &self.entries[c as usize];
+                    (e.addr, e.car, e.cdr)
+                };
+                let word = match addr {
+                    Some(a) => Word::ptr(a),
+                    None => {
+                        let cw = self.flush_field(car)?;
+                        let dw = self.flush_field(cdr)?;
+                        Word::ptr(self.controller.merge(cw, dw)?)
+                    }
+                };
+                // The heap object now belongs to the merged parent;
+                // clear the entry before freeing so neither the
+                // controller nor the lazy-decrement path touches it.
+                let e = &mut self.entries[c as usize];
+                e.addr = None;
+                e.car = Field::Empty;
+                e.cdr = Field::Empty;
+                e.rc = 0;
+                self.free_entry(c);
+                self.stats.compressed += 1;
+                Ok(word)
+            }
+            Field::Empty => unreachable!("flush of empty field"),
+        }
+    }
+
+    /// Compress LPT entries back into heap objects (Figure 4.8): any
+    /// entry whose fields form a closed internal-only subtree is merged
+    /// into one heap object, and the subtree's entries are reclaimed.
+    /// Returns the number of entries reclaimed.
+    fn compress(&mut self) -> usize {
+        let mut total = 0usize;
+        loop {
+            let mut freed_this_pass = 0usize;
+            for id in 0..self.entries.len() as Id {
+                let e = &self.entries[id as usize];
+                if !e.live || e.addr.is_some() {
+                    continue;
+                }
+                let (fcar, fcdr) = (e.car, e.cdr);
+                // Compression must reclaim table space: at least one
+                // field must be a child entry (Figure 4.8 compresses
+                // children INTO parents).
+                if !matches!(fcar, Field::Obj(_)) && !matches!(fcdr, Field::Obj(_)) {
+                    continue;
+                }
+                let mut path = vec![id];
+                if !self.flushable(fcar, &mut path) || !self.flushable(fcdr, &mut path) {
+                    continue;
+                }
+                let frees_before = self.stats.frees;
+                let car_w = match self.flush_field(fcar) {
+                    Ok(w) => w,
+                    Err(_) => return total,
+                };
+                let cdr_w = match self.flush_field(fcdr) {
+                    Ok(w) => w,
+                    Err(_) => return total,
+                };
+                let Ok(addr) = self.controller.merge(car_w, cdr_w) else {
+                    return total;
+                };
+                let e = &mut self.entries[id as usize];
+                e.car = Field::Empty;
+                e.cdr = Field::Empty;
+                e.addr = Some(addr);
+                freed_this_pass += (self.stats.frees - frees_before) as usize;
+                if self.stop_after_one() && freed_this_pass > 0 {
+                    return total + freed_this_pass;
+                }
+            }
+            total += freed_this_pass;
+            if freed_this_pass == 0 {
+                return total;
+            }
+            // Compress-All iterates to a fixpoint: compressing children
+            // can make parents compressible.
+        }
+    }
+
+    /// Whether the current (possibly hybrid) policy stops after freeing
+    /// enough for the immediate need.
+    fn stop_after_one(&mut self) -> bool {
+        match self.config.compression {
+            CompressPolicy::CompressOne => true,
+            CompressPolicy::CompressAll => false,
+            CompressPolicy::Hybrid { threshold, window } => {
+                let now = self.stats.occupancy_samples;
+                while let Some(&t) = self.recent_overflows.front() {
+                    if now.saturating_sub(t) > window {
+                        self.recent_overflows.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                // Frequent overflows → behave like Compress-All.
+                (self.recent_overflows.len() as u32) <= threshold
+            }
+        }
+    }
+
+    /// Break unreachable reference cycles with a mark/sweep over the
+    /// table (§4.3.2.3). Returns entries reclaimed.
+    fn break_cycles(&mut self) -> usize {
+        let n = self.entries.len();
+        // In-degree from table-internal references.
+        let mut indegree = vec![0u32; n];
+        for e in &self.entries {
+            if !e.live {
+                continue;
+            }
+            for f in [e.car, e.cdr] {
+                if let Field::Obj(c) = f {
+                    indegree[c as usize] += 1;
+                }
+            }
+        }
+        // Roots: entries with external references.
+        let mut marks = vec![false; n];
+        let mut stack: Vec<Id> = Vec::new();
+        for (id, e) in self.entries.iter().enumerate() {
+            if e.live && (e.stack_bit || e.rc > indegree[id]) {
+                stack.push(id as Id);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut marks[id as usize], true) {
+                continue;
+            }
+            let e = &self.entries[id as usize];
+            for f in [e.car, e.cdr] {
+                if let Field::Obj(c) = f {
+                    if !marks[c as usize] {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        // Sweep: unmarked live entries are circular garbage.
+        let victims: Vec<Id> = (0..n as Id)
+            .filter(|&id| self.entries[id as usize].live && !marks[id as usize])
+            .collect();
+        for &id in &victims {
+            // References from garbage into the marked world must be
+            // returned; references among garbage just vanish.
+            let (car, cdr) = {
+                let e = &mut self.entries[id as usize];
+                let out = (e.car, e.cdr);
+                e.car = Field::Empty;
+                e.cdr = Field::Empty;
+                e.rc = 0;
+                out
+            };
+            for f in [car, cdr] {
+                if let Field::Obj(c) = f {
+                    if marks[c as usize] {
+                        self.decref(c);
+                    }
+                }
+            }
+            if self.entries[id as usize].live {
+                self.free_entry(id);
+            }
+        }
+        victims.len()
+    }
+
+    // -----------------------------------------------------------------
+    // The LP request set (§4.3.2.2)
+    // -----------------------------------------------------------------
+
+    fn word_to_value(&mut self, w: Word) -> Result<LpValue, LpError> {
+        match w.tag() {
+            Tag::Nil | Tag::Int | Tag::Sym => Ok(LpValue::Atom(w)),
+            Tag::Ptr | Tag::Invisible => {
+                let id = self.allocate()?;
+                let e = &mut self.entries[id as usize];
+                e.addr = Some(w.addr());
+                Ok(LpValue::Obj(id))
+            }
+            t => panic!("heap returned word with tag {t:?}"),
+        }
+    }
+
+    /// `readlist` (§4.3.2.2.1): read a list in; the returned value
+    /// already carries one stack reference for the EP. If the EP passes
+    /// the variable's old value, its reference is dropped first.
+    pub fn readlist(&mut self, old: Option<LpValue>, expr: &SExpr) -> Result<LpValue, LpError> {
+        if let Some(v) = old {
+            self.stack_release(v);
+        }
+        let w = self.controller.read_in(expr)?;
+        let v = self.word_to_value(w)?;
+        if let LpValue::Obj(id) = v {
+            self.entries[id as usize].rc = 1;
+            // That reference belongs to the EP.
+            self.adopt_as_stack_ref(id);
+        }
+        Ok(v)
+    }
+
+    /// Convert the freshly-created unified reference on `id` into a
+    /// stack reference under the current mode.
+    fn adopt_as_stack_ref(&mut self, id: Id) {
+        if self.config.refcounts == RefcountMode::Split {
+            let e = &mut self.entries[id as usize];
+            e.rc -= 1;
+            e.stack_bit = true;
+            self.stats.ep_refops += 1;
+            let c = self.ep_counts.entry(id).or_insert(0);
+            *c += 1;
+            self.stats.max_ep_refcount = self.stats.max_ep_refcount.max(*c);
+        }
+    }
+
+    /// Materialize the fields of `id` by splitting its heap object.
+    fn ensure_fields(&mut self, id: Id) -> Result<(), LpError> {
+        if self.entries[id as usize].car != Field::Empty
+            || self.entries[id as usize].cdr != Field::Empty
+        {
+            return Ok(());
+        }
+        let addr = self.entries[id as usize]
+            .addr
+            .expect("live entry with no fields must have an address");
+        let split = self.controller.split(addr)?;
+        self.entries[id as usize].addr = None;
+        self.stats.misses += 1;
+        let car_field = self.materialize(split.car)?;
+        let cdr_field = self.materialize(split.cdr)?;
+        let e = &mut self.entries[id as usize];
+        e.car = car_field;
+        e.cdr = cdr_field;
+        Ok(())
+    }
+
+    fn materialize(&mut self, w: Word) -> Result<Field, LpError> {
+        match w.tag() {
+            Tag::Nil | Tag::Int | Tag::Sym => Ok(Field::Atom(w)),
+            Tag::Ptr | Tag::Invisible => {
+                let id = self.allocate()?;
+                let e = &mut self.entries[id as usize];
+                e.addr = Some(w.addr());
+                e.rc = 1; // the internal reference from the parent field
+                Ok(Field::Obj(id))
+            }
+            t => panic!("heap returned word with tag {t:?}"),
+        }
+    }
+
+    /// `car` (§4.3.2.2.2): the returned value carries a fresh stack
+    /// reference for the EP (Figure 4.11 increments the ref of Lcar).
+    pub fn car(&mut self, id: Id) -> Result<LpValue, LpError> {
+        self.access(id, true)
+    }
+
+    /// `cdr` (§4.3.2.2.2).
+    pub fn cdr(&mut self, id: Id) -> Result<LpValue, LpError> {
+        self.access(id, false)
+    }
+
+    fn access(&mut self, id: Id, want_car: bool) -> Result<LpValue, LpError> {
+        let e = &self.entries[id as usize];
+        debug_assert!(e.live, "access of dead entry {id}");
+        let field = if want_car { e.car } else { e.cdr };
+        let v = match field {
+            Field::Atom(w) => {
+                self.stats.hits += 1;
+                LpValue::Atom(w)
+            }
+            Field::Obj(c) => {
+                self.stats.hits += 1;
+                LpValue::Obj(c)
+            }
+            Field::Empty => {
+                self.ensure_fields(id)?;
+                let e = &self.entries[id as usize];
+                match if want_car { e.car } else { e.cdr } {
+                    Field::Atom(w) => LpValue::Atom(w),
+                    Field::Obj(c) => LpValue::Obj(c),
+                    Field::Empty => unreachable!("ensure_fields materializes both"),
+                }
+            }
+        };
+        if let LpValue::Obj(c) = v {
+            self.stack_retain(LpValue::Obj(c));
+        }
+        self.sample_occupancy();
+        Ok(v)
+    }
+
+    /// `cons` (§4.3.2.2.4): pure LPT activity, no heap traffic. The
+    /// result carries one stack reference.
+    pub fn cons(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
+        let id = self.allocate()?;
+        // Children gain an internal reference each.
+        if let LpValue::Obj(c) = car {
+            self.incref(c);
+        }
+        if let LpValue::Obj(c) = cdr {
+            self.incref(c);
+        }
+        let e = &mut self.entries[id as usize];
+        e.car = match car {
+            LpValue::Atom(w) => Field::Atom(w),
+            LpValue::Obj(c) => Field::Obj(c),
+        };
+        e.cdr = match cdr {
+            LpValue::Atom(w) => Field::Atom(w),
+            LpValue::Obj(c) => Field::Obj(c),
+        };
+        e.rc = 1;
+        self.adopt_as_stack_ref(id);
+        self.sample_occupancy();
+        #[cfg(feature = "lp-debug")]
+        self.audit("post-cons");
+        Ok(LpValue::Obj(id))
+    }
+
+    /// `rplaca` (§4.3.2.2.3).
+    pub fn rplaca(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
+        self.replace(id, v, true)
+    }
+
+    /// `rplacd` (§4.3.2.2.3).
+    pub fn rplacd(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
+        self.replace(id, v, false)
+    }
+
+    fn replace(&mut self, id: Id, v: LpValue, is_car: bool) -> Result<(), LpError> {
+        self.ensure_fields(id)?;
+        if let LpValue::Obj(c) = v {
+            self.incref(c);
+        }
+        let new_field = match v {
+            LpValue::Atom(w) => Field::Atom(w),
+            LpValue::Obj(c) => Field::Obj(c),
+        };
+        let old = {
+            let e = &mut self.entries[id as usize];
+            if is_car {
+                std::mem::replace(&mut e.car, new_field)
+            } else {
+                std::mem::replace(&mut e.cdr, new_field)
+            }
+        };
+        if let Field::Obj(c) = old {
+            self.decref(c);
+        }
+        self.sample_occupancy();
+        Ok(())
+    }
+
+    /// `copy` (§4.3.1): a top-cell copy for call-by-value parameters.
+    pub fn copy(&mut self, id: Id) -> Result<LpValue, LpError> {
+        self.ensure_fields(id)?;
+        let (car, cdr) = {
+            let e = &self.entries[id as usize];
+            (e.car, e.cdr)
+        };
+        let to_value = |f: Field| match f {
+            Field::Atom(w) => LpValue::Atom(w),
+            Field::Obj(c) => LpValue::Obj(c),
+            Field::Empty => unreachable!(),
+        };
+        self.cons(to_value(car), to_value(cdr))
+    }
+
+    /// `writelist`: reconstruct the s-expression for a value.
+    pub fn writelist(&mut self, v: LpValue) -> Result<SExpr, LpError> {
+        match v {
+            LpValue::Atom(w) => Ok(self.controller.extract(w)),
+            LpValue::Obj(id) => {
+                let e = &self.entries[id as usize];
+                debug_assert!(e.live);
+                if let Some(addr) = e.addr {
+                    return Ok(self.controller.extract(Word::ptr(addr)));
+                }
+                let (car, cdr) = (e.car, e.cdr);
+                let to_value = |f: Field| match f {
+                    Field::Atom(w) => LpValue::Atom(w),
+                    Field::Obj(c) => LpValue::Obj(c),
+                    Field::Empty => unreachable!("live entry without addr has fields"),
+                };
+                let car_e = self.writelist(to_value(car))?;
+                let cdr_e = self.writelist(to_value(cdr))?;
+                Ok(SExpr::cons(car_e, cdr_e))
+            }
+        }
+    }
+
+    /// Structural equality of two LP values (used by the VM's `equal`).
+    pub fn equal(&mut self, a: LpValue, b: LpValue) -> Result<bool, LpError> {
+        Ok(self.writelist(a)? == self.writelist(b)?)
+    }
+
+    /// Count of entries the EP currently holds stack references to
+    /// (split mode bookkeeping; for tests).
+    pub fn ep_tracked(&self) -> usize {
+        self.ep_counts.len()
+    }
+
+    /// Introspect an entry's materialized fields without touching stats
+    /// or reference counts. Simulator-only: the trace-driven simulator
+    /// uses this to learn both split pieces when synthesizing heap
+    /// addresses for the cache comparison (§5.2.5).
+    pub fn peek_fields(&self, id: Id) -> (Option<LpValue>, Option<LpValue>) {
+        let e = &self.entries[id as usize];
+        let conv = |f: Field| match f {
+            Field::Empty => None,
+            Field::Atom(w) => Some(LpValue::Atom(w)),
+            Field::Obj(c) => Some(LpValue::Obj(c)),
+        };
+        (conv(e.car), conv(e.cdr))
+    }
+
+    /// Perform every *pending* lazy child decrement without waiting for
+    /// reallocation, to a fixpoint. The hardware never does this — the
+    /// deferred work is the price of O(1) frees (§4.3.2.1) — but tests
+    /// and shutdown accounting use it to verify that everything
+    /// unreachable is eventually detected.
+    pub fn drain_lazy(&mut self) {
+        loop {
+            let mut did = false;
+            for id in 0..self.entries.len() {
+                let e = &mut self.entries[id];
+                if e.live || !e.lazy {
+                    continue;
+                }
+                e.lazy = false;
+                let (car, cdr) = (e.car, e.cdr);
+                e.car = Field::Empty;
+                e.cdr = Field::Empty;
+                for f in [car, cdr] {
+                    if let Field::Obj(c) = f {
+                        self.decref(c);
+                        did = true;
+                    }
+                }
+            }
+            if !did {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_heap::controller::TwoPointerController;
+    use small_sexpr::{parse, print, Interner};
+
+    type Lp = ListProcessor<TwoPointerController>;
+
+    fn lp_with(table: usize) -> Lp {
+        ListProcessor::new(
+            TwoPointerController::new(65536, 64),
+            LpConfig {
+                table_size: table,
+                ..LpConfig::default()
+            },
+        )
+    }
+
+    fn lp() -> Lp {
+        lp_with(512)
+    }
+
+    fn read(lp: &mut Lp, i: &mut Interner, src: &str) -> LpValue {
+        let e = parse(src, i).unwrap();
+        lp.readlist(None, &e).unwrap()
+    }
+
+    #[test]
+    fn readlist_writelist_roundtrip() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "(a (b c) d)");
+        let e = lp.writelist(v).unwrap();
+        assert_eq!(print(&e, &i), "(a (b c) d)");
+        assert_eq!(lp.occupancy(), 1, "one entry for the whole object");
+    }
+
+    #[test]
+    fn car_miss_splits_then_hits() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "((a) b)");
+        let id = v.obj().unwrap();
+        let car1 = lp.car(id).unwrap();
+        assert_eq!(lp.stats().misses, 1);
+        assert_eq!(lp.stats().hits, 0);
+        // Second access is a hit and returns the same identifier.
+        let car2 = lp.car(id).unwrap();
+        assert_eq!(lp.stats().hits, 1);
+        assert_eq!(car1, car2);
+        assert_eq!(print(&lp.writelist(car1).unwrap(), &i), "(a)");
+    }
+
+    #[test]
+    fn cons_touches_no_heap() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(a)");
+        let b = read(&mut lp, &mut i, "(b)");
+        let heap_live = lp.controller.heap().live();
+        let c = lp.cons(a, b).unwrap();
+        assert_eq!(
+            lp.controller.heap().live(),
+            heap_live,
+            "cons allocates only an LPT entry (§4.3.2.2.4)"
+        );
+        assert_eq!(print(&lp.writelist(c).unwrap(), &i), "((a) b)");
+    }
+
+    #[test]
+    fn transient_cons_cells_die_in_the_table() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let frees_before = lp.stats().frees;
+        // cons, then drop the only reference: the cell must be detected
+        // as garbage immediately (§5.3.2).
+        let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+        lp.stack_release(a); // EP's ref; the cons child ref remains
+        lp.stack_release(c);
+        assert_eq!(lp.stats().frees, frees_before + 1);
+        // `a` survives: the freed cons still holds it (lazy decrement).
+        assert_eq!(lp.occupancy(), 1);
+    }
+
+    #[test]
+    fn lazy_decrement_defers_child_frees_until_reallocation() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+        lp.stack_release(a);
+        // Now `a` is held only by the cons. Drop the cons:
+        lp.stack_release(c);
+        // Lazy policy: `a` is NOT yet freed (child decrement deferred).
+        assert_eq!(lp.occupancy(), 1);
+        // Reallocating the freed entry performs the deferred decrement,
+        // freeing `a` too.
+        let _fresh = lp.cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL)).unwrap();
+        assert_eq!(lp.occupancy(), 1, "a freed, fresh cons live");
+    }
+
+    #[test]
+    fn recursive_decrement_frees_children_immediately() {
+        let mut i = Interner::new();
+        let mut lp = ListProcessor::new(
+            TwoPointerController::new(4096, 64),
+            LpConfig {
+                table_size: 256,
+                decrement: DecrementPolicy::Recursive,
+                ..LpConfig::default()
+            },
+        );
+        let a = read(&mut lp, &mut i, "(x)");
+        let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+        lp.stack_release(a);
+        lp.stack_release(c);
+        assert_eq!(lp.occupancy(), 0, "recursive policy frees the child too");
+    }
+
+    #[test]
+    fn recursive_policy_does_more_refops() {
+        // The Table 5.2 Refops vs RecRefops comparison, in miniature.
+        let run = |decrement: DecrementPolicy| -> u64 {
+            let mut i = Interner::new();
+            let mut lp = ListProcessor::new(
+                TwoPointerController::new(8192, 64),
+                LpConfig {
+                    table_size: 512,
+                    decrement,
+                    ..LpConfig::default()
+                },
+            );
+            for _ in 0..50 {
+                let a = read(&mut lp, &mut i, "(x y z)");
+                let b = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+                let c = lp.cons(b, LpValue::Atom(Word::NIL)).unwrap();
+                lp.stack_release(a);
+                lp.stack_release(b);
+                lp.stack_release(c);
+                // Never reallocate: lazy policy defers the chain.
+            }
+            lp.stats().refops
+        };
+        let lazy = run(DecrementPolicy::Lazy);
+        let recursive = run(DecrementPolicy::Recursive);
+        assert!(
+            recursive > lazy,
+            "recursive {recursive} should exceed lazy {lazy}"
+        );
+    }
+
+    #[test]
+    fn free_stack_reuses_most_recently_freed_first() {
+        // §4.3.2.1: LIFO reuse performs the just-freed entry's deferred
+        // child decrement immediately on the next allocation, minimizing
+        // the occupied-but-unreferenced window. A FIFO queue leaves the
+        // pending garbage parked until the queue wraps around.
+        let run = |disc: FreeDiscipline| {
+            let mut i = Interner::new();
+            let mut lp: Lp = ListProcessor::new(
+                TwoPointerController::new(4096, 64),
+                LpConfig {
+                    table_size: 64,
+                    free_discipline: disc,
+                    ..LpConfig::default()
+                },
+            );
+            let a = read(&mut lp, &mut i, "(x)");
+            let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+            lp.stack_release(a);
+            lp.stack_release(c); // c freed lazily, still holding a
+            // One allocation:
+            let _fresh = lp
+                .cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL))
+                .unwrap();
+            lp.occupancy()
+        };
+        // Stack: the freed cons is reused; its pending decrement frees
+        // `a` → only the fresh cons is live.
+        assert_eq!(run(FreeDiscipline::Stack), 1);
+        // Queue: a never-used entry is taken from the front; `a` stays
+        // parked behind the freed cons's pending reference.
+        assert_eq!(run(FreeDiscipline::Queue), 2);
+    }
+
+    #[test]
+    fn queue_discipline_still_converges() {
+        // The queue is only *slower* to drain, not incorrect: after
+        // enough churn everything is reclaimed.
+        let mut i = Interner::new();
+        let mut lp: Lp = ListProcessor::new(
+            TwoPointerController::new(8192, 64),
+            LpConfig {
+                table_size: 32,
+                free_discipline: FreeDiscipline::Queue,
+                ..LpConfig::default()
+            },
+        );
+        for _ in 0..200 {
+            let a = read(&mut lp, &mut i, "(x y)");
+            let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+            lp.stack_release(a);
+            lp.stack_release(c);
+        }
+        lp.drain_lazy();
+        assert_eq!(lp.occupancy(), 0);
+    }
+
+    #[test]
+    fn rplaca_updates_fields_and_counts() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let x = read(&mut lp, &mut i, "(1 2)");
+        let y = read(&mut lp, &mut i, "(9)");
+        lp.rplaca(x.obj().unwrap(), y).unwrap();
+        assert_eq!(print(&lp.writelist(x).unwrap(), &i), "((9) 2)");
+        // y now has two refs: EP stack + the car field.
+        lp.stack_release(y);
+        assert_eq!(print(&lp.writelist(x).unwrap(), &i), "((9) 2)");
+    }
+
+    #[test]
+    fn figure_4_9_example() {
+        // {cons [cons (car L1) (cdr L2)] (car L2)} — 3 list accesses
+        // cost only 2 heap splits; the conses cost none.
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let l1 = read(&mut lp, &mut i, "((p) q)");
+        let l2 = read(&mut lp, &mut i, "((r) s)");
+        let splits_before = lp.controller.stats().splits;
+        let car_l1 = lp.car(l1.obj().unwrap()).unwrap();
+        let cdr_l2 = lp.cdr(l2.obj().unwrap()).unwrap();
+        let inner = lp.cons(car_l1, cdr_l2).unwrap();
+        let car_l2 = lp.car(l2.obj().unwrap()).unwrap();
+        let outer = lp.cons(inner, car_l2).unwrap();
+        assert_eq!(
+            lp.controller.stats().splits - splits_before,
+            2,
+            "3 accesses, 2 heap operations (Figure 4.9)"
+        );
+        assert_eq!(print(&lp.writelist(outer).unwrap(), &i), "(((p) s) r)");
+    }
+
+    #[test]
+    fn compression_reclaims_table_space() {
+        let mut i = Interner::new();
+        // Tiny table: force pseudo overflow.
+        let mut lp = lp_with(4);
+        let v = read(&mut lp, &mut i, "(a b c)");
+        let id = v.obj().unwrap();
+        let car = lp.car(id).unwrap(); // split: 2 more entries (cdr obj + car atom? car is atom a)
+        let _ = car;
+        // Drop EP refs to the cdr chain children... access cdr then release
+        let cdr = lp.cdr(id).unwrap();
+        lp.stack_release(cdr);
+        // Table now has: v (fields), cdr-child (addr, rc=1 internal).
+        // Fill the table to force a pseudo overflow, which compresses
+        // the cdr-child back into v.
+        let before = lp.stats().pseudo_overflows;
+        let mut held = Vec::new();
+        for _ in 0..3 {
+            match lp.cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL)) {
+                Ok(c) => held.push(c),
+                Err(e) => panic!("allocation failed: {e}"),
+            }
+        }
+        assert!(lp.stats().pseudo_overflows > before);
+        assert!(lp.stats().compressed > 0);
+        // The original list is still intact.
+        assert_eq!(print(&lp.writelist(v).unwrap(), &i), "(a b c)");
+    }
+
+    #[test]
+    fn true_overflow_breaks_cycles() {
+        let mut i = Interner::new();
+        let mut lp = lp_with(6);
+        // Build a cycle: a -> b -> a, drop external refs.
+        let a = read(&mut lp, &mut i, "(1)");
+        let b = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+        lp.rplacd(a.obj().unwrap(), b).unwrap();
+        lp.stack_release(a);
+        lp.stack_release(b);
+        // Cycle is unreachable but reference counts keep it alive.
+        let occupied = lp.occupancy();
+        assert!(occupied >= 2, "cycle leaks under pure counting");
+        // Exhaust the table; cycle breaking must reclaim the pair.
+        let mut held = Vec::new();
+        for _ in 0..6 {
+            held.push(
+                lp.cons(LpValue::Atom(Word::int(7)), LpValue::Atom(Word::NIL))
+                    .expect("cycle breaking must free space"),
+            );
+        }
+        assert!(lp.stats().cycle_collections > 0);
+        assert!(lp.stats().cycles_reclaimed >= 2);
+    }
+
+    #[test]
+    fn true_overflow_reported_when_everything_is_live() {
+        let mut lp = lp_with(3);
+        let mut held = Vec::new();
+        for k in 0..3 {
+            held.push(
+                lp.cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                    .unwrap(),
+            );
+        }
+        // Everything externally referenced and uncompressible-to-free
+        // (atom/atom conses ARE compressible... they merge to heap).
+        // After compression the conses gain addresses; they stay live.
+        // Hold enough deep structure to defeat compression:
+        let e = lp.cons(held[0], held[1]);
+        // Either compression succeeded (entries became heap objects) or
+        // we got a true overflow; both are legal here — assert we never
+        // corrupt state.
+        match e {
+            Ok(v) => held.push(v),
+            Err(LpError::TrueOverflow) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn hybrid_policy_switches_under_pressure() {
+        // Hybrid behaves like Compress-One until overflows get frequent,
+        // then compresses everything like Compress-All (§5.2.3).
+        let run = |policy: CompressPolicy| {
+            let i = Interner::new();
+            let mut lp: Lp = ListProcessor::new(
+                TwoPointerController::new(8192, 64),
+                LpConfig {
+                    table_size: 24,
+                    compression: policy,
+                    ..LpConfig::default()
+                },
+            );
+            // Sustained pressure: live chains that keep the table near
+            // full so pseudo overflows recur.
+            let mut held = Vec::new();
+            for k in 0..300i64 {
+                let a = lp
+                    .cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                    .unwrap();
+                let b = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
+                lp.stack_release(a);
+                held.push(b);
+                // Keep enough chains live that in-flight conses push
+                // past the table size.
+                if held.len() > 13 {
+                    lp.stack_release(held.remove(0));
+                }
+            }
+            for v in held {
+                lp.stack_release(v);
+            }
+            let _ = i;
+            (lp.stats().pseudo_overflows, lp.stats().avg_occupancy())
+        };
+        let (of_one, _) = run(CompressPolicy::CompressOne);
+        let (of_hybrid, _) = run(CompressPolicy::Hybrid {
+            threshold: 2,
+            window: 200,
+        });
+        assert!(of_one > 0, "the workload must actually overflow");
+        assert!(
+            of_hybrid <= of_one,
+            "hybrid ({of_hybrid}) must not overflow more than pure Compress-One ({of_one})"
+        );
+    }
+
+    #[test]
+    fn split_refcounts_reduce_bus_traffic() {
+        // Table 5.3: stack churn stays EP-side in split mode.
+        let run = |mode: RefcountMode| -> (u64, u64) {
+            let mut i = Interner::new();
+            let mut lp = ListProcessor::new(
+                TwoPointerController::new(8192, 64),
+                LpConfig {
+                    table_size: 512,
+                    refcounts: mode,
+                    ..LpConfig::default()
+                },
+            );
+            let v = read(&mut lp, &mut i, "(a b c)");
+            // Simulate heavy stack churn: repeated push/pop of the value.
+            for _ in 0..100 {
+                lp.stack_retain(v);
+                lp.stack_release(v);
+            }
+            lp.stack_release(v);
+            (lp.stats().refops, lp.stats().ep_refops)
+        };
+        let (unified_bus, unified_ep) = run(RefcountMode::Unified);
+        let (split_bus, split_ep) = run(RefcountMode::Split);
+        assert_eq!(unified_ep, 0);
+        assert!(split_ep > 0);
+        assert!(
+            split_bus < unified_bus / 5,
+            "split bus traffic {split_bus} must be far below unified {unified_bus}"
+        );
+    }
+
+    #[test]
+    fn split_mode_frees_when_both_counts_zero() {
+        let mut i = Interner::new();
+        let mut lp = ListProcessor::new(
+            TwoPointerController::new(8192, 64),
+            LpConfig {
+                table_size: 64,
+                refcounts: RefcountMode::Split,
+                ..LpConfig::default()
+            },
+        );
+        let v = read(&mut lp, &mut i, "(a)");
+        assert_eq!(lp.occupancy(), 1);
+        lp.stack_release(v);
+        assert_eq!(lp.occupancy(), 0, "freed when stack bit clears with rc 0");
+        assert_eq!(lp.ep_tracked(), 0);
+    }
+
+    #[test]
+    fn equal_compares_structure() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(1 (2) 3)");
+        let b = read(&mut lp, &mut i, "(1 (2) 3)");
+        let c = read(&mut lp, &mut i, "(1 2 3)");
+        assert!(lp.equal(a, b).unwrap());
+        assert!(!lp.equal(a, c).unwrap());
+    }
+}

@@ -1,0 +1,360 @@
+//! The SMALL machine: compiled Lisp running against the List Processor.
+//!
+//! [`SmallBackend`] implements [`small_lisp::vm::ListBackend`] over a
+//! [`ListProcessor`], so the same stack-machine programs that run on the
+//! conventional [`small_lisp::vm::DirectBackend`] run on the SMALL
+//! organization. The VM plays the Evaluation Processor: its combined
+//! control/binding stack is the EP stack of §4.3.1, and its
+//! `retain`/`release` hook calls are exactly the reference-count traffic
+//! the EP sends the LP on binding creation and function return.
+//!
+//! Because the VM maintains one retained reference per live stack slot
+//! and binding, running a program to completion and dropping its result
+//! leaves the LPT *empty* — every transient cons was detected as garbage
+//! the moment its last reference died, the §5.3.2 claim.
+
+use crate::lp::{Id, ListProcessor, LpConfig, LpValue};
+use small_heap::controller::TwoPointerController;
+use small_heap::{HeapController, Word};
+use small_lisp::vm::{ListBackend, VmError, VmValue};
+use small_sexpr::{SExpr, Symbol};
+
+/// A [`ListBackend`] that routes every list operation through the LP.
+pub struct SmallBackend<C: HeapController> {
+    /// The List Processor (public for stats inspection).
+    pub lp: ListProcessor<C>,
+}
+
+impl SmallBackend<TwoPointerController> {
+    /// Convenience: an LP over a two-pointer heap controller.
+    pub fn new(heap_cells: usize, config: LpConfig) -> Self {
+        SmallBackend {
+            lp: ListProcessor::new(TwoPointerController::new(heap_cells, 64), config),
+        }
+    }
+}
+
+impl<C: HeapController> SmallBackend<C> {
+    fn to_vm(v: LpValue) -> VmValue<Id> {
+        match v {
+            LpValue::Obj(id) => VmValue::List(id),
+            LpValue::Atom(w) => match w.tag() {
+                small_heap::Tag::Nil => VmValue::Nil,
+                small_heap::Tag::Int => VmValue::Int(w.as_int()),
+                small_heap::Tag::Sym => VmValue::Sym(Symbol(w.as_sym())),
+                t => panic!("atom with tag {t:?}"),
+            },
+        }
+    }
+
+    fn to_lp(v: &VmValue<Id>) -> LpValue {
+        match v {
+            VmValue::Nil => LpValue::Atom(Word::NIL),
+            VmValue::Int(i) => LpValue::Atom(Word::int(*i)),
+            VmValue::Sym(s) => LpValue::Atom(Word::sym(s.0)),
+            VmValue::List(id) => LpValue::Obj(*id),
+        }
+    }
+
+    fn lp_err(e: crate::lp::LpError) -> VmError {
+        VmError::Backend(e.to_string())
+    }
+}
+
+impl<C: HeapController> ListBackend for SmallBackend<C> {
+    type Ref = Id;
+
+    fn car(&mut self, r: &Id) -> Result<VmValue<Id>, VmError> {
+        self.lp.car(*r).map(Self::to_vm).map_err(Self::lp_err)
+    }
+
+    fn cdr(&mut self, r: &Id) -> Result<VmValue<Id>, VmError> {
+        self.lp.cdr(*r).map(Self::to_vm).map_err(Self::lp_err)
+    }
+
+    fn cons(&mut self, car: VmValue<Id>, cdr: VmValue<Id>) -> Result<Id, VmError> {
+        let v = self
+            .lp
+            .cons(Self::to_lp(&car), Self::to_lp(&cdr))
+            .map_err(Self::lp_err)?;
+        // The operand-stack references the VM holds on `car`/`cdr` are
+        // released by the VM itself after this call; the cons's internal
+        // references were taken by the LP.
+        Ok(v.obj().expect("cons returns an object"))
+    }
+
+    fn rplaca(&mut self, r: &Id, v: VmValue<Id>) -> Result<(), VmError> {
+        self.lp.rplaca(*r, Self::to_lp(&v)).map_err(Self::lp_err)
+    }
+
+    fn rplacd(&mut self, r: &Id, v: VmValue<Id>) -> Result<(), VmError> {
+        self.lp.rplacd(*r, Self::to_lp(&v)).map_err(Self::lp_err)
+    }
+
+    fn read_in(&mut self, e: &SExpr) -> Result<VmValue<Id>, VmError> {
+        self.lp
+            .readlist(None, e)
+            .map(Self::to_vm)
+            .map_err(Self::lp_err)
+    }
+
+    fn write_out(&mut self, v: &VmValue<Id>) -> SExpr {
+        self.lp
+            .writelist(Self::to_lp(v))
+            .expect("writelist of live value")
+    }
+
+    fn equal(&mut self, a: &VmValue<Id>, b: &VmValue<Id>) -> bool {
+        self.lp
+            .equal(Self::to_lp(a), Self::to_lp(b))
+            .expect("equal of live values")
+    }
+
+    fn retain(&mut self, r: &Id) {
+        self.lp.stack_retain(LpValue::Obj(*r));
+    }
+
+    fn release(&mut self, r: &Id) {
+        self.lp.stack_release(LpValue::Obj(*r));
+    }
+}
+
+/// Ordered-traversal accounting (§5.3.1).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraversalCount {
+    /// LPT touches: 3 per internal node + 1 per leaf.
+    pub touches: u64,
+    /// Touches satisfied by the LPT (everything but first contacts).
+    pub hits: u64,
+    /// First contacts with internal nodes — each costs one heap split.
+    pub misses: u64,
+}
+
+impl TraversalCount {
+    /// Hit rate of the traversal; ≥ 75% is guaranteed (§5.3.1).
+    pub fn hit_rate(&self) -> f64 {
+        if self.touches == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.touches as f64
+        }
+    }
+}
+
+/// Ordered-traversal driver (§5.3.1): visit every node of the object,
+/// touching each internal node three times (before, between, and after
+/// its sub-trees — the traversal super-sequence) and each leaf once.
+/// Identical LP activity for pre-, in-, and post-order traversal; only
+/// the *visit* position differs. Used by the `traversal` repro target
+/// and the guaranteed-hit-rate property test.
+pub fn traverse_preorder<C: HeapController>(
+    lp: &mut ListProcessor<C>,
+    v: LpValue,
+) -> Result<TraversalCount, crate::lp::LpError> {
+    let mut count = TraversalCount::default();
+    go(lp, v, &mut count)?;
+    return Ok(count);
+
+    fn go<C: HeapController>(
+        lp: &mut ListProcessor<C>,
+        v: LpValue,
+        count: &mut TraversalCount,
+    ) -> Result<(), crate::lp::LpError> {
+        match v {
+            // A leaf touch: the atom was delivered from a parent field —
+            // an LPT-satisfied reference (§5.3.1 counts it as a hit).
+            LpValue::Atom(_) => {
+                count.touches += 1;
+                count.hits += 1;
+                Ok(())
+            }
+            LpValue::Obj(id) => {
+                // Touch 1: first contact; the car access splits the heap
+                // object if the node is not yet materialized.
+                let before = lp.stats().misses;
+                let car = lp.car(id)?;
+                count.touches += 1;
+                if lp.stats().misses > before {
+                    count.misses += 1;
+                } else {
+                    count.hits += 1;
+                }
+                go(lp, car, count)?;
+                if let LpValue::Obj(_) = car {
+                    lp.stack_release(car);
+                }
+                // Touch 2: back at the node between its sub-trees.
+                let cdr = lp.cdr(id)?;
+                count.touches += 1;
+                count.hits += 1;
+                go(lp, cdr, count)?;
+                if let LpValue::Obj(_) = cdr {
+                    lp.stack_release(cdr);
+                }
+                // Touch 3: final contact after the right sub-tree (where
+                // a post-order visit — or a merge — would happen).
+                let again = lp.car(id)?;
+                count.touches += 1;
+                count.hits += 1;
+                if let LpValue::Obj(_) = again {
+                    lp.stack_release(again);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LptStats;
+    use small_lisp::compiler::compile_program;
+    use small_lisp::vm::Vm;
+    use small_sexpr::{metrics::np, parse, print, Interner};
+
+    fn run_on_small(src: &str, inputs: &[&str]) -> (String, Vec<SExpr>, LptStats, Interner) {
+        let mut i = Interner::new();
+        let p = compile_program(src, &mut i).expect("compile");
+        let backend = SmallBackend::new(65536, LpConfig::default());
+        let mut vm = Vm::new(p, backend);
+        for src in inputs {
+            vm.input.push_back(parse(src, &mut i).unwrap());
+        }
+        let v = vm.run().expect("run");
+        let out = vm.backend.write_out(&v);
+        // Drop the final value and whatever the machine still holds so
+        // the garbage accounting check is exact.
+        if let small_lisp::vm::VmValue::List(id) = v {
+            vm.backend.release(&id);
+        }
+        vm.shutdown();
+        // Lazy child decrements park garbage on the free stack until
+        // reallocation; drain them.
+        vm.backend.lp.drain_lazy();
+        let stats = vm.backend.lp.stats();
+        let occupancy = vm.backend.lp.occupancy();
+        assert_eq!(
+            occupancy, 0,
+            "all garbage must be detected by program end (§5.3.2)"
+        );
+        (print(&out, &i), vm.output, stats, i)
+    }
+
+    #[test]
+    fn factorial_runs_on_small() {
+        let src = "
+        (def fact (lambda (x)
+          (cond ((equal x 0) 1)
+                (t (times x (fact (sub x 1)))))))
+        (fact 10)";
+        let (out, _, _, _) = run_on_small(src, &[]);
+        assert_eq!(out, "3628800");
+    }
+
+    #[test]
+    fn list_program_runs_on_small_with_lpt_hits() {
+        let src = "
+        (def app (lambda (a b)
+          (cond ((null a) b)
+                (t (cons (car a) (app (cdr a) b))))))
+        (app '(1 2 3 4) '(5 6))";
+        let (out, _, stats, _) = run_on_small(src, &[]);
+        assert_eq!(out, "(1 2 3 4 5 6)");
+        assert!(stats.gets > 0);
+        assert!(stats.frees > 0, "transient structure must be reclaimed");
+    }
+
+    #[test]
+    fn figure_4_15_program_on_small() {
+        let src = "
+        (def printit (lambda (junk) (write (cdr junk))))
+        (def doit (lambda ()
+          (prog (lst)
+            (read lst)
+            (printit lst)
+            (setq lst (cdr (cdr lst)))
+            (return lst))))
+        (doit)";
+        let (out, written, _, i) = run_on_small(src, &["(a b c d)"]);
+        assert_eq!(out, "(c d)");
+        assert_eq!(print(&written[0], &i), "(b c d)");
+    }
+
+    #[test]
+    fn destructive_update_on_small() {
+        let src = "
+        (prog (x)
+          (setq x '(1 2 3))
+          (rplaca x 9)
+          (rplacd (cdr x) '(7))
+          (return x))";
+        let (out, _, _, _) = run_on_small(src, &[]);
+        assert_eq!(out, "(9 2 7)");
+    }
+
+    #[test]
+    fn small_and_direct_backends_agree() {
+        let src = "
+        (def rev (lambda (l acc)
+          (cond ((null l) acc)
+                (t (rev (cdr l) (cons (car l) acc))))))
+        (rev '(1 (2 a) 3 4 5) nil)";
+        let mut i1 = Interner::new();
+        let p1 = compile_program(src, &mut i1).unwrap();
+        let mut vm1 = Vm::new(p1, small_lisp::vm::DirectBackend::new(4096));
+        let v1 = vm1.run().unwrap();
+        let direct = print(&vm1.backend.write_out(&v1), &i1);
+
+        let (small, _, _, _) = run_on_small(src, &[]);
+        assert_eq!(direct, small);
+    }
+
+    #[test]
+    fn traversal_guarantees_75_percent_hit_rate() {
+        // §5.3.1: a complete traversal of a list with n atoms and p
+        // internal parens does exactly n+p splits and guarantees a 75%
+        // hit rate (3 internal-node touches, 1 leaf touch each).
+        let mut i = Interner::new();
+        for src in [
+            "(((A B) C D) E F G)",
+            "(A B C (D E) F G)",
+            "(A (B (C (D E F) G)))",
+            "(A)",
+        ] {
+            let e = parse(src, &mut i).unwrap();
+            let m = np(&e);
+            let backend = SmallBackend::new(4096, LpConfig::default());
+            let mut lp = backend.lp;
+            let v = lp.readlist(None, &e).unwrap();
+            let count = traverse_preorder(&mut lp, v).unwrap();
+            assert_eq!(
+                count.misses as usize,
+                m.n + m.p,
+                "{src}: splits must equal n+p"
+            );
+            // 3(n+p) internal touches + (n+p+1) leaf touches.
+            assert_eq!(count.touches as usize, 4 * (m.n + m.p) + 1, "{src}");
+            assert!(
+                count.hit_rate() >= 0.75 - 1e-9,
+                "{src}: traversal hit rate {} below the guaranteed 75%",
+                count.hit_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn traversal_is_refcount_neutral() {
+        let mut i = Interner::new();
+        let e = parse("((a b) (c (d)) e)", &mut i).unwrap();
+        let backend = SmallBackend::new(4096, LpConfig::default());
+        let mut lp = backend.lp;
+        let v = lp.readlist(None, &e).unwrap();
+        traverse_preorder(&mut lp, v).unwrap();
+        lp.stack_release(v);
+        // Everything was reachable from v; after the deferred decrements
+        // run, the whole structure must be detected as garbage.
+        lp.drain_lazy();
+        assert_eq!(lp.occupancy(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The EP/LP concurrency model (§4.3.2.5, Figures 4.10–4.13).
+//!
+//! The thesis does not fix absolute times; it builds timing diagrams
+//! from implementation-dependent parameters (LPT access time, entry
+//! modification time, reference-count update time, name lookup time,
+//! heap latency) and reads off where the EP idles and where EP and LP
+//! overlap. [`TimingModel`] reproduces those diagrams: each primitive
+//! yields a [`OpTiming`] with the EP-visible latency, the LP's total
+//! busy time, and the post-response LP work that overlaps continued EP
+//! execution — plus a whole-stream aggregator that accounts for the
+//! §4.3.2.5 caveat: a new EP request must wait until the LP has finished
+//! the previous operation's tail work (the chaining stall).
+
+/// Cost parameters, in abstract cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingModel {
+    /// EP: environment interrogation for one name.
+    pub ep_lookup: u64,
+    /// EP→LP (or LP→EP) message transfer.
+    pub bus: u64,
+    /// LP: one LPT access (index + field read).
+    pub lpt_access: u64,
+    /// LP: one LPT entry allocation (free-stack pop + init).
+    pub lpt_alloc: u64,
+    /// LP: one field update.
+    pub lpt_update: u64,
+    /// LP: one reference-count update.
+    pub refcount: u64,
+    /// Heap: one split or merge.
+    pub heap_split: u64,
+    /// Heap: list input (per read request).
+    pub heap_io: u64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        // The relative magnitudes of the thesis diagrams: LPT operations
+        // are register-file fast, heap operations an order slower, I/O
+        // slower still.
+        TimingModel {
+            ep_lookup: 2,
+            bus: 1,
+            lpt_access: 1,
+            lpt_alloc: 2,
+            lpt_update: 1,
+            refcount: 1,
+            heap_split: 10,
+            heap_io: 50,
+        }
+    }
+}
+
+/// The four timed LP request kinds of Figures 4.10–4.13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedOp {
+    /// Figure 4.10: `readlist`.
+    ReadList,
+    /// Figure 4.11: car/cdr satisfied from the LPT.
+    AccessHit,
+    /// Figure 4.11 with splitting: car/cdr that goes to the heap.
+    AccessMiss,
+    /// Figure 4.12: rplaca/rplacd (fields present).
+    Modify,
+    /// Figure 4.13: cons.
+    Cons,
+}
+
+/// Timing decomposition of one EP-issued operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// EP work before the request (environment interrogation).
+    pub ep_pre: u64,
+    /// Time from request to the LP's response — the EP is *blocked*
+    /// (idle) for whatever part of this it cannot fill with other work.
+    pub latency: u64,
+    /// LP work remaining after it has already responded — overlapped
+    /// with continued EP evaluation (the concurrency win of §4.3.2.5).
+    pub lp_tail: u64,
+}
+
+impl OpTiming {
+    /// Total LP busy time for the operation.
+    pub fn lp_busy(&self) -> u64 {
+        self.latency + self.lp_tail
+    }
+
+    /// Fraction of LP work hidden behind EP execution.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.lp_busy() == 0 {
+            0.0
+        } else {
+            self.lp_tail as f64 / self.lp_busy() as f64
+        }
+    }
+}
+
+impl TimingModel {
+    /// The Figure 4.10–4.13 decomposition for one operation.
+    pub fn op(&self, op: TimedOp) -> OpTiming {
+        match op {
+            // Figure 4.10: the LP cannot respond until I/O completes
+            // (the type tag of the value is unknown until then); the EP
+            // idles for the full I/O. Afterwards the LP still updates
+            // the new entry's fields.
+            TimedOp::ReadList => OpTiming {
+                ep_pre: self.ep_lookup,
+                latency: self.bus + self.heap_io + self.lpt_alloc + self.bus,
+                lp_tail: 2 * self.lpt_update,
+            },
+            // Figure 4.11 (hit): respond with the field value, then
+            // update the returned object's reference count.
+            TimedOp::AccessHit => OpTiming {
+                ep_pre: self.ep_lookup,
+                latency: self.bus + self.lpt_access + self.bus,
+                lp_tail: self.refcount,
+            },
+            // Figure 4.11 (miss): the split must complete before the
+            // response (the piece could be an atom, and its type tag
+            // must come from the heap); setting up the two child
+            // entries' remaining fields overlaps.
+            TimedOp::AccessMiss => OpTiming {
+                ep_pre: self.ep_lookup,
+                latency: self.bus + self.lpt_access + self.heap_split + 2 * self.lpt_alloc
+                    + self.bus,
+                lp_tail: 2 * self.lpt_update + self.refcount,
+            },
+            // Figure 4.12: control returns to the EP while the LPT
+            // changes are still being made.
+            TimedOp::Modify => OpTiming {
+                ep_pre: 2 * self.ep_lookup,
+                latency: self.bus + self.lpt_access + self.bus,
+                lp_tail: self.lpt_update + 2 * self.refcount,
+            },
+            // Figure 4.13: the identifier is returned as soon as the
+            // entry is allocated; field setting and the two child
+            // refcount updates proceed in parallel with the EP.
+            TimedOp::Cons => OpTiming {
+                ep_pre: 2 * self.ep_lookup,
+                latency: self.bus + self.lpt_alloc + self.bus,
+                lp_tail: 2 * self.lpt_update + 2 * self.refcount,
+            },
+        }
+    }
+
+    /// Aggregate a stream of operations with inter-operation EP work
+    /// (`ep_gap` cycles between requests): returns total elapsed time,
+    /// EP idle time, and LP idle time, modeling the §4.3.2.5 stall — the
+    /// LP accepts a new request only after finishing the previous tail.
+    pub fn run_stream<I: IntoIterator<Item = TimedOp>>(
+        &self,
+        ops: I,
+        ep_gap: u64,
+    ) -> StreamTiming {
+        let mut now = 0u64; // EP clock
+        let mut lp_free_at = 0u64;
+        let mut ep_idle = 0u64;
+        let mut lp_busy_total = 0u64;
+        let mut count = 0u64;
+        for op in ops {
+            let t = self.op(op);
+            now += t.ep_pre;
+            // Wait for the LP to accept the request.
+            if lp_free_at > now {
+                ep_idle += lp_free_at - now;
+                now = lp_free_at;
+            }
+            // Blocked for the response latency.
+            now += t.latency;
+            ep_idle += t.latency;
+            lp_free_at = now + t.lp_tail;
+            lp_busy_total += t.lp_busy();
+            now += ep_gap; // EP-side evaluation between list operations
+            count += 1;
+        }
+        let total = now.max(lp_free_at);
+        StreamTiming {
+            total,
+            ep_idle,
+            lp_idle: total - lp_busy_total.min(total),
+            ops: count,
+        }
+    }
+}
+
+/// Aggregated timing over an operation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTiming {
+    /// Elapsed cycles.
+    pub total: u64,
+    /// Cycles the EP spent blocked on the LP.
+    pub ep_idle: u64,
+    /// Cycles the LP spent idle.
+    pub lp_idle: u64,
+    /// Operations executed.
+    pub ops: u64,
+}
+
+impl StreamTiming {
+    /// EP utilization.
+    pub fn ep_utilization(&self) -> f64 {
+        1.0 - self.ep_idle as f64 / self.total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cons_has_short_latency_long_tail() {
+        // Figure 4.13's point: the EP gets its answer almost
+        // immediately; most LP work overlaps.
+        let m = TimingModel::default();
+        let t = m.op(TimedOp::Cons);
+        assert!(t.latency < t.lp_tail + t.latency);
+        assert!(t.overlap_fraction() >= 0.4, "{}", t.overlap_fraction());
+    }
+
+    #[test]
+    fn readlist_blocks_the_ep() {
+        // Figure 4.10: the EP must idle for the I/O.
+        let m = TimingModel::default();
+        let t = m.op(TimedOp::ReadList);
+        assert!(t.latency > m.heap_io);
+        assert!(t.overlap_fraction() < 0.1);
+    }
+
+    #[test]
+    fn miss_latency_exceeds_hit_latency() {
+        let m = TimingModel::default();
+        assert!(m.op(TimedOp::AccessMiss).latency > m.op(TimedOp::AccessHit).latency);
+    }
+
+    #[test]
+    fn chained_requests_stall_on_lp_tail() {
+        // §4.3.2.5: consecutive conses with no EP work between them make
+        // the EP wait for the LP to become ready — visible whenever the
+        // LP tail work exceeds the EP's own per-operation work.
+        let m = TimingModel {
+            lpt_update: 3,
+            refcount: 3,
+            ..TimingModel::default()
+        };
+        assert!(m.op(TimedOp::Cons).lp_tail > m.op(TimedOp::Cons).ep_pre);
+        let tight = m.run_stream(std::iter::repeat_n(TimedOp::Cons, 100), 0);
+        let spaced = m.run_stream(std::iter::repeat_n(TimedOp::Cons, 100), 20);
+        assert!(
+            tight.ep_idle > spaced.ep_idle,
+            "back-to-back requests must stall more ({} vs {})",
+            tight.ep_idle,
+            spaced.ep_idle
+        );
+        assert!(spaced.ep_utilization() > tight.ep_utilization());
+    }
+
+    #[test]
+    fn stream_accounting_consistent() {
+        let m = TimingModel::default();
+        let s = m.run_stream([TimedOp::AccessHit, TimedOp::Cons, TimedOp::Modify], 5);
+        assert_eq!(s.ops, 3);
+        assert!(s.total >= s.ep_idle);
+        assert!(s.total >= s.lp_idle);
+    }
+}

@@ -1,0 +1,391 @@
+//! MIT-Lisp-machine style cdr-coded list representation (Figure 2.8).
+//!
+//! Each cell is a full-width car word plus a 2-bit *cdr code*:
+//!
+//! * [`CdrCode::Next`] — the cdr is the cell at the next address,
+//! * [`CdrCode::Nil`] — the cdr is `nil` (end of a vector run),
+//! * [`CdrCode::Normal`] — the cdr *pointer* is stored in the car word of
+//!   the next cell, which is tagged [`CdrCode::Error`]; the pair together
+//!   behaves like one two-pointer cell,
+//! * [`CdrCode::Error`] — the second half of a `Normal` pair.
+//!
+//! Linear lists are laid out as contiguous `Next…Next Nil` runs, giving
+//! the space efficiency and prefetchable addressing of a vector-coded
+//! representation. Destructive `rplacd` on a `Next`/`Nil` cell cannot be
+//! done in place; following the MIT scheme the cell is rewritten as an
+//! **invisible pointer** to a freshly allocated `Normal`/`Error` pair
+//! (§2.3.3.1), which accessors chase transparently.
+
+use crate::word::{HeapAddr, Tag, Word};
+
+/// The 2-bit cdr code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CdrCode {
+    /// Cdr is the next cell.
+    Next = 0,
+    /// Cdr is nil.
+    Nil = 1,
+    /// Cdr pointer is in the next cell (which is `Error`).
+    Normal = 2,
+    /// Second word of a `Normal` pair.
+    Error = 3,
+}
+
+/// A cdr-coded heap: parallel arrays of car words and cdr codes with a
+/// bump allocator (compacting reclamation is left to a copying collector;
+/// the SMALL machine itself reclaims via the LPT instead, §5.3.2).
+pub struct CdrCodedHeap {
+    cars: Vec<Word>,
+    codes: Vec<CdrCode>,
+    /// Next free slot (bump pointer).
+    top: usize,
+}
+
+impl CdrCodedHeap {
+    /// Create a heap with room for `cells` cdr-coded cells.
+    pub fn with_capacity(cells: usize) -> Self {
+        CdrCodedHeap {
+            cars: vec![Word::UNUSED; cells],
+            codes: vec![CdrCode::Nil; cells],
+            top: 0,
+        }
+    }
+
+    /// Cells allocated so far.
+    pub fn used(&self) -> usize {
+        self.top
+    }
+
+    /// Total capacity in cells.
+    pub fn capacity(&self) -> usize {
+        self.cars.len()
+    }
+
+    fn bump(&mut self, n: usize) -> Option<usize> {
+        if self.top + n > self.cars.len() {
+            return None;
+        }
+        let at = self.top;
+        self.top += n;
+        Some(at)
+    }
+
+    /// Chase invisible pointers to the cell that actually holds data.
+    fn resolve(&self, mut addr: HeapAddr) -> HeapAddr {
+        while self.cars[addr.index()].tag() == Tag::Invisible {
+            addr = self.cars[addr.index()].addr();
+        }
+        addr
+    }
+
+    /// The car of the cell at `addr`.
+    pub fn car(&self, addr: HeapAddr) -> Word {
+        let a = self.resolve(addr);
+        self.cars[a.index()]
+    }
+
+    /// The cdr of the cell at `addr`, interpreted per its cdr code.
+    pub fn cdr(&self, addr: HeapAddr) -> Word {
+        let a = self.resolve(addr).index();
+        match self.codes[a] {
+            CdrCode::Next => Word::ptr(HeapAddr((a + 1) as u32)),
+            CdrCode::Nil => Word::NIL,
+            CdrCode::Normal => self.cars[a + 1],
+            CdrCode::Error => panic!("cdr of cdr-error cell {a}"),
+        }
+    }
+
+    /// Replace the car (`rplaca`): always possible in place.
+    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) {
+        let a = self.resolve(addr);
+        self.cars[a.index()] = w;
+    }
+
+    /// Replace the cdr (`rplacd`).
+    ///
+    /// For a `Normal` cell this is an in-place write of the second word.
+    /// For `Next`/`Nil` cells a fresh `Normal`/`Error` pair is allocated,
+    /// the old cell becomes an invisible pointer to it, and subsequent
+    /// accesses are forwarded. Returns `false` if allocation failed.
+    #[must_use]
+    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) -> bool {
+        let a = self.resolve(addr).index();
+        match self.codes[a] {
+            CdrCode::Normal => {
+                self.cars[a + 1] = w;
+                true
+            }
+            CdrCode::Next | CdrCode::Nil => {
+                let Some(at) = self.bump(2) else {
+                    return false;
+                };
+                self.cars[at] = self.cars[a];
+                self.codes[at] = CdrCode::Normal;
+                self.cars[at + 1] = w;
+                self.codes[at + 1] = CdrCode::Error;
+                self.cars[a] = Word::invisible(HeapAddr(at as u32));
+                true
+            }
+            CdrCode::Error => panic!("rplacd of cdr-error cell {a}"),
+        }
+    }
+
+    /// Cons: allocate a `Normal`/`Error` pair (or a single `Nil` cell when
+    /// the cdr is nil — the linearizing special case that keeps freshly
+    /// consed lists compact, cf. Clark's linearization findings §3.2.1).
+    pub fn cons(&mut self, car: Word, cdr: Word) -> Option<HeapAddr> {
+        if cdr.is_nil() {
+            let at = self.bump(1)?;
+            self.cars[at] = car;
+            self.codes[at] = CdrCode::Nil;
+            Some(HeapAddr(at as u32))
+        } else {
+            let at = self.bump(2)?;
+            self.cars[at] = car;
+            self.codes[at] = CdrCode::Normal;
+            self.cars[at + 1] = cdr;
+            self.codes[at + 1] = CdrCode::Error;
+            Some(HeapAddr(at as u32))
+        }
+    }
+
+    /// Read a whole s-expression in, laying each proper-list level out as
+    /// a contiguous cdr-coded run. Returns the value word.
+    pub fn intern(&mut self, expr: &small_sexpr::SExpr) -> Option<Word> {
+        use small_sexpr::{Atom, SExpr};
+        match expr {
+            SExpr::Nil => Some(Word::NIL),
+            SExpr::Atom(Atom::Int(i)) => Some(Word::int(*i)),
+            SExpr::Atom(Atom::Sym(s)) => Some(Word::sym(s.0)),
+            SExpr::Cons(_) => {
+                // Collect the top-level elements and any dotted tail.
+                let mut elems = Vec::new();
+                let mut cur = expr.clone();
+                let tail = loop {
+                    match cur {
+                        SExpr::Cons(c) => {
+                            elems.push(c.0.clone());
+                            cur = c.1.clone();
+                        }
+                        SExpr::Nil => break None,
+                        atom => break Some(atom),
+                    }
+                };
+                // Intern elements first (their runs live elsewhere).
+                let words: Vec<Word> = elems
+                    .iter()
+                    .map(|e| self.intern(e))
+                    .collect::<Option<_>>()?;
+                let tail_word = match &tail {
+                    Some(t) => Some(self.intern(t)?),
+                    None => None,
+                };
+                let extra = usize::from(tail_word.is_some());
+                let at = self.bump(words.len() + extra)?;
+                for (i, w) in words.iter().enumerate() {
+                    self.cars[at + i] = *w;
+                    self.codes[at + i] = CdrCode::Next;
+                }
+                match tail_word {
+                    None => self.codes[at + words.len() - 1] = CdrCode::Nil,
+                    Some(tw) => {
+                        self.codes[at + words.len() - 1] = CdrCode::Normal;
+                        self.cars[at + words.len()] = tw;
+                        self.codes[at + words.len()] = CdrCode::Error;
+                    }
+                }
+                Some(Word::ptr(HeapAddr(at as u32)))
+            }
+        }
+    }
+
+    /// Reconstruct the s-expression for a value word.
+    pub fn extract(&self, w: Word) -> small_sexpr::SExpr {
+        use small_sexpr::SExpr;
+        match w.tag() {
+            Tag::Nil => SExpr::Nil,
+            Tag::Int => SExpr::int(w.as_int()),
+            Tag::Sym => SExpr::sym(small_sexpr::Symbol(w.as_sym())),
+            Tag::Ptr => {
+                let a = w.addr();
+                SExpr::cons(self.extract(self.car(a)), self.extract(self.cdr(a)))
+            }
+            Tag::Invisible => self.extract(self.cars[w.addr().index()]),
+            t => panic!("extract of tag {t:?}"),
+        }
+    }
+
+    /// Space used, in memory *words*, counting each cdr code as 1/32 of a
+    /// word (codes pack 16-to-a-32-bit-word in hardware). Used by the
+    /// representation-comparison bench.
+    pub fn words_used(&self) -> f64 {
+        self.top as f64 * (1.0 + 2.0 / 64.0)
+    }
+}
+
+/// A [`crate::controller::HeapController`] over the cdr-coded store —
+/// the third representation behind the generic LP. Splitting a
+/// cdr-coded object is cheap (§4.3.3.2: the car is the element word and
+/// the cdr is simply the next cell of the run); merging allocates a
+/// `Normal`/`Error` pair. The store is bump-allocated, so `free_object`
+/// only counts reclaimable cells — compaction would be a copying
+/// collector's job, which the SMALL machine replaces with LPT
+/// reclamation (§5.3.2); suitable for benches and bounded runs.
+pub struct CdrCodedController {
+    heap: CdrCodedHeap,
+    stats: crate::controller::ControllerStats,
+}
+
+impl CdrCodedController {
+    /// A controller over a heap of `cells` cdr-coded cells.
+    pub fn new(cells: usize) -> Self {
+        CdrCodedController {
+            heap: CdrCodedHeap::with_capacity(cells),
+            stats: crate::controller::ControllerStats::default(),
+        }
+    }
+
+    /// The backing store.
+    pub fn heap(&self) -> &CdrCodedHeap {
+        &self.heap
+    }
+}
+
+impl crate::controller::HeapController for CdrCodedController {
+    fn read_in(
+        &mut self,
+        expr: &small_sexpr::SExpr,
+    ) -> Result<Word, crate::controller::HeapError> {
+        self.stats.read_ins += 1;
+        self.heap
+            .intern(expr)
+            .ok_or(crate::controller::HeapError::Exhausted)
+    }
+
+    fn split(
+        &mut self,
+        addr: HeapAddr,
+    ) -> Result<crate::controller::SplitResult, crate::controller::HeapError> {
+        self.stats.splits += 1;
+        let car = self.heap.car(addr);
+        let cdr = self.heap.cdr(addr);
+        // The consumed head cell of the run is not compacted away (bump
+        // store); count it as logically freed.
+        self.stats.cells_freed += 1;
+        Ok(crate::controller::SplitResult { car, cdr })
+    }
+
+    fn merge(&mut self, car: Word, cdr: Word) -> Result<HeapAddr, crate::controller::HeapError> {
+        self.stats.merges += 1;
+        self.heap
+            .cons(car, cdr)
+            .ok_or(crate::controller::HeapError::Exhausted)
+    }
+
+    fn free_object(&mut self, _addr: HeapAddr) {
+        // Logical free only (see type-level docs).
+        self.stats.frees_queued += 1;
+    }
+
+    fn extract(&self, w: Word) -> small_sexpr::SExpr {
+        self.heap.extract(w)
+    }
+
+    fn stats(&self) -> crate::controller::ControllerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::{parse, print, Interner};
+
+    fn roundtrip(src: &str) {
+        let mut i = Interner::new();
+        let e = parse(src, &mut i).unwrap();
+        let mut h = CdrCodedHeap::with_capacity(256);
+        let w = h.intern(&e).unwrap();
+        assert_eq!(print(&h.extract(w), &i), print(&e, &i), "{src}");
+    }
+
+    #[test]
+    fn intern_extract_roundtrips() {
+        roundtrip("(a b c (d e) f g)");
+        roundtrip("(a (b (c (d e f) g)))");
+        roundtrip("(a . b)");
+        roundtrip("(a b . c)");
+        roundtrip("nil");
+        roundtrip("(nil nil)");
+    }
+
+    #[test]
+    fn linear_list_is_compact() {
+        let mut i = Interner::new();
+        let e = parse("(a b c d e f g h)", &mut i).unwrap();
+        let mut h = CdrCodedHeap::with_capacity(64);
+        h.intern(&e).unwrap();
+        // 8 elements → exactly 8 cells (two-pointer needs 8 cells = 16 words).
+        assert_eq!(h.used(), 8);
+    }
+
+    #[test]
+    fn cdr_walk_follows_codes() {
+        let mut i = Interner::new();
+        let e = parse("(1 2 3)", &mut i).unwrap();
+        let mut h = CdrCodedHeap::with_capacity(64);
+        let w = h.intern(&e).unwrap();
+        let a = w.addr();
+        assert_eq!(h.car(a).as_int(), 1);
+        let b = h.cdr(a).addr();
+        assert_eq!(h.car(b).as_int(), 2);
+        let c = h.cdr(b).addr();
+        assert_eq!(h.car(c).as_int(), 3);
+        assert!(h.cdr(c).is_nil());
+    }
+
+    #[test]
+    fn rplaca_in_place() {
+        let mut i = Interner::new();
+        let e = parse("(1 2)", &mut i).unwrap();
+        let mut h = CdrCodedHeap::with_capacity(64);
+        let w = h.intern(&e).unwrap();
+        let used = h.used();
+        h.rplaca(w.addr(), Word::int(99));
+        assert_eq!(h.used(), used, "rplaca must not allocate");
+        assert_eq!(h.car(w.addr()).as_int(), 99);
+    }
+
+    #[test]
+    fn rplacd_on_compact_cell_forwards_invisibly() {
+        let mut i = Interner::new();
+        let e = parse("(1 2 3)", &mut i).unwrap();
+        let mut h = CdrCodedHeap::with_capacity(64);
+        let w = h.intern(&e).unwrap();
+        let a = w.addr();
+        // (rplacd x '(9)) → list becomes (1 9)
+        let nine = h.intern(&parse("(9)", &mut i).unwrap()).unwrap();
+        assert!(h.rplacd(a, nine));
+        let got = h.extract(w);
+        assert_eq!(print(&got, &i), "(1 9)");
+        // Old cell now forwards; car still accessible through it.
+        assert_eq!(h.car(a).as_int(), 1);
+    }
+
+    #[test]
+    fn cons_onto_existing_list() {
+        let mut i = Interner::new();
+        let mut h = CdrCodedHeap::with_capacity(64);
+        let tail = h.intern(&parse("(2 3)", &mut i).unwrap()).unwrap();
+        let a = h.cons(Word::int(1), tail).unwrap();
+        assert_eq!(print(&h.extract(Word::ptr(a)), &i), "(1 2 3)");
+    }
+
+    #[test]
+    fn allocation_failure_reported() {
+        let mut i = Interner::new();
+        let mut h = CdrCodedHeap::with_capacity(2);
+        assert!(h.intern(&parse("(1 2 3)", &mut i).unwrap()).is_none());
+    }
+}

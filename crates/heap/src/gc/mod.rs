@@ -1,0 +1,16 @@
+//! Garbage collection for the two-pointer heap (§2.3.4).
+//!
+//! The thesis surveys the two families of garbage detection — **marking**
+//! and **reference counting** — plus **copying** collectors (Baker-style,
+//! incremental). All three are implemented here as substrates/baselines;
+//! the SMALL machine itself reclaims transient cells through the LPT
+//! (§5.3.2) and only needs the heap-level collectors for long-lived
+//! structure.
+
+pub mod copying;
+pub mod mark_sweep;
+pub mod refcount;
+
+pub use copying::CopyingHeap;
+pub use mark_sweep::MarkSweep;
+pub use refcount::RefCountHeap;

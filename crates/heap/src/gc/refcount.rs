@@ -1,0 +1,216 @@
+//! Reference-counting heap management (Collins, §2.3.4).
+//!
+//! A count per cell of the extant pointers to it; a cell is garbage the
+//! moment its count reaches zero. This wrapper mediates all pointer
+//! writes so the counts stay consistent (the "distributed cost" the
+//! thesis describes: every heap user pays a little on every operation).
+//!
+//! The classic drawbacks are faithfully reproduced and tested:
+//!
+//! * releasing a cell can trigger an **unbounded cascade** of child
+//!   releases (the real-time hazard SMALL's lazy free-stack avoids),
+//! * **circular garbage is never reclaimed** (see
+//!   `cycles_leak_without_marking`).
+
+use crate::two_pointer::TwoPointerHeap;
+use crate::word::{HeapAddr, Tag, Word};
+
+/// A reference-counted two-pointer heap.
+pub struct RefCountHeap {
+    heap: TwoPointerHeap,
+    counts: Vec<u32>,
+    /// Statistics: reference-count update operations performed.
+    pub refops: u64,
+    /// Statistics: the longest release cascade observed (in cells).
+    pub max_cascade: usize,
+}
+
+impl RefCountHeap {
+    /// Create a heap with room for `cells` cells.
+    pub fn with_capacity(cells: usize) -> Self {
+        RefCountHeap {
+            heap: TwoPointerHeap::with_capacity(cells),
+            counts: vec![0; cells],
+            refops: 0,
+            max_cascade: 0,
+        }
+    }
+
+    /// Access the underlying heap read-only.
+    pub fn heap(&self) -> &TwoPointerHeap {
+        &self.heap
+    }
+
+    /// The reference count of a cell.
+    pub fn count(&self, a: HeapAddr) -> u32 {
+        self.counts[a.index()]
+    }
+
+    #[inline]
+    fn incref_word(&mut self, w: Word) {
+        if matches!(w.tag(), Tag::Ptr | Tag::Invisible) {
+            self.counts[w.addr().index()] += 1;
+            self.refops += 1;
+        }
+    }
+
+    /// Allocate a cons whose result is held by the caller (count = 1).
+    /// The pointees' counts are incremented.
+    pub fn cons(&mut self, car: Word, cdr: Word) -> Option<HeapAddr> {
+        let a = self.heap.alloc(car, cdr)?;
+        self.counts[a.index()] = 1;
+        self.incref_word(car);
+        self.incref_word(cdr);
+        Some(a)
+    }
+
+    /// Take an additional reference to a value.
+    pub fn retain(&mut self, w: Word) {
+        self.incref_word(w);
+    }
+
+    /// Release one reference to a value, cascading frees as counts hit
+    /// zero. Returns the number of cells reclaimed by this release.
+    pub fn release(&mut self, w: Word) -> usize {
+        let mut stack: Vec<HeapAddr> = Vec::new();
+        if matches!(w.tag(), Tag::Ptr | Tag::Invisible) {
+            stack.push(w.addr());
+        }
+        let mut freed = 0;
+        let mut cascade = 0;
+        while let Some(a) = stack.pop() {
+            self.refops += 1;
+            let c = &mut self.counts[a.index()];
+            debug_assert!(*c > 0, "release of zero-count cell {a}");
+            *c -= 1;
+            if *c == 0 {
+                cascade += 1;
+                let car = self.heap.raw_car(a);
+                let cdr = self.heap.raw_cdr(a);
+                if matches!(car.tag(), Tag::Ptr | Tag::Invisible) {
+                    stack.push(car.addr());
+                }
+                if matches!(cdr.tag(), Tag::Ptr | Tag::Invisible) {
+                    stack.push(cdr.addr());
+                }
+                self.heap.free_cell(a);
+                freed += 1;
+            }
+        }
+        self.max_cascade = self.max_cascade.max(cascade);
+        freed
+    }
+
+    /// `car` with no count change (reading does not create a reference in
+    /// this model; the caller retains if it stores the value).
+    pub fn car(&self, a: HeapAddr) -> Word {
+        self.heap.car(a)
+    }
+
+    /// `cdr` with no count change.
+    pub fn cdr(&self, a: HeapAddr) -> Word {
+        self.heap.cdr(a)
+    }
+
+    /// `rplaca` with write barrier: old car released, new car retained.
+    pub fn rplaca(&mut self, a: HeapAddr, w: Word) {
+        let old = self.heap.raw_car(a);
+        self.incref_word(w);
+        self.heap.rplaca(a, w);
+        self.release(old);
+    }
+
+    /// `rplacd` with write barrier.
+    pub fn rplacd(&mut self, a: HeapAddr, w: Word) {
+        let old = self.heap.raw_cdr(a);
+        self.incref_word(w);
+        self.heap.rplacd(a, w);
+        self.release(old);
+    }
+
+    /// Live cell count.
+    pub fn live(&self) -> usize {
+        self.heap.live()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_frees_immediately() {
+        let mut h = RefCountHeap::with_capacity(8);
+        let a = h.cons(Word::int(1), Word::NIL).unwrap();
+        assert_eq!(h.live(), 1);
+        assert_eq!(h.release(Word::ptr(a)), 1);
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn shared_cell_survives_one_release() {
+        let mut h = RefCountHeap::with_capacity(8);
+        let shared = h.cons(Word::int(7), Word::NIL).unwrap();
+        let a = h.cons(Word::ptr(shared), Word::NIL).unwrap();
+        let b = h.cons(Word::ptr(shared), Word::NIL).unwrap();
+        assert_eq!(h.count(shared), 3); // caller + a + b
+        h.release(Word::ptr(shared)); // caller drops its reference
+        assert_eq!(h.release(Word::ptr(a)), 1);
+        assert_eq!(h.live(), 2); // b and shared
+        assert_eq!(h.release(Word::ptr(b)), 2);
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn release_cascade_is_unbounded() {
+        // A 100-cell list releases in one cascade — the real-time hazard.
+        let mut h = RefCountHeap::with_capacity(128);
+        let mut tail = Word::NIL;
+        for i in 0..100 {
+            let a = h.cons(Word::int(i), tail).unwrap();
+            if matches!(tail.tag(), Tag::Ptr) {
+                // list spine holds the only ref now
+                h.release(tail);
+            }
+            tail = Word::ptr(a);
+        }
+        assert_eq!(h.live(), 100);
+        assert_eq!(h.release(tail), 100);
+        assert_eq!(h.max_cascade, 100);
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn cycles_leak_without_marking() {
+        let mut h = RefCountHeap::with_capacity(8);
+        let a = h.cons(Word::int(1), Word::NIL).unwrap();
+        let b = h.cons(Word::int(2), Word::ptr(a)).unwrap();
+        h.rplacd(a, Word::ptr(b)); // cycle a <-> b
+        // Drop both external references.
+        h.release(Word::ptr(a));
+        h.release(Word::ptr(b));
+        // Both cells leak: counts never hit zero.
+        assert_eq!(h.live(), 2, "reference counting cannot reclaim cycles");
+        assert!(h.count(a) > 0 && h.count(b) > 0);
+    }
+
+    #[test]
+    fn rplaca_write_barrier_frees_old_target() {
+        let mut h = RefCountHeap::with_capacity(8);
+        let old = h.cons(Word::int(1), Word::NIL).unwrap();
+        let holder = h.cons(Word::ptr(old), Word::NIL).unwrap();
+        h.release(Word::ptr(old)); // only holder refers to `old` now
+        assert_eq!(h.live(), 2);
+        h.rplaca(holder, Word::int(5));
+        assert_eq!(h.live(), 1, "old car must be reclaimed by the barrier");
+    }
+
+    #[test]
+    fn refops_are_counted() {
+        let mut h = RefCountHeap::with_capacity(8);
+        let a = h.cons(Word::int(1), Word::NIL).unwrap();
+        let before = h.refops;
+        h.retain(Word::ptr(a));
+        assert_eq!(h.refops, before + 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! The linked-vector list representation (Figure 2.7, after Li & Hudak).
+//!
+//! Lists are stored as vectors of tagged elements. Each element carries a
+//! 2-bit tag distinguishing the four cases the thesis enumerates
+//! (§2.3.3.1): *cdr is nil*, *cdr starts at the next cell*, *this cell is
+//! an indirection*, and *this cell is unused*. Indirection cells let a
+//! vector point into another vector (or at `nil`), which is how
+//! destructive updates and list extension are represented without
+//! recopying; unused cells make deletion possible without immediate
+//! compaction.
+
+use crate::word::{HeapAddr, Tag, Word};
+
+/// 2-bit element tag of the linked-vector scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum VTag {
+    /// Default cell: holds a list element; cdr is the next cell.
+    Default = 0,
+    /// Default cell that ends the list: holds an element; cdr is nil.
+    DefaultNil = 1,
+    /// Indirection: the word is a pointer to an element in another vector
+    /// (or nil); this cell holds no element itself.
+    Indirect = 2,
+    /// Unused cell: skipped during traversal.
+    Unused = 3,
+}
+
+/// Result of chasing indirections from an address.
+enum Resolved {
+    /// A data cell at this address.
+    Data(HeapAddr),
+    /// The chain ended at a non-pointer value (nil or a dotted atom).
+    Value(Word),
+}
+
+/// A linked-vector heap: one global arena in which vectors are contiguous
+/// runs of tagged elements.
+pub struct LinkedVectorHeap {
+    words: Vec<Word>,
+    tags: Vec<VTag>,
+    top: usize,
+}
+
+impl LinkedVectorHeap {
+    /// Create a heap with capacity for `cells` vector elements.
+    pub fn with_capacity(cells: usize) -> Self {
+        LinkedVectorHeap {
+            words: vec![Word::UNUSED; cells],
+            tags: vec![VTag::Unused; cells],
+            top: 0,
+        }
+    }
+
+    /// Elements allocated so far.
+    pub fn used(&self) -> usize {
+        self.top
+    }
+
+    fn bump(&mut self, n: usize) -> Option<usize> {
+        if self.top + n > self.words.len() {
+            return None;
+        }
+        let at = self.top;
+        self.top += n;
+        Some(at)
+    }
+
+    /// Skip unused cells and chase indirections. The chain ends either at
+    /// a data cell ([`Resolved::Data`]) or at a non-pointer value stored
+    /// in an indirection cell — nil or a dotted atom ([`Resolved::Value`]).
+    fn resolve(&self, mut addr: HeapAddr) -> Resolved {
+        loop {
+            match self.tags[addr.index()] {
+                VTag::Unused => addr = HeapAddr(addr.0 + 1),
+                VTag::Indirect => {
+                    let w = self.words[addr.index()];
+                    if w.is_ptr() {
+                        addr = w.addr();
+                    } else {
+                        return Resolved::Value(w);
+                    }
+                }
+                VTag::Default | VTag::DefaultNil => return Resolved::Data(addr),
+            }
+        }
+    }
+
+    fn data(&self, addr: HeapAddr, what: &str) -> HeapAddr {
+        match self.resolve(addr) {
+            Resolved::Data(a) => a,
+            Resolved::Value(w) => panic!("{what} of non-cell value {w:?}"),
+        }
+    }
+
+    /// The car (element) at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` resolves to a non-cell (car of nil/atom is handled
+    /// a level up by the machine's type checking).
+    pub fn car(&self, addr: HeapAddr) -> Word {
+        let a = self.data(addr, "car");
+        self.words[a.index()]
+    }
+
+    /// The cdr at `addr`: a pointer to the rest of the vector, nil, or a
+    /// dotted atom.
+    pub fn cdr(&self, addr: HeapAddr) -> Word {
+        let a = match self.resolve(addr) {
+            Resolved::Data(a) => a,
+            Resolved::Value(w) => return w,
+        };
+        match self.tags[a.index()] {
+            VTag::Default => match self.resolve(HeapAddr(a.0 + 1)) {
+                Resolved::Data(b) => Word::ptr(b),
+                Resolved::Value(w) => w,
+            },
+            VTag::DefaultNil => Word::NIL,
+            _ => unreachable!("resolve returns data cells only"),
+        }
+    }
+
+    /// Replace the element at `addr` in place.
+    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) {
+        let a = self.data(addr, "rplaca");
+        self.words[a.index()] = w;
+    }
+
+    /// Replace the cdr at `addr`.
+    ///
+    /// The cell keeps its element; the *following* cell is rewritten as an
+    /// indirection to `w`'s target (allocating a fresh 2-cell vector when
+    /// the cell was the last of its run). Returns `false` on exhaustion.
+    #[must_use]
+    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) -> bool {
+        let a = self.data(addr, "rplacd").index();
+        match self.tags[a] {
+            VTag::Default => {
+                // Next cell becomes an indirection; anything it chained to
+                // is now unreachable from here.
+                self.words[a + 1] = w;
+                self.tags[a + 1] = VTag::Indirect;
+                self.tags[a] = VTag::Default;
+                true
+            }
+            VTag::DefaultNil => {
+                let Some(at) = self.bump(2) else { return false };
+                self.words[at] = self.words[a];
+                self.tags[at] = VTag::Default;
+                self.words[at + 1] = w;
+                self.tags[at + 1] = VTag::Indirect;
+                // Old cell indirects to the new pair.
+                self.words[a] = Word::ptr(HeapAddr(at as u32));
+                self.tags[a] = VTag::Indirect;
+                true
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Cons an element onto an existing chain: a fresh 2-cell vector
+    /// `[element, indirection→cdr]` (1 cell when cdr is nil).
+    pub fn cons(&mut self, car: Word, cdr: Word) -> Option<HeapAddr> {
+        if cdr.is_nil() {
+            let at = self.bump(1)?;
+            self.words[at] = car;
+            self.tags[at] = VTag::DefaultNil;
+            return Some(HeapAddr(at as u32));
+        }
+        let at = self.bump(2)?;
+        self.words[at] = car;
+        self.tags[at] = VTag::Default;
+        self.words[at + 1] = cdr;
+        self.tags[at + 1] = VTag::Indirect;
+        Some(HeapAddr(at as u32))
+    }
+
+    /// Intern an s-expression; proper lists become contiguous vectors.
+    pub fn intern(&mut self, expr: &small_sexpr::SExpr) -> Option<Word> {
+        use small_sexpr::{Atom, SExpr};
+        match expr {
+            SExpr::Nil => Some(Word::NIL),
+            SExpr::Atom(Atom::Int(i)) => Some(Word::int(*i)),
+            SExpr::Atom(Atom::Sym(s)) => Some(Word::sym(s.0)),
+            SExpr::Cons(_) => {
+                let mut elems = Vec::new();
+                let mut cur = expr.clone();
+                let dotted = loop {
+                    match cur {
+                        SExpr::Cons(c) => {
+                            elems.push(c.0.clone());
+                            cur = c.1.clone();
+                        }
+                        SExpr::Nil => break None,
+                        atom => break Some(atom),
+                    }
+                };
+                let words: Vec<Word> = elems
+                    .iter()
+                    .map(|e| self.intern(e))
+                    .collect::<Option<_>>()?;
+                let tail = match &dotted {
+                    // A dotted tail cannot be expressed as a vector run;
+                    // it is stored behind a trailing indirection. True
+                    // dotted *atoms* are rare (Clark: cdrs rarely point at
+                    // atoms) so this path stays cold.
+                    Some(t) => Some(self.intern(t)?),
+                    None => None,
+                };
+                let extra = usize::from(tail.is_some());
+                let at = self.bump(words.len() + extra)?;
+                for (i, w) in words.iter().enumerate() {
+                    self.words[at + i] = *w;
+                    self.tags[at + i] = VTag::Default;
+                }
+                match tail {
+                    None => self.tags[at + words.len() - 1] = VTag::DefaultNil,
+                    Some(tw) => {
+                        self.words[at + words.len()] = tw;
+                        self.tags[at + words.len()] = VTag::Indirect;
+                    }
+                }
+                Some(Word::ptr(HeapAddr(at as u32)))
+            }
+        }
+    }
+
+    /// Reconstruct an s-expression from a value word.
+    pub fn extract(&self, w: Word) -> small_sexpr::SExpr {
+        use small_sexpr::SExpr;
+        match w.tag() {
+            Tag::Nil => SExpr::Nil,
+            Tag::Int => SExpr::int(w.as_int()),
+            Tag::Sym => SExpr::sym(small_sexpr::Symbol(w.as_sym())),
+            Tag::Ptr => match self.resolve(w.addr()) {
+                Resolved::Value(v) => self.extract(v),
+                Resolved::Data(a) => SExpr::cons(
+                    self.extract(self.words[a.index()]),
+                    self.extract(self.cdr(a)),
+                ),
+            },
+            t => panic!("extract of tag {t:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::{parse, print, Interner};
+
+    fn setup(src: &str) -> (Interner, LinkedVectorHeap, Word, String) {
+        let mut i = Interner::new();
+        let e = parse(src, &mut i).unwrap();
+        let mut h = LinkedVectorHeap::with_capacity(256);
+        let w = h.intern(&e).unwrap();
+        let printed = print(&e, &i);
+        (i, h, w, printed)
+    }
+
+    #[test]
+    fn intern_extract_roundtrips() {
+        for src in ["(a b c (d e) f g)", "(a (b (c)))", "(nil a nil)", "(x . y)"] {
+            let (i, h, w, printed) = setup(src);
+            assert_eq!(print(&h.extract(w), &i), printed, "{src}");
+        }
+    }
+
+    #[test]
+    fn linear_list_is_one_vector() {
+        let (_i, h, _w, _) = setup("(a b c d)");
+        assert_eq!(h.used(), 4);
+    }
+
+    #[test]
+    fn cdr_traversal() {
+        let (_i, h, w, _) = setup("(1 2 3)");
+        let a = w.addr();
+        assert_eq!(h.car(a).as_int(), 1);
+        let b = h.cdr(a).addr();
+        assert_eq!(h.car(b).as_int(), 2);
+        let c = h.cdr(b).addr();
+        assert_eq!(h.car(c).as_int(), 3);
+        assert!(h.cdr(c).is_nil());
+    }
+
+    #[test]
+    fn rplacd_mid_vector_uses_indirection() {
+        let (mut i, mut h, w, _) = setup("(1 2 3 4)");
+        let other = h.intern(&parse("(9 9)", &mut i).unwrap()).unwrap();
+        assert!(h.rplacd(w.addr(), other));
+        assert_eq!(print(&h.extract(w), &i), "(1 9 9)");
+    }
+
+    #[test]
+    fn rplacd_at_end_extends() {
+        let (mut i, mut h, w, _) = setup("(1)");
+        let other = h.intern(&parse("(2)", &mut i).unwrap()).unwrap();
+        assert!(h.rplacd(w.addr(), other));
+        assert_eq!(print(&h.extract(w), &i), "(1 2)");
+    }
+
+    #[test]
+    fn rplaca_in_place() {
+        let (i, mut h, w, _) = setup("(1 2)");
+        let used = h.used();
+        h.rplaca(w.addr(), Word::int(7));
+        assert_eq!(h.used(), used);
+        assert_eq!(print(&h.extract(w), &i), "(7 2)");
+    }
+
+    #[test]
+    fn cons_prepends() {
+        let (i, mut h, w, _) = setup("(2 3)");
+        let a = h.cons(Word::int(1), w).unwrap();
+        assert_eq!(print(&h.extract(Word::ptr(a)), &i), "(1 2 3)");
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut i = Interner::new();
+        let mut h = LinkedVectorHeap::with_capacity(2);
+        assert!(h.intern(&parse("(1 2 3)", &mut i).unwrap()).is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! The classic two-pointer list cell heap (Figure 2.6).
+//!
+//! Each cell is a pair of tagged words (car, cdr) stored at consecutive
+//! arena slots. This is the *uniform* representation of §3.1 — every
+//! s-expression has exactly one encoding, `car`/`cdr` are single memory
+//! reads, `rplaca`/`rplacd` single writes, and `cons` is an allocation
+//! plus two writes. Its drawbacks (the addressing bottleneck during
+//! traversal, and space cost) motivate the compact representations in the
+//! sibling modules.
+//!
+//! Invisible pointers ([`Tag::Invisible`]) are dereferenced transparently
+//! by [`TwoPointerHeap::car`]/[`TwoPointerHeap::cdr`], as the Lisp-machine
+//! hardware does (§2.3.2).
+
+use crate::word::{Arena, HeapAddr, Tag, Word};
+use small_sexpr::{Atom, SExpr};
+
+/// Allocation statistics for a heap.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Cells ever allocated (including recycled ones).
+    pub allocs: u64,
+    /// Cells returned to the free list.
+    pub frees: u64,
+    /// Maximum simultaneously-live cell count observed.
+    pub high_water: usize,
+}
+
+/// A two-pointer cons-cell heap.
+pub struct TwoPointerHeap {
+    arena: Arena,
+    /// Head of the free list, threaded through car words.
+    free_head: Option<HeapAddr>,
+    /// Number of cells currently allocated.
+    live: usize,
+    /// Total cell capacity.
+    capacity: usize,
+    stats: HeapStats,
+}
+
+impl TwoPointerHeap {
+    /// Create a heap with room for `cells` list cells.
+    pub fn with_capacity(cells: usize) -> Self {
+        let mut heap = TwoPointerHeap {
+            arena: Arena::new(cells * 2),
+            free_head: None,
+            live: 0,
+            capacity: cells,
+            stats: HeapStats::default(),
+        };
+        // Thread the free list through the car words, last cell first so
+        // that allocation proceeds from address 0 upward.
+        for i in (0..cells).rev() {
+            heap.arena.write(2 * i, Word::free_link(heap.free_head));
+            heap.free_head = Some(HeapAddr(i as u32));
+        }
+        heap
+    }
+
+    /// Total capacity in cells.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently-allocated cell count.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Free cells remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.live
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Allocate a cons cell. Returns `None` when the heap is exhausted —
+    /// the caller is expected to garbage collect and retry.
+    pub fn alloc(&mut self, car: Word, cdr: Word) -> Option<HeapAddr> {
+        let addr = self.free_head?;
+        self.free_head = self.arena.read(addr.index() * 2).free_next();
+        self.arena.write(addr.index() * 2, car);
+        self.arena.write(addr.index() * 2 + 1, cdr);
+        self.live += 1;
+        self.stats.allocs += 1;
+        self.stats.high_water = self.stats.high_water.max(self.live);
+        Some(addr)
+    }
+
+    /// Return a cell to the free list.
+    ///
+    /// # Panics
+    /// Debug-panics if the cell is already free.
+    pub fn free_cell(&mut self, addr: HeapAddr) {
+        debug_assert!(!self.is_free(addr), "double free of {addr}");
+        self.arena.write(addr.index() * 2, Word::free_link(self.free_head));
+        self.arena.write(addr.index() * 2 + 1, Word::UNUSED);
+        self.free_head = Some(addr);
+        self.live -= 1;
+        self.stats.frees += 1;
+    }
+
+    /// Whether the cell is on the free list (by tag inspection).
+    pub fn is_free(&self, addr: HeapAddr) -> bool {
+        self.arena.read(addr.index() * 2).tag() == Tag::FreeLink
+    }
+
+    /// Raw car word — no invisible-pointer dereference (for collectors).
+    #[inline]
+    pub fn raw_car(&self, addr: HeapAddr) -> Word {
+        self.arena.read(addr.index() * 2)
+    }
+
+    /// Raw cdr word — no invisible-pointer dereference (for collectors).
+    #[inline]
+    pub fn raw_cdr(&self, addr: HeapAddr) -> Word {
+        self.arena.read(addr.index() * 2 + 1)
+    }
+
+    /// Overwrite the raw car word (for collectors).
+    #[inline]
+    pub fn set_raw_car(&mut self, addr: HeapAddr, w: Word) {
+        self.arena.write(addr.index() * 2, w);
+    }
+
+    /// Overwrite the raw cdr word (for collectors).
+    #[inline]
+    pub fn set_raw_cdr(&mut self, addr: HeapAddr, w: Word) {
+        self.arena.write(addr.index() * 2 + 1, w);
+    }
+
+    /// Dereference invisible pointers until an ordinary word remains.
+    fn chase(&self, mut w: Word) -> Word {
+        while w.tag() == Tag::Invisible {
+            w = self.arena.read(w.addr().index() * 2);
+        }
+        w
+    }
+
+    /// `car` of the cell at `addr`, chasing invisible pointers.
+    #[inline]
+    pub fn car(&self, addr: HeapAddr) -> Word {
+        self.chase(self.raw_car(addr))
+    }
+
+    /// `cdr` of the cell at `addr`, chasing invisible pointers.
+    #[inline]
+    pub fn cdr(&self, addr: HeapAddr) -> Word {
+        self.chase(self.raw_cdr(addr))
+    }
+
+    /// Replace the car pointer (`rplaca`).
+    #[inline]
+    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) {
+        self.set_raw_car(addr, w);
+    }
+
+    /// Replace the cdr pointer (`rplacd`).
+    #[inline]
+    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) {
+        self.set_raw_cdr(addr, w);
+    }
+
+    /// Read an s-expression into the heap, returning its tagged word
+    /// (atoms are immediate; lists return a pointer). This is the heap
+    /// side of the `readlist` operation (§4.3.2.2.1).
+    ///
+    /// Returns `None` if the heap fills up mid-construction (partial
+    /// structure is left allocated; callers running a collector should
+    /// retry after a GC with the same expression).
+    pub fn intern(&mut self, expr: &SExpr) -> Option<Word> {
+        match expr {
+            SExpr::Nil => Some(Word::NIL),
+            SExpr::Atom(Atom::Int(i)) => Some(Word::int(*i)),
+            SExpr::Atom(Atom::Sym(s)) => Some(Word::sym(s.0)),
+            SExpr::Cons(c) => {
+                let car = self.intern(&c.0)?;
+                let cdr = self.intern(&c.1)?;
+                self.alloc(car, cdr).map(Word::ptr)
+            }
+        }
+    }
+
+    /// Reconstruct the s-expression rooted at `w` (inverse of
+    /// [`TwoPointerHeap::intern`]); used by `writelist` and tests.
+    pub fn extract(&self, w: Word) -> SExpr {
+        match self.chase(w).tag() {
+            Tag::Nil => SExpr::Nil,
+            Tag::Int => SExpr::int(w.as_int()),
+            Tag::Sym => SExpr::sym(small_sexpr::Symbol(w.as_sym())),
+            Tag::Ptr => {
+                let a = self.chase(w).addr();
+                SExpr::cons(self.extract(self.car(a)), self.extract(self.cdr(a)))
+            }
+            t => panic!("extract of non-value word with tag {t:?}"),
+        }
+    }
+
+    /// Iterate the addresses of all live (non-free) cells.
+    pub fn live_cells(&self) -> impl Iterator<Item = HeapAddr> + '_ {
+        (0..self.capacity).filter_map(|i| {
+            let a = HeapAddr(i as u32);
+            (!self.is_free(a)).then_some(a)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::{parse, print, Interner};
+
+    #[test]
+    fn alloc_until_exhaustion() {
+        let mut h = TwoPointerHeap::with_capacity(3);
+        assert_eq!(h.free(), 3);
+        let a = h.alloc(Word::int(1), Word::NIL).unwrap();
+        let b = h.alloc(Word::int(2), Word::ptr(a)).unwrap();
+        let _c = h.alloc(Word::int(3), Word::ptr(b)).unwrap();
+        assert_eq!(h.free(), 0);
+        assert!(h.alloc(Word::NIL, Word::NIL).is_none());
+        assert_eq!(h.stats().high_water, 3);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut h = TwoPointerHeap::with_capacity(2);
+        let a = h.alloc(Word::int(1), Word::NIL).unwrap();
+        h.free_cell(a);
+        assert_eq!(h.live(), 0);
+        let b = h.alloc(Word::int(2), Word::NIL).unwrap();
+        assert_eq!(a, b, "LIFO free list reuses the last freed cell");
+    }
+
+    #[test]
+    fn car_cdr_rplac() {
+        let mut h = TwoPointerHeap::with_capacity(4);
+        let a = h.alloc(Word::int(1), Word::NIL).unwrap();
+        assert_eq!(h.car(a).as_int(), 1);
+        assert!(h.cdr(a).is_nil());
+        h.rplaca(a, Word::int(9));
+        h.rplacd(a, Word::ptr(a));
+        assert_eq!(h.car(a).as_int(), 9);
+        assert_eq!(h.cdr(a).addr(), a);
+    }
+
+    #[test]
+    fn invisible_pointer_chased() {
+        let mut h = TwoPointerHeap::with_capacity(4);
+        let real = h.alloc(Word::int(5), Word::NIL).unwrap();
+        let holder = h.alloc(Word::invisible(real), Word::NIL).unwrap();
+        let outer = h.alloc(Word::ptr(holder), Word::NIL).unwrap();
+        // car(outer) is a pointer to holder; car(holder) chases the
+        // invisible pointer down to cell `real`'s car.
+        let w = h.car(outer);
+        assert_eq!(w.addr(), holder);
+        assert_eq!(h.car(w.addr()).as_int(), 5);
+    }
+
+    #[test]
+    fn intern_extract_roundtrip() {
+        let mut i = Interner::new();
+        let mut h = TwoPointerHeap::with_capacity(64);
+        for src in ["(a b c (d e) f g)", "((1 2) (3 4) . tail)", "nil", "77"] {
+            let e = parse(src, &mut i).unwrap();
+            let w = h.intern(&e).unwrap();
+            let back = h.extract(w);
+            assert_eq!(print(&back, &i), print(&e, &i), "{src}");
+        }
+    }
+
+    #[test]
+    fn intern_fails_when_full_but_is_retryable() {
+        let mut i = Interner::new();
+        let mut h = TwoPointerHeap::with_capacity(2);
+        let e = parse("(a b c)", &mut i).unwrap();
+        assert!(h.intern(&e).is_none());
+    }
+
+    #[test]
+    fn live_cells_iteration() {
+        let mut h = TwoPointerHeap::with_capacity(4);
+        let a = h.alloc(Word::int(1), Word::NIL).unwrap();
+        let b = h.alloc(Word::int(2), Word::NIL).unwrap();
+        h.free_cell(a);
+        let live: Vec<_> = h.live_cells().collect();
+        assert_eq!(live, vec![b]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests across all four list representations and the
+//! heap controller: every representation must round-trip arbitrary
+//! s-expressions, and split/merge must be mutually inverse.
+
+use proptest::prelude::*;
+use small_heap::controller::{HeapController, TwoPointerController};
+use small_heap::cdr_coded::CdrCodedHeap;
+use small_heap::gc::{CopyingHeap, MarkSweep};
+use small_heap::linked_vector::LinkedVectorHeap;
+use small_heap::structure_coded::StructureCodedHeap;
+use small_heap::{TwoPointerHeap, Word};
+use small_sexpr::{parse, print, Interner};
+
+fn arb_list_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "d"]).prop_map(str::to_owned),
+        (0i64..100).prop_map(|i| i.to_string()),
+        Just("nil".to_owned()),
+    ];
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        prop::collection::vec(inner, 1..5).prop_map(|items| format!("({})", items.join(" ")))
+    })
+    // Ensure top level is a list (heaps intern atoms trivially).
+    .prop_map(|s| if s.starts_with('(') { s } else { format!("({s})") })
+}
+
+proptest! {
+    #[test]
+    fn two_pointer_roundtrip(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut h = TwoPointerHeap::with_capacity(4096);
+        let w = h.intern(&e).unwrap();
+        prop_assert_eq!(print(&h.extract(w), &i), print(&e, &i));
+    }
+
+    #[test]
+    fn cdr_coded_roundtrip(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut h = CdrCodedHeap::with_capacity(4096);
+        let w = h.intern(&e).unwrap();
+        prop_assert_eq!(print(&h.extract(w), &i), print(&e, &i));
+    }
+
+    #[test]
+    fn linked_vector_roundtrip(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut h = LinkedVectorHeap::with_capacity(4096);
+        let w = h.intern(&e).unwrap();
+        prop_assert_eq!(print(&h.extract(w), &i), print(&e, &i));
+    }
+
+    #[test]
+    fn structure_coded_roundtrip(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut h = StructureCodedHeap::new();
+        let w = h.intern(&e);
+        prop_assert_eq!(print(&h.extract(w), &i), print(&e, &i));
+    }
+
+    #[test]
+    fn cdr_coding_never_uses_more_cells_than_two_pointer(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut tp = TwoPointerHeap::with_capacity(4096);
+        tp.intern(&e).unwrap();
+        let mut cc = CdrCodedHeap::with_capacity(4096);
+        cc.intern(&e).unwrap();
+        // Each two-pointer cell is 2 words; each cdr-coded cell ~1 word.
+        prop_assert!(cc.used() <= 2 * tp.live() + 1);
+    }
+
+    #[test]
+    fn controller_split_merge_inverse(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut c = TwoPointerController::new(8192, 64);
+        let w = c.read_in(&e).unwrap();
+        if w.is_ptr() {
+            let s = c.split(w.addr()).unwrap();
+            let m = c.merge(s.car, s.cdr).unwrap();
+            prop_assert_eq!(print(&c.extract(Word::ptr(m)), &i), print(&e, &i));
+        }
+    }
+
+    #[test]
+    fn structure_coded_split_merge_inverse(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut h = StructureCodedHeap::new();
+        let w = h.intern(&e);
+        if w.is_ptr() {
+            let (car, cdr) = h.split(w.addr());
+            let m = h.merge(car, cdr);
+            prop_assert_eq!(print(&h.extract(Word::ptr(m)), &i), print(&e, &i));
+        }
+    }
+
+    #[test]
+    fn mark_sweep_preserves_roots_frees_garbage(
+        keep_src in arb_list_src(),
+        drop_src in arb_list_src(),
+    ) {
+        let mut i = Interner::new();
+        let keep = parse(&keep_src, &mut i).unwrap();
+        let drop = parse(&drop_src, &mut i).unwrap();
+        let mut h = TwoPointerHeap::with_capacity(8192);
+        let kw = h.intern(&keep).unwrap();
+        let dw = h.intern(&drop).unwrap();
+        let drop_cells = if dw.is_ptr() { h.live() } else { 0 };
+        let mut gc = MarkSweep::new();
+        gc.collect(&mut h, &[kw]);
+        prop_assert_eq!(print(&h.extract(kw), &i), print(&keep, &i));
+        if dw.is_ptr() {
+            prop_assert!(h.live() < drop_cells);
+        }
+    }
+
+    #[test]
+    fn copying_preserves_roots(src in arb_list_src()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let mut h = CopyingHeap::with_capacity(8192);
+        let mut roots = vec![h.intern(&e).unwrap()];
+        h.collect(&mut roots);
+        prop_assert_eq!(print(&h.extract(roots[0]), &i), print(&e, &i));
+    }
+}

@@ -1,0 +1,640 @@
+//! Compiler from the simple Lisp (§4.3.4) to the stack-machine ISA.
+//!
+//! Mirrors the thesis's exercise: scan a file of function definitions and
+//! a top-level call, generate code per function by walking the definition
+//! tree (emitting a node after its children), and backpatch forward
+//! references. Arguments and `prog` locals compile to known frame
+//! offsets; free variables fall back to run-time name search (§4.3.1).
+
+use crate::isa::{CodeAddr, FnInfo, Inst, Program};
+use small_sexpr::{Atom, Interner, SExpr, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Malformed special form.
+    BadForm(String),
+    /// `go` to an unknown label.
+    NoSuchLabel(String),
+    /// Call head is not a symbol.
+    BadCallHead,
+    /// `def` encountered somewhere other than top level.
+    NestedDef,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BadForm(s) => write!(f, "malformed form: {s}"),
+            CompileError::NoSuchLabel(l) => write!(f, "no such label: {l}"),
+            CompileError::BadCallHead => write!(f, "call head must be a symbol"),
+            CompileError::NestedDef => write!(f, "def is only allowed at top level"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+struct Ctx {
+    /// Frame-offset table for the function being compiled: slots 0..
+    /// `n_params` hold the parameters in *reverse* declaration order
+    /// (they are bound last-argument-first, Figure 4.14), and slots from
+    /// `n_params` on hold prog locals in binding order.
+    slots: Vec<Symbol>,
+    /// Number of leading parameter slots.
+    n_params: usize,
+    /// Labels of the enclosing prog bodies: name → (patched later) addr.
+    labels: HashMap<Symbol, CodeAddr>,
+    /// Pending go-jumps to labels not yet seen: (code index, label).
+    pending_gos: Vec<(CodeAddr, Symbol)>,
+}
+
+impl Ctx {
+    /// The slot holding the *most recent* binding of `name` under the
+    /// dynamic-binding discipline: parameters were bound in declaration
+    /// order (so a duplicated name resolves to the later parameter),
+    /// and locals were bound after all parameters.
+    fn slot_of(&self, name: Symbol) -> Option<u16> {
+        let mut best: Option<(usize, usize)> = None; // (bind time, slot)
+        for (i, s) in self.slots.iter().enumerate() {
+            if *s == name {
+                let t = if i < self.n_params {
+                    self.n_params - 1 - i
+                } else {
+                    i
+                };
+                if best.is_none_or(|(bt, _)| t >= bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i as u16)
+    }
+}
+
+struct Names {
+    quote: Symbol,
+    cond: Symbol,
+    prog: Symbol,
+    progn: Symbol,
+    go: Symbol,
+    ret: Symbol,
+    setq: Symbol,
+    def: Symbol,
+    lambda: Symbol,
+    and: Symbol,
+    or: Symbol,
+    t: Symbol,
+    read: Symbol,
+    prims: HashMap<Symbol, Inst>,
+}
+
+impl Names {
+    fn new(i: &mut Interner) -> Self {
+        let mut prims = HashMap::new();
+        for (name, inst) in [
+            ("car", Inst::CarOp),
+            ("cdr", Inst::CdrOp),
+            ("cons", Inst::ConsOp),
+            ("rplaca", Inst::RplacaOp),
+            ("rplacd", Inst::RplacdOp),
+            ("add", Inst::AddOp),
+            ("+", Inst::AddOp),
+            ("plus", Inst::AddOp),
+            ("sub", Inst::SubOp),
+            ("-", Inst::SubOp),
+            ("difference", Inst::SubOp),
+            ("times", Inst::MulOp),
+            ("*", Inst::MulOp),
+            ("quotient", Inst::DivOp),
+            ("/", Inst::DivOp),
+            ("rem", Inst::RemOp),
+            ("equal", Inst::EqualP),
+            ("=", Inst::EqualP),
+            ("equalp", Inst::EqualP),
+            ("eq", Inst::EqP),
+            ("greaterp", Inst::GreaterP),
+            (">", Inst::GreaterP),
+            ("lessp", Inst::LessP),
+            ("<", Inst::LessP),
+            ("atom", Inst::AtomP),
+            ("atomp", Inst::AtomP),
+            ("null", Inst::NullP),
+            ("nullp", Inst::NullP),
+            ("not", Inst::NullP),
+            ("write", Inst::WrList),
+            ("print", Inst::WrList),
+        ] {
+            prims.insert(i.intern(name), inst);
+        }
+        Names {
+            quote: i.intern("quote"),
+            cond: i.intern("cond"),
+            prog: i.intern("prog"),
+            progn: i.intern("progn"),
+            go: i.intern("go"),
+            ret: i.intern("return"),
+            setq: i.intern("setq"),
+            def: i.intern("def"),
+            lambda: i.intern("lambda"),
+            and: i.intern("and"),
+            or: i.intern("or"),
+            t: i.intern("t"),
+            read: i.intern("read"),
+            prims,
+        }
+    }
+}
+
+/// The compiler.
+pub struct Compiler {
+    names: Names,
+    program: Program,
+}
+
+/// Compile a whole program text: any number of `(def …)` forms plus
+/// top-level calls (compiled, in order, into the entry block).
+pub fn compile_program(src: &str, interner: &mut Interner) -> Result<Program, CompileError> {
+    let forms = small_sexpr::parse_all(src, interner)
+        .map_err(|e| CompileError::BadForm(e.to_string()))?;
+    compile_forms(&forms, interner)
+}
+
+/// Compile pre-parsed top-level forms.
+pub fn compile_forms(
+    forms: &[SExpr],
+    interner: &mut Interner,
+) -> Result<Program, CompileError> {
+    let names = Names::new(interner);
+    let mut c = Compiler {
+        names,
+        program: Program::default(),
+    };
+    // Pass 1: function definitions.
+    for f in forms {
+        if c.is_def(f) {
+            c.compile_def(f)?;
+        }
+    }
+    // Pass 2: top-level expressions into the entry block.
+    c.program.entry = c.program.code.len();
+    let mut any = false;
+    for f in forms {
+        if !c.is_def(f) {
+            let mut ctx = Ctx {
+                slots: Vec::new(),
+                n_params: 0,
+                labels: HashMap::new(),
+                pending_gos: Vec::new(),
+            };
+            c.expr(f, &mut ctx)?;
+            c.emit(Inst::Pop);
+            any = true;
+        }
+    }
+    if any {
+        // Replace the trailing Pop so the last value remains inspectable.
+        let last = c.program.code.len() - 1;
+        c.program.code[last] = Inst::Halt;
+    } else {
+        c.emit(Inst::Halt);
+    }
+    Ok(c.program)
+}
+
+impl Compiler {
+    fn emit(&mut self, i: Inst) -> CodeAddr {
+        self.program.code.push(i);
+        self.program.code.len() - 1
+    }
+
+    fn here(&self) -> CodeAddr {
+        self.program.code.len()
+    }
+
+    fn is_def(&self, f: &SExpr) -> bool {
+        f.car().and_then(|h| h.as_sym()) == Some(self.names.def)
+    }
+
+    fn compile_def(&mut self, f: &SExpr) -> Result<(), CompileError> {
+        let args = f.cdr().unwrap_or(SExpr::Nil);
+        let name = args
+            .car()
+            .and_then(|n| n.as_sym())
+            .ok_or_else(|| CompileError::BadForm("def name".into()))?;
+        let lam = args
+            .cdr()
+            .and_then(|d| d.car())
+            .ok_or_else(|| CompileError::BadForm("def lambda".into()))?;
+        if lam.car().and_then(|h| h.as_sym()) != Some(self.names.lambda) {
+            return Err(CompileError::BadForm("def body must be a lambda".into()));
+        }
+        let params: Vec<Symbol> = lam
+            .cdr()
+            .and_then(|d| d.car())
+            .unwrap_or(SExpr::Nil)
+            .iter()
+            .filter_map(|p| p.as_sym())
+            .collect();
+        let body: Vec<SExpr> = lam
+            .cdr()
+            .and_then(|d| d.cdr())
+            .unwrap_or(SExpr::Nil)
+            .iter()
+            .cloned()
+            .collect();
+
+        let entry = self.here();
+        self.program.functions.insert(
+            name,
+            FnInfo {
+                entry,
+                arity: params.len() as u8,
+            },
+        );
+        // Prologue: bind arguments. Caller pushed them left to right, so
+        // TOS is the last argument — bind in reverse. The binding stack
+        // therefore holds them in reverse order, and the frame-offset
+        // table must match.
+        for p in params.iter().rev() {
+            self.emit(Inst::BindN(*p));
+        }
+        let mut ctx = Ctx {
+            slots: params.iter().rev().copied().collect(),
+            n_params: params.len(),
+            labels: HashMap::new(),
+            pending_gos: Vec::new(),
+        };
+        if body.is_empty() {
+            self.emit(Inst::PushNil);
+        }
+        for (i, form) in body.iter().enumerate() {
+            self.expr(form, &mut ctx)?;
+            if i + 1 < body.len() {
+                self.emit(Inst::Pop);
+            }
+        }
+        self.emit(Inst::FRetN);
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
+        match e {
+            SExpr::Nil => {
+                self.emit(Inst::PushNil);
+                Ok(())
+            }
+            SExpr::Atom(Atom::Int(i)) => {
+                self.emit(Inst::PushInt(*i));
+                Ok(())
+            }
+            SExpr::Atom(Atom::Sym(s)) => {
+                if *s == self.names.t {
+                    self.emit(Inst::PushSym(*s));
+                } else if let Some(k) = ctx.slot_of(*s) {
+                    self.emit(Inst::PushStk(k));
+                } else {
+                    self.emit(Inst::PushName(*s));
+                }
+                Ok(())
+            }
+            SExpr::Cons(c) => {
+                let head = c.0.as_sym().ok_or(CompileError::BadCallHead)?;
+                self.form(head, &c.1, ctx)
+            }
+        }
+    }
+
+    fn form(&mut self, head: Symbol, args: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
+        let n = &self.names;
+        if head == n.def {
+            return Err(CompileError::NestedDef);
+        }
+        if head == n.quote {
+            let q = args
+                .car()
+                .ok_or_else(|| CompileError::BadForm("quote".into()))?;
+            return self.quoted(&q);
+        }
+        if head == n.cond {
+            return self.cond(args, ctx);
+        }
+        if head == n.progn {
+            return self.progn(args, ctx);
+        }
+        if head == n.prog {
+            return self.prog(args, ctx);
+        }
+        if head == n.go {
+            let tag = args
+                .car()
+                .and_then(|t| t.as_sym())
+                .ok_or_else(|| CompileError::BadForm("go".into()))?;
+            let at = self.emit(Inst::Jmp(usize::MAX));
+            ctx.pending_gos.push((at, tag));
+            // go never falls through, but expressions must leave a value;
+            // emit an unreachable nil for stack-shape consistency.
+            self.emit(Inst::PushNil);
+            return Ok(());
+        }
+        if head == n.ret {
+            match args.car() {
+                Some(v) if !v.is_nil() => self.expr(&v, ctx)?,
+                _ => {
+                    self.emit(Inst::PushNil);
+                }
+            }
+            self.emit(Inst::FRetN);
+            self.emit(Inst::PushNil); // unreachable filler
+            return Ok(());
+        }
+        if head == n.setq {
+            let name = args
+                .car()
+                .and_then(|x| x.as_sym())
+                .ok_or_else(|| CompileError::BadForm("setq".into()))?;
+            let v = args
+                .cdr()
+                .and_then(|d| d.car())
+                .ok_or_else(|| CompileError::BadForm("setq".into()))?;
+            self.expr(&v, ctx)?;
+            if let Some(k) = ctx.slot_of(name) {
+                self.emit(Inst::SetStk(k));
+            } else {
+                self.emit(Inst::SetName(name));
+            }
+            return Ok(());
+        }
+        if head == n.and {
+            return self.and_or(args, ctx, true);
+        }
+        if head == n.or {
+            return self.and_or(args, ctx, false);
+        }
+        // `(read)` / `(read var)` — the variable is a *target*, not an
+        // evaluated argument (Figure 4.15: `RDLIST 1`).
+        if head == n.read {
+            self.emit(Inst::RdList);
+            if let Some(var) = args.car().and_then(|a| a.as_sym()) {
+                if let Some(k) = ctx.slot_of(var) {
+                    self.emit(Inst::SetStk(k));
+                } else {
+                    self.emit(Inst::SetName(var));
+                }
+            }
+            return Ok(());
+        }
+
+        // Ordinary call: evaluate arguments left to right.
+        let argv: Vec<SExpr> = args.iter().cloned().collect();
+        for a in &argv {
+            self.expr(a, ctx)?;
+        }
+        if let Some(inst) = self.names.prims.get(&head).copied() {
+            self.emit(inst);
+        } else {
+            self.emit(Inst::FCall(head, argv.len() as u8));
+        }
+        Ok(())
+    }
+
+    fn quoted(&mut self, q: &SExpr) -> Result<(), CompileError> {
+        match q {
+            SExpr::Nil => {
+                self.emit(Inst::PushNil);
+            }
+            SExpr::Atom(Atom::Int(i)) => {
+                self.emit(Inst::PushInt(*i));
+            }
+            SExpr::Atom(Atom::Sym(s)) => {
+                self.emit(Inst::PushSym(*s));
+            }
+            SExpr::Cons(_) => {
+                let idx = self.program.constants.len() as u16;
+                self.program.constants.push(q.clone());
+                self.emit(Inst::PushConst(idx));
+            }
+        }
+        Ok(())
+    }
+
+    fn cond(&mut self, legs: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
+        // Each leg with a body:   <test> Brf next; <body>; Jmp end; next:
+        // Each body-less leg:     <test> Dup; Brt end; Pop
+        // (the Dup/Brt pair keeps the test value as the leg's value).
+        let mut end_jumps = Vec::new();
+        for leg in legs.iter() {
+            let test = leg
+                .car()
+                .ok_or_else(|| CompileError::BadForm("cond leg".into()))?;
+            let body: Vec<SExpr> = leg.cdr().unwrap_or(SExpr::Nil).iter().cloned().collect();
+            self.expr(&test, ctx)?;
+            if body.is_empty() {
+                self.emit(Inst::Dup);
+                let brt = self.emit(Inst::Brt(usize::MAX));
+                end_jumps.push(brt);
+                self.emit(Inst::Pop);
+            } else {
+                let brf = self.emit(Inst::Brf(usize::MAX));
+                for (i, form) in body.iter().enumerate() {
+                    self.expr(form, ctx)?;
+                    if i + 1 < body.len() {
+                        self.emit(Inst::Pop);
+                    }
+                }
+                let jmp = self.emit(Inst::Jmp(usize::MAX));
+                end_jumps.push(jmp);
+                let next = self.here();
+                self.program.code[brf] = Inst::Brf(next);
+            }
+        }
+        // No leg taken: nil.
+        self.emit(Inst::PushNil);
+        let end = self.here();
+        for at in end_jumps {
+            match self.program.code[at] {
+                Inst::Jmp(_) => self.program.code[at] = Inst::Jmp(end),
+                Inst::Brt(_) => self.program.code[at] = Inst::Brt(end),
+                _ => unreachable!(),
+            }
+        }
+        Ok(())
+    }
+
+    fn progn(&mut self, body: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
+        let forms: Vec<SExpr> = body.iter().cloned().collect();
+        if forms.is_empty() {
+            self.emit(Inst::PushNil);
+            return Ok(());
+        }
+        for (i, f) in forms.iter().enumerate() {
+            self.expr(f, ctx)?;
+            if i + 1 < forms.len() {
+                self.emit(Inst::Pop);
+            }
+        }
+        Ok(())
+    }
+
+    fn prog(&mut self, args: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
+        let locals: Vec<Symbol> = args
+            .car()
+            .unwrap_or(SExpr::Nil)
+            .iter()
+            .filter_map(|l| l.as_sym())
+            .collect();
+        let body: Vec<SExpr> = args.cdr().unwrap_or(SExpr::Nil).iter().cloned().collect();
+        for l in &locals {
+            self.emit(Inst::BindNil(*l));
+            ctx.slots.push(*l);
+        }
+        // Record label addresses first (labels are bare symbols).
+        let saved_labels = ctx.labels.clone();
+        let saved_pending = std::mem::take(&mut ctx.pending_gos);
+        // Compile body; labels discovered as we go, with backpatching.
+        for form in &body {
+            if let Some(tag) = form.as_sym() {
+                ctx.labels.insert(tag, self.here());
+                continue;
+            }
+            self.expr(form, ctx)?;
+            self.emit(Inst::Pop);
+        }
+        // prog falls off the end: value nil.
+        self.emit(Inst::PushNil);
+        // Patch gos.
+        for (at, tag) in ctx.pending_gos.drain(..) {
+            let target = ctx
+                .labels
+                .get(&tag)
+                .copied()
+                .ok_or_else(|| CompileError::NoSuchLabel(format!("#{}", tag.0)))?;
+            self.program.code[at] = Inst::Jmp(target);
+        }
+        ctx.labels = saved_labels;
+        ctx.pending_gos = saved_pending;
+        // Locals stay bound until function return (frame discipline);
+        // they remain in scope for the rest of the function, as in the
+        // thesis's simple compiler.
+        Ok(())
+    }
+
+    fn and_or(&mut self, args: &SExpr, ctx: &mut Ctx, is_and: bool) -> Result<(), CompileError> {
+        let forms: Vec<SExpr> = args.iter().cloned().collect();
+        if forms.is_empty() {
+            if is_and {
+                self.emit(Inst::PushSym(self.names.t));
+            } else {
+                self.emit(Inst::PushNil);
+            }
+            return Ok(());
+        }
+        let mut patches = Vec::new();
+        for (i, f) in forms.iter().enumerate() {
+            self.expr(f, ctx)?;
+            if i + 1 < forms.len() {
+                let br = if is_and {
+                    self.emit(Inst::Brf(usize::MAX))
+                } else {
+                    self.emit(Inst::Brt(usize::MAX))
+                };
+                patches.push(br);
+            }
+        }
+        let jmp_end = self.emit(Inst::Jmp(usize::MAX));
+        let short = self.here();
+        if is_and {
+            self.emit(Inst::PushNil);
+        } else {
+            self.emit(Inst::PushSym(self.names.t));
+        }
+        let end = self.here();
+        for at in patches {
+            match self.program.code[at] {
+                Inst::Brf(_) => self.program.code[at] = Inst::Brf(short),
+                Inst::Brt(_) => self.program.code[at] = Inst::Brt(short),
+                _ => unreachable!(),
+            }
+        }
+        self.program.code[jmp_end] = Inst::Jmp(end);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::Interner;
+
+    fn compile(src: &str) -> Result<Program, CompileError> {
+        compile_program(src, &mut Interner::new())
+    }
+
+    #[test]
+    fn nested_def_rejected() {
+        assert_eq!(
+            compile("(def f (lambda (x) (def g (lambda () 1))))").err(),
+            Some(CompileError::NestedDef)
+        );
+    }
+
+    #[test]
+    fn go_to_unknown_label_rejected() {
+        assert!(matches!(
+            compile("(def f (lambda () (prog () (go nowhere))))"),
+            Err(CompileError::NoSuchLabel(_))
+        ));
+    }
+
+    #[test]
+    fn non_symbol_call_head_rejected() {
+        assert_eq!(compile("((1 2) 3)").err(), Some(CompileError::BadCallHead));
+    }
+
+    #[test]
+    fn malformed_def_rejected() {
+        assert!(matches!(compile("(def)"), Err(CompileError::BadForm(_))));
+        assert!(matches!(
+            compile("(def f 42)"),
+            Err(CompileError::BadForm(_))
+        ));
+        assert!(matches!(
+            compile("(def f (not-a-lambda (x) x))"),
+            Err(CompileError::BadForm(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_compiles_to_halt() {
+        let p = compile("").unwrap();
+        assert!(matches!(p.code.last(), Some(Inst::Halt)));
+    }
+
+    #[test]
+    fn function_bodies_precede_entry_block() {
+        let p = compile("(def f (lambda () 1)) (f)").unwrap();
+        let f = p.functions.values().next().unwrap();
+        assert!(f.entry < p.entry, "definitions compile before top level");
+        assert_eq!(f.arity, 0);
+    }
+
+    #[test]
+    fn quoted_lists_become_constants() {
+        let p = compile("(car '(a b c))").unwrap();
+        assert_eq!(p.constants.len(), 1);
+        assert!(p.code.iter().any(|i| matches!(i, Inst::PushConst(0))));
+    }
+
+    #[test]
+    fn shadowed_parameter_uses_latest_slot() {
+        // (lambda (x x) …) is degenerate but must resolve to the later
+        // binding, matching the interpreter's a-list semantics.
+        let mut i = Interner::new();
+        let p = compile_program("(def f (lambda (x x) x)) (f 1 2)", &mut i).unwrap();
+        let mut vm = crate::vm::Vm::new(p, crate::vm::DirectBackend::new(64));
+        let v = vm.run().unwrap();
+        assert_eq!(v, crate::vm::VmValue::Int(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Shallow binding: oblist value cells plus a save stack (Figure 2.4).
+//!
+//! Every symbol has one value cell; lookup is a direct table access.
+//! On function call, each new binding saves the cell's old contents on a
+//! stack; on return the saved values are popped and restored. Lookup is
+//! O(1) but call/return pay per-binding save/restore work — the other
+//! side of the trade-off from [`super::DeepEnv`].
+
+use super::{EnvStats, Environment};
+use crate::value::Value;
+use small_sexpr::Symbol;
+
+/// Oblist environment.
+#[derive(Default)]
+pub struct ShallowEnv {
+    /// Value cell per symbol id (grown on demand).
+    cells: Vec<Option<Value>>,
+    /// Saved (symbol, old value) pairs, restored on pop.
+    save_stack: Vec<(Symbol, Option<Value>)>,
+    /// Save-stack mark per open frame.
+    frames: Vec<usize>,
+    stats: EnvStats,
+}
+
+impl ShallowEnv {
+    /// Create an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(&mut self, s: Symbol) -> &mut Option<Value> {
+        let idx = s.index();
+        if idx >= self.cells.len() {
+            self.cells.resize(idx + 1, None);
+        }
+        &mut self.cells[idx]
+    }
+
+    /// Current save-stack depth.
+    pub fn save_stack_len(&self) -> usize {
+        self.save_stack.len()
+    }
+}
+
+impl Environment for ShallowEnv {
+    fn push_frame(&mut self) {
+        self.frames.push(self.save_stack.len());
+    }
+
+    fn pop_frame(&mut self) {
+        let mark = self.frames.pop().expect("pop of top-level frame");
+        while self.save_stack.len() > mark {
+            let (sym, old) = self.save_stack.pop().expect("marked entry");
+            *self.cell(sym) = old;
+            self.stats.unbinds += 1;
+        }
+    }
+
+    fn bind(&mut self, name: Symbol, v: Value) {
+        self.stats.binds += 1;
+        let old = self.cell(name).take();
+        if self.frames.is_empty() {
+            // Top-level bind: nothing to restore, overwrite in place.
+        } else {
+            self.save_stack.push((name, old));
+        }
+        *self.cell(name) = Some(v);
+    }
+
+    fn lookup(&mut self, name: Symbol) -> Option<Value> {
+        self.stats.lookups += 1;
+        self.stats.probes += 1; // one table access
+        self.cell(name).clone()
+    }
+
+    fn set(&mut self, name: Symbol, v: Value) -> Value {
+        // setq writes the value cell directly; if the name was entirely
+        // unbound this creates a global (no save-stack entry, so it
+        // survives frame pops).
+        *self.cell(name) = Some(v.clone());
+        v
+    }
+
+    fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn stats(&self) -> EnvStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::Interner;
+
+    #[test]
+    fn conformance() {
+        super::super::conformance::exercise(ShallowEnv::new());
+    }
+
+    #[test]
+    fn lookup_is_constant_cost() {
+        let mut i = Interner::new();
+        let mut env = ShallowEnv::new();
+        let bottom = i.intern("bottom");
+        env.bind(bottom, Value::Int(0));
+        for k in 0..50 {
+            env.push_frame();
+            env.bind(i.intern(&format!("v{k}")), Value::Int(k));
+        }
+        let before = env.stats().probes;
+        env.lookup(bottom);
+        assert_eq!(env.stats().probes - before, 1, "shallow lookup is O(1)");
+    }
+
+    #[test]
+    fn rebinding_saves_and_restores() {
+        let mut i = Interner::new();
+        let mut env = ShallowEnv::new();
+        let x = i.intern("x");
+        env.bind(x, Value::Int(1));
+        env.push_frame();
+        env.bind(x, Value::Int(2));
+        assert_eq!(env.save_stack_len(), 1, "old value saved on the stack");
+        env.pop_frame();
+        assert!(matches!(env.lookup(x), Some(Value::Int(1))));
+        assert_eq!(env.save_stack_len(), 0);
+    }
+}

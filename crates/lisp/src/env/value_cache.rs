@@ -1,0 +1,213 @@
+//! Deep binding with a FACOM-Alpha value cache (§2.3.2, Figure 2.5).
+//!
+//! The environment proper is a deep-bound association list; an
+//! associative *value cache* of (name, value, valid, frame number)
+//! entries is searched first on lookup. Cache maintenance follows the
+//! Alpha exactly:
+//!
+//! * on function **call**, entries for names being rebound are
+//!   invalidated;
+//! * on a lookup **miss**, the a-list is searched and the entry is
+//!   (re)validated with the current frame number;
+//! * on **return**, every entry tagged with the returning frame's number
+//!   is invalidated.
+
+use super::{deep::DeepEnv, EnvStats, Environment};
+use crate::value::Value;
+use small_sexpr::Symbol;
+
+#[derive(Clone)]
+struct CacheEntry {
+    name: Symbol,
+    value: Value,
+    frame: usize,
+    valid: bool,
+}
+
+/// Deep-bound environment fronted by a fixed-capacity value cache.
+pub struct ValueCacheEnv {
+    inner: DeepEnv,
+    cache: Vec<CacheEntry>,
+    capacity: usize,
+    /// Round-robin replacement cursor.
+    cursor: usize,
+    stats_cache: (u64, u64), // (hits, misses)
+}
+
+impl ValueCacheEnv {
+    /// Create an environment with a value cache of `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ValueCacheEnv {
+            inner: DeepEnv::new(),
+            cache: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+            stats_cache: (0, 0),
+        }
+    }
+
+    fn find(&mut self, name: Symbol) -> Option<usize> {
+        self.cache.iter().position(|e| e.name == name)
+    }
+
+    fn install(&mut self, name: Symbol, value: Value, frame: usize) {
+        if let Some(i) = self.find(name) {
+            self.cache[i] = CacheEntry {
+                name,
+                value,
+                frame,
+                valid: true,
+            };
+            return;
+        }
+        let entry = CacheEntry {
+            name,
+            value,
+            frame,
+            valid: true,
+        };
+        // Prefer an invalid slot; otherwise round-robin replace.
+        if let Some(i) = self.cache.iter().position(|e| !e.valid) {
+            self.cache[i] = entry;
+        } else if self.cache.len() < self.capacity {
+            self.cache.push(entry);
+        } else {
+            let i = self.cursor % self.capacity;
+            self.cursor = self.cursor.wrapping_add(1);
+            self.cache[i] = entry;
+        }
+    }
+
+    /// Cache hit/miss counts.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        self.stats_cache
+    }
+}
+
+impl Environment for ValueCacheEnv {
+    fn push_frame(&mut self) {
+        self.inner.push_frame();
+    }
+
+    fn pop_frame(&mut self) {
+        let frame = self.inner.depth();
+        for e in &mut self.cache {
+            if e.frame == frame {
+                e.valid = false;
+            }
+        }
+        self.inner.pop_frame();
+    }
+
+    fn bind(&mut self, name: Symbol, v: Value) {
+        // The Alpha invalidates entries for names being rebound at call
+        // time; binding *is* the rebinding moment here.
+        if let Some(i) = self.find(name) {
+            self.cache[i].valid = false;
+        }
+        self.inner.bind(name, v);
+    }
+
+    fn lookup(&mut self, name: Symbol) -> Option<Value> {
+        let frame = self.inner.depth();
+        if let Some(i) = self.find(name) {
+            if self.cache[i].valid {
+                self.stats_cache.0 += 1;
+                return Some(self.cache[i].value.clone());
+            }
+        }
+        self.stats_cache.1 += 1;
+        let v = self.inner.lookup(name)?;
+        self.install(name, v.clone(), frame);
+        Some(v)
+    }
+
+    fn set(&mut self, name: Symbol, v: Value) -> Value {
+        let frame = self.inner.depth();
+        let out = self.inner.set(name, v.clone());
+        self.install(name, v, frame);
+        out
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.depth()
+    }
+
+    fn stats(&self) -> EnvStats {
+        let mut s = self.inner.stats();
+        s.cache_hits = self.stats_cache.0;
+        s.cache_misses = self.stats_cache.1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::Interner;
+
+    #[test]
+    fn conformance() {
+        super::super::conformance::exercise(ValueCacheEnv::new(16));
+    }
+
+    #[test]
+    fn repeated_lookups_hit_the_cache() {
+        let mut i = Interner::new();
+        let mut env = ValueCacheEnv::new(8);
+        let x = i.intern("x");
+        env.bind(x, Value::Int(1));
+        // Bury x under many frames so deep lookups would be expensive.
+        for k in 0..20 {
+            env.push_frame();
+            env.bind(i.intern(&format!("v{k}")), Value::Int(k));
+        }
+        env.lookup(x); // miss, installs
+        let probes_after_miss = env.stats().probes;
+        for _ in 0..10 {
+            env.lookup(x); // hits
+        }
+        assert_eq!(env.stats().probes, probes_after_miss, "hits avoid the a-list");
+        let (hits, misses) = env.cache_counts();
+        assert_eq!((hits, misses), (10, 1));
+    }
+
+    #[test]
+    fn return_invalidates_frame_entries() {
+        let mut i = Interner::new();
+        let mut env = ValueCacheEnv::new(8);
+        let x = i.intern("x");
+        env.bind(x, Value::Int(1));
+        env.push_frame();
+        env.bind(x, Value::Int(2));
+        assert!(matches!(env.lookup(x), Some(Value::Int(2)))); // cached @ frame 1
+        env.pop_frame();
+        // The frame-1 entry must not serve a stale 2.
+        assert!(matches!(env.lookup(x), Some(Value::Int(1))));
+    }
+
+    #[test]
+    fn rebinding_invalidates() {
+        let mut i = Interner::new();
+        let mut env = ValueCacheEnv::new(8);
+        let x = i.intern("x");
+        env.bind(x, Value::Int(1));
+        env.lookup(x);
+        env.push_frame();
+        env.bind(x, Value::Int(2)); // must invalidate the cached 1
+        assert!(matches!(env.lookup(x), Some(Value::Int(2))));
+        env.pop_frame();
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut i = Interner::new();
+        let mut env = ValueCacheEnv::new(2);
+        for k in 0..5 {
+            let s = i.intern(&format!("v{k}"));
+            env.bind(s, Value::Int(k));
+            env.lookup(s);
+        }
+        assert!(env.cache.len() <= 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! The SMALL stack-machine instruction set (§4.3.4).
+//!
+//! The thesis sketches (rather than fully specifies) an instruction set
+//! for a stack machine "with the list manipulating functionality of
+//! SMALL": function call/return, adding bindings to the environment,
+//! pushing current bindings and immediates, I/O, list operations,
+//! arithmetic/logic, and conditional branching on the top of stack.
+//! Figures 4.14 and 4.15 show `fact` and a list-manipulation example in
+//! this ISA; the compiler in [`crate::compiler`] reproduces both shapes.
+//!
+//! Pre-processing resolves function arguments and `prog` locals to known
+//! frame offsets (`PushStk`/`SetStk`), so only free variables pay a
+//! run-time environment search (`PushName`/`SetName`) — exactly the
+//! §4.3.1 compilation note.
+
+use small_sexpr::Symbol;
+use std::fmt;
+
+/// A code address (index into the instruction vector).
+pub type CodeAddr = usize;
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// Pop TOS and bind it to `sym` in the current frame (callee
+    /// prologue: `BINDN x` in Figure 4.14).
+    BindN(Symbol),
+    /// Bind `nil` to `sym` in the current frame (prog locals).
+    BindNil(Symbol),
+    /// Push the value at frame offset `k` (0-based; argument/local
+    /// resolved at compile time).
+    PushStk(u16),
+    /// Push the current binding of a free variable (run-time search).
+    PushName(Symbol),
+    /// Push an integer constant (`PUSHSYM 0` in Figure 4.14).
+    PushInt(i64),
+    /// Push a symbol constant.
+    PushSym(Symbol),
+    /// Push nil.
+    PushNil,
+    /// Push (a fresh copy of) the quoted constant with this index.
+    PushConst(u16),
+    /// Discard TOS.
+    Pop,
+    /// Duplicate TOS (used for body-less cond legs whose value is the
+    /// test value).
+    Dup,
+    /// Store TOS into frame offset `k` (setq of an arg/local); leaves the
+    /// value on the stack (setq yields its value).
+    SetStk(u16),
+    /// Store TOS into the latest binding of a free variable.
+    SetName(Symbol),
+    /// Unconditional jump.
+    Jmp(CodeAddr),
+    /// Branch if TOS is nil (pops).
+    Brf(CodeAddr),
+    /// Branch if TOS is non-nil (pops).
+    Brt(CodeAddr),
+    /// Pop 2, branch if unequal (the `NEQUALP label` of Figure 4.14).
+    BrNeq(CodeAddr),
+
+    // Arithmetic (pop operands, push result).
+    /// TOS-1 + TOS.
+    AddOp,
+    /// TOS-1 − TOS (the `SUBOP` of Figure 4.14).
+    SubOp,
+    /// TOS-1 × TOS (the `MULOP` of Figure 4.14).
+    MulOp,
+    /// TOS-1 ÷ TOS.
+    DivOp,
+    /// TOS-1 mod TOS.
+    RemOp,
+
+    // Predicates (pop operands, push t/nil).
+    /// Structural equality.
+    EqualP,
+    /// Identity equality.
+    EqP,
+    /// TOS-1 > TOS.
+    GreaterP,
+    /// TOS-1 < TOS.
+    LessP,
+    /// Atom test.
+    AtomP,
+    /// Nil test (also `not`).
+    NullP,
+
+    // List operations (the LP requests of §4.3.2.2).
+    /// car of TOS (`CAROP`).
+    CarOp,
+    /// cdr of TOS (`CDROP` in Figure 4.15).
+    CdrOp,
+    /// cons of TOS-1 and TOS.
+    ConsOp,
+    /// rplaca: TOS-1 gets car TOS; pushes the modified list.
+    RplacaOp,
+    /// rplacd.
+    RplacdOp,
+    /// Read a list from the input queue, push it (`RDLIST`).
+    RdList,
+    /// Write TOS to output (`WRLIST`); value stays.
+    WrList,
+
+    /// Call function `sym` with `n` arguments on the stack (`FCALL`).
+    FCall(Symbol, u8),
+    /// Return TOS to the caller (`FRETN`).
+    FRetN,
+    /// Stop the machine (end of top-level code).
+    Halt,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::BindN(s) => write!(f, "BINDN    #{}", s.0),
+            Inst::BindNil(s) => write!(f, "BINDNIL  #{}", s.0),
+            Inst::PushStk(k) => write!(f, "PUSHSTK  {}", k + 1),
+            Inst::PushName(s) => write!(f, "PUSHNAME #{}", s.0),
+            Inst::PushInt(i) => write!(f, "PUSHSYM  {i}"),
+            Inst::PushSym(s) => write!(f, "PUSHSYM  #{}", s.0),
+            Inst::PushNil => write!(f, "PUSHNIL"),
+            Inst::PushConst(k) => write!(f, "PUSHCST  {k}"),
+            Inst::Pop => write!(f, "POP"),
+            Inst::Dup => write!(f, "DUP"),
+            Inst::SetStk(k) => write!(f, "SETQ     {}", k + 1),
+            Inst::SetName(s) => write!(f, "SETQN    #{}", s.0),
+            Inst::Jmp(a) => write!(f, "JMP      {a}"),
+            Inst::Brf(a) => write!(f, "BRF      {a}"),
+            Inst::Brt(a) => write!(f, "BRT      {a}"),
+            Inst::BrNeq(a) => write!(f, "NEQUALP  {a}"),
+            Inst::AddOp => write!(f, "ADDOP"),
+            Inst::SubOp => write!(f, "SUBOP"),
+            Inst::MulOp => write!(f, "MULOP"),
+            Inst::DivOp => write!(f, "DIVOP"),
+            Inst::RemOp => write!(f, "REMOP"),
+            Inst::EqualP => write!(f, "EQUALP"),
+            Inst::EqP => write!(f, "EQP"),
+            Inst::GreaterP => write!(f, "GREATERP"),
+            Inst::LessP => write!(f, "LESSP"),
+            Inst::AtomP => write!(f, "ATOMP"),
+            Inst::NullP => write!(f, "NULLP"),
+            Inst::CarOp => write!(f, "CAROP"),
+            Inst::CdrOp => write!(f, "CDROP"),
+            Inst::ConsOp => write!(f, "CONSOP"),
+            Inst::RplacaOp => write!(f, "RPLACA"),
+            Inst::RplacdOp => write!(f, "RPLACD"),
+            Inst::RdList => write!(f, "RDLIST"),
+            Inst::WrList => write!(f, "WRLIST"),
+            Inst::FCall(s, n) => write!(f, "FCALL    #{} {n}", s.0),
+            Inst::FRetN => write!(f, "FRETN"),
+            Inst::Halt => write!(f, "HALT"),
+        }
+    }
+}
+
+/// A compiled program: code, function entry points, and the quoted
+/// constants referenced by `PushConst`.
+#[derive(Debug, Default, Clone)]
+pub struct Program {
+    /// Flat instruction vector; functions are contiguous regions.
+    pub code: Vec<Inst>,
+    /// Entry point and arity per defined function.
+    pub functions: std::collections::HashMap<Symbol, FnInfo>,
+    /// Quoted list constants (fresh copies pushed at run time).
+    pub constants: Vec<small_sexpr::SExpr>,
+    /// Entry point of the top-level code.
+    pub entry: CodeAddr,
+}
+
+/// Metadata for one compiled function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnInfo {
+    /// Code address of the first instruction (the `BINDN` prologue).
+    pub entry: CodeAddr,
+    /// Number of parameters.
+    pub arity: u8,
+}
+
+impl Program {
+    /// Render a disassembly listing resolving symbol names.
+    pub fn disassemble(&self, interner: &small_sexpr::Interner) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut entries: Vec<(CodeAddr, String)> = self
+            .functions
+            .iter()
+            .map(|(s, fi)| (fi.entry, interner.name(*s).to_owned()))
+            .collect();
+        entries.push((self.entry, "<top>".to_owned()));
+        entries.sort();
+        for (pc, inst) in self.code.iter().enumerate() {
+            if let Some((_, name)) = entries.iter().find(|(a, _)| *a == pc) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let rendered = match inst {
+                Inst::BindN(s) => format!("BINDN    {}", interner.name(*s)),
+                Inst::BindNil(s) => format!("BINDNIL  {}", interner.name(*s)),
+                Inst::PushName(s) => format!("PUSHNAME {}", interner.name(*s)),
+                Inst::PushSym(s) => format!("PUSHSYM  {}", interner.name(*s)),
+                Inst::SetName(s) => format!("SETQN    {}", interner.name(*s)),
+                Inst::FCall(s, n) => format!("FCALL    {} {}", interner.name(*s), n),
+                other => format!("{other}"),
+            };
+            let _ = writeln!(out, "  {pc:4}  {rendered}");
+        }
+        out
+    }
+}

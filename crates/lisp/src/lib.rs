@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! The Lisp system of the SMALL reproduction.
+//!
+//! This crate stands in for the modified Franz Lisp interpreter the
+//! thesis used to generate its traces (§3.3.1), and implements the
+//! "simple Lisp" of §4.3.4 end to end:
+//!
+//! * [`value`] — runtime values with mutable, identity-bearing cons
+//!   cells (needed for `rplaca`/`rplacd` and for exact list identity in
+//!   traces),
+//! * [`mod@env`] — dynamic-binding environments: deep binding (association
+//!   list), shallow binding (oblist + save stack), and the FACOM-Alpha
+//!   value cache (§2.3.2, Figures 2.3–2.5),
+//! * [`interp`] — the tree-walking interpreter with tracing hooks,
+//! * [`isa`] / [`compiler`] / [`vm`] — the stack-machine instruction
+//!   set, the compiler that produces it (Figures 4.14–4.15), and an
+//!   emulator generic over a [`vm::ListBackend`] so the same compiled
+//!   code runs against a plain heap here and against the SMALL List
+//!   Processor in `small-core`.
+
+pub mod compiler;
+pub mod env;
+pub mod interp;
+pub mod isa;
+pub mod value;
+pub mod vm;
+
+pub use compiler::{compile_program, CompileError};
+pub use env::{DeepEnv, Environment, ShallowEnv, ValueCacheEnv};
+pub use interp::{EvalHook, Interp, LispError, NoHook};
+pub use value::Value;

@@ -1,0 +1,217 @@
+//! Interpreter runtime values.
+//!
+//! Unlike [`small_sexpr::SExpr`] (an immutable analysis-level tree),
+//! interpreter values have *mutable* cons cells — `rplaca`/`rplacd` are
+//! among the traced primitives — and each cell carries a session-unique
+//! id. The id gives the trace recorder exact list-object identity, which
+//! the thesis could not obtain from Franz Lisp (§5.2.1 "two list
+//! arguments that look identical could actually be different objects");
+//! we record both the s-expression form and the exact identity.
+
+use small_sexpr::{Atom, SExpr, Symbol};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A mutable cons cell with a session-unique identity.
+#[derive(Debug)]
+pub struct ConsCell {
+    /// Session-unique id, assigned by the interpreter's cell counter.
+    pub id: u64,
+    /// The car field.
+    pub car: RefCell<Value>,
+    /// The cdr field.
+    pub cdr: RefCell<Value>,
+}
+
+/// A runtime value of the simple Lisp (§4.3.4): integers are the only
+/// numeric type.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// nil — the empty list and the false value.
+    Nil,
+    /// A fixnum.
+    Int(i64),
+    /// A symbol (also the true value `t` by convention).
+    Sym(Symbol),
+    /// A shared, mutable cons cell.
+    Cons(Rc<ConsCell>),
+}
+
+impl Value {
+    /// True iff nil.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Lisp truthiness: everything but nil is true.
+    pub fn is_true(&self) -> bool {
+        !self.is_nil()
+    }
+
+    /// True iff an atom in the Lisp sense (nil included).
+    pub fn is_atom(&self) -> bool {
+        !matches!(self, Value::Cons(_))
+    }
+
+    /// The cell id, if a cons.
+    pub fn list_id(&self) -> Option<u64> {
+        match self {
+            Value::Cons(c) => Some(c.id),
+            _ => None,
+        }
+    }
+
+    /// Structural conversion to an analysis-level s-expression.
+    ///
+    /// Cyclic structure is cut off at `depth_limit` cells (the thesis
+    /// traces were s-expression prints; true cycles are rare in the
+    /// workloads and the limit keeps tracing total).
+    pub fn to_sexpr(&self) -> SExpr {
+        self.to_sexpr_limited(100_000)
+    }
+
+    /// As [`Value::to_sexpr`], with an explicit cell budget.
+    pub fn to_sexpr_limited(&self, mut budget: usize) -> SExpr {
+        fn go(v: &Value, budget: &mut usize) -> SExpr {
+            match v {
+                Value::Nil => SExpr::Nil,
+                Value::Int(i) => SExpr::int(*i),
+                Value::Sym(s) => SExpr::sym(*s),
+                Value::Cons(c) => {
+                    if *budget == 0 {
+                        return SExpr::Nil;
+                    }
+                    *budget -= 1;
+                    let car = go(&c.car.borrow(), budget);
+                    let cdr = go(&c.cdr.borrow(), budget);
+                    SExpr::cons(car, cdr)
+                }
+            }
+        }
+        go(self, &mut budget)
+    }
+
+    /// Pointer/identity equality (`eq`): atoms compare by value, lists by
+    /// cell identity.
+    pub fn eq_identity(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Cons(a), Value::Cons(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Structural equality (`equal`).
+    pub fn eq_structural(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Cons(a), Value::Cons(b)) => {
+                Rc::ptr_eq(a, b)
+                    || (a.car.borrow().eq_structural(&b.car.borrow())
+                        && a.cdr.borrow().eq_structural(&b.cdr.borrow()))
+            }
+            _ => self.eq_identity(other),
+        }
+    }
+}
+
+/// Allocates identity-bearing cons cells for one interpreter session.
+#[derive(Debug, Default)]
+pub struct CellAllocator {
+    next_id: u64,
+    /// Cells created (the `cons` count at the value level).
+    pub cells_created: u64,
+}
+
+impl CellAllocator {
+    /// New allocator with ids from 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cons a fresh cell.
+    pub fn cons(&mut self, car: Value, cdr: Value) -> Value {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.cells_created += 1;
+        Value::Cons(Rc::new(ConsCell {
+            id,
+            car: RefCell::new(car),
+            cdr: RefCell::new(cdr),
+        }))
+    }
+
+    /// Build a value from an s-expression (fresh cells throughout).
+    pub fn from_sexpr(&mut self, e: &SExpr) -> Value {
+        match e {
+            SExpr::Nil => Value::Nil,
+            SExpr::Atom(Atom::Int(i)) => Value::Int(*i),
+            SExpr::Atom(Atom::Sym(s)) => Value::Sym(*s),
+            SExpr::Cons(c) => {
+                let car = self.from_sexpr(&c.0);
+                let cdr = self.from_sexpr(&c.1);
+                self.cons(car, cdr)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::{parse, print, Interner};
+
+    #[test]
+    fn from_sexpr_roundtrip() {
+        let mut i = Interner::new();
+        let mut alloc = CellAllocator::new();
+        let e = parse("(a (b 2) c)", &mut i).unwrap();
+        let v = alloc.from_sexpr(&e);
+        assert_eq!(print(&v.to_sexpr(), &i), "(a (b 2) c)");
+    }
+
+    #[test]
+    fn cell_ids_are_unique() {
+        let mut i = Interner::new();
+        let mut alloc = CellAllocator::new();
+        let e = parse("(a b)", &mut i).unwrap();
+        let v1 = alloc.from_sexpr(&e);
+        let v2 = alloc.from_sexpr(&e);
+        assert_ne!(v1.list_id(), v2.list_id());
+        assert!(v1.eq_structural(&v2));
+        assert!(!v1.eq_identity(&v2));
+    }
+
+    #[test]
+    fn mutation_through_shared_cell() {
+        let mut i = Interner::new();
+        let mut alloc = CellAllocator::new();
+        let e = parse("(a b)", &mut i).unwrap();
+        let v = alloc.from_sexpr(&e);
+        let alias = v.clone();
+        if let Value::Cons(c) = &v {
+            *c.car.borrow_mut() = Value::Int(42);
+        }
+        assert_eq!(print(&alias.to_sexpr(), &i), "(42 b)");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.is_true());
+        assert!(Value::Int(0).is_true(), "0 is true in Lisp");
+        let mut i = Interner::new();
+        assert!(Value::Sym(i.intern("t")).is_true());
+    }
+
+    #[test]
+    fn cycle_conversion_is_bounded() {
+        let mut alloc = CellAllocator::new();
+        let v = alloc.cons(Value::Int(1), Value::Nil);
+        if let Value::Cons(c) = &v {
+            *c.cdr.borrow_mut() = v.clone(); // self-cycle
+        }
+        // Must terminate.
+        let _ = v.to_sexpr_limited(100);
+    }
+}

@@ -1,0 +1,789 @@
+//! The stack-machine emulator (§4.3.4), generic over a list backend.
+//!
+//! The thesis's emulator "operated by tracing the state of three key
+//! SMALL structures: the stack (control and environment), the LPT and
+//! the heap". This VM owns the first — a combined control/binding stack,
+//! deep-bound, exactly the §4.3.1 model — and delegates every list
+//! operation to a [`ListBackend`]:
+//!
+//! * [`DirectBackend`] (here) runs lists straight against a two-pointer
+//!   heap — the conventional-machine baseline;
+//! * `small-core` provides the LP/LPT backend, so the *same compiled
+//!   program* exercises the SMALL architecture.
+//!
+//! The backend's `retain`/`release` hooks fire when list values are
+//! bound into / dropped from the environment — the points where the EP
+//! sends reference-count traffic to the LP (§4.3.1, §5.3.3).
+
+use crate::isa::{Inst, Program};
+use small_sexpr::{SExpr, Symbol};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A VM value: immediates plus a backend-defined list reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmValue<R> {
+    /// nil.
+    Nil,
+    /// A fixnum.
+    Int(i64),
+    /// A symbol.
+    Sym(Symbol),
+    /// A list object handle (heap address, LPT identifier, …).
+    List(R),
+}
+
+impl<R> VmValue<R> {
+    /// Lisp truthiness.
+    pub fn is_true(&self) -> bool {
+        !matches!(self, VmValue::Nil)
+    }
+
+    /// Atom test (nil is an atom).
+    pub fn is_atom(&self) -> bool {
+        !matches!(self, VmValue::List(_))
+    }
+}
+
+/// VM runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Reference to an unbound name.
+    Unbound(String),
+    /// FCall of an undefined function.
+    NoSuchFunction(String),
+    /// Operand of the wrong type.
+    TypeError(&'static str),
+    /// Integer division by zero.
+    DivideByZero,
+    /// Operand stack underflow (compiler bug if it happens).
+    StackUnderflow,
+    /// `read` on an empty input queue.
+    ReadEof,
+    /// Instruction budget exhausted.
+    StepBudget,
+    /// The backend failed (heap/LPT exhaustion etc.).
+    Backend(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Unbound(n) => write!(f, "unbound name {n}"),
+            VmError::NoSuchFunction(n) => write!(f, "undefined function {n}"),
+            VmError::TypeError(p) => write!(f, "type error in {p}"),
+            VmError::DivideByZero => write!(f, "division by zero"),
+            VmError::StackUnderflow => write!(f, "operand stack underflow"),
+            VmError::ReadEof => write!(f, "read: input exhausted"),
+            VmError::StepBudget => write!(f, "instruction budget exhausted"),
+            VmError::Backend(s) => write!(f, "backend error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The list-structure interface the VM drives (the EP→LP request set of
+/// §4.3.2.2: readlist, car, cdr, rplaca, rplacd, cons, plus writelist).
+///
+/// Reference discipline: every `List` value the VM holds (operand-stack
+/// slot or binding) carries exactly one retained reference. Values
+/// *returned* by `car`/`cdr`/`cons`/`read_in` arrive already retained;
+/// the VM calls [`ListBackend::release`] whenever it drops a value and
+/// [`ListBackend::retain`] whenever it copies one. Backends without
+/// reference counting (the direct heap) leave the hooks as no-ops.
+pub trait ListBackend {
+    /// Handle type for list objects.
+    type Ref: Clone + PartialEq + Eq + fmt::Debug;
+
+    /// `car` of a list object.
+    fn car(&mut self, r: &Self::Ref) -> Result<VmValue<Self::Ref>, VmError>;
+    /// `cdr` of a list object.
+    fn cdr(&mut self, r: &Self::Ref) -> Result<VmValue<Self::Ref>, VmError>;
+    /// Allocate a cons of two values.
+    fn cons(
+        &mut self,
+        car: VmValue<Self::Ref>,
+        cdr: VmValue<Self::Ref>,
+    ) -> Result<Self::Ref, VmError>;
+    /// Replace the car of a list object.
+    fn rplaca(&mut self, r: &Self::Ref, v: VmValue<Self::Ref>) -> Result<(), VmError>;
+    /// Replace the cdr of a list object.
+    fn rplacd(&mut self, r: &Self::Ref, v: VmValue<Self::Ref>) -> Result<(), VmError>;
+    /// Read an s-expression into the backend (`readlist`).
+    fn read_in(&mut self, e: &SExpr) -> Result<VmValue<Self::Ref>, VmError>;
+    /// Reconstruct the s-expression for a value (`writelist`).
+    fn write_out(&mut self, v: &VmValue<Self::Ref>) -> SExpr;
+    /// Structural equality of two values.
+    fn equal(&mut self, a: &VmValue<Self::Ref>, b: &VmValue<Self::Ref>) -> bool;
+    /// A new *binding* reference to a list object was created (the EP
+    /// tells the LP to increment the object's reference count).
+    fn retain(&mut self, r: &Self::Ref) {
+        let _ = r;
+    }
+    /// A binding reference was dropped (function return, §4.3.1).
+    fn release(&mut self, r: &Self::Ref) {
+        let _ = r;
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Return address.
+    ret_pc: usize,
+    /// Binding-stack mark: bindings at or above this index belong here.
+    bind_mark: usize,
+    /// Operand-stack mark at call time.
+    op_mark: usize,
+}
+
+/// VM execution statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Function calls performed.
+    pub fn_calls: u64,
+    /// Maximum control-stack depth.
+    pub max_depth: usize,
+    /// List-primitive instructions executed (car/cdr/cons/rplaca/rplacd).
+    pub list_ops: u64,
+    /// Environment searches for free variables (PushName/SetName).
+    pub name_searches: u64,
+}
+
+/// The stack-machine emulator.
+pub struct Vm<B: ListBackend> {
+    /// The list backend.
+    pub backend: B,
+    program: Program,
+    /// Operand stack.
+    stack: Vec<VmValue<B::Ref>>,
+    /// Combined control/environment stack: name–value bindings.
+    bindings: Vec<(Symbol, VmValue<B::Ref>)>,
+    frames: Vec<Frame>,
+    /// Input queue served to `RdList`.
+    pub input: VecDeque<SExpr>,
+    /// Output collected from `WrList`.
+    pub output: Vec<SExpr>,
+    stats: VmStats,
+    budget: u64,
+}
+
+impl<B: ListBackend> Vm<B> {
+    /// Create a VM for `program` over `backend`.
+    pub fn new(program: Program, backend: B) -> Self {
+        Vm {
+            backend,
+            program,
+            stack: Vec::new(),
+            bindings: Vec::new(),
+            frames: Vec::new(),
+            input: VecDeque::new(),
+            output: Vec::new(),
+            stats: VmStats::default(),
+            budget: u64::MAX,
+        }
+    }
+
+    /// Bound the number of instructions executed.
+    pub fn set_budget(&mut self, n: u64) {
+        self.budget = n;
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Release every value still held by the machine (top-level bindings
+    /// and operand-stack leftovers). Call when the program is done and
+    /// reference accounting must balance.
+    pub fn shutdown(&mut self) {
+        while let Some(v) = self.stack.pop() {
+            self.release_value(&v);
+        }
+        while let Some((_, v)) = self.bindings.pop() {
+            self.release_value(&v);
+        }
+        self.frames.clear();
+    }
+
+    /// Run from the program entry point; returns the final value left on
+    /// the operand stack by `Halt` (or nil).
+    pub fn run(&mut self) -> Result<VmValue<B::Ref>, VmError> {
+        let mut pc = self.program.entry;
+        loop {
+            if self.budget == 0 {
+                return Err(VmError::StepBudget);
+            }
+            self.budget -= 1;
+            self.stats.instructions += 1;
+            let inst = self.program.code[pc];
+            pc += 1;
+            match inst {
+                Inst::Halt => {
+                    return Ok(self.stack.pop().unwrap_or(VmValue::Nil));
+                }
+                Inst::BindN(sym) => {
+                    // The binding inherits the operand-stack reference.
+                    let v = self.pop()?;
+                    self.bindings.push((sym, v));
+                }
+                Inst::BindNil(sym) => {
+                    self.bindings.push((sym, VmValue::Nil));
+                }
+                Inst::PushStk(k) => {
+                    let base = self.frames.last().map_or(0, |f| f.bind_mark);
+                    let v = self
+                        .bindings
+                        .get(base + k as usize)
+                        .ok_or(VmError::StackUnderflow)?
+                        .1
+                        .clone();
+                    if let VmValue::List(r) = &v {
+                        self.backend.retain(r);
+                    }
+                    self.stack.push(v);
+                }
+                Inst::PushName(sym) => {
+                    self.stats.name_searches += 1;
+                    let v = self
+                        .bindings
+                        .iter()
+                        .rev()
+                        .find(|(n, _)| *n == sym)
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| VmError::Unbound(format!("#{}", sym.0)))?;
+                    if let VmValue::List(r) = &v {
+                        self.backend.retain(r);
+                    }
+                    self.stack.push(v);
+                }
+                Inst::PushInt(i) => self.stack.push(VmValue::Int(i)),
+                Inst::PushSym(s) => self.stack.push(VmValue::Sym(s)),
+                Inst::PushNil => self.stack.push(VmValue::Nil),
+                Inst::PushConst(k) => {
+                    let e = self.program.constants[k as usize].clone();
+                    let v = self.backend.read_in(&e)?;
+                    self.stack.push(v);
+                }
+                Inst::Pop => {
+                    let v = self.pop()?;
+                    self.release_value(&v);
+                }
+                Inst::Dup => {
+                    let v = self.peek()?.clone();
+                    if let VmValue::List(r) = &v {
+                        self.backend.retain(r);
+                    }
+                    self.stack.push(v);
+                }
+                Inst::SetStk(k) => {
+                    let v = self.peek()?.clone();
+                    if let VmValue::List(r) = &v {
+                        self.backend.retain(r);
+                    }
+                    let base = self.frames.last().map_or(0, |f| f.bind_mark);
+                    let slot = self
+                        .bindings
+                        .get_mut(base + k as usize)
+                        .ok_or(VmError::StackUnderflow)?;
+                    let old = std::mem::replace(&mut slot.1, v);
+                    self.release_value(&old);
+                }
+                Inst::SetName(sym) => {
+                    self.stats.name_searches += 1;
+                    let v = self.peek()?.clone();
+                    if let VmValue::List(r) = &v {
+                        self.backend.retain(r);
+                    }
+                    match self.bindings.iter_mut().rev().find(|(n, _)| *n == sym) {
+                        Some(slot) => {
+                            let old = std::mem::replace(&mut slot.1, v);
+                            self.release_value(&old);
+                        }
+                        None => {
+                            // Unbound setq creates a global binding below
+                            // every frame.
+                            self.bindings.insert(0, (sym, v));
+                            for f in &mut self.frames {
+                                f.bind_mark += 1;
+                            }
+                        }
+                    }
+                }
+                Inst::Jmp(a) => pc = a,
+                Inst::Brf(a) => {
+                    let v = self.pop()?;
+                    self.release_value(&v);
+                    if !v.is_true() {
+                        pc = a;
+                    }
+                }
+                Inst::Brt(a) => {
+                    let v = self.pop()?;
+                    self.release_value(&v);
+                    if v.is_true() {
+                        pc = a;
+                    }
+                }
+                Inst::BrNeq(a) => {
+                    let b = self.pop()?;
+                    let x = self.pop()?;
+                    let eq = self.backend.equal(&x, &b);
+                    self.release_value(&b);
+                    self.release_value(&x);
+                    if !eq {
+                        pc = a;
+                    }
+                }
+                Inst::AddOp => self.arith(|x, y| Ok(x.wrapping_add(y)))?,
+                Inst::SubOp => self.arith(|x, y| Ok(x.wrapping_sub(y)))?,
+                Inst::MulOp => self.arith(|x, y| Ok(x.wrapping_mul(y)))?,
+                Inst::DivOp => self.arith(|x, y| {
+                    if y == 0 {
+                        Err(VmError::DivideByZero)
+                    } else {
+                        Ok(x / y)
+                    }
+                })?,
+                Inst::RemOp => self.arith(|x, y| {
+                    if y == 0 {
+                        Err(VmError::DivideByZero)
+                    } else {
+                        Ok(x % y)
+                    }
+                })?,
+                Inst::EqualP => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    let eq = self.backend.equal(&a, &b);
+                    self.release_value(&a);
+                    self.release_value(&b);
+                    self.push_bool(eq);
+                }
+                Inst::EqP => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    let eq = a == b;
+                    self.release_value(&a);
+                    self.release_value(&b);
+                    self.push_bool(eq);
+                }
+                Inst::GreaterP => {
+                    let (x, y) = self.two_ints()?;
+                    self.push_bool(x > y);
+                }
+                Inst::LessP => {
+                    let (x, y) = self.two_ints()?;
+                    self.push_bool(x < y);
+                }
+                Inst::AtomP => {
+                    let v = self.pop()?;
+                    self.release_value(&v);
+                    self.push_bool(v.is_atom());
+                }
+                Inst::NullP => {
+                    let v = self.pop()?;
+                    self.release_value(&v);
+                    self.push_bool(!v.is_true());
+                }
+                Inst::CarOp => {
+                    self.stats.list_ops += 1;
+                    let v = self.pop()?;
+                    let out = match &v {
+                        VmValue::List(r) => self.backend.car(r)?,
+                        VmValue::Nil => VmValue::Nil,
+                        _ => return Err(VmError::TypeError("car")),
+                    };
+                    self.release_value(&v);
+                    self.stack.push(out);
+                }
+                Inst::CdrOp => {
+                    self.stats.list_ops += 1;
+                    let v = self.pop()?;
+                    let out = match &v {
+                        VmValue::List(r) => self.backend.cdr(r)?,
+                        VmValue::Nil => VmValue::Nil,
+                        _ => return Err(VmError::TypeError("cdr")),
+                    };
+                    self.release_value(&v);
+                    self.stack.push(out);
+                }
+                Inst::ConsOp => {
+                    self.stats.list_ops += 1;
+                    let cdr = self.pop()?;
+                    let car = self.pop()?;
+                    let r = self.backend.cons(car.clone(), cdr.clone())?;
+                    self.release_value(&car);
+                    self.release_value(&cdr);
+                    self.stack.push(VmValue::List(r));
+                }
+                Inst::RplacaOp => {
+                    self.stats.list_ops += 1;
+                    let v = self.pop()?;
+                    let target = self.pop()?;
+                    match &target {
+                        VmValue::List(r) => self.backend.rplaca(r, v.clone())?,
+                        _ => return Err(VmError::TypeError("rplaca")),
+                    }
+                    self.release_value(&v);
+                    self.stack.push(target);
+                }
+                Inst::RplacdOp => {
+                    self.stats.list_ops += 1;
+                    let v = self.pop()?;
+                    let target = self.pop()?;
+                    match &target {
+                        VmValue::List(r) => self.backend.rplacd(r, v.clone())?,
+                        _ => return Err(VmError::TypeError("rplacd")),
+                    }
+                    self.release_value(&v);
+                    self.stack.push(target);
+                }
+                Inst::RdList => {
+                    let e = self.input.pop_front().ok_or(VmError::ReadEof)?;
+                    let v = self.backend.read_in(&e)?;
+                    self.stack.push(v);
+                }
+                Inst::WrList => {
+                    let v = self.peek()?.clone();
+                    let e = self.backend.write_out(&v);
+                    self.output.push(e);
+                }
+                Inst::FCall(name, _nargs) => {
+                    let fi = self
+                        .program
+                        .functions
+                        .get(&name)
+                        .copied()
+                        .ok_or_else(|| VmError::NoSuchFunction(format!("#{}", name.0)))?;
+                    self.stats.fn_calls += 1;
+                    self.frames.push(Frame {
+                        ret_pc: pc,
+                        bind_mark: self.bindings.len(),
+                        op_mark: self.stack.len().saturating_sub(fi.arity as usize),
+                    });
+                    self.stats.max_depth = self.stats.max_depth.max(self.frames.len());
+                    pc = fi.entry;
+                }
+                Inst::FRetN => {
+                    let ret = self.pop()?;
+                    let Some(frame) = self.frames.pop() else {
+                        // `return` at top level (outside any call): the
+                        // program's final value.
+                        return Ok(ret);
+                    };
+                    // Unbind this call's bindings, releasing list refs
+                    // (the burst of decrement traffic of §5.3.3).
+                    while self.bindings.len() > frame.bind_mark {
+                        let (_, v) = self.bindings.pop().expect("marked binding");
+                        self.release_value(&v);
+                    }
+                    while self.stack.len() > frame.op_mark {
+                        let v = self.stack.pop().expect("marked operand");
+                        self.release_value(&v);
+                    }
+                    self.stack.push(ret);
+                    pc = frame.ret_pc;
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Result<VmValue<B::Ref>, VmError> {
+        self.stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    fn release_value(&mut self, v: &VmValue<B::Ref>) {
+        if let VmValue::List(r) = v {
+            self.backend.release(r);
+        }
+    }
+
+    fn peek(&self) -> Result<&VmValue<B::Ref>, VmError> {
+        self.stack.last().ok_or(VmError::StackUnderflow)
+    }
+
+    fn push_bool(&mut self, b: bool) {
+        // Truth is any non-nil value; predicates feed Brf/Brt, so the
+        // canonical truth constant is Int(1) (the VM has no access to the
+        // interner to push the symbol `t`).
+        self.stack.push(if b { VmValue::Int(1) } else { VmValue::Nil });
+    }
+
+    fn two_ints(&mut self) -> Result<(i64, i64), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        match (a, b) {
+            (VmValue::Int(x), VmValue::Int(y)) => Ok((x, y)),
+            _ => Err(VmError::TypeError("integer comparison")),
+        }
+    }
+
+    fn arith(&mut self, f: impl Fn(i64, i64) -> Result<i64, VmError>) -> Result<(), VmError> {
+        let (x, y) = self.two_ints()?;
+        self.stack.push(VmValue::Int(f(x, y)?));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direct backend: lists straight on a two-pointer heap
+// ---------------------------------------------------------------------
+
+use small_heap::{Tag, TwoPointerHeap, Word};
+
+/// The conventional-machine baseline backend: list values live on a
+/// [`TwoPointerHeap`], references are raw heap words.
+pub struct DirectBackend {
+    /// The backing heap.
+    pub heap: TwoPointerHeap,
+}
+
+impl DirectBackend {
+    /// Create a backend with a heap of `cells` cells.
+    pub fn new(cells: usize) -> Self {
+        DirectBackend {
+            heap: TwoPointerHeap::with_capacity(cells),
+        }
+    }
+
+    fn to_value(w: Word) -> VmValue<Word> {
+        match w.tag() {
+            Tag::Nil => VmValue::Nil,
+            Tag::Int => VmValue::Int(w.as_int()),
+            Tag::Sym => VmValue::Sym(Symbol(w.as_sym())),
+            Tag::Ptr | Tag::Invisible => VmValue::List(w),
+            _ => VmValue::Nil,
+        }
+    }
+
+    fn to_word(v: &VmValue<Word>) -> Word {
+        match v {
+            VmValue::Nil => Word::NIL,
+            VmValue::Int(i) => Word::int(*i),
+            VmValue::Sym(s) => Word::sym(s.0),
+            VmValue::List(w) => *w,
+        }
+    }
+}
+
+impl ListBackend for DirectBackend {
+    type Ref = Word;
+
+    fn car(&mut self, r: &Word) -> Result<VmValue<Word>, VmError> {
+        Ok(Self::to_value(self.heap.car(r.addr())))
+    }
+
+    fn cdr(&mut self, r: &Word) -> Result<VmValue<Word>, VmError> {
+        Ok(Self::to_value(self.heap.cdr(r.addr())))
+    }
+
+    fn cons(&mut self, car: VmValue<Word>, cdr: VmValue<Word>) -> Result<Word, VmError> {
+        let cw = Self::to_word(&car);
+        let dw = Self::to_word(&cdr);
+        self.heap
+            .alloc(cw, dw)
+            .map(Word::ptr)
+            .ok_or_else(|| VmError::Backend("heap exhausted".into()))
+    }
+
+    fn rplaca(&mut self, r: &Word, v: VmValue<Word>) -> Result<(), VmError> {
+        self.heap.rplaca(r.addr(), Self::to_word(&v));
+        Ok(())
+    }
+
+    fn rplacd(&mut self, r: &Word, v: VmValue<Word>) -> Result<(), VmError> {
+        self.heap.rplacd(r.addr(), Self::to_word(&v));
+        Ok(())
+    }
+
+    fn read_in(&mut self, e: &SExpr) -> Result<VmValue<Word>, VmError> {
+        let w = self
+            .heap
+            .intern(e)
+            .ok_or_else(|| VmError::Backend("heap exhausted".into()))?;
+        Ok(Self::to_value(w))
+    }
+
+    fn write_out(&mut self, v: &VmValue<Word>) -> SExpr {
+        self.heap.extract(Self::to_word(v))
+    }
+
+    fn equal(&mut self, a: &VmValue<Word>, b: &VmValue<Word>) -> bool {
+        match (a, b) {
+            (VmValue::List(x), VmValue::List(y)) => {
+                self.heap.extract(*x) == self.heap.extract(*y)
+            }
+            // Cross-type numeric/bool truth: predicates push Int(1).
+            (VmValue::Int(x), VmValue::Int(y)) => x == y,
+            (VmValue::Sym(x), VmValue::Sym(y)) => x == y,
+            (VmValue::Nil, VmValue::Nil) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile_program;
+    use small_sexpr::{parse, print, Interner};
+
+    fn run_src(src: &str) -> (String, Interner) {
+        let mut i = Interner::new();
+        let p = compile_program(src, &mut i).expect("compile");
+        let mut vm = Vm::new(p, DirectBackend::new(65536));
+        let v = vm.run().expect("run");
+        let e = vm.backend.write_out(&v);
+        (print(&e, &i), i)
+    }
+
+    #[test]
+    fn factorial_figure_4_14() {
+        let src = "
+        (def fact (lambda (x)
+          (cond ((equal x 0) 1)
+                (t (times x (fact (sub x 1)))))))
+        (fact 10)";
+        assert_eq!(run_src(src).0, "3628800");
+    }
+
+    #[test]
+    fn list_manipulation_figure_4_15() {
+        let mut i = Interner::new();
+        let src = "
+        (def printit (lambda (junk) (write (cdr junk))))
+        (def doit (lambda ()
+          (prog (lst)
+            (read lst)
+            (printit lst)
+            (setq lst (cdr (cdr lst)))
+            (return lst))))
+        (doit)";
+        let p = compile_program(src, &mut i).unwrap();
+        let mut vm = Vm::new(p, DirectBackend::new(4096));
+        vm.input
+            .push_back(parse("(a b c d)", &mut i).unwrap());
+        let v = vm.run().unwrap();
+        let out = vm.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "(c d)");
+        assert_eq!(print(&vm.output[0], &i), "(b c d)");
+    }
+
+    #[test]
+    fn quoted_constants() {
+        assert_eq!(run_src("(car '(a b))").0, "a");
+        assert_eq!(run_src("(cdr '(a (b c)))").0, "((b c))");
+    }
+
+    #[test]
+    fn arithmetic_chain() {
+        assert_eq!(run_src("(add 1 (times 2 3))").0, "7");
+        assert_eq!(run_src("(sub 10 (quotient 7 2))").0, "7");
+        assert_eq!(run_src("(rem 17 5)").0, "2");
+    }
+
+    #[test]
+    fn cond_without_body_keeps_test_value() {
+        assert_eq!(run_src("(cond (nil 1) (5))").0, "5");
+        assert_eq!(run_src("(cond (nil 1))").0, "nil");
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        assert_eq!(run_src("(and 1 2 3)").0, "3");
+        assert_eq!(run_src("(and 1 nil 3)").0, "nil");
+        assert_eq!(run_src("(or nil nil 7)").0, "7");
+        assert_eq!(run_src("(or nil nil)").0, "nil");
+    }
+
+    #[test]
+    fn prog_loop_with_go() {
+        let src = "
+        (def sum-to (lambda (n)
+          (prog (acc i)
+            (setq acc 0)
+            (setq i 0)
+            loop
+            (cond ((greaterp i n) (return acc)))
+            (setq acc (add acc i))
+            (setq i (add i 1))
+            (go loop))))
+        (sum-to 100)";
+        assert_eq!(run_src(src).0, "5050");
+    }
+
+    #[test]
+    fn recursive_list_function() {
+        let src = "
+        (def append2 (lambda (a b)
+          (cond ((null a) b)
+                (t (cons (car a) (append2 (cdr a) b))))))
+        (append2 '(1 2 3) '(4 5))";
+        assert_eq!(run_src(src).0, "(1 2 3 4 5)");
+    }
+
+    #[test]
+    fn rplaca_rplacd_on_heap() {
+        let src = "
+        (prog (x)
+          (setq x '(1 2 3))
+          (rplaca x 9)
+          (rplacd (cdr x) '(7))
+          (return x))";
+        assert_eq!(run_src(src).0, "(9 2 7)");
+    }
+
+    #[test]
+    fn free_variable_dynamic_scope() {
+        let src = "
+        (def g (lambda () x))
+        (def f (lambda (x) (g)))
+        (f 42)";
+        assert_eq!(run_src(src).0, "42");
+    }
+
+    #[test]
+    fn setq_of_unbound_creates_global() {
+        let src = "
+        (def f (lambda () (setq g 5)))
+        (progn (f) g)";
+        assert_eq!(run_src(src).0, "5");
+    }
+
+    #[test]
+    fn stats_count_list_ops() {
+        let mut i = Interner::new();
+        let p = compile_program("(car (cdr '(1 2 3)))", &mut i).unwrap();
+        let mut vm = Vm::new(p, DirectBackend::new(256));
+        vm.run().unwrap();
+        assert_eq!(vm.stats().list_ops, 2);
+    }
+
+    #[test]
+    fn budget_stops_infinite_loop() {
+        let mut i = Interner::new();
+        let p = compile_program("(prog () loop (go loop))", &mut i).unwrap();
+        let mut vm = Vm::new(p, DirectBackend::new(256));
+        vm.set_budget(10_000);
+        assert_eq!(vm.run(), Err(VmError::StepBudget));
+    }
+
+    #[test]
+    fn disassembly_mentions_fact_shape() {
+        // Sanity-check the Figure 4.14 shape: BINDN, PUSHSTK, EQUALP…
+        let mut i = Interner::new();
+        let p = compile_program(
+            "(def fact (lambda (x) (cond ((equal x 0) 1) (t (times x (fact (sub x 1)))))))",
+            &mut i,
+        )
+        .unwrap();
+        let dis = p.disassemble(&i);
+        for needle in ["fact:", "BINDN    x", "PUSHSTK  1", "EQUALP", "FCALL    fact 1", "MULOP", "FRETN"] {
+            assert!(dis.contains(needle), "missing {needle} in:\n{dis}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the Lisp system: the three environment
+//! implementations are observationally equivalent under random
+//! operation sequences, and interpreter arithmetic/list laws hold.
+
+use proptest::prelude::*;
+use small_lisp::env::{DeepEnv, Environment, ShallowEnv, ValueCacheEnv};
+use small_lisp::value::Value;
+use small_sexpr::{Interner, Symbol};
+
+/// A random environment operation over a small name alphabet.
+#[derive(Debug, Clone, Copy)]
+enum EnvOp {
+    Push,
+    Pop,
+    Bind(u8, i64),
+    Set(u8, i64),
+    Lookup(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<EnvOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(EnvOp::Push),
+            Just(EnvOp::Pop),
+            (0u8..6, -100i64..100).prop_map(|(n, v)| EnvOp::Bind(n, v)),
+            (0u8..6, -100i64..100).prop_map(|(n, v)| EnvOp::Set(n, v)),
+            (0u8..6).prop_map(EnvOp::Lookup),
+        ],
+        0..120,
+    )
+}
+
+/// Apply ops, collecting every lookup observation. Pops with no open
+/// frame are skipped (they would be interpreter bugs, not env states).
+fn observe<E: Environment>(env: &mut E, names: &[Symbol], ops: &[EnvOp]) -> Vec<Option<i64>> {
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            EnvOp::Push => env.push_frame(),
+            EnvOp::Pop => {
+                if env.depth() > 0 {
+                    env.pop_frame();
+                }
+            }
+            EnvOp::Bind(n, v) => env.bind(names[n as usize], Value::Int(v)),
+            EnvOp::Set(n, v) => {
+                env.set(names[n as usize], Value::Int(v));
+            }
+            EnvOp::Lookup(n) => out.push(match env.lookup(names[n as usize]) {
+                Some(Value::Int(i)) => Some(i),
+                Some(_) => None,
+                None => None,
+            }),
+        }
+    }
+    // Unwind remaining frames and observe the final top-level state.
+    while env.depth() > 0 {
+        env.pop_frame();
+    }
+    for name in names {
+        out.push(match env.lookup(*name) {
+            Some(Value::Int(i)) => Some(i),
+            _ => None,
+        });
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn environments_are_observationally_equivalent(ops in arb_ops()) {
+        let mut i = Interner::new();
+        let names: Vec<Symbol> = (0..6).map(|k| i.intern(&format!("v{k}"))).collect();
+        let deep = observe(&mut DeepEnv::new(), &names, &ops);
+        let shallow = observe(&mut ShallowEnv::new(), &names, &ops);
+        let cached = observe(&mut ValueCacheEnv::new(4), &names, &ops);
+        prop_assert_eq!(&deep, &shallow, "deep vs shallow");
+        prop_assert_eq!(&deep, &cached, "deep vs value-cache");
+    }
+
+    #[test]
+    fn interpreter_list_identities(xs in prop::collection::vec(-50i64..50, 0..8)) {
+        use small_lisp::interp::{Interp, NoHook, PRELUDE};
+        let mut it = Interp::new(Interner::new(), DeepEnv::new(), NoHook);
+        it.run_program(PRELUDE).unwrap();
+        let lit = format!(
+            "'({})",
+            xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
+        );
+        // (length x) == |xs|
+        let v = it.run_program(&format!("(length {lit})")).unwrap();
+        prop_assert!(matches!(v, Value::Int(n) if n == xs.len() as i64));
+        // (reverse (reverse x)) == x
+        let v = it
+            .run_program(&format!("(equal (reverse (reverse {lit})) {lit})"))
+            .unwrap();
+        prop_assert!(v.is_true());
+        // (length (append x x)) == 2|xs|
+        let v = it
+            .run_program(&format!("(length (append {lit} {lit}))"))
+            .unwrap();
+        prop_assert!(matches!(v, Value::Int(n) if n == 2 * xs.len() as i64));
+    }
+
+    #[test]
+    fn interpreter_arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        use small_lisp::interp::{Interp, NoHook};
+        let mut it = Interp::new(Interner::new(), DeepEnv::new(), NoHook);
+        let v = it.run_program(&format!("(add {a} {b})")).unwrap();
+        prop_assert!(matches!(v, Value::Int(x) if x == a + b));
+        let v = it.run_program(&format!("(times {a} {b})")).unwrap();
+        prop_assert!(matches!(v, Value::Int(x) if x == a * b));
+        if b != 0 {
+            let v = it.run_program(&format!("(quotient {a} {b})")).unwrap();
+            prop_assert!(matches!(v, Value::Int(x) if x == a / b));
+        }
+    }
+}

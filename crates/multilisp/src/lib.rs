@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! A SMALL Multilisp (Chapter 6).
+//!
+//! Chapter 6 extends SMALL to multiprocessing: `future`-based parallel
+//! evaluation in the Halstead style (§6.2.1.2), **reference weighting**
+//! so that copying a reference between nodes requires no reference-count
+//! messages (Figures 6.3 and 6.5), a multi-node organization where each
+//! node owns an LPT (Figure 6.1/6.4), and **combining queues** that
+//! merge outgoing weight updates addressed to the same object
+//! (Figure 6.6).
+//!
+//! * [`mod@future`] — futures and parallel argument evaluation,
+//! * [`weights`] — weighted reference counting with message accounting,
+//! * [`node`] — the deterministic multi-node system with combining
+//!   update queues (exact message accounting),
+//! * [`parallel`] — the same organization on real threads and channels.
+
+pub mod future;
+pub mod node;
+pub mod parallel;
+pub mod weights;
+
+pub use future::{future, pcall, Future};
+pub use node::MultiNode;
+pub use parallel::ParallelSystem;
+pub use weights::{WeightTable, WeightedRef};

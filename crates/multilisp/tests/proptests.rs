@@ -1,0 +1,52 @@
+//! Property tests: the reference-weight invariant survives arbitrary
+//! split/release interleavings, and combining queues conserve weight.
+
+use proptest::prelude::*;
+use small_multilisp::node::CombiningQueue;
+use small_multilisp::weights::WeightTable;
+
+proptest! {
+    #[test]
+    fn weight_invariant_under_random_interleaving(
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        // true = split a random live ref, false = release one.
+        let mut t = WeightTable::new();
+        let mut refs = vec![t.create(1)];
+        let mut cursor = 0usize;
+        for op in ops {
+            if op || refs.len() == 1 {
+                cursor = (cursor * 7 + 3) % refs.len();
+                let r = refs[cursor].split(&mut t);
+                refs.push(r);
+            } else {
+                cursor = (cursor * 5 + 1) % refs.len();
+                let r = refs.swap_remove(cursor % refs.len());
+                r.release(&mut t);
+            }
+            let sum: u64 = refs.iter().map(|r| r.weight).sum();
+            prop_assert_eq!(t.total(1), Some(sum), "invariant broke");
+            prop_assert!(refs.iter().all(|r| r.weight >= 1));
+        }
+        for r in refs {
+            r.release(&mut t);
+        }
+        prop_assert!(!t.alive(1));
+    }
+
+    #[test]
+    fn combining_queue_conserves_weight(
+        updates in prop::collection::vec((0u64..5, 1u64..100), 0..60),
+    ) {
+        let mut q = CombiningQueue::default();
+        let mut expected = std::collections::HashMap::new();
+        for (obj, w) in &updates {
+            q.push(*obj, *w);
+            *expected.entry(*obj).or_insert(0u64) += w;
+        }
+        let drained: std::collections::HashMap<u64, u64> =
+            q.drain().into_iter().collect();
+        prop_assert_eq!(drained, expected);
+        prop_assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Atoms: symbols (interned names) and integers.
+//!
+//! The simple Lisp of §4.3.4 has integers as its only numeric type, and
+//! character-string names as symbols. `nil` is a distinguished atom that
+//! also terminates lists; it is represented at the [`crate::SExpr`] level
+//! rather than here.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned symbol name. Cheap to copy and compare; resolve the text
+/// through the [`Interner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index into the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A non-`nil` atomic s-expression.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Atom {
+    /// An interned symbol.
+    Sym(Symbol),
+    /// A (fixnum) integer — the only numeric type in the §4.3.4 Lisp.
+    Int(i64),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Sym(s) => write!(f, "#sym{}", s.0),
+            Atom::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Symbol interner: maps names to dense `u32` ids and back.
+///
+/// Interning keeps symbol comparison O(1) and makes traces compact —
+/// important because the LYRA-scale traces contain >150 000 primitive
+/// events (Table 5.1).
+#[derive(Default, Debug, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Look up a symbol without interning. Returns `None` if never seen.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its name.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("car");
+        let b = i.intern("car");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn intern_distinguishes_names() {
+        let mut i = Interner::new();
+        let a = i.intern("car");
+        let b = i.intern("cdr");
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), "car");
+        assert_eq!(i.name(b), "cdr");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("cons").is_none());
+        let s = i.intern("cons");
+        assert_eq!(i.get("cons"), Some(s));
+    }
+
+    #[test]
+    fn interner_is_case_sensitive() {
+        let mut i = Interner::new();
+        assert_ne!(i.intern("Foo"), i.intern("foo"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The [`SExpr`] tree: the representation-independent view of Lisp data.
+//!
+//! Cons cells are reference-counted so that sub-structure can be shared
+//! cheaply, exactly as `car`/`cdr` return shared sub-structure in a real
+//! Lisp (§2.2.2, Figure 2.1). Structural equality and hashing are what the
+//! trace preprocessor of §5.2.1 relies on ("lists that look identical are
+//! allotted the same unique identifier").
+
+use crate::atom::{Atom, Symbol};
+use std::sync::Arc;
+
+/// An s-expression: `nil`, an atom, or a cons cell.
+#[derive(Clone, Debug)]
+pub enum SExpr {
+    /// The empty list / false value.
+    Nil,
+    /// A non-nil atom (symbol or integer).
+    Atom(Atom),
+    /// A cons cell `(car . cdr)`. Shared via `Arc` so that `cdr`-walking a
+    /// list does not copy it and trees can cross threads (Multilisp).
+    Cons(Arc<(SExpr, SExpr)>),
+}
+
+impl SExpr {
+    /// Construct a symbol atom.
+    #[inline]
+    pub fn sym(s: Symbol) -> Self {
+        SExpr::Atom(Atom::Sym(s))
+    }
+
+    /// Construct an integer atom.
+    #[inline]
+    pub fn int(i: i64) -> Self {
+        SExpr::Atom(Atom::Int(i))
+    }
+
+    /// Cons two expressions.
+    #[inline]
+    pub fn cons(car: SExpr, cdr: SExpr) -> Self {
+        SExpr::Cons(Arc::new((car, cdr)))
+    }
+
+    /// Build a proper list from an iterator of elements.
+    pub fn list<I: IntoIterator<Item = SExpr>>(items: I) -> Self
+    where
+        I::IntoIter: DoubleEndedIterator,
+    {
+        items
+            .into_iter()
+            .rev()
+            .fold(SExpr::Nil, |acc, x| SExpr::cons(x, acc))
+    }
+
+    /// `car` of a cons cell; `nil` of `nil` (Lisp convention); `None` for
+    /// other atoms (which would be a runtime type error in the machine).
+    pub fn car(&self) -> Option<SExpr> {
+        match self {
+            SExpr::Cons(c) => Some(c.0.clone()),
+            SExpr::Nil => Some(SExpr::Nil),
+            SExpr::Atom(_) => None,
+        }
+    }
+
+    /// `cdr` of a cons cell; `nil` of `nil`; `None` for other atoms.
+    pub fn cdr(&self) -> Option<SExpr> {
+        match self {
+            SExpr::Cons(c) => Some(c.1.clone()),
+            SExpr::Nil => Some(SExpr::Nil),
+            SExpr::Atom(_) => None,
+        }
+    }
+
+    /// True iff this is `nil`.
+    #[inline]
+    pub fn is_nil(&self) -> bool {
+        matches!(self, SExpr::Nil)
+    }
+
+    /// True iff this is an atom in the Lisp sense (`nil` included).
+    #[inline]
+    pub fn is_atom(&self) -> bool {
+        !matches!(self, SExpr::Cons(_))
+    }
+
+    /// True iff this is a cons cell.
+    #[inline]
+    pub fn is_cons(&self) -> bool {
+        matches!(self, SExpr::Cons(_))
+    }
+
+    /// The integer payload, if this is an integer atom.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SExpr::Atom(Atom::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The symbol payload, if this is a symbol atom.
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            SExpr::Atom(Atom::Sym(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Iterate the elements of a proper list. Iteration stops at the first
+    /// non-cons cdr (so a dotted tail is silently dropped; use
+    /// [`SExpr::is_proper_list`] to check).
+    pub fn iter(&self) -> ListIter<'_> {
+        ListIter { cur: self }
+    }
+
+    /// Whether the expression is a proper (nil-terminated) list.
+    pub fn is_proper_list(&self) -> bool {
+        let mut cur = self;
+        loop {
+            match cur {
+                SExpr::Nil => return true,
+                SExpr::Cons(c) => cur = &c.1,
+                SExpr::Atom(_) => return false,
+            }
+        }
+    }
+
+    /// Length of a proper list (number of top-level elements). Dotted
+    /// tails count the cells traversed.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Whether this is `nil` or an empty iteration.
+    pub fn is_empty(&self) -> bool {
+        !self.is_cons()
+    }
+
+    /// Total number of cons cells reachable (counting shared structure
+    /// once per *path*, i.e. as if the structure were a tree — this is the
+    /// space the list costs under two-pointer representation; Clark's
+    /// studies found sub-structure sharing to be rare).
+    pub fn cell_count(&self) -> usize {
+        match self {
+            SExpr::Cons(c) => 1 + c.0.cell_count() + c.1.cell_count(),
+            _ => 0,
+        }
+    }
+}
+
+impl PartialEq for SExpr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SExpr::Nil, SExpr::Nil) => true,
+            (SExpr::Atom(a), SExpr::Atom(b)) => a == b,
+            (SExpr::Cons(a), SExpr::Cons(b)) => {
+                // Pointer equality fast path: shared structure compares
+                // equal without descending.
+                Arc::ptr_eq(a, b) || (a.0 == b.0 && a.1 == b.1)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SExpr {}
+
+impl std::hash::Hash for SExpr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            SExpr::Nil => state.write_u8(0),
+            SExpr::Atom(a) => {
+                state.write_u8(1);
+                a.hash(state);
+            }
+            SExpr::Cons(c) => {
+                state.write_u8(2);
+                c.0.hash(state);
+                c.1.hash(state);
+            }
+        }
+    }
+}
+
+/// Iterator over the top-level elements of a list.
+pub struct ListIter<'a> {
+    cur: &'a SExpr,
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = &'a SExpr;
+
+    fn next(&mut self) -> Option<&'a SExpr> {
+        match self.cur {
+            SExpr::Cons(c) => {
+                self.cur = &c.1;
+                Some(&c.0)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SExpr {
+        // (1 2 (3 4) 5)
+        SExpr::list(vec![
+            SExpr::int(1),
+            SExpr::int(2),
+            SExpr::list(vec![SExpr::int(3), SExpr::int(4)]),
+            SExpr::int(5),
+        ])
+    }
+
+    #[test]
+    fn list_construction_and_iteration() {
+        let l = sample();
+        let lens: Vec<usize> = l.iter().map(|e| e.len()).collect();
+        assert_eq!(lens, vec![0, 0, 2, 0]);
+        assert_eq!(l.len(), 4);
+        assert!(l.is_proper_list());
+    }
+
+    #[test]
+    fn car_cdr_of_nil_is_nil() {
+        assert!(SExpr::Nil.car().unwrap().is_nil());
+        assert!(SExpr::Nil.cdr().unwrap().is_nil());
+    }
+
+    #[test]
+    fn car_cdr_of_atom_is_error() {
+        assert!(SExpr::int(3).car().is_none());
+        assert!(SExpr::int(3).cdr().is_none());
+    }
+
+    #[test]
+    fn structural_equality() {
+        assert_eq!(sample(), sample());
+        assert_ne!(sample(), SExpr::Nil);
+        assert_ne!(
+            SExpr::cons(SExpr::int(1), SExpr::Nil),
+            SExpr::cons(SExpr::int(2), SExpr::Nil)
+        );
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |e: &SExpr| {
+            let mut s = DefaultHasher::new();
+            e.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&sample()), h(&sample()));
+    }
+
+    #[test]
+    fn cell_count_matches_structure() {
+        // (1 2 (3 4) 5): 4 top-level cells + 2 inner = 6
+        assert_eq!(sample().cell_count(), 6);
+        assert_eq!(SExpr::Nil.cell_count(), 0);
+        assert_eq!(SExpr::int(9).cell_count(), 0);
+    }
+
+    #[test]
+    fn dotted_pair_is_not_proper() {
+        let d = SExpr::cons(SExpr::int(1), SExpr::int(2));
+        assert!(!d.is_proper_list());
+        assert!(d.is_cons());
+    }
+
+    #[test]
+    fn shared_structure_compares_equal_fast() {
+        let inner = SExpr::list(vec![SExpr::int(1)]);
+        let a = SExpr::cons(inner.clone(), SExpr::Nil);
+        let b = SExpr::cons(inner, SExpr::Nil);
+        assert_eq!(a, b);
+    }
+}

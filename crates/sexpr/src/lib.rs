@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! S-expression core for the SMALL reproduction.
+//!
+//! Everything in the thesis — traces, locality analyses, the Lisp
+//! interpreter, and the SMALL simulator — operates on s-expressions
+//! (§2.2.2): atoms (symbols, integers, `nil`) and lists built from cons
+//! cells. This crate provides the shared data model:
+//!
+//! * [`Symbol`] / [`Interner`] — interned symbol names,
+//! * [`SExpr`] — a structurally-shared s-expression tree,
+//! * [`reader`] — the textual reader (parser),
+//! * [`printer`] — the printer (inverse of the reader),
+//! * [`metrics`] — the `n`/`p` complexity measures of §3.3.1,
+//! * [`tree`] — the binary-tree view of a list used in §5.3.1.
+//!
+//! The representation here is deliberately *abstract* (boxed trees): it is
+//! the representation-independent vantage point of Chapter 3. The concrete
+//! machine-level representations (two-pointer cells, cdr-coding,
+//! structure-coding) live in the `small-heap` crate.
+
+pub mod atom;
+pub mod expr;
+pub mod metrics;
+pub mod printer;
+pub mod reader;
+pub mod tree;
+
+pub use atom::{Atom, Interner, Symbol};
+pub use expr::SExpr;
+pub use printer::print;
+pub use reader::{parse, parse_all, ParseError};

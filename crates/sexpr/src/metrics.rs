@@ -1,0 +1,179 @@
+//! The `n` / `p` list-complexity measures of §3.3.1 (Figure 3.2).
+//!
+//! For a list the thesis defines:
+//!
+//! * **n** — the number of symbols (atoms) in the list, at any depth;
+//! * **p** — the number of *internal* parenthesis pairs, i.e. the number
+//!   of sub-lists nested anywhere below the outermost pair.
+//!
+//! Two worked examples from Figure 3.2:
+//!
+//! * `(A B C (D E) F G)` has `n = 7`, `p = 1`, and needs `n + p = 8`
+//!   two-pointer list cells;
+//! * `(A (B (C (D E F) G)))` has `n = 7`, `p = 3`, and needs `10` cells.
+//!
+//! `n + p` is exactly the number of cons cells in the tree (each cell's
+//! car slot holds either a symbol — counted in `n` — or a sub-list —
+//! counted in `p`), and is therefore proportional to the space cost of
+//! two-pointer or cdr-coded representation, while a structure-coded
+//! representation (CDAR/EPS) needs only `n` entries.
+
+use crate::expr::SExpr;
+
+/// The `(n, p)` complexity pair for one list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NP {
+    /// Number of atoms at any depth.
+    pub n: usize,
+    /// Number of internal (nested) parenthesis pairs.
+    pub p: usize,
+}
+
+impl NP {
+    /// Cells needed under two-pointer (or cdr-coded) representation.
+    pub fn two_pointer_cells(&self) -> usize {
+        self.n + self.p
+    }
+
+    /// Entries needed under a structure-coded representation.
+    pub fn structure_coded_entries(&self) -> usize {
+        self.n
+    }
+}
+
+/// Compute `n` and `p` for an expression.
+///
+/// For an atom, `n = 1, p = 0`; for `nil`, both are zero. For a list, `p`
+/// counts every cons cell whose *car* is itself a cons cell (i.e. every
+/// nested open-paren), at any depth. Dotted atoms in cdr position count
+/// toward `n`.
+pub fn np(expr: &SExpr) -> NP {
+    match expr {
+        SExpr::Nil => NP { n: 0, p: 0 },
+        SExpr::Atom(_) => NP { n: 1, p: 0 },
+        SExpr::Cons(_) => {
+            let mut out = NP::default();
+            walk(expr, &mut out);
+            out
+        }
+    }
+}
+
+fn walk(list: &SExpr, out: &mut NP) {
+    let mut cur = list;
+    loop {
+        match cur {
+            SExpr::Cons(c) => {
+                match &c.0 {
+                    SExpr::Cons(_) => {
+                        out.p += 1;
+                        walk(&c.0, out);
+                    }
+                    SExpr::Atom(_) => out.n += 1,
+                    SExpr::Nil => {}
+                }
+                cur = &c.1;
+            }
+            SExpr::Atom(_) => {
+                // dotted tail
+                out.n += 1;
+                return;
+            }
+            SExpr::Nil => return,
+        }
+    }
+}
+
+/// Mean of `n` and `p` over a collection of lists (Table 3.1).
+pub fn mean_np<'a, I: IntoIterator<Item = &'a SExpr>>(lists: I) -> (f64, f64) {
+    let mut count = 0usize;
+    let mut sum_n = 0usize;
+    let mut sum_p = 0usize;
+    for l in lists {
+        let m = np(l);
+        sum_n += m.n;
+        sum_p += m.p;
+        count += 1;
+    }
+    if count == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum_n as f64 / count as f64, sum_p as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Interner;
+    use crate::reader::parse;
+
+    fn npm(src: &str) -> NP {
+        let mut i = Interner::new();
+        np(&parse(src, &mut i).unwrap())
+    }
+
+    #[test]
+    fn figure_3_2_first_example() {
+        let m = npm("(A B C (D E) F G)");
+        assert_eq!(m, NP { n: 7, p: 1 });
+        assert_eq!(m.two_pointer_cells(), 8);
+        assert_eq!(m.structure_coded_entries(), 7);
+    }
+
+    #[test]
+    fn figure_3_2_second_example() {
+        let m = npm("(A (B (C (D E F) G)))");
+        assert_eq!(m, NP { n: 7, p: 3 });
+        assert_eq!(m.two_pointer_cells(), 10);
+    }
+
+    #[test]
+    fn atoms_and_nil() {
+        assert_eq!(npm("A"), NP { n: 1, p: 0 });
+        assert_eq!(npm("42"), NP { n: 1, p: 0 });
+        assert_eq!(npm("nil"), NP { n: 0, p: 0 });
+    }
+
+    #[test]
+    fn flat_list() {
+        assert_eq!(npm("(A B C)"), NP { n: 3, p: 0 });
+    }
+
+    #[test]
+    fn nil_elements_do_not_count() {
+        assert_eq!(npm("(A nil B)"), NP { n: 2, p: 0 });
+    }
+
+    #[test]
+    fn dotted_tail_counts_as_atom() {
+        assert_eq!(npm("(A . B)"), NP { n: 2, p: 0 });
+        assert_eq!(npm("(A (B . C))"), NP { n: 3, p: 1 });
+    }
+
+    #[test]
+    fn two_pointer_cells_matches_cell_count_for_proper_lists() {
+        let mut i = Interner::new();
+        for src in [
+            "(A B C (D E) F G)",
+            "(A (B (C (D E F) G)))",
+            "((A B) (C D) (E F))",
+            "(((A)))",
+        ] {
+            let e = parse(src, &mut i).unwrap();
+            // cell_count counts nil-free cells too; with no nil elements
+            // and no dotted tails the identities match.
+            assert_eq!(np(&e).two_pointer_cells(), e.cell_count(), "{src}");
+        }
+    }
+
+    #[test]
+    fn mean_over_lists() {
+        let mut i = Interner::new();
+        let a = parse("(A B)", &mut i).unwrap();
+        let b = parse("(A (B C))", &mut i).unwrap();
+        let (n, p) = mean_np([&a, &b]);
+        assert!((n - 2.5).abs() < 1e-9);
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! The Lisp printer: [`SExpr`] → text, inverse of the reader.
+
+use crate::atom::{Atom, Interner};
+use crate::expr::SExpr;
+use std::fmt::Write;
+
+/// Print an expression using `interner` to resolve symbol names.
+pub fn print(expr: &SExpr, interner: &Interner) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, interner);
+    out
+}
+
+fn write_expr(out: &mut String, expr: &SExpr, interner: &Interner) {
+    match expr {
+        SExpr::Nil => out.push_str("nil"),
+        SExpr::Atom(Atom::Int(i)) => {
+            let _ = write!(out, "{i}");
+        }
+        SExpr::Atom(Atom::Sym(s)) => out.push_str(interner.name(*s)),
+        SExpr::Cons(_) => {
+            out.push('(');
+            let mut cur = expr;
+            let mut first = true;
+            loop {
+                match cur {
+                    SExpr::Cons(c) => {
+                        if !first {
+                            out.push(' ');
+                        }
+                        first = false;
+                        write_expr(out, &c.0, interner);
+                        cur = &c.1;
+                    }
+                    SExpr::Nil => break,
+                    atom => {
+                        out.push_str(" . ");
+                        write_expr(out, atom, interner);
+                        break;
+                    }
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse;
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let mut i = Interner::new();
+        for src in [
+            "(a b c (d e) f g)",
+            "(a (b (c (d e f) g)))",
+            "((a . 1) (b . 2))",
+            "nil",
+            "(nil nil)",
+            "-42",
+        ] {
+            let e = parse(src, &mut i).unwrap();
+            let printed = print(&e, &i);
+            let e2 = parse(&printed, &mut i).unwrap();
+            assert_eq!(e, e2, "roundtrip failed for {src}");
+        }
+    }
+}

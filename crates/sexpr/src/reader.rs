@@ -1,0 +1,300 @@
+//! The Lisp reader: text → [`SExpr`].
+//!
+//! Accepts the classic surface syntax used throughout the thesis:
+//! `( … )` lists, dotted pairs `(a . b)`, integers, symbols, `'x` quote
+//! shorthand (expanded to `(quote x)`), and `;` line comments.
+
+use crate::atom::Interner;
+use crate::expr::SExpr;
+use std::fmt;
+
+/// Errors produced by the reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input ended inside a list or after a quote.
+    UnexpectedEof,
+    /// A `)` with no matching `(` (byte offset).
+    UnbalancedClose(usize),
+    /// A `.` in an illegal position (byte offset).
+    BadDot(usize),
+    /// Trailing garbage after a complete expression (byte offset).
+    TrailingInput(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseError::UnbalancedClose(at) => write!(f, "unbalanced ')' at byte {at}"),
+            ParseError::BadDot(at) => write!(f, "misplaced '.' at byte {at}"),
+            ParseError::TrailingInput(at) => write!(f, "trailing input at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    Quote,
+    Dot,
+    Int(i64),
+    Sym(String),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == b';' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Option<(usize, Token)> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return None;
+        }
+        let at = self.pos;
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'(' | b'[' => {
+                self.pos += 1;
+                Token::Open
+            }
+            b')' | b']' => {
+                self.pos += 1;
+                Token::Close
+            }
+            b'\'' => {
+                self.pos += 1;
+                Token::Quote
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    if c.is_ascii_whitespace() || matches!(c, b'(' | b')' | b'[' | b']' | b'\'' | b';') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                if text == "." {
+                    Token::Dot
+                } else if let Ok(i) = text.parse::<i64>() {
+                    Token::Int(i)
+                } else {
+                    Token::Sym(text.to_owned())
+                }
+            }
+        };
+        Some((at, tok))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    interner: &'a mut Interner,
+    peeked: Option<Option<(usize, Token)>>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&mut self) -> &Option<(usize, Token)> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next());
+        }
+        self.peeked.as_ref().unwrap()
+    }
+
+    fn advance(&mut self) -> Option<(usize, Token)> {
+        match self.peeked.take() {
+            Some(t) => t,
+            None => self.lexer.next(),
+        }
+    }
+
+    fn expr(&mut self) -> Result<SExpr, ParseError> {
+        let (at, tok) = self.advance().ok_or(ParseError::UnexpectedEof)?;
+        match tok {
+            Token::Int(i) => Ok(SExpr::int(i)),
+            Token::Sym(s) => {
+                if s.eq_ignore_ascii_case("nil") {
+                    Ok(SExpr::Nil)
+                } else {
+                    let sym = self.interner.intern(&s);
+                    Ok(SExpr::sym(sym))
+                }
+            }
+            Token::Quote => {
+                let quoted = self.expr()?;
+                let q = self.interner.intern("quote");
+                Ok(SExpr::list(vec![SExpr::sym(q), quoted]))
+            }
+            Token::Open => self.list_tail(at),
+            Token::Close => Err(ParseError::UnbalancedClose(at)),
+            Token::Dot => Err(ParseError::BadDot(at)),
+        }
+    }
+
+    fn list_tail(&mut self, _open_at: usize) -> Result<SExpr, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::UnexpectedEof),
+                Some((_, Token::Close)) => {
+                    self.advance();
+                    return Ok(SExpr::list(items));
+                }
+                Some((at, Token::Dot)) => {
+                    let at = *at;
+                    if items.is_empty() {
+                        return Err(ParseError::BadDot(at));
+                    }
+                    self.advance();
+                    let tail = self.expr()?;
+                    match self.advance() {
+                        Some((_, Token::Close)) => {
+                            let list = items
+                                .into_iter()
+                                .rev()
+                                .fold(tail, |acc, x| SExpr::cons(x, acc));
+                            return Ok(list);
+                        }
+                        Some((at, _)) => return Err(ParseError::BadDot(at)),
+                        None => return Err(ParseError::UnexpectedEof),
+                    }
+                }
+                Some(_) => {
+                    let e = self.expr()?;
+                    items.push(e);
+                }
+            }
+        }
+    }
+}
+
+/// Parse a single expression; error on trailing input.
+pub fn parse(src: &str, interner: &mut Interner) -> Result<SExpr, ParseError> {
+    let mut p = Parser {
+        lexer: Lexer::new(src),
+        interner,
+        peeked: None,
+    };
+    let e = p.expr()?;
+    if let Some((at, _)) = p.advance() {
+        return Err(ParseError::TrailingInput(at));
+    }
+    Ok(e)
+}
+
+/// Parse a sequence of top-level expressions (e.g. a program file).
+pub fn parse_all(src: &str, interner: &mut Interner) -> Result<Vec<SExpr>, ParseError> {
+    let mut p = Parser {
+        lexer: Lexer::new(src),
+        interner,
+        peeked: None,
+    };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        out.push(p.expr()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print;
+
+    fn roundtrip(src: &str) -> String {
+        let mut i = Interner::new();
+        let e = parse(src, &mut i).expect("parse");
+        print(&e, &i)
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(roundtrip("42"), "42");
+        assert_eq!(roundtrip("-7"), "-7");
+        assert_eq!(roundtrip("foo"), "foo");
+        assert_eq!(roundtrip("nil"), "nil");
+        assert_eq!(roundtrip("NIL"), "nil");
+    }
+
+    #[test]
+    fn simple_list() {
+        assert_eq!(roundtrip("(a b c)"), "(a b c)");
+        assert_eq!(roundtrip("( a  b\n c )"), "(a b c)");
+    }
+
+    #[test]
+    fn nested_list() {
+        assert_eq!(roundtrip("(a (b (c d)) e)"), "(a (b (c d)) e)");
+        assert_eq!(roundtrip("()"), "nil");
+        assert_eq!(roundtrip("(())"), "(nil)");
+    }
+
+    #[test]
+    fn dotted_pair() {
+        assert_eq!(roundtrip("(a . b)"), "(a . b)");
+        assert_eq!(roundtrip("(a b . c)"), "(a b . c)");
+        assert_eq!(roundtrip("(a . (b . nil))"), "(a b)");
+    }
+
+    #[test]
+    fn quote_expands() {
+        assert_eq!(roundtrip("'x"), "(quote x)");
+        assert_eq!(roundtrip("'(a b)"), "(quote (a b))");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(roundtrip("(a ; comment\n b)"), "(a b)");
+    }
+
+    #[test]
+    fn errors() {
+        let mut i = Interner::new();
+        assert!(matches!(parse("(a b", &mut i), Err(ParseError::UnexpectedEof)));
+        assert!(matches!(parse(")", &mut i), Err(ParseError::UnbalancedClose(_))));
+        assert!(matches!(parse("(. a)", &mut i), Err(ParseError::BadDot(_))));
+        assert!(matches!(parse("a b", &mut i), Err(ParseError::TrailingInput(_))));
+    }
+
+    #[test]
+    fn parse_all_reads_program() {
+        let mut i = Interner::new();
+        let es = parse_all("(def f (lambda (x) x)) (f 1)", &mut i).unwrap();
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn brackets_accepted() {
+        // The thesis text itself uses `]` as a super-paren occasionally;
+        // we treat brackets as plain parens.
+        assert_eq!(roundtrip("[a b]"), "(a b)");
+    }
+}

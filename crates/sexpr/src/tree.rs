@@ -1,0 +1,211 @@
+//! Binary-tree view of a list (§5.3.1, Figure 5.6).
+//!
+//! Every cons cell becomes an internal node with the car sub-tree on the
+//! left and the cdr sub-tree on the right; atoms and `nil`s become leaves.
+//! Nodes are numbered in the Minsky/BLAST style `N = 2^l + k` (root = 1,
+//! children of `N` are `2N` and `2N+1`), which the structure-coded heap
+//! representation uses as its addressing key.
+//!
+//! A proper list with `n` atoms and `p` internal parenthesis pairs has
+//! `n + p` internal nodes and `n + p + 1` leaves (`n` atom leaves and
+//! `p + 1` nil leaves), so a complete ordered traversal touches each
+//! internal node exactly three times and each leaf once — this is the
+//! basis of the guaranteed 75% LPT hit rate derived in §5.3.1.
+
+use crate::atom::Atom;
+use crate::expr::SExpr;
+
+/// A node of the binary-tree view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// Internal node (a cons cell), carrying its Minsky number.
+    Internal(u64),
+    /// Leaf holding an atom, carrying its Minsky number.
+    Leaf(u64, Atom),
+    /// Leaf holding `nil`, carrying its Minsky number.
+    NilLeaf(u64),
+}
+
+impl TreeNode {
+    /// The Minsky node number `N = 2^l + k`.
+    pub fn number(&self) -> u64 {
+        match self {
+            TreeNode::Internal(n) | TreeNode::Leaf(n, _) | TreeNode::NilLeaf(n) => *n,
+        }
+    }
+
+    /// Whether this node is internal (a cons cell).
+    pub fn is_internal(&self) -> bool {
+        matches!(self, TreeNode::Internal(_))
+    }
+}
+
+/// An ordered traversal discipline (§5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Visit each internal node on first contact.
+    Pre,
+    /// Visit each internal node on second contact.
+    In,
+    /// Visit each internal node on third (final) contact.
+    Post,
+}
+
+/// Count internal nodes and leaves of the tree view.
+pub fn node_counts(expr: &SExpr) -> (usize, usize) {
+    fn go(e: &SExpr, internal: &mut usize, leaves: &mut usize) {
+        match e {
+            SExpr::Cons(c) => {
+                *internal += 1;
+                go(&c.0, internal, leaves);
+                go(&c.1, internal, leaves);
+            }
+            _ => *leaves += 1,
+        }
+    }
+    let mut internal = 0;
+    let mut leaves = 0;
+    go(expr, &mut internal, &mut leaves);
+    (internal, leaves)
+}
+
+/// The visit sequence of an ordered traversal: internal nodes interleaved
+/// with leaves in the requested order.
+pub fn traversal(expr: &SExpr, order: Order) -> Vec<TreeNode> {
+    let mut out = Vec::new();
+    visit(expr, 1, order, &mut out);
+    out
+}
+
+fn visit(e: &SExpr, num: u64, order: Order, out: &mut Vec<TreeNode>) {
+    match e {
+        SExpr::Cons(c) => {
+            if order == Order::Pre {
+                out.push(TreeNode::Internal(num));
+            }
+            visit(&c.0, num.wrapping_mul(2), order, out);
+            if order == Order::In {
+                out.push(TreeNode::Internal(num));
+            }
+            visit(&c.1, num.wrapping_mul(2).wrapping_add(1), order, out);
+            if order == Order::Post {
+                out.push(TreeNode::Internal(num));
+            }
+        }
+        SExpr::Nil => out.push(TreeNode::NilLeaf(num)),
+        SExpr::Atom(a) => out.push(TreeNode::Leaf(num, *a)),
+    }
+}
+
+/// The traversal *super-sequence* (§5.3.1): the order in which nodes are
+/// *touched*, with each internal node touched exactly three times (before
+/// its left sub-tree, between the sub-trees, and after the right
+/// sub-tree). Identical for pre-, in-, and post-order traversal — which is
+/// why all three incur exactly the same split/merge activity in the LPT.
+pub fn super_sequence(expr: &SExpr) -> Vec<TreeNode> {
+    let mut out = Vec::new();
+    fn go(e: &SExpr, num: u64, out: &mut Vec<TreeNode>) {
+        match e {
+            SExpr::Cons(c) => {
+                out.push(TreeNode::Internal(num));
+                go(&c.0, num.wrapping_mul(2), out);
+                out.push(TreeNode::Internal(num));
+                go(&c.1, num.wrapping_mul(2).wrapping_add(1), out);
+                out.push(TreeNode::Internal(num));
+            }
+            SExpr::Nil => out.push(TreeNode::NilLeaf(num)),
+            SExpr::Atom(a) => out.push(TreeNode::Leaf(num, *a)),
+        }
+    }
+    go(expr, 1, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Interner;
+    use crate::metrics::np;
+    use crate::reader::parse;
+
+    fn e(src: &str) -> SExpr {
+        let mut i = Interner::new();
+        parse(src, &mut i).unwrap()
+    }
+
+    #[test]
+    fn counts_match_np_identities() {
+        for src in [
+            "(((A B) C D) E F G)",
+            "(A B C (D E) F G)",
+            "(A (B (C (D E F) G)))",
+        ] {
+            let x = e(src);
+            let m = np(&x);
+            let (internal, leaves) = node_counts(&x);
+            assert_eq!(internal, m.n + m.p, "{src}");
+            assert_eq!(leaves, m.n + m.p + 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn super_sequence_touch_counts() {
+        let x = e("(((A B) C D) E F G)");
+        let (internal, leaves) = node_counts(&x);
+        let seq = super_sequence(&x);
+        assert_eq!(seq.len(), 3 * internal + leaves);
+        // every internal node appears exactly 3 times
+        use std::collections::HashMap;
+        let mut touches: HashMap<u64, usize> = HashMap::new();
+        for n in &seq {
+            if n.is_internal() {
+                *touches.entry(n.number()).or_default() += 1;
+            }
+        }
+        assert_eq!(touches.len(), internal);
+        assert!(touches.values().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn traversal_lengths() {
+        let x = e("(((A B) C D) E F G)");
+        let (internal, leaves) = node_counts(&x);
+        for order in [Order::Pre, Order::In, Order::Post] {
+            let t = traversal(&x, order);
+            assert_eq!(t.len(), internal + leaves);
+        }
+    }
+
+    #[test]
+    fn traversals_are_subsequences_of_super_sequence() {
+        let x = e("(((A B) C D) E F G)");
+        let sup = super_sequence(&x);
+        for order in [Order::Pre, Order::In, Order::Post] {
+            let t = traversal(&x, order);
+            // check subsequence property on node numbers
+            let mut it = sup.iter();
+            for node in &t {
+                let found = it.any(|s| s == node || (s.number() == node.number() && s.is_internal() && node.is_internal()));
+                assert!(found, "{order:?} traversal is not a subsequence");
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_visits_root_first_postorder_last() {
+        let x = e("(A B)");
+        let pre = traversal(&x, Order::Pre);
+        let post = traversal(&x, Order::Post);
+        assert_eq!(pre.first().unwrap().number(), 1);
+        assert_eq!(post.last().unwrap().number(), 1);
+    }
+
+    #[test]
+    fn minsky_numbering_children() {
+        // (A) = cons(A, nil): root 1, leaf A at 2, nil at 3.
+        let x = e("(A)");
+        let pre = traversal(&x, Order::Pre);
+        let nums: Vec<u64> = pre.iter().map(|n| n.number()).collect();
+        assert_eq!(nums, vec![1, 2, 3]);
+    }
+}

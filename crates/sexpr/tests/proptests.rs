@@ -1,0 +1,114 @@
+//! Property-based tests for the s-expression core.
+
+use proptest::prelude::*;
+use small_sexpr::metrics::np;
+use small_sexpr::tree::{node_counts, super_sequence, traversal, Order};
+use small_sexpr::{parse, print, Interner, SExpr};
+
+/// Strategy producing arbitrary proper lists of bounded depth/width using
+/// a small symbol alphabet.
+fn arb_sexpr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "xyz", "foo"]).prop_map(str::to_owned),
+        (-1000i64..1000).prop_map(|i| i.to_string()),
+        Just("nil".to_owned()),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop::collection::vec(inner, 0..6).prop_map(|items| format!("({})", items.join(" ")))
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_print_roundtrip(src in arb_sexpr()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let printed = print(&e, &i);
+        let e2 = parse(&printed, &mut i).unwrap();
+        prop_assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn np_tree_identities(src in arb_sexpr()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let m = np(&e);
+        let (internal, leaves) = node_counts(&e);
+        // For lists: internal = n + p, leaves = n + p + 1.
+        // For bare atoms the tree is a single leaf.
+        if e.is_cons() {
+            // nil elements add an extra leaf but no n; adjust: the identity
+            // internal + 1 == leaves always holds for a binary tree.
+            prop_assert_eq!(internal + 1, leaves);
+            // and internal >= n + p (equality when no nil elements appear
+            // in car position).
+            prop_assert!(internal >= m.n + m.p);
+        } else {
+            prop_assert_eq!(internal, 0);
+            prop_assert_eq!(leaves, 1);
+        }
+    }
+
+    #[test]
+    fn super_sequence_is_3i_plus_l(src in arb_sexpr()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        let (internal, leaves) = node_counts(&e);
+        prop_assert_eq!(super_sequence(&e).len(), 3 * internal + leaves);
+    }
+
+    #[test]
+    fn traversal_orders_agree_on_leaves(src in arb_sexpr()) {
+        let mut i = Interner::new();
+        let e = parse(&src, &mut i).unwrap();
+        // All three ordered traversals see the leaves in identical
+        // left-to-right order (§5.3.1).
+        let leaves = |o: Order| {
+            traversal(&e, o)
+                .into_iter()
+                .filter(|n| !n.is_internal())
+                .map(|n| n.number())
+                .collect::<Vec<_>>()
+        };
+        let pre = leaves(Order::Pre);
+        prop_assert_eq!(&pre, &leaves(Order::In));
+        prop_assert_eq!(&pre, &leaves(Order::Post));
+    }
+
+    #[test]
+    fn equality_is_reflexive_and_hash_agrees(src in arb_sexpr()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut i = Interner::new();
+        let e1 = parse(&src, &mut i).unwrap();
+        let e2 = parse(&src, &mut i).unwrap();
+        prop_assert_eq!(&e1, &e2);
+        let h = |e: &SExpr| {
+            let mut s = DefaultHasher::new();
+            e.hash(&mut s);
+            s.finish()
+        };
+        prop_assert_eq!(h(&e1), h(&e2));
+    }
+}
+
+proptest! {
+    /// The reader must never panic, whatever bytes arrive — it returns
+    /// a parse error or an expression.
+    #[test]
+    fn reader_never_panics_on_arbitrary_input(src in "\\PC{0,64}") {
+        let mut i = Interner::new();
+        let _ = parse(&src, &mut i);
+    }
+
+    /// Parser-accepted input always survives a print/reparse cycle.
+    #[test]
+    fn accepted_input_roundtrips(src in "[a-z0-9() .']{0,48}") {
+        let mut i = Interner::new();
+        if let Ok(e) = parse(&src, &mut i) {
+            let printed = print(&e, &i);
+            let e2 = parse(&printed, &mut i).expect("printer output must reparse");
+            prop_assert_eq!(e, e2);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Trace-driven simulation of the SMALL architecture (Chapter 5).
+//!
+//! The thesis evaluation drives the real LP/LPT of `small-core` with
+//! pre-processed program traces, reconstructing argument selection with
+//! the probability parameters of §5.2.1 (ArgProb, LocProb, BindProb,
+//! ReadProb) and a simulated control-cum-binding stack. A parallel
+//! fully-associative LRU **data cache** model with synthesized heap
+//! addresses (Clark-style pointer-distance distributions) provides the
+//! §5.2.5 comparison.
+//!
+//! * [`config`] — simulation parameters (§5.2.1),
+//! * [`driver`] — the trace-driven simulator proper,
+//! * [`cache`] — the LRU data-cache comparator (Tables 5.4, Figs 5.4–5.5),
+//! * [`clark`] — synthetic pointer-distance / size distributions,
+//! * [`sweep`] — table-size sweeps, knee finding, seed spreads
+//!   (Figures 5.1–5.3), and the Table 5.2/5.3/5.5 batteries.
+
+pub mod cache;
+pub mod clark;
+pub mod config;
+pub mod driver;
+pub mod sweep;
+
+pub use cache::LruCache;
+pub use config::SimParams;
+pub use driver::{run_sim, SimResult};

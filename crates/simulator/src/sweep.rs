@@ -1,0 +1,295 @@
+//! Parameter sweeps and experiment batteries (Figures 5.1–5.3, Tables
+//! 5.2, 5.3, 5.5).
+
+use crate::config::SimParams;
+use crate::driver::{run_sim, CacheConfig, SimResult};
+use small_core::{DecrementPolicy, RefcountMode};
+use small_trace::Trace;
+
+/// One point of the Figure 5.1 peak-usage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeakPoint {
+    /// LPT size for this run.
+    pub table_size: usize,
+    /// Peak LPT occupancy observed.
+    pub peak: usize,
+    /// Whether any pseudo overflow occurred.
+    pub pseudo: bool,
+    /// Whether the run hit a true overflow.
+    pub true_overflow: bool,
+}
+
+/// The Figure 5.1 sweep: peak LPT usage against table size.
+pub fn peak_curve(trace: &Trace, base: SimParams, sizes: &[usize]) -> Vec<PeakPoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let r = run_sim(trace, base.with_table(size), None);
+            PeakPoint {
+                table_size: size,
+                peak: r.lpt.max_occupancy,
+                pseudo: r.lpt.pseudo_overflows > 0,
+                true_overflow: r.true_overflow,
+            }
+        })
+        .collect()
+}
+
+/// The knee of the Figure 5.1 curve: maximum occupancy with a table big
+/// enough that no overflow of any kind occurs.
+pub fn knee(trace: &Trace, base: SimParams) -> usize {
+    let mut size = 4096usize;
+    loop {
+        let r = run_sim(trace, base.with_table(size), None);
+        if !r.true_overflow && r.lpt.pseudo_overflows == 0 {
+            return r.lpt.max_occupancy;
+        }
+        size *= 4;
+        assert!(size <= 1 << 22, "knee search diverged");
+    }
+}
+
+/// The Figure 5.2 experiment: knee spread over `n_seeds` different
+/// seeds ("by re-seeding … we simulate totally different access
+/// patterns").
+pub fn knee_spread(trace: &Trace, base: SimParams, n_seeds: u64) -> (usize, usize) {
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for seed in 0..n_seeds {
+        let k = knee(trace, base.with_seed(seed + 1));
+        lo = lo.min(k);
+        hi = hi.max(k);
+    }
+    (lo, hi)
+}
+
+/// Average-occupancy comparison of the two compression policies at one
+/// table size (Figure 5.3 points).
+pub fn compression_comparison(
+    trace: &Trace,
+    base: SimParams,
+    table_size: usize,
+) -> (f64, f64) {
+    let one = run_sim(
+        trace,
+        SimParams {
+            compression: small_core::CompressPolicy::CompressOne,
+            table_size,
+            ..base
+        },
+        None,
+    );
+    let all = run_sim(
+        trace,
+        SimParams {
+            compression: small_core::CompressPolicy::CompressAll,
+            table_size,
+            ..base
+        },
+        None,
+    );
+    (one.lpt.avg_occupancy(), all.lpt.avg_occupancy())
+}
+
+/// Table 5.2 row: Refops/Gets/Frees under the lazy policy plus the
+/// RecRefops count under the recursive policy.
+#[derive(Debug, Clone, Copy)]
+pub struct LptActivityRow {
+    /// Reference-count operations (lazy policy).
+    pub refops: u64,
+    /// Entry allocations.
+    pub gets: u64,
+    /// Entry frees.
+    pub frees: u64,
+    /// Reference-count operations under immediate recursive decrement.
+    pub rec_refops: u64,
+}
+
+/// Compute the Table 5.2 row for a trace.
+pub fn lpt_activity(trace: &Trace, base: SimParams) -> LptActivityRow {
+    let lazy = run_sim(
+        trace,
+        SimParams {
+            decrement: DecrementPolicy::Lazy,
+            ..base
+        },
+        None,
+    );
+    let rec = run_sim(
+        trace,
+        SimParams {
+            decrement: DecrementPolicy::Recursive,
+            ..base
+        },
+        None,
+    );
+    LptActivityRow {
+        refops: lazy.lpt.refops,
+        gets: lazy.lpt.gets,
+        frees: lazy.lpt.frees,
+        rec_refops: rec.lpt.refops,
+    }
+}
+
+/// Table 5.3 row: bus-visible refops and max counts, unified ("Then")
+/// vs split ("Now").
+#[derive(Debug, Clone, Copy)]
+pub struct SplitCountRow {
+    /// LPT refops with unified counts.
+    pub refops_then: u64,
+    /// LPT refops with split counts (EP traffic removed).
+    pub refops_now: u64,
+    /// Max LPT count, unified.
+    pub max_then: u32,
+    /// Max LPT count, split (internal refs only).
+    pub max_now_lpt: u32,
+    /// Max EP-side count, split.
+    pub max_now_ep: u32,
+}
+
+/// Compute the Table 5.3 row for a trace.
+pub fn split_counts(trace: &Trace, base: SimParams) -> SplitCountRow {
+    let unified = run_sim(
+        trace,
+        SimParams {
+            refcounts: RefcountMode::Unified,
+            ..base
+        },
+        None,
+    );
+    let split = run_sim(
+        trace,
+        SimParams {
+            refcounts: RefcountMode::Split,
+            ..base
+        },
+        None,
+    );
+    SplitCountRow {
+        refops_then: unified.lpt.refops,
+        refops_now: split.lpt.refops,
+        max_then: unified.lpt.max_refcount,
+        max_now_lpt: split.lpt.max_refcount,
+        max_now_ep: split.lpt.max_ep_refcount,
+    }
+}
+
+/// LPT vs cache at equal entry counts, unit lines (Table 5.4 row).
+pub fn cache_compare(trace: &Trace, base: SimParams, size: usize) -> SimResult {
+    run_sim(
+        trace,
+        base.with_table(size),
+        Some(CacheConfig {
+            lines: size,
+            line_cells: 1,
+        }),
+    )
+}
+
+/// Figure 5.5 point: cache-miss/LPT-miss ratio with twice the entries
+/// (half-size cache entries) at the given line size.
+pub fn line_size_ratio(trace: &Trace, base: SimParams, size: usize, line_cells: usize) -> f64 {
+    let lines = (2 * size) / line_cells.max(1);
+    let r = run_sim(
+        trace,
+        base.with_table(size),
+        Some(CacheConfig {
+            lines: lines.max(1),
+            line_cells,
+        }),
+    );
+    if r.access_misses == 0 {
+        return f64::INFINITY;
+    }
+    r.cache_misses as f64 / r.access_misses as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_workloads::synthetic;
+
+    fn t(prims: usize) -> Trace {
+        let mut p = synthetic::table_5_1("slang");
+        p.primitives = prims;
+        synthetic::generate(&p)
+    }
+
+    #[test]
+    fn peak_curve_has_slope_one_then_knee_shape() {
+        // Figure 5.1: below the knee the peak equals the table size (with
+        // pseudo overflows); above it, the peak is flat.
+        let trace = t(1500);
+        let k = knee(&trace, SimParams::default());
+        assert!(k > 8, "knee {k} too small to test");
+        let sizes = [k / 2, k.saturating_sub(2).max(1), k, k + 16, k * 2];
+        let curve = peak_curve(&trace, SimParams::default(), &sizes);
+        // Below the knee: peak == size (the table fills).
+        assert_eq!(curve[0].peak, curve[0].table_size);
+        assert!(curve[0].pseudo);
+        // Well above the knee: no overflow, flat peak.
+        assert!(!curve[4].pseudo && !curve[4].true_overflow);
+        assert_eq!(curve[4].peak, k);
+        assert_eq!(curve[3].peak, k);
+    }
+
+    #[test]
+    fn knee_spread_is_an_interval() {
+        let trace = t(800);
+        let (lo, hi) = knee_spread(&trace, SimParams::default(), 5);
+        assert!(lo <= hi);
+        assert!(lo > 0);
+    }
+
+    #[test]
+    fn compress_one_keeps_higher_average_occupancy() {
+        // Figure 5.3's direction.
+        let trace = t(3000);
+        let k = knee(&trace, SimParams::default());
+        let (one, all) = compression_comparison(&trace, SimParams::default(), (k * 3 / 4).max(8));
+        assert!(
+            one >= all - 1.0,
+            "Compress-One avg {one:.1} should not be below Compress-All {all:.1}"
+        );
+    }
+
+    #[test]
+    fn lazy_refops_below_recursive() {
+        let trace = t(2000);
+        let row = lpt_activity(&trace, SimParams::default());
+        assert!(
+            row.rec_refops > row.refops,
+            "RecRefops {} must exceed Refops {} (Table 5.2)",
+            row.rec_refops,
+            row.refops
+        );
+        assert!(row.gets > 0 && row.frees > 0);
+    }
+
+    #[test]
+    fn split_counts_cut_bus_traffic_by_a_lot() {
+        let trace = t(2000);
+        let row = split_counts(&trace, SimParams::default());
+        assert!(
+            (row.refops_now as f64) < row.refops_then as f64 * 0.67,
+            "split {} must cut unified {} bus traffic substantially (Table 5.3)",
+            row.refops_now,
+            row.refops_then
+        );
+        assert!(row.max_now_lpt <= row.max_then);
+    }
+
+    #[test]
+    fn line_size_helps_the_cache() {
+        // Figure 5.5's direction: the miss ratio falls as lines grow
+        // (prefetch exploits the structural locality in the addresses).
+        let trace = t(3000);
+        let size = 96;
+        let r1 = line_size_ratio(&trace, SimParams::default(), size, 1);
+        let r8 = line_size_ratio(&trace, SimParams::default(), size, 8);
+        assert!(
+            r8 < r1,
+            "line 8 ratio {r8:.2} should be below line 1 ratio {r1:.2}"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: the trace-driven simulator is deterministic, never
+//! exceeds its table, and its cache observes exactly the access stream,
+//! across random parameters and synthetic traces.
+
+use proptest::prelude::*;
+use small_core::{CompressPolicy, DecrementPolicy, RefcountMode};
+use small_simulator::driver::{run_sim, CacheConfig};
+use small_simulator::SimParams;
+use small_workloads::synthetic::{generate, table_5_1};
+
+fn arb_params() -> impl Strategy<Value = SimParams> {
+    (
+        32usize..512,
+        prop::sample::select(vec![CompressPolicy::CompressOne, CompressPolicy::CompressAll]),
+        prop::sample::select(vec![DecrementPolicy::Lazy, DecrementPolicy::Recursive]),
+        prop::sample::select(vec![RefcountMode::Unified, RefcountMode::Split]),
+        0.3f64..0.9,
+        0.0f64..0.05,
+        1u64..50,
+    )
+        .prop_map(
+            |(table_size, compression, decrement, refcounts, arg_prob, bind_prob, seed)| {
+                SimParams {
+                    table_size,
+                    compression,
+                    decrement,
+                    refcounts,
+                    arg_prob,
+                    loc_prob: (1.0 - arg_prob) / 2.0,
+                    bind_prob,
+                    read_prob: bind_prob,
+                    seed,
+                    ..SimParams::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulator_invariants(params in arb_params(), prims in 200usize..800) {
+        let mut preset = table_5_1("slang");
+        preset.primitives = prims;
+        preset.seed = params.seed;
+        let t = generate(&preset);
+        let r = run_sim(
+            &t,
+            params,
+            Some(CacheConfig { lines: params.table_size, line_cells: 2 }),
+        );
+        prop_assert!(r.lpt.max_occupancy <= params.table_size);
+        prop_assert_eq!(
+            r.cache_hits + r.cache_misses,
+            r.access_hits + r.access_misses
+        );
+        if !r.true_overflow {
+            prop_assert_eq!(r.prims_executed, prims);
+        }
+        // Determinism.
+        let r2 = run_sim(
+            &t,
+            params,
+            Some(CacheConfig { lines: params.table_size, line_cells: 2 }),
+        );
+        prop_assert_eq!(r.lpt.refops, r2.lpt.refops);
+        prop_assert_eq!(r.cache_misses, r2.cache_misses);
+    }
+}

@@ -1,0 +1,241 @@
+//! The trace event model.
+//!
+//! A trace is the sequence of list-primitive calls and user-function
+//! enters/exits from one program run. Each list operand is recorded as a
+//! [`ListRef`] carrying:
+//!
+//! * `uid` — the "looks identical ⇒ same id" unique identifier of
+//!   §5.2.1 (lists with equal s-expression prints share a uid),
+//! * `exact` — the exact cons-cell identity from our interpreter
+//!   (information the thesis could not extract from Franz Lisp),
+//! * `chained` — the §5.2.1 chaining flag: this argument is the value
+//!   returned by the immediately preceding primitive call.
+
+use std::fmt;
+
+/// The traced primitives (the LP request set, §4.3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prim {
+    /// Simple list access.
+    Car,
+    /// Simple list access.
+    Cdr,
+    /// List construction.
+    Cons,
+    /// Simple list modification.
+    Rplaca,
+    /// Simple list modification.
+    Rplacd,
+    /// List input (`readlist`).
+    Read,
+}
+
+impl Prim {
+    /// All primitives, in display order (Figure 3.1 stacks car/cdr/cons).
+    pub const ALL: [Prim; 6] = [
+        Prim::Car,
+        Prim::Cdr,
+        Prim::Cons,
+        Prim::Rplaca,
+        Prim::Rplacd,
+        Prim::Read,
+    ];
+
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Prim::Car => "car",
+            Prim::Cdr => "cdr",
+            Prim::Cons => "cons",
+            Prim::Rplaca => "rplaca",
+            Prim::Rplacd => "rplacd",
+            Prim::Read => "read",
+        }
+    }
+
+    /// Parse a name back (for trace files).
+    pub fn from_name(s: &str) -> Option<Prim> {
+        Prim::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A reference to a list (or atom) operand in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListRef {
+    /// "Looks-identical" unique id (§5.2.1): equal s-expression prints
+    /// share a uid. Atoms get uids too (their printed form).
+    pub uid: u32,
+    /// Exact cell identity from the interpreter (`None` for atoms).
+    pub exact: Option<u64>,
+    /// Chaining flag: this operand is the result of the immediately
+    /// preceding primitive call in the trace (§5.2.1).
+    pub chained: bool,
+}
+
+impl ListRef {
+    /// Whether the operand was a list (has exact cell identity).
+    pub fn is_list(&self) -> bool {
+        self.exact.is_some()
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A list-primitive call: `prim(args…) = result`.
+    Prim {
+        /// Which primitive.
+        prim: Prim,
+        /// Operands (in call order).
+        args: Vec<ListRef>,
+        /// The returned value.
+        result: ListRef,
+    },
+    /// Entry to a user-defined function (name table index, arg count).
+    FnEnter {
+        /// Index into [`Trace::fn_names`].
+        name: u32,
+        /// Number of arguments in the call.
+        nargs: u8,
+    },
+    /// Return from the matching user-defined function.
+    FnExit,
+}
+
+/// Per-uid metadata: the `n`/`p` complexity of the list's s-expression
+/// form at first encounter (§3.3.1), used by the simulator to size heap
+/// objects and by the Fig 3.3 histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UidInfo {
+    /// Number of atoms (n).
+    pub n: u32,
+    /// Internal parenthesis pairs (p).
+    pub p: u32,
+    /// Whether the uid denotes an atom rather than a list.
+    pub atom: bool,
+}
+
+/// A complete recorded trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Workload name (e.g. "slang").
+    pub name: String,
+    /// The event sequence.
+    pub events: Vec<Event>,
+    /// Per-uid complexity metadata, indexed by uid.
+    pub uids: Vec<UidInfo>,
+    /// User-function name strings, indexed by [`Event::FnEnter::name`].
+    pub fn_names: Vec<String>,
+}
+
+impl Trace {
+    /// Number of primitive events (the "trace length" of the thesis).
+    pub fn primitive_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Prim { .. }))
+            .count()
+    }
+
+    /// Number of user-function calls.
+    pub fn fn_call_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::FnEnter { .. }))
+            .count()
+    }
+
+    /// Maximum function-call nesting depth.
+    pub fn max_call_depth(&self) -> usize {
+        let mut depth = 0usize;
+        let mut max = 0usize;
+        for e in &self.events {
+            match e {
+                Event::FnEnter { .. } => {
+                    depth += 1;
+                    max = max.max(depth);
+                }
+                Event::FnExit => depth = depth.saturating_sub(1),
+                Event::Prim { .. } => {}
+            }
+        }
+        max
+    }
+
+    /// Iterate just the primitive events.
+    pub fn prims(&self) -> impl Iterator<Item = (Prim, &[ListRef], &ListRef)> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Prim { prim, args, result } => Some((*prim, args.as_slice(), result)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lref(uid: u32) -> ListRef {
+        ListRef {
+            uid,
+            exact: Some(uid as u64),
+            chained: false,
+        }
+    }
+
+    #[test]
+    fn prim_name_roundtrip() {
+        for p in Prim::ALL {
+            assert_eq!(Prim::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Prim::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn trace_counters() {
+        let t = Trace {
+            name: "t".into(),
+            events: vec![
+                Event::FnEnter { name: 0, nargs: 1 },
+                Event::Prim {
+                    prim: Prim::Car,
+                    args: vec![lref(0)],
+                    result: lref(1),
+                },
+                Event::FnEnter { name: 1, nargs: 0 },
+                Event::FnExit,
+                Event::FnExit,
+            ],
+            uids: vec![],
+            fn_names: vec!["f".into(), "g".into()],
+        };
+        assert_eq!(t.primitive_count(), 1);
+        assert_eq!(t.fn_call_count(), 2);
+        assert_eq!(t.max_call_depth(), 2);
+    }
+
+    #[test]
+    fn prims_iterator_filters() {
+        let t = Trace {
+            events: vec![
+                Event::FnEnter { name: 0, nargs: 0 },
+                Event::Prim {
+                    prim: Prim::Cons,
+                    args: vec![lref(0), lref(1)],
+                    result: lref(2),
+                },
+            ],
+            fn_names: vec!["f".into()],
+            ..Default::default()
+        };
+        let v: Vec<_> = t.prims().collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, Prim::Cons);
+    }
+}

@@ -1,0 +1,272 @@
+//! Line-oriented trace file format.
+//!
+//! One record per line, whitespace-separated:
+//!
+//! ```text
+//! T <name>                          header
+//! N <fn-name>                       function-name table entry (in order)
+//! U <n> <p> <atom 0|1>              uid table entry (in order)
+//! P <prim> <result> <arg>*          primitive event
+//! F <fn-index> <nargs>              function entry
+//! X                                 function exit
+//! ```
+//!
+//! where each operand reference is `uid[:exact][*]` — `:exact` present
+//! for lists, a trailing `*` marks the chaining flag.
+//!
+//! The format is deliberately simple and dependency-free; trace files
+//! compress well and diff cleanly.
+
+use crate::event::{Event, ListRef, Prim, Trace, UidInfo};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Serialize a trace to a writer.
+pub fn save<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "T {}", trace.name).unwrap();
+    for n in &trace.fn_names {
+        writeln!(buf, "N {n}").unwrap();
+    }
+    for u in &trace.uids {
+        writeln!(buf, "U {} {} {}", u.n, u.p, u8::from(u.atom)).unwrap();
+    }
+    for e in &trace.events {
+        match e {
+            Event::Prim { prim, args, result } => {
+                write!(buf, "P {prim} ").unwrap();
+                write_ref(&mut buf, result);
+                for a in args {
+                    buf.push(' ');
+                    write_ref(&mut buf, a);
+                }
+                buf.push('\n');
+            }
+            Event::FnEnter { name, nargs } => {
+                writeln!(buf, "F {name} {nargs}").unwrap();
+            }
+            Event::FnExit => buf.push_str("X\n"),
+        }
+        if buf.len() > 1 << 20 {
+            w.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    w.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+fn write_ref(buf: &mut String, r: &ListRef) {
+    write!(buf, "{}", r.uid).unwrap();
+    if let Some(e) = r.exact {
+        write!(buf, ":{e}").unwrap();
+    }
+    if r.chained {
+        buf.push('*');
+    }
+}
+
+/// Errors from [`load`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number, description).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse(line, what) => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Deserialize a trace from a reader.
+pub fn load<R: BufRead>(r: R) -> Result<Trace, LoadError> {
+    let mut trace = Trace::default();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| LoadError::Parse(lineno, what.to_owned());
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("T") => {
+                trace.name = parts.collect::<Vec<_>>().join(" ");
+            }
+            Some("N") => {
+                trace
+                    .fn_names
+                    .push(parts.collect::<Vec<_>>().join(" "));
+            }
+            Some("U") => {
+                let n = parse_num(parts.next(), lineno)?;
+                let p = parse_num(parts.next(), lineno)?;
+                let atom: u32 = parse_num(parts.next(), lineno)?;
+                trace.uids.push(UidInfo {
+                    n,
+                    p,
+                    atom: atom != 0,
+                });
+            }
+            Some("P") => {
+                let prim = parts
+                    .next()
+                    .and_then(Prim::from_name)
+                    .ok_or_else(|| bad("bad primitive name"))?;
+                let result = parse_ref(parts.next().ok_or_else(|| bad("missing result"))?)
+                    .ok_or_else(|| bad("bad result ref"))?;
+                let args = parts
+                    .map(|p| parse_ref(p).ok_or_else(|| bad("bad arg ref")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                trace.events.push(Event::Prim { prim, args, result });
+            }
+            Some("F") => {
+                let name = parse_num(parts.next(), lineno)?;
+                let nargs: u32 = parse_num(parts.next(), lineno)?;
+                trace.events.push(Event::FnEnter {
+                    name,
+                    nargs: nargs.min(255) as u8,
+                });
+            }
+            Some("X") => trace.events.push(Event::FnExit),
+            Some(other) => return Err(bad(&format!("unknown record '{other}'"))),
+            None => {}
+        }
+    }
+    Ok(trace)
+}
+
+fn parse_num<T: std::str::FromStr>(s: Option<&str>, line: usize) -> Result<T, LoadError> {
+    s.and_then(|x| x.parse().ok())
+        .ok_or_else(|| LoadError::Parse(line, "bad number".to_owned()))
+}
+
+fn parse_ref(s: &str) -> Option<ListRef> {
+    let (s, chained) = match s.strip_suffix('*') {
+        Some(rest) => (rest, true),
+        None => (s, false),
+    };
+    let (uid_s, exact) = match s.split_once(':') {
+        Some((u, e)) => (u, Some(e.parse::<u64>().ok()?)),
+        None => (s, None),
+    };
+    Some(ListRef {
+        uid: uid_s.parse().ok()?,
+        exact,
+        chained,
+    })
+}
+
+/// Save a trace to a file path.
+pub fn save_file(trace: &Trace, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    save(trace, io::BufWriter::new(f))
+}
+
+/// Load a trace from a file path.
+pub fn load_file(path: &std::path::Path) -> Result<Trace, LoadError> {
+    let f = std::fs::File::open(path)?;
+    load(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            name: "sample".into(),
+            events: vec![
+                Event::FnEnter { name: 0, nargs: 2 },
+                Event::Prim {
+                    prim: Prim::Car,
+                    args: vec![ListRef {
+                        uid: 0,
+                        exact: Some(17),
+                        chained: false,
+                    }],
+                    result: ListRef {
+                        uid: 1,
+                        exact: None,
+                        chained: false,
+                    },
+                },
+                Event::Prim {
+                    prim: Prim::Cons,
+                    args: vec![
+                        ListRef {
+                            uid: 1,
+                            exact: None,
+                            chained: true,
+                        },
+                        ListRef {
+                            uid: 0,
+                            exact: Some(17),
+                            chained: false,
+                        },
+                    ],
+                    result: ListRef {
+                        uid: 2,
+                        exact: Some(18),
+                        chained: false,
+                    },
+                },
+                Event::FnExit,
+            ],
+            uids: vec![
+                UidInfo { n: 3, p: 0, atom: false },
+                UidInfo { n: 1, p: 0, atom: true },
+                UidInfo { n: 4, p: 1, atom: false },
+            ],
+            fn_names: vec!["doit".into()],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        save(&t, &mut buf).unwrap();
+        let t2 = load(io::Cursor::new(buf)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn format_is_line_oriented_text() {
+        let mut buf = Vec::new();
+        save(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("T sample\n"));
+        assert!(text.contains("P car "));
+        assert!(text.contains("1*"), "chained flag marker present");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(load(io::Cursor::new(b"Z nonsense\n".to_vec())).is_err());
+        assert!(load(io::Cursor::new(b"P bogus 1\n".to_vec())).is_err());
+        assert!(load(io::Cursor::new(b"U x y z\n".to_vec())).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let t = load(io::Cursor::new(b"T x\n\n\nX\n".to_vec())).unwrap();
+        assert_eq!(t.name, "x");
+        assert_eq!(t.events.len(), 1);
+    }
+}

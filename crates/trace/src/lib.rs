@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! List-primitive traces: the experimental raw material of Chapters 3
+//! and 5.
+//!
+//! The thesis modified a Franz Lisp interpreter so that "on the call of a
+//! list access or modify function, the function name and its arguments
+//! (in s-expression form) were written to a trace file" (§3.3.1), then
+//! pre-processed each file so that every list argument became a unique
+//! identifier plus a *chaining flag* (§5.2.1). This crate reproduces that
+//! pipeline:
+//!
+//! * [`event`] — the trace event model (primitive calls with list
+//!   references, function enter/exit),
+//! * [`record`] — a [`small_lisp::EvalHook`] that captures events from
+//!   live interpreter runs, assigning "looks-identical" unique ids and
+//!   chaining flags,
+//! * [`io`] — a line-oriented text file format (no external
+//!   serialization dependency),
+//! * [`stats`] — per-trace summary statistics (Table 5.1).
+
+pub mod event;
+pub mod io;
+pub mod record;
+pub mod stats;
+
+pub use event::{Event, ListRef, Prim, Trace};
+pub use record::Recorder;
+pub use stats::TraceStats;

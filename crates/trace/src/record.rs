@@ -1,0 +1,247 @@
+//! Live trace recording from interpreter runs.
+//!
+//! [`Recorder`] implements [`small_lisp::EvalHook`]: each traced
+//! primitive call is converted to s-expression form, deduplicated into a
+//! "looks-identical" uid (§5.2.1), tagged with its exact cell identity
+//! and the chaining flag, and appended to the growing [`Trace`].
+
+use crate::event::{Event, ListRef, Prim, Trace, UidInfo};
+use small_lisp::interp::EvalHook;
+use small_lisp::value::Value;
+use small_sexpr::metrics::np;
+use small_sexpr::{Interner, SExpr, Symbol};
+use std::collections::HashMap;
+
+/// A trace recorder; plug into [`small_lisp::Interp`] as its hook.
+pub struct Recorder {
+    trace: Trace,
+    /// Looks-identical table: s-expression → uid.
+    uid_table: HashMap<SExpr, u32>,
+    /// Function-name table.
+    fn_table: HashMap<Symbol, u32>,
+    /// Result of the previous primitive (for chaining flags): uid.
+    prev_result: Option<u32>,
+    /// Primitive symbols resolved lazily against the interpreter's
+    /// interner (symbol ids differ per session).
+    prim_syms: Vec<(Symbol, Prim)>,
+    /// Cap on converted list size (guards against cyclic structures).
+    conversion_budget: usize,
+}
+
+impl Recorder {
+    /// Create a recorder. `interner` must be the same interner the
+    /// interpreter will run with (primitive names are resolved from it).
+    pub fn new(name: &str, interner: &mut Interner) -> Self {
+        let prim_syms = [
+            ("car", Prim::Car),
+            ("cdr", Prim::Cdr),
+            ("cons", Prim::Cons),
+            ("rplaca", Prim::Rplaca),
+            ("rplacd", Prim::Rplacd),
+            ("read", Prim::Read),
+        ]
+        .into_iter()
+        .map(|(n, p)| (interner.intern(n), p))
+        .collect();
+        Recorder {
+            trace: Trace {
+                name: name.to_owned(),
+                ..Default::default()
+            },
+            uid_table: HashMap::new(),
+            fn_table: HashMap::new(),
+            prev_result: None,
+            prim_syms,
+            conversion_budget: 100_000,
+        }
+    }
+
+    /// Finish recording and take the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.trace.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trace.events.is_empty()
+    }
+
+    fn uid_of(&mut self, v: &Value) -> (u32, UidInfo) {
+        let e = v.to_sexpr_limited(self.conversion_budget);
+        if let Some(&uid) = self.uid_table.get(&e) {
+            return (uid, self.trace.uids[uid as usize]);
+        }
+        let m = np(&e);
+        let info = UidInfo {
+            n: m.n as u32,
+            p: m.p as u32,
+            atom: v.is_atom(),
+        };
+        let uid = self.trace.uids.len() as u32;
+        self.trace.uids.push(info);
+        self.uid_table.insert(e, uid);
+        (uid, info)
+    }
+
+    fn list_ref(&mut self, v: &Value, chained: bool) -> ListRef {
+        let (uid, _) = self.uid_of(v);
+        ListRef {
+            uid,
+            exact: v.list_id(),
+            chained,
+        }
+    }
+}
+
+impl EvalHook for Recorder {
+    fn primitive(&mut self, name: Symbol, args: &[Value], result: &Value) {
+        let Some((_, prim)) = self.prim_syms.iter().find(|(s, _)| *s == name).copied()
+        else {
+            return; // untraced primitive
+        };
+        let prev = self.prev_result.take();
+        let arg_refs: Vec<ListRef> = args
+            .iter()
+            .map(|a| {
+                let r = self.list_ref(a, false);
+                ListRef {
+                    chained: prev.is_some() && prev == Some(r.uid) && r.is_list(),
+                    ..r
+                }
+            })
+            .collect();
+        let result_ref = self.list_ref(result, false);
+        self.prev_result = result_ref.is_list().then_some(result_ref.uid);
+        self.trace.events.push(Event::Prim {
+            prim,
+            args: arg_refs,
+            result: result_ref,
+        });
+    }
+
+    fn fn_enter(&mut self, name: Symbol, nargs: usize) {
+        let idx = match self.fn_table.get(&name) {
+            Some(&i) => i,
+            None => {
+                let i = self.trace.fn_names.len() as u32;
+                // Name resolution happens at save time; store a
+                // placeholder keyed by symbol id for uniqueness.
+                self.trace.fn_names.push(format!("fn#{}", name.0));
+                self.fn_table.insert(name, i);
+                i
+            }
+        };
+        self.trace.events.push(Event::FnEnter {
+            name: idx,
+            nargs: nargs.min(255) as u8,
+        });
+    }
+
+    fn fn_exit(&mut self, _name: Symbol) {
+        self.trace.events.push(Event::FnExit);
+    }
+}
+
+/// Resolve placeholder function names against the interner (call after
+/// the run, when the interner is available again).
+pub fn resolve_fn_names(trace: &mut Trace, interner: &Interner) {
+    for name in &mut trace.fn_names {
+        if let Some(id) = name.strip_prefix("fn#").and_then(|s| s.parse::<u32>().ok()) {
+            *name = interner.name(Symbol(id)).to_owned();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_lisp::env::DeepEnv;
+    use small_lisp::interp::{Interp, PRELUDE};
+
+    fn record(src: &str) -> Trace {
+        let mut interner = Interner::new();
+        let rec = Recorder::new("test", &mut interner);
+        let mut it = Interp::new(interner, DeepEnv::new(), rec);
+        it.run_program(PRELUDE).unwrap();
+        it.run_program(src).unwrap();
+        let mut trace = std::mem::replace(&mut it.hook, Recorder::new("x", &mut it.interner)).finish();
+        resolve_fn_names(&mut trace, &it.interner);
+        trace
+    }
+
+    #[test]
+    fn records_primitive_sequence() {
+        let t = record("(car (cdr '(1 2 3)))");
+        let prims: Vec<Prim> = t.prims().map(|(p, _, _)| p).collect();
+        assert_eq!(prims, vec![Prim::Cdr, Prim::Car]);
+    }
+
+    #[test]
+    fn chaining_flag_set_for_nested_calls() {
+        let t = record("(car (cdr '(1 2 3)))");
+        let events: Vec<_> = t.prims().collect();
+        // cdr's argument is not chained; car's argument is the cdr result.
+        assert!(!events[0].1[0].chained);
+        assert!(events[1].1[0].chained, "car receives cdr's result");
+    }
+
+    #[test]
+    fn chaining_flag_not_set_across_unrelated_calls() {
+        let t = record("(progn (cdr '(1 2)) (car '(9 8)))");
+        let events: Vec<_> = t.prims().collect();
+        assert!(!events[1].1[0].chained);
+    }
+
+    #[test]
+    fn identical_lists_share_uid() {
+        let t = record("(progn (car '(a b)) (car '(a b)))");
+        let events: Vec<_> = t.prims().collect();
+        assert_eq!(events[0].1[0].uid, events[1].1[0].uid);
+        // But exact identities differ (two fresh quoted copies).
+        assert_ne!(events[0].1[0].exact, events[1].1[0].exact);
+    }
+
+    #[test]
+    fn uid_info_has_np() {
+        let t = record("(car '(a b c (d e) f g))");
+        let events: Vec<_> = t.prims().collect();
+        let arg = events[0].1[0];
+        let info = t.uids[arg.uid as usize];
+        assert_eq!((info.n, info.p), (7, 1));
+        assert!(!info.atom);
+    }
+
+    #[test]
+    fn function_enter_exit_recorded_with_names() {
+        let t = record("(def f (lambda (x) (car x))) (f '(1 2))");
+        assert_eq!(t.fn_call_count(), 1);
+        assert!(t.fn_names.iter().any(|n| n == "f"), "{:?}", t.fn_names);
+        assert_eq!(t.max_call_depth(), 1);
+    }
+
+    #[test]
+    fn prelude_functions_generate_primitive_traffic() {
+        let t = record("(append '(1 2 3) '(4 5))");
+        // append recurses: car+cdr+cons per element.
+        let count = t.primitive_count();
+        assert!(count >= 9, "expected ≥9 primitives, got {count}");
+    }
+
+    #[test]
+    fn read_is_traced() {
+        let mut interner = Interner::new();
+        let rec = Recorder::new("test", &mut interner);
+        let mut it = Interp::new(interner, DeepEnv::new(), rec);
+        let e = small_sexpr::parse("(x y)", &mut it.interner).unwrap();
+        it.input.push_back(e);
+        it.run_program("(read v)").unwrap();
+        let t = std::mem::replace(&mut it.hook, Recorder::new("x", &mut it.interner)).finish();
+        let prims: Vec<Prim> = t.prims().map(|(p, _, _)| p).collect();
+        assert_eq!(prims, vec![Prim::Read]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-trace summary statistics (Table 5.1: "Content of the 4 Traces").
+
+use crate::event::{Prim, Trace};
+use std::collections::BTreeMap;
+
+/// The Table 5.1 row for one trace, plus the primitive mix used by
+/// Figure 3.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Trace name.
+    pub name: String,
+    /// User-defined function calls.
+    pub functions: usize,
+    /// Primitive events (trace length).
+    pub primitives: usize,
+    /// Maximum dynamic call depth.
+    pub max_depth: usize,
+    /// Count per primitive.
+    pub prim_counts: BTreeMap<Prim, usize>,
+    /// Distinct list uids encountered.
+    pub distinct_lists: usize,
+}
+
+impl TraceStats {
+    /// Compute the statistics for a trace.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut prim_counts = BTreeMap::new();
+        for (p, _, _) in trace.prims() {
+            *prim_counts.entry(p).or_insert(0) += 1;
+        }
+        TraceStats {
+            name: trace.name.clone(),
+            functions: trace.fn_call_count(),
+            primitives: trace.primitive_count(),
+            max_depth: trace.max_call_depth(),
+            prim_counts,
+            distinct_lists: trace.uids.iter().filter(|u| !u.atom).count(),
+        }
+    }
+
+    /// Percentage of primitives that are `p` (Figure 3.1 bars).
+    pub fn prim_percent(&self, p: Prim) -> f64 {
+        if self.primitives == 0 {
+            return 0.0;
+        }
+        100.0 * *self.prim_counts.get(&p).unwrap_or(&0) as f64 / self.primitives as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, ListRef};
+
+    #[test]
+    fn stats_and_percentages() {
+        let lref = |uid| ListRef {
+            uid,
+            exact: Some(uid as u64),
+            chained: false,
+        };
+        let t = Trace {
+            name: "x".into(),
+            events: vec![
+                Event::Prim {
+                    prim: Prim::Car,
+                    args: vec![lref(0)],
+                    result: lref(1),
+                },
+                Event::Prim {
+                    prim: Prim::Car,
+                    args: vec![lref(0)],
+                    result: lref(1),
+                },
+                Event::Prim {
+                    prim: Prim::Cons,
+                    args: vec![lref(0), lref(1)],
+                    result: lref(2),
+                },
+                Event::Prim {
+                    prim: Prim::Cdr,
+                    args: vec![lref(2)],
+                    result: lref(0),
+                },
+            ],
+            uids: vec![
+                crate::event::UidInfo { n: 1, p: 0, atom: false },
+                crate::event::UidInfo { n: 1, p: 0, atom: false },
+                crate::event::UidInfo { n: 2, p: 0, atom: false },
+            ],
+            fn_names: vec![],
+        };
+        let s = TraceStats::of(&t);
+        assert_eq!(s.primitives, 4);
+        assert_eq!(s.prim_percent(Prim::Car), 50.0);
+        assert_eq!(s.prim_percent(Prim::Cons), 25.0);
+        assert_eq!(s.prim_percent(Prim::Rplaca), 0.0);
+        assert_eq!(s.distinct_lists, 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: trace serialization round-trips arbitrary traces.
+
+use proptest::prelude::*;
+use small_trace::event::{Event, ListRef, Prim, Trace, UidInfo};
+use small_trace::io;
+
+fn arb_ref(max_uid: u32) -> impl Strategy<Value = ListRef> {
+    (0..max_uid, prop::option::of(0u64..1000), any::<bool>()).prop_map(
+        |(uid, exact, chained)| ListRef {
+            uid,
+            exact,
+            chained,
+        },
+    )
+}
+
+fn arb_event(max_uid: u32) -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (
+            prop::sample::select(Prim::ALL.to_vec()),
+            prop::collection::vec(arb_ref(max_uid), 0..3),
+            arb_ref(max_uid)
+        )
+            .prop_map(|(prim, args, result)| Event::Prim { prim, args, result }),
+        (0u32..4, 0u8..5).prop_map(|(name, nargs)| Event::FnEnter { name, nargs }),
+        Just(Event::FnExit),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let max_uid = 16u32;
+    (
+        "[a-z]{1,12}",
+        prop::collection::vec(arb_event(max_uid), 0..60),
+        prop::collection::vec(
+            (0u32..200, 0u32..40, any::<bool>())
+                .prop_map(|(n, p, atom)| UidInfo { n, p, atom }),
+            max_uid as usize,
+        ),
+    )
+        .prop_map(|(name, events, uids)| Trace {
+            name,
+            events,
+            uids,
+            fn_names: vec!["f0".into(), "f1".into(), "f2".into(), "f3".into()],
+        })
+}
+
+proptest! {
+    #[test]
+    fn save_load_roundtrip(t in arb_trace()) {
+        let mut buf = Vec::new();
+        io::save(&t, &mut buf).unwrap();
+        let back = io::load(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn counters_are_consistent(t in arb_trace()) {
+        let prims = t.prims().count();
+        prop_assert_eq!(prims, t.primitive_count());
+        prop_assert!(t.max_call_depth() <= t.fn_call_count());
+    }
+}

@@ -1,0 +1,144 @@
+//! EDITOR analogue: a structure editor for Lisp function definitions.
+//!
+//! The thesis drove the Interlisp TTY editor through "global
+//! substitutions, searches, modifications" on an editing function
+//! (§3.3.1). This workload loads a large nested function definition and
+//! executes an edit script of substitutions, atom counts, and
+//! path-extractions. EDITOR works on by far the most complex lists of
+//! the suite (Table 3.1: n ≈ 75, p ≈ 21).
+
+use crate::runner::{run_workload, WorkloadRun};
+use small_sexpr::{parse, Interner};
+
+const SOURCE: &str = r#"
+(def subst* (lambda (old new e)
+  (cond ((equal e old) new)
+        ((atom e) e)
+        (t (cons (subst* old new (car e))
+                 (subst* old new (cdr e)))))))
+
+(def count-atom (lambda (x e)
+  (cond ((equal e x) 1)
+        ((atom e) 0)
+        (t (add (count-atom x (car e)) (count-atom x (cdr e)))))))
+
+(def extract (lambda (path e)
+  (cond ((null path) e)
+        ((atom e) nil)
+        ((equal (car path) 0) (extract (cdr path) (car e)))
+        (t (extract (cdr path) (cdr e))))))
+
+(def depth* (lambda (e)
+  (cond ((atom e) 0)
+        (t (max2 (add 1 (depth* (car e))) (depth* (cdr e)))))))
+
+(def max2 (lambda (a b) (cond ((greaterp a b) a) (t b))))
+
+(def do-op (lambda (op text)
+  (prog (kind)
+    (setq kind (car op))
+    (cond ((equal kind 1)
+           (setq text (subst* (cadr op) (caddr op) text))
+           (write (count-atom (caddr op) text))
+           (return text)))
+    (cond ((equal kind 2)
+           (write (count-atom (cadr op) text))
+           (return text)))
+    (cond ((equal kind 3)
+           (write (extract (cadr op) text))
+           (return text)))
+    (write (depth* text))
+    (return text))))
+
+(def run-script (lambda (script text)
+  (cond ((null script) text)
+        (t (run-script (cdr script) (do-op (car script) text))))))
+
+(def main (lambda ()
+  (prog (text script)
+    (read text)
+    (read script)
+    (setq text (run-script script text))
+    (write (count-atom (quote lambda) text))
+    (return (depth* text)))))
+
+(main)
+"#;
+
+/// Generate the "function definition" being edited: a nested cond tree
+/// whose complexity matches EDITOR's Table 3.1 profile (n ≈ 75, p ≈ 21
+/// per top-level list at scale 1).
+fn document(scale: u32) -> String {
+    fn clause(d: u32, salt: u32) -> String {
+        if d == 0 {
+            format!("(setq v{salt} (add v{salt} {salt}))")
+        } else {
+            format!(
+                "(cond ((null x{salt}) {}) ((greaterp v{salt} {salt}) {}) (t (progn {} {})))",
+                clause(d - 1, salt * 2 + 1),
+                clause(d - 1, salt * 2 + 2),
+                clause(d - 1, salt * 3 + 1),
+                format!("(write v{salt})"),
+            )
+        }
+    }
+    let depth = 2 + scale.min(4);
+    format!(
+        "(def edit-me (lambda (x0 v0) (prog (tmp) {} {} (return tmp))))",
+        clause(depth, 0),
+        clause(depth.saturating_sub(1), 1),
+    )
+}
+
+fn script(scale: u32) -> String {
+    let mut ops = String::from("(");
+    for k in 0..4 * scale.max(1) {
+        ops.push_str(&format!("(1 v{k} w{k}) ", ));
+        ops.push_str("(2 setq) ");
+        ops.push_str("(3 (1 1 0)) (4) ");
+    }
+    ops.push(')');
+    ops
+}
+
+/// Run the EDITOR workload at `scale`.
+pub fn run(scale: u32) -> WorkloadRun {
+    let mut interner = Interner::new();
+    let inputs = vec![
+        parse(&document(scale), &mut interner).expect("document"),
+        parse(&script(scale), &mut interner).expect("script"),
+    ];
+    run_workload("editor", SOURCE, inputs, interner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitutions_apply() {
+        let r = run(1);
+        // Op (1 v0 w0) rewrote v0 → w0; the count of w0 afterwards > 0.
+        let first_count = r.outputs[0].as_int().unwrap();
+        assert!(first_count > 0);
+        // The final count of `lambda` is 1 (the definition head).
+        let last = r.outputs.last().unwrap().as_int().unwrap();
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn lists_are_complex() {
+        let r = run(1);
+        // The document uid (first read) must show EDITOR-like complexity.
+        let biggest = r.trace.uids.iter().map(|u| (u.n, u.p)).max().unwrap();
+        assert!(biggest.0 >= 60, "n = {}", biggest.0);
+        assert!(biggest.1 >= 15, "p = {}", biggest.1);
+    }
+
+    #[test]
+    fn trace_scale() {
+        let r = run(1);
+        let s = small_trace::TraceStats::of(&r.trace);
+        assert!(s.primitives > 1_000, "{}", s.primitives);
+    }
+}

@@ -1,0 +1,159 @@
+//! LYRA analogue: a VLSI geometric design-rule checker in Lisp.
+//!
+//! The thesis ran LYRA doing "CMOS design rules checks on a portion of
+//! an 8 bit multiplier" (§3.3.1). This workload checks minimum-width and
+//! minimum-spacing rules over a rectangle list: every rectangle is
+//! width-checked against its layer's rule, and every same-layer pair is
+//! spacing-checked — the O(n²) pair scan is what makes LYRA by far the
+//! longest trace in Table 5.1, dominated by car/cdr access.
+
+use crate::runner::{run_workload, WorkloadRun};
+use small_sexpr::{parse, Interner};
+
+const SOURCE: &str = r#"
+(def cadddr (lambda (x) (car (cdr (cdr (cdr x))))))
+(def caddddr (lambda (x) (car (cdr (cdr (cdr (cdr x)))))))
+
+(def rlayer (lambda (r) (car r)))
+(def rx1 (lambda (r) (cadr r)))
+(def ry1 (lambda (r) (caddr r)))
+(def rx2 (lambda (r) (cadddr r)))
+(def ry2 (lambda (r) (caddddr r)))
+
+(def min2 (lambda (a b) (cond ((lessp a b) a) (t b))))
+(def max2 (lambda (a b) (cond ((greaterp a b) a) (t b))))
+
+(def rule-for (lambda (layer rules)
+  (prog (p)
+    (setq p (assoc layer rules))
+    (cond ((null p) (return (cons 2 2))))
+    (return (cdr p)))))
+
+(def width-of (lambda (r)
+  (min2 (sub (rx2 r) (rx1 r)) (sub (ry2 r) (ry1 r)))))
+
+(def check-width (lambda (r rules)
+  (cond ((lessp (width-of r) (car (rule-for (rlayer r) rules)))
+         (cons 1 r))
+        (t nil))))
+
+(def gap (lambda (a b)
+  (prog (gx gy)
+    (setq gx (max2 (sub (rx1 a) (rx2 b)) (sub (rx1 b) (rx2 a))))
+    (setq gy (max2 (sub (ry1 a) (ry2 b)) (sub (ry1 b) (ry2 a))))
+    (cond ((and (lessp gx 0) (lessp gy 0)) (return 0)))
+    (return (max2 gx gy)))))
+
+(def check-pair (lambda (a b rules)
+  (prog (g minsp)
+    (cond ((not (equal (rlayer a) (rlayer b))) (return nil)))
+    (setq g (gap a b))
+    (cond ((equal g 0) (return nil)))
+    (setq minsp (cdr (rule-for (rlayer a) rules)))
+    (cond ((lessp g minsp)
+           (return (cons 2 (cons (rx1 a) (cons (ry1 a)
+                    (cons (rx1 b) (cons (ry1 b) nil))))))))
+    (return nil))))
+
+(def check-against (lambda (r others rules acc)
+  (cond ((null others) acc)
+        (t (prog (e)
+             (setq e (check-pair r (car others) rules))
+             (cond ((null e)
+                    (return (check-against r (cdr others) rules acc))))
+             (return (check-against r (cdr others) rules (cons e acc))))))))
+
+(def check-all (lambda (rects rules acc)
+  (cond ((null rects) acc)
+        (t (prog (e)
+             (setq e (check-width (car rects) rules))
+             (cond ((not (null e)) (setq acc (cons e acc))))
+             (setq acc (check-against (car rects) (cdr rects) rules acc))
+             (return (check-all (cdr rects) rules acc)))))))
+
+(def main (lambda ()
+  (prog (rects rules errs)
+    (read rects)
+    (read rules)
+    (setq errs (check-all rects rules nil))
+    (write (length errs))
+    (write errs)
+    (return (length rects)))))
+
+(main)
+"#;
+
+/// Generate the rectangle field: a grid of `cols × rows` rectangles on 3
+/// layers with deterministic pseudo-random sizes; a fraction violate the
+/// width rule, and tight columns violate spacing.
+fn rects(scale: u32) -> String {
+    let cols = 8 + 2 * scale.max(1) as i64;
+    let rows = 8;
+    let mut out = String::from("(");
+    let mut h = 0x9e37u64;
+    for r in 0..rows {
+        for c in 0..cols {
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let layer = (h >> 32) % 3 + 1;
+            let w = 1 + ((h >> 40) % 5) as i64; // widths 1..5; rule ≥2 ⇒ some violate
+            let hgt = 2 + ((h >> 45) % 4) as i64;
+            let x1 = c * 7 + ((h >> 50) % 3) as i64; // jitter ⇒ some gaps < 2
+            let y1 = r * 8;
+            out.push_str(&format!("({layer} {x1} {y1} {} {}) ", x1 + w, y1 + hgt));
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// The workload's Lisp source text.
+pub fn source() -> &'static str {
+    SOURCE
+}
+
+/// The `(read …)` inputs for a run at `scale`.
+pub fn inputs(scale: u32, interner: &mut Interner) -> Vec<small_sexpr::SExpr> {
+    vec![
+        parse(&rects(scale), interner).expect("rects"),
+        // (layer . (minwidth . minspacing))
+        parse("((1 . (2 . 2)) (2 . (2 . 3)) (3 . (3 . 2)))", interner).expect("rules"),
+    ]
+}
+
+/// Run the LYRA workload at `scale`.
+pub fn run(scale: u32) -> WorkloadRun {
+    let mut interner = Interner::new();
+    let inputs = self::inputs(scale, &mut interner);
+    run_workload("lyra", SOURCE, inputs, interner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_trace::{Prim, TraceStats};
+
+    #[test]
+    fn finds_violations() {
+        let r = run(1);
+        let count = r.outputs[0].as_int().expect("violation count");
+        assert!(count > 0, "the generated field must contain violations");
+        // The error list has that many entries.
+        assert_eq!(r.outputs[1].len(), count as usize);
+    }
+
+    #[test]
+    fn is_the_longest_trace_and_access_dominated() {
+        let r = run(1);
+        let s = TraceStats::of(&r.trace);
+        assert!(s.primitives > 20_000, "{}", s.primitives);
+        let access = s.prim_percent(Prim::Car) + s.prim_percent(Prim::Cdr);
+        assert!(access > 70.0, "access% = {access}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a.trace.primitive_count(), b.trace.primitive_count());
+    }
+}

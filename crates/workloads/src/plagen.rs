@@ -1,0 +1,156 @@
+//! PLAGEN analogue: a PLA (programmable logic array) generator in Lisp.
+//!
+//! The thesis used PLAGEN "to generate a PLA for a traffic light
+//! controller" (§3.3.1, after Mead & Conway). This workload takes a
+//! truth table and produces the PLA personality matrix: an AND-plane row
+//! per product term and an OR-plane row per output, merging rows with
+//! identical AND parts. Access-primitive dominated, as Figure 3.1 shows.
+
+use crate::runner::{run_workload, WorkloadRun};
+use small_sexpr::{parse, Interner};
+
+const SOURCE: &str = r#"
+(def make-and-row (lambda (ins)
+  (cond ((null ins) nil)
+        (t (cons (car ins) (make-and-row (cdr ins)))))))
+
+(def or-merge (lambda (a b)
+  (cond ((null a) nil)
+        (t (cons (cond ((equal (car a) 1) 1)
+                       ((equal (car b) 1) 1)
+                       (t 0))
+                 (or-merge (cdr a) (cdr b)))))))
+
+(def find-row (lambda (and-row matrix)
+  (cond ((null matrix) nil)
+        ((equal (car (car matrix)) and-row) (car matrix))
+        (t (find-row and-row (cdr matrix))))))
+
+(def add-term (lambda (row matrix)
+  (prog (and-row or-row hit)
+    (setq and-row (make-and-row (car row)))
+    (setq or-row (cadr row))
+    (setq hit (find-row and-row matrix))
+    (cond ((null hit)
+           (return (cons (cons and-row (cons or-row nil)) matrix))))
+    (rplaca (cdr hit) (or-merge (cadr hit) or-row))
+    (return matrix))))
+
+(def build-matrix (lambda (table matrix)
+  (cond ((null table) matrix)
+        (t (build-matrix (cdr table) (add-term (car table) matrix))))))
+
+(def count-ones (lambda (row)
+  (cond ((null row) 0)
+        ((equal (car row) 1) (add 1 (count-ones (cdr row))))
+        (t (count-ones (cdr row))))))
+
+(def matrix-cost (lambda (matrix)
+  (cond ((null matrix) 0)
+        (t (add (add (count-ones (car (car matrix)))
+                     (count-ones (cadr (car matrix))))
+                (matrix-cost (cdr matrix)))))))
+
+(def write-rows (lambda (matrix)
+  (cond ((null matrix) nil)
+        (t (progn
+             (write (car matrix))
+             (write-rows (cdr matrix)))))))
+
+(def main (lambda ()
+  (prog (table matrix)
+    (read table)
+    (setq matrix (build-matrix table nil))
+    (write-rows matrix)
+    (write (matrix-cost matrix))
+    (return (length matrix)))))
+
+(main)
+"#;
+
+/// The traffic-light-controller truth table (Mead & Conway flavour):
+/// inputs (cars, timer-long, timer-short, state1, state0) → outputs
+/// (next-state1, next-state0, start-timer, hl-green/farm-green code).
+/// Rows are (inputs outputs); don't-cares are expanded to 0/1 pairs by
+/// the generator, which at higher scales re-feeds permuted copies to
+/// grow the trace while preserving matrix semantics.
+fn truth_table(scale: u32) -> String {
+    // Base rows: (c tl ts s1 s0) -> (n1 n0 st g)
+    let base: &[([u8; 5], [u8; 4])] = &[
+        ([0, 0, 0, 0, 0], [0, 0, 0, 1]),
+        ([0, 1, 0, 0, 0], [0, 0, 0, 1]),
+        ([1, 0, 0, 0, 0], [0, 0, 0, 1]),
+        ([1, 1, 0, 0, 0], [0, 1, 1, 1]),
+        ([1, 1, 1, 0, 0], [0, 1, 1, 1]),
+        ([0, 0, 1, 0, 1], [1, 1, 1, 0]),
+        ([0, 1, 1, 0, 1], [1, 1, 1, 0]),
+        ([1, 0, 0, 0, 1], [0, 1, 0, 0]),
+        ([0, 0, 0, 1, 1], [1, 1, 0, 0]),
+        ([1, 0, 1, 1, 1], [1, 0, 1, 0]),
+        ([0, 1, 1, 1, 1], [1, 0, 1, 0]),
+        ([0, 0, 1, 1, 0], [0, 0, 1, 1]),
+        ([1, 1, 1, 1, 0], [0, 0, 1, 1]),
+        ([1, 0, 1, 1, 0], [0, 0, 0, 1]),
+    ];
+    let mut out = String::from("(");
+    for rep in 0..4 * scale.max(1) {
+        for (ins, outs) in base {
+            out.push_str("((");
+            for k in 0..ins.len() {
+                // Higher reps rotate the input columns so the rotated
+                // rows have (mostly) new AND parts, growing the matrix
+                // and the search work in `find-row`.
+                let idx = (k + rep as usize) % ins.len();
+                out.push_str(&format!("{} ", ins[idx]));
+            }
+            out.push_str(") (");
+            for o in outs {
+                out.push_str(&format!("{o} "));
+            }
+            out.push_str(")) ");
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// Run the PLAGEN workload at `scale`.
+pub fn run(scale: u32) -> WorkloadRun {
+    let mut interner = Interner::new();
+    let inputs = vec![parse(&truth_table(scale), &mut interner).expect("table")];
+    run_workload("plagen", SOURCE, inputs, interner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_trace::{Prim, TraceStats};
+
+    #[test]
+    fn generates_personality_matrix() {
+        let r = run(1);
+        // Rows + cost value were written.
+        assert!(r.outputs.len() >= 10, "got {}", r.outputs.len());
+        // Cost is the final write, a positive integer.
+        let cost = r.outputs.last().unwrap().as_int().expect("cost int");
+        assert!(cost > 0);
+    }
+
+    #[test]
+    fn merging_reduces_rows() {
+        // Rotations repeat every 5 reps, so duplicate AND parts appear
+        // across reps and the matrix must stay smaller than the table.
+        let r = run(2);
+        let rows = r.outputs.len() - 1;
+        assert!(rows < 2 * 4 * 14, "duplicate AND rows must merge, got {rows}");
+    }
+
+    #[test]
+    fn access_primitives_dominate() {
+        let r = run(1);
+        let s = TraceStats::of(&r.trace);
+        let access = s.prim_percent(Prim::Car) + s.prim_percent(Prim::Cdr);
+        assert!(access > 50.0, "access% = {access}");
+        assert!(s.primitives > 2000, "{}", s.primitives);
+    }
+}

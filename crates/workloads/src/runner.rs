@@ -1,0 +1,67 @@
+//! Shared workload runner: parse, instrument, evaluate, collect trace.
+
+use small_lisp::env::DeepEnv;
+use small_lisp::interp::{Interp, LispError, PRELUDE};
+use small_sexpr::{Interner, SExpr};
+use small_trace::record::{resolve_fn_names, Recorder};
+use small_trace::Trace;
+
+/// Result of one traced workload run.
+pub struct WorkloadRun {
+    /// The recorded primitive/function trace.
+    pub trace: Trace,
+    /// Interpreter statistics (sanity checks against the trace).
+    pub stats: small_lisp::interp::InterpStats,
+    /// Everything the program `write`d.
+    pub outputs: Vec<SExpr>,
+    /// The interner (to print outputs).
+    pub interner: Interner,
+}
+
+/// Run `source` (plus the prelude) with `inputs` queued for `(read …)`,
+/// tracing list primitives. The final form of `source` is the program's
+/// entry call. Runs on a dedicated thread with a large stack so deep
+/// recursion in interpreted code is safe.
+///
+/// # Panics
+/// Panics if the workload program itself errors — workload sources are
+/// fixed assets of this crate and must run.
+pub fn run_workload(name: &str, source: &str, inputs: Vec<SExpr>, interner: Interner) -> WorkloadRun {
+    let name = name.to_owned();
+    let source = source.to_owned();
+    let builder = std::thread::Builder::new()
+        .name(format!("workload-{name}"))
+        .stack_size(256 << 20);
+    let handle = builder
+        .spawn(move || run_inner(&name, &source, inputs, interner))
+        .expect("spawn workload thread");
+    handle.join().expect("workload thread panicked")
+}
+
+fn run_inner(name: &str, source: &str, inputs: Vec<SExpr>, mut interner: Interner) -> WorkloadRun {
+    let recorder = Recorder::new(name, &mut interner);
+    let mut it = Interp::new(interner, DeepEnv::new(), recorder);
+    it.set_depth_limit(20_000);
+    it.set_step_budget(500_000_000);
+    it.run_program(PRELUDE)
+        .unwrap_or_else(|e| panic!("{name}: prelude failed: {e}"));
+    for i in inputs {
+        it.input.push_back(i);
+    }
+    match it.run_program(source) {
+        Ok(_) => {}
+        Err(LispError::ReadEof) => panic!("{name}: ran out of input"),
+        Err(e) => panic!("{name}: workload failed: {e}"),
+    }
+    let stats = it.stats();
+    let outputs = std::mem::take(&mut it.output);
+    let recorder = std::mem::replace(&mut it.hook, Recorder::new("_", &mut it.interner));
+    let mut trace = recorder.finish();
+    resolve_fn_names(&mut trace, &it.interner);
+    WorkloadRun {
+        trace,
+        stats,
+        outputs,
+        interner: it.interner,
+    }
+}

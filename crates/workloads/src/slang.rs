@@ -1,0 +1,188 @@
+//! SLANG analogue: a gate-level logic simulator in Lisp.
+//!
+//! The thesis ran SLANG on "a BCD to decimal convertor as well as
+//! another simple Boolean function" (§3.3.1). This workload simulates a
+//! BCD→decimal decoder netlist over a set of input vectors. The wire
+//! environment is an association list extended with `cons` and updated
+//! destructively — giving the higher `cons` fraction Figure 3.1 reports
+//! for SLANG.
+
+use crate::runner::{run_workload, WorkloadRun};
+use small_sexpr::{parse, Interner, SExpr};
+
+/// Gate types: 1 = and2, 2 = or2, 3 = not1, 4 = xor2.
+const SOURCE: &str = r#"
+(def band (lambda (a b) (cond ((equal a 0) 0) ((equal b 0) 0) (t 1))))
+(def bor  (lambda (a b) (cond ((equal a 1) 1) ((equal b 1) 1) (t 0))))
+(def bnot (lambda (a) (cond ((equal a 0) 1) (t 0))))
+(def bxor (lambda (a b) (cond ((equal a b) 0) (t 1))))
+
+(def wire-val (lambda (w env)
+  (prog (p)
+    (setq p (assoc w env))
+    (cond ((null p) (return 0)))
+    (return (cdr p)))))
+
+(def set-wire (lambda (w v env)
+  (cons (cons w v) env)))
+
+(def gate-out (lambda (g env)
+  (prog (ty a b)
+    (setq ty (cadr g))
+    (setq a (wire-val (caddr g) env))
+    (cond ((equal ty 3) (return (bnot a))))
+    (setq b (wire-val (car (cdr (cdr (cdr g)))) env))
+    (cond ((equal ty 1) (return (band a b)))
+          ((equal ty 2) (return (bor a b))))
+    (return (bxor a b)))))
+
+(def sim-step (lambda (gates env)
+  (cond ((null gates) env)
+        (t (sim-step (cdr gates)
+                     (set-wire (car (car gates))
+                               (gate-out (car gates) env)
+                               env))))))
+
+(def collect-outs (lambda (outs env)
+  (cond ((null outs) nil)
+        (t (cons (wire-val (car outs) env)
+                 (collect-outs (cdr outs) env))))))
+
+(def run-one (lambda (gates tv outs)
+  (prog (env)
+    (setq env tv)
+    (setq env (sim-step gates env))
+    (return (collect-outs outs env)))))
+
+(def run-tests (lambda (gates tests outs)
+  (cond ((null tests) nil)
+        (t (progn
+             (write (run-one gates (car tests) outs))
+             (run-tests gates (cdr tests) outs))))))
+
+(def main (lambda ()
+  (prog (gates tests outs)
+    (read gates)
+    (read tests)
+    (read outs)
+    (run-tests gates tests outs)
+    (return (length gates)))))
+
+(main)
+"#;
+
+/// Wire numbering: inputs 1..=4 (BCD bits b3 b2 b1 b0), inverters
+/// 11..=14, first-level ANDs 21..=30, outputs 31..=40.
+fn netlist() -> String {
+    let mut gates = String::from("(");
+    // Inverters for each input bit.
+    for b in 1..=4 {
+        gates.push_str(&format!("({} 3 {}) ", 10 + b, b));
+    }
+    // Decimal outputs d0..d9: d = AND of 4 literals, built from two
+    // 2-input ANDs: t = and(l3, l2); out = and(t, and(l1, l0)).
+    // Literal for bit k of digit d: input k if bit set, inverter if not.
+    for d in 0..10u32 {
+        let lit = |bit: u32| -> u32 {
+            let k = 4 - bit; // wire index for bit (b3 = wire 1 … b0 = wire 4)
+            if d >> bit & 1 == 1 {
+                k
+            } else {
+                10 + k
+            }
+        };
+        let t1 = 50 + d * 3;
+        let t2 = 51 + d * 3;
+        gates.push_str(&format!("({t1} 1 {} {}) ", lit(3), lit(2)));
+        gates.push_str(&format!("({t2} 1 {} {}) ", lit(1), lit(0)));
+        gates.push_str(&format!("({} 1 {t1} {t2}) ", 31 + d));
+    }
+    gates.push(')');
+    gates
+}
+
+fn test_vectors(scale: u32) -> String {
+    let mut out = String::from("(");
+    let count = 10 * scale.max(1);
+    for i in 0..count {
+        let v = i % 10;
+        out.push_str(&format!(
+            "((1 . {}) (2 . {}) (3 . {}) (4 . {})) ",
+            v >> 3 & 1,
+            v >> 2 & 1,
+            v >> 1 & 1,
+            v & 1
+        ));
+    }
+    out.push(')');
+    out
+}
+
+/// The workload's Lisp source text (also compilable by the §4.3.4
+/// compiler — see `tests/workload_on_small.rs`).
+pub fn source() -> &'static str {
+    SOURCE
+}
+
+/// The `(read …)` inputs for a run at `scale`, parsed with `interner`.
+pub fn inputs(scale: u32, interner: &mut Interner) -> Vec<small_sexpr::SExpr> {
+    vec![
+        parse(&netlist(), interner).expect("netlist"),
+        parse(&test_vectors(scale), interner).expect("tests"),
+        parse("(31 32 33 34 35 36 37 38 39 40)", interner).expect("outs"),
+    ]
+}
+
+/// Run the SLANG workload at `scale` (number of test sweeps).
+pub fn run(scale: u32) -> WorkloadRun {
+    let mut interner = Interner::new();
+    let inputs = self::inputs(scale, &mut interner);
+    run_workload("slang", SOURCE, inputs, interner)
+}
+
+/// The decoder outputs expected for input digit `v`: one-hot.
+pub fn expected_output(v: u32) -> SExpr {
+    SExpr::list((0..10).map(|d| SExpr::int(i64::from(d == v))).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_sexpr::print;
+
+    #[test]
+    fn decoder_outputs_are_one_hot() {
+        let r = run(1);
+        assert_eq!(r.outputs.len(), 10);
+        for (i, out) in r.outputs.iter().enumerate() {
+            let want = expected_output(i as u32);
+            assert_eq!(
+                print(out, &r.interner),
+                print(&want, &r.interner),
+                "digit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_has_slang_character() {
+        let r = run(1);
+        let stats = small_trace::TraceStats::of(&r.trace);
+        assert!(stats.primitives > 1000, "got {}", stats.primitives);
+        // Figure 3.1: SLANG has the highest cons fraction of the suite
+        // (the wire environment is extended functionally). Absolute
+        // levels are lower than the thesis's because our interpreted
+        // `assoc` inflates access counts; the cross-workload ordering is
+        // asserted in tests/figure31.rs.
+        let cons_pct = stats.prim_percent(small_trace::Prim::Cons);
+        assert!(cons_pct > 1.0, "cons% = {cons_pct}");
+        assert!(stats.max_depth >= 5);
+    }
+
+    #[test]
+    fn scale_grows_trace() {
+        let a = run(1).trace.primitive_count();
+        let b = run(2).trace.primitive_count();
+        assert!(b > a);
+    }
+}

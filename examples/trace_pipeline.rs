@@ -1,0 +1,82 @@
+//! The trace pipeline as the thesis ran it: generate a trace file from
+//! an instrumented run, then drive the SMALL simulator from the file —
+//! decoupling trace collection from architecture evaluation, exactly
+//! the §3.3.1 / §5.2.1 workflow.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline [workload] [table-size]
+//! ```
+
+use small_repro::simulator::driver::{run_sim, CacheConfig};
+use small_repro::simulator::SimParams;
+use small_repro::trace::io;
+use small_repro::workloads;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "plagen".into());
+    let table: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+
+    // Stage 1: the instrumented interpreter writes a trace file.
+    println!("[1/3] tracing the {which} workload…");
+    let run = match which.as_str() {
+        "slang" => workloads::slang::run(1),
+        "plagen" => workloads::plagen::run(1),
+        "lyra" => workloads::lyra::run(1),
+        "editor" => workloads::editor::run(1),
+        "pearl" => workloads::pearl::run(1),
+        other => {
+            eprintln!("unknown workload {other}");
+            std::process::exit(2);
+        }
+    };
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("{which}.trace"));
+    io::save_file(&run.trace, &path).expect("write trace file");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "      {} events -> {} ({bytes} bytes)",
+        run.trace.events.len(),
+        path.display()
+    );
+
+    // Stage 2: reload — the evaluation can happen on another machine,
+    // at another time, exactly as the thesis archived its traces.
+    println!("[2/3] reloading the trace…");
+    let trace = io::load_file(&path).expect("read trace file");
+    assert_eq!(trace, run.trace, "lossless round-trip");
+
+    // Stage 3: trace-driven simulation of the SMALL machine with the
+    // data-cache comparator watching the same request stream.
+    println!("[3/3] simulating SMALL with a {table}-entry LPT…");
+    let r = run_sim(
+        &trace,
+        SimParams::default().with_table(table),
+        Some(CacheConfig {
+            lines: table,
+            line_cells: 1,
+        }),
+    );
+    println!("\n=== results ===");
+    println!("primitives executed : {}", r.prims_executed);
+    println!("LPT peak occupancy  : {}", r.lpt.max_occupancy);
+    println!("LPT avg occupancy   : {:.0}", r.lpt.avg_occupancy());
+    println!("pseudo overflows    : {}", r.lpt.pseudo_overflows);
+    println!(
+        "LPT hit rate        : {:.2}%  ({} misses)",
+        r.lpt_hit_rate() * 100.0,
+        r.access_misses
+    );
+    println!(
+        "cache hit rate      : {:.2}%  ({} misses)",
+        r.cache_hit_rate() * 100.0,
+        r.cache_misses
+    );
+    println!("refcount operations : {}", r.lpt.refops);
+    if r.true_overflow {
+        println!("!! true LPT overflow — rerun with a larger table");
+    }
+    let _ = std::fs::remove_file(&path);
+}

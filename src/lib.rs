@@ -1,0 +1,15 @@
+//! Umbrella crate for the SMALL reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! one coherent namespace. See `README.md` for the architecture overview
+//! and `DESIGN.md` for the per-experiment index.
+
+pub use small_analysis as analysis;
+pub use small_core as small;
+pub use small_heap as heap;
+pub use small_lisp as lisp;
+pub use small_multilisp as multilisp;
+pub use small_sexpr as sexpr;
+pub use small_simulator as simulator;
+pub use small_trace as trace;
+pub use small_workloads as workloads;

@@ -1,0 +1,159 @@
+//! Cross-crate integration: the full thesis pipeline, end to end.
+//!
+//! workload Lisp source → instrumented interpreter → trace → (a) the
+//! Chapter 3 locality analyses, (b) trace file round-trip, (c) the
+//! Chapter 5 trace-driven simulation of the SMALL core with the cache
+//! comparator — plus compiled-program equivalence between the
+//! conventional backend and the SMALL machine.
+
+use small_repro::analysis::list_sets::{partition, SeparationConstraint};
+use small_repro::lisp::compiler::compile_program;
+use small_repro::lisp::vm::{DirectBackend, ListBackend, Vm};
+use small_repro::sexpr::{print, Interner};
+use small_repro::simulator::driver::{run_sim, CacheConfig};
+use small_repro::simulator::SimParams;
+use small_repro::small::machine::SmallBackend;
+use small_repro::small::LpConfig;
+use small_repro::trace;
+use small_repro::workloads;
+
+#[test]
+fn workload_to_analysis_to_simulation() {
+    // One mid-sized workload through the whole pipeline.
+    let run = workloads::pearl::run(1);
+    let t = &run.trace;
+    assert!(t.primitive_count() > 100);
+
+    // Chapter 3: the partition is total — every reference lands in a set.
+    let p = partition(t, SeparationConstraint::Fraction(0.10));
+    assert_eq!(
+        p.ref_set_ids.len(),
+        p.total_refs,
+        "every reference classified"
+    );
+    assert_eq!(
+        p.sets.iter().map(|s| s.size).sum::<usize>(),
+        p.total_refs,
+        "set sizes sum to the reference count"
+    );
+
+    // Trace file round-trip.
+    let mut buf = Vec::new();
+    trace::io::save(t, &mut buf).expect("save");
+    let back = trace::io::load(std::io::Cursor::new(buf)).expect("load");
+    assert_eq!(*t, back);
+
+    // Chapter 5: the simulator completes and the cache sees the same
+    // request stream.
+    let r = run_sim(
+        t,
+        SimParams::default(),
+        Some(CacheConfig {
+            lines: 256,
+            line_cells: 1,
+        }),
+    );
+    assert!(!r.true_overflow);
+    assert_eq!(r.prims_executed, t.primitive_count());
+    assert_eq!(
+        r.cache_hits + r.cache_misses,
+        r.access_hits + r.access_misses
+    );
+}
+
+#[test]
+fn compiled_programs_agree_across_machines() {
+    let programs = [
+        "(def fact (lambda (x) (cond ((equal x 0) 1) (t (times x (fact (sub x 1))))))) (fact 12)",
+        "(def rev (lambda (l acc) (cond ((null l) acc) (t (rev (cdr l) (cons (car l) acc))))))
+         (rev '(1 (2 3) 4 (5) 6) nil)",
+        "(prog (x y)
+           (setq x '(10 20 30))
+           (setq y (cons 5 x))
+           (rplaca x 99)
+           (return y))",
+        "(def len (lambda (l) (cond ((null l) 0) (t (add 1 (len (cdr l)))))))
+         (len '(a b c d e f g))",
+    ];
+    for src in programs {
+        let mut i1 = Interner::new();
+        let p1 = compile_program(src, &mut i1).expect("compile");
+        let mut direct = Vm::new(p1, DirectBackend::new(1 << 14));
+        let v1 = direct.run().expect("direct");
+        let r1 = print(&direct.backend.write_out(&v1), &i1);
+
+        let mut i2 = Interner::new();
+        let p2 = compile_program(src, &mut i2).expect("compile");
+        let mut small = Vm::new(p2, SmallBackend::new(1 << 14, LpConfig::default()));
+        let v2 = small.run().expect("small");
+        let r2 = print(&small.backend.write_out(&v2), &i2);
+
+        assert_eq!(r1, r2, "machines disagree on: {src}");
+    }
+}
+
+#[test]
+fn interpreter_and_compiled_vm_agree() {
+    use small_repro::lisp::env::DeepEnv;
+    use small_repro::lisp::interp::{Interp, NoHook, PRELUDE};
+
+    let programs = [
+        "(append '(1 2) '(3 4 5))",
+        "(reverse '(a b c d))",
+        "(assoc 'k2 '((k1 . 1) (k2 . 2)))",
+    ];
+    // The compiled VM has no prelude; compile the needed library with
+    // the program.
+    let lib = "
+    (def append (lambda (a b)
+      (cond ((null a) b) (t (cons (car a) (append (cdr a) b))))))
+    (def reverse-onto (lambda (a acc)
+      (cond ((null a) acc) (t (reverse-onto (cdr a) (cons (car a) acc))))))
+    (def reverse (lambda (a) (reverse-onto a nil)))
+    (def assoc (lambda (k al)
+      (cond ((null al) nil)
+            ((equal k (car (car al))) (car al))
+            (t (assoc k (cdr al))))))
+    ";
+    for src in programs {
+        let mut it = Interp::new(Interner::new(), DeepEnv::new(), NoHook);
+        it.run_program(PRELUDE).unwrap();
+        let v = it.run_program(src).unwrap();
+        let interp_result = print(&v.to_sexpr(), &it.interner);
+
+        let mut i = Interner::new();
+        let p = compile_program(&format!("{lib}\n{src}"), &mut i).unwrap();
+        let mut vm = Vm::new(p, DirectBackend::new(1 << 14));
+        let vv = vm.run().unwrap();
+        let vm_result = print(&vm.backend.write_out(&vv), &i);
+
+        assert_eq!(interp_result, vm_result, "disagreement on: {src}");
+    }
+}
+
+#[test]
+fn small_machine_reclaims_everything_for_every_workload_program() {
+    // Run a list-churning program on the SMALL backend; after shutdown
+    // and lazy-drain, the LPT must be empty and the heap fully free
+    // (the §5.3.2 garbage story, end to end).
+    let src = "
+    (def build (lambda (n)
+      (cond ((equal n 0) nil) (t (cons (cons n n) (build (sub n 1)))))))
+    (def churn (lambda (k)
+      (cond ((equal k 0) 0)
+            (t (prog (tmp)
+                 (setq tmp (build 40))
+                 (rplaca tmp 0)
+                 (return (add 1 (churn (sub k 1)))))))))
+    (churn 25)";
+    let mut i = Interner::new();
+    let p = compile_program(src, &mut i).unwrap();
+    let mut vm = Vm::new(p, SmallBackend::new(1 << 14, LpConfig::default()));
+    let v = vm.run().expect("run");
+    assert!(matches!(v, small_repro::lisp::vm::VmValue::Int(25)));
+    vm.shutdown();
+    vm.backend.lp.drain_lazy();
+    assert_eq!(vm.backend.lp.occupancy(), 0);
+    let free = vm.backend.lp.controller.drain_and_free();
+    assert_eq!(free, 1 << 14, "every heap cell recovered");
+}

@@ -1,0 +1,80 @@
+//! Regression guards for the headline reproduced results (see
+//! EXPERIMENTS.md). Uses the two small Chapter 5 traces so the guards
+//! stay fast in debug builds.
+
+use small_repro::simulator::driver::{run_sim, CacheConfig};
+use small_repro::simulator::{sweep, SimParams};
+use small_repro::workloads::synthetic::{generate, table_5_1};
+
+#[test]
+fn fig5_1_shape_slang() {
+    // Slope-1 region with pseudo overflows below the knee; flat above.
+    let t = generate(&table_5_1("slang"));
+    let knee = sweep::knee(&t, SimParams::default());
+    assert!(
+        (40..120).contains(&knee),
+        "slang knee {knee} left its historical band"
+    );
+    let below = run_sim(&t, SimParams::default().with_table(knee * 3 / 4), None);
+    assert_eq!(below.lpt.max_occupancy, knee * 3 / 4, "table fills below knee");
+    assert!(below.lpt.pseudo_overflows > 0);
+    let above = run_sim(&t, SimParams::default().with_table(knee * 2), None);
+    assert_eq!(above.lpt.max_occupancy, knee, "flat above the knee");
+    assert_eq!(above.lpt.pseudo_overflows, 0);
+}
+
+#[test]
+fn table5_4_direction_slang() {
+    // LPT out-hits an equal-entry unit-line LRU cache; cache misses are
+    // roughly 2x LPT misses on SLANG (the thesis's Table 5.4 row).
+    let t = generate(&table_5_1("slang"));
+    let knee = sweep::knee(&t, SimParams::default());
+    let r = run_sim(
+        &t,
+        SimParams::default().with_table(knee),
+        Some(CacheConfig {
+            lines: knee,
+            line_cells: 1,
+        }),
+    );
+    assert!(
+        r.cache_misses as f64 >= 1.5 * r.access_misses as f64,
+        "cache {} vs LPT {} misses",
+        r.cache_misses,
+        r.access_misses
+    );
+    assert!(r.lpt_hit_rate() > 0.80, "{}", r.lpt_hit_rate());
+}
+
+#[test]
+fn fig5_5_lines_help_then_hurt_slang() {
+    // With 2x half-size entries the cache improves to mid line sizes and
+    // falls off at long lines (the paper's falling-off behaviour).
+    let t = generate(&table_5_1("slang"));
+    let knee = sweep::knee(&t, SimParams::default());
+    let size = knee * 3 / 4;
+    let r1 = sweep::line_size_ratio(&t, SimParams::default(), size, 1);
+    let r4 = sweep::line_size_ratio(&t, SimParams::default(), size, 4);
+    let r16 = sweep::line_size_ratio(&t, SimParams::default(), size, 16);
+    assert!(r4 < r1, "lines should help at first: L1 {r1:.2} L4 {r4:.2}");
+    assert!(
+        r16 > r4,
+        "long lines should fall off: L4 {r4:.2} L16 {r16:.2}"
+    );
+}
+
+#[test]
+fn table5_2_and_5_3_directions_editor() {
+    let t = generate(&table_5_1("editor"));
+    let act = sweep::lpt_activity(&t, SimParams::default());
+    assert!(act.rec_refops > act.refops);
+    // 1-3+ refcount ops per primitive (§5.2.4 note), loosely banded.
+    let per_prim = act.refops as f64 / 1437.0;
+    assert!(
+        (0.5..6.0).contains(&per_prim),
+        "refops per primitive {per_prim:.2}"
+    );
+    let split = sweep::split_counts(&t, SimParams::default());
+    assert!(split.refops_now < split.refops_then);
+    assert!(split.max_now_lpt <= split.max_then);
+}

@@ -1,0 +1,174 @@
+//! The strongest end-to-end check in the repository: a real benchmark
+//! workload (the SLANG circuit simulator, and LYRA's rule checker),
+//! *compiled* by the §4.3.4 compiler and executed on the SMALL machine,
+//! must produce exactly the outputs the instrumented interpreter
+//! produces — and the SMALL machine must fully account for its storage
+//! afterwards.
+
+use small_repro::lisp::compiler::compile_program;
+use small_repro::lisp::interp::PRELUDE;
+use small_repro::lisp::vm::{DirectBackend, ListBackend, Vm, VmValue};
+use small_repro::sexpr::{print, Interner, SExpr};
+use small_repro::small::machine::SmallBackend;
+use small_repro::small::LpConfig;
+use small_repro::workloads;
+
+fn run_compiled<B: ListBackend>(
+    source: &str,
+    inputs: Vec<SExpr>,
+    interner: &mut Interner,
+    backend: B,
+) -> (Vec<String>, B) {
+    let program =
+        compile_program(&format!("{PRELUDE}\n{source}"), interner).expect("workload compiles");
+    let mut vm = Vm::new(program, backend);
+    for e in inputs {
+        vm.input.push_back(e);
+    }
+    vm.set_budget(500_000_000);
+    let v = vm.run().expect("workload runs");
+    if let VmValue::List(r) = &v {
+        vm.backend.release(r);
+    }
+    vm.shutdown();
+    let outputs = vm
+        .output
+        .iter()
+        .map(|e| print(e, interner))
+        .collect();
+    (outputs, vm.backend)
+}
+
+#[test]
+fn slang_compiled_on_small_matches_interpreter() {
+    // Interpreter run (the tracing pipeline's view).
+    let interp = workloads::slang::run(1);
+    let interp_out: Vec<String> = interp
+        .outputs
+        .iter()
+        .map(|e| print(e, &interp.interner))
+        .collect();
+
+    // Compiled, on the conventional machine.
+    let mut i1 = Interner::new();
+    let in1 = workloads::slang::inputs(1, &mut i1);
+    let (direct_out, _) = run_compiled(
+        workloads::slang::source(),
+        in1,
+        &mut i1,
+        DirectBackend::new(1 << 18),
+    );
+
+    // Compiled, on the SMALL machine.
+    let mut i2 = Interner::new();
+    let in2 = workloads::slang::inputs(1, &mut i2);
+    let (small_out, backend) = run_compiled(
+        workloads::slang::source(),
+        in2,
+        &mut i2,
+        SmallBackend::new(1 << 18, LpConfig::default()),
+    );
+
+    assert_eq!(interp_out, direct_out, "interpreter vs compiled/direct");
+    assert_eq!(interp_out, small_out, "interpreter vs compiled/SMALL");
+    assert_eq!(interp_out.len(), 10, "ten decoder outputs");
+
+    // Full storage accounting on the SMALL machine.
+    let mut lp = backend.lp;
+    lp.drain_lazy();
+    assert_eq!(lp.occupancy(), 0, "LPT empty after the workload");
+    let free = lp.controller.drain_and_free();
+    assert_eq!(free, 1 << 18, "every heap cell recovered");
+}
+
+#[test]
+fn lyra_compiled_on_small_matches_interpreter() {
+    let interp = workloads::lyra::run(1);
+    let interp_out: Vec<String> = interp
+        .outputs
+        .iter()
+        .map(|e| print(e, &interp.interner))
+        .collect();
+
+    let mut i2 = Interner::new();
+    let in2 = workloads::lyra::inputs(1, &mut i2);
+    let (small_out, backend) = run_compiled(
+        workloads::lyra::source(),
+        in2,
+        &mut i2,
+        SmallBackend::new(1 << 18, LpConfig::default()),
+    );
+    assert_eq!(interp_out, small_out, "interpreter vs compiled/SMALL");
+
+    let mut lp = backend.lp;
+    lp.drain_lazy();
+    assert_eq!(lp.occupancy(), 0);
+}
+
+#[test]
+fn slang_on_small_under_table_pressure() {
+    // A small LPT forces compression during a real workload; results
+    // must be unchanged. Probe downward for the smallest table (from a
+    // set of candidates) that completes without true overflow; the live
+    // working set of the compiled run bounds it from below.
+    let mut i2 = Interner::new();
+    let inputs2 = workloads::slang::inputs(1, &mut i2);
+    let (out_big_table, _) = run_compiled(
+        workloads::slang::source(),
+        inputs2,
+        &mut i2,
+        SmallBackend::new(1 << 18, LpConfig::default()),
+    );
+
+    let mut squeezed = None;
+    for size in [256usize, 384, 512, 768, 1024] {
+        let mut i = Interner::new();
+        let inputs = workloads::slang::inputs(1, &mut i);
+        let program = compile_program(
+            &format!("{PRELUDE}
+{}", workloads::slang::source()),
+            &mut i,
+        )
+        .unwrap();
+        let mut vm = Vm::new(
+            program,
+            SmallBackend::new(
+                1 << 18,
+                LpConfig {
+                    table_size: size,
+                    ..LpConfig::default()
+                },
+            ),
+        );
+        for e in inputs {
+            vm.input.push_back(e);
+        }
+        vm.set_budget(500_000_000);
+        match vm.run() {
+            Ok(_) => {
+                let out: Vec<String> =
+                    vm.output.iter().map(|e| print(e, &i)).collect();
+                eprintln!(
+                    "size {size}: ok, pseudo={} peak={}",
+                    vm.backend.lp.stats().pseudo_overflows,
+                    vm.backend.lp.stats().max_occupancy
+                );
+                squeezed = Some((size, out, vm.backend.lp.stats()));
+                break;
+            }
+            Err(e) => {
+                eprintln!("size {size}: {e}");
+                assert!(
+                    e.to_string().contains("true overflow"),
+                    "only true overflow is acceptable: {e}"
+                );
+            }
+        }
+    }
+    let (size, out, stats) = squeezed.expect("some candidate size completes");
+    assert_eq!(out, out_big_table, "pressure at size {size} changed results");
+    assert!(
+        stats.pseudo_overflows > 0 || size >= 1024,
+        "the squeezed run should have compressed"
+    );
+}
