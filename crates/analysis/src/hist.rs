@@ -26,7 +26,11 @@ impl Cdf {
     /// Build from weighted samples `(value, weight)`.
     pub fn from_weighted(mut xs: Vec<(f64, f64)>) -> Cdf {
         xs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN samples"));
-        let total: f64 = xs.iter().map(|(_, w)| w).sum::<f64>().max(f64::MIN_POSITIVE);
+        let total: f64 = xs
+            .iter()
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
         let mut acc = 0.0;
         let mut points: Vec<(f64, f64)> = Vec::new();
         for (x, w) in xs {

@@ -34,9 +34,7 @@ pub enum SeparationConstraint {
 impl SeparationConstraint {
     fn window(self, trace_len: usize) -> usize {
         match self {
-            SeparationConstraint::Fraction(f) => {
-                ((trace_len as f64) * f).ceil() as usize
-            }
+            SeparationConstraint::Fraction(f) => ((trace_len as f64) * f).ceil() as usize,
             SeparationConstraint::Absolute(n) => n,
         }
     }
@@ -356,7 +354,9 @@ mod tests {
             3
         );
         assert_eq!(
-            partition(&t, SeparationConstraint::Absolute(100)).sets.len(),
+            partition(&t, SeparationConstraint::Absolute(100))
+                .sets
+                .len(),
             2
         );
     }
@@ -404,7 +404,9 @@ mod tests {
         }
         let t = mk_trace(events, 10);
         let tight = partition(&t, SeparationConstraint::Absolute(2)).sets.len();
-        let loose = partition(&t, SeparationConstraint::Absolute(100)).sets.len();
+        let loose = partition(&t, SeparationConstraint::Absolute(100))
+            .sets
+            .len();
         assert!(tight >= loose);
     }
 }

@@ -70,9 +70,21 @@ mod tests {
             // uid 0 encountered twice, uid 1 once.
             events: vec![car(0), car(0), car(1)],
             uids: vec![
-                UidInfo { n: 10, p: 2, atom: false },
-                UidInfo { n: 40, p: 8, atom: false },
-                UidInfo { n: 1, p: 0, atom: false },
+                UidInfo {
+                    n: 10,
+                    p: 2,
+                    atom: false,
+                },
+                UidInfo {
+                    n: 40,
+                    p: 8,
+                    atom: false,
+                },
+                UidInfo {
+                    n: 1,
+                    p: 0,
+                    atom: false,
+                },
             ],
             ..Default::default()
         };

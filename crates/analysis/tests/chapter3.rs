@@ -43,11 +43,7 @@ fn lru_depth_4_captures_most_accesses() {
         let p = partition(&t, SeparationConstraint::Fraction(0.10));
         let d = StackDistances::of(p.ref_set_ids.iter().copied());
         let rate = d.hit_rate(4);
-        assert!(
-            rate > 0.60,
-            "{}: depth-4 hit rate only {rate:.2}",
-            t.name
-        );
+        assert!(rate > 0.60, "{}: depth-4 hit rate only {rate:.2}", t.name);
     }
 }
 

@@ -96,8 +96,8 @@ fn bench_free_discipline(c: &mut Criterion) {
                         .cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
                         .unwrap();
                     let b2 = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-                    lp.stack_release(a);
-                    lp.stack_release(b2);
+                    drop(lp.adopt_binding(a));
+                    drop(lp.adopt_binding(b2));
                 }
                 black_box(lp.stats().gets)
             })

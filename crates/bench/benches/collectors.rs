@@ -27,7 +27,11 @@ fn bench_collectors(c: &mut Criterion) {
                     }
                 };
                 // Keep a bounded window live: drop the root periodically.
-                root = if k % 64 == 0 { Word::NIL } else { Word::ptr(cell) };
+                root = if k % 64 == 0 {
+                    Word::NIL
+                } else {
+                    Word::ptr(cell)
+                };
             }
             black_box(h.live())
         })
@@ -68,7 +72,11 @@ fn bench_collectors(c: &mut Criterion) {
                         }
                     }
                 };
-                root = if k % 64 == 0 { Word::NIL } else { Word::ptr(cell) };
+                root = if k % 64 == 0 {
+                    Word::NIL
+                } else {
+                    Word::ptr(cell)
+                };
             }
             black_box(h.used())
         })

@@ -13,7 +13,10 @@ fn workload<E: Environment>(env: &mut E, names: &[Symbol], lookups_per_call: usi
     for depth in 0..100 {
         env.push_frame();
         for k in 0..3 {
-            env.bind(names[(depth * 3 + k) % names.len()], Value::Int(depth as i64));
+            env.bind(
+                names[(depth * 3 + k) % names.len()],
+                Value::Int(depth as i64),
+            );
         }
         for k in 0..lookups_per_call {
             black_box(env.lookup(names[(depth + k * 7) % names.len()]));

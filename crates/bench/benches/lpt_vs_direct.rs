@@ -4,9 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use small_core::machine::SmallBackend;
-use small_core::{LpConfig, LpValue};
+use small_core::{ListProcessor, LpConfig, LpValue};
+use small_heap::controller::TwoPointerController;
 use small_lisp::compiler::compile_program;
 use small_lisp::vm::{DirectBackend, Vm};
+use small_metrics::{CountingSink, EventSink, NoopSink};
 use small_sexpr::Interner;
 use std::hint::black_box;
 
@@ -60,7 +62,7 @@ fn bench_lp_primitives(c: &mut Criterion) {
                     LpValue::Atom(small_heap::Word::NIL),
                 )
                 .unwrap();
-            lp.stack_release(v);
+            drop(lp.adopt_binding(v));
             black_box(lp.occupancy())
         })
     });
@@ -74,9 +76,51 @@ fn bench_lp_primitives(c: &mut Criterion) {
         let _ = lp.car(id).unwrap(); // materialize once
         b.iter(|| {
             let c = lp.car(id).unwrap();
-            lp.stack_release(c);
+            drop(lp.adopt_binding(c));
             black_box(c)
         })
+    });
+    group.finish();
+}
+
+/// Instrumentation overhead: the same cons/car/release loop on an LP
+/// with the default [`NoopSink`] (events monomorphize to nothing) vs a
+/// [`CountingSink`]. The Noop case must be indistinguishable from the
+/// pre-instrumentation baseline.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    fn workload<S: EventSink>(lp: &mut ListProcessor<TwoPointerController, S>) -> usize {
+        let mut last = 0;
+        for k in 0..64 {
+            let v = lp
+                .cons(
+                    LpValue::Atom(small_heap::Word::int(k)),
+                    LpValue::Atom(small_heap::Word::NIL),
+                )
+                .unwrap();
+            let id = v.obj().unwrap();
+            let _ = lp.car(id).unwrap();
+            drop(lp.adopt_binding(v));
+            last = lp.occupancy();
+        }
+        last
+    }
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.bench_function("noop_sink", |b| {
+        let mut lp = ListProcessor::with_sink(
+            TwoPointerController::new(1 << 16, 64),
+            LpConfig::default(),
+            NoopSink,
+        );
+        b.iter(|| black_box(workload(&mut lp)))
+    });
+    group.bench_function("counting_sink", |b| {
+        let mut lp = ListProcessor::with_sink(
+            TwoPointerController::new(1 << 16, 64),
+            LpConfig::default(),
+            CountingSink::default(),
+        );
+        b.iter(|| black_box(workload(&mut lp)))
     });
     group.finish();
 }
@@ -87,6 +131,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(400))
         .measurement_time(std::time::Duration::from_millis(1500))
         .sample_size(30);
-    targets = bench_vm_backends, bench_lp_primitives
+    targets = bench_vm_backends, bench_lp_primitives, bench_metrics_overhead
 }
 criterion_main!(benches);

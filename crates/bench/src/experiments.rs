@@ -21,10 +21,35 @@ use std::fmt::Write as _;
 
 /// All experiment ids, in thesis order.
 pub const ALL: &[&str] = &[
-    "fig3.1", "table3.1", "fig3.2", "fig3.3", "fig3.4", "fig3.5", "fig3.6", "fig3.7", "table3.2",
-    "fig3.8", "fig3.9", "fig3.10", "fig3.11", "fig3.12", "fig3.13", "compile", "timing",
-    "table5.1", "fig5.1", "fig5.2", "fig5.3", "table5.2", "table5.3", "table5.4", "fig5.4",
-    "fig5.5", "table5.5", "fig5.6", "traversal",
+    "fig3.1",
+    "table3.1",
+    "fig3.2",
+    "fig3.3",
+    "fig3.4",
+    "fig3.5",
+    "fig3.6",
+    "fig3.7",
+    "table3.2",
+    "fig3.8",
+    "fig3.9",
+    "fig3.10",
+    "fig3.11",
+    "fig3.12",
+    "fig3.13",
+    "compile",
+    "timing",
+    "table5.1",
+    "fig5.1",
+    "fig5.2",
+    "fig5.3",
+    "table5.2",
+    "table5.3",
+    "table5.4",
+    "fig5.4",
+    "fig5.5",
+    "table5.5",
+    "fig5.6",
+    "traversal",
 ];
 
 /// Run one experiment by id.
@@ -87,7 +112,10 @@ pub fn fig3_1(suite: &Suite) -> String {
     }
     format!(
         "Figure 3.1 — primitive mix (% of traced primitives)\n{}",
-        table(&["trace", "car%", "cdr%", "cons%", "rplac%", "read%"], &rows)
+        table(
+            &["trace", "car%", "cdr%", "cons%", "rplac%", "read%"],
+            &rows
+        )
     )
 }
 
@@ -113,9 +141,8 @@ pub fn table3_1(suite: &Suite) -> String {
 /// example lists under each representation family.
 pub fn fig3_2() -> String {
     let mut i = small_sexpr::Interner::new();
-    let mut out = String::from(
-        "Figure 3.2 — significance of n and p: space cost per representation\n",
-    );
+    let mut out =
+        String::from("Figure 3.2 — significance of n and p: space cost per representation\n");
     for src in ["(A B C (D E) F G)", "(A (B (C (D E F) G)))"] {
         let e = small_sexpr::parse(src, &mut i).unwrap();
         let m = small_sexpr::metrics::np(&e);
@@ -140,12 +167,16 @@ pub fn fig3_2() -> String {
         );
     }
     out.push_str("  (CDAR codes for the first list: ");
-    for (k, code) in [
-        ("A", 2u64), ("B", 6), ("C", 14),
-    ] {
-        let _ = write!(out, "{k}={} ", small_heap::structure_coded::cdar_code(code, 6));
+    for (k, code) in [("A", 2u64), ("B", 6), ("C", 14)] {
+        let _ = write!(
+            out,
+            "{k}={} ",
+            small_heap::structure_coded::cdar_code(code, 6)
+        );
     }
-    out.push_str("… — see crates/heap/src/structure_coded.rs tests for the full Figure 2.10 check)\n");
+    out.push_str(
+        "… — see crates/heap/src/structure_coded.rs tests for the full Figure 2.10 check)\n",
+    );
     out
 }
 
@@ -200,8 +231,9 @@ pub fn fig3_3(suite: &Suite) -> String {
 
 /// Figure 3.4: distribution of list references over list sets.
 pub fn fig3_4(suite: &Suite) -> String {
-    let mut out =
-        String::from("Figure 3.4 — cumulative % of list references vs number of list sets (10% separation)\n");
+    let mut out = String::from(
+        "Figure 3.4 — cumulative % of list references vs number of list sets (10% separation)\n",
+    );
     for t in &suite.organic {
         let p = partition(t, SeparationConstraint::Fraction(0.10));
         let curve = p.coverage_curve();
@@ -243,9 +275,8 @@ pub fn fig3_5(suite: &Suite) -> String {
 
 /// Figure 3.6: distribution of list-set lifetimes over references.
 pub fn fig3_6(suite: &Suite) -> String {
-    let mut out = String::from(
-        "Figure 3.6 — cumulative % of references in sets with lifetime <= x\n",
-    );
+    let mut out =
+        String::from("Figure 3.6 — cumulative % of references in sets with lifetime <= x\n");
     for t in &suite.organic {
         let p = partition(t, SeparationConstraint::Fraction(0.10));
         let cdf = small_analysis::hist::Cdf::from_weighted(p.lifetimes_weighted());
@@ -312,15 +343,15 @@ fn fig3_8_to_10(suite: &Suite, axis: Axis) -> String {
         let _ = write!(out, "sep {:>3.0}%: {:>5} sets", frac * 100.0, p.sets.len());
         match axis {
             Axis::Coverage => {
-                let _ = write!(
-                    out,
-                    "; sets to 80% of refs: {:>4}",
-                    p.sets_to_cover(0.80)
-                );
+                let _ = write!(out, "; sets to 80% of refs: {:>4}", p.sets_to_cover(0.80));
             }
             Axis::SetLifetime => {
                 let cdf = small_analysis::hist::Cdf::from_samples(p.lifetimes());
-                let _ = write!(out, "; sets with lifetime<=10%: {:.1}%", cdf.at(0.1) * 100.0);
+                let _ = write!(
+                    out,
+                    "; sets with lifetime<=10%: {:.1}%",
+                    cdf.at(0.1) * 100.0
+                );
             }
             Axis::RefLifetime => {
                 let cdf = small_analysis::hist::Cdf::from_weighted(p.lifetimes_weighted());
@@ -354,21 +385,33 @@ fn fig3_11_to_13(suite: &Suite, axis: Axis) -> String {
         let _ = write!(out, "[{n}] {:>5} sets", p.sets.len());
         match axis {
             Axis::Coverage => {
-                let _ = write!(out, "; sets to 80%: {:>4}; 100 largest cover {:.1}%",
-                    p.sets_to_cover(0.80), {
+                let _ = write!(
+                    out,
+                    "; sets to 80%: {:>4}; 100 largest cover {:.1}%",
+                    p.sets_to_cover(0.80),
+                    {
                         let c = p.coverage_curve();
                         c.get(99).map_or(1.0, |x| x.1) * 100.0
-                    });
+                    }
+                );
             }
             Axis::SetLifetime => {
                 let cdf = small_analysis::hist::Cdf::from_samples(p.lifetimes());
-                let _ = write!(out, "; lifetime<=10%: {:.1}%; <=50%: {:.1}%",
-                    cdf.at(0.1) * 100.0, cdf.at(0.5) * 100.0);
+                let _ = write!(
+                    out,
+                    "; lifetime<=10%: {:.1}%; <=50%: {:.1}%",
+                    cdf.at(0.1) * 100.0,
+                    cdf.at(0.5) * 100.0
+                );
             }
             Axis::RefLifetime => {
                 let cdf = small_analysis::hist::Cdf::from_weighted(p.lifetimes_weighted());
-                let _ = write!(out, "; refs in sets<=10%: {:.1}%; <=50%: {:.1}%",
-                    cdf.at(0.1) * 100.0, cdf.at(0.5) * 100.0);
+                let _ = write!(
+                    out,
+                    "; refs in sets<=10%: {:.1}%; <=50%: {:.1}%",
+                    cdf.at(0.1) * 100.0,
+                    cdf.at(0.5) * 100.0
+                );
             }
         }
         out.push('\n');
@@ -486,7 +529,11 @@ pub fn fig5_1(suite: &Suite) -> String {
                 p.table_size,
                 p.peak,
                 if p.pseudo { "  (pseudo overflow)" } else { "" },
-                if p.true_overflow { "  (TRUE overflow)" } else { "" },
+                if p.true_overflow {
+                    "  (TRUE overflow)"
+                } else {
+                    ""
+                },
             );
         }
     }
@@ -562,7 +609,14 @@ pub fn table5_3(suite: &Suite) -> String {
     format!(
         "Table 5.3 — split reference counts: LPT bus refops Then (unified) vs Now (split)\n{}",
         table(
-            &["trace", "RefopsThen", "RefopsNow", "MaxThen", "MaxNowLPT", "MaxNowEP"],
+            &[
+                "trace",
+                "RefopsThen",
+                "RefopsNow",
+                "MaxThen",
+                "MaxNowLPT",
+                "MaxNowEP"
+            ],
             &rows
         )
     )
@@ -589,7 +643,14 @@ pub fn table5_4(suite: &Suite) -> String {
     format!(
         "Table 5.4 — LPT vs LRU data cache (equal entries, unit lines)\n{}",
         table(
-            &["trace", "size", "LPTMisses", "LPT hit%", "CacheMisses", "cache hit%"],
+            &[
+                "trace",
+                "size",
+                "LPTMisses",
+                "LPT hit%",
+                "CacheMisses",
+                "cache hit%"
+            ],
             &rows
         )
     )
@@ -668,7 +729,15 @@ pub fn table5_5(suite: &Suite) -> String {
     format!(
         "Table 5.5 — sensitivity to probability parameters (SLANG, size {size})\n{}",
         table(
-            &["run", "AvgLPT", "MaxLPT", "LPTHits", "CacheHits", "MaxRefcnt", "Refops"],
+            &[
+                "run",
+                "AvgLPT",
+                "MaxLPT",
+                "LPTHits",
+                "CacheHits",
+                "MaxRefcnt",
+                "Refops"
+            ],
             &rows
         )
     )
@@ -677,9 +746,8 @@ pub fn table5_5(suite: &Suite) -> String {
 /// §5.3.1: ordered traversal guarantees.
 pub fn traversal_531() -> String {
     let mut i = small_sexpr::Interner::new();
-    let mut out = String::from(
-        "§5.3.1 — ordered traversal: splits = n+p, guaranteed hit rate >= 75%\n",
-    );
+    let mut out =
+        String::from("§5.3.1 — ordered traversal: splits = n+p, guaranteed hit rate >= 75%\n");
     for src in [
         "(((A B) C D) E F G)",
         "(A B C (D E) F G)",

@@ -24,7 +24,7 @@ pub mod machine;
 pub mod timing;
 
 pub use lp::{
-    CompressPolicy, DecrementPolicy, FreeDiscipline, Id, ListProcessor, LpConfig, LpError,
-    LpValue, LptStats, RefcountMode,
+    CompressPolicy, DecrementPolicy, FreeDiscipline, Id, ListProcessor, LpConfig, LpError, LpValue,
+    LptStats, RefcountMode, RootKind, Rooted,
 };
 pub use machine::SmallBackend;

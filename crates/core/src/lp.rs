@@ -26,10 +26,46 @@
 //! overflow** breaks unreachable reference cycles by a mark/sweep over
 //! the table; only if both fail does the machine degrade to overflow
 //! mode (surfaced as [`LpError::TrueOverflow`]).
+//!
+//! # Protecting operands: the [`Rooted`] handle
+//!
+//! The EP must protect in-flight operands from reclamation while a
+//! multi-step operation runs, and must tell the LP about stack/binding
+//! references. Both protections are one RAII API:
+//!
+//! * [`ListProcessor::root`] takes a *register* reference (a processor
+//!   register holds the operand; no reference-count bus traffic);
+//! * [`ListProcessor::root_binding`] takes a *stack/binding* reference
+//!   (counted per the configured [`RefcountMode`]);
+//! * [`ListProcessor::adopt_binding`] wraps a stack reference a value
+//!   already carries (e.g. the reference `readlist`/`car`/`cons` results
+//!   arrive with) in a handle without taking another.
+//!
+//! Dropping the handle releases the reference. Because a handle must
+//! coexist with `&mut` operations on the processor, release is
+//! *deferred*: the drop enqueues an unroot request which the LP drains
+//! at the next operation boundary (or [`ListProcessor::drain_unroots`]).
+//! Deferral is always in the safe direction — a reference lives
+//! slightly longer, never shorter. The four legacy methods
+//! (`guard`/`unguard`/`stack_retain`/`stack_release`) remain as thin
+//! deprecated wrappers with their original immediate semantics.
+//!
+//! # Instrumentation
+//!
+//! The processor is generic over a [`small_metrics::EventSink`]
+//! (defaulting to [`NoopSink`], which compiles to nothing) and emits a
+//! [`small_metrics::Event`] at every observable step: hits, misses,
+//! reference operations, entry allocation/free, compression passes,
+//! cycle collections, lazy-decrement drains, occupancy samples, and all
+//! heap-controller traffic (the LP is the single chokepoint through
+//! which split/merge/read-in/free requests flow).
 
 use small_heap::controller::{HeapController, HeapError};
 use small_heap::{Tag, Word};
+use small_metrics::{Event, EventSink, NoopSink};
 use small_sexpr::SExpr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 
 /// An LPT identifier — the small name the EP uses for a list object.
 pub type Id = u32;
@@ -211,6 +247,9 @@ pub enum LpError {
     Heap(HeapError),
     /// car/cdr of an atom reached the LP (EP type check should prevent).
     NotAList,
+    /// The heap returned a word the LP cannot interpret (a free-list
+    /// link or collector-internal tag escaped): memory corruption.
+    UnexpectedTag(Tag),
 }
 
 impl From<HeapError> for LpError {
@@ -225,11 +264,19 @@ impl std::fmt::Display for LpError {
             LpError::TrueOverflow => write!(f, "LPT true overflow"),
             LpError::Heap(e) => write!(f, "heap: {e}"),
             LpError::NotAList => write!(f, "LP operand is not a list object"),
+            LpError::UnexpectedTag(t) => write!(f, "heap returned word with tag {t:?}"),
         }
     }
 }
 
-impl std::error::Error for LpError {}
+impl std::error::Error for LpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LpError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// One LPT field: empty (backed by the heap), an immediate atom, or a
 /// child object.
@@ -255,9 +302,98 @@ struct Entry {
     lazy: bool,
 }
 
+// ---------------------------------------------------------------------
+// The Rooted protect protocol
+// ---------------------------------------------------------------------
+
+/// Which reference a [`Rooted`] handle holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootKind {
+    /// A processor-register reference: protects the value during a
+    /// multi-step operation, generating no reference-count bus traffic
+    /// (the legacy `guard`/`unguard` pair).
+    Register,
+    /// A stack/binding reference, counted per the configured
+    /// [`RefcountMode`] (the legacy `stack_retain`/`stack_release` pair).
+    Binding,
+}
+
+/// Shared root bookkeeping between a processor and its outstanding
+/// [`Rooted`] handles.
+struct RootShared {
+    /// References whose handles have dropped, awaiting release at the
+    /// next operation boundary.
+    queue: Mutex<Vec<(LpValue, RootKind)>>,
+    /// Fast-path flag: set when the queue is non-empty, so ops that
+    /// never see handles pay one relaxed load.
+    pending: AtomicBool,
+}
+
+/// An RAII reference to an LP value: the value cannot be reclaimed
+/// while the handle lives. Created by [`ListProcessor::root`],
+/// [`ListProcessor::root_binding`], or [`ListProcessor::adopt_binding`].
+///
+/// Dropping the handle *schedules* the release; the processor performs
+/// it at its next operation boundary (or on an explicit
+/// [`ListProcessor::drain_unroots`]). A handle outliving its processor
+/// degrades to a no-op.
+#[must_use = "dropping a Rooted releases the reference it protects"]
+pub struct Rooted {
+    value: LpValue,
+    kind: RootKind,
+    shared: Weak<RootShared>,
+    live: bool,
+}
+
+impl Rooted {
+    /// The protected value.
+    pub fn value(&self) -> LpValue {
+        self.value
+    }
+
+    /// The identifier, if the protected value is a list object.
+    pub fn id(&self) -> Option<Id> {
+        self.value.obj()
+    }
+
+    /// Which reference kind the handle holds.
+    pub fn kind(&self) -> RootKind {
+        self.kind
+    }
+
+    /// Defuse the handle: the reference is intentionally kept forever
+    /// (the value stays live for the processor's lifetime). Returns the
+    /// value.
+    pub fn leak(mut self) -> LpValue {
+        self.live = false;
+        self.value
+    }
+}
+
+impl std::fmt::Debug for Rooted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rooted")
+            .field("value", &self.value)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+impl Drop for Rooted {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        if let Some(shared) = self.shared.upgrade() {
+            shared.queue.lock().unwrap().push((self.value, self.kind));
+            shared.pending.store(true, Ordering::Release);
+        }
+    }
+}
+
 /// The List Processor: the LPT plus the algorithms that manage it,
-/// fronting a heap controller.
-pub struct ListProcessor<C: HeapController> {
+/// fronting a heap controller and reporting to an event sink.
+pub struct ListProcessor<C: HeapController, S: EventSink = NoopSink> {
     /// The backing heap controller (§4.3.3).
     pub controller: C,
     entries: Vec<Entry>,
@@ -267,6 +403,7 @@ pub struct ListProcessor<C: HeapController> {
     live: usize,
     config: LpConfig,
     stats: LptStats,
+    sink: S,
     /// EP-side stack reference counts (split mode). Conceptually this
     /// table lives in the EP (§5.2.4); it is held here so the LP API is
     /// self-contained.
@@ -274,11 +411,21 @@ pub struct ListProcessor<C: HeapController> {
     /// Recent pseudo-overflow times (in occupancy samples), for the
     /// hybrid compression policy.
     recent_overflows: std::collections::VecDeque<u64>,
+    /// Unroot requests from dropped [`Rooted`] handles.
+    roots: Arc<RootShared>,
 }
 
 impl<C: HeapController> ListProcessor<C> {
-    /// Create an LP with the given table size and policies.
+    /// Create an uninstrumented LP (no-op event sink) with the given
+    /// table size and policies.
     pub fn new(controller: C, config: LpConfig) -> Self {
+        Self::with_sink(controller, config, NoopSink)
+    }
+}
+
+impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
+    /// Create an LP reporting events to `sink`.
+    pub fn with_sink(controller: C, config: LpConfig, sink: S) -> Self {
         let mut lp = ListProcessor {
             controller,
             entries: vec![Entry::default(); config.table_size],
@@ -287,8 +434,13 @@ impl<C: HeapController> ListProcessor<C> {
             live: 0,
             config,
             stats: LptStats::default(),
+            sink,
             ep_counts: std::collections::HashMap::new(),
             recent_overflows: std::collections::VecDeque::new(),
+            roots: Arc::new(RootShared {
+                queue: Mutex::new(Vec::new()),
+                pending: AtomicBool::new(false),
+            }),
         };
         // Thread the initial free list, low ids first.
         for id in (0..config.table_size as u32).rev() {
@@ -302,6 +454,22 @@ impl<C: HeapController> ListProcessor<C> {
     /// Activity counters.
     pub fn stats(&self) -> LptStats {
         self.stats
+    }
+
+    /// The event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the event sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the processor, returning its event sink (for collecting
+    /// per-run metrics after a simulation).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Live entry count.
@@ -359,6 +527,9 @@ impl<C: HeapController> ListProcessor<C> {
         self.stats.max_occupancy = self.stats.max_occupancy.max(self.live);
         self.stats.occupancy_sum += self.live as u64;
         self.stats.occupancy_samples += 1;
+        self.sink.record(Event::Occupancy {
+            live: self.live as u32,
+        });
     }
 
     // -----------------------------------------------------------------
@@ -367,6 +538,7 @@ impl<C: HeapController> ListProcessor<C> {
 
     fn incref(&mut self, id: Id) {
         self.stats.refops += 1;
+        self.sink.record(Event::RefOp);
         let e = &mut self.entries[id as usize];
         debug_assert!(e.live, "incref of dead entry {id}");
         e.rc += 1;
@@ -377,6 +549,7 @@ impl<C: HeapController> ListProcessor<C> {
         #[cfg(feature = "lp-debug")]
         self.audit("pre-decref");
         self.stats.refops += 1;
+        self.sink.record(Event::RefOp);
         let e = &mut self.entries[id as usize];
         debug_assert!(e.live, "decref of dead entry {id}");
         debug_assert!(e.rc > 0, "decref of zero-count entry {id}");
@@ -386,24 +559,22 @@ impl<C: HeapController> ListProcessor<C> {
         }
     }
 
-    /// Take a *register* reference to a value: protects an operand
-    /// while a multi-step operation is in flight. The real EP holds
-    /// operands in processor registers, which generate no LPT
-    /// reference-count traffic — so guards do not count toward
-    /// [`LptStats::refops`]. Used by the trace-driven simulator.
-    pub fn guard(&mut self, v: LpValue) {
+    /// Take a register reference: the real EP holds operands in
+    /// processor registers, which generate no LPT reference-count
+    /// traffic — so this does not count toward [`LptStats::refops`].
+    fn register_acquire(&mut self, v: LpValue) {
         if let Some(id) = v.obj() {
             let e = &mut self.entries[id as usize];
-            debug_assert!(e.live, "guard of dead entry {id}");
+            debug_assert!(e.live, "register reference to dead entry {id}");
             e.rc += 1;
         }
     }
 
-    /// Drop a register reference taken by [`ListProcessor::guard`].
-    pub fn unguard(&mut self, v: LpValue) {
+    /// Drop a register reference.
+    fn register_release(&mut self, v: LpValue) {
         if let Some(id) = v.obj() {
             let e = &mut self.entries[id as usize];
-            debug_assert!(e.live && e.rc > 0, "unguard of dead entry {id}");
+            debug_assert!(e.live && e.rc > 0, "register release of dead entry {id}");
             e.rc -= 1;
             if e.rc == 0 && !e.stack_bit {
                 self.free_entry(id);
@@ -412,12 +583,13 @@ impl<C: HeapController> ListProcessor<C> {
     }
 
     /// The EP took a stack/binding reference to a value (push, bind).
-    pub fn stack_retain(&mut self, v: LpValue) {
+    fn binding_acquire(&mut self, v: LpValue) {
         let Some(id) = v.obj() else { return };
         match self.config.refcounts {
             RefcountMode::Unified => self.incref(id),
             RefcountMode::Split => {
                 self.stats.ep_refops += 1;
+                self.sink.record(Event::EpRefOp);
                 let c = self.ep_counts.entry(id).or_insert(0);
                 *c += 1;
                 self.stats.max_ep_refcount = self.stats.max_ep_refcount.max(*c);
@@ -426,13 +598,14 @@ impl<C: HeapController> ListProcessor<C> {
                     // First stack reference: one message to set the bit.
                     e.stack_bit = true;
                     self.stats.refops += 1;
+                    self.sink.record(Event::RefOp);
                 }
             }
         }
     }
 
     /// The EP dropped a stack/binding reference (pop, unbind, return).
-    pub fn stack_release(&mut self, v: LpValue) {
+    fn binding_release(&mut self, v: LpValue) {
         #[cfg(feature = "lp-debug")]
         self.audit("pre-stack-release");
         let Some(id) = v.obj() else { return };
@@ -440,10 +613,11 @@ impl<C: HeapController> ListProcessor<C> {
             RefcountMode::Unified => self.decref(id),
             RefcountMode::Split => {
                 self.stats.ep_refops += 1;
+                self.sink.record(Event::EpRefOp);
                 let c = self
                     .ep_counts
                     .get_mut(&id)
-                    .unwrap_or_else(|| panic!("stack_release of untracked {id}"));
+                    .unwrap_or_else(|| panic!("stack release of untracked {id}"));
                 debug_assert!(*c > 0);
                 *c -= 1;
                 if *c == 0 {
@@ -451,6 +625,7 @@ impl<C: HeapController> ListProcessor<C> {
                     // The last stack reference died: one message to the
                     // LP to clear the StackBit (§5.2.4).
                     self.stats.refops += 1;
+                    self.sink.record(Event::RefOp);
                     let e = &mut self.entries[id as usize];
                     e.stack_bit = false;
                     if e.rc == 0 {
@@ -459,6 +634,92 @@ impl<C: HeapController> ListProcessor<C> {
                 }
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // The Rooted protect protocol
+    // -----------------------------------------------------------------
+
+    fn make_rooted(&self, v: LpValue, kind: RootKind) -> Rooted {
+        Rooted {
+            value: v,
+            kind,
+            shared: Arc::downgrade(&self.roots),
+            live: true,
+        }
+    }
+
+    /// Protect `v` with a *register* reference for the handle's
+    /// lifetime: the RAII replacement for the deprecated
+    /// `guard`/`unguard` pair. No reference-count bus traffic.
+    pub fn root(&mut self, v: LpValue) -> Rooted {
+        self.drain_unroots();
+        self.register_acquire(v);
+        self.make_rooted(v, RootKind::Register)
+    }
+
+    /// Take a *stack/binding* reference to `v` for the handle's
+    /// lifetime: the RAII replacement for the deprecated
+    /// `stack_retain`/`stack_release` pair.
+    pub fn root_binding(&mut self, v: LpValue) -> Rooted {
+        self.drain_unroots();
+        self.binding_acquire(v);
+        self.make_rooted(v, RootKind::Binding)
+    }
+
+    /// Wrap a stack reference `v` *already carries* (results of
+    /// `readlist`/`car`/`cdr`/`cons` arrive retained for the EP) in a
+    /// handle, without taking another reference.
+    pub fn adopt_binding(&mut self, v: LpValue) -> Rooted {
+        self.drain_unroots();
+        self.make_rooted(v, RootKind::Binding)
+    }
+
+    /// Perform the releases scheduled by dropped [`Rooted`] handles.
+    /// Called automatically at every operation boundary; callers only
+    /// need it to force deterministic reclamation points (tests,
+    /// shutdown accounting).
+    pub fn drain_unroots(&mut self) {
+        if !self.roots.pending.swap(false, Ordering::Acquire) {
+            return;
+        }
+        // Releases never enqueue new unroots, so one batch suffices.
+        let batch: Vec<(LpValue, RootKind)> =
+            std::mem::take(&mut *self.roots.queue.lock().unwrap());
+        for (v, kind) in batch {
+            match kind {
+                RootKind::Register => self.register_release(v),
+                RootKind::Binding => self.binding_release(v),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The deprecated four-method protect protocol (thin wrappers)
+    // -----------------------------------------------------------------
+
+    /// Take a *register* reference to a value immediately.
+    #[deprecated(note = "use `root`, which releases via RAII")]
+    pub fn guard(&mut self, v: LpValue) {
+        self.register_acquire(v);
+    }
+
+    /// Drop a register reference taken by `guard`.
+    #[deprecated(note = "drop the handle returned by `root` instead")]
+    pub fn unguard(&mut self, v: LpValue) {
+        self.register_release(v);
+    }
+
+    /// The EP took a stack/binding reference to a value (push, bind).
+    #[deprecated(note = "use `root_binding`, which releases via RAII")]
+    pub fn stack_retain(&mut self, v: LpValue) {
+        self.binding_acquire(v);
+    }
+
+    /// The EP dropped a stack/binding reference (pop, unbind, return).
+    #[deprecated(note = "drop the handle returned by `root_binding`/`adopt_binding` instead")]
+    pub fn stack_release(&mut self, v: LpValue) {
+        self.binding_release(v);
     }
 
     /// Link a freed entry into the free list per the configured
@@ -501,6 +762,7 @@ impl<C: HeapController> ListProcessor<C> {
             assert!(refs == 0, "freeing entry {id} with {refs} internal refs");
         }
         self.stats.frees += 1;
+        self.sink.record(Event::EntryFreed);
         let e = &mut self.entries[id as usize];
         debug_assert!(e.live);
         e.live = false;
@@ -508,14 +770,17 @@ impl<C: HeapController> ListProcessor<C> {
         if let Some(addr) = e.addr.take() {
             // Signal the heap controller to reclaim the object.
             self.controller.free_object(addr);
+            self.sink.record(Event::HeapFree);
         }
         match self.config.decrement {
             DecrementPolicy::Lazy => {
                 // Children stay in the fields until reallocation.
+                let e = &mut self.entries[id as usize];
                 e.lazy = e.car != Field::Empty || e.cdr != Field::Empty;
                 self.push_free(id);
             }
             DecrementPolicy::Recursive => {
+                let e = &mut self.entries[id as usize];
                 let (car, cdr) = (e.car, e.cdr);
                 e.car = Field::Empty;
                 e.cdr = Field::Empty;
@@ -553,8 +818,12 @@ impl<C: HeapController> ListProcessor<C> {
         };
         self.live += 1;
         self.stats.gets += 1;
+        self.sink.record(Event::EntryAllocated);
         if lazy {
             // Deferred child decrements happen now (§4.3.2.1).
+            let children =
+                matches!(car, Field::Obj(_)) as u32 + matches!(cdr, Field::Obj(_)) as u32;
+            self.sink.record(Event::LazyDrain { children });
             if let Field::Obj(c) = car {
                 self.decref(c);
             }
@@ -572,8 +841,12 @@ impl<C: HeapController> ListProcessor<C> {
         }
         // Pseudo overflow: compress.
         self.stats.pseudo_overflows += 1;
-        self.recent_overflows.push_back(self.stats.occupancy_samples);
+        self.recent_overflows
+            .push_back(self.stats.occupancy_samples);
         let freed = self.compress();
+        self.sink.record(Event::PseudoOverflow {
+            reclaimed: freed as u32,
+        });
         #[cfg(feature = "lp-debug")]
         self.audit("post-compress");
         if freed > 0 {
@@ -585,6 +858,9 @@ impl<C: HeapController> ListProcessor<C> {
         // True overflow: break cycles.
         self.stats.cycle_collections += 1;
         let reclaimed = self.break_cycles();
+        self.sink.record(Event::CycleCollection {
+            reclaimed: reclaimed as u32,
+        });
         #[cfg(feature = "lp-debug")]
         self.audit("post-break-cycles");
         self.stats.cycles_reclaimed += reclaimed as u64;
@@ -592,6 +868,7 @@ impl<C: HeapController> ListProcessor<C> {
             self.sample_occupancy();
             return Ok(id);
         }
+        self.sink.record(Event::TrueOverflow);
         Err(LpError::TrueOverflow)
     }
 
@@ -641,7 +918,9 @@ impl<C: HeapController> ListProcessor<C> {
                     None => {
                         let cw = self.flush_field(car)?;
                         let dw = self.flush_field(cdr)?;
-                        Word::ptr(self.controller.merge(cw, dw)?)
+                        let merged = self.controller.merge(cw, dw)?;
+                        self.sink.record(Event::HeapMerge);
+                        Word::ptr(merged)
                     }
                 };
                 // The heap object now belongs to the merged parent;
@@ -696,6 +975,7 @@ impl<C: HeapController> ListProcessor<C> {
                 let Ok(addr) = self.controller.merge(car_w, cdr_w) else {
                     return total;
                 };
+                self.sink.record(Event::HeapMerge);
                 let e = &mut self.entries[id as usize];
                 e.car = Field::Empty;
                 e.cdr = Field::Empty;
@@ -814,7 +1094,7 @@ impl<C: HeapController> ListProcessor<C> {
                 e.addr = Some(w.addr());
                 Ok(LpValue::Obj(id))
             }
-            t => panic!("heap returned word with tag {t:?}"),
+            t => Err(LpError::UnexpectedTag(t)),
         }
     }
 
@@ -822,10 +1102,12 @@ impl<C: HeapController> ListProcessor<C> {
     /// already carries one stack reference for the EP. If the EP passes
     /// the variable's old value, its reference is dropped first.
     pub fn readlist(&mut self, old: Option<LpValue>, expr: &SExpr) -> Result<LpValue, LpError> {
+        self.drain_unroots();
         if let Some(v) = old {
-            self.stack_release(v);
+            self.binding_release(v);
         }
         let w = self.controller.read_in(expr)?;
+        self.sink.record(Event::HeapReadIn);
         let v = self.word_to_value(w)?;
         if let LpValue::Obj(id) = v {
             self.entries[id as usize].rc = 1;
@@ -843,6 +1125,7 @@ impl<C: HeapController> ListProcessor<C> {
             e.rc -= 1;
             e.stack_bit = true;
             self.stats.ep_refops += 1;
+            self.sink.record(Event::EpRefOp);
             let c = self.ep_counts.entry(id).or_insert(0);
             *c += 1;
             self.stats.max_ep_refcount = self.stats.max_ep_refcount.max(*c);
@@ -862,6 +1145,8 @@ impl<C: HeapController> ListProcessor<C> {
         let split = self.controller.split(addr)?;
         self.entries[id as usize].addr = None;
         self.stats.misses += 1;
+        self.sink.record(Event::LptMiss);
+        self.sink.record(Event::HeapSplit);
         let car_field = self.materialize(split.car)?;
         let cdr_field = self.materialize(split.cdr)?;
         let e = &mut self.entries[id as usize];
@@ -880,18 +1165,20 @@ impl<C: HeapController> ListProcessor<C> {
                 e.rc = 1; // the internal reference from the parent field
                 Ok(Field::Obj(id))
             }
-            t => panic!("heap returned word with tag {t:?}"),
+            t => Err(LpError::UnexpectedTag(t)),
         }
     }
 
     /// `car` (§4.3.2.2.2): the returned value carries a fresh stack
     /// reference for the EP (Figure 4.11 increments the ref of Lcar).
     pub fn car(&mut self, id: Id) -> Result<LpValue, LpError> {
+        self.drain_unroots();
         self.access(id, true)
     }
 
     /// `cdr` (§4.3.2.2.2).
     pub fn cdr(&mut self, id: Id) -> Result<LpValue, LpError> {
+        self.drain_unroots();
         self.access(id, false)
     }
 
@@ -902,10 +1189,12 @@ impl<C: HeapController> ListProcessor<C> {
         let v = match field {
             Field::Atom(w) => {
                 self.stats.hits += 1;
+                self.sink.record(Event::LptHit);
                 LpValue::Atom(w)
             }
             Field::Obj(c) => {
                 self.stats.hits += 1;
+                self.sink.record(Event::LptHit);
                 LpValue::Obj(c)
             }
             Field::Empty => {
@@ -919,7 +1208,7 @@ impl<C: HeapController> ListProcessor<C> {
             }
         };
         if let LpValue::Obj(c) = v {
-            self.stack_retain(LpValue::Obj(c));
+            self.binding_acquire(LpValue::Obj(c));
         }
         self.sample_occupancy();
         Ok(v)
@@ -928,6 +1217,7 @@ impl<C: HeapController> ListProcessor<C> {
     /// `cons` (§4.3.2.2.4): pure LPT activity, no heap traffic. The
     /// result carries one stack reference.
     pub fn cons(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
+        self.drain_unroots();
         let id = self.allocate()?;
         // Children gain an internal reference each.
         if let LpValue::Obj(c) = car {
@@ -955,11 +1245,13 @@ impl<C: HeapController> ListProcessor<C> {
 
     /// `rplaca` (§4.3.2.2.3).
     pub fn rplaca(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
+        self.drain_unroots();
         self.replace(id, v, true)
     }
 
     /// `rplacd` (§4.3.2.2.3).
     pub fn rplacd(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
+        self.drain_unroots();
         self.replace(id, v, false)
     }
 
@@ -989,6 +1281,7 @@ impl<C: HeapController> ListProcessor<C> {
 
     /// `copy` (§4.3.1): a top-cell copy for call-by-value parameters.
     pub fn copy(&mut self, id: Id) -> Result<LpValue, LpError> {
+        self.drain_unroots();
         self.ensure_fields(id)?;
         let (car, cdr) = {
             let e = &self.entries[id as usize];
@@ -1004,6 +1297,11 @@ impl<C: HeapController> ListProcessor<C> {
 
     /// `writelist`: reconstruct the s-expression for a value.
     pub fn writelist(&mut self, v: LpValue) -> Result<SExpr, LpError> {
+        self.drain_unroots();
+        self.writelist_inner(v)
+    }
+
+    fn writelist_inner(&mut self, v: LpValue) -> Result<SExpr, LpError> {
         match v {
             LpValue::Atom(w) => Ok(self.controller.extract(w)),
             LpValue::Obj(id) => {
@@ -1018,8 +1316,8 @@ impl<C: HeapController> ListProcessor<C> {
                     Field::Obj(c) => LpValue::Obj(c),
                     Field::Empty => unreachable!("live entry without addr has fields"),
                 };
-                let car_e = self.writelist(to_value(car))?;
-                let cdr_e = self.writelist(to_value(cdr))?;
+                let car_e = self.writelist_inner(to_value(car))?;
+                let cdr_e = self.writelist_inner(to_value(cdr))?;
                 Ok(SExpr::cons(car_e, cdr_e))
             }
         }
@@ -1054,8 +1352,10 @@ impl<C: HeapController> ListProcessor<C> {
     /// reallocation, to a fixpoint. The hardware never does this — the
     /// deferred work is the price of O(1) frees (§4.3.2.1) — but tests
     /// and shutdown accounting use it to verify that everything
-    /// unreachable is eventually detected.
+    /// unreachable is eventually detected. Scheduled unroots from
+    /// dropped [`Rooted`] handles are drained first.
     pub fn drain_lazy(&mut self) {
+        self.drain_unroots();
         loop {
             let mut did = false;
             for id in 0..self.entries.len() {
@@ -1067,6 +1367,11 @@ impl<C: HeapController> ListProcessor<C> {
                 let (car, cdr) = (e.car, e.cdr);
                 e.car = Field::Empty;
                 e.cdr = Field::Empty;
+                let children =
+                    matches!(car, Field::Obj(_)) as u32 + matches!(cdr, Field::Obj(_)) as u32;
+                if children > 0 {
+                    self.sink.record(Event::LazyDrain { children });
+                }
                 for f in [car, cdr] {
                     if let Field::Obj(c) = f {
                         self.decref(c);
@@ -1083,8 +1388,11 @@ impl<C: HeapController> ListProcessor<C> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy protect protocol keeps its tests
+
     use super::*;
     use small_heap::controller::TwoPointerController;
+    use small_metrics::CountingSink;
     use small_sexpr::{parse, print, Interner};
 
     type Lp = ListProcessor<TwoPointerController>;
@@ -1103,7 +1411,11 @@ mod tests {
         lp_with(512)
     }
 
-    fn read(lp: &mut Lp, i: &mut Interner, src: &str) -> LpValue {
+    fn read<S: EventSink>(
+        lp: &mut ListProcessor<TwoPointerController, S>,
+        i: &mut Interner,
+        src: &str,
+    ) -> LpValue {
         let e = parse(src, i).unwrap();
         lp.readlist(None, &e).unwrap()
     }
@@ -1179,7 +1491,9 @@ mod tests {
         assert_eq!(lp.occupancy(), 1);
         // Reallocating the freed entry performs the deferred decrement,
         // freeing `a` too.
-        let _fresh = lp.cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL)).unwrap();
+        let _fresh = lp
+            .cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL))
+            .unwrap();
         assert_eq!(lp.occupancy(), 1, "a freed, fresh cons live");
     }
 
@@ -1253,7 +1567,7 @@ mod tests {
             let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
             lp.stack_release(a);
             lp.stack_release(c); // c freed lazily, still holding a
-            // One allocation:
+                                 // One allocation:
             let _fresh = lp
                 .cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL))
                 .unwrap();
@@ -1511,5 +1825,139 @@ mod tests {
         let c = read(&mut lp, &mut i, "(1 2 3)");
         assert!(lp.equal(a, b).unwrap());
         assert!(!lp.equal(a, c).unwrap());
+    }
+
+    // -- Rooted protect protocol --------------------------------------
+
+    #[test]
+    fn rooted_register_protects_until_drop() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let g = lp.root(a);
+        assert_eq!(g.kind(), RootKind::Register);
+        // Drop the EP's stack reference: the register root keeps `a`.
+        lp.stack_release(a);
+        assert_eq!(lp.occupancy(), 1);
+        drop(g);
+        // The release is deferred to the next operation boundary.
+        assert_eq!(lp.occupancy(), 1);
+        lp.drain_unroots();
+        assert_eq!(lp.occupancy(), 0);
+    }
+
+    #[test]
+    fn rooted_register_matches_guard_refops() {
+        // Register roots, like the guards they replace, generate no
+        // reference-count bus traffic.
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x y)");
+        let refops = lp.stats().refops;
+        let g = lp.root(a);
+        drop(g);
+        lp.drain_unroots();
+        assert_eq!(lp.stats().refops, refops);
+    }
+
+    #[test]
+    fn rooted_binding_counts_like_stack_retain() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let refops = lp.stats().refops;
+        let b = lp.root_binding(a);
+        assert_eq!(lp.stats().refops, refops + 1, "binding roots are counted");
+        drop(b);
+        lp.drain_unroots();
+        assert_eq!(lp.stats().refops, refops + 2);
+    }
+
+    #[test]
+    fn unroots_drain_at_operation_boundaries() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let frees = lp.stats().frees;
+        let h = lp.adopt_binding(a); // wraps readlist's reference
+        drop(h);
+        assert_eq!(lp.stats().frees, frees, "release is deferred");
+        // Any LP operation drains the pending unroot first.
+        let _ = lp
+            .cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL))
+            .unwrap();
+        assert_eq!(lp.stats().frees, frees + 1);
+    }
+
+    #[test]
+    fn rooted_leak_keeps_the_reference() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let h = lp.adopt_binding(a);
+        let v = h.leak();
+        lp.drain_unroots();
+        assert_eq!(lp.occupancy(), 1, "leaked root keeps the value live");
+        assert_eq!(v, a);
+    }
+
+    #[test]
+    fn rooted_binding_split_mode_round_trips() {
+        let mut i = Interner::new();
+        let mut lp = ListProcessor::new(
+            TwoPointerController::new(8192, 64),
+            LpConfig {
+                table_size: 64,
+                refcounts: RefcountMode::Split,
+                ..LpConfig::default()
+            },
+        );
+        let v = read(&mut lp, &mut i, "(a)");
+        let h = lp.root_binding(v);
+        assert_eq!(lp.ep_tracked(), 1);
+        drop(h);
+        lp.drain_unroots();
+        // The adopted readlist reference remains; the handle's is gone.
+        assert_eq!(lp.ep_tracked(), 1);
+        lp.stack_release(v);
+        assert_eq!(lp.occupancy(), 0);
+    }
+
+    #[test]
+    fn rooted_outliving_the_processor_is_harmless() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let h = lp.root(a);
+        drop(lp);
+        drop(h); // must not panic
+    }
+
+    #[test]
+    fn sink_events_mirror_stats() {
+        let mut i = Interner::new();
+        let mut lp = ListProcessor::with_sink(
+            TwoPointerController::new(8192, 64),
+            LpConfig {
+                table_size: 128,
+                ..LpConfig::default()
+            },
+            CountingSink::default(),
+        );
+        let v = read(&mut lp, &mut i, "((a) b c)");
+        let id = v.obj().unwrap();
+        let _ = lp.car(id).unwrap();
+        let _ = lp.car(id).unwrap();
+        let _ = lp.cdr(id).unwrap();
+        let stats = lp.stats();
+        let counts = lp.sink().counts;
+        assert_eq!(counts.lpt_hits.get(), stats.hits);
+        assert_eq!(counts.lpt_misses.get(), stats.misses);
+        assert_eq!(counts.refops.get(), stats.refops);
+        assert_eq!(counts.entries_allocated.get(), stats.gets);
+        assert_eq!(counts.entries_freed.get(), stats.frees);
+        assert_eq!(counts.occupancy_samples.get(), stats.occupancy_samples);
+        assert_eq!(counts.heap_read_ins.get(), 1);
+        assert!(counts.heap_splits.get() > 0);
     }
 }

@@ -6,43 +6,81 @@
 //! organization. The VM plays the Evaluation Processor: its combined
 //! control/binding stack is the EP stack of §4.3.1, and its
 //! `retain`/`release` hook calls are exactly the reference-count traffic
-//! the EP sends the LP on binding creation and function return.
+//! the EP sends the LP on binding creation and function return. The
+//! backend holds one [`Rooted`] binding handle per retained reference;
+//! releasing drops the handle and the LP performs the release at its
+//! next operation boundary.
 //!
 //! Because the VM maintains one retained reference per live stack slot
 //! and binding, running a program to completion and dropping its result
 //! leaves the LPT *empty* — every transient cons was detected as garbage
 //! the moment its last reference died, the §5.3.2 claim.
+//!
+//! Failures cross this boundary as typed values: [`LpError`] converts
+//! into [`small_lisp::vm::BackendError`], so no LP condition — not even
+//! a corrupt heap word — panics the machine.
 
-use crate::lp::{Id, ListProcessor, LpConfig, LpValue};
+use crate::lp::{Id, ListProcessor, LpConfig, LpError, LpValue, Rooted};
 use small_heap::controller::TwoPointerController;
 use small_heap::{HeapController, Word};
-use small_lisp::vm::{ListBackend, VmError, VmValue};
+use small_lisp::vm::{BackendError, ListBackend, VmError, VmValue};
+use small_metrics::{EventSink, NoopSink};
 use small_sexpr::{SExpr, Symbol};
+use std::collections::HashMap;
 
-/// A [`ListBackend`] that routes every list operation through the LP.
-pub struct SmallBackend<C: HeapController> {
-    /// The List Processor (public for stats inspection).
-    pub lp: ListProcessor<C>,
-}
-
-impl SmallBackend<TwoPointerController> {
-    /// Convenience: an LP over a two-pointer heap controller.
-    pub fn new(heap_cells: usize, config: LpConfig) -> Self {
-        SmallBackend {
-            lp: ListProcessor::new(TwoPointerController::new(heap_cells, 64), config),
+impl From<LpError> for BackendError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::TrueOverflow => BackendError::TrueOverflow,
+            LpError::Heap(h) => BackendError::Heap(h),
+            LpError::NotAList => BackendError::NotAList,
+            LpError::UnexpectedTag(t) => BackendError::UnexpectedTag(t),
         }
     }
 }
 
-impl<C: HeapController> SmallBackend<C> {
-    fn to_vm(v: LpValue) -> VmValue<Id> {
+/// A [`ListBackend`] that routes every list operation through the LP.
+pub struct SmallBackend<C: HeapController, S: EventSink = NoopSink> {
+    /// The List Processor (public for stats inspection).
+    pub lp: ListProcessor<C, S>,
+    /// Outstanding binding handles, one per `retain` the VM issued.
+    /// References the VM received pre-retained (car/cdr/cons/read_in
+    /// results) have no handle here; `release` wraps those with
+    /// [`ListProcessor::adopt_binding`] on the way out.
+    roots: HashMap<Id, Vec<Rooted>>,
+}
+
+impl SmallBackend<TwoPointerController> {
+    /// Convenience: an uninstrumented LP over a two-pointer heap
+    /// controller.
+    pub fn new(heap_cells: usize, config: LpConfig) -> Self {
+        SmallBackend {
+            lp: ListProcessor::new(TwoPointerController::new(heap_cells, 64), config),
+            roots: HashMap::new(),
+        }
+    }
+}
+
+impl<S: EventSink> SmallBackend<TwoPointerController, S> {
+    /// An LP over a two-pointer heap controller, reporting events to
+    /// `sink`.
+    pub fn with_sink(heap_cells: usize, config: LpConfig, sink: S) -> Self {
+        SmallBackend {
+            lp: ListProcessor::with_sink(TwoPointerController::new(heap_cells, 64), config, sink),
+            roots: HashMap::new(),
+        }
+    }
+}
+
+impl<C: HeapController, S: EventSink> SmallBackend<C, S> {
+    fn to_vm(v: LpValue) -> Result<VmValue<Id>, VmError> {
         match v {
-            LpValue::Obj(id) => VmValue::List(id),
+            LpValue::Obj(id) => Ok(VmValue::List(id)),
             LpValue::Atom(w) => match w.tag() {
-                small_heap::Tag::Nil => VmValue::Nil,
-                small_heap::Tag::Int => VmValue::Int(w.as_int()),
-                small_heap::Tag::Sym => VmValue::Sym(Symbol(w.as_sym())),
-                t => panic!("atom with tag {t:?}"),
+                small_heap::Tag::Nil => Ok(VmValue::Nil),
+                small_heap::Tag::Int => Ok(VmValue::Int(w.as_int())),
+                small_heap::Tag::Sym => Ok(VmValue::Sym(Symbol(w.as_sym()))),
+                t => Err(VmError::Backend(BackendError::UnexpectedTag(t))),
             },
         }
     }
@@ -56,20 +94,20 @@ impl<C: HeapController> SmallBackend<C> {
         }
     }
 
-    fn lp_err(e: crate::lp::LpError) -> VmError {
-        VmError::Backend(e.to_string())
+    fn lp_err(e: LpError) -> VmError {
+        VmError::Backend(e.into())
     }
 }
 
-impl<C: HeapController> ListBackend for SmallBackend<C> {
+impl<C: HeapController, S: EventSink> ListBackend for SmallBackend<C, S> {
     type Ref = Id;
 
     fn car(&mut self, r: &Id) -> Result<VmValue<Id>, VmError> {
-        self.lp.car(*r).map(Self::to_vm).map_err(Self::lp_err)
+        self.lp.car(*r).map_err(Self::lp_err).and_then(Self::to_vm)
     }
 
     fn cdr(&mut self, r: &Id) -> Result<VmValue<Id>, VmError> {
-        self.lp.cdr(*r).map(Self::to_vm).map_err(Self::lp_err)
+        self.lp.cdr(*r).map_err(Self::lp_err).and_then(Self::to_vm)
     }
 
     fn cons(&mut self, car: VmValue<Id>, cdr: VmValue<Id>) -> Result<Id, VmError> {
@@ -94,8 +132,8 @@ impl<C: HeapController> ListBackend for SmallBackend<C> {
     fn read_in(&mut self, e: &SExpr) -> Result<VmValue<Id>, VmError> {
         self.lp
             .readlist(None, e)
-            .map(Self::to_vm)
             .map_err(Self::lp_err)
+            .and_then(Self::to_vm)
     }
 
     fn write_out(&mut self, v: &VmValue<Id>) -> SExpr {
@@ -111,11 +149,22 @@ impl<C: HeapController> ListBackend for SmallBackend<C> {
     }
 
     fn retain(&mut self, r: &Id) {
-        self.lp.stack_retain(LpValue::Obj(*r));
+        let handle = self.lp.root_binding(LpValue::Obj(*r));
+        self.roots.entry(*r).or_default().push(handle);
     }
 
     fn release(&mut self, r: &Id) {
-        self.lp.stack_release(LpValue::Obj(*r));
+        if let Some(stack) = self.roots.get_mut(r) {
+            if let Some(handle) = stack.pop() {
+                if stack.is_empty() {
+                    self.roots.remove(r);
+                }
+                drop(handle); // schedules the release
+                return;
+            }
+        }
+        // A reference the value arrived with (no retain of ours).
+        drop(self.lp.adopt_binding(LpValue::Obj(*r)));
     }
 }
 
@@ -147,19 +196,19 @@ impl TraversalCount {
 /// Identical LP activity for pre-, in-, and post-order traversal; only
 /// the *visit* position differs. Used by the `traversal` repro target
 /// and the guaranteed-hit-rate property test.
-pub fn traverse_preorder<C: HeapController>(
-    lp: &mut ListProcessor<C>,
+pub fn traverse_preorder<C: HeapController, S: EventSink>(
+    lp: &mut ListProcessor<C, S>,
     v: LpValue,
-) -> Result<TraversalCount, crate::lp::LpError> {
+) -> Result<TraversalCount, LpError> {
     let mut count = TraversalCount::default();
     go(lp, v, &mut count)?;
     return Ok(count);
 
-    fn go<C: HeapController>(
-        lp: &mut ListProcessor<C>,
+    fn go<C: HeapController, S: EventSink>(
+        lp: &mut ListProcessor<C, S>,
         v: LpValue,
         count: &mut TraversalCount,
-    ) -> Result<(), crate::lp::LpError> {
+    ) -> Result<(), LpError> {
         match v {
             // A leaf touch: the atom was delivered from a parent field —
             // an LPT-satisfied reference (§5.3.1 counts it as a hit).
@@ -181,7 +230,7 @@ pub fn traverse_preorder<C: HeapController>(
                 }
                 go(lp, car, count)?;
                 if let LpValue::Obj(_) = car {
-                    lp.stack_release(car);
+                    drop(lp.adopt_binding(car));
                 }
                 // Touch 2: back at the node between its sub-trees.
                 let cdr = lp.cdr(id)?;
@@ -189,7 +238,7 @@ pub fn traverse_preorder<C: HeapController>(
                 count.hits += 1;
                 go(lp, cdr, count)?;
                 if let LpValue::Obj(_) = cdr {
-                    lp.stack_release(cdr);
+                    drop(lp.adopt_binding(cdr));
                 }
                 // Touch 3: final contact after the right sub-tree (where
                 // a post-order visit — or a merge — would happen).
@@ -197,7 +246,7 @@ pub fn traverse_preorder<C: HeapController>(
                 count.touches += 1;
                 count.hits += 1;
                 if let LpValue::Obj(_) = again {
-                    lp.stack_release(again);
+                    drop(lp.adopt_binding(again));
                 }
                 Ok(())
             }
@@ -230,7 +279,7 @@ mod tests {
         }
         vm.shutdown();
         // Lazy child decrements park garbage on the free stack until
-        // reallocation; drain them.
+        // reallocation; drain them (this also drains scheduled unroots).
         vm.backend.lp.drain_lazy();
         let stats = vm.backend.lp.stats();
         let occupancy = vm.backend.lp.occupancy();
@@ -351,10 +400,22 @@ mod tests {
         let mut lp = backend.lp;
         let v = lp.readlist(None, &e).unwrap();
         traverse_preorder(&mut lp, v).unwrap();
-        lp.stack_release(v);
+        drop(lp.adopt_binding(v));
         // Everything was reachable from v; after the deferred decrements
         // run, the whole structure must be detected as garbage.
         lp.drain_lazy();
         assert_eq!(lp.occupancy(), 0);
+    }
+
+    #[test]
+    fn bad_tag_surfaces_as_typed_error_not_panic() {
+        // A corrupt heap word must cross the EP–LP boundary as a value.
+        let v = SmallBackend::<TwoPointerController>::to_vm(LpValue::Atom(Word::free_link(None)));
+        match v {
+            Err(VmError::Backend(BackendError::UnexpectedTag(t))) => {
+                assert_eq!(t, small_heap::Tag::FreeLink);
+            }
+            other => panic!("expected UnexpectedTag, got {other:?}"),
+        }
     }
 }

@@ -120,7 +120,10 @@ impl TimingModel {
             // entries' remaining fields overlaps.
             TimedOp::AccessMiss => OpTiming {
                 ep_pre: self.ep_lookup,
-                latency: self.bus + self.lpt_access + self.heap_split + 2 * self.lpt_alloc
+                latency: self.bus
+                    + self.lpt_access
+                    + self.heap_split
+                    + 2 * self.lpt_alloc
                     + self.bus,
                 lp_tail: 2 * self.lpt_update + self.refcount,
             },
@@ -146,11 +149,7 @@ impl TimingModel {
     /// (`ep_gap` cycles between requests): returns total elapsed time,
     /// EP idle time, and LP idle time, modeling the §4.3.2.5 stall — the
     /// LP accepts a new request only after finishing the previous tail.
-    pub fn run_stream<I: IntoIterator<Item = TimedOp>>(
-        &self,
-        ops: I,
-        ep_gap: u64,
-    ) -> StreamTiming {
+    pub fn run_stream<I: IntoIterator<Item = TimedOp>>(&self, ops: I, ep_gap: u64) -> StreamTiming {
         let mut now = 0u64; // EP clock
         let mut lp_free_at = 0u64;
         let mut ep_idle = 0u64;

@@ -1,4 +1,9 @@
 //! Property-based tests of the SMALL core invariants.
+//!
+//! Deliberately keeps exercising the deprecated four-method protect
+//! protocol (`stack_release` etc.): the thin wrappers must behave
+//! exactly like the `Rooted` RAII handles that replace them.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use small_core::machine::{traverse_preorder, SmallBackend};
@@ -15,12 +20,21 @@ fn arb_list_src() -> impl Strategy<Value = String> {
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop::collection::vec(inner, 1..5).prop_map(|items| format!("({})", items.join(" ")))
     })
-    .prop_map(|s| if s.starts_with('(') { s } else { format!("({s})") })
+    .prop_map(|s| {
+        if s.starts_with('(') {
+            s
+        } else {
+            format!("({s})")
+        }
+    })
 }
 
 fn arb_config() -> impl Strategy<Value = LpConfig> {
     (
-        prop::sample::select(vec![CompressPolicy::CompressOne, CompressPolicy::CompressAll]),
+        prop::sample::select(vec![
+            CompressPolicy::CompressOne,
+            CompressPolicy::CompressAll,
+        ]),
         prop::sample::select(vec![DecrementPolicy::Lazy, DecrementPolicy::Recursive]),
         prop::sample::select(vec![RefcountMode::Unified, RefcountMode::Split]),
         prop::sample::select(vec![FreeDiscipline::Stack, FreeDiscipline::Queue]),
@@ -143,10 +157,15 @@ mod structure_coded_controller {
             (0i64..50).prop_map(|i| i.to_string()),
         ];
         leaf.prop_recursive(3, 24, 4, |inner| {
-            prop::collection::vec(inner, 1..5)
-                .prop_map(|items| format!("({})", items.join(" ")))
+            prop::collection::vec(inner, 1..5).prop_map(|items| format!("({})", items.join(" ")))
         })
-        .prop_map(|s| if s.starts_with('(') { s } else { format!("({s})") })
+        .prop_map(|s| {
+            if s.starts_with('(') {
+                s
+            } else {
+                format!("({s})")
+            }
+        })
     }
 
     proptest! {

@@ -253,10 +253,7 @@ impl CdrCodedController {
 }
 
 impl crate::controller::HeapController for CdrCodedController {
-    fn read_in(
-        &mut self,
-        expr: &small_sexpr::SExpr,
-    ) -> Result<Word, crate::controller::HeapError> {
+    fn read_in(&mut self, expr: &small_sexpr::SExpr) -> Result<Word, crate::controller::HeapError> {
         self.stats.read_ins += 1;
         self.heap
             .intern(expr)

@@ -104,7 +104,9 @@ impl CopyingHeap {
 
     /// Evacuate the target of a word if it points into fromspace.
     fn forward_word(&mut self, w: Word) -> Word {
-        if self.gc_active && matches!(w.tag(), Tag::Ptr | Tag::Invisible) && space_of(w.addr()) != self.to
+        if self.gc_active
+            && matches!(w.tag(), Tag::Ptr | Tag::Invisible)
+            && space_of(w.addr()) != self.to
         {
             let new = self.evacuate(w.addr());
             match w.tag() {

@@ -186,7 +186,7 @@ mod tests {
         let a = h.cons(Word::int(1), Word::NIL).unwrap();
         let b = h.cons(Word::int(2), Word::ptr(a)).unwrap();
         h.rplacd(a, Word::ptr(b)); // cycle a <-> b
-        // Drop both external references.
+                                   // Drop both external references.
         h.release(Word::ptr(a));
         h.release(Word::ptr(b));
         // Both cells leak: counts never hit zero.

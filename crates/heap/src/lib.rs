@@ -29,8 +29,8 @@ pub mod structure_coded;
 pub mod two_pointer;
 pub mod word;
 
-pub use controller::{HeapController, Piece, SplitResult, TwoPointerController};
 pub use cdr_coded::CdrCodedController;
+pub use controller::{HeapController, Piece, SplitResult, TwoPointerController};
 pub use structure_coded::StructureCodedController;
 pub use two_pointer::TwoPointerHeap;
 pub use word::{HeapAddr, Tag, Word};

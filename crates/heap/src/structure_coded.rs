@@ -96,13 +96,7 @@ pub fn eps_encode(expr: &SExpr) -> Vec<EpsEntry> {
     let mut left = 0u32;
     let mut right = 0u32;
     let mut position = 0u32;
-    fn go(
-        e: &SExpr,
-        out: &mut Vec<EpsEntry>,
-        left: &mut u32,
-        right: &mut u32,
-        position: &mut u32,
-    ) {
+    fn go(e: &SExpr, out: &mut Vec<EpsEntry>, left: &mut u32, right: &mut u32, position: &mut u32) {
         *left += 1; // opening paren of this list
         for item in e.iter() {
             match item {

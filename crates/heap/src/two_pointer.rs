@@ -96,7 +96,8 @@ impl TwoPointerHeap {
     /// Debug-panics if the cell is already free.
     pub fn free_cell(&mut self, addr: HeapAddr) {
         debug_assert!(!self.is_free(addr), "double free of {addr}");
-        self.arena.write(addr.index() * 2, Word::free_link(self.free_head));
+        self.arena
+            .write(addr.index() * 2, Word::free_link(self.free_head));
         self.arena.write(addr.index() * 2 + 1, Word::UNUSED);
         self.free_head = Some(addr);
         self.live -= 1;

@@ -261,7 +261,15 @@ mod tests {
 
     #[test]
     fn int_roundtrip_with_sign() {
-        for i in [0i64, 1, -1, 123456789, -123456789, (1 << 60) - 1, -(1 << 60)] {
+        for i in [
+            0i64,
+            1,
+            -1,
+            123456789,
+            -123456789,
+            (1 << 60) - 1,
+            -(1 << 60),
+        ] {
             let w = Word::int(i);
             assert_eq!(w.tag(), Tag::Int);
             assert_eq!(w.as_int(), i, "roundtrip of {i}");
@@ -284,7 +292,10 @@ mod tests {
 
     #[test]
     fn free_link_roundtrip() {
-        assert_eq!(Word::free_link(Some(HeapAddr(9))).free_next(), Some(HeapAddr(9)));
+        assert_eq!(
+            Word::free_link(Some(HeapAddr(9))).free_next(),
+            Some(HeapAddr(9))
+        );
         assert_eq!(Word::free_link(None).free_next(), None);
     }
 

@@ -3,8 +3,8 @@
 //! s-expressions, and split/merge must be mutually inverse.
 
 use proptest::prelude::*;
-use small_heap::controller::{HeapController, TwoPointerController};
 use small_heap::cdr_coded::CdrCodedHeap;
+use small_heap::controller::{HeapController, TwoPointerController};
 use small_heap::gc::{CopyingHeap, MarkSweep};
 use small_heap::linked_vector::LinkedVectorHeap;
 use small_heap::structure_coded::StructureCodedHeap;
@@ -21,7 +21,13 @@ fn arb_list_src() -> impl Strategy<Value = String> {
         prop::collection::vec(inner, 1..5).prop_map(|items| format!("({})", items.join(" ")))
     })
     // Ensure top level is a list (heaps intern atoms trivially).
-    .prop_map(|s| if s.starts_with('(') { s } else { format!("({s})") })
+    .prop_map(|s| {
+        if s.starts_with('(') {
+            s
+        } else {
+            format!("({s})")
+        }
+    })
 }
 
 proptest! {

@@ -157,16 +157,13 @@ pub struct Compiler {
 /// Compile a whole program text: any number of `(def …)` forms plus
 /// top-level calls (compiled, in order, into the entry block).
 pub fn compile_program(src: &str, interner: &mut Interner) -> Result<Program, CompileError> {
-    let forms = small_sexpr::parse_all(src, interner)
-        .map_err(|e| CompileError::BadForm(e.to_string()))?;
+    let forms =
+        small_sexpr::parse_all(src, interner).map_err(|e| CompileError::BadForm(e.to_string()))?;
     compile_forms(&forms, interner)
 }
 
 /// Compile pre-parsed top-level forms.
-pub fn compile_forms(
-    forms: &[SExpr],
-    interner: &mut Interner,
-) -> Result<Program, CompileError> {
+pub fn compile_forms(forms: &[SExpr], interner: &mut Interner) -> Result<Program, CompileError> {
     let names = Names::new(interner);
     let mut c = Compiler {
         names,

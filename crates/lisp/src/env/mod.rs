@@ -98,13 +98,19 @@ pub(crate) mod conformance {
         env.push_frame();
         env.bind(x, Value::Int(4));
         assert!(matches!(env.lookup(x), Some(Value::Int(4))));
-        assert!(matches!(env.lookup(y), Some(Value::Int(3))), "y from outer frame");
+        assert!(
+            matches!(env.lookup(y), Some(Value::Int(3))),
+            "y from outer frame"
+        );
 
         // setq updates the latest binding.
         env.set(x, Value::Int(5));
         assert!(matches!(env.lookup(x), Some(Value::Int(5))));
         env.pop_frame();
-        assert!(matches!(env.lookup(x), Some(Value::Int(2))), "shadowing undone");
+        assert!(
+            matches!(env.lookup(x), Some(Value::Int(2))),
+            "shadowing undone"
+        );
 
         env.pop_frame();
         assert!(matches!(env.lookup(x), Some(Value::Int(1))));

@@ -167,7 +167,11 @@ mod tests {
         for _ in 0..10 {
             env.lookup(x); // hits
         }
-        assert_eq!(env.stats().probes, probes_after_miss, "hits avoid the a-list");
+        assert_eq!(
+            env.stats().probes,
+            probes_after_miss,
+            "hits avoid the a-list"
+        );
         let (hits, misses) = env.cache_counts();
         assert_eq!((hits, misses), (10, 1));
     }

@@ -99,7 +99,11 @@ impl fmt::Display for LispError {
         match self {
             LispError::Unbound(n) => write!(f, "unbound variable {n}"),
             LispError::NotAFunction(n) => write!(f, "{n} is not a function"),
-            LispError::WrongArgCount { name, expected, got } => {
+            LispError::WrongArgCount {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "{name} expects {expected} args, got {got}")
             }
             LispError::TypeError { prim, detail } => write!(f, "{prim}: {detail}"),
@@ -333,9 +337,10 @@ impl<E: Environment, H: EvalHook> Interp<E, H> {
                     .ok_or_else(|| LispError::Unbound(self.interner.name(*s).to_owned()))
             }
             SExpr::Cons(c) => {
-                let head = c.0.as_sym().ok_or_else(|| {
-                    LispError::BadForm("call head must be a symbol".to_owned())
-                })?;
+                let head = c
+                    .0
+                    .as_sym()
+                    .ok_or_else(|| LispError::BadForm("call head must be a symbol".to_owned()))?;
                 let head = *self.aliases.get(&head).unwrap_or(&head);
                 let args = &c.1;
                 self.eval_form(head, args)
@@ -347,7 +352,9 @@ impl<E: Environment, H: EvalHook> Interp<E, H> {
         let s = &self.syms;
         // Special forms first.
         if head == s.quote {
-            let q = args.car().ok_or_else(|| LispError::BadForm("quote".into()))?;
+            let q = args
+                .car()
+                .ok_or_else(|| LispError::BadForm("quote".into()))?;
             return Ok(self.alloc.from_sexpr(&q));
         }
         if head == s.cond {
@@ -545,10 +552,7 @@ impl<E: Environment, H: EvalHook> Interp<E, H> {
             .cdr()
             .and_then(|d| d.car())
             .ok_or_else(|| LispError::BadForm("lambda params".into()))?;
-        let params: Vec<Symbol> = params_expr
-            .iter()
-            .filter_map(|p| p.as_sym())
-            .collect();
+        let params: Vec<Symbol> = params_expr.iter().filter_map(|p| p.as_sym()).collect();
         let body: Vec<SExpr> = lam
             .cdr()
             .and_then(|d| d.cdr())
@@ -562,9 +566,7 @@ impl<E: Environment, H: EvalHook> Interp<E, H> {
 
     fn apply_user(&mut self, name: Symbol, argv: Vec<Value>) -> Result<Value, LispError> {
         let Some(def) = self.fns.get(&name) else {
-            return Err(LispError::NotAFunction(
-                self.interner.name(name).to_owned(),
-            ));
+            return Err(LispError::NotAFunction(self.interner.name(name).to_owned()));
         };
         if def.params.len() != argv.len() {
             return Err(LispError::WrongArgCount {
@@ -605,11 +607,7 @@ impl<E: Environment, H: EvalHook> Interp<E, H> {
         result
     }
 
-    fn try_primitive(
-        &mut self,
-        name: Symbol,
-        argv: &[Value],
-    ) -> Result<Option<Value>, LispError> {
+    fn try_primitive(&mut self, name: Symbol, argv: &[Value]) -> Result<Option<Value>, LispError> {
         let s = &self.syms;
         let traced = name == s.car
             || name == s.cdr
@@ -915,10 +913,7 @@ mod tests {
     fn destructive_update() {
         let mut it = interp();
         assert_eq!(
-            eval_str(
-                &mut it,
-                "(progn (setq x '(1 2 3)) (rplaca x 9) x)"
-            ),
+            eval_str(&mut it, "(progn (setq x '(1 2 3)) (rplaca x 9) x)"),
             "(9 2 3)"
         );
         assert_eq!(
@@ -931,9 +926,7 @@ mod tests {
     fn factorial_from_figure_4_14() {
         let mut it = interp();
         let _ = it
-            .run_program(
-                "(def fact (lambda (x) (cond ((equal x 0) 1) (t (* x (fact (- x 1)))))))",
-            )
+            .run_program("(def fact (lambda (x) (cond ((equal x 0) 1) (t (* x (fact (- x 1)))))))")
             .unwrap();
         assert_eq!(eval_str(&mut it, "(fact 10)"), "3628800");
     }
@@ -988,7 +981,10 @@ mod tests {
         let mut it = interp();
         let e = small_sexpr::parse("(hello world)", &mut it.interner).unwrap();
         it.input.push_back(e);
-        assert_eq!(eval_str(&mut it, "(progn (setq v (read)) (write v))"), "(hello world)");
+        assert_eq!(
+            eval_str(&mut it, "(progn (setq v (read)) (write v))"),
+            "(hello world)"
+        );
         assert_eq!(it.output.len(), 1);
     }
 
@@ -1031,10 +1027,7 @@ mod tests {
         let mut it = interp();
         assert_eq!(eval_str(&mut it, "(equal '(1 2) '(1 2))"), "t");
         assert_eq!(eval_str(&mut it, "(eq '(1 2) '(1 2))"), "nil");
-        assert_eq!(
-            eval_str(&mut it, "(progn (setq a '(1 2)) (eq a a))"),
-            "t"
-        );
+        assert_eq!(eval_str(&mut it, "(progn (setq a '(1 2)) (eq a a))"), "t");
     }
 
     #[test]
@@ -1056,11 +1049,7 @@ mod tests {
             (write total)
             total";
             let v = it.run_program(src).unwrap();
-            let out = it
-                .output
-                .iter()
-                .map(|e| print(e, &it.interner))
-                .collect();
+            let out = it.output.iter().map(|e| print(e, &it.interner)).collect();
             (print(&v.to_sexpr(), &it.interner), out)
         }
         let deep = run(crate::env::DeepEnv::new());

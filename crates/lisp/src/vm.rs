@@ -16,6 +16,8 @@
 //! sends reference-count traffic to the LP (§4.3.1, §5.3.3).
 
 use crate::isa::{Inst, Program};
+use small_heap::controller::HeapError;
+use small_heap::Tag;
 use small_sexpr::{SExpr, Symbol};
 use std::collections::VecDeque;
 use std::fmt;
@@ -63,7 +65,62 @@ pub enum VmError {
     /// Instruction budget exhausted.
     StepBudget,
     /// The backend failed (heap/LPT exhaustion etc.).
-    Backend(String),
+    Backend(BackendError),
+}
+
+/// Typed failures crossing the EP–LP (VM–backend) boundary, so call
+/// sites can match on the cause instead of parsing strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The LPT overflowed and no space could be recovered: the machine
+    /// would degrade to overflow mode (§4.3.2.3).
+    TrueOverflow,
+    /// The backing heap failed (exhaustion, bad operand).
+    Heap(HeapError),
+    /// car/cdr applied to a non-list operand.
+    NotAList,
+    /// The backend surfaced a word with a tag the machine cannot
+    /// interpret — memory corruption, never reachable for well-formed
+    /// programs.
+    UnexpectedTag(Tag),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::TrueOverflow => write!(f, "LPT true overflow"),
+            BackendError::Heap(e) => write!(f, "heap: {e}"),
+            BackendError::NotAList => write!(f, "operand is not a list object"),
+            BackendError::UnexpectedTag(t) => write!(f, "unexpected word tag {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for BackendError {
+    fn from(e: HeapError) -> Self {
+        BackendError::Heap(e)
+    }
+}
+
+impl From<BackendError> for VmError {
+    fn from(e: BackendError) -> Self {
+        VmError::Backend(e)
+    }
+}
+
+impl From<HeapError> for VmError {
+    fn from(e: HeapError) -> Self {
+        VmError::Backend(BackendError::Heap(e))
+    }
 }
 
 impl fmt::Display for VmError {
@@ -76,12 +133,19 @@ impl fmt::Display for VmError {
             VmError::StackUnderflow => write!(f, "operand stack underflow"),
             VmError::ReadEof => write!(f, "read: input exhausted"),
             VmError::StepBudget => write!(f, "instruction budget exhausted"),
-            VmError::Backend(s) => write!(f, "backend error: {s}"),
+            VmError::Backend(e) => write!(f, "backend error: {e}"),
         }
     }
 }
 
-impl std::error::Error for VmError {}
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// The list-structure interface the VM drives (the EP→LP request set of
 /// §4.3.2.2: readlist, car, cdr, rplaca, rplacd, cons, plus writelist).
@@ -510,7 +574,8 @@ impl<B: ListBackend> Vm<B> {
         // Truth is any non-nil value; predicates feed Brf/Brt, so the
         // canonical truth constant is Int(1) (the VM has no access to the
         // interner to push the symbol `t`).
-        self.stack.push(if b { VmValue::Int(1) } else { VmValue::Nil });
+        self.stack
+            .push(if b { VmValue::Int(1) } else { VmValue::Nil });
     }
 
     fn two_ints(&mut self) -> Result<(i64, i64), VmError> {
@@ -533,7 +598,7 @@ impl<B: ListBackend> Vm<B> {
 // Direct backend: lists straight on a two-pointer heap
 // ---------------------------------------------------------------------
 
-use small_heap::{Tag, TwoPointerHeap, Word};
+use small_heap::{TwoPointerHeap, Word};
 
 /// The conventional-machine baseline backend: list values live on a
 /// [`TwoPointerHeap`], references are raw heap words.
@@ -587,7 +652,7 @@ impl ListBackend for DirectBackend {
         self.heap
             .alloc(cw, dw)
             .map(Word::ptr)
-            .ok_or_else(|| VmError::Backend("heap exhausted".into()))
+            .ok_or(VmError::Backend(BackendError::Heap(HeapError::Exhausted)))
     }
 
     fn rplaca(&mut self, r: &Word, v: VmValue<Word>) -> Result<(), VmError> {
@@ -604,7 +669,7 @@ impl ListBackend for DirectBackend {
         let w = self
             .heap
             .intern(e)
-            .ok_or_else(|| VmError::Backend("heap exhausted".into()))?;
+            .ok_or(VmError::Backend(BackendError::Heap(HeapError::Exhausted)))?;
         Ok(Self::to_value(w))
     }
 
@@ -614,9 +679,7 @@ impl ListBackend for DirectBackend {
 
     fn equal(&mut self, a: &VmValue<Word>, b: &VmValue<Word>) -> bool {
         match (a, b) {
-            (VmValue::List(x), VmValue::List(y)) => {
-                self.heap.extract(*x) == self.heap.extract(*y)
-            }
+            (VmValue::List(x), VmValue::List(y)) => self.heap.extract(*x) == self.heap.extract(*y),
             // Cross-type numeric/bool truth: predicates push Int(1).
             (VmValue::Int(x), VmValue::Int(y)) => x == y,
             (VmValue::Sym(x), VmValue::Sym(y)) => x == y,
@@ -665,8 +728,7 @@ mod tests {
         (doit)";
         let p = compile_program(src, &mut i).unwrap();
         let mut vm = Vm::new(p, DirectBackend::new(4096));
-        vm.input
-            .push_back(parse("(a b c d)", &mut i).unwrap());
+        vm.input.push_back(parse("(a b c d)", &mut i).unwrap());
         let v = vm.run().unwrap();
         let out = vm.backend.write_out(&v);
         assert_eq!(print(&out, &i), "(c d)");
@@ -782,7 +844,15 @@ mod tests {
         )
         .unwrap();
         let dis = p.disassemble(&i);
-        for needle in ["fact:", "BINDN    x", "PUSHSTK  1", "EQUALP", "FCALL    fact 1", "MULOP", "FRETN"] {
+        for needle in [
+            "fact:",
+            "BINDN    x",
+            "PUSHSTK  1",
+            "EQUALP",
+            "FCALL    fact 1",
+            "MULOP",
+            "FRETN",
+        ] {
             assert!(dis.contains(needle), "missing {needle} in:\n{dis}");
         }
     }

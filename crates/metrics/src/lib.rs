@@ -1,0 +1,734 @@
+#![warn(missing_docs)]
+//! **small-metrics** — the instrumentation layer of the SMALL
+//! reproduction.
+//!
+//! The thesis's entire evaluation is parameter sweeps over the machine's
+//! memory-operation stream; this crate makes that stream a first-class
+//! observable. It has three pieces:
+//!
+//! * **Primitives** — [`Counter`] (a monotonic `u64`) and [`Histogram`]
+//!   (power-of-two buckets, constant-time record, mergeable) for cheap
+//!   occupancy/latency/size distributions;
+//! * **Events** — the [`Event`] enum names every observable the List
+//!   Processor, heap controller, and VM backend emit (hits, misses,
+//!   splits, merges, compression runs, overflow collections,
+//!   lazy-decrement drains, occupancy samples);
+//! * **Sinks** — the [`EventSink`] trait, with [`NoopSink`] (statically
+//!   dispatched no-op: instrumented code monomorphizes to the
+//!   uninstrumented machine code), [`CountingSink`] (per-kind counters),
+//!   [`RecordingSink`] (counters plus histograms, snapshottable to
+//!   deterministic JSON), and [`FnSink`] (stream every event to a
+//!   closure).
+//!
+//! Instrumented components take a `S: EventSink` type parameter
+//! defaulting to [`NoopSink`], so existing call sites pay nothing —
+//! neither at the call site (no code change) nor at run time (the no-op
+//! sink compiles away).
+//!
+//! Snapshots serialize through [`MetricsSnapshot::to_json`], a
+//! hand-rolled, dependency-free writer with a fixed key order, so two
+//! runs that record the same events byte-compare equal — the property
+//! the parallel sweep engine's determinism check relies on.
+
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+/// A monotonic event counter.
+///
+/// A transparent `u64` with increment/add; exists to make counter fields
+/// self-describing and to centralize saturating arithmetic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Fold another counter in (for cross-cell aggregation).
+    pub fn merge(&mut self, other: Counter) {
+        self.add(other.0);
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one per power of two of a
+/// `u64`, plus a zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `k ≥ 1` holds values in
+/// `[2^(k-1), 2^k)`. Recording is a branch-free bit-scan plus an
+/// increment — cheap enough for per-operation occupancy sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`): the smallest power-of-two bound below which at
+    /// least `q` of the samples fall. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if k == 0 { 0 } else { 1u64 << (k - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram in (for cross-cell aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (if k == 0 { 0 } else { 1u64 << (k - 1) }, n))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// One observable step of the machine's memory-operation stream.
+///
+/// Emitted by the List Processor (which is also the single chokepoint
+/// for heap-controller traffic, so `Heap*` events cover the controller
+/// too), the VM backend, and the simulator driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A car/cdr request was satisfied from LPT fields.
+    LptHit,
+    /// A car/cdr request required a heap split to materialize fields.
+    LptMiss,
+    /// A reference-count update performed in the LPT (EP–LP bus traffic).
+    RefOp,
+    /// A reference-count update performed EP-side (split-count mode).
+    EpRefOp,
+    /// An LPT entry was allocated ("Get").
+    EntryAllocated,
+    /// An LPT entry's count reached zero and it was freed.
+    EntryFreed,
+    /// Deferred (lazy) child decrements ran at reallocation time.
+    LazyDrain {
+        /// Number of child references decremented.
+        children: u32,
+    },
+    /// Pseudo overflow: a compression pass ran.
+    PseudoOverflow {
+        /// Entries reclaimed by merging structure back to the heap.
+        reclaimed: u32,
+    },
+    /// True overflow: a cycle-breaking mark/sweep ran.
+    CycleCollection {
+        /// Entries of circular garbage reclaimed.
+        reclaimed: u32,
+    },
+    /// Allocation failed even after compression and cycle breaking; the
+    /// machine degrades to overflow mode.
+    TrueOverflow,
+    /// The heap controller split an object into the LPT.
+    HeapSplit,
+    /// The heap controller merged LPT structure back into an object.
+    HeapMerge,
+    /// The heap controller read an s-expression in.
+    HeapReadIn,
+    /// A heap object was queued for reclamation.
+    HeapFree,
+    /// An occupancy sample at an operation boundary.
+    Occupancy {
+        /// Live LPT entries at the sample point.
+        live: u32,
+    },
+}
+
+impl Event {
+    /// Stable snake_case name of the event kind (payload-independent);
+    /// doubles as the JSON key in snapshots.
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            Event::LptHit => "lpt_hit",
+            Event::LptMiss => "lpt_miss",
+            Event::RefOp => "refop",
+            Event::EpRefOp => "ep_refop",
+            Event::EntryAllocated => "entry_allocated",
+            Event::EntryFreed => "entry_freed",
+            Event::LazyDrain { .. } => "lazy_drain",
+            Event::PseudoOverflow { .. } => "pseudo_overflow",
+            Event::CycleCollection { .. } => "cycle_collection",
+            Event::TrueOverflow => "true_overflow",
+            Event::HeapSplit => "heap_split",
+            Event::HeapMerge => "heap_merge",
+            Event::HeapReadIn => "heap_read_in",
+            Event::HeapFree => "heap_free",
+            Event::Occupancy { .. } => "occupancy",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// A pluggable consumer of [`Event`]s.
+///
+/// Instrumented components are generic over `S: EventSink` with
+/// [`NoopSink`] as the default, so the disabled configuration
+/// monomorphizes to no instrumentation at all.
+pub trait EventSink {
+    /// Consume one event.
+    fn record(&mut self, event: Event);
+}
+
+/// The default sink: discards every event. With this sink the compiler
+/// erases all instrumentation (there is no branch, no store, no call).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Per-kind event counts, the common core of the recording sinks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounts {
+    /// car/cdr requests satisfied by LPT fields.
+    pub lpt_hits: Counter,
+    /// car/cdr requests that required a heap split.
+    pub lpt_misses: Counter,
+    /// LPT-side reference-count updates.
+    pub refops: Counter,
+    /// EP-side reference-count updates (split mode).
+    pub ep_refops: Counter,
+    /// LPT entries allocated.
+    pub entries_allocated: Counter,
+    /// LPT entries freed.
+    pub entries_freed: Counter,
+    /// Lazy-decrement drains performed.
+    pub lazy_drains: Counter,
+    /// Child references decremented by lazy drains.
+    pub lazy_children: Counter,
+    /// Pseudo-overflow compression passes.
+    pub pseudo_overflows: Counter,
+    /// Entries reclaimed by compression.
+    pub compressed: Counter,
+    /// True-overflow cycle collections.
+    pub cycle_collections: Counter,
+    /// Entries reclaimed by cycle breaking.
+    pub cycles_reclaimed: Counter,
+    /// Unrecoverable overflows observed.
+    pub true_overflows: Counter,
+    /// Heap splits.
+    pub heap_splits: Counter,
+    /// Heap merges.
+    pub heap_merges: Counter,
+    /// Heap read-ins.
+    pub heap_read_ins: Counter,
+    /// Heap frees queued.
+    pub heap_frees: Counter,
+    /// Occupancy samples taken.
+    pub occupancy_samples: Counter,
+}
+
+impl EventCounts {
+    fn record(&mut self, event: Event) {
+        match event {
+            Event::LptHit => self.lpt_hits.inc(),
+            Event::LptMiss => self.lpt_misses.inc(),
+            Event::RefOp => self.refops.inc(),
+            Event::EpRefOp => self.ep_refops.inc(),
+            Event::EntryAllocated => self.entries_allocated.inc(),
+            Event::EntryFreed => self.entries_freed.inc(),
+            Event::LazyDrain { children } => {
+                self.lazy_drains.inc();
+                self.lazy_children.add(u64::from(children));
+            }
+            Event::PseudoOverflow { reclaimed } => {
+                self.pseudo_overflows.inc();
+                self.compressed.add(u64::from(reclaimed));
+            }
+            Event::CycleCollection { reclaimed } => {
+                self.cycle_collections.inc();
+                self.cycles_reclaimed.add(u64::from(reclaimed));
+            }
+            Event::TrueOverflow => self.true_overflows.inc(),
+            Event::HeapSplit => self.heap_splits.inc(),
+            Event::HeapMerge => self.heap_merges.inc(),
+            Event::HeapReadIn => self.heap_read_ins.inc(),
+            Event::HeapFree => self.heap_frees.inc(),
+            Event::Occupancy { .. } => self.occupancy_samples.inc(),
+        }
+    }
+
+    /// Fold another set of counts in.
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.lpt_hits.merge(other.lpt_hits);
+        self.lpt_misses.merge(other.lpt_misses);
+        self.refops.merge(other.refops);
+        self.ep_refops.merge(other.ep_refops);
+        self.entries_allocated.merge(other.entries_allocated);
+        self.entries_freed.merge(other.entries_freed);
+        self.lazy_drains.merge(other.lazy_drains);
+        self.lazy_children.merge(other.lazy_children);
+        self.pseudo_overflows.merge(other.pseudo_overflows);
+        self.compressed.merge(other.compressed);
+        self.cycle_collections.merge(other.cycle_collections);
+        self.cycles_reclaimed.merge(other.cycles_reclaimed);
+        self.true_overflows.merge(other.true_overflows);
+        self.heap_splits.merge(other.heap_splits);
+        self.heap_merges.merge(other.heap_merges);
+        self.heap_read_ins.merge(other.heap_read_ins);
+        self.heap_frees.merge(other.heap_frees);
+        self.occupancy_samples.merge(other.occupancy_samples);
+    }
+
+    fn json_fields(&self, out: &mut JsonObject) {
+        out.field_u64("lpt_hits", self.lpt_hits.get());
+        out.field_u64("lpt_misses", self.lpt_misses.get());
+        out.field_u64("refops", self.refops.get());
+        out.field_u64("ep_refops", self.ep_refops.get());
+        out.field_u64("entries_allocated", self.entries_allocated.get());
+        out.field_u64("entries_freed", self.entries_freed.get());
+        out.field_u64("lazy_drains", self.lazy_drains.get());
+        out.field_u64("lazy_children", self.lazy_children.get());
+        out.field_u64("pseudo_overflows", self.pseudo_overflows.get());
+        out.field_u64("compressed", self.compressed.get());
+        out.field_u64("cycle_collections", self.cycle_collections.get());
+        out.field_u64("cycles_reclaimed", self.cycles_reclaimed.get());
+        out.field_u64("true_overflows", self.true_overflows.get());
+        out.field_u64("heap_splits", self.heap_splits.get());
+        out.field_u64("heap_merges", self.heap_merges.get());
+        out.field_u64("heap_read_ins", self.heap_read_ins.get());
+        out.field_u64("heap_frees", self.heap_frees.get());
+        out.field_u64("occupancy_samples", self.occupancy_samples.get());
+    }
+}
+
+/// A sink that counts events by kind and nothing else.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// The per-kind counts.
+    pub counts: EventCounts,
+}
+
+impl EventSink for CountingSink {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.counts.record(event);
+    }
+}
+
+/// A sink that counts events *and* keeps distribution histograms:
+/// occupancy over time, compression-run and cycle-collection reclaim
+/// sizes, and lazy-drain sizes.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RecordingSink {
+    /// The per-kind counts.
+    pub counts: EventCounts,
+    /// Distribution of live-entry occupancy samples.
+    pub occupancy: Histogram,
+    /// Distribution of entries reclaimed per compression pass.
+    pub compress_reclaim: Histogram,
+    /// Distribution of entries reclaimed per cycle collection.
+    pub cycle_reclaim: Histogram,
+    /// Distribution of children decremented per lazy drain.
+    pub drain_size: Histogram,
+}
+
+impl EventSink for RecordingSink {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.counts.record(event);
+        match event {
+            Event::Occupancy { live } => self.occupancy.record(u64::from(live)),
+            Event::PseudoOverflow { reclaimed } => {
+                self.compress_reclaim.record(u64::from(reclaimed))
+            }
+            Event::CycleCollection { reclaimed } => self.cycle_reclaim.record(u64::from(reclaimed)),
+            Event::LazyDrain { children } => self.drain_size.record(u64::from(children)),
+            _ => {}
+        }
+    }
+}
+
+impl RecordingSink {
+    /// Freeze the current state into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counts: self.counts,
+            occupancy: self.occupancy.clone(),
+            compress_reclaim: self.compress_reclaim.clone(),
+            cycle_reclaim: self.cycle_reclaim.clone(),
+            drain_size: self.drain_size.clone(),
+        }
+    }
+}
+
+/// A sink that streams every event to a closure (log lines, channels,
+/// cross-thread aggregation — anything).
+pub struct FnSink<F: FnMut(Event)>(pub F);
+
+impl<F: FnMut(Event)> EventSink for FnSink<F> {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        (self.0)(event);
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots and JSON
+// ---------------------------------------------------------------------
+
+/// A frozen, serializable view of a [`RecordingSink`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-kind event counts.
+    pub counts: EventCounts,
+    /// Occupancy distribution.
+    pub occupancy: Histogram,
+    /// Compression reclaim-size distribution.
+    pub compress_reclaim: Histogram,
+    /// Cycle-collection reclaim-size distribution.
+    pub cycle_reclaim: Histogram,
+    /// Lazy-drain size distribution.
+    pub drain_size: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Fold another snapshot in (cross-cell aggregation).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.counts.merge(&other.counts);
+        self.occupancy.merge(&other.occupancy);
+        self.compress_reclaim.merge(&other.compress_reclaim);
+        self.cycle_reclaim.merge(&other.cycle_reclaim);
+        self.drain_size.merge(&other.drain_size);
+    }
+
+    /// Serialize to JSON with a fixed key order. Two snapshots of the
+    /// same event stream byte-compare equal.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        self.counts.json_fields(&mut o);
+        o.field_raw("occupancy", &histogram_json(&self.occupancy));
+        o.field_raw("compress_reclaim", &histogram_json(&self.compress_reclaim));
+        o.field_raw("cycle_reclaim", &histogram_json(&self.cycle_reclaim));
+        o.field_raw("drain_size", &histogram_json(&self.drain_size));
+        o.finish()
+    }
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    let mut o = JsonObject::new();
+    o.field_u64("count", h.count());
+    o.field_u64("sum", h.sum());
+    o.field_u64("min", h.min());
+    o.field_u64("max", h.max());
+    o.field_u64("p50", h.quantile(0.5));
+    o.field_u64("p99", h.quantile(0.99));
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(lo, n)| format!("[{lo},{n}]"))
+        .collect();
+    o.field_raw("buckets", &format!("[{}]", buckets.join(",")));
+    o.finish()
+}
+
+/// Incremental writer for a JSON object with caller-controlled key
+/// order. Dependency-free and deterministic: field order is insertion
+/// order, numbers are formatted with fixed rules (six decimal places
+/// for floats), strings are escaped per RFC 8259.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        let _ = write!(self.buf, "\"{}\":", escape_json(k));
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field, formatted to six decimal places (stable
+    /// across platforms and runs).
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v:.6}");
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape_json(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a pre-serialized JSON value verbatim (nested objects/arrays).
+    pub fn field_raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 8, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(0.5) <= 8);
+        assert!(h.quantile(1.0) >= 512);
+        let mut other = Histogram::new();
+        other.record(7);
+        h.merge(&other);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn counting_sink_counts_by_kind() {
+        let mut s = CountingSink::default();
+        s.record(Event::LptHit);
+        s.record(Event::LptHit);
+        s.record(Event::LptMiss);
+        s.record(Event::PseudoOverflow { reclaimed: 5 });
+        s.record(Event::LazyDrain { children: 2 });
+        assert_eq!(s.counts.lpt_hits.get(), 2);
+        assert_eq!(s.counts.lpt_misses.get(), 1);
+        assert_eq!(s.counts.pseudo_overflows.get(), 1);
+        assert_eq!(s.counts.compressed.get(), 5);
+        assert_eq!(s.counts.lazy_drains.get(), 1);
+        assert_eq!(s.counts.lazy_children.get(), 2);
+    }
+
+    #[test]
+    fn recording_sink_snapshot_json_is_deterministic() {
+        let run = || {
+            let mut s = RecordingSink::default();
+            for k in 0..50u32 {
+                s.record(Event::Occupancy { live: k % 7 });
+                s.record(Event::RefOp);
+            }
+            s.record(Event::CycleCollection { reclaimed: 3 });
+            s.snapshot().to_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.contains("\"refops\":50"));
+        assert!(a.contains("\"cycle_collections\":1"));
+    }
+
+    #[test]
+    fn fn_sink_streams_events() {
+        let mut seen = Vec::new();
+        {
+            let mut s = FnSink(|e: Event| seen.push(e.kind_name()));
+            s.record(Event::HeapSplit);
+            s.record(Event::TrueOverflow);
+        }
+        assert_eq!(seen, vec!["heap_split", "true_overflow"]);
+    }
+
+    #[test]
+    fn json_object_escapes_and_orders() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "a\"b\\c");
+        o.field_u64("n", 3);
+        o.field_f64("r", 0.5);
+        o.field_bool("ok", true);
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"a\"b\\c","n":3,"r":0.500000,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let mut a = RecordingSink::default();
+        a.record(Event::LptHit);
+        a.record(Event::Occupancy { live: 4 });
+        let mut b = RecordingSink::default();
+        b.record(Event::LptHit);
+        b.record(Event::Occupancy { live: 9 });
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counts.lpt_hits.get(), 2);
+        assert_eq!(snap.occupancy.count(), 2);
+        assert_eq!(snap.occupancy.max(), 9);
+    }
+}

@@ -200,8 +200,8 @@ impl MultiNode {
                     if !node.weights.alive(obj) {
                         // Last reference anywhere: the owner's LPT entry
                         // (created with one EP reference) is released.
-                        node.lp
-                            .stack_release(LpValue::Obj(obj as small_core::Id));
+                        drop(node.lp.adopt_binding(LpValue::Obj(obj as small_core::Id)));
+                        node.lp.drain_unroots();
                     }
                 }
             }

@@ -81,8 +81,8 @@ impl NodeState {
                     for (obj, weight) in updates {
                         self.weights.decrement(obj, weight);
                         if !self.weights.alive(obj) {
-                            self.lp
-                                .stack_release(LpValue::Obj(obj as small_core::Id));
+                            drop(self.lp.adopt_binding(LpValue::Obj(obj as small_core::Id)));
+                            self.lp.drain_unroots();
                         }
                     }
                 }
@@ -260,8 +260,10 @@ mod tests {
                 r
             }));
         }
-        let returned: Vec<RemoteRef> =
-            clients.into_iter().map(|h| h.join().expect("client")).collect();
+        let returned: Vec<RemoteRef> = clients
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect();
 
         // Everyone done: release all references in one combined batch,
         // then the owner must have reclaimed the object.

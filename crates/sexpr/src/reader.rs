@@ -96,7 +96,9 @@ impl<'a> Lexer<'a> {
                 let start = self.pos;
                 while self.pos < self.src.len() {
                     let c = self.src[self.pos];
-                    if c.is_ascii_whitespace() || matches!(c, b'(' | b')' | b'[' | b']' | b'\'' | b';') {
+                    if c.is_ascii_whitespace()
+                        || matches!(c, b'(' | b')' | b'[' | b']' | b'\'' | b';')
+                    {
                         break;
                     }
                     self.pos += 1;
@@ -278,10 +280,19 @@ mod tests {
     #[test]
     fn errors() {
         let mut i = Interner::new();
-        assert!(matches!(parse("(a b", &mut i), Err(ParseError::UnexpectedEof)));
-        assert!(matches!(parse(")", &mut i), Err(ParseError::UnbalancedClose(_))));
+        assert!(matches!(
+            parse("(a b", &mut i),
+            Err(ParseError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            parse(")", &mut i),
+            Err(ParseError::UnbalancedClose(_))
+        ));
         assert!(matches!(parse("(. a)", &mut i), Err(ParseError::BadDot(_))));
-        assert!(matches!(parse("a b", &mut i), Err(ParseError::TrailingInput(_))));
+        assert!(matches!(
+            parse("a b", &mut i),
+            Err(ParseError::TrailingInput(_))
+        ));
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
             // check subsequence property on node numbers
             let mut it = sup.iter();
             for node in &t {
-                let found = it.any(|s| s == node || (s.number() == node.number() && s.is_internal() && node.is_internal()));
+                let found = it.any(|s| {
+                    s == node
+                        || (s.number() == node.number() && s.is_internal() && node.is_internal())
+                });
                 assert!(found, "{order:?} traversal is not a subsequence");
             }
         }

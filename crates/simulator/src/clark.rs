@@ -110,8 +110,16 @@ mod tests {
     fn sample_np_draws_from_trace() {
         let mut rng = StdRng::seed_from_u64(5);
         let uids = vec![
-            small_trace::event::UidInfo { n: 7, p: 2, atom: false },
-            small_trace::event::UidInfo { n: 1, p: 0, atom: true },
+            small_trace::event::UidInfo {
+                n: 7,
+                p: 2,
+                atom: false,
+            },
+            small_trace::event::UidInfo {
+                n: 1,
+                p: 0,
+                atom: true,
+            },
         ];
         for _ in 0..10 {
             assert_eq!(sample_np(&mut rng, &uids), (7, 2));

@@ -17,22 +17,29 @@
 //! The simulated control-cum-binding stack pushes argument and local
 //! slots on every `FnEnter` ("randomly bound to something older on the
 //! stack") and pops them on `FnExit`, generating the reference-count
-//! bursts of §5.3.3.
+//! bursts of §5.3.3. Every slot holds a [`Rooted`] binding handle;
+//! popping a frame drops its handles and the LP performs the releases
+//! at its next operation boundary.
 //!
 //! A parallel LRU data cache (§5.2.5) observes the same car/cdr request
 //! stream through synthesized heap addresses: objects read in get
 //! sequential addresses sized by their n/p, split pieces land at
 //! Clark-distributed offsets from their parent, conses allocate
 //! sequentially.
+//!
+//! [`run_sim_with_sink`] threads a [`small_metrics::EventSink`] through
+//! the LP, so a run can be observed event-by-event (histograms,
+//! counters) at no cost to the uninstrumented [`run_sim`] path.
 
 use crate::cache::LruCache;
 use crate::clark;
 use crate::config::SimParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use small_core::{Id, ListProcessor, LpConfig, LpError, LpValue};
-use small_heap::controller::{ControllerStats, HeapController, TwoPointerController};
 use small_core::LptStats;
+use small_core::{Id, ListProcessor, LpConfig, LpError, LpValue, Rooted};
+use small_heap::controller::{ControllerStats, HeapController, TwoPointerController};
+use small_metrics::{EventSink, NoopSink};
 use small_trace::{Prim, Trace};
 use std::collections::HashMap;
 
@@ -90,18 +97,18 @@ fn rate(h: u64, m: u64) -> f64 {
 }
 
 struct FrameSim {
-    args: Vec<LpValue>,
-    locals: Vec<LpValue>,
+    args: Vec<Rooted>,
+    locals: Vec<Rooted>,
 }
 
-struct Driver<'t> {
+struct Driver<'t, S: EventSink> {
     trace: &'t Trace,
     params: SimParams,
-    lp: ListProcessor<TwoPointerController>,
+    lp: ListProcessor<TwoPointerController, S>,
     rng: StdRng,
     frames: Vec<FrameSim>,
-    globals: Vec<LpValue>,
-    tos: Option<LpValue>,
+    globals: Vec<Rooted>,
+    tos: Option<Rooted>,
     // Cache model.
     cache: Option<LruCache>,
     addrs: HashMap<Id, u64>,
@@ -113,7 +120,19 @@ struct Driver<'t> {
 /// Run the simulator over `trace` with `params`, optionally with a data
 /// cache observing the same access stream.
 pub fn run_sim(trace: &Trace, params: SimParams, cache: Option<CacheConfig>) -> SimResult {
-    let lp = ListProcessor::new(
+    run_sim_with_sink(trace, params, cache, NoopSink).0
+}
+
+/// [`run_sim`] with the LP reporting every event to `sink`; returns the
+/// sink alongside the result. The simulation itself is identical — the
+/// sink only observes.
+pub fn run_sim_with_sink<S: EventSink>(
+    trace: &Trace,
+    params: SimParams,
+    cache: Option<CacheConfig>,
+    sink: S,
+) -> (SimResult, S) {
+    let lp = ListProcessor::with_sink(
         TwoPointerController::new(params.heap_cells, 256),
         LpConfig {
             table_size: params.table_size,
@@ -122,6 +141,7 @@ pub fn run_sim(trace: &Trace, params: SimParams, cache: Option<CacheConfig>) -> 
             refcounts: params.refcounts,
             ..LpConfig::default()
         },
+        sink,
     );
     let mut d = Driver {
         trace,
@@ -138,7 +158,7 @@ pub fn run_sim(trace: &Trace, params: SimParams, cache: Option<CacheConfig>) -> 
         access_misses: 0,
     };
     let (true_overflow, prims_executed) = d.run();
-    SimResult {
+    let result = SimResult {
         name: trace.name.clone(),
         lpt: d.lp.stats(),
         heap: d.lp.controller.stats(),
@@ -148,15 +168,33 @@ pub fn run_sim(trace: &Trace, params: SimParams, cache: Option<CacheConfig>) -> 
         cache_misses: d.cache.as_ref().map_or(0, |c| c.misses),
         true_overflow,
         prims_executed,
+    };
+    // Defuse outstanding handles before the LP is torn down (their
+    // deferred releases would never run anyway; this keeps the teardown
+    // explicit).
+    d.tos.take().map(Rooted::leak);
+    d.globals.drain(..).for_each(|h| {
+        h.leak();
+    });
+    for f in d.frames.drain(..) {
+        f.args.into_iter().chain(f.locals).for_each(|h| {
+            h.leak();
+        });
     }
+    (result, d.lp.into_sink())
 }
 
-impl<'t> Driver<'t> {
+impl<'t, S: EventSink> Driver<'t, S> {
     fn run(&mut self) -> (bool, usize) {
         // Seed the global environment with a few read-in objects.
         for _ in 0..6 {
-            if self.fresh_object().map(|v| self.globals.push(v)).is_err() {
-                return (true, 0);
+            match self.fresh_object() {
+                Ok(v) => {
+                    // The read-in reference becomes the global binding.
+                    let h = self.lp.adopt_binding(v);
+                    self.globals.push(h);
+                }
+                Err(_) => return (true, 0),
             }
         }
         let events: Vec<_> = self.trace.events.to_vec();
@@ -206,37 +244,33 @@ impl<'t> Driver<'t> {
         };
         for _ in 0..nargs {
             let v = self.older_value()?;
-            self.lp.stack_retain(v);
-            frame.args.push(v);
+            frame.args.push(self.lp.root_binding(v));
         }
         for _ in 0..nlocals {
             let v = self.older_value()?;
-            self.lp.stack_retain(v);
-            frame.locals.push(v);
+            frame.locals.push(self.lp.root_binding(v));
         }
         self.frames.push(frame);
         Ok(())
     }
 
     fn fn_exit(&mut self) {
-        if let Some(f) = self.frames.pop() {
-            for v in f.args.into_iter().chain(f.locals) {
-                self.lp.stack_release(v);
-            }
-        }
+        // Dropping the frame drops its binding handles; the LP releases
+        // them at its next operation boundary.
+        self.frames.pop();
     }
 
     /// A value "older on the stack": a random existing slot, or a fresh
     /// object when none exists.
     fn older_value(&mut self) -> Result<LpValue, LpError> {
         let mut pool: Vec<LpValue> = Vec::with_capacity(8);
-        if let Some(v) = self.tos {
-            pool.push(v);
+        if let Some(h) = &self.tos {
+            pool.push(h.value());
         }
         for f in &self.frames {
-            pool.extend(f.args.iter().chain(&f.locals).copied());
+            pool.extend(f.args.iter().chain(&f.locals).map(Rooted::value));
         }
-        pool.extend(self.globals.iter().copied());
+        pool.extend(self.globals.iter().map(Rooted::value));
         if pool.is_empty() {
             return self.fresh_object();
         }
@@ -290,19 +324,20 @@ impl<'t> Driver<'t> {
 
     fn slot_get(&self, c: (usize, usize, usize)) -> LpValue {
         match c.0 {
-            0 => self.frames[c.1].args[c.2],
-            1 => self.frames[c.1].locals[c.2],
-            _ => self.globals[c.2],
+            0 => self.frames[c.1].args[c.2].value(),
+            1 => self.frames[c.1].locals[c.2].value(),
+            _ => self.globals[c.2].value(),
         }
     }
 
-    fn slot_set(&mut self, c: (usize, usize, usize), v: LpValue) {
-        let old = match c.0 {
-            0 => std::mem::replace(&mut self.frames[c.1].args[c.2], v),
-            1 => std::mem::replace(&mut self.frames[c.1].locals[c.2], v),
-            _ => std::mem::replace(&mut self.globals[c.2], v),
-        };
-        self.lp.stack_release(old);
+    /// Install a binding handle in a slot; the displaced handle's
+    /// reference is released at the next LP operation boundary.
+    fn slot_set(&mut self, c: (usize, usize, usize), h: Rooted) {
+        match c.0 {
+            0 => self.frames[c.1].args[c.2] = h,
+            1 => self.frames[c.1].locals[c.2] = h,
+            _ => self.globals[c.2] = h,
+        }
     }
 
     /// Pick an operand per §5.2.1. When `need_list` is set the operand
@@ -310,7 +345,8 @@ impl<'t> Driver<'t> {
     /// slot is treated as freshly re-read.
     fn operand(&mut self, chained: bool, need_list: bool) -> Result<LpValue, LpError> {
         if chained {
-            if let Some(v) = self.tos {
+            if let Some(h) = &self.tos {
+                let v = h.value();
                 if !need_list || matches!(v, LpValue::Obj(_)) {
                     return Ok(v);
                 }
@@ -322,7 +358,8 @@ impl<'t> Driver<'t> {
         // Ensure a global exists for the non-local fallback.
         if self.globals.is_empty() {
             let v = self.fresh_object()?;
-            self.globals.push(v);
+            let h = self.lp.adopt_binding(v);
+            self.globals.push(h);
         }
         let slot = self.select_slot();
         let mut v = self.slot_get(slot);
@@ -331,7 +368,8 @@ impl<'t> Driver<'t> {
         if reread {
             let fresh = self.fresh_object()?;
             // `fresh` carries one stack reference; the slot adopts it.
-            self.slot_set(slot, fresh);
+            let h = self.lp.adopt_binding(fresh);
+            self.slot_set(slot, h);
             v = fresh;
         }
         Ok(v)
@@ -339,25 +377,24 @@ impl<'t> Driver<'t> {
 
     // -- result placement -------------------------------------------------
 
-    fn set_tos(&mut self, v: LpValue) {
-        // `v` must arrive carrying one stack reference, which the TOS
-        // register adopts.
-        if let Some(old) = self.tos.replace(v) {
-            self.lp.stack_release(old);
-        }
+    fn set_tos(&mut self, h: Rooted) {
+        // The displaced TOS handle drops; its reference is released at
+        // the next operation boundary.
+        self.tos = Some(h);
     }
 
     fn maybe_bind(&mut self, v: LpValue) {
-        if self.rng.gen_bool(self.params.bind_prob) && !(self.frames.is_empty() && self.globals.is_empty())
+        if self.rng.gen_bool(self.params.bind_prob)
+            && !(self.frames.is_empty() && self.globals.is_empty())
         {
             if self.globals.is_empty() {
-                self.globals.push(v);
-                self.lp.stack_retain(v);
+                let h = self.lp.root_binding(v);
+                self.globals.push(h);
                 return;
             }
             let slot = self.select_slot();
-            self.lp.stack_retain(v);
-            self.slot_set(slot, v);
+            let h = self.lp.root_binding(v);
+            self.slot_set(slot, h);
         }
     }
 
@@ -405,10 +442,10 @@ impl<'t> Driver<'t> {
             Prim::Car | Prim::Cdr => {
                 let arg = self.operand(chained(0), true)?;
                 let id = arg.obj().expect("operand(need_list)");
-                // Guard the operand: selecting/re-reading other slots or
+                // Root the operand: selecting/re-reading other slots or
                 // replacing TOS must not free it while in use. (A
                 // register reference — no bus traffic.)
-                self.lp.guard(arg);
+                let guard = self.lp.root(arg);
                 self.cache_access(id);
                 let before = self.lp.stats().misses;
                 let v = if prim == Prim::Car {
@@ -423,17 +460,18 @@ impl<'t> Driver<'t> {
                     self.access_hits += 1;
                 }
                 // Atoms carry no reference; objects arrive retained.
-                self.set_tos(v);
+                let h = self.lp.adopt_binding(v);
+                self.set_tos(h);
                 self.maybe_bind(v);
-                self.lp.unguard(arg);
+                drop(guard);
             }
             Prim::Cons => {
                 let a = self.operand(chained(0), false)?;
-                self.lp.guard(a);
+                let guard_a = self.lp.root(a);
                 // The second selection can re-read the slot holding `a`;
-                // the guard reference keeps `a` alive.
+                // the root reference keeps `a` alive.
                 let b = self.operand(chained(1), false)?;
-                self.lp.guard(b);
+                let guard_b = self.lp.root(b);
                 let v = self.lp.cons(a, b)?;
                 if let LpValue::Obj(id) = v {
                     // A conventional machine would allocate one cell.
@@ -441,17 +479,18 @@ impl<'t> Driver<'t> {
                     self.next_addr += 1;
                     self.addrs.insert(id, addr);
                 }
-                self.set_tos(v);
+                let h = self.lp.adopt_binding(v);
+                self.set_tos(h);
                 self.maybe_bind(v);
-                self.lp.unguard(a);
-                self.lp.unguard(b);
+                drop(guard_a);
+                drop(guard_b);
             }
             Prim::Rplaca | Prim::Rplacd => {
                 let target = self.operand(chained(0), true)?;
                 let id = target.obj().expect("operand(need_list)");
-                self.lp.guard(target);
+                let guard_t = self.lp.root(target);
                 let v = self.operand(chained(1), false)?;
-                self.lp.guard(v);
+                let guard_v = self.lp.root(v);
                 let before = self.lp.stats().misses;
                 if prim == Prim::Rplaca {
                     self.lp.rplaca(id, v)?;
@@ -463,35 +502,38 @@ impl<'t> Driver<'t> {
                 }
                 // The result is the modified list; TOS takes a fresh
                 // stack reference to it.
-                self.lp.stack_retain(target);
-                self.set_tos(target);
-                self.lp.unguard(target);
-                self.lp.unguard(v);
+                let h = self.lp.root_binding(target);
+                self.set_tos(h);
+                drop(guard_t);
+                drop(guard_v);
             }
             Prim::Read => {
                 let v = self.fresh_object()?;
-                // `read` binds its result to a variable (Figure 4.15).
-                self.lp.stack_retain(v);
-                self.maybe_bind_forced(v);
-                self.set_tos(v);
+                // `read` binds its result to a variable (Figure 4.15),
+                // and its value lands on TOS.
+                let bind = self.lp.root_binding(v);
+                self.maybe_bind_forced(bind);
+                let h = self.lp.adopt_binding(v);
+                self.set_tos(h);
             }
         }
         Ok(())
     }
 
-    fn maybe_bind_forced(&mut self, v: LpValue) {
+    fn maybe_bind_forced(&mut self, h: Rooted) {
         if self.globals.is_empty() {
-            self.globals.push(v);
+            self.globals.push(h);
             return;
         }
         let slot = self.select_slot();
-        self.slot_set(slot, v);
+        self.slot_set(slot, h);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use small_metrics::CountingSink;
     use small_workloads::synthetic;
 
     fn small_trace() -> Trace {
@@ -523,6 +565,23 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_matches_uninstrumented() {
+        // The sink only observes: stats with and without instrumentation
+        // are identical, and the event counts mirror the LPT counters.
+        let t = small_trace();
+        let plain = run_sim(&t, SimParams::default(), None);
+        let (r, sink) = run_sim_with_sink(&t, SimParams::default(), None, CountingSink::default());
+        assert_eq!(plain.lpt.refops, r.lpt.refops);
+        assert_eq!(plain.lpt.gets, r.lpt.gets);
+        assert_eq!(plain.lpt.frees, r.lpt.frees);
+        assert_eq!(plain.access_misses, r.access_misses);
+        assert_eq!(sink.counts.refops.get(), r.lpt.refops);
+        assert_eq!(sink.counts.entries_allocated.get(), r.lpt.gets);
+        assert_eq!(sink.counts.entries_freed.get(), r.lpt.frees);
+        assert_eq!(sink.counts.lpt_misses.get(), r.lpt.misses);
+    }
+
+    #[test]
     fn cache_observes_same_stream() {
         let t = small_trace();
         let r = run_sim(
@@ -541,7 +600,7 @@ mod tests {
     }
 
     #[test]
-    fn lpt_beats_unit_line_cache_at_equal_entries(){
+    fn lpt_beats_unit_line_cache_at_equal_entries() {
         // The Table 5.4 direction on a longer synthetic trace.
         let mut p = synthetic::table_5_1("slang");
         p.primitives = 2304;

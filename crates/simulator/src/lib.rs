@@ -14,7 +14,8 @@
 //! * [`cache`] — the LRU data-cache comparator (Tables 5.4, Figs 5.4–5.5),
 //! * [`clark`] — synthetic pointer-distance / size distributions,
 //! * [`sweep`] — table-size sweeps, knee finding, seed spreads
-//!   (Figures 5.1–5.3), and the Table 5.2/5.3/5.5 batteries.
+//!   (Figures 5.1–5.3), the Table 5.2/5.3/5.5 batteries, and the
+//!   multi-threaded instrumented sweep engine ([`sweep::run_sweep`]).
 
 pub mod cache;
 pub mod clark;
@@ -24,4 +25,5 @@ pub mod sweep;
 
 pub use cache::LruCache;
 pub use config::SimParams;
-pub use driver::{run_sim, SimResult};
+pub use driver::{run_sim, run_sim_with_sink, SimResult};
+pub use sweep::{run_sweep, CellReport, SweepGrid, SweepReport};

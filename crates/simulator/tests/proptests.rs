@@ -11,7 +11,10 @@ use small_workloads::synthetic::{generate, table_5_1};
 fn arb_params() -> impl Strategy<Value = SimParams> {
     (
         32usize..512,
-        prop::sample::select(vec![CompressPolicy::CompressOne, CompressPolicy::CompressAll]),
+        prop::sample::select(vec![
+            CompressPolicy::CompressOne,
+            CompressPolicy::CompressAll,
+        ]),
         prop::sample::select(vec![DecrementPolicy::Lazy, DecrementPolicy::Recursive]),
         prop::sample::select(vec![RefcountMode::Unified, RefcountMode::Split]),
         0.3f64..0.9,

@@ -109,9 +109,7 @@ pub fn load<R: BufRead>(r: R) -> Result<Trace, LoadError> {
                 trace.name = parts.collect::<Vec<_>>().join(" ");
             }
             Some("N") => {
-                trace
-                    .fn_names
-                    .push(parts.collect::<Vec<_>>().join(" "));
+                trace.fn_names.push(parts.collect::<Vec<_>>().join(" "));
             }
             Some("U") => {
                 let n = parse_num(parts.next(), lineno)?;
@@ -229,9 +227,21 @@ mod tests {
                 Event::FnExit,
             ],
             uids: vec![
-                UidInfo { n: 3, p: 0, atom: false },
-                UidInfo { n: 1, p: 0, atom: true },
-                UidInfo { n: 4, p: 1, atom: false },
+                UidInfo {
+                    n: 3,
+                    p: 0,
+                    atom: false,
+                },
+                UidInfo {
+                    n: 1,
+                    p: 0,
+                    atom: true,
+                },
+                UidInfo {
+                    n: 4,
+                    p: 1,
+                    atom: false,
+                },
             ],
             fn_names: vec!["doit".into()],
         }

@@ -100,8 +100,7 @@ impl Recorder {
 
 impl EvalHook for Recorder {
     fn primitive(&mut self, name: Symbol, args: &[Value], result: &Value) {
-        let Some((_, prim)) = self.prim_syms.iter().find(|(s, _)| *s == name).copied()
-        else {
+        let Some((_, prim)) = self.prim_syms.iter().find(|(s, _)| *s == name).copied() else {
             return; // untraced primitive
         };
         let prev = self.prev_result.take();
@@ -169,7 +168,8 @@ mod tests {
         let mut it = Interp::new(interner, DeepEnv::new(), rec);
         it.run_program(PRELUDE).unwrap();
         it.run_program(src).unwrap();
-        let mut trace = std::mem::replace(&mut it.hook, Recorder::new("x", &mut it.interner)).finish();
+        let mut trace =
+            std::mem::replace(&mut it.hook, Recorder::new("x", &mut it.interner)).finish();
         resolve_fn_names(&mut trace, &it.interner);
         trace
     }

@@ -84,9 +84,21 @@ mod tests {
                 },
             ],
             uids: vec![
-                crate::event::UidInfo { n: 1, p: 0, atom: false },
-                crate::event::UidInfo { n: 1, p: 0, atom: false },
-                crate::event::UidInfo { n: 2, p: 0, atom: false },
+                crate::event::UidInfo {
+                    n: 1,
+                    p: 0,
+                    atom: false,
+                },
+                crate::event::UidInfo {
+                    n: 1,
+                    p: 0,
+                    atom: false,
+                },
+                crate::event::UidInfo {
+                    n: 2,
+                    p: 0,
+                    atom: false,
+                },
             ],
             fn_names: vec![],
         };

@@ -5,13 +5,13 @@ use small_trace::event::{Event, ListRef, Prim, Trace, UidInfo};
 use small_trace::io;
 
 fn arb_ref(max_uid: u32) -> impl Strategy<Value = ListRef> {
-    (0..max_uid, prop::option::of(0u64..1000), any::<bool>()).prop_map(
-        |(uid, exact, chained)| ListRef {
+    (0..max_uid, prop::option::of(0u64..1000), any::<bool>()).prop_map(|(uid, exact, chained)| {
+        ListRef {
             uid,
             exact,
             chained,
-        },
-    )
+        }
+    })
 }
 
 fn arb_event(max_uid: u32) -> impl Strategy<Value = Event> {
@@ -33,8 +33,7 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         "[a-z]{1,12}",
         prop::collection::vec(arb_event(max_uid), 0..60),
         prop::collection::vec(
-            (0u32..200, 0u32..40, any::<bool>())
-                .prop_map(|(n, p, atom)| UidInfo { n, p, atom }),
+            (0u32..200, 0u32..40, any::<bool>()).prop_map(|(n, p, atom)| UidInfo { n, p, atom }),
             max_uid as usize,
         ),
     )

@@ -74,11 +74,10 @@ fn document(scale: u32) -> String {
             format!("(setq v{salt} (add v{salt} {salt}))")
         } else {
             format!(
-                "(cond ((null x{salt}) {}) ((greaterp v{salt} {salt}) {}) (t (progn {} {})))",
+                "(cond ((null x{salt}) {}) ((greaterp v{salt} {salt}) {}) (t (progn {} (write v{salt}))))",
                 clause(d - 1, salt * 2 + 1),
                 clause(d - 1, salt * 2 + 2),
                 clause(d - 1, salt * 3 + 1),
-                format!("(write v{salt})"),
             )
         }
     }
@@ -93,7 +92,7 @@ fn document(scale: u32) -> String {
 fn script(scale: u32) -> String {
     let mut ops = String::from("(");
     for k in 0..4 * scale.max(1) {
-        ops.push_str(&format!("(1 v{k} w{k}) ", ));
+        ops.push_str(&format!("(1 v{k} w{k}) ",));
         ops.push_str("(2 setq) ");
         ops.push_str("(3 (1 1 0)) (4) ");
     }

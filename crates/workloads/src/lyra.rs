@@ -93,7 +93,9 @@ fn rects(scale: u32) -> String {
     let mut h = 0x9e37u64;
     for r in 0..rows {
         for c in 0..cols {
-            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h = h
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let layer = (h >> 32) % 3 + 1;
             let w = 1 + ((h >> 40) % 5) as i64; // widths 1..5; rule ≥2 ⇒ some violate
             let hgt = 2 + ((h >> 45) % 4) as i64;

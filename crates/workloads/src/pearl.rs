@@ -117,6 +117,9 @@ mod tests {
         // After updating k1's age, a subsequent lookup sees the new
         // value... the script interleaves; just verify some lookup
         // returned a non-nil value.
-        assert!(r.outputs.iter().any(|o| !o.is_empty() || o.as_int().is_some()));
+        assert!(r
+            .outputs
+            .iter()
+            .any(|o| !o.is_empty() || o.as_int().is_some()));
     }
 }

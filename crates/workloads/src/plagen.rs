@@ -142,7 +142,10 @@ mod tests {
         // across reps and the matrix must stay smaller than the table.
         let r = run(2);
         let rows = r.outputs.len() - 1;
-        assert!(rows < 2 * 4 * 14, "duplicate AND rows must merge, got {rows}");
+        assert!(
+            rows < 2 * 4 * 14,
+            "duplicate AND rows must merge, got {rows}"
+        );
     }
 
     #[test]

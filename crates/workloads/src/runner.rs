@@ -26,7 +26,12 @@ pub struct WorkloadRun {
 /// # Panics
 /// Panics if the workload program itself errors — workload sources are
 /// fixed assets of this crate and must run.
-pub fn run_workload(name: &str, source: &str, inputs: Vec<SExpr>, interner: Interner) -> WorkloadRun {
+pub fn run_workload(
+    name: &str,
+    source: &str,
+    inputs: Vec<SExpr>,
+    interner: Interner,
+) -> WorkloadRun {
     let name = name.to_owned();
     let source = source.to_owned();
     let builder = std::thread::Builder::new()

@@ -142,7 +142,11 @@ pub fn run(scale: u32) -> WorkloadRun {
 
 /// The decoder outputs expected for input digit `v`: one-hot.
 pub fn expected_output(v: u32) -> SExpr {
-    SExpr::list((0..10).map(|d| SExpr::int(i64::from(d == v))).collect::<Vec<_>>())
+    SExpr::list(
+        (0..10)
+            .map(|d| SExpr::int(i64::from(d == v)))
+            .collect::<Vec<_>>(),
+    )
 }
 
 #[cfg(test)]

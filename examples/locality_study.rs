@@ -48,23 +48,19 @@ fn main() {
     println!("list sets          : {}", p.sets.len());
     println!("list references    : {}", p.total_refs);
     for q in [0.5, 0.8, 0.95] {
-        println!(
-            "sets covering {:>3.0}% : {}",
-            q * 100.0,
-            p.sets_to_cover(q)
-        );
+        println!("sets covering {:>3.0}% : {}", q * 100.0, p.sets_to_cover(q));
     }
     let mut sizes: Vec<usize> = p.sets.iter().map(|s| s.size).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!(
-        "largest sets       : {:?}",
-        &sizes[..sizes.len().min(5)]
-    );
+    println!("largest sets       : {:?}", &sizes[..sizes.len().min(5)]);
 
     let lru = StackDistances::of(p.ref_set_ids.iter().copied());
     println!("\n=== temporal locality over list sets (Figure 3.7) ===");
     for d in [1usize, 2, 4, 8] {
-        println!("LRU depth {d}: {:.1}% of references", lru.hit_rate(d) * 100.0);
+        println!(
+            "LRU depth {d}: {:.1}% of references",
+            lru.hit_rate(d) * 100.0
+        );
     }
 
     let chains = ChainStats::of(trace);

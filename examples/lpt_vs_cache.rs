@@ -16,14 +16,20 @@ fn main() {
     // The SLANG trace at its Table 5.1 scale (2304 primitives).
     let trace = synthetic::generate(&synthetic::table_5_1("slang"));
     let knee = sweep::knee(&trace, SimParams::default());
-    println!("SLANG trace: {} primitives; LPT knee = {knee} entries", 2304);
+    println!(
+        "SLANG trace: {} primitives; LPT knee = {knee} entries",
+        2304
+    );
 
     let sizes: Vec<usize> = match size_arg {
         Some(s) => vec![s],
         None => vec![knee / 2, knee * 3 / 4, knee, knee * 2],
     };
 
-    println!("\n{:>6}  {:>9} {:>8}   {:>11} {:>8}", "size", "LPTmisses", "LPT%", "cachemisses", "cache%");
+    println!(
+        "\n{:>6}  {:>9} {:>8}   {:>11} {:>8}",
+        "size", "LPTmisses", "LPT%", "cachemisses", "cache%"
+    );
     for size in sizes {
         let r = run_sim(
             &trace,
@@ -40,7 +46,11 @@ fn main() {
             r.lpt_hit_rate() * 100.0,
             r.cache_misses,
             r.cache_hit_rate() * 100.0,
-            if r.true_overflow { "  (true overflow)" } else { "" },
+            if r.true_overflow {
+                "  (true overflow)"
+            } else {
+                ""
+            },
         );
     }
 

@@ -85,7 +85,5 @@ fn main() {
     let sequential = [fib(33), fib(32), fib(31)];
     let t_seq = t0.elapsed();
     assert_eq!(parallel, sequential.to_vec());
-    println!(
-        "results {parallel:?}; parallel {t_par:?} vs sequential {t_seq:?}"
-    );
+    println!("results {parallel:?}; parallel {t_par:?} vs sequential {t_seq:?}");
 }

@@ -11,9 +11,9 @@
 
 use small_repro::lisp::compiler::compile_program;
 use small_repro::lisp::vm::{DirectBackend, ListBackend, Vm};
+use small_repro::sexpr::{parse, print, Interner};
 use small_repro::small::machine::SmallBackend;
 use small_repro::small::LpConfig;
-use small_repro::sexpr::{parse, print, Interner};
 
 const PROGRAM: &str = "
 (def fact (lambda (x)
@@ -60,10 +60,7 @@ fn main() {
     println!("=== results ===");
     println!("direct heap : {}", print(&out1, &interner));
     println!("SMALL LP/LPT: {}", print(&out2, &interner));
-    println!(
-        "written     : {}",
-        print(&small.output[0], &interner)
-    );
+    println!("written     : {}", print(&small.output[0], &interner));
     assert_eq!(out1, out2, "both machines agree");
 
     let stats = small.backend.lp.stats();
@@ -78,7 +75,5 @@ fn main() {
         "LPT hit rate             : {:.1}%",
         stats.hit_rate() * 100.0
     );
-    println!(
-        "\ncons never touches the heap: transient cells lived and died in the table."
-    );
+    println!("\ncons never touches the heap: transient cells lived and died in the table.");
 }

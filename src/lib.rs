@@ -8,6 +8,7 @@ pub use small_analysis as analysis;
 pub use small_core as small;
 pub use small_heap as heap;
 pub use small_lisp as lisp;
+pub use small_metrics as metrics;
 pub use small_multilisp as multilisp;
 pub use small_sexpr as sexpr;
 pub use small_simulator as simulator;

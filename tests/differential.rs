@@ -43,11 +43,10 @@ fn gen_expr(ty: Ty, depth: u32) -> BoxedStrategy<String> {
             Ty::Int => (-20i64..20).prop_map(|i| i.to_string()).boxed(),
             Ty::List => prop_oneof![
                 Just("nil".to_string()),
-                prop::collection::vec(-9i64..9, 0..4)
-                    .prop_map(|xs| format!(
-                        "'({})",
-                        xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
-                    )),
+                prop::collection::vec(-9i64..9, 0..4).prop_map(|xs| format!(
+                    "'({})",
+                    xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
+                )),
             ]
             .boxed(),
         };
@@ -64,7 +63,11 @@ fn gen_expr(ty: Ty, depth: u32) -> BoxedStrategy<String> {
                 .prop_map(|(a, b)| format!("(times {a} {b})")),
             gen_expr(Ty::List, d).prop_map(|l| format!("(length {l})")),
             // cond with a list-typed test and int-typed arms.
-            (gen_expr(Ty::List, d), gen_expr(Ty::Int, d), gen_expr(Ty::Int, d))
+            (
+                gen_expr(Ty::List, d),
+                gen_expr(Ty::Int, d),
+                gen_expr(Ty::Int, d)
+            )
                 .prop_map(|(t, a, b)| format!("(cond ((null {t}) {a}) (t {b}))")),
         ]
         .boxed(),
@@ -80,7 +83,11 @@ fn gen_expr(ty: Ty, depth: u32) -> BoxedStrategy<String> {
             (gen_expr(Ty::List, d), gen_expr(Ty::List, d))
                 .prop_map(|(a, b)| format!("(append {a} {b})")),
             gen_expr(Ty::List, d).prop_map(|l| format!("(reverse {l})")),
-            (gen_expr(Ty::List, d), gen_expr(Ty::List, d), gen_expr(Ty::List, d))
+            (
+                gen_expr(Ty::List, d),
+                gen_expr(Ty::List, d),
+                gen_expr(Ty::List, d)
+            )
                 .prop_map(|(t, a, b)| format!("(cond ((null {t}) {a}) (t {b}))")),
         ]
         .boxed(),

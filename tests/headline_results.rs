@@ -16,7 +16,11 @@ fn fig5_1_shape_slang() {
         "slang knee {knee} left its historical band"
     );
     let below = run_sim(&t, SimParams::default().with_table(knee * 3 / 4), None);
-    assert_eq!(below.lpt.max_occupancy, knee * 3 / 4, "table fills below knee");
+    assert_eq!(
+        below.lpt.max_occupancy,
+        knee * 3 / 4,
+        "table fills below knee"
+    );
     assert!(below.lpt.pseudo_overflows > 0);
     let above = run_sim(&t, SimParams::default().with_table(knee * 2), None);
     assert_eq!(above.lpt.max_occupancy, knee, "flat above the knee");

@@ -31,11 +31,7 @@ fn run_compiled<B: ListBackend>(
         vm.backend.release(r);
     }
     vm.shutdown();
-    let outputs = vm
-        .output
-        .iter()
-        .map(|e| print(e, interner))
-        .collect();
+    let outputs = vm.output.iter().map(|e| print(e, interner)).collect();
     (outputs, vm.backend)
 }
 
@@ -125,8 +121,11 @@ fn slang_on_small_under_table_pressure() {
         let mut i = Interner::new();
         let inputs = workloads::slang::inputs(1, &mut i);
         let program = compile_program(
-            &format!("{PRELUDE}
-{}", workloads::slang::source()),
+            &format!(
+                "{PRELUDE}
+{}",
+                workloads::slang::source()
+            ),
             &mut i,
         )
         .unwrap();
@@ -146,8 +145,7 @@ fn slang_on_small_under_table_pressure() {
         vm.set_budget(500_000_000);
         match vm.run() {
             Ok(_) => {
-                let out: Vec<String> =
-                    vm.output.iter().map(|e| print(e, &i)).collect();
+                let out: Vec<String> = vm.output.iter().map(|e| print(e, &i)).collect();
                 eprintln!(
                     "size {size}: ok, pseudo={} peak={}",
                     vm.backend.lp.stats().pseudo_overflows,
@@ -166,7 +164,10 @@ fn slang_on_small_under_table_pressure() {
         }
     }
     let (size, out, stats) = squeezed.expect("some candidate size completes");
-    assert_eq!(out, out_big_table, "pressure at size {size} changed results");
+    assert_eq!(
+        out, out_big_table,
+        "pressure at size {size} changed results"
+    );
     assert!(
         stats.pseudo_overflows > 0 || size >= 1024,
         "the squeezed run should have compressed"
