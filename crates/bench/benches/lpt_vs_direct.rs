@@ -9,6 +9,7 @@ use small_heap::controller::TwoPointerController;
 use small_lisp::compiler::compile_program;
 use small_lisp::vm::{DirectBackend, Vm};
 use small_metrics::{CountingSink, EventSink, NoopSink};
+use small_profile::SpanSink;
 use small_sexpr::Interner;
 use std::hint::black_box;
 
@@ -84,9 +85,12 @@ fn bench_lp_primitives(c: &mut Criterion) {
 }
 
 /// Instrumentation overhead: the same cons/car/release loop on an LP
-/// with the default [`NoopSink`] (events monomorphize to nothing) vs a
-/// [`CountingSink`]. The Noop case must be indistinguishable from the
-/// pre-instrumentation baseline.
+/// with the default [`NoopSink`] (events monomorphize to nothing), a
+/// [`CountingSink`], and the profiler's [`SpanSink`] in both states.
+/// The Noop case must be indistinguishable from the
+/// pre-instrumentation baseline, and `SpanSink::<false>` (disabled)
+/// must be within noise of Noop — its `if !ACTIVE` guards are resolved
+/// at monomorphization, so the instrumented call sites compile away.
 fn bench_metrics_overhead(c: &mut Criterion) {
     fn workload<S: EventSink>(lp: &mut ListProcessor<TwoPointerController, S>) -> usize {
         let mut last = 0;
@@ -119,6 +123,22 @@ fn bench_metrics_overhead(c: &mut Criterion) {
             TwoPointerController::new(1 << 16, 64),
             LpConfig::default(),
             CountingSink::default(),
+        );
+        b.iter(|| black_box(workload(&mut lp)))
+    });
+    group.bench_function("span_sink_disabled", |b| {
+        let mut lp = ListProcessor::with_sink(
+            TwoPointerController::new(1 << 16, 64),
+            LpConfig::default(),
+            SpanSink::<false>::disabled(),
+        );
+        b.iter(|| black_box(workload(&mut lp)))
+    });
+    group.bench_function("span_sink_active", |b| {
+        let mut lp = ListProcessor::with_sink(
+            TwoPointerController::new(1 << 16, 64),
+            LpConfig::default(),
+            SpanSink::new("bench").summary_only(),
         );
         b.iter(|| black_box(workload(&mut lp)))
     });

@@ -1,0 +1,65 @@
+//! The perf-trajectory runner: executes the pinned workload grid and
+//! writes `BENCH_small.json` at the repository root.
+//!
+//! ```text
+//! cargo run -p small-bench --bin regress --release            # deterministic payload
+//! cargo run -p small-bench --bin regress --release -- --wall  # + wall-time medians
+//! cargo run -p small-bench --bin regress --release -- --out path.json
+//! ```
+//!
+//! Without `--wall` the payload contains only virtual-cycle totals and
+//! event counts and is byte-identical across consecutive runs (the CI
+//! determinism gate depends on this).
+
+use small_bench::regress;
+
+fn main() {
+    let mut wall = false;
+    let mut out = String::from("BENCH_small.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--wall" => wall = true,
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: regress [--wall] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = regress::run(wall);
+    for r in &results {
+        println!(
+            "{:<14} ops {:>6}  cycles {:>8}  stalls {:>6}  overlap {:>6}  hit {:>5.1}%{}",
+            r.point.workload,
+            r.ops,
+            r.total_cycles,
+            r.stall_cycles,
+            r.overlap_cycles,
+            r.lpt_hit_rate * 100.0,
+            r.wall_us
+                .map(|us| format!("  wall {us}us"))
+                .unwrap_or_default(),
+        );
+    }
+    let json = regress::to_json(&results);
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!(
+            "wrote {out} ({} bytes, schema {})",
+            json.len(),
+            regress::SCHEMA
+        ),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The perf-trajectory harness: a pinned workload grid whose results are
+//! appended to the repository's bench trajectory, one point per PR.
+//!
+//! [`run`] executes a fixed grid of simulator workloads (trace sizes ×
+//! LPT sizes, fixed seed) under a summary-only
+//! [`SpanSink`](small_profile::SpanSink) and produces the
+//! schema-versioned report written to `BENCH_small.json` at the repo
+//! root. The default payload contains **only virtual-cycle totals and
+//! event counts** — fully deterministic, byte-identical across runs and
+//! machines — so CI can diff it. Wall-time medians are opt-in
+//! (`--wall`): they are measured as the median of [`WALL_REPS`]
+//! repetitions and rounded to microseconds, and the field stays `null`
+//! when not requested so the deterministic shape never changes.
+
+use small_metrics::JsonObject;
+use small_profile::SpanSink;
+use small_simulator::driver::run_sim_with_sink;
+use small_simulator::SimParams;
+use small_trace::Trace;
+use small_workloads::synthetic;
+use std::time::Instant;
+
+/// Schema identifier; bump on any key change so trajectory consumers
+/// can dispatch.
+pub const SCHEMA: &str = "small-bench-trajectory/1";
+
+/// Repetitions behind each wall-time median.
+pub const WALL_REPS: usize = 5;
+
+/// One point of the pinned grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPoint {
+    /// Workload label (stable across PRs; part of the schema).
+    pub workload: &'static str,
+    /// Primitive events in the synthetic trace.
+    pub primitives: usize,
+    /// LPT size the cell runs with.
+    pub table_size: usize,
+}
+
+/// The pinned grid. Do not reorder or rename entries — the trajectory
+/// is only comparable across PRs if the grid is stable. Append new
+/// points at the end and bump [`SCHEMA`] when doing so.
+pub const GRID: [GridPoint; 4] = [
+    GridPoint {
+        workload: "slang-2k-t512",
+        primitives: 2000,
+        table_size: 512,
+    },
+    GridPoint {
+        workload: "slang-2k-t48",
+        primitives: 2000,
+        table_size: 48,
+    },
+    GridPoint {
+        workload: "slang-8k-t512",
+        primitives: 8000,
+        table_size: 512,
+    },
+    GridPoint {
+        workload: "plagen-4k-t512",
+        primitives: 4000,
+        table_size: 512,
+    },
+];
+
+/// The measured result for one grid point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The grid point.
+    pub point: GridPoint,
+    /// Virtual cycles elapsed (run_stream-exact).
+    pub total_cycles: u64,
+    /// Virtual cycles the EP spent idle.
+    pub ep_idle_cycles: u64,
+    /// §4.3.2.5 chaining-stall cycles.
+    pub stall_cycles: u64,
+    /// LP tail cycles overlapped with EP execution.
+    pub overlap_cycles: u64,
+    /// Operations executed.
+    pub ops: u64,
+    /// LPT hit rate over car/cdr requests.
+    pub lpt_hit_rate: f64,
+    /// Reference-count operations (bus traffic).
+    pub refops: u64,
+    /// Median wall time in microseconds, when measured.
+    pub wall_us: Option<u64>,
+}
+
+fn trace_for(p: &GridPoint) -> Trace {
+    let family = if p.workload.starts_with("plagen") {
+        "plagen"
+    } else {
+        "slang"
+    };
+    let mut params = synthetic::table_5_1(family);
+    params.primitives = p.primitives;
+    synthetic::generate(&params)
+}
+
+fn measure(p: &GridPoint, wall: bool) -> PointResult {
+    let trace = trace_for(p);
+    let params = SimParams::default().with_table(p.table_size);
+    let sink: SpanSink = SpanSink::new(p.workload).summary_only();
+    let (result, sink) = run_sim_with_sink(&trace, params, None, sink);
+    let profile = sink.finish();
+    let wall_us = wall.then(|| {
+        let mut reps: Vec<u64> = (0..WALL_REPS)
+            .map(|_| {
+                let start = Instant::now();
+                let sink: SpanSink = SpanSink::new(p.workload).summary_only();
+                let _ = run_sim_with_sink(&trace, params, None, sink);
+                start.elapsed().as_micros() as u64
+            })
+            .collect();
+        reps.sort_unstable();
+        reps[WALL_REPS / 2]
+    });
+    PointResult {
+        point: *p,
+        total_cycles: profile.timing.total,
+        ep_idle_cycles: profile.timing.ep_idle,
+        stall_cycles: profile.stall_cycles(),
+        overlap_cycles: profile.overlap_cycles(),
+        ops: profile.timing.ops,
+        lpt_hit_rate: result.lpt_hit_rate(),
+        refops: result.lpt.refops,
+        wall_us,
+    }
+}
+
+/// Run the pinned grid. `wall` opts into wall-time medians; leave it
+/// off for the deterministic trajectory payload.
+pub fn run(wall: bool) -> Vec<PointResult> {
+    GRID.iter().map(|p| measure(p, wall)).collect()
+}
+
+/// The schema-versioned report. Key order is fixed; cells appear in
+/// grid order; no raw timestamps appear in the payload (`wall_us` is a
+/// rounded median or `null`).
+pub fn to_json(results: &[PointResult]) -> String {
+    let cells: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let mut o = JsonObject::new();
+            o.field_str("workload", r.point.workload)
+                .field_u64("primitives", r.point.primitives as u64)
+                .field_u64("table_size", r.point.table_size as u64)
+                .field_u64("ops", r.ops)
+                .field_u64("total_cycles", r.total_cycles)
+                .field_u64("ep_idle_cycles", r.ep_idle_cycles)
+                .field_u64("stall_cycles", r.stall_cycles)
+                .field_u64("overlap_cycles", r.overlap_cycles)
+                .field_f64("lpt_hit_rate", r.lpt_hit_rate)
+                .field_u64("refops", r.refops);
+            match r.wall_us {
+                Some(us) => o.field_u64("wall_us", us),
+                None => o.field_raw("wall_us", "null"),
+            };
+            o.finish()
+        })
+        .collect();
+    let mut root = JsonObject::new();
+    root.field_str("schema", SCHEMA);
+    root.field_u64("grid_points", results.len() as u64);
+    root.field_raw("cells", &format!("[{}]", cells.join(",")));
+    root.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_without_wall_times() {
+        // The acceptance bar: two consecutive runs must serialize
+        // byte-identically. Keep the grid small here — one point
+        // suffices to pin the property.
+        let p = GRID[0];
+        let a = to_json(&[measure(&p, false)]);
+        let b = to_json(&[measure(&p, false)]);
+        assert_eq!(a, b);
+        assert!(a.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+        assert!(a.contains("\"wall_us\":null"));
+    }
+
+    #[test]
+    fn wall_opt_in_fills_the_field() {
+        let p = GridPoint {
+            workload: "slang-2k-t512",
+            primitives: 300,
+            table_size: 512,
+        };
+        let r = measure(&p, true);
+        assert!(r.wall_us.is_some());
+        let json = to_json(&[r]);
+        assert!(!json.contains("\"wall_us\":null"));
+    }
+
+    #[test]
+    fn grid_labels_are_unique_and_stable() {
+        let mut names: Vec<&str> = GRID.iter().map(|p| p.workload).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GRID.len(), "duplicate workload labels");
+    }
+}

@@ -62,7 +62,7 @@
 
 use small_heap::controller::{HeapController, HeapError};
 use small_heap::{Tag, Word};
-use small_metrics::{Event, EventSink, NoopSink};
+use small_metrics::{Event, EventSink, NoopSink, OpClass, PrimKind};
 use small_sexpr::SExpr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, Weak};
@@ -385,7 +385,14 @@ impl Drop for Rooted {
             return;
         }
         if let Some(shared) = self.shared.upgrade() {
-            shared.queue.lock().unwrap().push((self.value, self.kind));
+            // A worker that panicked while holding the lock poisons it;
+            // the queue is a plain `Vec` push/take, so the data is valid
+            // regardless — recover instead of cascading the panic.
+            shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((self.value, self.kind));
             shared.pending.store(true, Ordering::Release);
         }
     }
@@ -683,9 +690,11 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         if !self.roots.pending.swap(false, Ordering::Acquire) {
             return;
         }
-        // Releases never enqueue new unroots, so one batch suffices.
+        // Releases never enqueue new unroots, so one batch suffices. A
+        // poisoned lock (panicking worker elsewhere) still holds a valid
+        // Vec; adopt it rather than turning one failure into a cascade.
         let batch: Vec<(LpValue, RootKind)> =
-            std::mem::take(&mut *self.roots.queue.lock().unwrap());
+            std::mem::take(&mut *self.roots.queue.lock().unwrap_or_else(|e| e.into_inner()));
         for (v, kind) in batch {
             match kind {
                 RootKind::Register => self.register_release(v),
@@ -1103,6 +1112,13 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// the variable's old value, its reference is dropped first.
     pub fn readlist(&mut self, old: Option<LpValue>, expr: &SExpr) -> Result<LpValue, LpError> {
         self.drain_unroots();
+        self.sink.op_begin(PrimKind::ReadList);
+        let r = self.readlist_op(old, expr);
+        self.sink.op_end(OpClass::ReadList);
+        r
+    }
+
+    fn readlist_op(&mut self, old: Option<LpValue>, expr: &SExpr) -> Result<LpValue, LpError> {
         if let Some(v) = old {
             self.binding_release(v);
         }
@@ -1173,13 +1189,30 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// reference for the EP (Figure 4.11 increments the ref of Lcar).
     pub fn car(&mut self, id: Id) -> Result<LpValue, LpError> {
         self.drain_unroots();
-        self.access(id, true)
+        self.timed_access(id, true, PrimKind::Car)
     }
 
     /// `cdr` (§4.3.2.2.2).
     pub fn cdr(&mut self, id: Id) -> Result<LpValue, LpError> {
         self.drain_unroots();
-        self.access(id, false)
+        self.timed_access(id, false, PrimKind::Cdr)
+    }
+
+    /// Bracket one field access with op boundary marks. Whether it is a
+    /// Figure-4.11 hit or a splitting miss is only known once the field
+    /// has been examined, so the class is resolved at `op_end` from the
+    /// miss-counter delta.
+    fn timed_access(&mut self, id: Id, want_car: bool, prim: PrimKind) -> Result<LpValue, LpError> {
+        self.sink.op_begin(prim);
+        let misses_before = self.stats.misses;
+        let r = self.access(id, want_car);
+        let class = if self.stats.misses > misses_before {
+            OpClass::AccessMiss
+        } else {
+            OpClass::AccessHit
+        };
+        self.sink.op_end(class);
+        r
     }
 
     fn access(&mut self, id: Id, want_car: bool) -> Result<LpValue, LpError> {
@@ -1218,6 +1251,13 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// result carries one stack reference.
     pub fn cons(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
         self.drain_unroots();
+        self.sink.op_begin(PrimKind::Cons);
+        let r = self.cons_op(car, cdr);
+        self.sink.op_end(OpClass::Cons);
+        r
+    }
+
+    fn cons_op(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
         let id = self.allocate()?;
         // Children gain an internal reference each.
         if let LpValue::Obj(c) = car {
@@ -1246,13 +1286,30 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// `rplaca` (§4.3.2.2.3).
     pub fn rplaca(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
         self.drain_unroots();
-        self.replace(id, v, true)
+        self.timed_replace(id, v, true, PrimKind::Rplaca)
     }
 
     /// `rplacd` (§4.3.2.2.3).
     pub fn rplacd(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
         self.drain_unroots();
-        self.replace(id, v, false)
+        self.timed_replace(id, v, false, PrimKind::Rplacd)
+    }
+
+    /// Bracket one field replacement. Always classed as a Figure-4.12
+    /// modify, even when `ensure_fields` had to split first: the thesis
+    /// diagrams treat rplac* on an unmaterialized entry as out of scope,
+    /// and folding the split into Modify keeps attribution deterministic.
+    fn timed_replace(
+        &mut self,
+        id: Id,
+        v: LpValue,
+        is_car: bool,
+        prim: PrimKind,
+    ) -> Result<(), LpError> {
+        self.sink.op_begin(prim);
+        let r = self.replace(id, v, is_car);
+        self.sink.op_end(OpClass::Modify);
+        r
     }
 
     fn replace(&mut self, id: Id, v: LpValue, is_car: bool) -> Result<(), LpError> {
@@ -1388,14 +1445,20 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy protect protocol keeps its tests
-
     use super::*;
     use small_heap::controller::TwoPointerController;
     use small_metrics::CountingSink;
     use small_sexpr::{parse, print, Interner};
 
     type Lp = ListProcessor<TwoPointerController>;
+
+    /// Drop the EP's stack reference to `v` *now*: the RAII spelling of
+    /// the deprecated `stack_release` (adopt the reference the value
+    /// already carries, then force the deferred release).
+    fn release<S: EventSink>(lp: &mut ListProcessor<TwoPointerController, S>, v: LpValue) {
+        drop(lp.adopt_binding(v));
+        lp.drain_unroots();
+    }
 
     fn lp_with(table: usize) -> Lp {
         ListProcessor::new(
@@ -1471,8 +1534,8 @@ mod tests {
         // cons, then drop the only reference: the cell must be detected
         // as garbage immediately (§5.3.2).
         let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-        lp.stack_release(a); // EP's ref; the cons child ref remains
-        lp.stack_release(c);
+        release(&mut lp, a); // EP's ref; the cons child ref remains
+        release(&mut lp, c);
         assert_eq!(lp.stats().frees, frees_before + 1);
         // `a` survives: the freed cons still holds it (lazy decrement).
         assert_eq!(lp.occupancy(), 1);
@@ -1484,9 +1547,9 @@ mod tests {
         let mut lp = lp();
         let a = read(&mut lp, &mut i, "(x)");
         let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-        lp.stack_release(a);
+        release(&mut lp, a);
         // Now `a` is held only by the cons. Drop the cons:
-        lp.stack_release(c);
+        release(&mut lp, c);
         // Lazy policy: `a` is NOT yet freed (child decrement deferred).
         assert_eq!(lp.occupancy(), 1);
         // Reallocating the freed entry performs the deferred decrement,
@@ -1510,8 +1573,8 @@ mod tests {
         );
         let a = read(&mut lp, &mut i, "(x)");
         let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-        lp.stack_release(a);
-        lp.stack_release(c);
+        release(&mut lp, a);
+        release(&mut lp, c);
         assert_eq!(lp.occupancy(), 0, "recursive policy frees the child too");
     }
 
@@ -1532,9 +1595,9 @@ mod tests {
                 let a = read(&mut lp, &mut i, "(x y z)");
                 let b = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
                 let c = lp.cons(b, LpValue::Atom(Word::NIL)).unwrap();
-                lp.stack_release(a);
-                lp.stack_release(b);
-                lp.stack_release(c);
+                release(&mut lp, a);
+                release(&mut lp, b);
+                release(&mut lp, c);
                 // Never reallocate: lazy policy defers the chain.
             }
             lp.stats().refops
@@ -1565,8 +1628,8 @@ mod tests {
             );
             let a = read(&mut lp, &mut i, "(x)");
             let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-            lp.stack_release(a);
-            lp.stack_release(c); // c freed lazily, still holding a
+            release(&mut lp, a);
+            release(&mut lp, c); // c freed lazily, still holding a
                                  // One allocation:
             let _fresh = lp
                 .cons(LpValue::Atom(Word::int(1)), LpValue::Atom(Word::NIL))
@@ -1597,8 +1660,8 @@ mod tests {
         for _ in 0..200 {
             let a = read(&mut lp, &mut i, "(x y)");
             let c = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-            lp.stack_release(a);
-            lp.stack_release(c);
+            release(&mut lp, a);
+            release(&mut lp, c);
         }
         lp.drain_lazy();
         assert_eq!(lp.occupancy(), 0);
@@ -1613,7 +1676,7 @@ mod tests {
         lp.rplaca(x.obj().unwrap(), y).unwrap();
         assert_eq!(print(&lp.writelist(x).unwrap(), &i), "((9) 2)");
         // y now has two refs: EP stack + the car field.
-        lp.stack_release(y);
+        release(&mut lp, y);
         assert_eq!(print(&lp.writelist(x).unwrap(), &i), "((9) 2)");
     }
 
@@ -1650,7 +1713,7 @@ mod tests {
         let _ = car;
         // Drop EP refs to the cdr chain children... access cdr then release
         let cdr = lp.cdr(id).unwrap();
-        lp.stack_release(cdr);
+        release(&mut lp, cdr);
         // Table now has: v (fields), cdr-child (addr, rc=1 internal).
         // Fill the table to force a pseudo overflow, which compresses
         // the cdr-child back into v.
@@ -1676,8 +1739,8 @@ mod tests {
         let a = read(&mut lp, &mut i, "(1)");
         let b = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
         lp.rplacd(a.obj().unwrap(), b).unwrap();
-        lp.stack_release(a);
-        lp.stack_release(b);
+        release(&mut lp, a);
+        release(&mut lp, b);
         // Cycle is unreachable but reference counts keep it alive.
         let occupied = lp.occupancy();
         assert!(occupied >= 2, "cycle leaks under pure counting");
@@ -1740,16 +1803,16 @@ mod tests {
                     .cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
                     .unwrap();
                 let b = lp.cons(a, LpValue::Atom(Word::NIL)).unwrap();
-                lp.stack_release(a);
+                release(&mut lp, a);
                 held.push(b);
                 // Keep enough chains live that in-flight conses push
                 // past the table size.
                 if held.len() > 13 {
-                    lp.stack_release(held.remove(0));
+                    release(&mut lp, held.remove(0));
                 }
             }
             for v in held {
-                lp.stack_release(v);
+                release(&mut lp, v);
             }
             let _ = i;
             (lp.stats().pseudo_overflows, lp.stats().avg_occupancy())
@@ -1782,10 +1845,11 @@ mod tests {
             let v = read(&mut lp, &mut i, "(a b c)");
             // Simulate heavy stack churn: repeated push/pop of the value.
             for _ in 0..100 {
-                lp.stack_retain(v);
-                lp.stack_release(v);
+                let h = lp.root_binding(v);
+                drop(h);
+                lp.drain_unroots();
             }
-            lp.stack_release(v);
+            release(&mut lp, v);
             (lp.stats().refops, lp.stats().ep_refops)
         };
         let (unified_bus, unified_ep) = run(RefcountMode::Unified);
@@ -1811,7 +1875,7 @@ mod tests {
         );
         let v = read(&mut lp, &mut i, "(a)");
         assert_eq!(lp.occupancy(), 1);
-        lp.stack_release(v);
+        release(&mut lp, v);
         assert_eq!(lp.occupancy(), 0, "freed when stack bit clears with rc 0");
         assert_eq!(lp.ep_tracked(), 0);
     }
@@ -1837,7 +1901,7 @@ mod tests {
         let g = lp.root(a);
         assert_eq!(g.kind(), RootKind::Register);
         // Drop the EP's stack reference: the register root keeps `a`.
-        lp.stack_release(a);
+        release(&mut lp, a);
         assert_eq!(lp.occupancy(), 1);
         drop(g);
         // The release is deferred to the next operation boundary.
@@ -1919,7 +1983,7 @@ mod tests {
         lp.drain_unroots();
         // The adopted readlist reference remains; the handle's is gone.
         assert_eq!(lp.ep_tracked(), 1);
-        lp.stack_release(v);
+        release(&mut lp, v);
         assert_eq!(lp.occupancy(), 0);
     }
 
@@ -1959,5 +2023,126 @@ mod tests {
         assert_eq!(counts.occupancy_samples.get(), stats.occupancy_samples);
         assert_eq!(counts.heap_read_ins.get(), 1);
         assert!(counts.heap_splits.get() > 0);
+    }
+
+    /// The one remaining exerciser of the deprecated four-method protect
+    /// protocol: the thin wrappers must stay behaviorally identical to
+    /// the `Rooted` handles that replaced them.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_rooted_semantics() {
+        let run = |legacy: bool| -> (u64, usize) {
+            let mut i = Interner::new();
+            let mut lp = lp();
+            let v = read(&mut lp, &mut i, "(x y)");
+            if legacy {
+                lp.guard(v);
+                lp.stack_retain(v);
+                lp.stack_release(v);
+                lp.unguard(v);
+                lp.stack_release(v);
+            } else {
+                let g = lp.root(v);
+                let b = lp.root_binding(v);
+                drop(b);
+                drop(g);
+                lp.drain_unroots();
+                release(&mut lp, v);
+            }
+            (lp.stats().refops, lp.occupancy())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn poisoned_roots_queue_recovers() {
+        // A worker that panics while holding the shared unroot queue
+        // poisons the mutex; both the `Rooted` drop path and
+        // `drain_unroots` must adopt the (still valid) queue instead of
+        // cascading the panic across every other worker.
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let a = read(&mut lp, &mut i, "(x)");
+        let handle = lp.adopt_binding(a);
+        let shared = Arc::clone(&lp.roots);
+        std::thread::spawn(move || {
+            let _guard = shared.queue.lock().unwrap();
+            panic!("poison the roots queue");
+        })
+        .join()
+        .unwrap_err();
+        assert!(lp.roots.queue.is_poisoned(), "setup must actually poison");
+        drop(handle); // Rooted::drop pushes through the poisoned lock
+        lp.drain_unroots(); // ...and the drain takes through it
+        assert_eq!(lp.occupancy(), 0, "release still went through");
+    }
+
+    #[test]
+    fn op_hooks_bracket_each_primitive() {
+        // Every timed primitive announces itself to the sink and reports
+        // its resolved class — the contract the profiler's virtual clock
+        // is built on.
+        #[derive(Default)]
+        struct OpLog {
+            begun: Vec<PrimKind>,
+            ended: Vec<OpClass>,
+        }
+        impl EventSink for OpLog {
+            fn record(&mut self, _event: Event) {}
+            fn op_begin(&mut self, prim: PrimKind) {
+                self.begun.push(prim);
+            }
+            fn op_end(&mut self, class: OpClass) {
+                assert_eq!(
+                    self.begun.len(),
+                    self.ended.len() + 1,
+                    "op_end without matching op_begin"
+                );
+                self.ended.push(class);
+            }
+        }
+        let mut i = Interner::new();
+        let mut lp = ListProcessor::with_sink(
+            TwoPointerController::new(8192, 64),
+            LpConfig {
+                table_size: 128,
+                ..LpConfig::default()
+            },
+            OpLog::default(),
+        );
+        let v = read(&mut lp, &mut i, "((a) b)");
+        let id = v.obj().unwrap();
+        let _ = lp.car(id).unwrap(); // split: miss
+        let _ = lp.car(id).unwrap(); // hit
+        let cdr = lp.cdr(id).unwrap(); // hit
+        let c = lp.cons(cdr, LpValue::Atom(Word::NIL)).unwrap();
+        lp.rplaca(c.obj().unwrap(), LpValue::Atom(Word::int(9)))
+            .unwrap();
+        lp.rplacd(c.obj().unwrap(), LpValue::Atom(Word::NIL))
+            .unwrap();
+        assert_eq!(
+            lp.sink().begun,
+            [
+                PrimKind::ReadList,
+                PrimKind::Car,
+                PrimKind::Car,
+                PrimKind::Cdr,
+                PrimKind::Cons,
+                PrimKind::Rplaca,
+                PrimKind::Rplacd,
+            ]
+        );
+        assert_eq!(
+            lp.sink().ended,
+            [
+                OpClass::ReadList,
+                OpClass::AccessMiss,
+                OpClass::AccessHit,
+                OpClass::AccessHit,
+                OpClass::Cons,
+                OpClass::Modify,
+                OpClass::Modify,
+            ]
+        );
     }
 }

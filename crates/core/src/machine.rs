@@ -63,12 +63,27 @@ impl SmallBackend<TwoPointerController> {
 
 impl<S: EventSink> SmallBackend<TwoPointerController, S> {
     /// An LP over a two-pointer heap controller, reporting events to
-    /// `sink`.
+    /// `sink`. Passing a `small_profile::SpanSink` here profiles a
+    /// whole VM run: every primitive the compiled program issues gets
+    /// cycle-stamped EP/LP spans.
     pub fn with_sink(heap_cells: usize, config: LpConfig, sink: S) -> Self {
         SmallBackend {
             lp: ListProcessor::with_sink(TwoPointerController::new(heap_cells, 64), config, sink),
             roots: HashMap::new(),
         }
+    }
+}
+
+impl<C: HeapController, S: EventSink> SmallBackend<C, S> {
+    /// Consume the backend and return its event sink (releases the
+    /// VM's outstanding roots first so deferred unroot events land in
+    /// the sink rather than vanishing). Pair with
+    /// [`with_sink`](SmallBackend::with_sink) to recover a profiler or
+    /// recorder after a VM run.
+    pub fn into_sink(mut self) -> S {
+        self.roots.clear();
+        self.lp.drain_unroots();
+        self.lp.into_sink()
     }
 }
 

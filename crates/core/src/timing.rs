@@ -65,6 +65,25 @@ pub enum TimedOp {
     Cons,
 }
 
+impl TimedOp {
+    /// Map an operation class observed by an [`EventSink`] (via
+    /// `op_end`) onto the figure it is timed by. This is the bridge the
+    /// profiler uses: the LP reports *what happened* (hit vs. splitting
+    /// miss is only known after the field lookup) and the timing model
+    /// prices it.
+    ///
+    /// [`EventSink`]: small_metrics::EventSink
+    pub fn from_class(class: small_metrics::OpClass) -> TimedOp {
+        match class {
+            small_metrics::OpClass::ReadList => TimedOp::ReadList,
+            small_metrics::OpClass::AccessHit => TimedOp::AccessHit,
+            small_metrics::OpClass::AccessMiss => TimedOp::AccessMiss,
+            small_metrics::OpClass::Modify => TimedOp::Modify,
+            small_metrics::OpClass::Cons => TimedOp::Cons,
+        }
+    }
+}
+
 /// Timing decomposition of one EP-issued operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpTiming {

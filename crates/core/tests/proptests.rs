@@ -1,9 +1,9 @@
 //! Property-based tests of the SMALL core invariants.
 //!
-//! Deliberately keeps exercising the deprecated four-method protect
-//! protocol (`stack_release` etc.): the thin wrappers must behave
-//! exactly like the `Rooted` RAII handles that replace them.
-#![allow(deprecated)]
+//! Reference dropping goes through the RAII `Rooted` API (adopt the
+//! EP's stack reference, then force the deferred release); the legacy
+//! four-method protect protocol keeps one dedicated equivalence test
+//! next to its implementation in `lp.rs`.
 
 use proptest::prelude::*;
 use small_core::machine::{traverse_preorder, SmallBackend};
@@ -99,7 +99,8 @@ proptest! {
         let mut lp = backend.lp;
         let v = lp.readlist(None, &e).unwrap();
         traverse_preorder(&mut lp, v).unwrap();
-        lp.stack_release(v);
+        drop(lp.adopt_binding(v));
+        lp.drain_unroots();
         lp.drain_lazy();
         prop_assert_eq!(lp.occupancy(), 0);
     }
@@ -133,7 +134,8 @@ proptest! {
         let backend = SmallBackend::<TwoPointerController>::new(16384, LpConfig::default());
         let mut lp = backend.lp;
         let v = lp.readlist(None, &e).unwrap();
-        lp.stack_release(v);
+        drop(lp.adopt_binding(v));
+        lp.drain_unroots();
         lp.drain_lazy();
         let free = lp.controller.drain_and_free();
         prop_assert_eq!(free, 16384, "all heap cells must be recovered");
@@ -249,9 +251,10 @@ mod structure_coded_controller {
             if let Some(id) = v.obj() {
                 // car() returns a retained reference; drop it too.
                 let c = lp.car(id).unwrap();
-                lp.stack_release(c);
+                drop(lp.adopt_binding(c));
             }
-            lp.stack_release(v);
+            drop(lp.adopt_binding(v));
+            lp.drain_unroots();
             lp.drain_lazy();
             prop_assert_eq!(lp.occupancy(), 0);
             prop_assert_eq!(lp.controller.heap().live(), 0, "all tables freed");

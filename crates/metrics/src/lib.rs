@@ -272,6 +272,80 @@ impl Event {
 }
 
 // ---------------------------------------------------------------------
+// Operation boundaries
+// ---------------------------------------------------------------------
+
+/// The LP request a sink is currently observing (attribution key for
+/// span/profile sinks). Announced by [`EventSink::op_begin`] before the
+/// List Processor starts serving the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrimKind {
+    /// `readlist` (§4.3.2.2.1).
+    ReadList,
+    /// `car` (§4.3.2.2.2).
+    Car,
+    /// `cdr` (§4.3.2.2.2).
+    Cdr,
+    /// `cons` (§4.3.2.2.4).
+    Cons,
+    /// `rplaca` (§4.3.2.2.3).
+    Rplaca,
+    /// `rplacd` (§4.3.2.2.3).
+    Rplacd,
+}
+
+impl PrimKind {
+    /// All kinds, in the stable attribution-table order.
+    pub const ALL: [PrimKind; 6] = [
+        PrimKind::ReadList,
+        PrimKind::Car,
+        PrimKind::Cdr,
+        PrimKind::Cons,
+        PrimKind::Rplaca,
+        PrimKind::Rplacd,
+    ];
+
+    /// Stable lowercase name (doubles as the JSON/folded-stack key).
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimKind::ReadList => "readlist",
+            PrimKind::Car => "car",
+            PrimKind::Cdr => "cdr",
+            PrimKind::Cons => "cons",
+            PrimKind::Rplaca => "rplaca",
+            PrimKind::Rplacd => "rplacd",
+        }
+    }
+
+    /// Position in [`PrimKind::ALL`] (dense attribution-array index).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The resolved timing class of a completed LP request — the
+/// Figure 4.10–4.13 decomposition the request followed. Announced by
+/// [`EventSink::op_end`] once the List Processor knows how the request
+/// was served (a `car` only becomes an `AccessHit` or `AccessMiss`
+/// after the field lookup).
+///
+/// Mirrors `small_core::timing::TimedOp`; it lives here so sinks can
+/// hear about operations without depending on the core crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Figure 4.10: list input; the EP idles for the heap I/O.
+    ReadList,
+    /// Figure 4.11: car/cdr satisfied from LPT fields.
+    AccessHit,
+    /// Figure 4.11 with splitting: car/cdr that went to the heap.
+    AccessMiss,
+    /// Figure 4.12: rplaca/rplacd.
+    Modify,
+    /// Figure 4.13: cons.
+    Cons,
+}
+
+// ---------------------------------------------------------------------
 // Sinks
 // ---------------------------------------------------------------------
 
@@ -280,9 +354,27 @@ impl Event {
 /// Instrumented components are generic over `S: EventSink` with
 /// [`NoopSink`] as the default, so the disabled configuration
 /// monomorphizes to no instrumentation at all.
+///
+/// Beyond the raw event stream, the List Processor brackets every timed
+/// request with [`op_begin`](EventSink::op_begin) /
+/// [`op_end`](EventSink::op_end) so span/profile sinks can attribute
+/// events to primitives and advance a virtual clock. Both hooks default
+/// to no-ops: counting sinks ignore them at zero cost.
 pub trait EventSink {
     /// Consume one event.
     fn record(&mut self, event: Event);
+
+    /// The LP started serving a timed request. Events recorded until
+    /// the matching [`op_end`](EventSink::op_end) belong to it.
+    #[inline(always)]
+    fn op_begin(&mut self, _prim: PrimKind) {}
+
+    /// The LP finished the request announced by the last
+    /// [`op_begin`](EventSink::op_begin), resolved to a timing class.
+    /// Called on the error path too (a request that dies in a true
+    /// overflow still consumed its timing-class cycles).
+    #[inline(always)]
+    fn op_end(&mut self, _class: OpClass) {}
 }
 
 /// The default sink: discards every event. With this sink the compiler
@@ -485,6 +577,38 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     #[inline]
     fn record(&mut self, event: Event) {
         (**self).record(event);
+    }
+
+    #[inline]
+    fn op_begin(&mut self, prim: PrimKind) {
+        (**self).op_begin(prim);
+    }
+
+    #[inline]
+    fn op_end(&mut self, class: OpClass) {
+        (**self).op_end(class);
+    }
+}
+
+/// Tee: a pair of sinks both observe the same stream (e.g. a
+/// [`RecordingSink`] for counters next to a span profiler).
+impl<A: EventSink, B: EventSink> EventSink for (A, B) {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+
+    #[inline]
+    fn op_begin(&mut self, prim: PrimKind) {
+        self.0.op_begin(prim);
+        self.1.op_begin(prim);
+    }
+
+    #[inline]
+    fn op_end(&mut self, class: OpClass) {
+        self.0.op_end(class);
+        self.1.op_end(class);
     }
 }
 
@@ -714,6 +838,283 @@ mod tests {
         assert_eq!(
             o.finish(),
             r#"{"name":"a\"b\\c","n":3,"r":0.500000,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn empty_histogram_edges() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0, "empty min reports 0, not u64::MAX");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty quantile({q})");
+        }
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        for v in [0u64, 1, 7, 1 << 20] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.sum(), v);
+            assert_eq!((h.min(), h.max()), (v, v));
+            assert_eq!(h.mean(), v as f64);
+            // q = 0 asks for an empty prefix and reports 0 by convention.
+            assert_eq!(h.quantile(0.0), 0);
+            // Every positive quantile of a one-sample distribution lands
+            // in the sample's bucket: the reported bound is the bucket's
+            // lower bound, which is ≤ v and within a factor of two of it.
+            for q in [0.5, 1.0] {
+                let b = h.quantile(q);
+                assert!(b <= v, "quantile({q}) = {b} above sample {v}");
+                assert!(v < 2 * b.max(1), "quantile({q}) = {b} not v's bucket");
+            }
+            assert_eq!(h.nonzero_buckets().len(), 1);
+        }
+    }
+
+    #[test]
+    fn saturating_bucket_percentile_edges() {
+        // u64::MAX lands in the last bucket (lower bound 2^63) and both
+        // sum and merge saturate instead of wrapping.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.5), 1u64 << 63);
+        assert_eq!(h.quantile(1.0), 1u64 << 63);
+        assert_eq!(h.nonzero_buckets(), vec![(1u64 << 63, 2)]);
+        // Quantiles outside [0,1] clamp rather than panic or scan past
+        // the last bucket.
+        assert_eq!(h.quantile(2.0), 1u64 << 63);
+        assert_eq!(h.quantile(-1.0), 0, "q<=0 clamps to the first sample");
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX, "merge saturates too");
+        assert_eq!(h.count(), 3);
+    }
+
+    // A minimal JSON reader for the round-trip test: parses objects into
+    // insertion-ordered key/value lists so key *order* is assertable.
+    #[derive(Debug, PartialEq)]
+    enum Json {
+        Num(String),
+        Str(String),
+        Bool(bool),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    fn parse_json(s: &str) -> Json {
+        let b = s.as_bytes();
+        let (v, rest) = parse_value(b, 0);
+        assert_eq!(rest, b.len(), "trailing garbage after JSON value");
+        v
+    }
+
+    fn parse_value(b: &[u8], mut i: usize) -> (Json, usize) {
+        match b[i] {
+            b'{' => {
+                let mut fields = Vec::new();
+                i += 1;
+                if b[i] == b'}' {
+                    return (Json::Obj(fields), i + 1);
+                }
+                loop {
+                    let (k, j) = parse_string(b, i);
+                    assert_eq!(b[j], b':');
+                    let (v, j) = parse_value(b, j + 1);
+                    fields.push((k, v));
+                    match b[j] {
+                        b',' => i = j + 1,
+                        b'}' => return (Json::Obj(fields), j + 1),
+                        c => panic!("bad object separator {:?}", c as char),
+                    }
+                }
+            }
+            b'[' => {
+                let mut items = Vec::new();
+                i += 1;
+                if b[i] == b']' {
+                    return (Json::Arr(items), i + 1);
+                }
+                loop {
+                    let (v, j) = parse_value(b, i);
+                    items.push(v);
+                    match b[j] {
+                        b',' => i = j + 1,
+                        b']' => return (Json::Arr(items), j + 1),
+                        c => panic!("bad array separator {:?}", c as char),
+                    }
+                }
+            }
+            b'"' => {
+                let (s, j) = parse_string(b, i);
+                (Json::Str(s), j)
+            }
+            b't' => (Json::Bool(true), i + 4),
+            b'f' => (Json::Bool(false), i + 5),
+            _ => {
+                let start = i;
+                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                assert!(i > start, "expected a JSON value at byte {start}");
+                (
+                    Json::Num(std::str::from_utf8(&b[start..i]).unwrap().to_string()),
+                    i,
+                )
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], i: usize) -> (String, usize) {
+        assert_eq!(b[i], b'"');
+        let mut out = String::new();
+        let mut j = i + 1;
+        while b[j] != b'"' {
+            if b[j] == b'\\' {
+                j += 1;
+                out.push(match b[j] {
+                    b'n' => '\n',
+                    b'r' => '\r',
+                    b't' => '\t',
+                    c => c as char,
+                });
+            } else {
+                out.push(b[j] as char);
+            }
+            j += 1;
+        }
+        (out, j + 1)
+    }
+
+    impl Json {
+        fn obj(&self) -> &[(String, Json)] {
+            match self {
+                Json::Obj(fields) => fields,
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+
+        fn get(&self, key: &str) -> &Json {
+            self.obj()
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key}"))
+        }
+
+        fn num_u64(&self) -> u64 {
+            match self {
+                Json::Num(s) => s.parse().unwrap(),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_json_reparses_with_stable_keys() {
+        let mut s = RecordingSink::default();
+        for k in 0..20u32 {
+            s.record(Event::Occupancy { live: k });
+            s.record(Event::LptHit);
+        }
+        s.record(Event::LptMiss);
+        s.record(Event::LazyDrain { children: 2 });
+        s.record(Event::PseudoOverflow { reclaimed: 4 });
+        let snap = s.snapshot();
+        let text = snap.to_json();
+        let parsed = parse_json(&text);
+
+        // Key order is the fixed serialization order — the property the
+        // sweep engine's byte-compare determinism rests on.
+        let keys: Vec<&str> = parsed.obj().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "lpt_hits",
+                "lpt_misses",
+                "refops",
+                "ep_refops",
+                "entries_allocated",
+                "entries_freed",
+                "lazy_drains",
+                "lazy_children",
+                "pseudo_overflows",
+                "compressed",
+                "cycle_collections",
+                "cycles_reclaimed",
+                "true_overflows",
+                "heap_splits",
+                "heap_merges",
+                "heap_read_ins",
+                "heap_frees",
+                "occupancy_samples",
+                "occupancy",
+                "compress_reclaim",
+                "cycle_reclaim",
+                "drain_size",
+            ]
+        );
+
+        // Values round-trip.
+        assert_eq!(parsed.get("lpt_hits").num_u64(), 20);
+        assert_eq!(parsed.get("lpt_misses").num_u64(), 1);
+        assert_eq!(parsed.get("compressed").num_u64(), 4);
+        let occ = parsed.get("occupancy");
+        assert_eq!(occ.get("count").num_u64(), snap.occupancy.count());
+        assert_eq!(occ.get("sum").num_u64(), snap.occupancy.sum());
+        assert_eq!(occ.get("max").num_u64(), snap.occupancy.max());
+        let hist_keys: Vec<&str> = occ.obj().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            hist_keys,
+            ["count", "sum", "min", "max", "p50", "p99", "buckets"]
+        );
+
+        // Reserializing the same state reproduces the bytes exactly.
+        assert_eq!(s.snapshot().to_json(), text);
+    }
+
+    #[test]
+    fn empty_snapshot_json_reparses() {
+        let snap = RecordingSink::default().snapshot();
+        let parsed = parse_json(&snap.to_json());
+        assert_eq!(parsed.get("lpt_hits").num_u64(), 0);
+        let occ = parsed.get("occupancy");
+        assert_eq!(occ.get("count").num_u64(), 0);
+        assert_eq!(occ.get("min").num_u64(), 0, "empty min serializes as 0");
+        assert_eq!(occ.get("buckets"), &Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_halves() {
+        let mut tee = (CountingSink::default(), CountingSink::default());
+        tee.record(Event::LptHit);
+        tee.op_begin(PrimKind::Car);
+        tee.op_end(OpClass::AccessHit);
+        assert_eq!(tee.0.counts.lpt_hits.get(), 1);
+        assert_eq!(tee.1.counts.lpt_hits.get(), 1);
+    }
+
+    #[test]
+    fn prim_kind_names_and_indices_are_dense() {
+        for (k, p) in PrimKind::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), k);
+        }
+        let names: Vec<&str> = PrimKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["readlist", "car", "cdr", "cons", "rplaca", "rplacd"]
         );
     }
 

@@ -123,6 +123,26 @@ pub fn run_sim(trace: &Trace, params: SimParams, cache: Option<CacheConfig>) -> 
     run_sim_with_sink(trace, params, cache, NoopSink).0
 }
 
+/// [`run_sim`] under a full-fidelity [`small_profile::SpanSink`]:
+/// returns the finished cycle-stamped [`small_profile::Profile`]
+/// (timeline spans, per-primitive attribution, and `run_stream`-exact
+/// aggregate timing) alongside the ordinary result. The simulation is
+/// identical to the uninstrumented path — the profiler only observes
+/// the LP's operation boundaries.
+pub fn run_sim_profiled(
+    trace: &Trace,
+    params: SimParams,
+    cache: Option<CacheConfig>,
+) -> (SimResult, small_profile::Profile) {
+    let (r, sink) = run_sim_with_sink(
+        trace,
+        params,
+        cache,
+        small_profile::SpanSink::new(&trace.name),
+    );
+    (r, sink.finish())
+}
+
 /// [`run_sim`] with the LP reporting every event to `sink`; returns the
 /// sink alongside the result. The simulation itself is identical — the
 /// sink only observes.

@@ -8,6 +8,7 @@ use crate::config::SimParams;
 use crate::driver::{run_sim, run_sim_with_sink, CacheConfig, SimResult};
 use small_core::{CompressPolicy, DecrementPolicy, RefcountMode};
 use small_metrics::{JsonObject, MetricsSnapshot, RecordingSink};
+use small_profile::{Profile, SpanSink};
 use small_trace::Trace;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -280,8 +281,8 @@ pub struct SweepCellConfig {
     pub params: SimParams,
 }
 
-/// The outcome of one sweep cell: the simulator result plus the full
-/// event-level metrics snapshot.
+/// The outcome of one sweep cell: the simulator result, the full
+/// event-level metrics snapshot, and the cycle-accounting profile.
 #[derive(Debug, Clone)]
 pub struct CellReport {
     /// The cell configuration.
@@ -290,6 +291,9 @@ pub struct CellReport {
     pub result: SimResult,
     /// Event-level metrics recorded during the run.
     pub metrics: MetricsSnapshot,
+    /// Virtual-cycle accounting from a summary-only [`SpanSink`]
+    /// (no timeline is kept; the totals are `run_stream`-exact).
+    pub profile: Profile,
 }
 
 fn policy_name(p: CompressPolicy) -> String {
@@ -334,6 +338,12 @@ impl CellReport {
         o.field_f64("avg_occupancy", self.result.lpt.avg_occupancy());
         o.field_u64("refops", self.result.lpt.refops);
         o.field_u64("ep_refops", self.result.lpt.ep_refops);
+        o.field_u64("total_cycles", self.profile.timing.total);
+        o.field_u64("ep_idle_cycles", self.profile.timing.ep_idle);
+        o.field_u64("lp_idle_cycles", self.profile.timing.lp_idle);
+        o.field_u64("stall_cycles", self.profile.stall_cycles());
+        o.field_u64("overlap_cycles", self.profile.overlap_cycles());
+        o.field_f64("ep_utilization", self.profile.timing.ep_utilization());
         o.field_raw("metrics", &self.metrics.to_json());
         o.finish()
     }
@@ -436,20 +446,31 @@ pub fn run_sweep(trace: &Trace, grid: &SweepGrid, threads: usize) -> SweepReport
             scope.spawn(|| loop {
                 let k = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(k) else { break };
-                let (result, sink) =
-                    run_sim_with_sink(trace, cell.params, None, RecordingSink::default());
+                // A tee sink: the RecordingSink keeps full event
+                // metrics, the summary-only SpanSink runs the virtual
+                // clock in O(1) memory.
+                let sink = (
+                    RecordingSink::default(),
+                    SpanSink::new(&trace.name).summary_only(),
+                );
+                let (result, (recording, spans)) =
+                    run_sim_with_sink(trace, cell.params, None, sink);
                 let report = CellReport {
                     config: *cell,
                     result,
-                    metrics: sink.snapshot(),
+                    metrics: recording.snapshot(),
+                    profile: spans.finish(),
                 };
-                slots.lock().unwrap()[k] = Some(report);
+                // A panicking worker poisons the slot mutex; the data is
+                // a plain Vec, so later workers adopt it rather than
+                // cascading the failure.
+                slots.lock().unwrap_or_else(|e| e.into_inner())[k] = Some(report);
             });
         }
     });
     let cells = slots
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|c| c.expect("every cell claimed and completed"))
         .collect();
@@ -585,6 +606,24 @@ mod tests {
         // The summary table mentions every cell.
         let table = report.summary_table();
         assert_eq!(table.lines().count(), 2 + 12);
+    }
+
+    #[test]
+    fn sweep_cell_timing_is_run_stream_exact() {
+        let trace = t(600);
+        let mut grid = SweepGrid::standard("timing");
+        grid.table_sizes = vec![512];
+        let report = run_sweep(&trace, &grid, 2);
+        for c in &report.cells {
+            assert!(c.profile.timing.ops > 0);
+            // The incremental virtual clock must equal the batch
+            // aggregation over the same class stream.
+            assert_eq!(c.profile.timing, c.profile.replay_stream_timing());
+            assert!(c.profile.spans.is_empty(), "sweep cells are summary-only");
+            let json = c.to_json();
+            assert!(json.contains("\"total_cycles\""));
+            assert!(json.contains("\"stall_cycles\""));
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use small_heap as heap;
 pub use small_lisp as lisp;
 pub use small_metrics as metrics;
 pub use small_multilisp as multilisp;
+pub use small_profile as profile;
 pub use small_sexpr as sexpr;
 pub use small_simulator as simulator;
 pub use small_trace as trace;
