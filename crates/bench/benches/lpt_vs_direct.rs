@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use small_core::machine::SmallBackend;
 use small_core::{ListProcessor, LpConfig, LpValue};
 use small_heap::controller::TwoPointerController;
+use small_heap::{FaultyController, HeapController};
 use small_lisp::compiler::compile_program;
 use small_lisp::vm::{DirectBackend, Vm};
 use small_metrics::{CountingSink, EventSink, NoopSink};
@@ -145,12 +146,52 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-injection overhead guard: an LP over a
+/// [`small_heap::FaultyController`] in passthrough (no-fault) state
+/// must be within noise of one over the bare controller — the wrapper
+/// holds no schedule, every fault check is one branch on an always-None
+/// option, and the whole layer monomorphizes down to the inner calls.
+fn bench_fault_injection_overhead(c: &mut Criterion) {
+    fn workload<C: HeapController>(lp: &mut ListProcessor<C>) -> usize {
+        let mut last = 0;
+        for k in 0..64 {
+            let v = lp
+                .cons(
+                    LpValue::Atom(small_heap::Word::int(k)),
+                    LpValue::Atom(small_heap::Word::NIL),
+                )
+                .unwrap();
+            let id = v.obj().unwrap();
+            let _ = lp.car(id).unwrap();
+            drop(lp.adopt_binding(v));
+            last = lp.occupancy();
+        }
+        last
+    }
+
+    let mut group = c.benchmark_group("fault_injection_overhead");
+    group.bench_function("bare_controller", |b| {
+        let mut lp =
+            ListProcessor::new(TwoPointerController::new(1 << 16, 64), LpConfig::default());
+        b.iter(|| black_box(workload(&mut lp)))
+    });
+    group.bench_function("faulty_controller_disabled", |b| {
+        let mut lp = ListProcessor::new(
+            FaultyController::passthrough(TwoPointerController::new(1 << 16, 64)),
+            LpConfig::default(),
+        );
+        b.iter(|| black_box(workload(&mut lp)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(400))
         .measurement_time(std::time::Duration::from_millis(1500))
         .sample_size(30);
-    targets = bench_vm_backends, bench_lp_primitives, bench_metrics_overhead
+    targets = bench_vm_backends, bench_lp_primitives, bench_metrics_overhead,
+        bench_fault_injection_overhead
 }
 criterion_main!(benches);

@@ -55,8 +55,8 @@ fn bench_traverse(c: &mut Criterion) {
                 let mut n = 0;
                 while w.is_ptr() {
                     let a = w.addr();
-                    black_box(cc.car(a));
-                    w = cc.cdr(a);
+                    black_box(cc.car(a).unwrap());
+                    w = cc.cdr(a).unwrap();
                     n += 1;
                 }
                 n
@@ -71,8 +71,8 @@ fn bench_traverse(c: &mut Criterion) {
                 let mut n = 0;
                 while w.is_ptr() {
                     let a = w.addr();
-                    black_box(lv.car(a));
-                    w = lv.cdr(a);
+                    black_box(lv.car(a).unwrap());
+                    w = lv.cdr(a).unwrap();
                     n += 1;
                 }
                 n

@@ -24,7 +24,8 @@ pub mod machine;
 pub mod timing;
 
 pub use lp::{
-    CompressPolicy, DecrementPolicy, FreeDiscipline, Id, ListProcessor, LpConfig, LpError, LpValue,
-    LptStats, RefcountMode, RootKind, Rooted,
+    AuditReport, CompressPolicy, DecrementPolicy, FreeDiscipline, Id, ListProcessor, LpConfig,
+    LpError, LpValue, LptStats, OverflowPolicy, Perturbation, ReconcileStats, RefcountMode,
+    RootKind, Rooted, Violation, TRANSIENT_RETRY_LIMIT,
 };
 pub use machine::SmallBackend;

@@ -70,6 +70,12 @@ use std::sync::{Arc, Mutex, Weak};
 /// An LPT identifier — the small name the EP uses for a list object.
 pub type Id = u32;
 
+/// Retries granted by [`ListProcessor::retrying`] before a transient
+/// heap fault is surfaced to the caller. Chosen above the longest
+/// fault burst the deterministic injector produces, so every bounded
+/// burst recovers.
+pub const TRANSIENT_RETRY_LIMIT: u32 = 4;
+
 /// A value crossing the EP–LP interface: an immediate atom or a list
 /// object identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +99,26 @@ impl LpValue {
     pub fn is_nil(self) -> bool {
         matches!(self, LpValue::Atom(w) if w.is_nil())
     }
+
+    /// True for values naming list structure: a table object, or a
+    /// heap-direct pointer produced in §4.3.2.3 overflow mode.
+    pub fn is_list(self) -> bool {
+        match self {
+            LpValue::Obj(_) => true,
+            LpValue::Atom(w) => is_ptr_word(w),
+        }
+    }
+
+    /// True when the value is a heap-direct pointer (§4.3.2.3 overflow
+    /// mode) rather than a table entry or an immediate atom.
+    pub fn is_heap_direct(self) -> bool {
+        matches!(self, LpValue::Atom(w) if is_ptr_word(w))
+    }
+}
+
+/// Whether a word is an object pointer (as opposed to an immediate).
+fn is_ptr_word(w: Word) -> bool {
+    matches!(w.tag(), Tag::Ptr | Tag::Invisible)
 }
 
 /// Pseudo-overflow compression policy (§5.2.3, Figure 5.3).
@@ -154,6 +180,25 @@ pub enum RefcountMode {
     Split,
 }
 
+/// What the LP does when the table is full and neither compression nor
+/// cycle breaking recovers space (§4.3.2.3 overflow mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Surface [`LpError::TrueOverflow`] and let the machine abort the
+    /// workload (the conservative default: a correctly sized table
+    /// should never truly overflow).
+    #[default]
+    Abort,
+    /// Degrade to heap-direct operation: new structure is built in the
+    /// heap and named by pointer atoms, accessed with non-consuming
+    /// peeks like a conventional machine, until occupancy falls back to
+    /// half the table and the LP re-enters table mode. The heap-direct
+    /// world is never reclaimed (a conventional machine would need its
+    /// own collector); destructive update of heap-direct values is
+    /// refused with [`LpError::Degraded`].
+    Degrade,
+}
+
 /// LP configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LpConfig {
@@ -167,6 +212,8 @@ pub struct LpConfig {
     pub refcounts: RefcountMode,
     /// Free-entry reuse order.
     pub free_discipline: FreeDiscipline,
+    /// True-overflow behavior.
+    pub overflow: OverflowPolicy,
 }
 
 impl Default for LpConfig {
@@ -177,6 +224,7 @@ impl Default for LpConfig {
             decrement: DecrementPolicy::Lazy,
             refcounts: RefcountMode::Unified,
             free_discipline: FreeDiscipline::Stack,
+            overflow: OverflowPolicy::Abort,
         }
     }
 }
@@ -214,6 +262,18 @@ pub struct LptStats {
     pub max_refcount: u32,
     /// Largest EP-side count observed (split mode).
     pub max_ep_refcount: u32,
+    /// Transient heap faults detected by a recovery layer (the bounded
+    /// retry wrapper or an abandoned compression pass).
+    pub faults_detected: u64,
+    /// Detected transient faults subsequently recovered from.
+    pub faults_recovered: u64,
+    /// Times the LP entered §4.3.2.3 heap-direct overflow mode.
+    pub overflow_entries: u64,
+    /// Times the LP left overflow mode and resumed table operation.
+    pub overflow_exits: u64,
+    /// Operations served heap-direct while in (or leaving) overflow
+    /// mode: direct conses, peeks, and cross-boundary copies.
+    pub heap_direct_ops: u64,
 }
 
 impl LptStats {
@@ -250,6 +310,13 @@ pub enum LpError {
     /// The heap returned a word the LP cannot interpret (a free-list
     /// link or collector-internal tag escaped): memory corruption.
     UnexpectedTag(Tag),
+    /// The operation is unsupported while the LP is degraded to
+    /// §4.3.2.3 heap-direct overflow mode (destructive update of a
+    /// heap-direct value). The payload names the refused operation.
+    Degraded(&'static str),
+    /// `writelist` (or an overflow-mode snapshot) met a cycle built by
+    /// `rplaca`/`rplacd`: the structure has no finite s-expression.
+    Cyclic,
 }
 
 impl From<HeapError> for LpError {
@@ -265,6 +332,12 @@ impl std::fmt::Display for LpError {
             LpError::Heap(e) => write!(f, "heap: {e}"),
             LpError::NotAList => write!(f, "LP operand is not a list object"),
             LpError::UnexpectedTag(t) => write!(f, "heap returned word with tag {t:?}"),
+            LpError::Degraded(what) => {
+                write!(f, "{what} is unsupported in heap-direct overflow mode")
+            }
+            LpError::Cyclic => {
+                write!(f, "cyclic list structure has no finite s-expression")
+            }
         }
     }
 }
@@ -300,6 +373,150 @@ struct Entry {
     free_next: Option<Id>,
     /// Freed with children still in the fields (lazy decrement pending).
     lazy: bool,
+}
+
+// ---------------------------------------------------------------------
+// Invariant auditing, perturbation, and reconciliation
+// ---------------------------------------------------------------------
+
+/// A single invariant violation found by [`ListProcessor::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A live entry's reference count is below its internal in-degree
+    /// and no stack bit covers the shortfall: a future decrement will
+    /// free it while fields still reference it.
+    RefcountLow {
+        /// The under-counted entry.
+        id: Id,
+        /// Its recorded reference count.
+        rc: u32,
+        /// References to it from live and pending fields.
+        indegree: u32,
+    },
+    /// A live entry with zero references and no stack bit: garbage the
+    /// counting machinery failed to detect.
+    UndetectedGarbage {
+        /// The unreferenced entry.
+        id: Id,
+    },
+    /// A live or pending field names a dead entry.
+    DanglingField {
+        /// The entry holding the field.
+        id: Id,
+        /// The dead identifier it names.
+        child: Id,
+    },
+    /// A field names an identifier outside the table.
+    FieldOutOfRange {
+        /// The entry holding the field.
+        id: Id,
+        /// The out-of-range identifier.
+        child: Id,
+    },
+    /// A live entry violates the fields-XOR-address invariant (§4.3.2):
+    /// empty fields without a backing address, materialized fields
+    /// alongside one, or only one field materialized.
+    FieldsAddrMismatch {
+        /// The inconsistent entry.
+        id: Id,
+    },
+    /// The free-list walk revisited an entry: `free_next` links form a
+    /// cycle.
+    FreeListCycle {
+        /// The first entry reached twice.
+        id: Id,
+    },
+    /// A live entry is threaded on the free list.
+    LiveOnFreeList {
+        /// The live entry found on the list.
+        id: Id,
+    },
+    /// A dead entry is unreachable from the free-list head: it can
+    /// never be reused.
+    DeadNotOnFreeList {
+        /// The stranded entry.
+        id: Id,
+    },
+    /// `free_tail` does not name the last entry of the free list.
+    FreeTailMismatch,
+    /// Split-refcount bookkeeping out of sync (§5.2.4): the entry's
+    /// stack bit disagrees with the EP-side count table, or stack state
+    /// exists under the unified mode.
+    StackBitMismatch {
+        /// The inconsistent entry.
+        id: Id,
+    },
+}
+
+/// The structured result of an [`ListProcessor::audit`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Violations found, in table order (free-list findings last).
+    pub violations: Vec<Violation>,
+    /// Live entries examined.
+    pub live_entries: usize,
+    /// Entries reached on the free list.
+    pub free_entries: usize,
+}
+
+impl AuditReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A deliberate corruption applied by [`ListProcessor::perturb`].
+///
+/// Chaos/test tooling only: each variant models a bit-flip class the
+/// invariant auditor must catch and [`ListProcessor::reconcile`] must
+/// repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Overwrite a live entry's reference count.
+    SetRefcount {
+        /// The entry to corrupt.
+        id: Id,
+        /// The forged count.
+        rc: u32,
+    },
+    /// Overwrite one field of a live entry with a reference to `child`
+    /// without adjusting any count.
+    CorruptField {
+        /// The entry whose field is overwritten.
+        id: Id,
+        /// True to hit the car field, false the cdr.
+        car: bool,
+        /// The forged child identifier (may be dead or out of range).
+        child: Id,
+    },
+    /// Clear a live entry's stack bit without telling the EP table.
+    ClearStackBit {
+        /// The entry to corrupt.
+        id: Id,
+    },
+    /// Sever the free list at its head: every dead entry becomes
+    /// unreachable for reuse.
+    BreakFreeList,
+    /// Mark a dead entry live without linking any structure to it.
+    ResurrectEntry {
+        /// The entry to resurrect.
+        id: Id,
+    },
+}
+
+/// What a [`ListProcessor::reconcile`] pass repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileStats {
+    /// Entries whose reference count was rewritten.
+    pub refcounts_fixed: usize,
+    /// Fields cleared or defaulted because they named dead or
+    /// out-of-range entries (or were inconsistently materialized).
+    pub fields_cleared: usize,
+    /// Unreachable live entries swept back to the free list.
+    pub entries_swept: usize,
+    /// Stack bits realigned with the EP-side count table.
+    pub stack_bits_fixed: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -420,6 +637,13 @@ pub struct ListProcessor<C: HeapController, S: EventSink = NoopSink> {
     recent_overflows: std::collections::VecDeque<u64>,
     /// Unroot requests from dropped [`Rooted`] handles.
     roots: Arc<RootShared>,
+    /// True while operating in §4.3.2.3 heap-direct overflow mode
+    /// (only ever set under [`OverflowPolicy::Degrade`]).
+    degraded: bool,
+    /// Entry whose fields are mid-materialization: compression and
+    /// cycle breaking triggered by the nested allocation must not
+    /// flush or sweep it while it is in a transitional state.
+    pin: Option<Id>,
 }
 
 impl<C: HeapController> ListProcessor<C> {
@@ -448,6 +672,8 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 queue: Mutex::new(Vec::new()),
                 pending: AtomicBool::new(false),
             }),
+            degraded: false,
+            pin: None,
         };
         // Thread the initial free list, low ids first.
         for id in (0..config.table_size as u32).rev() {
@@ -477,6 +703,78 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// per-run metrics after a simulation).
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// Consume the processor, returning both the heap controller and
+    /// the event sink (chaos tooling reads injected-fault counters off
+    /// the controller after a run).
+    pub fn into_parts(self) -> (C, S) {
+        (self.controller, self.sink)
+    }
+
+    /// True while the LP operates in §4.3.2.3 heap-direct overflow
+    /// mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Retry `f` on transient heap faults, up to
+    /// [`TRANSIENT_RETRY_LIMIT`] retries with exponential spin-loop
+    /// backoff. Exactly [`HeapError::Transient`] is retried; every
+    /// failed attempt is counted and reported as a detected fault, and
+    /// a success after failures as a recovery. Safe for any single LP
+    /// request: a failed request leaves the table consistent, so the
+    /// retry re-issues it verbatim.
+    pub fn retrying<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, LpError>,
+    ) -> Result<T, LpError> {
+        let mut failures = 0u32;
+        loop {
+            match f(self) {
+                Err(LpError::Heap(HeapError::Transient)) => {
+                    failures += 1;
+                    self.stats.faults_detected += 1;
+                    self.sink.record(Event::HeapFaultDetected);
+                    if failures > TRANSIENT_RETRY_LIMIT {
+                        return Err(LpError::Heap(HeapError::Transient));
+                    }
+                    // Exponential backoff: the modeled fault classes
+                    // (busy bank, bus glitch) clear with time.
+                    for _ in 0..(1u32 << failures) {
+                        std::hint::spin_loop();
+                    }
+                }
+                r => {
+                    if failures > 0 && r.is_ok() {
+                        self.stats.faults_recovered += u64::from(failures);
+                        for _ in 0..failures {
+                            self.sink.record(Event::HeapFaultRecovered);
+                        }
+                    }
+                    return r;
+                }
+            }
+        }
+    }
+
+    /// Enter heap-direct overflow mode (§4.3.2.3). Idempotent.
+    fn enter_degraded(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.stats.overflow_entries += 1;
+            self.sink.record(Event::OverflowModeEntered);
+        }
+    }
+
+    /// Leave overflow mode once occupancy has recovered to half the
+    /// table. Checked at every operation boundary.
+    fn check_overflow_mode(&mut self) {
+        if self.degraded && self.live <= self.config.table_size / 2 {
+            self.degraded = false;
+            self.stats.overflow_exits += 1;
+            self.sink.record(Event::OverflowModeExited);
+        }
     }
 
     /// Live entry count.
@@ -731,6 +1029,20 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         self.binding_release(v);
     }
 
+    /// Release a field's owned heap word, if any. Pointer-tagged atom
+    /// *fields* own their heap object (parked compression progress,
+    /// split pieces the table had no room to materialize, adopted
+    /// overflow-mode copies) — unlike EP-visible pointer atoms, which
+    /// alias the never-reclaimed heap-direct world.
+    fn free_field_word(&mut self, f: Field) {
+        if let Field::Atom(w) = f {
+            if is_ptr_word(w) {
+                self.controller.free_object(w.addr());
+                self.sink.record(Event::HeapFree);
+            }
+        }
+    }
+
     /// Link a freed entry into the free list per the configured
     /// discipline.
     fn push_free(&mut self, id: Id) {
@@ -795,11 +1107,11 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 e.cdr = Field::Empty;
                 e.lazy = false;
                 self.push_free(id);
-                if let Field::Obj(c) = car {
-                    self.decref(c);
-                }
-                if let Field::Obj(c) = cdr {
-                    self.decref(c);
+                for f in [car, cdr] {
+                    match f {
+                        Field::Obj(c) => self.decref(c),
+                        f => self.free_field_word(f),
+                    }
                 }
             }
         }
@@ -833,11 +1145,11 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             let children =
                 matches!(car, Field::Obj(_)) as u32 + matches!(cdr, Field::Obj(_)) as u32;
             self.sink.record(Event::LazyDrain { children });
-            if let Field::Obj(c) = car {
-                self.decref(c);
-            }
-            if let Field::Obj(c) = cdr {
-                self.decref(c);
+            for f in [car, cdr] {
+                match f {
+                    Field::Obj(c) => self.decref(c),
+                    f => self.free_field_word(f),
+                }
             }
         }
         Some(id)
@@ -897,6 +1209,9 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 if path.contains(&c) {
                     return false; // circular structure: not a tree
                 }
+                if self.pin == Some(c) {
+                    return false; // mid-materialization: fields in flux
+                }
                 let e = &self.entries[c as usize];
                 if !(e.live && e.rc == 1 && !e.stack_bit) {
                     return false;
@@ -926,7 +1241,16 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                     Some(a) => Word::ptr(a),
                     None => {
                         let cw = self.flush_field(car)?;
+                        // Record progress before the next fallible
+                        // step: the subtree behind `cw` is already
+                        // reclaimed, so a later failure must not leave
+                        // the old Obj field naming freed entries.
+                        // Parking the owned word keeps the entry
+                        // consistent; at worst the object leaks when
+                        // the pass is abandoned.
+                        self.entries[c as usize].car = Field::Atom(cw);
                         let dw = self.flush_field(cdr)?;
+                        self.entries[c as usize].cdr = Field::Atom(dw);
                         let merged = self.controller.merge(cw, dw)?;
                         self.sink.record(Event::HeapMerge);
                         Word::ptr(merged)
@@ -958,7 +1282,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             let mut freed_this_pass = 0usize;
             for id in 0..self.entries.len() as Id {
                 let e = &self.entries[id as usize];
-                if !e.live || e.addr.is_some() {
+                if !e.live || e.addr.is_some() || self.pin == Some(id) {
                     continue;
                 }
                 let (fcar, fcdr) = (e.car, e.cdr);
@@ -975,14 +1299,20 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 let frees_before = self.stats.frees;
                 let car_w = match self.flush_field(fcar) {
                     Ok(w) => w,
-                    Err(_) => return total,
+                    Err(e) => return self.abandon_compress(e, total),
                 };
+                // Park flushed words eagerly (see `flush_field`): a
+                // failure on the other field must find this one
+                // consistent, not naming already-freed entries.
+                self.entries[id as usize].car = Field::Atom(car_w);
                 let cdr_w = match self.flush_field(fcdr) {
                     Ok(w) => w,
-                    Err(_) => return total,
+                    Err(e) => return self.abandon_compress(e, total),
                 };
-                let Ok(addr) = self.controller.merge(car_w, cdr_w) else {
-                    return total;
+                self.entries[id as usize].cdr = Field::Atom(cdr_w);
+                let addr = match self.controller.merge(car_w, cdr_w) {
+                    Ok(a) => a,
+                    Err(e) => return self.abandon_compress(e.into(), total),
                 };
                 self.sink.record(Event::HeapMerge);
                 let e = &mut self.entries[id as usize];
@@ -1001,6 +1331,20 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             // Compress-All iterates to a fixpoint: compressing children
             // can make parents compressible.
         }
+    }
+
+    /// Abandon a compression pass on a heap error, keeping whatever it
+    /// reclaimed so far. A transient fault handled this way counts as
+    /// both detected and recovered: the pass carried on consistently
+    /// without it (the merge is simply retried at the next overflow).
+    fn abandon_compress(&mut self, e: LpError, total: usize) -> usize {
+        if matches!(e, LpError::Heap(HeapError::Transient)) {
+            self.stats.faults_detected += 1;
+            self.stats.faults_recovered += 1;
+            self.sink.record(Event::HeapFaultDetected);
+            self.sink.record(Event::HeapFaultRecovered);
+        }
+        total
     }
 
     /// Whether the current (possibly hybrid) policy stops after freeing
@@ -1044,7 +1388,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         let mut marks = vec![false; n];
         let mut stack: Vec<Id> = Vec::new();
         for (id, e) in self.entries.iter().enumerate() {
-            if e.live && (e.stack_bit || e.rc > indegree[id]) {
+            if e.live && (e.stack_bit || e.rc > indegree[id] || self.pin == Some(id as Id)) {
                 stack.push(id as Id);
             }
         }
@@ -1077,10 +1421,15 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 out
             };
             for f in [car, cdr] {
-                if let Field::Obj(c) = f {
-                    if marks[c as usize] {
-                        self.decref(c);
+                match f {
+                    Field::Obj(c) => {
+                        if marks[c as usize] {
+                            self.decref(c);
+                        }
                     }
+                    // A parked owned word on a garbage entry is
+                    // unreachable heap structure: reclaim it.
+                    f => self.free_field_word(f),
                 }
             }
             if self.entries[id as usize].live {
@@ -1112,6 +1461,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// the variable's old value, its reference is dropped first.
     pub fn readlist(&mut self, old: Option<LpValue>, expr: &SExpr) -> Result<LpValue, LpError> {
         self.drain_unroots();
+        self.check_overflow_mode();
         self.sink.op_begin(PrimKind::ReadList);
         let r = self.readlist_op(old, expr);
         self.sink.op_end(OpClass::ReadList);
@@ -1124,7 +1474,23 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         }
         let w = self.controller.read_in(expr)?;
         self.sink.record(Event::HeapReadIn);
-        let v = self.word_to_value(w)?;
+        if self.degraded && is_ptr_word(w) {
+            // Overflow mode: the object stays heap-side and the EP
+            // names it by address, like a conventional machine.
+            self.stats.heap_direct_ops += 1;
+            return Ok(LpValue::Atom(w));
+        }
+        let v = match self.word_to_value(w) {
+            Ok(v) => v,
+            Err(LpError::TrueOverflow)
+                if self.config.overflow == OverflowPolicy::Degrade && is_ptr_word(w) =>
+            {
+                self.enter_degraded();
+                self.stats.heap_direct_ops += 1;
+                return Ok(LpValue::Atom(w));
+            }
+            Err(e) => return Err(e),
+        };
         if let LpValue::Obj(id) = v {
             self.entries[id as usize].rc = 1;
             // That reference belongs to the EP.
@@ -1159,15 +1525,54 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             .addr
             .expect("live entry with no fields must have an address");
         let split = self.controller.split(addr)?;
-        self.entries[id as usize].addr = None;
+        // The split consumed the backing object: from here on the
+        // entry must never be left with neither fields nor address.
+        // Validate the pieces, then park them as owned words *before*
+        // the fallible materializations — a table overflow below then
+        // leaves a consistent, later-upgradable entry instead of a
+        // corrupt one with orphaned pieces.
+        for w in [split.car, split.cdr] {
+            match w.tag() {
+                Tag::Nil | Tag::Int | Tag::Sym | Tag::Ptr | Tag::Invisible => {}
+                t => return Err(LpError::UnexpectedTag(t)),
+            }
+        }
+        {
+            let e = &mut self.entries[id as usize];
+            e.addr = None;
+            e.car = Field::Atom(split.car);
+            e.cdr = Field::Atom(split.cdr);
+        }
         self.stats.misses += 1;
         self.sink.record(Event::LptMiss);
         self.sink.record(Event::HeapSplit);
-        let car_field = self.materialize(split.car)?;
-        let cdr_field = self.materialize(split.cdr)?;
-        let e = &mut self.entries[id as usize];
-        e.car = car_field;
-        e.cdr = cdr_field;
+        // Pin the entry: materialize can trigger a compression pass
+        // (or cycle break) that would otherwise flush the parked
+        // fields out from under us, leaving a torn entry.
+        self.pin = Some(id);
+        for (piece, is_car) in [(split.car, true), (split.cdr, false)] {
+            if !is_ptr_word(piece) {
+                continue;
+            }
+            match self.materialize(piece) {
+                Ok(f) => {
+                    let e = &mut self.entries[id as usize];
+                    if is_car {
+                        e.car = f;
+                    } else {
+                        e.cdr = f;
+                    }
+                }
+                // Table full: keep the parked owned word; an access
+                // upgrades (or, degraded, copies) it on demand.
+                Err(LpError::TrueOverflow) => {}
+                Err(e) => {
+                    self.pin = None;
+                    return Err(e);
+                }
+            }
+        }
+        self.pin = None;
         Ok(())
     }
 
@@ -1189,13 +1594,68 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// reference for the EP (Figure 4.11 increments the ref of Lcar).
     pub fn car(&mut self, id: Id) -> Result<LpValue, LpError> {
         self.drain_unroots();
+        self.check_overflow_mode();
         self.timed_access(id, true, PrimKind::Car)
     }
 
     /// `cdr` (§4.3.2.2.2).
     pub fn cdr(&mut self, id: Id) -> Result<LpValue, LpError> {
         self.drain_unroots();
+        self.check_overflow_mode();
         self.timed_access(id, false, PrimKind::Cdr)
+    }
+
+    /// `car` of any LP value: table objects dispatch to [`Self::car`];
+    /// §4.3.2.3 heap-direct pointer atoms are peeked in place;
+    /// immediates are refused as [`LpError::NotAList`].
+    pub fn car_of(&mut self, v: LpValue) -> Result<LpValue, LpError> {
+        self.value_access(v, true)
+    }
+
+    /// `cdr` of any LP value (see [`Self::car_of`]).
+    pub fn cdr_of(&mut self, v: LpValue) -> Result<LpValue, LpError> {
+        self.value_access(v, false)
+    }
+
+    fn value_access(&mut self, v: LpValue, want_car: bool) -> Result<LpValue, LpError> {
+        match v {
+            LpValue::Obj(id) => {
+                if want_car {
+                    self.car(id)
+                } else {
+                    self.cdr(id)
+                }
+            }
+            LpValue::Atom(w) if is_ptr_word(w) => {
+                self.drain_unroots();
+                self.check_overflow_mode();
+                let prim = if want_car {
+                    PrimKind::Car
+                } else {
+                    PrimKind::Cdr
+                };
+                self.sink.op_begin(prim);
+                let r = self.heap_direct_access(w, want_car);
+                // Heap-direct accesses always touch the heap.
+                self.sink.op_end(OpClass::AccessMiss);
+                r
+            }
+            LpValue::Atom(_) => Err(LpError::NotAList),
+        }
+    }
+
+    /// Overflow-mode access: read one piece of a heap-direct object
+    /// with a non-consuming peek. Pieces stay words — pointer pieces
+    /// alias the leaked heap-direct world and are never given table
+    /// entries (the table does not own that structure).
+    fn heap_direct_access(&mut self, w: Word, want_car: bool) -> Result<LpValue, LpError> {
+        let split = self.controller.peek(w.addr())?;
+        self.stats.heap_direct_ops += 1;
+        let piece = if want_car { split.car } else { split.cdr };
+        match piece.tag() {
+            Tag::Nil | Tag::Int | Tag::Sym | Tag::Ptr | Tag::Invisible => Ok(LpValue::Atom(piece)),
+            t => Err(LpError::UnexpectedTag(t)),
+        }
     }
 
     /// Bracket one field access with op boundary marks. Whether it is a
@@ -1219,26 +1679,53 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         let e = &self.entries[id as usize];
         debug_assert!(e.live, "access of dead entry {id}");
         let field = if want_car { e.car } else { e.cdr };
-        let v = match field {
-            Field::Atom(w) => {
-                self.stats.hits += 1;
-                self.sink.record(Event::LptHit);
-                LpValue::Atom(w)
-            }
-            Field::Obj(c) => {
-                self.stats.hits += 1;
-                self.sink.record(Event::LptHit);
-                LpValue::Obj(c)
-            }
-            Field::Empty => {
-                self.ensure_fields(id)?;
-                let e = &self.entries[id as usize];
-                match if want_car { e.car } else { e.cdr } {
-                    Field::Atom(w) => LpValue::Atom(w),
-                    Field::Obj(c) => LpValue::Obj(c),
-                    Field::Empty => unreachable!("ensure_fields materializes both"),
+        if field == Field::Empty {
+            self.ensure_fields(id)?;
+        } else {
+            self.stats.hits += 1;
+            self.sink.record(Event::LptHit);
+        }
+        let e = &self.entries[id as usize];
+        let v = match if want_car { e.car } else { e.cdr } {
+            Field::Atom(w) if is_ptr_word(w) => {
+                // An owned word parked in the field (partial
+                // compression progress or an earlier overflow).
+                // Transfer it to a table entry so normal refcounting
+                // applies; with the table still full under the degrade
+                // policy, hand the EP a leaked private copy instead —
+                // the field keeps its owned original.
+                self.pin = Some(id);
+                let m = self.materialize(w);
+                self.pin = None;
+                match m {
+                    Ok(f) => {
+                        let e = &mut self.entries[id as usize];
+                        if want_car {
+                            e.car = f;
+                        } else {
+                            e.cdr = f;
+                        }
+                        match f {
+                            Field::Obj(c) => LpValue::Obj(c),
+                            _ => unreachable!("ptr words materialize to objects"),
+                        }
+                    }
+                    Err(LpError::TrueOverflow)
+                        if self.config.overflow == OverflowPolicy::Degrade =>
+                    {
+                        self.enter_degraded();
+                        let expr = self.controller.extract(w);
+                        let copy = self.controller.read_in(&expr)?;
+                        self.sink.record(Event::HeapReadIn);
+                        self.stats.heap_direct_ops += 1;
+                        LpValue::Atom(copy)
+                    }
+                    Err(e) => return Err(e),
                 }
             }
+            Field::Atom(w) => LpValue::Atom(w),
+            Field::Obj(c) => LpValue::Obj(c),
+            Field::Empty => unreachable!("ensure_fields materializes both"),
         };
         if let LpValue::Obj(c) = v {
             self.binding_acquire(LpValue::Obj(c));
@@ -1251,6 +1738,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// result carries one stack reference.
     pub fn cons(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
         self.drain_unroots();
+        self.check_overflow_mode();
         self.sink.op_begin(PrimKind::Cons);
         let r = self.cons_op(car, cdr);
         self.sink.op_end(OpClass::Cons);
@@ -1258,7 +1746,19 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     }
 
     fn cons_op(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
-        let id = self.allocate()?;
+        if self.degraded {
+            return self.cons_direct(car, cdr);
+        }
+        let car = self.adopt_operand(car)?;
+        let cdr = self.adopt_operand(cdr)?;
+        let id = match self.allocate() {
+            Ok(id) => id,
+            Err(LpError::TrueOverflow) if self.config.overflow == OverflowPolicy::Degrade => {
+                self.enter_degraded();
+                return self.cons_direct(car, cdr);
+            }
+            Err(e) => return Err(e),
+        };
         // Children gain an internal reference each.
         if let LpValue::Obj(c) = car {
             self.incref(c);
@@ -1283,16 +1783,99 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         Ok(LpValue::Obj(id))
     }
 
+    /// Copy an overflow-mode heap-direct operand into a privately
+    /// owned heap object before it is stored into a table field.
+    /// EP-visible pointer atoms alias the leaked heap-direct world,
+    /// which is never reclaimed; table fields *own* their words and
+    /// free them with the entry, so sharing a word across the two
+    /// regimes would reclaim cells other overflow-mode values still
+    /// reference.
+    fn adopt_operand(&mut self, v: LpValue) -> Result<LpValue, LpError> {
+        match v {
+            LpValue::Atom(w) if is_ptr_word(w) => {
+                let expr = self.controller.extract(w);
+                let copy = self.controller.read_in(&expr)?;
+                self.sink.record(Event::HeapReadIn);
+                self.stats.heap_direct_ops += 1;
+                Ok(LpValue::Atom(copy))
+            }
+            v => Ok(v),
+        }
+    }
+
+    /// §4.3.2.3 overflow-mode cons: build the cell heap-side like a
+    /// conventional machine. Table objects are passed by value (a deep
+    /// copy — aliasing with the table original is lost for structure
+    /// built while degraded); atoms and heap-direct pointers pass
+    /// straight through.
+    fn cons_direct(&mut self, car: LpValue, cdr: LpValue) -> Result<LpValue, LpError> {
+        let cw = self.direct_word(car)?;
+        let dw = self.direct_word(cdr)?;
+        let addr = self.controller.merge(cw, dw)?;
+        self.sink.record(Event::HeapMerge);
+        self.stats.heap_direct_ops += 1;
+        self.sample_occupancy();
+        Ok(LpValue::Atom(Word::ptr(addr)))
+    }
+
+    fn direct_word(&mut self, v: LpValue) -> Result<Word, LpError> {
+        match v {
+            LpValue::Atom(w) => Ok(w),
+            LpValue::Obj(id) => {
+                // Snapshot the table object into the heap-direct
+                // world; the entry keeps its structure and refcounts.
+                let expr = self.writelist_inner(LpValue::Obj(id), &mut Vec::new())?;
+                let w = self.controller.read_in(&expr)?;
+                self.sink.record(Event::HeapReadIn);
+                self.stats.heap_direct_ops += 1;
+                Ok(w)
+            }
+        }
+    }
+
     /// `rplaca` (§4.3.2.2.3).
     pub fn rplaca(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
         self.drain_unroots();
+        self.check_overflow_mode();
         self.timed_replace(id, v, true, PrimKind::Rplaca)
     }
 
     /// `rplacd` (§4.3.2.2.3).
     pub fn rplacd(&mut self, id: Id, v: LpValue) -> Result<(), LpError> {
         self.drain_unroots();
+        self.check_overflow_mode();
         self.timed_replace(id, v, false, PrimKind::Rplacd)
+    }
+
+    /// `rplaca` of any LP value. Destructive update of a §4.3.2.3
+    /// heap-direct value is refused with a typed [`LpError::Degraded`]
+    /// — overflow-mode structure is immutable by construction (the
+    /// leaked world may be aliased arbitrarily).
+    pub fn rplaca_of(&mut self, target: LpValue, v: LpValue) -> Result<(), LpError> {
+        self.value_replace(target, v, true)
+    }
+
+    /// `rplacd` of any LP value (see [`Self::rplaca_of`]).
+    pub fn rplacd_of(&mut self, target: LpValue, v: LpValue) -> Result<(), LpError> {
+        self.value_replace(target, v, false)
+    }
+
+    fn value_replace(&mut self, target: LpValue, v: LpValue, is_car: bool) -> Result<(), LpError> {
+        match target {
+            LpValue::Obj(id) => {
+                if is_car {
+                    self.rplaca(id, v)
+                } else {
+                    self.rplacd(id, v)
+                }
+            }
+            LpValue::Atom(w) if is_ptr_word(w) => Err(LpError::Degraded(if is_car {
+                "rplaca of a heap-direct value"
+            } else {
+                "rplacd of a heap-direct value"
+            })),
+            LpValue::Atom(_) => Err(LpError::NotAList),
+        }
     }
 
     /// Bracket one field replacement. Always classed as a Figure-4.12
@@ -1314,6 +1897,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
 
     fn replace(&mut self, id: Id, v: LpValue, is_car: bool) -> Result<(), LpError> {
         self.ensure_fields(id)?;
+        let v = self.adopt_operand(v)?;
         if let LpValue::Obj(c) = v {
             self.incref(c);
         }
@@ -1329,8 +1913,11 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 std::mem::replace(&mut e.cdr, new_field)
             }
         };
-        if let Field::Obj(c) = old {
-            self.decref(c);
+        match old {
+            Field::Obj(c) => self.decref(c),
+            // The field owned its parked heap word; it is unreachable
+            // once replaced.
+            old => self.free_field_word(old),
         }
         self.sample_occupancy();
         Ok(())
@@ -1352,16 +1939,25 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         self.cons(to_value(car), to_value(cdr))
     }
 
-    /// `writelist`: reconstruct the s-expression for a value.
+    /// `writelist`: reconstruct the s-expression for a value. A cycle
+    /// built by `rplaca`/`rplacd` is refused with a typed
+    /// [`LpError::Cyclic`] rather than recursing without bound.
     pub fn writelist(&mut self, v: LpValue) -> Result<SExpr, LpError> {
         self.drain_unroots();
-        self.writelist_inner(v)
+        let mut path = Vec::new();
+        self.writelist_inner(v, &mut path)
     }
 
-    fn writelist_inner(&mut self, v: LpValue) -> Result<SExpr, LpError> {
+    fn writelist_inner(&mut self, v: LpValue, path: &mut Vec<Id>) -> Result<SExpr, LpError> {
         match v {
             LpValue::Atom(w) => Ok(self.controller.extract(w)),
             LpValue::Obj(id) => {
+                // Path-based detection: a shared (DAG) child may appear
+                // many times, but the same id on the *current* path is
+                // a cycle and has no finite printed form.
+                if path.contains(&id) {
+                    return Err(LpError::Cyclic);
+                }
                 let e = &self.entries[id as usize];
                 debug_assert!(e.live);
                 if let Some(addr) = e.addr {
@@ -1373,8 +1969,10 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                     Field::Obj(c) => LpValue::Obj(c),
                     Field::Empty => unreachable!("live entry without addr has fields"),
                 };
-                let car_e = self.writelist_inner(to_value(car))?;
-                let cdr_e = self.writelist_inner(to_value(cdr))?;
+                path.push(id);
+                let car_e = self.writelist_inner(to_value(car), path)?;
+                let cdr_e = self.writelist_inner(to_value(cdr), path)?;
+                path.pop();
                 Ok(SExpr::cons(car_e, cdr_e))
             }
         }
@@ -1430,9 +2028,12 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                     self.sink.record(Event::LazyDrain { children });
                 }
                 for f in [car, cdr] {
-                    if let Field::Obj(c) = f {
-                        self.decref(c);
-                        did = true;
+                    match f {
+                        Field::Obj(c) => {
+                            self.decref(c);
+                            did = true;
+                        }
+                        f => self.free_field_word(f),
                     }
                 }
             }
@@ -1440,6 +2041,389 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 return;
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Invariant auditing, perturbation, and reconciliation
+    // -----------------------------------------------------------------
+
+    /// Walk the whole table and verify its structural invariants:
+    /// reference counts against internal in-degree, the
+    /// fields-XOR-address rule, dangling and out-of-range fields,
+    /// free-stack integrity (LIFO threading, no cycles, no live entry
+    /// on the list, no stranded dead entry), and split-refcount
+    /// conservation (§5.2.4). Read-only; returns a structured report.
+    ///
+    /// Legal states are not flagged: uncollected reference cycles
+    /// satisfy `rc >= indegree`, and over-counted entries merely leak
+    /// (external register references are invisible to the walk).
+    pub fn audit(&self) -> AuditReport {
+        let n = self.entries.len();
+        let mut report = AuditReport::default();
+        // Internal in-degree: fields of live entries plus pending
+        // fields of lazily-freed entries.
+        let mut indeg = vec![0u32; n];
+        for e in &self.entries {
+            if e.live || e.lazy {
+                for f in [e.car, e.cdr] {
+                    if let Field::Obj(c) = f {
+                        if (c as usize) < n {
+                            indeg[c as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            let id = i as Id;
+            if e.live {
+                report.live_entries += 1;
+                let has_car = e.car != Field::Empty;
+                let has_cdr = e.cdr != Field::Empty;
+                let consistent = match (has_car, has_cdr) {
+                    (true, true) => e.addr.is_none(),
+                    (false, false) => e.addr.is_some(),
+                    _ => false,
+                };
+                if !consistent {
+                    report.violations.push(Violation::FieldsAddrMismatch { id });
+                }
+                if e.rc < indeg[i] && !e.stack_bit {
+                    report.violations.push(Violation::RefcountLow {
+                        id,
+                        rc: e.rc,
+                        indegree: indeg[i],
+                    });
+                }
+                if e.rc == 0 && !e.stack_bit {
+                    report.violations.push(Violation::UndetectedGarbage { id });
+                }
+            }
+            if e.live || e.lazy {
+                for f in [e.car, e.cdr] {
+                    if let Field::Obj(c) = f {
+                        if c as usize >= n {
+                            report
+                                .violations
+                                .push(Violation::FieldOutOfRange { id, child: c });
+                        } else if !self.entries[c as usize].live {
+                            report
+                                .violations
+                                .push(Violation::DanglingField { id, child: c });
+                        }
+                    }
+                }
+            }
+        }
+        // Split-refcount conservation (§5.2.4): the stack bit and the
+        // EP-side count table must agree exactly; the unified mode has
+        // neither.
+        match self.config.refcounts {
+            RefcountMode::Unified => {
+                for (i, e) in self.entries.iter().enumerate() {
+                    if e.stack_bit {
+                        report
+                            .violations
+                            .push(Violation::StackBitMismatch { id: i as Id });
+                    }
+                }
+                let mut stray: Vec<Id> = self.ep_counts.keys().copied().collect();
+                stray.sort_unstable();
+                for id in stray {
+                    report.violations.push(Violation::StackBitMismatch { id });
+                }
+            }
+            RefcountMode::Split => {
+                for (i, e) in self.entries.iter().enumerate() {
+                    let counted = self.ep_counts.get(&(i as Id)).copied().unwrap_or(0) > 0;
+                    let mismatch = if e.live {
+                        e.stack_bit != counted
+                    } else {
+                        e.stack_bit || counted
+                    };
+                    if mismatch {
+                        report
+                            .violations
+                            .push(Violation::StackBitMismatch { id: i as Id });
+                    }
+                }
+            }
+        }
+        // Free-list integrity: walk from the head with a seen-bitmap.
+        let mut seen = vec![false; n];
+        let mut cursor = self.free_head;
+        let mut last = None;
+        let mut cycled = false;
+        while let Some(id) = cursor {
+            if seen[id as usize] {
+                report.violations.push(Violation::FreeListCycle { id });
+                cycled = true;
+                break;
+            }
+            seen[id as usize] = true;
+            report.free_entries += 1;
+            if self.entries[id as usize].live {
+                report.violations.push(Violation::LiveOnFreeList { id });
+            }
+            last = Some(id);
+            cursor = self.entries[id as usize].free_next;
+        }
+        if !cycled && last != self.free_tail {
+            report.violations.push(Violation::FreeTailMismatch);
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.live && !seen[i] {
+                report
+                    .violations
+                    .push(Violation::DeadNotOnFreeList { id: i as Id });
+            }
+        }
+        report
+    }
+
+    /// Deliberately corrupt the table (chaos/test tooling only): apply
+    /// one [`Perturbation`] with no bookkeeping, modeling a bit flip
+    /// the [`Self::audit`] walk must catch and [`Self::reconcile`]
+    /// must repair.
+    pub fn perturb(&mut self, p: Perturbation) {
+        match p {
+            Perturbation::SetRefcount { id, rc } => {
+                self.entries[id as usize].rc = rc;
+            }
+            Perturbation::CorruptField { id, car, child } => {
+                let e = &mut self.entries[id as usize];
+                if car {
+                    e.car = Field::Obj(child);
+                } else {
+                    e.cdr = Field::Obj(child);
+                }
+            }
+            Perturbation::ClearStackBit { id } => {
+                self.entries[id as usize].stack_bit = false;
+            }
+            Perturbation::BreakFreeList => {
+                self.free_head = None;
+                self.free_tail = None;
+            }
+            Perturbation::ResurrectEntry { id } => {
+                let e = &mut self.entries[id as usize];
+                if !e.live {
+                    e.live = true;
+                    e.lazy = false;
+                    self.live += 1;
+                }
+            }
+        }
+    }
+
+    /// Audit-driven repair: rebuild the table's bookkeeping from
+    /// trusted external roots, reusing the true-overflow mark
+    /// machinery. `roots` must list every EP-held reference that is
+    /// counted in entry refcounts — register references in both modes,
+    /// plus stack/binding references under [`RefcountMode::Unified`]
+    /// (one element per reference). Split-mode stack references are
+    /// recovered from the EP-side count table automatically.
+    ///
+    /// The pass clears corrupt fields, sweeps unreachable live
+    /// entries, recomputes every reference count from internal
+    /// in-degree plus root multiplicity, realigns stack bits with the
+    /// EP-side table, and rebuilds the free list deterministically
+    /// (dead identifiers ascending, threaded low-first). Reachable
+    /// structure is never dropped; ambiguous heap addresses are leaked
+    /// rather than freed.
+    pub fn reconcile(&mut self, roots: &[LpValue]) -> ReconcileStats {
+        let mut stats = ReconcileStats::default();
+        let n = self.entries.len();
+        let nil = Field::Atom(Word::NIL);
+        // 1. Field hygiene: clear fields naming dead or out-of-range
+        //    entries; resolve fields/address inconsistencies.
+        for i in 0..n {
+            if !(self.entries[i].live || self.entries[i].lazy) {
+                continue;
+            }
+            for is_car in [true, false] {
+                let e = &self.entries[i];
+                let f = if is_car { e.car } else { e.cdr };
+                if let Field::Obj(c) = f {
+                    if c as usize >= n || !self.entries[c as usize].live {
+                        let e = &mut self.entries[i];
+                        if is_car {
+                            e.car = nil;
+                        } else {
+                            e.cdr = nil;
+                        }
+                        stats.fields_cleared += 1;
+                    }
+                }
+            }
+            if self.entries[i].live {
+                let e = &mut self.entries[i];
+                let has_fields = e.car != Field::Empty || e.cdr != Field::Empty;
+                if has_fields && e.addr.is_some() {
+                    // Trust the materialized fields; the stale address
+                    // may alias live structure, so it leaks.
+                    e.addr = None;
+                    stats.fields_cleared += 1;
+                }
+                if has_fields {
+                    if e.car == Field::Empty {
+                        e.car = nil;
+                        stats.fields_cleared += 1;
+                    }
+                    if e.cdr == Field::Empty {
+                        e.cdr = nil;
+                        stats.fields_cleared += 1;
+                    }
+                } else if e.addr.is_none() {
+                    // No recoverable structure: default to (nil . nil)
+                    // so the entry stays accessible.
+                    e.car = nil;
+                    e.cdr = nil;
+                    stats.fields_cleared += 1;
+                }
+            }
+        }
+        // 2. Mark from the trusted roots (the same machinery as
+        //    true-overflow cycle breaking, with externally supplied
+        //    roots instead of count-derived ones).
+        let mut marked = vec![false; n];
+        let mut stack: Vec<Id> = Vec::new();
+        let mut root_mult = vec![0u32; n];
+        for v in roots {
+            if let LpValue::Obj(id) = v {
+                if (*id as usize) < n && self.entries[*id as usize].live {
+                    root_mult[*id as usize] += 1;
+                    stack.push(*id);
+                }
+            }
+        }
+        for (&id, &c) in &self.ep_counts {
+            if (id as usize) < n && c > 0 && self.entries[id as usize].live {
+                stack.push(id);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut marked[id as usize], true) {
+                continue;
+            }
+            let e = &self.entries[id as usize];
+            for f in [e.car, e.cdr] {
+                if let Field::Obj(c) = f {
+                    if !marked[c as usize] {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        // 3. Sweep unreachable live entries back to dead.
+        for (i, &m) in marked.iter().enumerate() {
+            if !self.entries[i].live || m {
+                continue;
+            }
+            let (car, cdr, addr) = {
+                let e = &mut self.entries[i];
+                e.live = false;
+                e.lazy = false;
+                e.rc = 0;
+                e.stack_bit = false;
+                (
+                    std::mem::take(&mut e.car),
+                    std::mem::take(&mut e.cdr),
+                    e.addr.take(),
+                )
+            };
+            if let Some(a) = addr {
+                self.controller.free_object(a);
+                self.sink.record(Event::HeapFree);
+            }
+            for f in [car, cdr] {
+                self.free_field_word(f);
+            }
+            stats.entries_swept += 1;
+        }
+        // 4. Pending lazy fields whose target was just swept: drop the
+        //    deferred decrement (the target is already gone).
+        for i in 0..n {
+            if !self.entries[i].lazy {
+                continue;
+            }
+            for is_car in [true, false] {
+                let e = &self.entries[i];
+                let f = if is_car { e.car } else { e.cdr };
+                if let Field::Obj(c) = f {
+                    if !self.entries[c as usize].live {
+                        let e = &mut self.entries[i];
+                        if is_car {
+                            e.car = nil;
+                        } else {
+                            e.cdr = nil;
+                        }
+                        stats.fields_cleared += 1;
+                    }
+                }
+            }
+        }
+        // 5. Recompute reference counts: internal in-degree over live
+        //    and pending fields, plus declared root multiplicity.
+        let mut indeg = vec![0u32; n];
+        for e in &self.entries {
+            if e.live || e.lazy {
+                for f in [e.car, e.cdr] {
+                    if let Field::Obj(c) = f {
+                        indeg[c as usize] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            let want = indeg[i] + root_mult[i];
+            let e = &mut self.entries[i];
+            if e.live && e.rc != want {
+                e.rc = want;
+                stats.refcounts_fixed += 1;
+            }
+        }
+        // 6. Stack bits follow the EP-side table (split mode); the
+        //    unified mode has none. EP counts on dead entries are
+        //    corrupt leftovers and are dropped.
+        let dead_counts: Vec<Id> = self
+            .ep_counts
+            .keys()
+            .copied()
+            .filter(|&id| id as usize >= n || !self.entries[id as usize].live)
+            .collect();
+        for id in dead_counts {
+            self.ep_counts.remove(&id);
+            stats.stack_bits_fixed += 1;
+        }
+        for i in 0..n {
+            let should = self.config.refcounts == RefcountMode::Split
+                && self.entries[i].live
+                && self.ep_counts.get(&(i as Id)).copied().unwrap_or(0) > 0;
+            let e = &mut self.entries[i];
+            if e.stack_bit != should {
+                e.stack_bit = should;
+                stats.stack_bits_fixed += 1;
+            }
+        }
+        // 7. Rebuild the free list deterministically: dead identifiers
+        //    ascending, threaded low-first (the initial layout).
+        self.free_head = None;
+        self.free_tail = None;
+        for i in (0..n).rev() {
+            if self.entries[i].live {
+                self.entries[i].free_next = None;
+            } else {
+                self.entries[i].free_next = self.free_head;
+                self.free_head = Some(i as Id);
+                if self.free_tail.is_none() {
+                    self.free_tail = Some(i as Id);
+                }
+            }
+        }
+        // 8. Recount occupancy.
+        self.live = self.entries.iter().filter(|e| e.live).count();
+        stats
     }
 }
 
@@ -2144,5 +3128,393 @@ mod tests {
                 OpClass::Modify,
             ]
         );
+    }
+
+    // -- Invariant auditing and reconciliation ------------------------
+
+    fn has<F: Fn(&Violation) -> bool>(report: &AuditReport, pred: F) -> bool {
+        report.violations.iter().any(pred)
+    }
+
+    #[test]
+    fn audit_clean_on_fresh_and_worked_tables() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        assert!(lp.audit().is_clean());
+        let v = read(&mut lp, &mut i, "(a (b c) d)");
+        let id = v.obj().unwrap();
+        let cdr = lp.cdr(id).unwrap();
+        assert!(lp.audit().is_clean());
+        release(&mut lp, cdr);
+        release(&mut lp, v);
+        lp.drain_lazy();
+        let r = lp.audit();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.live_entries, 0);
+    }
+
+    #[test]
+    fn audit_detects_refcount_corruption() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "((a) b)");
+        let id = v.obj().unwrap();
+        let child = lp.car(id).unwrap();
+        let cid = child.obj().unwrap();
+        assert!(lp.audit().is_clean());
+        lp.perturb(Perturbation::SetRefcount { id: cid, rc: 0 });
+        let r = lp.audit();
+        assert!(has(&r, |x| matches!(
+            x,
+            Violation::RefcountLow { .. } | Violation::UndetectedGarbage { .. }
+        )));
+    }
+
+    #[test]
+    fn audit_detects_undetected_garbage() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "(a b)");
+        let id = v.obj().unwrap();
+        lp.perturb(Perturbation::SetRefcount { id, rc: 0 });
+        assert!(has(&lp.audit(), |x| matches!(
+            x,
+            Violation::UndetectedGarbage { .. }
+        )));
+    }
+
+    #[test]
+    fn audit_detects_dangling_and_out_of_range_fields() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "((a) b)");
+        let id = v.obj().unwrap();
+        let _ = lp.car(id).unwrap(); // materialize the fields
+        lp.perturb(Perturbation::CorruptField {
+            id,
+            car: true,
+            child: 300, // dead but in range
+        });
+        assert!(has(&lp.audit(), |x| matches!(
+            x,
+            Violation::DanglingField { child: 300, .. }
+        )));
+        lp.perturb(Perturbation::CorruptField {
+            id,
+            car: true,
+            child: 100_000,
+        });
+        assert!(has(&lp.audit(), |x| matches!(
+            x,
+            Violation::FieldOutOfRange { .. }
+        )));
+    }
+
+    #[test]
+    fn audit_detects_cleared_stack_bit_in_split_mode() {
+        let mut i = Interner::new();
+        let mut lp = ListProcessor::new(
+            TwoPointerController::new(65536, 64),
+            LpConfig {
+                refcounts: RefcountMode::Split,
+                ..LpConfig::default()
+            },
+        );
+        let v = read(&mut lp, &mut i, "(a b)");
+        let id = v.obj().unwrap();
+        assert!(lp.audit().is_clean());
+        lp.perturb(Perturbation::ClearStackBit { id });
+        assert!(has(&lp.audit(), |x| matches!(
+            x,
+            Violation::StackBitMismatch { .. }
+        )));
+    }
+
+    #[test]
+    fn audit_detects_broken_free_list() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let _v = read(&mut lp, &mut i, "(a)");
+        assert!(lp.audit().is_clean());
+        lp.perturb(Perturbation::BreakFreeList);
+        assert!(has(&lp.audit(), |x| matches!(
+            x,
+            Violation::DeadNotOnFreeList { .. }
+        )));
+    }
+
+    #[test]
+    fn audit_detects_resurrected_entry() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let _v = read(&mut lp, &mut i, "(a)");
+        lp.perturb(Perturbation::ResurrectEntry { id: 5 });
+        let r = lp.audit();
+        assert!(has(&r, |x| matches!(
+            x,
+            Violation::LiveOnFreeList { id: 5 }
+        )));
+        assert!(has(&r, |x| matches!(
+            x,
+            Violation::FieldsAddrMismatch { id: 5 }
+        )));
+    }
+
+    #[test]
+    fn reconcile_repairs_counts_and_free_list_without_losing_structure() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "(a (b c) d)");
+        let id = v.obj().unwrap();
+        let cdr = lp.cdr(id).unwrap();
+        let cdr_id = cdr.obj().unwrap();
+        let inner = lp.car(cdr_id).unwrap();
+        release(&mut lp, cdr);
+        release(&mut lp, inner);
+        let before = print(&lp.writelist(v).unwrap(), &i);
+        assert!(lp.audit().is_clean());
+        lp.perturb(Perturbation::SetRefcount { id: cdr_id, rc: 7 });
+        lp.perturb(Perturbation::BreakFreeList);
+        lp.perturb(Perturbation::ResurrectEntry { id: 400 });
+        assert!(!lp.audit().is_clean());
+        let stats = lp.reconcile(&[v]);
+        assert!(stats.refcounts_fixed >= 1);
+        assert!(stats.entries_swept >= 1, "the resurrected husk is swept");
+        let r = lp.audit();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(print(&lp.writelist(v).unwrap(), &i), before);
+    }
+
+    #[test]
+    fn reconcile_clears_corrupted_fields_and_sweeps_orphans() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "((a) b)");
+        let id = v.obj().unwrap();
+        let child = lp.car(id).unwrap();
+        release(&mut lp, child);
+        // Overwrite the cdr field with a dangling reference: the old
+        // cdr subtree becomes unreachable and must be swept, and the
+        // forged field must be defaulted rather than followed.
+        lp.perturb(Perturbation::CorruptField {
+            id,
+            car: false,
+            child: 300,
+        });
+        let stats = lp.reconcile(&[v]);
+        assert!(stats.fields_cleared >= 1);
+        assert!(stats.entries_swept >= 1);
+        let r = lp.audit();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(print(&lp.writelist(v).unwrap(), &i), "((a))");
+    }
+
+    // -- Transient-fault retry ----------------------------------------
+
+    mod faults {
+        use super::*;
+        use small_heap::{FaultPlan, FaultyController};
+
+        type FLp = ListProcessor<FaultyController<TwoPointerController>>;
+
+        fn split_always(max_burst: u32) -> FaultPlan {
+            FaultPlan {
+                seed: 7,
+                read_in_ppk: 0,
+                split_ppk: 1024,
+                merge_ppk: 0,
+                delay_free_ppk: 0,
+                delay_ops: 0,
+                max_burst,
+            }
+        }
+
+        fn faulty_lp(plan: FaultPlan) -> FLp {
+            ListProcessor::new(
+                FaultyController::new(TwoPointerController::new(65536, 64), plan),
+                LpConfig::default(),
+            )
+        }
+
+        #[test]
+        fn retrying_recovers_bounded_transient_bursts() {
+            let mut i = Interner::new();
+            let mut lp = faulty_lp(split_always(2));
+            let e = parse("((a) b)", &mut i).unwrap();
+            let v = lp.readlist(None, &e).unwrap();
+            let id = v.obj().unwrap();
+            let car = lp.retrying(|lp| lp.car(id)).unwrap();
+            assert_eq!(print(&lp.writelist(car).unwrap(), &i), "(a)");
+            // Two injected failures, both detected and both recovered;
+            // injected == detected reconciles exactly.
+            assert_eq!(lp.stats().faults_detected, 2);
+            assert_eq!(lp.stats().faults_recovered, 2);
+            assert_eq!(lp.controller.fault_stats().transient_total(), 2);
+            let r = lp.audit();
+            assert!(r.is_clean(), "{:?}", r.violations);
+        }
+
+        #[test]
+        fn retrying_gives_up_after_bounded_attempts() {
+            let mut i = Interner::new();
+            let mut lp = faulty_lp(split_always(64));
+            let e = parse("((a) b)", &mut i).unwrap();
+            let v = lp.readlist(None, &e).unwrap();
+            let id = v.obj().unwrap();
+            let r = lp.retrying(|lp| lp.car(id));
+            assert_eq!(r.unwrap_err(), LpError::Heap(HeapError::Transient));
+            // Every attempt (the initial one plus the retries) was
+            // detected; none recovered.
+            assert_eq!(
+                lp.stats().faults_detected,
+                u64::from(TRANSIENT_RETRY_LIMIT) + 1
+            );
+            assert_eq!(lp.stats().faults_recovered, 0);
+            // The failed splits corrupted nothing: the entry still has
+            // its backing object and a clean audit.
+            assert!(lp.audit().is_clean());
+            assert_eq!(print(&lp.writelist(v).unwrap(), &i), "((a) b)");
+        }
+    }
+
+    // -- §4.3.2.3 graceful overflow degradation -----------------------
+
+    mod overflow_degradation {
+        use super::*;
+
+        fn degrade_lp(table: usize) -> Lp {
+            ListProcessor::new(
+                TwoPointerController::new(65536, 64),
+                LpConfig {
+                    table_size: table,
+                    overflow: OverflowPolicy::Degrade,
+                    ..LpConfig::default()
+                },
+            )
+        }
+
+        #[test]
+        fn true_overflow_degrades_instead_of_failing() {
+            let mut lp = degrade_lp(4);
+            let held: Vec<LpValue> = (0..4)
+                .map(|k| {
+                    lp.cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                        .unwrap()
+                })
+                .collect();
+            assert!(!lp.degraded());
+            // The table is full of EP-rooted, incompressible pairs: the
+            // next cons overflows and degrades to heap-direct operation.
+            let v = lp
+                .cons(LpValue::Atom(Word::int(99)), LpValue::Atom(Word::NIL))
+                .unwrap();
+            assert!(lp.degraded());
+            assert!(v.is_heap_direct());
+            assert!(v.is_list());
+            assert_eq!(lp.stats().overflow_entries, 1);
+            // car/cdr work directly against the heap.
+            assert_eq!(lp.car_of(v).unwrap(), LpValue::Atom(Word::int(99)));
+            assert_eq!(lp.cdr_of(v).unwrap(), LpValue::Atom(Word::NIL));
+            assert!(lp.stats().heap_direct_ops > 0);
+            // The table-resident values are untouched.
+            for (k, h) in held.iter().enumerate() {
+                assert_eq!(lp.car_of(*h).unwrap(), LpValue::Atom(Word::int(k as i64)));
+            }
+        }
+
+        #[test]
+        fn degraded_readlist_round_trips_through_the_heap() {
+            let mut i = Interner::new();
+            let mut lp = degrade_lp(4);
+            let _held: Vec<LpValue> = (0..4)
+                .map(|k| {
+                    lp.cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                        .unwrap()
+                })
+                .collect();
+            let _ = lp
+                .cons(LpValue::Atom(Word::int(9)), LpValue::Atom(Word::NIL))
+                .unwrap();
+            assert!(lp.degraded());
+            let e = parse("(a (b) c)", &mut i).unwrap();
+            let v = lp.readlist(None, &e).unwrap();
+            assert!(v.is_heap_direct());
+            assert_eq!(print(&lp.writelist(v).unwrap(), &i), "(a (b) c)");
+            // Structural traversal of a heap-direct nested list.
+            let second = {
+                let tail = lp.cdr_of(v).unwrap();
+                lp.car_of(tail).unwrap()
+            };
+            assert!(second.is_heap_direct());
+            assert_eq!(print(&lp.writelist(second).unwrap(), &i), "(b)");
+        }
+
+        #[test]
+        fn degraded_mutation_is_a_typed_error() {
+            let mut lp = degrade_lp(4);
+            let _held: Vec<LpValue> = (0..4)
+                .map(|k| {
+                    lp.cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                        .unwrap()
+                })
+                .collect();
+            let v = lp
+                .cons(LpValue::Atom(Word::int(9)), LpValue::Atom(Word::NIL))
+                .unwrap();
+            assert!(v.is_heap_direct());
+            let r = lp.rplaca_of(v, LpValue::Atom(Word::int(1)));
+            assert!(matches!(r, Err(LpError::Degraded(_))), "{r:?}");
+            let r = lp.rplacd_of(v, LpValue::Atom(Word::NIL));
+            assert!(matches!(r, Err(LpError::Degraded(_))), "{r:?}");
+        }
+
+        #[test]
+        fn overflow_mode_exits_once_occupancy_recovers() {
+            let mut lp = degrade_lp(4);
+            let held: Vec<LpValue> = (0..4)
+                .map(|k| {
+                    lp.cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                        .unwrap()
+                })
+                .collect();
+            let _v = lp
+                .cons(LpValue::Atom(Word::int(9)), LpValue::Atom(Word::NIL))
+                .unwrap();
+            assert!(lp.degraded());
+            // Dropping the EP's references empties the table; the next
+            // op boundary re-enters table mode.
+            for h in held {
+                release(&mut lp, h);
+            }
+            lp.drain_lazy();
+            let t = lp
+                .cons(LpValue::Atom(Word::int(7)), LpValue::Atom(Word::NIL))
+                .unwrap();
+            assert!(!lp.degraded());
+            assert!(matches!(t, LpValue::Obj(_)));
+            assert_eq!(lp.stats().overflow_entries, 1);
+            assert_eq!(lp.stats().overflow_exits, 1);
+            let r = lp.audit();
+            assert!(r.is_clean(), "{:?}", r.violations);
+        }
+
+        #[test]
+        fn degraded_cons_adopts_table_operands_safely() {
+            let i = Interner::new();
+            let mut lp = degrade_lp(4);
+            let held: Vec<LpValue> = (0..4)
+                .map(|k| {
+                    lp.cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+                        .unwrap()
+                })
+                .collect();
+            // cons of a *table* object while degraded: the operand is
+            // snapshotted to the heap, the original entry untouched.
+            let v = lp.cons(held[0], LpValue::Atom(Word::NIL)).unwrap();
+            assert!(lp.degraded());
+            assert!(v.is_heap_direct());
+            assert_eq!(print(&lp.writelist(v).unwrap(), &i), "((0))");
+            assert_eq!(lp.car_of(held[0]).unwrap(), LpValue::Atom(Word::int(0)));
+        }
     }
 }

@@ -35,6 +35,8 @@ impl From<LpError> for BackendError {
             LpError::Heap(h) => BackendError::Heap(h),
             LpError::NotAList => BackendError::NotAList,
             LpError::UnexpectedTag(t) => BackendError::UnexpectedTag(t),
+            LpError::Degraded(what) => BackendError::Degraded(what),
+            LpError::Cyclic => BackendError::Degraded("printing a cyclic structure"),
         }
     }
 }
@@ -56,6 +58,17 @@ impl SmallBackend<TwoPointerController> {
     pub fn new(heap_cells: usize, config: LpConfig) -> Self {
         SmallBackend {
             lp: ListProcessor::new(TwoPointerController::new(heap_cells, 64), config),
+            roots: HashMap::new(),
+        }
+    }
+}
+
+impl<C: HeapController> SmallBackend<C> {
+    /// An uninstrumented LP over any heap controller — e.g. a
+    /// fault-injecting wrapper for chaos runs.
+    pub fn over(controller: C, config: LpConfig) -> Self {
+        SmallBackend {
+            lp: ListProcessor::new(controller, config),
             roots: HashMap::new(),
         }
     }
@@ -114,39 +127,55 @@ impl<C: HeapController, S: EventSink> SmallBackend<C, S> {
     }
 }
 
+// Every fallible primitive goes through [`ListProcessor::retrying`]:
+// transient heap faults (a fault-injecting controller, §6 chaos runs)
+// are retried with bounded backoff before surfacing, so the VM only
+// sees a `Transient` error once the LP has genuinely given up.
 impl<C: HeapController, S: EventSink> ListBackend for SmallBackend<C, S> {
     type Ref = Id;
 
     fn car(&mut self, r: &Id) -> Result<VmValue<Id>, VmError> {
-        self.lp.car(*r).map_err(Self::lp_err).and_then(Self::to_vm)
+        let r = *r;
+        self.lp
+            .retrying(|lp| lp.car(r))
+            .map_err(Self::lp_err)
+            .and_then(Self::to_vm)
     }
 
     fn cdr(&mut self, r: &Id) -> Result<VmValue<Id>, VmError> {
-        self.lp.cdr(*r).map_err(Self::lp_err).and_then(Self::to_vm)
+        let r = *r;
+        self.lp
+            .retrying(|lp| lp.cdr(r))
+            .map_err(Self::lp_err)
+            .and_then(Self::to_vm)
     }
 
     fn cons(&mut self, car: VmValue<Id>, cdr: VmValue<Id>) -> Result<Id, VmError> {
-        let v = self
-            .lp
-            .cons(Self::to_lp(&car), Self::to_lp(&cdr))
-            .map_err(Self::lp_err)?;
+        let (a, d) = (Self::to_lp(&car), Self::to_lp(&cdr));
+        let v = self.lp.retrying(|lp| lp.cons(a, d)).map_err(Self::lp_err)?;
         // The operand-stack references the VM holds on `car`/`cdr` are
         // released by the VM itself after this call; the cons's internal
-        // references were taken by the LP.
-        Ok(v.obj().expect("cons returns an object"))
+        // references were taken by the LP. In heap-direct overflow mode
+        // the result is an address the VM's reference type cannot name,
+        // so it crosses the boundary as a typed degraded condition.
+        v.obj().ok_or(VmError::Backend(BackendError::Degraded(
+            "a table-backed cons result",
+        )))
     }
 
     fn rplaca(&mut self, r: &Id, v: VmValue<Id>) -> Result<(), VmError> {
-        self.lp.rplaca(*r, Self::to_lp(&v)).map_err(Self::lp_err)
+        let (r, v) = (*r, Self::to_lp(&v));
+        self.lp.retrying(|lp| lp.rplaca(r, v)).map_err(Self::lp_err)
     }
 
     fn rplacd(&mut self, r: &Id, v: VmValue<Id>) -> Result<(), VmError> {
-        self.lp.rplacd(*r, Self::to_lp(&v)).map_err(Self::lp_err)
+        let (r, v) = (*r, Self::to_lp(&v));
+        self.lp.retrying(|lp| lp.rplacd(r, v)).map_err(Self::lp_err)
     }
 
     fn read_in(&mut self, e: &SExpr) -> Result<VmValue<Id>, VmError> {
         self.lp
-            .readlist(None, e)
+            .retrying(|lp| lp.readlist(None, e))
             .map_err(Self::lp_err)
             .and_then(Self::to_vm)
     }
@@ -420,6 +449,49 @@ mod tests {
         // run, the whole structure must be detected as garbage.
         lp.drain_lazy();
         assert_eq!(lp.occupancy(), 0);
+    }
+
+    #[test]
+    fn program_survives_transient_faults_with_identical_output() {
+        use small_heap::{FaultPlan, FaultyController};
+        let src = "
+        (def app (lambda (a b)
+          (cond ((null a) b)
+                (t (cons (car a) (app (cdr a) b))))))
+        (app '(1 2 3 4) '(5 6))";
+        let (clean, _, _, _) = run_on_small(src, &[]);
+
+        let mut i = Interner::new();
+        let p = compile_program(src, &mut i).unwrap();
+        let backend = SmallBackend::over(
+            FaultyController::new(
+                TwoPointerController::new(65536, 64),
+                FaultPlan::aggressive(42),
+            ),
+            LpConfig::default(),
+        );
+        let mut vm = Vm::new(p, backend);
+        let v = vm.run().expect("faulted run must still complete");
+        let out = print(&vm.backend.write_out(&v), &i);
+        assert_eq!(out, clean, "faults must not change the result");
+        if let small_lisp::vm::VmValue::List(id) = v {
+            vm.backend.release(&id);
+        }
+        vm.shutdown();
+        vm.backend.lp.drain_lazy();
+        assert_eq!(vm.backend.lp.occupancy(), 0);
+        // The fault ledger reconciles exactly: every injected transient
+        // was detected, and a run that completed recovered all of them.
+        let stats = vm.backend.lp.stats();
+        let injected = vm.backend.lp.controller.fault_stats().transient_total();
+        assert!(injected > 0, "the aggressive plan must actually fire");
+        assert_eq!(stats.faults_detected, injected);
+        assert_eq!(stats.faults_recovered, stats.faults_detected);
+        // Withheld frees all reach the heap once the window is flushed.
+        vm.backend.lp.controller.flush_all_delayed();
+        let fs = vm.backend.lp.controller.fault_stats();
+        assert_eq!(fs.delayed_frees, fs.flushed_frees);
+        assert_eq!(vm.backend.lp.controller.pending_delayed(), 0);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! observed both through `LptStats` and through the event-sink
 //! counters, which must agree.
 
-use small_core::{CompressPolicy, ListProcessor, LpConfig, LpError, LpValue};
+use small_core::{CompressPolicy, ListProcessor, LpConfig, LpError, LpValue, OverflowPolicy};
 use small_heap::controller::TwoPointerController;
 use small_heap::Word;
 use small_metrics::CountingSink;
+use small_sexpr::{parse, print, Interner};
 
 type Lp = ListProcessor<TwoPointerController, CountingSink>;
 
@@ -142,6 +143,59 @@ fn cycle_breaking_reclaims_unreachable_cycle_and_counts_it() {
     assert_eq!(counts.cycle_collections.get(), s.cycle_collections);
     assert_eq!(counts.cycles_reclaimed.get(), s.cycles_reclaimed);
     assert_eq!(counts.true_overflows.get(), 0, "recovered, not fatal");
+}
+
+/// Run a fixed workload — reads, conses of held values, readback of
+/// everything — over a table of the given size under the Degrade
+/// policy, returning every held value's printed form plus how often
+/// the LP entered §4.3.2.3 heap-direct overflow mode.
+fn degrade_workload(table_size: usize) -> (Vec<String>, u64) {
+    let mut i = Interner::new();
+    let mut lp: Lp = ListProcessor::with_sink(
+        TwoPointerController::new(4096, 64),
+        LpConfig {
+            table_size,
+            overflow: OverflowPolicy::Degrade,
+            ..LpConfig::default()
+        },
+        CountingSink::default(),
+    );
+    let mut held = Vec::new();
+    for k in 0..20i64 {
+        let src = format!("({k} (a b) ({} c))", k * 2);
+        let e = parse(&src, &mut i).unwrap();
+        let v = lp.readlist(None, &e).unwrap();
+        held.push((v, lp.adopt_binding(v)));
+        if k % 3 == 0 && held.len() >= 2 {
+            let a = held[held.len() - 1].0;
+            let b = held[held.len() - 2].0;
+            let c = lp.cons(a, b).unwrap();
+            held.push((c, lp.adopt_binding(c)));
+        }
+    }
+    let out = held
+        .iter()
+        .map(|(v, _)| print(&lp.writelist(*v).unwrap(), &i))
+        .collect();
+    (out, lp.stats().overflow_entries)
+}
+
+/// §4.3.2.3 regression: a tiny LPT driven well past true overflow must
+/// complete the whole workload in heap-direct overflow mode, with
+/// byte-identical output to a table large enough to never overflow.
+#[test]
+fn tiny_table_completes_workload_in_overflow_mode_with_identical_output() {
+    let (big_out, big_entries) = degrade_workload(512);
+    assert_eq!(big_entries, 0, "a 512-entry table must never overflow here");
+    let (tiny_out, tiny_entries) = degrade_workload(8);
+    assert!(
+        tiny_entries >= 1,
+        "an 8-entry table must enter overflow mode under this workload"
+    );
+    assert_eq!(
+        tiny_out, big_out,
+        "degraded output must match the reference"
+    );
 }
 
 /// When everything is externally referenced and incompressible, the

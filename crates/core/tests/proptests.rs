@@ -47,6 +47,7 @@ fn arb_config() -> impl Strategy<Value = LpConfig> {
                 decrement,
                 refcounts,
                 free_discipline,
+                ..LpConfig::default()
             },
         )
 }
@@ -123,6 +124,81 @@ proptest! {
         // car(cons(a, b)) = a and cdr(cons(a, b)) = b, by identifier.
         prop_assert_eq!(lp.car(id).unwrap(), a);
         prop_assert_eq!(lp.cdr(id).unwrap(), b);
+    }
+
+    #[test]
+    fn audit_stays_clean_under_random_op_sequences(
+        srcs in prop::collection::vec(arb_list_src(), 1..6),
+        ops in prop::collection::vec(0u8..6, 0..40),
+        config in arb_config(),
+    ) {
+        // After ANY sequence of reads, conses, traversals, mutations,
+        // and releases — including lazy decrements drained mid-sequence
+        // — the structural auditor must report zero violations, for
+        // every DecrementPolicy × RefcountMode × FreeDiscipline combo.
+        let mut i = Interner::new();
+        let backend = SmallBackend::<TwoPointerController>::new(16384, config);
+        let mut lp = backend.lp;
+        let mut held = Vec::new();
+        for src in &srcs {
+            let e = parse(src, &mut i).unwrap();
+            let v = lp.readlist(None, &e).unwrap();
+            held.push((v, Some(lp.adopt_binding(v))));
+        }
+        for (step, op) in ops.iter().enumerate() {
+            let n = held.len();
+            if n == 0 { break; }
+            let v = held[step % n].0;
+            match op {
+                0 => {
+                    if let Some(id) = v.obj() {
+                        let c = lp.car(id).unwrap();
+                        drop(lp.adopt_binding(c));
+                    }
+                }
+                1 => {
+                    if let Some(id) = v.obj() {
+                        let c = lp.cdr(id).unwrap();
+                        drop(lp.adopt_binding(c));
+                    }
+                }
+                2 => {
+                    let w = held[(step + 1) % n].0;
+                    let c = lp.cons(v, w).unwrap();
+                    held.push((c, Some(lp.adopt_binding(c))));
+                }
+                3 => {
+                    if let Some(id) = v.obj() {
+                        lp.rplaca(id, small_core::LpValue::Atom(
+                            small_heap::Word::int(step as i64),
+                        )).unwrap();
+                    }
+                }
+                4 => {
+                    // Release one held reference (deferred unroot).
+                    let idx = step % held.len();
+                    held[idx].1 = None;
+                    held.remove(idx);
+                }
+                _ => {
+                    // Drain pending lazy decrements mid-sequence.
+                    lp.drain_lazy();
+                }
+            }
+            lp.drain_unroots();
+            let report = lp.audit();
+            prop_assert!(
+                report.is_clean(),
+                "audit violations after step {step} (op {op}): {:?}",
+                report.violations
+            );
+        }
+        held.clear();
+        lp.drain_unroots();
+        lp.drain_lazy();
+        let report = lp.audit();
+        prop_assert!(report.is_clean(), "final audit: {:?}", report.violations);
+        prop_assert_eq!(lp.occupancy(), 0, "all structure released");
     }
 
     #[test]

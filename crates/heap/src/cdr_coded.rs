@@ -16,6 +16,7 @@
 //! **invisible pointer** to a freshly allocated `Normal`/`Error` pair
 //! (§2.3.3.1), which accessors chase transparently.
 
+use crate::controller::HeapError;
 use crate::word::{HeapAddr, Tag, Word};
 
 /// The 2-bit cdr code.
@@ -72,34 +73,52 @@ impl CdrCodedHeap {
     }
 
     /// Chase invisible pointers to the cell that actually holds data.
-    fn resolve(&self, mut addr: HeapAddr) -> HeapAddr {
-        while self.cars[addr.index()].tag() == Tag::Invisible {
-            addr = self.cars[addr.index()].addr();
+    ///
+    /// Out-of-bounds addresses and forwarding cycles surface as
+    /// [`HeapError::BadAddress`] rather than panicking, so corrupted
+    /// or injected-fault addresses degrade through typed errors.
+    fn resolve(&self, mut addr: HeapAddr) -> Result<HeapAddr, HeapError> {
+        let mut hops = 0usize;
+        loop {
+            let w = self.cars.get(addr.index()).ok_or(HeapError::BadAddress)?;
+            if w.tag() != Tag::Invisible {
+                return Ok(addr);
+            }
+            addr = w.addr();
+            hops += 1;
+            if hops > self.cars.len() {
+                // Forwarding chain longer than the heap: a cycle.
+                return Err(HeapError::BadAddress);
+            }
         }
-        addr
     }
 
     /// The car of the cell at `addr`.
-    pub fn car(&self, addr: HeapAddr) -> Word {
-        let a = self.resolve(addr);
-        self.cars[a.index()]
+    pub fn car(&self, addr: HeapAddr) -> Result<Word, HeapError> {
+        let a = self.resolve(addr)?;
+        Ok(self.cars[a.index()])
     }
 
     /// The cdr of the cell at `addr`, interpreted per its cdr code.
-    pub fn cdr(&self, addr: HeapAddr) -> Word {
-        let a = self.resolve(addr).index();
+    ///
+    /// Addressing the second word of a `Normal` pair (a `CdrCode::Error`
+    /// cell) is not a list operation; it reports [`HeapError::BadAddress`].
+    pub fn cdr(&self, addr: HeapAddr) -> Result<Word, HeapError> {
+        let a = self.resolve(addr)?.index();
         match self.codes[a] {
-            CdrCode::Next => Word::ptr(HeapAddr((a + 1) as u32)),
-            CdrCode::Nil => Word::NIL,
-            CdrCode::Normal => self.cars[a + 1],
-            CdrCode::Error => panic!("cdr of cdr-error cell {a}"),
+            CdrCode::Next if a + 1 < self.cars.len() => Ok(Word::ptr(HeapAddr((a + 1) as u32))),
+            CdrCode::Next => Err(HeapError::BadAddress),
+            CdrCode::Nil => Ok(Word::NIL),
+            CdrCode::Normal => self.cars.get(a + 1).copied().ok_or(HeapError::BadAddress),
+            CdrCode::Error => Err(HeapError::BadAddress),
         }
     }
 
     /// Replace the car (`rplaca`): always possible in place.
-    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) {
-        let a = self.resolve(addr);
+    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) -> Result<(), HeapError> {
+        let a = self.resolve(addr)?;
         self.cars[a.index()] = w;
+        Ok(())
     }
 
     /// Replace the cdr (`rplacd`).
@@ -107,27 +126,29 @@ impl CdrCodedHeap {
     /// For a `Normal` cell this is an in-place write of the second word.
     /// For `Next`/`Nil` cells a fresh `Normal`/`Error` pair is allocated,
     /// the old cell becomes an invisible pointer to it, and subsequent
-    /// accesses are forwarded. Returns `false` if allocation failed.
-    #[must_use]
-    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) -> bool {
-        let a = self.resolve(addr).index();
+    /// accesses are forwarded. Reports [`HeapError::Exhausted`] if the
+    /// pair allocation failed and [`HeapError::BadAddress`] for an
+    /// `Error`-cell or unresolvable operand.
+    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) -> Result<(), HeapError> {
+        let a = self.resolve(addr)?.index();
         match self.codes[a] {
             CdrCode::Normal => {
+                if a + 1 >= self.cars.len() {
+                    return Err(HeapError::BadAddress);
+                }
                 self.cars[a + 1] = w;
-                true
+                Ok(())
             }
             CdrCode::Next | CdrCode::Nil => {
-                let Some(at) = self.bump(2) else {
-                    return false;
-                };
+                let at = self.bump(2).ok_or(HeapError::Exhausted)?;
                 self.cars[at] = self.cars[a];
                 self.codes[at] = CdrCode::Normal;
                 self.cars[at + 1] = w;
                 self.codes[at + 1] = CdrCode::Error;
                 self.cars[a] = Word::invisible(HeapAddr(at as u32));
-                true
+                Ok(())
             }
-            CdrCode::Error => panic!("rplacd of cdr-error cell {a}"),
+            CdrCode::Error => Err(HeapError::BadAddress),
         }
     }
 
@@ -209,9 +230,20 @@ impl CdrCodedHeap {
             Tag::Sym => SExpr::sym(small_sexpr::Symbol(w.as_sym())),
             Tag::Ptr => {
                 let a = w.addr();
-                SExpr::cons(self.extract(self.car(a)), self.extract(self.cdr(a)))
+                // Words produced by this heap always resolve; a failure
+                // here means the caller handed in a foreign address.
+                let car = self.car(a).expect("extract of unresolvable car");
+                let cdr = self.cdr(a).expect("extract of unresolvable cdr");
+                SExpr::cons(self.extract(car), self.extract(cdr))
             }
-            Tag::Invisible => self.extract(self.cars[w.addr().index()]),
+            Tag::Invisible => {
+                let w = self
+                    .cars
+                    .get(w.addr().index())
+                    .copied()
+                    .expect("extract of out-of-bounds forward");
+                self.extract(w)
+            }
             t => panic!("extract of tag {t:?}"),
         }
     }
@@ -265,12 +297,23 @@ impl crate::controller::HeapController for CdrCodedController {
         addr: HeapAddr,
     ) -> Result<crate::controller::SplitResult, crate::controller::HeapError> {
         self.stats.splits += 1;
-        let car = self.heap.car(addr);
-        let cdr = self.heap.cdr(addr);
+        let car = self.heap.car(addr)?;
+        let cdr = self.heap.cdr(addr)?;
         // The consumed head cell of the run is not compacted away (bump
         // store); count it as logically freed.
         self.stats.cells_freed += 1;
         Ok(crate::controller::SplitResult { car, cdr })
+    }
+
+    fn peek(
+        &self,
+        addr: HeapAddr,
+    ) -> Result<crate::controller::SplitResult, crate::controller::HeapError> {
+        // Cdr-coded car/cdr are naturally non-consuming.
+        Ok(crate::controller::SplitResult {
+            car: self.heap.car(addr)?,
+            cdr: self.heap.cdr(addr)?,
+        })
     }
 
     fn merge(&mut self, car: Word, cdr: Word) -> Result<HeapAddr, crate::controller::HeapError> {
@@ -334,12 +377,12 @@ mod tests {
         let mut h = CdrCodedHeap::with_capacity(64);
         let w = h.intern(&e).unwrap();
         let a = w.addr();
-        assert_eq!(h.car(a).as_int(), 1);
-        let b = h.cdr(a).addr();
-        assert_eq!(h.car(b).as_int(), 2);
-        let c = h.cdr(b).addr();
-        assert_eq!(h.car(c).as_int(), 3);
-        assert!(h.cdr(c).is_nil());
+        assert_eq!(h.car(a).unwrap().as_int(), 1);
+        let b = h.cdr(a).unwrap().addr();
+        assert_eq!(h.car(b).unwrap().as_int(), 2);
+        let c = h.cdr(b).unwrap().addr();
+        assert_eq!(h.car(c).unwrap().as_int(), 3);
+        assert!(h.cdr(c).unwrap().is_nil());
     }
 
     #[test]
@@ -349,9 +392,9 @@ mod tests {
         let mut h = CdrCodedHeap::with_capacity(64);
         let w = h.intern(&e).unwrap();
         let used = h.used();
-        h.rplaca(w.addr(), Word::int(99));
+        h.rplaca(w.addr(), Word::int(99)).unwrap();
         assert_eq!(h.used(), used, "rplaca must not allocate");
-        assert_eq!(h.car(w.addr()).as_int(), 99);
+        assert_eq!(h.car(w.addr()).unwrap().as_int(), 99);
     }
 
     #[test]
@@ -363,11 +406,11 @@ mod tests {
         let a = w.addr();
         // (rplacd x '(9)) → list becomes (1 9)
         let nine = h.intern(&parse("(9)", &mut i).unwrap()).unwrap();
-        assert!(h.rplacd(a, nine));
+        h.rplacd(a, nine).unwrap();
         let got = h.extract(w);
         assert_eq!(print(&got, &i), "(1 9)");
         // Old cell now forwards; car still accessible through it.
-        assert_eq!(h.car(a).as_int(), 1);
+        assert_eq!(h.car(a).unwrap().as_int(), 1);
     }
 
     #[test]
@@ -384,5 +427,31 @@ mod tests {
         let mut i = Interner::new();
         let mut h = CdrCodedHeap::with_capacity(2);
         assert!(h.intern(&parse("(1 2 3)", &mut i).unwrap()).is_none());
+    }
+
+    #[test]
+    fn bad_addresses_are_typed_errors_not_panics() {
+        let mut i = Interner::new();
+        let mut h = CdrCodedHeap::with_capacity(8);
+        let w = h.intern(&parse("(1 . 2)", &mut i).unwrap()).unwrap();
+        // Out of bounds.
+        let oob = HeapAddr(999);
+        assert_eq!(h.car(oob), Err(HeapError::BadAddress));
+        assert_eq!(h.cdr(oob), Err(HeapError::BadAddress));
+        assert_eq!(h.rplaca(oob, Word::int(0)), Err(HeapError::BadAddress));
+        assert_eq!(h.rplacd(oob, Word::int(0)), Err(HeapError::BadAddress));
+        // The Error half of the Normal pair backing (1 . 2).
+        let err_cell = HeapAddr(w.addr().0 + 1);
+        assert_eq!(h.cdr(err_cell), Err(HeapError::BadAddress));
+        assert_eq!(h.rplacd(err_cell, Word::int(0)), Err(HeapError::BadAddress));
+        // The good cell still works.
+        assert_eq!(h.car(w.addr()).unwrap().as_int(), 1);
+    }
+
+    #[test]
+    fn controller_split_of_bad_address_is_typed() {
+        use crate::controller::HeapController;
+        let mut c = CdrCodedController::new(8);
+        assert_eq!(c.split(HeapAddr(77)), Err(HeapError::BadAddress));
     }
 }

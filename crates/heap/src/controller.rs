@@ -33,6 +33,16 @@ pub enum HeapError {
     Exhausted,
     /// The operand word was an atom where an object was required.
     NotAnObject,
+    /// The operand address does not name a well-formed heap cell
+    /// (out of bounds, a forwarding cycle, or the second word of a
+    /// coded pair). Surfaced instead of panicking so injected faults
+    /// and corrupted structures degrade through typed errors.
+    BadAddress,
+    /// A transient fault: the operation failed this time but may succeed
+    /// if retried (a bus glitch, a busy memory bank). Produced by the
+    /// fault-injection layer ([`crate::faulty::FaultyController`]); the
+    /// machine's bounded retry treats exactly this variant as retryable.
+    Transient,
 }
 
 impl std::fmt::Display for HeapError {
@@ -40,6 +50,8 @@ impl std::fmt::Display for HeapError {
         match self {
             HeapError::Exhausted => write!(f, "heap exhausted"),
             HeapError::NotAnObject => write!(f, "operand is not a heap object"),
+            HeapError::BadAddress => write!(f, "operand address is not a well-formed heap cell"),
+            HeapError::Transient => write!(f, "transient heap fault"),
         }
     }
 }
@@ -70,6 +82,17 @@ pub trait HeapController {
 
     /// Split the object at `addr` into car and cdr pieces, consuming it.
     fn split(&mut self, addr: HeapAddr) -> Result<SplitResult, HeapError>;
+
+    /// Read both pieces of the object at `addr` *without* consuming it.
+    ///
+    /// This is the access path of §4.3.2.3 overflow mode, where the LP
+    /// operates heap-direct like a conventional machine. Stores whose
+    /// split is inherently destructive (the structure-coded tables) keep
+    /// the default, which reports the object as unreadable in place.
+    fn peek(&self, addr: HeapAddr) -> Result<SplitResult, HeapError> {
+        let _ = addr;
+        Err(HeapError::NotAnObject)
+    }
 
     /// Merge two pieces into a new object; inverse of split.
     fn merge(&mut self, car: Word, cdr: Word) -> Result<HeapAddr, HeapError>;
@@ -179,6 +202,16 @@ impl HeapController for TwoPointerController {
         self.heap.free_cell(addr);
         self.stats.cells_freed += 1;
         Ok(SplitResult { car, cdr })
+    }
+
+    fn peek(&self, addr: HeapAddr) -> Result<SplitResult, HeapError> {
+        if addr.index() >= self.heap.capacity() || self.heap.is_free(addr) {
+            return Err(HeapError::NotAnObject);
+        }
+        Ok(SplitResult {
+            car: self.heap.car(addr),
+            cdr: self.heap.cdr(addr),
+        })
     }
 
     fn merge(&mut self, car: Word, cdr: Word) -> Result<HeapAddr, HeapError> {

@@ -19,10 +19,13 @@
 //! * [`gc`] — mark-sweep, reference-counting, and semispace copying
 //!   collectors (§2.3.4),
 //! * [`controller`] — the split/merge heap controller the List Processor
-//!   talks to (§4.3.3), with a bounded queue of pending frees.
+//!   talks to (§4.3.3), with a bounded queue of pending frees,
+//! * [`faulty`] — a deterministic fault-injecting controller wrapper for
+//!   chaos testing (transient failures, delayed frees).
 
 pub mod cdr_coded;
 pub mod controller;
+pub mod faulty;
 pub mod gc;
 pub mod linked_vector;
 pub mod structure_coded;
@@ -31,6 +34,7 @@ pub mod word;
 
 pub use cdr_coded::CdrCodedController;
 pub use controller::{HeapController, Piece, SplitResult, TwoPointerController};
+pub use faulty::{FaultKind, FaultPlan, FaultStats, FaultyController};
 pub use structure_coded::StructureCodedController;
 pub use two_pointer::TwoPointerHeap;
 pub use word::{HeapAddr, Tag, Word};

@@ -9,6 +9,7 @@
 //! recopying; unused cells make deletion possible without immediate
 //! compaction.
 
+use crate::controller::HeapError;
 use crate::word::{HeapAddr, Tag, Word};
 
 /// 2-bit element tag of the linked-vector scheme.
@@ -69,82 +70,93 @@ impl LinkedVectorHeap {
     /// Skip unused cells and chase indirections. The chain ends either at
     /// a data cell ([`Resolved::Data`]) or at a non-pointer value stored
     /// in an indirection cell — nil or a dotted atom ([`Resolved::Value`]).
-    fn resolve(&self, mut addr: HeapAddr) -> Resolved {
+    ///
+    /// Out-of-bounds addresses and indirection cycles surface as
+    /// [`HeapError::BadAddress`] rather than panicking.
+    fn resolve(&self, mut addr: HeapAddr) -> Result<Resolved, HeapError> {
+        let mut hops = 0usize;
         loop {
-            match self.tags[addr.index()] {
+            match self.tags.get(addr.index()).ok_or(HeapError::BadAddress)? {
                 VTag::Unused => addr = HeapAddr(addr.0 + 1),
                 VTag::Indirect => {
                     let w = self.words[addr.index()];
                     if w.is_ptr() {
                         addr = w.addr();
                     } else {
-                        return Resolved::Value(w);
+                        return Ok(Resolved::Value(w));
                     }
                 }
-                VTag::Default | VTag::DefaultNil => return Resolved::Data(addr),
+                VTag::Default | VTag::DefaultNil => return Ok(Resolved::Data(addr)),
+            }
+            hops += 1;
+            if hops > self.tags.len() {
+                // Walked more cells than the heap holds: a cycle.
+                return Err(HeapError::BadAddress);
             }
         }
     }
 
-    fn data(&self, addr: HeapAddr, what: &str) -> HeapAddr {
-        match self.resolve(addr) {
-            Resolved::Data(a) => a,
-            Resolved::Value(w) => panic!("{what} of non-cell value {w:?}"),
+    /// Resolve to a data cell; a chain ending at a non-cell value is a
+    /// type error ([`HeapError::NotAnObject`]).
+    fn data(&self, addr: HeapAddr) -> Result<HeapAddr, HeapError> {
+        match self.resolve(addr)? {
+            Resolved::Data(a) => Ok(a),
+            Resolved::Value(_) => Err(HeapError::NotAnObject),
         }
     }
 
     /// The car (element) at `addr`.
-    ///
-    /// # Panics
-    /// Panics if `addr` resolves to a non-cell (car of nil/atom is handled
-    /// a level up by the machine's type checking).
-    pub fn car(&self, addr: HeapAddr) -> Word {
-        let a = self.data(addr, "car");
-        self.words[a.index()]
+    pub fn car(&self, addr: HeapAddr) -> Result<Word, HeapError> {
+        let a = self.data(addr)?;
+        Ok(self.words[a.index()])
     }
 
     /// The cdr at `addr`: a pointer to the rest of the vector, nil, or a
     /// dotted atom.
-    pub fn cdr(&self, addr: HeapAddr) -> Word {
-        let a = match self.resolve(addr) {
+    pub fn cdr(&self, addr: HeapAddr) -> Result<Word, HeapError> {
+        let a = match self.resolve(addr)? {
             Resolved::Data(a) => a,
-            Resolved::Value(w) => return w,
+            Resolved::Value(w) => return Ok(w),
         };
         match self.tags[a.index()] {
-            VTag::Default => match self.resolve(HeapAddr(a.0 + 1)) {
+            VTag::Default => Ok(match self.resolve(HeapAddr(a.0 + 1))? {
                 Resolved::Data(b) => Word::ptr(b),
                 Resolved::Value(w) => w,
-            },
-            VTag::DefaultNil => Word::NIL,
+            }),
+            VTag::DefaultNil => Ok(Word::NIL),
             _ => unreachable!("resolve returns data cells only"),
         }
     }
 
     /// Replace the element at `addr` in place.
-    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) {
-        let a = self.data(addr, "rplaca");
+    pub fn rplaca(&mut self, addr: HeapAddr, w: Word) -> Result<(), HeapError> {
+        let a = self.data(addr)?;
         self.words[a.index()] = w;
+        Ok(())
     }
 
     /// Replace the cdr at `addr`.
     ///
     /// The cell keeps its element; the *following* cell is rewritten as an
     /// indirection to `w`'s target (allocating a fresh 2-cell vector when
-    /// the cell was the last of its run). Returns `false` on exhaustion.
-    #[must_use]
-    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) -> bool {
-        let a = self.data(addr, "rplacd").index();
+    /// the cell was the last of its run). Reports
+    /// [`HeapError::Exhausted`] when that allocation fails.
+    pub fn rplacd(&mut self, addr: HeapAddr, w: Word) -> Result<(), HeapError> {
+        let a = self.data(addr)?.index();
         match self.tags[a] {
             VTag::Default => {
+                if a + 1 >= self.words.len() {
+                    return Err(HeapError::BadAddress);
+                }
                 // Next cell becomes an indirection; anything it chained to
                 // is now unreachable from here.
                 self.words[a + 1] = w;
                 self.tags[a + 1] = VTag::Indirect;
                 self.tags[a] = VTag::Default;
-                true
+                Ok(())
             }
             VTag::DefaultNil => {
-                let Some(at) = self.bump(2) else { return false };
+                let at = self.bump(2).ok_or(HeapError::Exhausted)?;
                 self.words[at] = self.words[a];
                 self.tags[at] = VTag::Default;
                 self.words[at + 1] = w;
@@ -152,7 +164,7 @@ impl LinkedVectorHeap {
                 // Old cell indirects to the new pair.
                 self.words[a] = Word::ptr(HeapAddr(at as u32));
                 self.tags[a] = VTag::Indirect;
-                true
+                Ok(())
             }
             _ => unreachable!(),
         }
@@ -232,13 +244,17 @@ impl LinkedVectorHeap {
             Tag::Nil => SExpr::Nil,
             Tag::Int => SExpr::int(w.as_int()),
             Tag::Sym => SExpr::sym(small_sexpr::Symbol(w.as_sym())),
-            Tag::Ptr => match self.resolve(w.addr()) {
-                Resolved::Value(v) => self.extract(v),
-                Resolved::Data(a) => SExpr::cons(
-                    self.extract(self.words[a.index()]),
-                    self.extract(self.cdr(a)),
-                ),
-            },
+            Tag::Ptr => {
+                // Words produced by this heap always resolve; a failure
+                // here means the caller handed in a foreign address.
+                match self.resolve(w.addr()).expect("extract of bad address") {
+                    Resolved::Value(v) => self.extract(v),
+                    Resolved::Data(a) => SExpr::cons(
+                        self.extract(self.words[a.index()]),
+                        self.extract(self.cdr(a).expect("extract of unresolvable cdr")),
+                    ),
+                }
+            }
             t => panic!("extract of tag {t:?}"),
         }
     }
@@ -276,19 +292,19 @@ mod tests {
     fn cdr_traversal() {
         let (_i, h, w, _) = setup("(1 2 3)");
         let a = w.addr();
-        assert_eq!(h.car(a).as_int(), 1);
-        let b = h.cdr(a).addr();
-        assert_eq!(h.car(b).as_int(), 2);
-        let c = h.cdr(b).addr();
-        assert_eq!(h.car(c).as_int(), 3);
-        assert!(h.cdr(c).is_nil());
+        assert_eq!(h.car(a).unwrap().as_int(), 1);
+        let b = h.cdr(a).unwrap().addr();
+        assert_eq!(h.car(b).unwrap().as_int(), 2);
+        let c = h.cdr(b).unwrap().addr();
+        assert_eq!(h.car(c).unwrap().as_int(), 3);
+        assert!(h.cdr(c).unwrap().is_nil());
     }
 
     #[test]
     fn rplacd_mid_vector_uses_indirection() {
         let (mut i, mut h, w, _) = setup("(1 2 3 4)");
         let other = h.intern(&parse("(9 9)", &mut i).unwrap()).unwrap();
-        assert!(h.rplacd(w.addr(), other));
+        h.rplacd(w.addr(), other).unwrap();
         assert_eq!(print(&h.extract(w), &i), "(1 9 9)");
     }
 
@@ -296,7 +312,7 @@ mod tests {
     fn rplacd_at_end_extends() {
         let (mut i, mut h, w, _) = setup("(1)");
         let other = h.intern(&parse("(2)", &mut i).unwrap()).unwrap();
-        assert!(h.rplacd(w.addr(), other));
+        h.rplacd(w.addr(), other).unwrap();
         assert_eq!(print(&h.extract(w), &i), "(1 2)");
     }
 
@@ -304,7 +320,7 @@ mod tests {
     fn rplaca_in_place() {
         let (i, mut h, w, _) = setup("(1 2)");
         let used = h.used();
-        h.rplaca(w.addr(), Word::int(7));
+        h.rplaca(w.addr(), Word::int(7)).unwrap();
         assert_eq!(h.used(), used);
         assert_eq!(print(&h.extract(w), &i), "(7 2)");
     }
@@ -321,5 +337,23 @@ mod tests {
         let mut i = Interner::new();
         let mut h = LinkedVectorHeap::with_capacity(2);
         assert!(h.intern(&parse("(1 2 3)", &mut i).unwrap()).is_none());
+    }
+
+    #[test]
+    fn bad_addresses_are_typed_errors_not_panics() {
+        let (_i, mut h, w, _) = setup("(1 2)");
+        let oob = HeapAddr(999);
+        assert_eq!(h.car(oob), Err(HeapError::BadAddress));
+        assert_eq!(h.cdr(oob), Err(HeapError::BadAddress));
+        assert_eq!(h.rplaca(oob, Word::int(0)), Err(HeapError::BadAddress));
+        assert_eq!(h.rplacd(oob, Word::int(0)), Err(HeapError::BadAddress));
+        // A trailing run of Unused cells walks off the end: typed error.
+        let last = HeapAddr((h.used()) as u32);
+        assert_eq!(h.car(last), Err(HeapError::BadAddress));
+        // car of a value chain (indirection to an atom) is a type error.
+        h.rplacd(w.addr(), Word::int(7)).unwrap();
+        let dotted_tail = h.cdr(w.addr()).unwrap();
+        assert!(!dotted_tail.is_ptr());
+        assert_eq!(h.car(w.addr()).unwrap().as_int(), 1);
     }
 }

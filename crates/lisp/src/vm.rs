@@ -83,6 +83,10 @@ pub enum BackendError {
     /// interpret — memory corruption, never reachable for well-formed
     /// programs.
     UnexpectedTag(Tag),
+    /// The backend refused the operation because it is running in
+    /// degraded (heap-direct overflow) mode; the payload names the
+    /// refused operation.
+    Degraded(&'static str),
 }
 
 impl fmt::Display for BackendError {
@@ -92,6 +96,9 @@ impl fmt::Display for BackendError {
             BackendError::Heap(e) => write!(f, "heap: {e}"),
             BackendError::NotAList => write!(f, "operand is not a list object"),
             BackendError::UnexpectedTag(t) => write!(f, "unexpected word tag {t:?}"),
+            BackendError::Degraded(what) => {
+                write!(f, "{what} is unsupported in degraded overflow mode")
+            }
         }
     }
 }

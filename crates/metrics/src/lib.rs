@@ -245,6 +245,19 @@ pub enum Event {
         /// Live LPT entries at the sample point.
         live: u32,
     },
+    /// A transient heap fault surfaced from the controller and was
+    /// caught by a recovery layer (the bounded-retry wrapper or the
+    /// compression path).
+    HeapFaultDetected,
+    /// A detected transient fault was recovered from (a retry
+    /// succeeded, or compression abandoned the merge and carried on).
+    HeapFaultRecovered,
+    /// The LP entered §4.3.2.3 overflow mode: the table is full beyond
+    /// recovery and new structure degrades to heap-direct operation.
+    OverflowModeEntered,
+    /// The LP left overflow mode: occupancy recovered and allocation
+    /// re-entered the table.
+    OverflowModeExited,
 }
 
 impl Event {
@@ -267,6 +280,10 @@ impl Event {
             Event::HeapReadIn => "heap_read_in",
             Event::HeapFree => "heap_free",
             Event::Occupancy { .. } => "occupancy",
+            Event::HeapFaultDetected => "heap_fault_detected",
+            Event::HeapFaultRecovered => "heap_fault_recovered",
+            Event::OverflowModeEntered => "overflow_mode_entered",
+            Event::OverflowModeExited => "overflow_mode_exited",
         }
     }
 }
@@ -426,6 +443,14 @@ pub struct EventCounts {
     pub heap_frees: Counter,
     /// Occupancy samples taken.
     pub occupancy_samples: Counter,
+    /// Transient heap faults caught by a recovery layer.
+    pub heap_faults_detected: Counter,
+    /// Transient heap faults recovered from.
+    pub heap_faults_recovered: Counter,
+    /// Times the LP entered overflow (heap-direct) mode.
+    pub overflow_mode_entries: Counter,
+    /// Times the LP re-entered table mode after overflow.
+    pub overflow_mode_exits: Counter,
 }
 
 impl EventCounts {
@@ -455,6 +480,10 @@ impl EventCounts {
             Event::HeapReadIn => self.heap_read_ins.inc(),
             Event::HeapFree => self.heap_frees.inc(),
             Event::Occupancy { .. } => self.occupancy_samples.inc(),
+            Event::HeapFaultDetected => self.heap_faults_detected.inc(),
+            Event::HeapFaultRecovered => self.heap_faults_recovered.inc(),
+            Event::OverflowModeEntered => self.overflow_mode_entries.inc(),
+            Event::OverflowModeExited => self.overflow_mode_exits.inc(),
         }
     }
 
@@ -478,6 +507,12 @@ impl EventCounts {
         self.heap_read_ins.merge(other.heap_read_ins);
         self.heap_frees.merge(other.heap_frees);
         self.occupancy_samples.merge(other.occupancy_samples);
+        self.heap_faults_detected.merge(other.heap_faults_detected);
+        self.heap_faults_recovered
+            .merge(other.heap_faults_recovered);
+        self.overflow_mode_entries
+            .merge(other.overflow_mode_entries);
+        self.overflow_mode_exits.merge(other.overflow_mode_exits);
     }
 
     fn json_fields(&self, out: &mut JsonObject) {
@@ -499,6 +534,10 @@ impl EventCounts {
         out.field_u64("heap_read_ins", self.heap_read_ins.get());
         out.field_u64("heap_frees", self.heap_frees.get());
         out.field_u64("occupancy_samples", self.occupancy_samples.get());
+        out.field_u64("heap_faults_detected", self.heap_faults_detected.get());
+        out.field_u64("heap_faults_recovered", self.heap_faults_recovered.get());
+        out.field_u64("overflow_mode_entries", self.overflow_mode_entries.get());
+        out.field_u64("overflow_mode_exits", self.overflow_mode_exits.get());
     }
 }
 
@@ -1060,6 +1099,10 @@ mod tests {
                 "heap_read_ins",
                 "heap_frees",
                 "occupancy_samples",
+                "heap_faults_detected",
+                "heap_faults_recovered",
+                "overflow_mode_entries",
+                "overflow_mode_exits",
                 "occupancy",
                 "compress_reclaim",
                 "cycle_reclaim",

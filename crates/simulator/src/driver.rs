@@ -72,6 +72,10 @@ pub struct SimResult {
     pub cache_misses: u64,
     /// Whether the run aborted on a true LPT overflow.
     pub true_overflow: bool,
+    /// A typed heap/LP failure that ended the run early (`None` for a
+    /// clean completion or a plain true-overflow abort). The simulator
+    /// never panics on heap failures; they surface here.
+    pub failure: Option<String>,
     /// Primitive events executed before completion/abort.
     pub prims_executed: usize,
 }
@@ -101,10 +105,10 @@ struct FrameSim {
     locals: Vec<Rooted>,
 }
 
-struct Driver<'t, S: EventSink> {
+struct Driver<'t, C: HeapController, S: EventSink> {
     trace: &'t Trace,
     params: SimParams,
-    lp: ListProcessor<TwoPointerController, S>,
+    lp: ListProcessor<C, S>,
     rng: StdRng,
     frames: Vec<FrameSim>,
     globals: Vec<Rooted>,
@@ -152,13 +156,31 @@ pub fn run_sim_with_sink<S: EventSink>(
     cache: Option<CacheConfig>,
     sink: S,
 ) -> (SimResult, S) {
+    let controller = TwoPointerController::new(params.heap_cells, 256);
+    let (result, _controller, sink) = run_sim_on_controller(trace, params, cache, controller, sink);
+    (result, sink)
+}
+
+/// The generic core of [`run_sim`]: drive the trace over any heap
+/// controller — notably a `small_heap::FaultyController` wrapper, which
+/// is how the chaos harness replays workloads under seeded fault
+/// schedules. Returns the controller alongside the result and sink so
+/// fault ledgers survive the run.
+pub fn run_sim_on_controller<C: HeapController, S: EventSink>(
+    trace: &Trace,
+    params: SimParams,
+    cache: Option<CacheConfig>,
+    controller: C,
+    sink: S,
+) -> (SimResult, C, S) {
     let lp = ListProcessor::with_sink(
-        TwoPointerController::new(params.heap_cells, 256),
+        controller,
         LpConfig {
             table_size: params.table_size,
             compression: params.compression,
             decrement: params.decrement,
             refcounts: params.refcounts,
+            overflow: params.overflow,
             ..LpConfig::default()
         },
         sink,
@@ -177,7 +199,7 @@ pub fn run_sim_with_sink<S: EventSink>(
         access_hits: 0,
         access_misses: 0,
     };
-    let (true_overflow, prims_executed) = d.run();
+    let (true_overflow, prims_executed, failure) = d.run();
     let result = SimResult {
         name: trace.name.clone(),
         lpt: d.lp.stats(),
@@ -187,6 +209,7 @@ pub fn run_sim_with_sink<S: EventSink>(
         cache_hits: d.cache.as_ref().map_or(0, |c| c.hits),
         cache_misses: d.cache.as_ref().map_or(0, |c| c.misses),
         true_overflow,
+        failure,
         prims_executed,
     };
     // Defuse outstanding handles before the LP is torn down (their
@@ -201,11 +224,12 @@ pub fn run_sim_with_sink<S: EventSink>(
             h.leak();
         });
     }
-    (result, d.lp.into_sink())
+    let (controller, sink) = d.lp.into_parts();
+    (result, controller, sink)
 }
 
-impl<'t, S: EventSink> Driver<'t, S> {
-    fn run(&mut self) -> (bool, usize) {
+impl<'t, C: HeapController, S: EventSink> Driver<'t, C, S> {
+    fn run(&mut self) -> (bool, usize, Option<String>) {
         // Seed the global environment with a few read-in objects.
         for _ in 0..6 {
             match self.fresh_object() {
@@ -214,7 +238,8 @@ impl<'t, S: EventSink> Driver<'t, S> {
                     let h = self.lp.adopt_binding(v);
                     self.globals.push(h);
                 }
-                Err(_) => return (true, 0),
+                Err(LpError::TrueOverflow) => return (true, 0, None),
+                Err(e) => return (false, 0, Some(e.to_string())),
             }
         }
         let events: Vec<_> = self.trace.events.to_vec();
@@ -233,11 +258,13 @@ impl<'t, S: EventSink> Driver<'t, S> {
             };
             match r {
                 Ok(()) => {}
-                Err(LpError::TrueOverflow) => return (true, prims),
-                Err(e) => panic!("simulator heap failure: {e}"),
+                Err(LpError::TrueOverflow) => return (true, prims, None),
+                // Any other heap/LP condition ends the run as a typed,
+                // reported failure — the simulator never panics on one.
+                Err(e) => return (false, prims, Some(e.to_string())),
             }
         }
-        (false, prims)
+        (false, prims, None)
     }
 
     // -- object creation ------------------------------------------------
@@ -245,7 +272,7 @@ impl<'t, S: EventSink> Driver<'t, S> {
     fn fresh_object(&mut self) -> Result<LpValue, LpError> {
         let (n, p) = clark::sample_np(&mut self.rng, &self.trace.uids);
         let e = clark::gen_sexpr(&mut self.rng, n, p);
-        let v = self.lp.readlist(None, &e)?;
+        let v = self.lp.retrying(|lp| lp.readlist(None, &e))?;
         if let LpValue::Obj(id) = v {
             // Sequential address sized by the object (§5.2.5).
             self.addrs.insert(id, self.next_addr);
@@ -367,7 +394,7 @@ impl<'t, S: EventSink> Driver<'t, S> {
         if chained {
             if let Some(h) = &self.tos {
                 let v = h.value();
-                if !need_list || matches!(v, LpValue::Obj(_)) {
+                if !need_list || v.is_list() {
                     return Ok(v);
                 }
             }
@@ -383,8 +410,7 @@ impl<'t, S: EventSink> Driver<'t, S> {
         }
         let slot = self.select_slot();
         let mut v = self.slot_get(slot);
-        let reread = self.rng.gen_bool(self.params.read_prob)
-            || (need_list && !matches!(v, LpValue::Obj(_)));
+        let reread = self.rng.gen_bool(self.params.read_prob) || (need_list && !v.is_list());
         if reread {
             let fresh = self.fresh_object()?;
             // `fresh` carries one stack reference; the slot adopts it.
@@ -461,21 +487,32 @@ impl<'t, S: EventSink> Driver<'t, S> {
         match prim {
             Prim::Car | Prim::Cdr => {
                 let arg = self.operand(chained(0), true)?;
-                let id = arg.obj().expect("operand(need_list)");
                 // Root the operand: selecting/re-reading other slots or
                 // replacing TOS must not free it while in use. (A
-                // register reference — no bus traffic.)
+                // register reference — no bus traffic.) Heap-direct
+                // operands (§4.3.2.3 overflow mode) carry no table
+                // reference; the handle is inert for them.
                 let guard = self.lp.root(arg);
-                self.cache_access(id);
+                if let LpValue::Obj(id) = arg {
+                    self.cache_access(id);
+                }
                 let before = self.lp.stats().misses;
-                let v = if prim == Prim::Car {
-                    self.lp.car(id)?
-                } else {
-                    self.lp.cdr(id)?
-                };
+                let want_car = prim == Prim::Car;
+                // Transient heap faults are retried with bounded
+                // backoff at the call site, leaving the workload's RNG
+                // stream untouched.
+                let v = self.lp.retrying(|lp| {
+                    if want_car {
+                        lp.car_of(arg)
+                    } else {
+                        lp.cdr_of(arg)
+                    }
+                })?;
                 if self.lp.stats().misses > before {
                     self.access_misses += 1;
-                    self.place_children(id);
+                    if let LpValue::Obj(id) = arg {
+                        self.place_children(id);
+                    }
                 } else {
                     self.access_hits += 1;
                 }
@@ -492,7 +529,7 @@ impl<'t, S: EventSink> Driver<'t, S> {
                 // the root reference keeps `a` alive.
                 let b = self.operand(chained(1), false)?;
                 let guard_b = self.lp.root(b);
-                let v = self.lp.cons(a, b)?;
+                let v = self.lp.retrying(|lp| lp.cons(a, b))?;
                 if let LpValue::Obj(id) = v {
                     // A conventional machine would allocate one cell.
                     let addr = self.next_addr;
@@ -507,18 +544,29 @@ impl<'t, S: EventSink> Driver<'t, S> {
             }
             Prim::Rplaca | Prim::Rplacd => {
                 let target = self.operand(chained(0), true)?;
-                let id = target.obj().expect("operand(need_list)");
                 let guard_t = self.lp.root(target);
                 let v = self.operand(chained(1), false)?;
                 let guard_v = self.lp.root(v);
                 let before = self.lp.stats().misses;
-                if prim == Prim::Rplaca {
-                    self.lp.rplaca(id, v)?;
-                } else {
-                    self.lp.rplacd(id, v)?;
+                let is_a = prim == Prim::Rplaca;
+                match self.lp.retrying(|lp| {
+                    if is_a {
+                        lp.rplaca_of(target, v)
+                    } else {
+                        lp.rplacd_of(target, v)
+                    }
+                }) {
+                    Ok(()) => {}
+                    // Heap-direct values are immutable in overflow
+                    // mode: the mutation is skipped and the run goes
+                    // on against the unmodified target.
+                    Err(LpError::Degraded(_)) => {}
+                    Err(e) => return Err(e),
                 }
                 if self.lp.stats().misses > before {
-                    self.place_children(id);
+                    if let LpValue::Obj(id) = target {
+                        self.place_children(id);
+                    }
                 }
                 // The result is the modified list; TOS takes a fresh
                 // stack reference to it.

@@ -25,5 +25,5 @@ pub mod sweep;
 
 pub use cache::LruCache;
 pub use config::SimParams;
-pub use driver::{run_sim, run_sim_profiled, run_sim_with_sink, SimResult};
+pub use driver::{run_sim, run_sim_on_controller, run_sim_profiled, run_sim_with_sink, SimResult};
 pub use sweep::{run_sweep, CellReport, SweepGrid, SweepReport};

@@ -332,6 +332,7 @@ impl CellReport {
         o.field_str("decrement", decrement_name(self.config.params.decrement));
         o.field_u64("seed", self.config.params.seed);
         o.field_bool("true_overflow", self.result.true_overflow);
+        o.field_str("failure", self.result.failure.as_deref().unwrap_or(""));
         o.field_u64("prims_executed", self.result.prims_executed as u64);
         o.field_f64("lpt_hit_rate", self.result.lpt_hit_rate());
         o.field_u64("max_occupancy", self.result.lpt.max_occupancy as u64);

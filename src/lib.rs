@@ -5,6 +5,7 @@
 //! and `DESIGN.md` for the per-experiment index.
 
 pub use small_analysis as analysis;
+pub use small_chaos as chaos;
 pub use small_core as small;
 pub use small_heap as heap;
 pub use small_lisp as lisp;
