@@ -1,0 +1,133 @@
+//! `crash` — seeded crash-point campaigns over the durable simulator.
+//!
+//! ```text
+//! crash [--seeds 11,23,47] [--per-seed N] [--prims P]
+//!       [--checkpoint-every K] [--out PATH]
+//! ```
+//!
+//! For each seed: run the workload to completion through
+//! `run_sim_resumable` (checkpoints + write-ahead journal), then kill
+//! it at `--per-seed` planned journal appends — cycling lost and torn
+//! tails — recover, resume, and require the final checkpoint bytes and
+//! LPT stats ledger to equal the uninterrupted run's. Two corruption
+//! probes per seed (flipped journal byte, truncated checkpoint) must
+//! fail closed with typed errors. The report is deterministic JSON
+//! (byte-identical across runs for the same arguments); the process
+//! exits nonzero on any contract violation.
+
+use small_chaos::crash::run_crash_campaign;
+use small_simulator::SimParams;
+use small_workloads::synthetic;
+use std::process::ExitCode;
+
+/// The CI crash-smoke job's pinned seeds.
+const PINNED_SEEDS: [u64; 3] = [11, 23, 47];
+
+struct Args {
+    seeds: Vec<u64>,
+    per_seed: usize,
+    prims: usize,
+    checkpoint_every: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: PINNED_SEEDS.to_vec(),
+        per_seed: 35,
+        prims: 300,
+        checkpoint_every: 48,
+        out: "results/crash_report.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--seeds" => {
+                args.seeds = val("--seeds")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--per-seed" => {
+                args.per_seed = val("--per-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad per-seed: {e}"))?;
+            }
+            "--prims" => {
+                args.prims = val("--prims")?
+                    .parse()
+                    .map_err(|e| format!("bad prims: {e}"))?;
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = val("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad checkpoint-every: {e}"))?;
+            }
+            "--out" => args.out = val("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: crash [--seeds a,b,c] [--per-seed N] [--prims P] \
+                     [--checkpoint-every K] [--out PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.seeds.is_empty() {
+        return Err("no seeds given".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut p = synthetic::table_5_1("slang");
+    p.primitives = args.prims;
+    p.functions = (args.prims / 4).max(8);
+    let trace = synthetic::generate(&p);
+
+    // A small backing heap keeps checkpoint images (which embed the
+    // whole arena) cheap; these workloads use a few thousand cells.
+    let params = SimParams {
+        heap_cells: 1 << 14,
+        ..SimParams::default()
+    }
+    .with_table(512)
+    .with_checkpoint_every(args.checkpoint_every);
+    let report = run_crash_campaign(&trace, params, &args.seeds, args.per_seed);
+
+    print!("{}", report.summary_table());
+
+    let json = format!("{}\n", report.to_json());
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+
+    if report.all_pass() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("crash-consistency contract violated — see report");
+        ExitCode::FAILURE
+    }
+}

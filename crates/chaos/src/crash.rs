@@ -1,0 +1,432 @@
+//! Crash-point chaos: kill/recover/resume campaigns over the durable
+//! simulator path.
+//!
+//! Complements the heap-fault campaigns in the crate root with the
+//! crash-consistency contract of `small-persist` +
+//! [`run_sim_resumable`]:
+//!
+//! * for every planned kill point — the k-th journal append, with and
+//!   without a torn partial write of the dying frame — the run dies
+//!   with a typed [`PersistError::Crash`], is recovered from exactly
+//!   the bytes the crash left durable, resumes, and finishes with the
+//!   **byte-identical final checkpoint** and the **identical
+//!   [`LptStats`] ledger** of the uninterrupted run;
+//! * deliberate corruption — a flipped byte inside a committed journal
+//!   frame, a truncated checkpoint — makes recovery **fail closed**
+//!   with the matching typed [`PersistError`], never a panic and never
+//!   a silently blended state.
+//!
+//! Everything is seeded and wall-clock-free: the same trace, parameters
+//! and kill schedule reproduce the same report byte-for-byte, so a
+//! failing case from CI replays locally with the `crash` binary.
+
+use small_core::LptStats;
+use small_metrics::JsonObject;
+use small_persist::{CrashPlan, CrashStore, PersistError};
+use small_simulator::{run_sim_resumable, SimParams, SimResult};
+use small_trace::Trace;
+
+/// The uninterrupted reference run a crash case is compared against.
+#[derive(Debug, Clone)]
+pub struct CrashBaseline {
+    /// Final checkpoint bytes of the clean durable run.
+    pub checkpoint: Vec<u8>,
+    /// Its LPT counter ledger.
+    pub lpt: LptStats,
+    /// Primitives it executed.
+    pub prims_executed: usize,
+    /// Journal appends the clean run performed (the space of valid
+    /// kill points).
+    pub appends: u64,
+}
+
+/// Run the uninterrupted durable run and capture what recovery must
+/// reproduce. Returns `None` if the clean run itself ends in a true
+/// overflow or typed failure (campaign parameters should avoid that).
+pub fn run_baseline(trace: &Trace, params: SimParams) -> Option<CrashBaseline> {
+    let mut store = CrashStore::new();
+    let r = run_sim_resumable(trace, params, &mut store).ok()?;
+    if r.true_overflow || r.failure.is_some() {
+        return None;
+    }
+    Some(CrashBaseline {
+        checkpoint: store.checkpoint()?.to_vec(),
+        lpt: r.lpt,
+        prims_executed: r.prims_executed,
+        appends: store.appends(),
+    })
+}
+
+/// One kill/recover/resume case.
+#[derive(Debug, Clone)]
+pub struct CrashCaseOutcome {
+    /// Workload seed.
+    pub seed: u64,
+    /// The 1-based journal append the crash plan killed.
+    pub kill_at_append: u64,
+    /// Bytes of the dying frame left durable (`None` = frame lost
+    /// whole).
+    pub torn_keep: Option<usize>,
+    /// The plan actually fired ([`PersistError::Crash`] surfaced).
+    pub crashed: bool,
+    /// The recovered run's final checkpoint is byte-identical to the
+    /// uninterrupted run's.
+    pub state_identical: bool,
+    /// The recovered run's [`LptStats`] ledger equals the baseline's.
+    pub stats_identical: bool,
+    /// The recovered run executed the same primitive count, with no
+    /// overflow and no typed failure.
+    pub result_identical: bool,
+    /// Typed recovery error, if recovery itself failed (always a
+    /// contract violation for a kill case).
+    pub recovery_error: Option<String>,
+}
+
+impl CrashCaseOutcome {
+    /// The crash-consistency contract for this kill point.
+    pub fn pass(&self) -> bool {
+        self.crashed
+            && self.recovery_error.is_none()
+            && self.state_identical
+            && self.stats_identical
+            && self.result_identical
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("seed", self.seed);
+        o.field_u64("kill_at_append", self.kill_at_append);
+        o.field_bool("torn", self.torn_keep.is_some());
+        o.field_u64("torn_keep", self.torn_keep.unwrap_or(0) as u64);
+        o.field_bool("crashed", self.crashed);
+        o.field_bool("state_identical", self.state_identical);
+        o.field_bool("stats_identical", self.stats_identical);
+        o.field_bool("result_identical", self.result_identical);
+        o.field_str(
+            "recovery_error",
+            self.recovery_error.as_deref().unwrap_or(""),
+        );
+        o.field_bool("pass", self.pass());
+        o.finish()
+    }
+}
+
+/// Kill the run at one planned append, recover, resume, and compare
+/// the completed run against `base`.
+pub fn run_crash_case(
+    trace: &Trace,
+    params: SimParams,
+    base: &CrashBaseline,
+    plan: CrashPlan,
+) -> CrashCaseOutcome {
+    let mut out = CrashCaseOutcome {
+        seed: params.seed,
+        kill_at_append: plan.kill_at_append,
+        torn_keep: plan.torn_keep,
+        crashed: false,
+        state_identical: false,
+        stats_identical: false,
+        result_identical: false,
+        recovery_error: None,
+    };
+    let mut store = CrashStore::with_plan(plan);
+    match run_sim_resumable(trace, params, &mut store) {
+        Err(PersistError::Crash { .. }) => out.crashed = true,
+        Err(e) => {
+            out.recovery_error = Some(format!("pre-crash error: {e}"));
+            return out;
+        }
+        Ok(_) => return out, // plan never fired: kill point out of range
+    }
+    store.disarm();
+    let r: SimResult = match run_sim_resumable(trace, params, &mut store) {
+        Ok(r) => r,
+        Err(e) => {
+            out.recovery_error = Some(e.to_string());
+            return out;
+        }
+    };
+    out.state_identical = store.checkpoint() == Some(base.checkpoint.as_slice());
+    out.stats_identical = r.lpt == base.lpt;
+    out.result_identical = r.prims_executed == base.prims_executed
+        && !r.true_overflow
+        && r.failure.is_none()
+        && store.journal().is_empty();
+    out
+}
+
+/// One fail-closed corruption probe.
+#[derive(Debug, Clone)]
+pub struct CorruptionOutcome {
+    /// Workload seed.
+    pub seed: u64,
+    /// What was damaged (`"journal-flip"` or `"checkpoint-truncate"`).
+    pub kind: &'static str,
+    /// The typed error recovery returned (empty if it wrongly
+    /// succeeded).
+    pub error: String,
+    /// Recovery refused with the expected typed error.
+    pub failed_closed: bool,
+}
+
+impl CorruptionOutcome {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("seed", self.seed);
+        o.field_str("kind", self.kind);
+        o.field_str("error", &self.error);
+        o.field_bool("failed_closed", self.failed_closed);
+        o.finish()
+    }
+}
+
+/// Crash mid-run, damage the durable bytes, and require recovery to
+/// fail closed with the matching typed [`PersistError`].
+///
+/// The crash is planned with `checkpoint_every = 0` so the journal is
+/// guaranteed non-empty at the kill point (no rotation has emptied it).
+pub fn run_corruption_cases(trace: &Trace, params: SimParams) -> Vec<CorruptionOutcome> {
+    let params = params.with_checkpoint_every(0);
+    let mut crashed = CrashStore::with_plan(CrashPlan {
+        kill_at_append: 8,
+        torn_keep: None,
+    });
+    let died = run_sim_resumable(trace, params, &mut crashed);
+    crashed.disarm();
+    let mut cases = Vec::new();
+    if !matches!(died, Err(PersistError::Crash { .. })) || crashed.journal().is_empty() {
+        cases.push(CorruptionOutcome {
+            seed: params.seed,
+            kind: "setup",
+            error: "crash plan did not leave a journaled store".to_string(),
+            failed_closed: false,
+        });
+        return cases;
+    }
+
+    // A flipped byte inside the first committed frame's payload: the
+    // frame CRC must catch it.
+    let mut flipped = crashed.clone();
+    flipped.flip_journal_byte(8);
+    let err = run_sim_resumable(trace, params, &mut flipped);
+    cases.push(CorruptionOutcome {
+        seed: params.seed,
+        kind: "journal-flip",
+        error: err
+            .as_ref()
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_default(),
+        failed_closed: matches!(err, Err(PersistError::CorruptJournal { .. })),
+    });
+
+    // A checkpoint chopped mid-payload: the envelope must refuse it.
+    let mut chopped = crashed.clone();
+    let len = chopped.checkpoint().map_or(0, <[u8]>::len);
+    chopped.truncate_checkpoint(len / 2);
+    let err = run_sim_resumable(trace, params, &mut chopped);
+    cases.push(CorruptionOutcome {
+        seed: params.seed,
+        kind: "checkpoint-truncate",
+        error: err
+            .as_ref()
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_default(),
+        failed_closed: matches!(err, Err(PersistError::CorruptCheckpoint(_))),
+    });
+    cases
+}
+
+/// A whole crash-point campaign: per seed, an uninterrupted baseline,
+/// a sweep of kill points across the append space (cycling torn-write
+/// offsets), and the corruption probes.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Name of the trace the campaign replayed.
+    pub trace: String,
+    /// Kill/recover/resume cases, in (seed, kill point) order.
+    pub cases: Vec<CrashCaseOutcome>,
+    /// Fail-closed corruption probes.
+    pub corruption: Vec<CorruptionOutcome>,
+    /// Seeds whose clean run was unusable as a baseline (aborted or
+    /// overflowed — a campaign-parameter bug).
+    pub skipped_seeds: Vec<u64>,
+}
+
+impl CrashReport {
+    /// Every kill point recovered byte-identically, every corruption
+    /// probe failed closed, and no seed was skipped.
+    pub fn all_pass(&self) -> bool {
+        self.skipped_seeds.is_empty()
+            && self.cases.iter().all(CrashCaseOutcome::pass)
+            && self.corruption.iter().all(|c| c.failed_closed)
+    }
+
+    /// Deterministic JSON: no wall-clock data, stable ordering —
+    /// byte-identical across runs for the same campaign.
+    pub fn to_json(&self) -> String {
+        let cases: Vec<String> = self.cases.iter().map(CrashCaseOutcome::to_json).collect();
+        let corruption: Vec<String> = self
+            .corruption
+            .iter()
+            .map(CorruptionOutcome::to_json)
+            .collect();
+        let mut o = JsonObject::new();
+        o.field_str("trace", &self.trace);
+        o.field_u64("kill_points", self.cases.len() as u64);
+        o.field_u64(
+            "kill_points_passed",
+            self.cases.iter().filter(|c| c.pass()).count() as u64,
+        );
+        o.field_u64("skipped_seeds", self.skipped_seeds.len() as u64);
+        o.field_bool("all_pass", self.all_pass());
+        o.field_raw("cases", &format!("[{}]", cases.join(",")));
+        o.field_raw("corruption", &format!("[{}]", corruption.join(",")));
+        o.finish()
+    }
+
+    /// A human-readable summary, one line per failing case.
+    pub fn summary_table(&self) -> String {
+        let mut s = format!(
+            "crash campaign over '{}': {} kill points ({} passed), {} corruption probes, all_pass={}\n",
+            self.trace,
+            self.cases.len(),
+            self.cases.iter().filter(|c| c.pass()).count(),
+            self.corruption.len(),
+            self.all_pass(),
+        );
+        for c in self.cases.iter().filter(|c| !c.pass()) {
+            s.push_str(&format!(
+                "  FAIL seed {} kill {} torn {:?}: crashed={} state={} stats={} result={} err={:?}\n",
+                c.seed,
+                c.kill_at_append,
+                c.torn_keep,
+                c.crashed,
+                c.state_identical,
+                c.stats_identical,
+                c.result_identical,
+                c.recovery_error,
+            ));
+        }
+        for c in self.corruption.iter().filter(|c| !c.failed_closed) {
+            s.push_str(&format!(
+                "  FAIL seed {} corruption {}: did not fail closed ({})\n",
+                c.seed, c.kind, c.error
+            ));
+        }
+        s
+    }
+}
+
+/// The torn-write offsets kill points cycle through: a lost frame, an
+/// empty torn prefix, a cut inside the length header, and a cut inside
+/// the payload.
+const TORN_CYCLE: [Option<usize>; 4] = [None, Some(0), Some(3), Some(11)];
+
+/// Spread `per_seed` kill points evenly across an `appends`-long run,
+/// cycling torn-write offsets so both lost and torn tails are hit.
+pub fn kill_points(appends: u64, per_seed: usize) -> Vec<CrashPlan> {
+    let n = per_seed.max(1) as u64;
+    let stride = (appends / n).max(1);
+    (0..n)
+        .map(|k| CrashPlan {
+            kill_at_append: (k * stride + 1).min(appends),
+            torn_keep: TORN_CYCLE[(k as usize) % TORN_CYCLE.len()],
+        })
+        .take(appends.min(n) as usize)
+        .collect()
+}
+
+/// Run the full campaign: for each seed, an uninterrupted baseline,
+/// `per_seed` kill/recover/resume cases spread across its append
+/// space, and the two corruption probes.
+pub fn run_crash_campaign(
+    trace: &Trace,
+    base_params: SimParams,
+    seeds: &[u64],
+    per_seed: usize,
+) -> CrashReport {
+    let mut report = CrashReport {
+        trace: trace.name.clone(),
+        cases: Vec::new(),
+        corruption: Vec::new(),
+        skipped_seeds: Vec::new(),
+    };
+    for &seed in seeds {
+        let params = base_params.with_seed(seed);
+        let Some(base) = run_baseline(trace, params) else {
+            report.skipped_seeds.push(seed);
+            continue;
+        };
+        for plan in kill_points(base.appends, per_seed) {
+            report
+                .cases
+                .push(run_crash_case(trace, params, &base, plan));
+        }
+        report
+            .corruption
+            .extend(run_corruption_cases(trace, params));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use small_workloads::synthetic;
+
+    fn trace(prims: usize) -> Trace {
+        let mut p = synthetic::table_5_1("slang");
+        p.primitives = prims;
+        p.functions = (prims / 4).max(8);
+        synthetic::generate(&p)
+    }
+
+    fn params() -> SimParams {
+        // A small backing heap keeps checkpoint images (which embed the
+        // whole arena) cheap; these workloads use a few thousand cells.
+        SimParams {
+            heap_cells: 1 << 14,
+            ..SimParams::default()
+        }
+        .with_table(512)
+        .with_checkpoint_every(48)
+    }
+
+    /// The acceptance gate: ≥100 seeded kill points (including torn
+    /// tails), every one recovering to the byte-identical final
+    /// checkpoint and identical stats ledger, and every corruption
+    /// probe failing closed with the right typed error.
+    #[test]
+    fn hundred_kill_points_recover_byte_identically() {
+        let t = trace(150);
+        let r = run_crash_campaign(&t, params(), &[11, 23, 47], 35);
+        assert!(r.cases.len() >= 100, "only {} kill points", r.cases.len());
+        assert!(
+            r.cases.iter().any(|c| c.torn_keep.is_some())
+                && r.cases.iter().any(|c| c.torn_keep.is_none()),
+            "both torn and lost tails must be exercised"
+        );
+        assert_eq!(r.corruption.len(), 6);
+        assert!(r.all_pass(), "{}", r.summary_table());
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let t = trace(120);
+        let a = run_crash_campaign(&t, params(), &[11], 6);
+        let b = run_crash_campaign(&t, params(), &[11], 6);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.all_pass(), "{}", a.summary_table());
+    }
+
+    #[test]
+    fn corruption_probes_fail_closed() {
+        let t = trace(120);
+        let cases = run_corruption_cases(&t, params().with_seed(11));
+        assert_eq!(cases.len(), 2);
+        assert!(cases.iter().all(|c| c.failed_closed), "{cases:?}");
+        assert!(cases.iter().all(|c| !c.error.is_empty()));
+    }
+}

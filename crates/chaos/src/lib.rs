@@ -18,6 +18,13 @@
 //! Everything is seeded: the same trace + parameters + fault plan
 //! reproduce the same case byte-for-byte, so a failing seed from CI can
 //! be replayed locally with the `chaos` binary.
+//!
+//! The [`crash`] module extends the same discipline to crash
+//! consistency: seeded kill points over the durable simulator path
+//! (`run_sim_resumable`), byte-identity of recovered state, and
+//! fail-closed corruption probes — replayable with the `crash` binary.
+
+pub mod crash;
 
 use small_core::OverflowPolicy;
 use small_heap::controller::TwoPointerController;

@@ -32,6 +32,25 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl StdRng {
+    /// Export the raw xoshiro256** state for checkpointing. The stream
+    /// continues identically from a generator rebuilt via
+    /// [`StdRng::from_state`].
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by [`StdRng::state`].
+    /// The all-zero state (invalid for xoshiro) is mapped to a fixed
+    /// nonzero state rather than accepted.
+    #[inline]
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -24,8 +24,8 @@ pub mod machine;
 pub mod timing;
 
 pub use lp::{
-    AuditReport, CompressPolicy, DecrementPolicy, FreeDiscipline, Id, ListProcessor, LpConfig,
-    LpError, LpValue, LptStats, OverflowPolicy, Perturbation, ReconcileStats, RefcountMode,
-    RootKind, Rooted, Violation, TRANSIENT_RETRY_LIMIT,
+    AuditReport, CompressPolicy, DecrementPolicy, EntryImage, FieldImage, FreeDiscipline, Id,
+    ListProcessor, LpConfig, LpError, LpImage, LpValue, LptStats, OverflowPolicy, Perturbation,
+    ReconcileStats, RefcountMode, RootKind, Rooted, Violation, TRANSIENT_RETRY_LIMIT,
 };
 pub use machine::SmallBackend;

@@ -46,9 +46,7 @@
 //! *deferred*: the drop enqueues an unroot request which the LP drains
 //! at the next operation boundary (or [`ListProcessor::drain_unroots`]).
 //! Deferral is always in the safe direction — a reference lives
-//! slightly longer, never shorter. The four legacy methods
-//! (`guard`/`unguard`/`stack_retain`/`stack_release`) remain as thin
-//! deprecated wrappers with their original immediate semantics.
+//! slightly longer, never shorter.
 //!
 //! # Instrumentation
 //!
@@ -230,7 +228,7 @@ impl Default for LpConfig {
 }
 
 /// LP/LPT activity counters (Tables 5.2–5.4).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LptStats {
     /// Reference-count updates performed in the LPT (EP–LP bus traffic).
     pub refops: u64,
@@ -517,6 +515,101 @@ pub struct ReconcileStats {
     pub entries_swept: usize,
     /// Stack bits realigned with the EP-side count table.
     pub stack_bits_fixed: usize,
+    /// Free lists rebuilt because the existing threading was invalid
+    /// (0 or 1 — a structurally sound list is left untouched).
+    pub free_lists_rebuilt: usize,
+}
+
+impl ReconcileStats {
+    /// True when the pass repaired nothing: the table was already
+    /// consistent and is byte-for-byte unchanged.
+    pub fn is_clean(&self) -> bool {
+        *self == ReconcileStats::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint images
+// ---------------------------------------------------------------------
+
+/// One LPT field in checkpoint-image form (the in-table [`Field`] is
+/// private; this mirrors it exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldImage {
+    /// Field not materialized (the entry is heap-backed).
+    Empty,
+    /// An immediate atom, as raw word bits.
+    Atom(u64),
+    /// A child object identifier.
+    Obj(Id),
+}
+
+/// One LPT entry in checkpoint-image form: every bit of entry state,
+/// including free-stack threading and the lazy-decrement flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryImage {
+    /// The car field.
+    pub car: FieldImage,
+    /// The cdr field.
+    pub cdr: FieldImage,
+    /// The reference count.
+    pub rc: u32,
+    /// The backing heap address, when the fields are not materialized.
+    pub addr: Option<u32>,
+    /// The split-mode stack bit (§5.2.4).
+    pub stack_bit: bool,
+    /// Whether the entry is live.
+    pub live: bool,
+    /// Free-stack link.
+    pub free_next: Option<Id>,
+    /// Freed with deferred child decrements still pending (§4.3.2.1).
+    pub lazy: bool,
+}
+
+/// A deterministic, complete snapshot of a [`ListProcessor`]'s table
+/// state — everything except the heap controller (exported separately
+/// via [`small_heap::PersistableController`]) and outstanding [`Rooted`]
+/// handles (the restored counts already include them; see
+/// [`ListProcessor::resume_root`]).
+///
+/// Equal processor states export equal images: `ep_counts` is sorted by
+/// identifier and every collection is emitted in table order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpImage {
+    /// Table size (must match the importing configuration).
+    pub table_size: usize,
+    /// Every entry, in identifier order.
+    pub entries: Vec<EntryImage>,
+    /// Head of the free list.
+    pub free_head: Option<Id>,
+    /// Tail of the free list.
+    pub free_tail: Option<Id>,
+    /// Live entry count.
+    pub live: usize,
+    /// Whether the LP was in §4.3.2.3 heap-direct overflow mode.
+    pub degraded: bool,
+    /// EP-side stack counts (split mode), sorted by identifier.
+    pub ep_counts: Vec<(Id, u32)>,
+    /// Recent pseudo-overflow times (hybrid compression state).
+    pub recent_overflows: Vec<u64>,
+    /// The full statistics ledger, so counters survive recovery.
+    pub stats: LptStats,
+}
+
+fn field_to_image(f: Field) -> FieldImage {
+    match f {
+        Field::Empty => FieldImage::Empty,
+        Field::Atom(w) => FieldImage::Atom(w.bits()),
+        Field::Obj(id) => FieldImage::Obj(id),
+    }
+}
+
+fn field_from_image(f: FieldImage) -> Field {
+    match f {
+        FieldImage::Empty => Field::Empty,
+        FieldImage::Atom(bits) => Field::Atom(Word::from_bits(bits)),
+        FieldImage::Obj(id) => Field::Obj(id),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -527,11 +620,10 @@ pub struct ReconcileStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RootKind {
     /// A processor-register reference: protects the value during a
-    /// multi-step operation, generating no reference-count bus traffic
-    /// (the legacy `guard`/`unguard` pair).
+    /// multi-step operation, generating no reference-count bus traffic.
     Register,
     /// A stack/binding reference, counted per the configured
-    /// [`RefcountMode`] (the legacy `stack_retain`/`stack_release` pair).
+    /// [`RefcountMode`].
     Binding,
 }
 
@@ -955,8 +1047,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     }
 
     /// Protect `v` with a *register* reference for the handle's
-    /// lifetime: the RAII replacement for the deprecated
-    /// `guard`/`unguard` pair. No reference-count bus traffic.
+    /// lifetime. No reference-count bus traffic.
     pub fn root(&mut self, v: LpValue) -> Rooted {
         self.drain_unroots();
         self.register_acquire(v);
@@ -964,8 +1055,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     }
 
     /// Take a *stack/binding* reference to `v` for the handle's
-    /// lifetime: the RAII replacement for the deprecated
-    /// `stack_retain`/`stack_release` pair.
+    /// lifetime, counted per the configured [`RefcountMode`].
     pub fn root_binding(&mut self, v: LpValue) -> Rooted {
         self.drain_unroots();
         self.binding_acquire(v);
@@ -978,6 +1068,17 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     pub fn adopt_binding(&mut self, v: LpValue) -> Rooted {
         self.drain_unroots();
         self.make_rooted(v, RootKind::Binding)
+    }
+
+    /// Rebuild a [`Rooted`] handle for a reference that is *already
+    /// counted* in restored table state (checkpoint recovery). Unlike
+    /// [`Self::root`]/[`Self::root_binding`] no new reference is taken:
+    /// an imported [`LpImage`]'s counts and EP-side table include every
+    /// reference that was protected by a handle at export time, so
+    /// recovery only needs to re-wrap them. Dropping the handle releases
+    /// the restored reference as usual.
+    pub fn resume_root(&self, v: LpValue, kind: RootKind) -> Rooted {
+        self.make_rooted(v, kind)
     }
 
     /// Perform the releases scheduled by dropped [`Rooted`] handles.
@@ -999,34 +1100,6 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 RootKind::Binding => self.binding_release(v),
             }
         }
-    }
-
-    // -----------------------------------------------------------------
-    // The deprecated four-method protect protocol (thin wrappers)
-    // -----------------------------------------------------------------
-
-    /// Take a *register* reference to a value immediately.
-    #[deprecated(note = "use `root`, which releases via RAII")]
-    pub fn guard(&mut self, v: LpValue) {
-        self.register_acquire(v);
-    }
-
-    /// Drop a register reference taken by `guard`.
-    #[deprecated(note = "drop the handle returned by `root` instead")]
-    pub fn unguard(&mut self, v: LpValue) {
-        self.register_release(v);
-    }
-
-    /// The EP took a stack/binding reference to a value (push, bind).
-    #[deprecated(note = "use `root_binding`, which releases via RAII")]
-    pub fn stack_retain(&mut self, v: LpValue) {
-        self.binding_acquire(v);
-    }
-
-    /// The EP dropped a stack/binding reference (pop, unbind, return).
-    #[deprecated(note = "drop the handle returned by `root_binding`/`adopt_binding` instead")]
-    pub fn stack_release(&mut self, v: LpValue) {
-        self.binding_release(v);
     }
 
     /// Release a field's owned heap word, if any. Pointer-tagged atom
@@ -2216,6 +2289,32 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         }
     }
 
+    /// Walk the free list and decide whether its threading is
+    /// structurally sound: every link targets an in-range dead entry,
+    /// no entry repeats, the walk covers *every* dead entry, and the
+    /// final node is the recorded tail. Used by [`Self::reconcile`] to
+    /// leave a healthy list (whose order encodes workload history)
+    /// untouched instead of unconditionally rebuilding it.
+    fn free_list_is_valid(&self) -> bool {
+        let n = self.entries.len();
+        let dead_total = self.entries.iter().filter(|e| !e.live).count();
+        let mut seen = vec![false; n];
+        let mut visited = 0usize;
+        let mut last: Option<Id> = None;
+        let mut cursor = self.free_head;
+        while let Some(id) = cursor {
+            let i = id as usize;
+            if i >= n || seen[i] || self.entries[i].live {
+                return false;
+            }
+            seen[i] = true;
+            visited += 1;
+            last = Some(id);
+            cursor = self.entries[i].free_next;
+        }
+        visited == dead_total && last == self.free_tail
+    }
+
     /// Audit-driven repair: rebuild the table's bookkeeping from
     /// trusted external roots, reusing the true-overflow mark
     /// machinery. `roots` must list every EP-held reference that is
@@ -2227,10 +2326,16 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// The pass clears corrupt fields, sweeps unreachable live
     /// entries, recomputes every reference count from internal
     /// in-degree plus root multiplicity, realigns stack bits with the
-    /// EP-side table, and rebuilds the free list deterministically
-    /// (dead identifiers ascending, threaded low-first). Reachable
-    /// structure is never dropped; ambiguous heap addresses are leaked
-    /// rather than freed.
+    /// EP-side table, and — only if its threading is invalid — rebuilds
+    /// the free list deterministically (dead identifiers ascending,
+    /// threaded low-first). Reachable structure is never dropped;
+    /// ambiguous heap addresses are leaked rather than freed.
+    ///
+    /// The pass is **idempotent**: on an already-consistent table it
+    /// repairs nothing ([`ReconcileStats::is_clean`]) and leaves every
+    /// entry — including free-list threading and pending lazy
+    /// obligations — byte-for-byte unchanged, so recovery gates can run
+    /// it unconditionally.
     pub fn reconcile(&mut self, roots: &[LpValue]) -> ReconcileStats {
         let mut stats = ReconcileStats::default();
         let n = self.entries.len();
@@ -2300,6 +2405,24 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         for (&id, &c) in &self.ep_counts {
             if (id as usize) < n && c > 0 && self.entries[id as usize].live {
                 stack.push(id);
+            }
+        }
+        // Pending lazy decrements are references too: a dead entry's
+        // not-yet-drained fields still hold counted references to their
+        // targets (step 5 counts them in the in-degree), so they must
+        // also anchor the mark — otherwise an entry kept alive only by
+        // a pending decrement is swept from a perfectly clean table.
+        for i in 0..n {
+            if !self.entries[i].lazy {
+                continue;
+            }
+            let e = &self.entries[i];
+            for f in [e.car, e.cdr] {
+                if let Field::Obj(c) = f {
+                    if (c as usize) < n && self.entries[c as usize].live {
+                        stack.push(c);
+                    }
+                }
             }
         }
         while let Some(id) = stack.pop() {
@@ -2406,24 +2529,155 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
                 stats.stack_bits_fixed += 1;
             }
         }
-        // 7. Rebuild the free list deterministically: dead identifiers
-        //    ascending, threaded low-first (the initial layout).
-        self.free_head = None;
-        self.free_tail = None;
-        for i in (0..n).rev() {
-            if self.entries[i].live {
-                self.entries[i].free_next = None;
-            } else {
-                self.entries[i].free_next = self.free_head;
-                self.free_head = Some(i as Id);
-                if self.free_tail.is_none() {
-                    self.free_tail = Some(i as Id);
+        // 7. Free list: keep the existing threading when it is
+        //    structurally sound (so a clean table — whose list order
+        //    reflects workload history — passes through untouched, and
+        //    a second invocation is a no-op); rebuild deterministically
+        //    (dead identifiers ascending, threaded low-first) only when
+        //    the walk finds corruption.
+        if !self.free_list_is_valid() {
+            self.free_head = None;
+            self.free_tail = None;
+            for i in (0..n).rev() {
+                if self.entries[i].live {
+                    self.entries[i].free_next = None;
+                } else {
+                    self.entries[i].free_next = self.free_head;
+                    self.free_head = Some(i as Id);
+                    if self.free_tail.is_none() {
+                        self.free_tail = Some(i as Id);
+                    }
                 }
             }
+            stats.free_lists_rebuilt += 1;
         }
         // 8. Recount occupancy.
         self.live = self.entries.iter().filter(|e| e.live).count();
         stats
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint export / import
+    // -----------------------------------------------------------------
+
+    /// Capture the complete table state as a deterministic [`LpImage`].
+    ///
+    /// Must be called at an operation boundary (no multi-step primitive
+    /// in flight, [`Self::drain_unroots`] already run); equal states
+    /// always export equal images. The heap controller is exported
+    /// separately via [`small_heap::PersistableController`].
+    pub fn export_image(&self) -> LpImage {
+        debug_assert!(self.pin.is_none(), "export only at operation boundaries");
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| EntryImage {
+                car: field_to_image(e.car),
+                cdr: field_to_image(e.cdr),
+                rc: e.rc,
+                addr: e.addr.map(|a| a.0),
+                stack_bit: e.stack_bit,
+                live: e.live,
+                free_next: e.free_next,
+                lazy: e.lazy,
+            })
+            .collect();
+        let mut ep_counts: Vec<(Id, u32)> =
+            self.ep_counts.iter().map(|(&id, &c)| (id, c)).collect();
+        ep_counts.sort_unstable_by_key(|&(id, _)| id);
+        LpImage {
+            table_size: self.config.table_size,
+            entries,
+            free_head: self.free_head,
+            free_tail: self.free_tail,
+            live: self.live,
+            degraded: self.degraded,
+            ep_counts,
+            recent_overflows: self.recent_overflows.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a processor from an [`LpImage`] captured by
+    /// [`Self::export_image`], attaching `controller` (restored via
+    /// [`small_heap::PersistableController`]) and `sink`.
+    ///
+    /// Validates structural invariants that do not require trusting the
+    /// image — table size against `config`, identifier ranges, the live
+    /// count — and fails closed with
+    /// [`ImageError::Malformed`](small_heap::ImageError) on any
+    /// mismatch. Outstanding handles are *not* recreated; callers
+    /// re-wrap recovered references via [`Self::resume_root`]. Recovery
+    /// gates should follow up with [`Self::audit`] /
+    /// [`Self::reconcile`].
+    pub fn from_image(
+        controller: C,
+        config: LpConfig,
+        image: &LpImage,
+        sink: S,
+    ) -> Result<Self, small_heap::ImageError> {
+        use small_heap::ImageError;
+        let n = image.table_size;
+        if n != config.table_size || image.entries.len() != n {
+            return Err(ImageError::Malformed);
+        }
+        let in_range = |id: Id| (id as usize) < n;
+        let link_ok = |o: Option<Id>| o.is_none_or(in_range);
+        if !link_ok(image.free_head) || !link_ok(image.free_tail) {
+            return Err(ImageError::Malformed);
+        }
+        let mut live = 0usize;
+        let mut entries = Vec::with_capacity(n);
+        for img in &image.entries {
+            if !link_ok(img.free_next) {
+                return Err(ImageError::Malformed);
+            }
+            for f in [img.car, img.cdr] {
+                if let FieldImage::Obj(c) = f {
+                    if !in_range(c) {
+                        return Err(ImageError::Malformed);
+                    }
+                }
+            }
+            live += img.live as usize;
+            entries.push(Entry {
+                car: field_from_image(img.car),
+                cdr: field_from_image(img.cdr),
+                rc: img.rc,
+                addr: img.addr.map(small_heap::HeapAddr),
+                stack_bit: img.stack_bit,
+                live: img.live,
+                free_next: img.free_next,
+                lazy: img.lazy,
+            });
+        }
+        if live != image.live {
+            return Err(ImageError::Malformed);
+        }
+        let mut ep_counts = std::collections::HashMap::new();
+        for &(id, c) in &image.ep_counts {
+            if !in_range(id) || ep_counts.insert(id, c).is_some() {
+                return Err(ImageError::Malformed);
+            }
+        }
+        Ok(ListProcessor {
+            controller,
+            entries,
+            free_head: image.free_head,
+            free_tail: image.free_tail,
+            live,
+            config,
+            stats: image.stats,
+            sink,
+            ep_counts,
+            recent_overflows: image.recent_overflows.iter().copied().collect(),
+            roots: Arc::new(RootShared {
+                queue: Mutex::new(Vec::new()),
+                pending: AtomicBool::new(false),
+            }),
+            degraded: image.degraded,
+            pin: None,
+        })
     }
 }
 
@@ -2436,9 +2690,8 @@ mod tests {
 
     type Lp = ListProcessor<TwoPointerController>;
 
-    /// Drop the EP's stack reference to `v` *now*: the RAII spelling of
-    /// the deprecated `stack_release` (adopt the reference the value
-    /// already carries, then force the deferred release).
+    /// Drop the EP's stack reference to `v` *now*: adopt the reference
+    /// the value already carries, then force the deferred release.
     fn release<S: EventSink>(lp: &mut ListProcessor<TwoPointerController, S>, v: LpValue) {
         drop(lp.adopt_binding(v));
         lp.drain_unroots();
@@ -3009,22 +3262,22 @@ mod tests {
         assert!(counts.heap_splits.get() > 0);
     }
 
-    /// The one remaining exerciser of the deprecated four-method protect
-    /// protocol: the thin wrappers must stay behaviorally identical to
-    /// the `Rooted` handles that replaced them.
+    /// Retired from the deprecated four-method protect protocol
+    /// (`guard`/`unguard`/`stack_retain`/`stack_release`, now removed):
+    /// the RAII `Rooted` handles must stay behaviorally identical to the
+    /// immediate acquire/release primitives they defer to.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_rooted_semantics() {
-        let run = |legacy: bool| -> (u64, usize) {
+    fn rooted_handles_match_immediate_semantics() {
+        let run = |immediate: bool| -> (u64, usize) {
             let mut i = Interner::new();
             let mut lp = lp();
             let v = read(&mut lp, &mut i, "(x y)");
-            if legacy {
-                lp.guard(v);
-                lp.stack_retain(v);
-                lp.stack_release(v);
-                lp.unguard(v);
-                lp.stack_release(v);
+            if immediate {
+                lp.register_acquire(v);
+                lp.binding_acquire(v);
+                lp.binding_release(v);
+                lp.register_release(v);
+                lp.binding_release(v);
             } else {
                 let g = lp.root(v);
                 let b = lp.root_binding(v);
@@ -3280,6 +3533,7 @@ mod tests {
         let stats = lp.reconcile(&[v]);
         assert!(stats.refcounts_fixed >= 1);
         assert!(stats.entries_swept >= 1, "the resurrected husk is swept");
+        assert_eq!(stats.free_lists_rebuilt, 1, "severed list is rebuilt");
         let r = lp.audit();
         assert!(r.is_clean(), "{:?}", r.violations);
         assert_eq!(print(&lp.writelist(v).unwrap(), &i), before);
@@ -3307,6 +3561,106 @@ mod tests {
         let r = lp.audit();
         assert!(r.is_clean(), "{:?}", r.violations);
         assert_eq!(print(&lp.writelist(v).unwrap(), &i), "((a))");
+    }
+
+    #[test]
+    fn reconcile_noop_on_clean_table_with_lazy_state() {
+        // A healthy table — workload-order free list, freed entries
+        // with pending lazy decrements, children kept alive only by
+        // those pending fields — must pass through reconcile with zero
+        // repairs and byte-identical state.
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let keep = read(&mut lp, &mut i, "(x y)");
+        let v = read(&mut lp, &mut i, "((a b) c)");
+        // Dropping the list frees its spine lazily: the `(a b)` child
+        // survives only through the dead spine entry's pending field.
+        release(&mut lp, v);
+        assert!(lp.audit().is_clean());
+        let before = lp.export_image();
+        let stats = lp.reconcile(&[keep]);
+        assert!(stats.is_clean(), "clean table repaired: {stats:?}");
+        assert_eq!(lp.export_image(), before, "state must be untouched");
+        assert!(lp.audit().is_clean());
+    }
+
+    #[test]
+    fn reconcile_is_idempotent_after_repair() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "(a (b c) d)");
+        lp.perturb(Perturbation::SetRefcount {
+            id: v.obj().unwrap(),
+            rc: 9,
+        });
+        lp.perturb(Perturbation::BreakFreeList);
+        let first = lp.reconcile(&[v]);
+        assert!(!first.is_clean());
+        let repaired = lp.export_image();
+        let second = lp.reconcile(&[v]);
+        assert!(second.is_clean(), "second pass repaired: {second:?}");
+        assert_eq!(lp.export_image(), repaired, "second pass must not move");
+    }
+
+    #[test]
+    fn image_round_trip_restores_identical_state() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let v = read(&mut lp, &mut i, "(a (b c) d)");
+        let held = lp.cdr(v.obj().unwrap()).unwrap();
+        let handle = lp.root_binding(held);
+        let image = lp.export_image();
+        let restored: Lp = ListProcessor::from_image(
+            TwoPointerController::new(65536, 64),
+            LpConfig {
+                table_size: 512,
+                ..LpConfig::default()
+            },
+            &image,
+            NoopSink,
+        )
+        .unwrap();
+        assert_eq!(restored.export_image(), image);
+        assert_eq!(restored.occupancy(), lp.occupancy());
+        assert_eq!(restored.stats(), lp.stats());
+        // The restored handle releases normally and the count drops.
+        let resumed = restored.resume_root(held, RootKind::Binding);
+        let mut restored = restored;
+        drop(resumed);
+        restored.drain_unroots();
+        drop(handle);
+        lp.drain_unroots();
+        assert_eq!(restored.export_image(), lp.export_image());
+        assert!(restored.audit().is_clean());
+    }
+
+    #[test]
+    fn from_image_rejects_malformed_images() {
+        let mut i = Interner::new();
+        let mut lp = lp();
+        let _v = read(&mut lp, &mut i, "(a b)");
+        let image = lp.export_image();
+        let ctrl = || TwoPointerController::new(65536, 64);
+        let config = LpConfig {
+            table_size: 512,
+            ..LpConfig::default()
+        };
+        // Wrong table size for the configuration.
+        let bad = LpImage {
+            table_size: 256,
+            ..image.clone()
+        };
+        assert!(ListProcessor::<_>::from_image(ctrl(), config, &bad, NoopSink).is_err());
+        // Live count that disagrees with the entries.
+        let bad = LpImage {
+            live: image.live + 1,
+            ..image.clone()
+        };
+        assert!(ListProcessor::<_>::from_image(ctrl(), config, &bad, NoopSink).is_err());
+        // Out-of-range child reference.
+        let mut bad = image.clone();
+        bad.entries[0].car = FieldImage::Obj(100_000);
+        assert!(ListProcessor::<_>::from_image(ctrl(), config, &bad, NoopSink).is_err());
     }
 
     // -- Transient-fault retry ----------------------------------------

@@ -337,6 +337,59 @@ impl crate::controller::HeapController for CdrCodedController {
     }
 }
 
+impl crate::persist::PersistableController for CdrCodedController {
+    const KIND: &'static str = "cdr-coded";
+
+    fn export_image(&self) -> crate::persist::ControllerImage {
+        crate::persist::ControllerImage {
+            kind: Self::KIND,
+            sections: vec![
+                ("cars", self.heap.cars.iter().map(|w| w.bits()).collect()),
+                ("codes", self.heap.codes.iter().map(|c| *c as u64).collect()),
+                ("misc", vec![self.heap.top as u64]),
+                ("ctrl", crate::persist::stats_to_words(&self.stats)),
+            ],
+        }
+    }
+
+    fn import_image(
+        image: &crate::persist::ControllerImage,
+    ) -> Result<Self, crate::persist::ImageError> {
+        use crate::persist::ImageError;
+        if image.kind != Self::KIND {
+            return Err(ImageError::WrongKind);
+        }
+        let cars: Vec<Word> = image
+            .section("cars")?
+            .iter()
+            .map(|&b| Word::from_bits(b))
+            .collect();
+        let codes = image
+            .section("codes")?
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(CdrCode::Next),
+                1 => Ok(CdrCode::Nil),
+                2 => Ok(CdrCode::Normal),
+                3 => Ok(CdrCode::Error),
+                _ => Err(ImageError::Malformed),
+            })
+            .collect::<Result<Vec<CdrCode>, _>>()?;
+        let misc = image.section("misc")?;
+        if codes.len() != cars.len() || misc.len() != 1 {
+            return Err(ImageError::Malformed);
+        }
+        let top = usize::try_from(misc[0]).map_err(|_| ImageError::Malformed)?;
+        if top > cars.len() {
+            return Err(ImageError::Malformed);
+        }
+        Ok(CdrCodedController {
+            heap: CdrCodedHeap { cars, codes, top },
+            stats: crate::persist::stats_from_words(image.section("ctrl")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

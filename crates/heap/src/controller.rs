@@ -243,6 +243,55 @@ impl HeapController for TwoPointerController {
     }
 }
 
+impl crate::persist::PersistableController for TwoPointerController {
+    const KIND: &'static str = "two-pointer";
+
+    fn export_image(&self) -> crate::persist::ControllerImage {
+        let (arena, heap_scalars) = self.heap.export_state();
+        let queue: Vec<u64> = self.free_queue.iter().map(|a| u64::from(a.0)).collect();
+        let mut ctrl = vec![self.queue_limit as u64];
+        ctrl.extend(crate::persist::stats_to_words(&self.stats));
+        crate::persist::ControllerImage {
+            kind: Self::KIND,
+            sections: vec![
+                ("arena", arena),
+                ("heap", heap_scalars),
+                ("queue", queue),
+                ("ctrl", ctrl),
+            ],
+        }
+    }
+
+    fn import_image(
+        image: &crate::persist::ControllerImage,
+    ) -> Result<Self, crate::persist::ImageError> {
+        use crate::persist::ImageError;
+        if image.kind != Self::KIND {
+            return Err(ImageError::WrongKind);
+        }
+        let heap = TwoPointerHeap::import_state(image.section("arena")?, image.section("heap")?)?;
+        let queue = image
+            .section("queue")?
+            .iter()
+            .map(|&w| {
+                u32::try_from(w)
+                    .map(HeapAddr)
+                    .map_err(|_| ImageError::Malformed)
+            })
+            .collect::<Result<VecDeque<HeapAddr>, _>>()?;
+        let ctrl = image.section("ctrl")?;
+        if ctrl.len() != 6 {
+            return Err(ImageError::Malformed);
+        }
+        Ok(TwoPointerController {
+            heap,
+            free_queue: queue,
+            queue_limit: usize::try_from(ctrl[0]).map_err(|_| ImageError::Malformed)?,
+            stats: crate::persist::stats_from_words(&ctrl[1..])?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,13 +21,16 @@
 //! * [`controller`] — the split/merge heap controller the List Processor
 //!   talks to (§4.3.3), with a bounded queue of pending frees,
 //! * [`faulty`] — a deterministic fault-injecting controller wrapper for
-//!   chaos testing (transient failures, delayed frees).
+//!   chaos testing (transient failures, delayed frees),
+//! * [`persist`] — deterministic full-state images of every controller
+//!   for crash-consistent checkpointing.
 
 pub mod cdr_coded;
 pub mod controller;
 pub mod faulty;
 pub mod gc;
 pub mod linked_vector;
+pub mod persist;
 pub mod structure_coded;
 pub mod two_pointer;
 pub mod word;
@@ -35,6 +38,7 @@ pub mod word;
 pub use cdr_coded::CdrCodedController;
 pub use controller::{HeapController, Piece, SplitResult, TwoPointerController};
 pub use faulty::{FaultKind, FaultPlan, FaultStats, FaultyController};
+pub use persist::{ControllerImage, ImageError, PersistableController};
 pub use structure_coded::StructureCodedController;
 pub use two_pointer::TwoPointerHeap;
 pub use word::{HeapAddr, Tag, Word};

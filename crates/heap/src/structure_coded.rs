@@ -464,6 +464,116 @@ impl crate::controller::HeapController for StructureCodedController {
     }
 }
 
+impl crate::persist::PersistableController for StructureCodedController {
+    const KIND: &'static str = "structure-coded";
+
+    fn export_image(&self) -> crate::persist::ControllerImage {
+        // Flat table stream: [n_tables] then, per slot, a present flag
+        // followed (when present) by the entry count and `(node,
+        // variant, payload)` triples. BTreeMap iteration keeps entry
+        // order canonical, so equal stores export equal images.
+        let mut tables = vec![self.heap.tables.len() as u64];
+        for slot in &self.heap.tables {
+            match slot {
+                None => tables.push(0),
+                Some(t) => {
+                    tables.push(1);
+                    tables.push(t.entries.len() as u64);
+                    for (num, v) in &t.entries {
+                        tables.push(*num);
+                        match v {
+                            TableValue::Leaf(w) => {
+                                tables.push(0);
+                                tables.push(w.bits());
+                            }
+                            TableValue::Forward(a) => {
+                                tables.push(1);
+                                tables.push(u64::from(a.0));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        crate::persist::ControllerImage {
+            kind: Self::KIND,
+            sections: vec![
+                ("tables", tables),
+                (
+                    "free",
+                    self.heap.free.iter().map(|a| u64::from(a.0)).collect(),
+                ),
+                ("misc", vec![self.heap.forward_derefs.get()]),
+                ("ctrl", crate::persist::stats_to_words(&self.stats)),
+            ],
+        }
+    }
+
+    fn import_image(
+        image: &crate::persist::ControllerImage,
+    ) -> Result<Self, crate::persist::ImageError> {
+        use crate::persist::ImageError;
+        if image.kind != Self::KIND {
+            return Err(ImageError::WrongKind);
+        }
+        let stream = image.section("tables")?;
+        let mut at = 0usize;
+        let mut next = || -> Result<u64, ImageError> {
+            let w = stream.get(at).copied().ok_or(ImageError::Malformed)?;
+            at += 1;
+            Ok(w)
+        };
+        let n_tables = usize::try_from(next()?).map_err(|_| ImageError::Malformed)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            match next()? {
+                0 => tables.push(None),
+                1 => {
+                    let count = next()?;
+                    let mut entries = BTreeMap::new();
+                    for _ in 0..count {
+                        let num = next()?;
+                        let value = match next()? {
+                            0 => TableValue::Leaf(Word::from_bits(next()?)),
+                            1 => TableValue::Forward(HeapAddr(
+                                u32::try_from(next()?).map_err(|_| ImageError::Malformed)?,
+                            )),
+                            _ => return Err(ImageError::Malformed),
+                        };
+                        entries.insert(num, value);
+                    }
+                    tables.push(Some(ExceptionTable { entries }));
+                }
+                _ => return Err(ImageError::Malformed),
+            }
+        }
+        if at != stream.len() {
+            return Err(ImageError::Malformed);
+        }
+        let free = image
+            .section("free")?
+            .iter()
+            .map(|&w| {
+                u32::try_from(w)
+                    .map(HeapAddr)
+                    .map_err(|_| ImageError::Malformed)
+            })
+            .collect::<Result<Vec<HeapAddr>, _>>()?;
+        let misc = image.section("misc")?;
+        if misc.len() != 1 {
+            return Err(ImageError::Malformed);
+        }
+        Ok(StructureCodedController {
+            heap: StructureCodedHeap {
+                tables,
+                free,
+                forward_derefs: std::cell::Cell::new(misc[0]),
+            },
+            stats: crate::persist::stats_from_words(image.section("ctrl")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

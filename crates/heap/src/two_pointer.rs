@@ -200,6 +200,52 @@ impl TwoPointerHeap {
         }
     }
 
+    /// Flatten the full heap state (arena words + scalars) for an image
+    /// export. The scalar layout is fixed: `[free_head, live, capacity,
+    /// allocs, frees, high_water]` with `u64::MAX` encoding a `None`
+    /// free-list head.
+    pub(crate) fn export_state(&self) -> (Vec<u64>, Vec<u64>) {
+        let scalars = vec![
+            crate::persist::opt_addr_to_word(self.free_head),
+            self.live as u64,
+            self.capacity as u64,
+            self.stats.allocs,
+            self.stats.frees,
+            self.stats.high_water as u64,
+        ];
+        (self.arena.raw_words().to_vec(), scalars)
+    }
+
+    /// Inverse of [`TwoPointerHeap::export_state`].
+    pub(crate) fn import_state(
+        arena: &[u64],
+        scalars: &[u64],
+    ) -> Result<Self, crate::persist::ImageError> {
+        use crate::persist::ImageError;
+        if scalars.len() != 6 {
+            return Err(ImageError::Malformed);
+        }
+        let capacity = usize::try_from(scalars[2]).map_err(|_| ImageError::Malformed)?;
+        if arena.len() != capacity * 2 {
+            return Err(ImageError::Malformed);
+        }
+        let live = usize::try_from(scalars[1]).map_err(|_| ImageError::Malformed)?;
+        if live > capacity {
+            return Err(ImageError::Malformed);
+        }
+        Ok(TwoPointerHeap {
+            arena: Arena::from_raw_words(arena.to_vec()),
+            free_head: crate::persist::word_to_opt_addr(scalars[0])?,
+            live,
+            capacity,
+            stats: HeapStats {
+                allocs: scalars[3],
+                frees: scalars[4],
+                high_water: usize::try_from(scalars[5]).map_err(|_| ImageError::Malformed)?,
+            },
+        })
+    }
+
     /// Iterate the addresses of all live (non-free) cells.
     pub fn live_cells(&self) -> impl Iterator<Item = HeapAddr> + '_ {
         (0..self.capacity).filter_map(|i| {

@@ -182,6 +182,15 @@ impl Word {
     pub fn bits(self) -> u64 {
         self.0
     }
+
+    /// Reconstruct a word from raw bits previously produced by
+    /// [`Word::bits`]. Every bit pattern is a valid word (the low three
+    /// bits select a [`Tag`]), so this is total; callers deserializing
+    /// untrusted bytes should still validate tags against context.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Word {
+        Word(bits)
+    }
 }
 
 impl fmt::Debug for Word {
@@ -252,6 +261,16 @@ impl Arena {
         unsafe {
             *self.words.get_unchecked_mut(i) = w.bits();
         }
+    }
+
+    /// Raw word storage, for checkpoint serialization.
+    pub(crate) fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild an arena from words captured by [`Arena::raw_words`].
+    pub(crate) fn from_raw_words(words: Vec<u64>) -> Arena {
+        Arena { words }
     }
 }
 

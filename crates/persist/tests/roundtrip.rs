@@ -1,0 +1,223 @@
+//! Checkpoint round-trip matrix: every RefcountMode × FreeDiscipline
+//! combination over all three heap representations, plus a
+//! mid-degrade snapshot that restores *into* §4.3.2.3 heap-direct mode
+//! and later re-enters table mode.
+//!
+//! Each cell drives a real workload, snapshots the full machine
+//! through the versioned checkpoint codec, restores it into a fresh
+//! controller + LP, and requires (a) byte-identical codec round-trips,
+//! (b) image-identical restored state that passes `audit`, and (c)
+//! observably identical behavior when the original and the restored
+//! machine keep executing the same operations.
+
+use small_core::{
+    FreeDiscipline, ListProcessor, LpConfig, LpValue, OverflowPolicy, RefcountMode, RootKind,
+    Rooted,
+};
+use small_heap::{
+    CdrCodedController, HeapController, PersistableController, StructureCodedController,
+    TwoPointerController, Word,
+};
+use small_metrics::NoopSink;
+use small_persist::{decode_checkpoint, encode_checkpoint, Checkpoint};
+use small_sexpr::{parse, Interner};
+
+fn config(refcounts: RefcountMode, free_discipline: FreeDiscipline) -> LpConfig {
+    LpConfig {
+        table_size: 96,
+        refcounts,
+        free_discipline,
+        ..LpConfig::default()
+    }
+}
+
+fn read<C: HeapController>(
+    lp: &mut ListProcessor<C, NoopSink>,
+    i: &mut Interner,
+    src: &str,
+) -> LpValue {
+    let e = parse(src, i).unwrap();
+    lp.readlist(None, &e).unwrap()
+}
+
+/// Drive a deterministic workload leaving a nontrivial mid-run state:
+/// held bindings, freed entries with pending lazy decrements, a
+/// mutated structure, and (split mode) populated EP-side counts.
+/// Returns the values still held, in handle order.
+fn work<C: HeapController>(
+    lp: &mut ListProcessor<C, NoopSink>,
+    i: &mut Interner,
+) -> (Vec<Rooted>, Vec<LpValue>) {
+    let mut held = Vec::new();
+    let keep = read(lp, i, "(alpha (beta gamma) delta)");
+    held.push(lp.adopt_binding(keep));
+    let tmp = read(lp, i, "((a b) (c d) e)");
+    let tmp_h = lp.adopt_binding(tmp);
+    let pair = lp.cons(keep, tmp).unwrap();
+    held.push(lp.adopt_binding(pair));
+    let kar = lp.car_of(pair).unwrap();
+    held.push(lp.root_binding(kar));
+    lp.rplaca_of(tmp, kar).unwrap();
+    // Drop the direct reference to `tmp`: its spine survives only
+    // through `pair`, and the drop's release lands at the next drain.
+    drop(tmp_h);
+    let dead = read(lp, i, "(x (y) z)");
+    let dead_h = lp.adopt_binding(dead);
+    drop(dead_h);
+    lp.drain_unroots();
+    let values = held.iter().map(Rooted::value).collect();
+    (held, values)
+}
+
+fn snapshot<C: HeapController + PersistableController>(
+    lp: &ListProcessor<C, NoopSink>,
+) -> Checkpoint {
+    Checkpoint {
+        event_index: 7,
+        journal_seq: 31,
+        lp: lp.export_image(),
+        controller: lp.controller.export_image(),
+        driver: vec![0xAB, 0xCD],
+    }
+}
+
+/// One matrix cell: work, snapshot, codec round-trip, restore, then
+/// run both machines forward in lockstep and compare.
+fn round_trip_cell<C, F>(make: F, refcounts: RefcountMode, free_discipline: FreeDiscipline)
+where
+    C: HeapController + PersistableController,
+    F: Fn() -> C,
+{
+    let tag = format!("{}/{refcounts:?}/{free_discipline:?}", C::KIND);
+    let cfg = config(refcounts, free_discipline);
+    let mut i = Interner::new();
+    let mut lp = ListProcessor::with_sink(make(), cfg, NoopSink);
+    let (_held, values) = work(&mut lp, &mut i);
+
+    // Codec round-trip is exact and deterministic.
+    let ckpt = snapshot(&lp);
+    let bytes = encode_checkpoint(&ckpt);
+    assert_eq!(bytes, encode_checkpoint(&ckpt), "{tag}: encode unstable");
+    let decoded = decode_checkpoint(&bytes).unwrap();
+    assert_eq!(decoded, ckpt, "{tag}: decode mismatch");
+
+    // Restore into a fresh machine: identical image, clean audit.
+    let controller = C::import_image(&decoded.controller).unwrap();
+    let mut restored = ListProcessor::from_image(controller, cfg, &decoded.lp, NoopSink).unwrap();
+    assert_eq!(restored.export_image(), ckpt.lp, "{tag}: image drifted");
+    assert_eq!(restored.stats(), lp.stats(), "{tag}: stats drifted");
+    assert!(restored.audit().is_clean(), "{tag}: restored audit");
+    let _restored_held: Vec<Rooted> = values
+        .iter()
+        .map(|&v| restored.resume_root(v, RootKind::Binding))
+        .collect();
+
+    // Both machines keep executing the same operations identically.
+    let mut j = Interner::new();
+    for lp in [&mut lp, &mut restored] {
+        let extra = read(lp, &mut j, "(p (q r) s)");
+        let h = lp.adopt_binding(extra);
+        let joined = lp.cons(extra, values[0]).unwrap();
+        let jh = lp.adopt_binding(joined);
+        let kdr = lp.cdr_of(joined).unwrap();
+        let kh = lp.root_binding(kdr);
+        drop(h);
+        drop(jh);
+        drop(kh);
+        lp.drain_unroots();
+    }
+    assert_eq!(
+        lp.export_image(),
+        restored.export_image(),
+        "{tag}: behavior diverged after restore"
+    );
+    assert!(
+        lp.audit().is_clean() && restored.audit().is_clean(),
+        "{tag}"
+    );
+}
+
+#[test]
+fn matrix_round_trips_identically() {
+    for refcounts in [RefcountMode::Unified, RefcountMode::Split] {
+        for free_discipline in [FreeDiscipline::Stack, FreeDiscipline::Queue] {
+            round_trip_cell(
+                || TwoPointerController::new(4096, 64),
+                refcounts,
+                free_discipline,
+            );
+            round_trip_cell(|| CdrCodedController::new(4096), refcounts, free_discipline);
+            round_trip_cell(StructureCodedController::new, refcounts, free_discipline);
+        }
+    }
+}
+
+/// A snapshot taken while the LP is degraded to heap-direct overflow
+/// mode must restore *into* degraded mode, keep operating there, and
+/// re-enter table mode at the same point as the original.
+#[test]
+fn mid_degrade_snapshot_restores_and_reenters_table_mode() {
+    let cfg = LpConfig {
+        table_size: 8,
+        overflow: OverflowPolicy::Degrade,
+        ..LpConfig::default()
+    };
+    let mut lp = ListProcessor::with_sink(TwoPointerController::new(4096, 64), cfg, NoopSink);
+    // Fill the table with EP-rooted, incompressible pairs; the next
+    // cons true-overflows and the LP degrades to §4.3.2.3 heap-direct
+    // operation.
+    let mut held = Vec::new();
+    for k in 0..8 {
+        let v = lp
+            .cons(LpValue::Atom(Word::int(k)), LpValue::Atom(Word::NIL))
+            .unwrap();
+        held.push(lp.adopt_binding(v));
+    }
+    assert!(!lp.degraded());
+    let d = lp
+        .cons(LpValue::Atom(Word::int(99)), LpValue::Atom(Word::NIL))
+        .unwrap();
+    held.push(lp.adopt_binding(d));
+    assert!(lp.degraded(), "the 9th pair must push the table over");
+    assert!(d.is_heap_direct());
+    assert!(lp.stats().overflow_entries > 0);
+
+    // Snapshot mid-degrade and restore.
+    let values: Vec<LpValue> = held.iter().map(Rooted::value).collect();
+    let ckpt = snapshot(&lp);
+    let decoded = decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap();
+    let controller = TwoPointerController::import_image(&decoded.controller).unwrap();
+    let mut restored = ListProcessor::from_image(controller, cfg, &decoded.lp, NoopSink).unwrap();
+    assert!(
+        restored.degraded(),
+        "snapshot must restore into degraded mode"
+    );
+    assert_eq!(restored.export_image(), ckpt.lp);
+    let mut restored_held: Vec<Rooted> = values
+        .iter()
+        .map(|&v| restored.resume_root(v, RootKind::Binding))
+        .collect();
+    // Heap-direct traversal works identically on the restored machine.
+    assert_eq!(restored.car_of(d).unwrap(), LpValue::Atom(Word::int(99)));
+    assert_eq!(lp.car_of(d).unwrap(), LpValue::Atom(Word::int(99)));
+
+    // Release everything on both sides: occupancy falls to half the
+    // table and the next operation boundary re-enters table mode on
+    // both machines in lockstep.
+    held.clear();
+    restored_held.clear();
+    lp.drain_unroots();
+    restored.drain_unroots();
+    let a = lp
+        .cons(LpValue::Atom(Word::int(7)), LpValue::Atom(Word::NIL))
+        .unwrap();
+    let b = restored
+        .cons(LpValue::Atom(Word::int(7)), LpValue::Atom(Word::NIL))
+        .unwrap();
+    assert_eq!(a, b, "post-degrade allocation diverged");
+    assert!(matches!(a, LpValue::Obj(_)), "must allocate in the table");
+    assert!(!lp.degraded() && !restored.degraded(), "both must re-enter");
+    assert!(lp.stats().overflow_exits > 0);
+    assert_eq!(lp.export_image(), restored.export_image());
+    assert!(lp.audit().is_clean() && restored.audit().is_clean());
+}

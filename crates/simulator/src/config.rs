@@ -45,6 +45,11 @@ pub struct SimParams {
     /// RNG seed ("by re-seeding … we simulate totally different access
     /// patterns", §5.2.2).
     pub seed: u64,
+    /// Durable-run checkpoint cadence (`run_sim_resumable` only): take
+    /// a checkpoint and rotate the journal every this many trace
+    /// events. `0` checkpoints only at the start and end of the run.
+    /// Ignored by the non-durable entry points.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SimParams {
@@ -61,6 +66,7 @@ impl Default for SimParams {
             read_prob: 0.01,
             heap_cells: 1 << 20,
             seed: 1,
+            checkpoint_every: 0,
         }
     }
 }
@@ -118,6 +124,14 @@ impl SimParams {
     /// With a different seed.
     pub fn with_seed(self, seed: u64) -> Self {
         SimParams { seed, ..self }
+    }
+
+    /// With a periodic checkpoint cadence (durable runs).
+    pub fn with_checkpoint_every(self, checkpoint_every: u64) -> Self {
+        SimParams {
+            checkpoint_every,
+            ..self
+        }
     }
 }
 

@@ -100,25 +100,25 @@ fn rate(h: u64, m: u64) -> f64 {
     }
 }
 
-struct FrameSim {
-    args: Vec<Rooted>,
-    locals: Vec<Rooted>,
+pub(crate) struct FrameSim {
+    pub(crate) args: Vec<Rooted>,
+    pub(crate) locals: Vec<Rooted>,
 }
 
-struct Driver<'t, C: HeapController, S: EventSink> {
-    trace: &'t Trace,
-    params: SimParams,
-    lp: ListProcessor<C, S>,
-    rng: StdRng,
-    frames: Vec<FrameSim>,
-    globals: Vec<Rooted>,
-    tos: Option<Rooted>,
+pub(crate) struct Driver<'t, C: HeapController, S: EventSink> {
+    pub(crate) trace: &'t Trace,
+    pub(crate) params: SimParams,
+    pub(crate) lp: ListProcessor<C, S>,
+    pub(crate) rng: StdRng,
+    pub(crate) frames: Vec<FrameSim>,
+    pub(crate) globals: Vec<Rooted>,
+    pub(crate) tos: Option<Rooted>,
     // Cache model.
-    cache: Option<LruCache>,
-    addrs: HashMap<Id, u64>,
-    next_addr: u64,
-    access_hits: u64,
-    access_misses: u64,
+    pub(crate) cache: Option<LruCache>,
+    pub(crate) addrs: HashMap<Id, u64>,
+    pub(crate) next_addr: u64,
+    pub(crate) access_hits: u64,
+    pub(crate) access_misses: u64,
 }
 
 /// Run the simulator over `trace` with `params`, optionally with a data
@@ -212,51 +212,66 @@ pub fn run_sim_on_controller<C: HeapController, S: EventSink>(
         failure,
         prims_executed,
     };
-    // Defuse outstanding handles before the LP is torn down (their
-    // deferred releases would never run anyway; this keeps the teardown
-    // explicit).
-    d.tos.take().map(Rooted::leak);
-    d.globals.drain(..).for_each(|h| {
-        h.leak();
-    });
-    for f in d.frames.drain(..) {
-        f.args.into_iter().chain(f.locals).for_each(|h| {
-            h.leak();
-        });
-    }
-    let (controller, sink) = d.lp.into_parts();
+    let (controller, sink) = d.teardown();
     (result, controller, sink)
 }
 
 impl<'t, C: HeapController, S: EventSink> Driver<'t, C, S> {
-    fn run(&mut self) -> (bool, usize, Option<String>) {
-        // Seed the global environment with a few read-in objects.
+    /// Defuse outstanding handles and tear the LP down (the deferred
+    /// releases would never run anyway; this keeps teardown explicit).
+    pub(crate) fn teardown(mut self) -> (C, S) {
+        self.tos.take().map(Rooted::leak);
+        self.globals.drain(..).for_each(|h| {
+            h.leak();
+        });
+        for f in self.frames.drain(..) {
+            f.args.into_iter().chain(f.locals).for_each(|h| {
+                h.leak();
+            });
+        }
+        self.lp.into_parts()
+    }
+
+    /// Seed the global environment with a few read-in objects.
+    pub(crate) fn seed_globals(&mut self) -> Result<(), LpError> {
         for _ in 0..6 {
-            match self.fresh_object() {
-                Ok(v) => {
-                    // The read-in reference becomes the global binding.
-                    let h = self.lp.adopt_binding(v);
-                    self.globals.push(h);
-                }
-                Err(LpError::TrueOverflow) => return (true, 0, None),
-                Err(e) => return (false, 0, Some(e.to_string())),
+            let v = self.fresh_object()?;
+            // The read-in reference becomes the global binding.
+            let h = self.lp.adopt_binding(v);
+            self.globals.push(h);
+        }
+        Ok(())
+    }
+
+    /// Apply one trace event, counting primitives into `prims`.
+    pub(crate) fn step(
+        &mut self,
+        ev: &small_trace::Event,
+        prims: &mut usize,
+    ) -> Result<(), LpError> {
+        match ev {
+            small_trace::Event::FnEnter { nargs, .. } => self.fn_enter(*nargs as usize),
+            small_trace::Event::FnExit => {
+                self.fn_exit();
+                Ok(())
+            }
+            small_trace::Event::Prim { prim, args, .. } => {
+                *prims += 1;
+                self.prim(*prim, args)
             }
         }
-        let events: Vec<_> = self.trace.events.to_vec();
+    }
+
+    fn run(&mut self) -> (bool, usize, Option<String>) {
+        match self.seed_globals() {
+            Ok(()) => {}
+            Err(LpError::TrueOverflow) => return (true, 0, None),
+            Err(e) => return (false, 0, Some(e.to_string())),
+        }
+        let trace = self.trace;
         let mut prims = 0usize;
-        for ev in &events {
-            let r = match ev {
-                small_trace::Event::FnEnter { nargs, .. } => self.fn_enter(*nargs as usize),
-                small_trace::Event::FnExit => {
-                    self.fn_exit();
-                    Ok(())
-                }
-                small_trace::Event::Prim { prim, args, .. } => {
-                    prims += 1;
-                    self.prim(*prim, args)
-                }
-            };
-            match r {
+        for ev in &trace.events {
+            match self.step(ev, &mut prims) {
                 Ok(()) => {}
                 Err(LpError::TrueOverflow) => return (true, prims, None),
                 // Any other heap/LP condition ends the run as a typed,

@@ -15,15 +15,21 @@
 //! * [`clark`] — synthetic pointer-distance / size distributions,
 //! * [`sweep`] — table-size sweeps, knee finding, seed spreads
 //!   (Figures 5.1–5.3), the Table 5.2/5.3/5.5 batteries, and the
-//!   multi-threaded instrumented sweep engine ([`sweep::run_sweep`]).
+//!   multi-threaded instrumented sweep engine ([`sweep::run_sweep`]),
+//! * [`resume`] — the crash-consistent durable path
+//!   ([`resume::run_sim_resumable`]): checkpointing, write-ahead
+//!   journaling, and digest-verified crash recovery over a
+//!   `small-persist` store.
 
 pub mod cache;
 pub mod clark;
 pub mod config;
 pub mod driver;
+pub mod resume;
 pub mod sweep;
 
 pub use cache::LruCache;
 pub use config::SimParams;
 pub use driver::{run_sim, run_sim_on_controller, run_sim_profiled, run_sim_with_sink, SimResult};
+pub use resume::run_sim_resumable;
 pub use sweep::{run_sweep, CellReport, SweepGrid, SweepReport};
