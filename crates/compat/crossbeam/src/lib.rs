@@ -6,6 +6,12 @@
 //! `recv`, `try_recv`, and `is_empty`. Implemented over
 //! `std::sync::{Mutex, Condvar}` — adequate for the multilisp node
 //! threads, which exchange coarse-grained requests, not hot cells.
+//!
+//! Like upstream crossbeam, channel operations never wedge after a
+//! peer thread panics: every guard acquisition recovers from a
+//! poisoned mutex (`unwrap_or_else(|e| e.into_inner())`), since the
+//! queue state is a plain `VecDeque` that is valid at every await
+//! point even if its owner died mid-operation.
 #![warn(missing_docs)]
 
 /// MPMC channels in the style of `crossbeam::channel`.
@@ -78,7 +84,11 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().unwrap().senders += 1;
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
             Sender {
                 shared: Arc::clone(&self.shared),
             }
@@ -87,7 +97,11 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().unwrap().receivers += 1;
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
             Receiver {
                 shared: Arc::clone(&self.shared),
             }
@@ -96,7 +110,7 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             st.senders -= 1;
             if st.senders == 0 {
                 drop(st);
@@ -107,7 +121,7 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             st.receivers -= 1;
             if st.receivers == 0 {
                 drop(st);
@@ -120,14 +134,18 @@ pub mod channel {
         /// Send `v`, blocking while a bounded channel is full. Errors if
         /// every receiver has been dropped.
         pub fn send(&self, v: T) -> Result<(), SendError<T>> {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if st.receivers == 0 {
                     return Err(SendError(v));
                 }
                 match self.shared.capacity {
                     Some(cap) if st.items.len() >= cap => {
-                        st = self.shared.not_full.wait(st).unwrap();
+                        st = self
+                            .shared
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
                 }
@@ -143,7 +161,7 @@ pub mod channel {
         /// Receive a value, blocking while the channel is empty. Errors
         /// once the channel is drained and every sender has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = st.items.pop_front() {
                     drop(st);
@@ -153,13 +171,17 @@ pub mod channel {
                 if st.senders == 0 {
                     return Err(RecvError);
                 }
-                st = self.shared.not_empty.wait(st).unwrap();
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
 
         /// Receive without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut st = self.shared.queue.lock().unwrap();
+            let mut st = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(v) = st.items.pop_front() {
                 drop(st);
                 self.shared.not_full.notify_one();
@@ -174,12 +196,22 @@ pub mod channel {
 
         /// Whether the queue is currently empty (racy, like upstream).
         pub fn is_empty(&self) -> bool {
-            self.shared.queue.lock().unwrap().items.is_empty()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .is_empty()
         }
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().unwrap().items.len()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
         }
     }
 
@@ -225,6 +257,24 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 7);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn panicking_worker_does_not_wedge_channel() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        let crasher = std::thread::spawn(move || {
+            let v = rx2.recv().unwrap();
+            panic!("worker died holding channel handles: {v}");
+        });
+        tx.send(1).unwrap();
+        assert!(crasher.join().is_err());
+        // Remaining handles still function after the worker's unwind
+        // dropped its Receiver clone mid-panic.
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]

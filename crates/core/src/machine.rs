@@ -101,6 +101,41 @@ impl<C: HeapController, S: EventSink> SmallBackend<C, S> {
 }
 
 impl<C: HeapController, S: EventSink> SmallBackend<C, S> {
+    /// Wrap an existing List Processor — e.g. one rebuilt from a
+    /// checkpoint image — as a fresh backend with no outstanding
+    /// binding handles. Pair with [`SmallBackend::resume_retained`] to
+    /// reconstruct the handles a suspended session's globals held.
+    pub fn from_lp(lp: ListProcessor<C, S>) -> Self {
+        SmallBackend {
+            lp,
+            roots: HashMap::new(),
+        }
+    }
+
+    /// Re-create one retained binding handle for `id` after a resume.
+    ///
+    /// The restored [`LpImage`](crate::lp::LpImage) already carries the
+    /// reference counts the handle represents, so this re-wraps the
+    /// reference without touching the table (no refop traffic): call it
+    /// once per `List`-valued global binding being restored, in any
+    /// order, and the backend's handle multiset matches the suspended
+    /// machine's exactly.
+    pub fn resume_retained(&mut self, id: Id) {
+        let handle = self
+            .lp
+            .resume_root(LpValue::Obj(id), crate::lp::RootKind::Binding);
+        self.roots.entry(id).or_default().push(handle);
+    }
+
+    /// Reconstruct the s-expression behind a value without panicking:
+    /// the fallible twin of [`ListBackend::write_out`], surfacing
+    /// [`LpError::Cyclic`] (a client program returned self-referential
+    /// structure) as a typed value a serving layer can turn into an
+    /// error reply instead of a crash.
+    pub fn try_write_out(&mut self, v: &VmValue<Id>) -> Result<SExpr, LpError> {
+        self.lp.writelist(Self::to_lp(v))
+    }
+
     fn to_vm(v: LpValue) -> Result<VmValue<Id>, VmError> {
         match v {
             LpValue::Obj(id) => Ok(VmValue::List(id)),

@@ -187,6 +187,7 @@ pub fn compile_forms(forms: &[SExpr], interner: &mut Interner) -> Result<Program
                 pending_gos: Vec::new(),
             };
             c.expr(f, &mut ctx)?;
+            c.reject_stray_gos(&ctx)?;
             c.emit(Inst::Pop);
             any = true;
         }
@@ -273,8 +274,20 @@ impl Compiler {
                 self.emit(Inst::Pop);
             }
         }
+        self.reject_stray_gos(&ctx)?;
         self.emit(Inst::FRetN);
         Ok(())
+    }
+
+    /// A `go` outside any `prog` never gets backpatched (only `prog`
+    /// drains `pending_gos`); left alone it would be a `Jmp(usize::MAX)`
+    /// that sends the VM off the end of the code array. Reject it here,
+    /// at function/top-level finalize, as a label resolution failure.
+    fn reject_stray_gos(&self, ctx: &Ctx) -> Result<(), CompileError> {
+        match ctx.pending_gos.first() {
+            Some((_, tag)) => Err(CompileError::NoSuchLabel(format!("#{}", tag.0))),
+            None => Ok(()),
+        }
     }
 
     fn expr(&mut self, e: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
@@ -581,6 +594,20 @@ mod tests {
     fn go_to_unknown_label_rejected() {
         assert!(matches!(
             compile("(def f (lambda () (prog () (go nowhere))))"),
+            Err(CompileError::NoSuchLabel(_))
+        ));
+    }
+
+    #[test]
+    fn go_outside_prog_rejected() {
+        // Only `prog` backpatches gos; a stray one must fail to compile
+        // rather than leave an unpatched jump for the VM to run off.
+        assert!(matches!(
+            compile("(go nowhere)"),
+            Err(CompileError::NoSuchLabel(_))
+        ));
+        assert!(matches!(
+            compile("(def f (lambda () (go nowhere)))"),
             Err(CompileError::NoSuchLabel(_))
         ));
     }

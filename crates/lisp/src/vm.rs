@@ -239,6 +239,11 @@ pub struct Vm<B: ListBackend> {
     pub output: Vec<SExpr>,
     stats: VmStats,
     budget: u64,
+    /// Frame-slot base for code running outside any call frame. Zero on
+    /// a fresh machine, but a reused session enters `run` with
+    /// persistent globals already on the binding stack, and top-level
+    /// `prog` locals must be addressed above them.
+    entry_base: usize,
 }
 
 impl<B: ListBackend> Vm<B> {
@@ -254,6 +259,7 @@ impl<B: ListBackend> Vm<B> {
             output: Vec::new(),
             stats: VmStats::default(),
             budget: u64::MAX,
+            entry_base: 0,
         }
     }
 
@@ -280,9 +286,70 @@ impl<B: ListBackend> Vm<B> {
         self.frames.clear();
     }
 
+    /// Swap in a new program, keeping the backend, the global bindings,
+    /// and the I/O queues — the *session reuse* entry point: a serving
+    /// layer compiles each request against a persistent interner and
+    /// runs it on the same machine, so `setq`-created globals (and the
+    /// list structure they retain) survive from one request to the
+    /// next.
+    ///
+    /// Any leftover operand-stack values or frames from a previous
+    /// (possibly failed) run are released first, exactly as
+    /// [`Vm::recover`] would.
+    pub fn load_program(&mut self, program: Program) {
+        self.recover();
+        self.program = program;
+    }
+
+    /// Unwind to the global level after a failed run: pop every call
+    /// frame, release call-local bindings (everything at or above the
+    /// outermost frame's binding mark) and all operand-stack leftovers.
+    /// Globals — bindings below the first frame, including ones an
+    /// unbound `setq` created mid-call — survive. A no-op on a machine
+    /// that is already at rest.
+    pub fn recover(&mut self) {
+        let global_mark = self.frames.first().map_or(self.bindings.len(), |f| {
+            f.bind_mark.min(self.bindings.len())
+        });
+        while self.bindings.len() > global_mark {
+            let (_, v) = self.bindings.pop().expect("marked binding");
+            self.release_value(&v);
+        }
+        self.frames.clear();
+        while let Some(v) = self.stack.pop() {
+            self.release_value(&v);
+        }
+    }
+
+    /// The global bindings (name–value pairs below any call frame), in
+    /// binding order. Only meaningful when the machine is at rest
+    /// (after [`Vm::run`] returned and [`Vm::recover`] ran if it
+    /// failed); a session layer serializes these to suspend a session.
+    pub fn globals(&self) -> &[(Symbol, VmValue<B::Ref>)] {
+        debug_assert!(self.frames.is_empty(), "globals read mid-call");
+        &self.bindings
+    }
+
+    /// Restore the global bindings of a suspended session, in the exact
+    /// order [`Vm::globals`] reported them. The values arrive with
+    /// their references already accounted for in the restored backend
+    /// (no `retain` is issued); the machine must be at rest and must
+    /// not already hold bindings.
+    pub fn restore_globals(&mut self, globals: Vec<(Symbol, VmValue<B::Ref>)>) {
+        assert!(
+            self.bindings.is_empty() && self.frames.is_empty(),
+            "restore_globals on a machine that is not fresh"
+        );
+        self.bindings = globals;
+    }
+
     /// Run from the program entry point; returns the final value left on
     /// the operand stack by `Halt` (or nil).
     pub fn run(&mut self) -> Result<VmValue<B::Ref>, VmError> {
+        // Everything bound before this run (globals from earlier
+        // requests, including persisted top-level prog locals) sits
+        // below the entry block's own slot space.
+        self.entry_base = self.bindings.len();
         let mut pc = self.program.entry;
         loop {
             if self.budget == 0 {
@@ -305,7 +372,7 @@ impl<B: ListBackend> Vm<B> {
                     self.bindings.push((sym, VmValue::Nil));
                 }
                 Inst::PushStk(k) => {
-                    let base = self.frames.last().map_or(0, |f| f.bind_mark);
+                    let base = self.frames.last().map_or(self.entry_base, |f| f.bind_mark);
                     let v = self
                         .bindings
                         .get(base + k as usize)
@@ -355,7 +422,7 @@ impl<B: ListBackend> Vm<B> {
                     if let VmValue::List(r) = &v {
                         self.backend.retain(r);
                     }
-                    let base = self.frames.last().map_or(0, |f| f.bind_mark);
+                    let base = self.frames.last().map_or(self.entry_base, |f| f.bind_mark);
                     let slot = self
                         .bindings
                         .get_mut(base + k as usize)
@@ -378,6 +445,7 @@ impl<B: ListBackend> Vm<B> {
                             // Unbound setq creates a global binding below
                             // every frame.
                             self.bindings.insert(0, (sym, v));
+                            self.entry_base += 1;
                             for f in &mut self.frames {
                                 f.bind_mark += 1;
                             }
@@ -839,6 +907,97 @@ mod tests {
         let mut vm = Vm::new(p, DirectBackend::new(256));
         vm.set_budget(10_000);
         assert_eq!(vm.run(), Err(VmError::StepBudget));
+    }
+
+    #[test]
+    fn load_program_keeps_globals_across_requests() {
+        let mut i = Interner::new();
+        let p1 = compile_program("(setq acc '(1 2 3))", &mut i).unwrap();
+        let mut vm = Vm::new(p1, DirectBackend::new(4096));
+        vm.run().unwrap();
+        assert_eq!(vm.globals().len(), 1);
+
+        let p2 = compile_program("(car acc)", &mut i).unwrap();
+        vm.load_program(p2);
+        let v = vm.run().unwrap();
+        let out = vm.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "1");
+
+        // A later request can rebind the same global.
+        let p3 = compile_program("(progn (setq acc (cdr acc)) acc)", &mut i).unwrap();
+        vm.load_program(p3);
+        let v = vm.run().unwrap();
+        let out = vm.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "(2 3)");
+        assert_eq!(vm.globals().len(), 1);
+    }
+
+    #[test]
+    fn top_level_prog_locals_do_not_alias_globals() {
+        // Regression: on a reused machine the binding stack already
+        // holds globals when the entry block runs, so top-level prog
+        // locals (frame slots with no enclosing frame) must be
+        // addressed above them — slot 0 is NOT binding 0.
+        let mut i = Interner::new();
+        let p1 = compile_program("(setq acc nil)", &mut i).unwrap();
+        let mut vm = Vm::new(p1, DirectBackend::new(4096));
+        vm.run().unwrap();
+
+        let p2 = compile_program(
+            "(prog (x) (setq x (cons 3 acc)) (rplaca x 1) (rplacd x acc) (return (car x)))",
+            &mut i,
+        )
+        .unwrap();
+        vm.load_program(p2);
+        let v = vm.run().unwrap();
+        let out = vm.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "1");
+
+        // The global was only read, never clobbered through slot 0.
+        let p3 = compile_program("acc", &mut i).unwrap();
+        vm.load_program(p3);
+        let v = vm.run().unwrap();
+        let out = vm.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "nil");
+    }
+
+    #[test]
+    fn recover_after_error_preserves_globals() {
+        let mut i = Interner::new();
+        let src = "
+        (def f (lambda (x) (car 5)))
+        (progn (setq g 7) (f 1))";
+        let p = compile_program(src, &mut i).unwrap();
+        let mut vm = Vm::new(p, DirectBackend::new(4096));
+        assert_eq!(vm.run(), Err(VmError::TypeError("car")));
+        vm.recover();
+        assert_eq!(vm.globals().len(), 1);
+
+        let p2 = compile_program("g", &mut i).unwrap();
+        vm.load_program(p2);
+        let v = vm.run().unwrap();
+        let out = vm.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "7");
+    }
+
+    #[test]
+    fn restore_globals_round_trips() {
+        let mut i = Interner::new();
+        let p1 = compile_program("(setq pair (cons 4 5))", &mut i).unwrap();
+        let mut vm = Vm::new(p1, DirectBackend::new(4096));
+        vm.run().unwrap();
+        let saved = vm.globals().to_vec();
+
+        // A fresh machine over the same backend resumes those bindings
+        // (the direct backend has no refcounts, so moving the heap over
+        // is the whole restore).
+        let backend = std::mem::replace(&mut vm.backend, DirectBackend::new(16));
+        let p2 = compile_program("(cdr pair)", &mut i).unwrap();
+        let mut vm2 = Vm::new(p2, backend);
+        vm2.restore_globals(saved);
+        let v = vm2.run().unwrap();
+        let out = vm2.backend.write_out(&v);
+        assert_eq!(print(&out, &i), "5");
     }
 
     #[test]

@@ -515,6 +515,92 @@ impl EventCounts {
         self.overflow_mode_exits.merge(other.overflow_mode_exits);
     }
 
+    /// Field names matching [`EventCounts::to_words`] order, for
+    /// labeling flattened word vectors.
+    pub const WORD_NAMES: [&'static str; 22] = [
+        "lpt_hits",
+        "lpt_misses",
+        "refops",
+        "ep_refops",
+        "entries_allocated",
+        "entries_freed",
+        "lazy_drains",
+        "lazy_children",
+        "pseudo_overflows",
+        "compressed",
+        "cycle_collections",
+        "cycles_reclaimed",
+        "true_overflows",
+        "heap_splits",
+        "heap_merges",
+        "heap_read_ins",
+        "heap_frees",
+        "occupancy_samples",
+        "heap_faults_detected",
+        "heap_faults_recovered",
+        "overflow_mode_entries",
+        "overflow_mode_exits",
+    ];
+
+    /// Flatten into the canonical fixed-order word vector (the same
+    /// field order as the JSON serialization). The inverse is
+    /// [`EventCounts::from_words`]; persistence layers use the pair to
+    /// carry per-session sink state through suspend/resume images.
+    pub fn to_words(&self) -> [u64; 22] {
+        [
+            self.lpt_hits.get(),
+            self.lpt_misses.get(),
+            self.refops.get(),
+            self.ep_refops.get(),
+            self.entries_allocated.get(),
+            self.entries_freed.get(),
+            self.lazy_drains.get(),
+            self.lazy_children.get(),
+            self.pseudo_overflows.get(),
+            self.compressed.get(),
+            self.cycle_collections.get(),
+            self.cycles_reclaimed.get(),
+            self.true_overflows.get(),
+            self.heap_splits.get(),
+            self.heap_merges.get(),
+            self.heap_read_ins.get(),
+            self.heap_frees.get(),
+            self.occupancy_samples.get(),
+            self.heap_faults_detected.get(),
+            self.heap_faults_recovered.get(),
+            self.overflow_mode_entries.get(),
+            self.overflow_mode_exits.get(),
+        ]
+    }
+
+    /// Rebuild from a word vector produced by [`EventCounts::to_words`].
+    pub fn from_words(w: &[u64; 22]) -> EventCounts {
+        let mut c = EventCounts::default();
+        c.lpt_hits.add(w[0]);
+        c.lpt_misses.add(w[1]);
+        c.refops.add(w[2]);
+        c.ep_refops.add(w[3]);
+        c.entries_allocated.add(w[4]);
+        c.entries_freed.add(w[5]);
+        c.lazy_drains.add(w[6]);
+        c.lazy_children.add(w[7]);
+        c.pseudo_overflows.add(w[8]);
+        c.compressed.add(w[9]);
+        c.cycle_collections.add(w[10]);
+        c.cycles_reclaimed.add(w[11]);
+        c.true_overflows.add(w[12]);
+        c.heap_splits.add(w[13]);
+        c.heap_merges.add(w[14]);
+        c.heap_read_ins.add(w[15]);
+        c.heap_frees.add(w[16]);
+        c.occupancy_samples.add(w[17]);
+        c.heap_faults_detected.add(w[18]);
+        c.heap_faults_recovered.add(w[19]);
+        c.overflow_mode_entries.add(w[20]);
+        c.overflow_mode_exits.add(w[21]);
+        c
+    }
+
     fn json_fields(&self, out: &mut JsonObject) {
         out.field_u64("lpt_hits", self.lpt_hits.get());
         out.field_u64("lpt_misses", self.lpt_misses.get());

@@ -762,6 +762,18 @@ pub fn scan_journal(bytes: &[u8]) -> Result<(Vec<JournalBatch>, usize), PersistE
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// The FNV-1a offset basis — the seed value every digest chain in this
+/// crate starts from. Exposed so other layers (the serving layer's
+/// per-session request/reply digests) fold with the same parameters.
+pub const DIGEST_SEED: u64 = FNV_OFFSET;
+
+/// Fold `bytes` into a running FNV-1a digest `h` (start chains from
+/// [`DIGEST_SEED`]). This is the digest the journal frames use; session
+/// layers reuse it so "journal digest" means one thing repo-wide.
+pub fn digest_bytes(h: u64, bytes: &[u8]) -> u64 {
+    fnv1a(h, bytes)
+}
+
 fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);

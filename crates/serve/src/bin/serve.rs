@@ -1,0 +1,49 @@
+//! `serve` — run the SMALL session server until a client sends
+//! `(shutdown)`.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--table-size N] [--heap-cells N]
+//!       [--max-resident N] [--workers N] [--step-budget N]
+//! ```
+
+use small_serve::session::ServeConfig;
+use std::process::ExitCode;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad value for {flag}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = parse_flag(&args, "--addr", "127.0.0.1:7878".to_string())?;
+    let cfg = ServeConfig {
+        table_size: parse_flag(&args, "--table-size", 2048usize)?,
+        heap_cells: parse_flag(&args, "--heap-cells", 1usize << 16)?,
+        max_resident: parse_flag(&args, "--max-resident", 8usize)?,
+        step_budget: parse_flag(&args, "--step-budget", 2_000_000u64)?,
+    };
+    let workers = parse_flag(&args, "--workers", 8usize)?;
+    let handle = small_serve::start(&addr, cfg, workers).map_err(|e| e.to_string())?;
+    eprintln!("serving SMALL sessions on {}", handle.addr());
+    eprintln!("frame = 4-byte LE length + s-expression; send (shutdown) to drain");
+    // The acceptor owns the serving loop; joining it is the wait.
+    handle.shutdown_when_drained();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

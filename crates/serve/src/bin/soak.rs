@@ -1,0 +1,104 @@
+//! `soak` — deterministic soak harness: concurrent client fleet vs a
+//! serial in-process twin, with a byte-deterministic JSON report.
+//!
+//! ```text
+//! soak [--seeds N | --seeds a,b,c] [--clients N] [--requests N]
+//!      [--max-resident N] [--workers N] [--out PATH]
+//! ```
+//!
+//! `--seeds N` (a single integer) takes the first `N` pinned seeds, so
+//! `soak --seeds 3 --clients 8` is a stable CI invocation. A comma
+//! list pins explicit seeds. Exit is nonzero on any transcript or
+//! aggregate-count mismatch, or if the run exercised no
+//! eviction/resume churn.
+
+use small_serve::gen::PINNED_SEEDS;
+use small_serve::session::ServeConfig;
+use small_serve::soak::{run_soak, SoakParams};
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    if let Some((_, rest)) = spec.split_once(',') {
+        let _ = rest; // comma list: parse every element
+        return spec
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad seed: {s}")))
+            .collect();
+    }
+    let n: usize = spec
+        .parse()
+        .map_err(|_| format!("bad seed count: {spec}"))?;
+    if n == 0 || n > PINNED_SEEDS.len() {
+        return Err(format!("--seeds must be 1..={}", PINNED_SEEDS.len()));
+    }
+    Ok(PINNED_SEEDS[..n].to_vec())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut p = SoakParams::default();
+    if let Some(s) = arg_value(&args, "--seeds") {
+        p.seeds = parse_seeds(&s)?;
+    }
+    if let Some(s) = arg_value(&args, "--clients") {
+        p.clients = s.parse().map_err(|_| "bad --clients")?;
+    }
+    if let Some(s) = arg_value(&args, "--requests") {
+        p.requests = s.parse().map_err(|_| "bad --requests")?;
+    }
+    if let Some(s) = arg_value(&args, "--max-resident") {
+        p.cfg = ServeConfig {
+            max_resident: s.parse().map_err(|_| "bad --max-resident")?,
+            ..p.cfg
+        };
+    }
+    if let Some(s) = arg_value(&args, "--workers") {
+        p.workers = s.parse().map_err(|_| "bad --workers")?;
+    }
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "results/soak_report.json".to_string());
+
+    let outcome = run_soak(&p).map_err(|e| e.to_string())?;
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(&out, &outcome.report).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "soak: {} seeds x {} clients x {} requests -> {}",
+        p.seeds.len(),
+        p.clients,
+        p.requests,
+        out
+    );
+    eprintln!(
+        "soak: evictions={} resumes={} mismatches={}",
+        outcome.evictions, outcome.resumes, outcome.mismatches
+    );
+    if outcome.mismatches > 0 {
+        eprintln!("soak: FAILED: server transcripts diverged from the serial twin");
+        return Ok(ExitCode::FAILURE);
+    }
+    if outcome.evictions < 2 || outcome.resumes < 2 {
+        eprintln!("soak: FAILED: suspend/resume churn was not exercised");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic load generation for the soak harness.
+//!
+//! Each `(seed, client)` pair maps to a fixed request-program list via
+//! a seeded `StdRng`; the server fleet and the serial twin replay the
+//! exact same texts, so any reply divergence is machine divergence,
+//! never workload noise. The mix exercises the serving layer's whole
+//! surface: pure computation, session-global accumulation (`setq`
+//! state spanning requests and surviving suspend/resume), §2 mutation
+//! (`rplaca`/`rplacd`, including shared structure and a
+//! build-then-broken cycle), and typed error paths — each client ends
+//! by tearing its state down so a closed session leaves an empty LPT.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pinned seed schedule: `--seeds N` on the soak bin takes the
+/// first `N` of these, so CI invocations are stable across machines.
+pub const PINNED_SEEDS: [u64; 8] = [11, 23, 47, 83, 131, 199, 283, 383];
+
+/// The fixed request-program list for one client under one seed.
+pub fn programs_for(seed: u64, client: u64, n: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(client.wrapping_mul(0xd1b5_4a32_d192_ed03)),
+    );
+    let mut out = Vec::with_capacity(n + 3);
+    out.push("(setq acc nil)".to_string());
+    out.push(format!("(setq k {})", rng.gen_range(1i64..100)));
+    for i in 0..n {
+        let a = rng.gen_range(-50i64..50);
+        let b = rng.gen_range(1i64..20);
+        let req = match rng.gen_range(0u32..10) {
+            0 | 1 => format!("(add {a} (times {b} k))"),
+            2 | 3 => format!("(setq acc (cons {a} acc))"),
+            // Mutation on a fresh cell hanging off session state.
+            4 => format!("(prog (x) (setq x (cons {a} acc)) (rplaca x {b}) (return (car x)))"),
+            // Shared structure: y's tail *is* x; mutations through x
+            // must be visible through y.
+            5 => format!(
+                "(prog (x y) (setq x (cons {a} (cons {b} nil))) (setq y (cons 7 x)) \
+                 (rplaca x 0) (rplacd (cdr x) nil) \
+                 (return (cons (car (cdr y)) (cdr y))))"
+            ),
+            // Self-reference, observed and then broken before return.
+            6 => format!(
+                "(prog (x probe) (setq x (cons {a} (cons {b} nil))) \
+                 (rplacd (cdr x) x) (setq probe (car (cdr (cdr x)))) \
+                 (rplacd (cdr x) nil) (return (cons probe x)))"
+            ),
+            // Typed error paths: the reply is part of the transcript.
+            7 => ["(car 5)", "(quotient k 0)", "(rplaca nil 1)", "nosuchvar"]
+                [rng.gen_range(0usize..4)]
+            .to_string(),
+            8 => "(setq acc (cdr acc))".to_string(),
+            // Walk the accumulator with a prog loop.
+            _ => "(prog (p len) (setq p acc) (setq len 0) \
+                  loop (cond ((null p) (return len))) \
+                  (setq len (add len 1)) (setq p (cdr p)) (go loop))"
+                .to_string(),
+        };
+        out.push(req);
+        // Bound accumulator growth so small tables never truly overflow.
+        if i % 16 == 15 {
+            out.push("(setq acc nil)".to_string());
+        }
+    }
+    out.push("(setq acc nil)".to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(programs_for(11, 3, 40), programs_for(11, 3, 40));
+        assert_ne!(programs_for(11, 3, 40), programs_for(11, 4, 40));
+        assert_ne!(programs_for(11, 3, 40), programs_for(23, 3, 40));
+    }
+
+    #[test]
+    fn every_generated_program_parses() {
+        use small_sexpr::{parse_all, Interner};
+        for seed in PINNED_SEEDS {
+            for client in 0..4 {
+                for p in programs_for(seed, client, 48) {
+                    let mut i = Interner::new();
+                    parse_all(&p, &mut i).unwrap_or_else(|e| panic!("{p}: {e}"));
+                }
+            }
+        }
+    }
+}

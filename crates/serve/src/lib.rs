@@ -1,0 +1,38 @@
+//! Multi-session serving layer for the SMALL machine.
+//!
+//! The paper's EP/LP split is already a client/server protocol — the
+//! EP issues `cons`/`car`/`cdr` requests against an LP that owns all
+//! list structure. This crate lifts that shape one level up: many
+//! complete SMALL machines (EP + LP + metrics sink) behind one
+//! dependency-free threaded TCP server speaking a length-framed
+//! s-expression protocol.
+//!
+//! * [`protocol`] — wire framing and the typed error-reply vocabulary
+//!   (every `VmError`/`LpError`/`PersistError` crosses the wire as a
+//!   symbol-coded reply; nothing panics across the boundary).
+//! * [`session`] — one machine per session; compile-and-run requests,
+//!   `setq` globals persisting across requests, suspend/resume through
+//!   `small-persist` checkpoints with a stats-neutral guarantee.
+//! * [`manager`] — checkout-based session ownership: per-session
+//!   request serialization, cross-session concurrency, LRU eviction of
+//!   idle sessions to bytes, resume-on-touch, `/stats` aggregation.
+//! * [`pool`] / [`server`] — bounded worker pool (poison-recovering,
+//!   panic-containing) and the accept/dispatch/drain front end.
+//! * [`gen`] / [`soak`] — seeded load generation and the
+//!   fleet-vs-serial-twin soak harness with a byte-deterministic
+//!   report.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod manager;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod soak;
+
+pub use manager::SessionManager;
+pub use server::{start, Client, ServerHandle};
+pub use session::{ServeConfig, Session};
+pub use soak::{run_soak, SoakOutcome, SoakParams};

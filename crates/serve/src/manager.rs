@@ -1,0 +1,299 @@
+//! The session manager: N independent machines behind one façade.
+//!
+//! Sessions live in three states: **resident** (machine in memory),
+//! **busy** (checked out by a worker thread running a request), and
+//! **suspended** (serialized to a `small-persist` checkpoint blob by
+//! LRU eviction). A worker *checks out* a session — waiting on a
+//! condvar if another worker has it, transparently resuming it if it
+//! was evicted — runs exactly one request against it, and checks it
+//! back in. That checkout discipline gives per-session request
+//! serialization and cross-session concurrency with no long-held
+//! global lock: the manager mutex only guards the slot map.
+//!
+//! Eviction runs at check-in/open time: while more than
+//! [`ServeConfig::max_resident`] sessions are resident, the
+//! least-recently-used *idle* session is suspended to bytes. Because
+//! suspension is stats-neutral (see [`Session::suspend`]), eviction
+//! policy — which depends on thread scheduling — cannot influence any
+//! session's results or ledger; the soak harness checks exactly that.
+//!
+//! Every manager lock acquisition uses the poisoned-recovery idiom
+//! (`unwrap_or_else(|e| e.into_inner())`): a worker that panics
+//! mid-request must not wedge the server (its session is re-marked
+//! idle by the check-in guard running on unwind).
+
+use crate::protocol::err_reply;
+use crate::session::{ServeConfig, Session};
+use small_metrics::EventCounts;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+enum Slot {
+    Resident(Box<Session>),
+    Busy,
+    Suspended(Vec<u8>),
+}
+
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    /// id → last-touch tick, for LRU victim selection.
+    touch: HashMap<u64, u64>,
+    clock: u64,
+    next_id: u64,
+    evictions: u64,
+    resumes: u64,
+    /// Counts carried by sessions that have been closed (so `/stats`
+    /// keeps covering them).
+    retired: EventCounts,
+}
+
+/// Owns every session and mediates checkout/check-in.
+pub struct SessionManager {
+    cfg: ServeConfig,
+    state: Mutex<Inner>,
+    idle: Condvar,
+}
+
+impl SessionManager {
+    /// An empty manager.
+    pub fn new(cfg: ServeConfig) -> SessionManager {
+        SessionManager {
+            cfg,
+            state: Mutex::new(Inner {
+                slots: HashMap::new(),
+                touch: HashMap::new(),
+                clock: 0,
+                next_id: 0,
+                evictions: 0,
+                resumes: 0,
+                retired: EventCounts::default(),
+            }),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// The configuration sessions are built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Create a session; returns its id.
+    pub fn open(&self) -> u64 {
+        let mut st = self.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        let session = Box::new(Session::new(id, &self.cfg));
+        st.slots.insert(id, Slot::Resident(session));
+        st.clock += 1;
+        let now = st.clock;
+        st.touch.insert(id, now);
+        Self::enforce_lru(&mut st, self.cfg.max_resident);
+        id
+    }
+
+    /// Evict least-recently-touched resident sessions until at most
+    /// `max_resident` remain resident. Busy sessions are never victims.
+    fn enforce_lru(st: &mut Inner, max_resident: usize) {
+        loop {
+            let resident: Vec<u64> = st
+                .slots
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Resident(_)))
+                .map(|(&id, _)| id)
+                .collect();
+            if resident.len() <= max_resident {
+                return;
+            }
+            let victim = resident
+                .into_iter()
+                .min_by_key(|id| st.touch.get(id).copied().unwrap_or(0))
+                .expect("resident list non-empty");
+            let Some(Slot::Resident(session)) = st.slots.remove(&victim) else {
+                unreachable!("victim chosen from resident set");
+            };
+            st.slots.insert(victim, Slot::Suspended(session.suspend()));
+            st.evictions += 1;
+        }
+    }
+
+    /// Check a session out for exclusive use. Blocks while another
+    /// worker has it; resumes it if it was evicted. `None` if the id
+    /// is unknown (never created, or closed).
+    fn checkout(&self, id: u64) -> Result<Option<Box<Session>>, String> {
+        let mut st = self.lock();
+        loop {
+            match st.slots.get(&id) {
+                None => return Ok(None),
+                Some(Slot::Busy) => {
+                    st = self.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(Slot::Resident(_)) => {
+                    let Some(Slot::Resident(s)) = st.slots.insert(id, Slot::Busy) else {
+                        unreachable!("matched resident above");
+                    };
+                    return Ok(Some(s));
+                }
+                Some(Slot::Suspended(_)) => {
+                    let Some(Slot::Suspended(bytes)) = st.slots.insert(id, Slot::Busy) else {
+                        unreachable!("matched suspended above");
+                    };
+                    // Resume outside any per-session wait but inside the
+                    // manager lock: rebuilding a small machine is brief
+                    // and keeps the state transition atomic.
+                    match Session::resume(id, &self.cfg, &bytes) {
+                        Ok(s) => {
+                            st.resumes += 1;
+                            return Ok(Some(Box::new(s)));
+                        }
+                        Err(e) => {
+                            // Fail closed: the blob is damaged, the
+                            // session is unrecoverable. Drop it and
+                            // surface the typed error.
+                            st.slots.remove(&id);
+                            st.touch.remove(&id);
+                            return Err(Session::persist_reply(&e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Check a session back in after a request and run LRU enforcement.
+    fn checkin(&self, id: u64, session: Box<Session>) {
+        let mut st = self.lock();
+        st.slots.insert(id, Slot::Resident(session));
+        st.clock += 1;
+        let now = st.clock;
+        st.touch.insert(id, now);
+        Self::enforce_lru(&mut st, self.cfg.max_resident);
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    /// Run `f` against the checked-out session `id`, producing a reply.
+    fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> String) -> String {
+        match self.checkout(id) {
+            Err(reply) => reply,
+            Ok(None) => err_reply("session", "no-such-session"),
+            Ok(Some(session)) => {
+                // Re-home the session even if `f` panics (a wedged Busy
+                // slot would deadlock every later request for this id).
+                struct Checkin<'a> {
+                    mgr: &'a SessionManager,
+                    id: u64,
+                    session: Option<Box<Session>>,
+                }
+                impl Drop for Checkin<'_> {
+                    fn drop(&mut self) {
+                        if let Some(s) = self.session.take() {
+                            self.mgr.checkin(self.id, s);
+                        }
+                    }
+                }
+                let mut guard = Checkin {
+                    mgr: self,
+                    id,
+                    session: Some(session),
+                };
+                f(guard.session.as_mut().expect("session present"))
+            }
+        }
+    }
+
+    /// Compile and run a request program on session `id`.
+    pub fn eval(&self, id: u64, src: &str) -> String {
+        self.with_session(id, |s| s.eval(src))
+    }
+
+    /// The session's `LptStats` ledger reply.
+    pub fn ledger(&self, id: u64) -> String {
+        self.with_session(id, |s| s.ledger_reply())
+    }
+
+    /// The session's transcript digest reply.
+    pub fn digest(&self, id: u64) -> String {
+        self.with_session(id, |s| s.digest_reply())
+    }
+
+    /// Close a session: shut its machine down and remove it. The reply
+    /// carries the residual LPT occupancy (0 unless the session leaked
+    /// cyclic garbage).
+    pub fn close(&self, id: u64) -> String {
+        match self.checkout(id) {
+            Err(reply) => reply,
+            Ok(None) => err_reply("session", "no-such-session"),
+            Ok(Some(session)) => {
+                let counts = session.counts();
+                let (occupancy, _) = session.close();
+                let mut st = self.lock();
+                st.slots.remove(&id);
+                st.touch.remove(&id);
+                st.retired.merge(&counts);
+                drop(st);
+                self.idle.notify_all();
+                format!("(ok closed {occupancy})")
+            }
+        }
+    }
+
+    /// Aggregate event counts across every session — busy sessions are
+    /// skipped (their counts are in flight), suspended blobs are peeked
+    /// without resurrecting them, retired sessions stay included.
+    pub fn aggregate_counts(&self) -> EventCounts {
+        let st = self.lock();
+        let mut total = st.retired;
+        for slot in st.slots.values() {
+            match slot {
+                Slot::Resident(s) => total.merge(&s.counts()),
+                Slot::Suspended(bytes) => {
+                    if let Ok(c) = Session::peek_counts(bytes) {
+                        total.merge(&c);
+                    }
+                }
+                Slot::Busy => {}
+            }
+        }
+        total
+    }
+
+    /// `(ok (sessions <n>) (evictions <e>) (resumes <r>) (<kind> <count>)...)`
+    /// — the `/stats` endpoint body.
+    pub fn stats_reply(&self) -> String {
+        let (sessions, evictions, resumes) = {
+            let st = self.lock();
+            (st.slots.len() as u64, st.evictions, st.resumes)
+        };
+        let c = self.aggregate_counts();
+        let w = c.to_words();
+        let names = EventCounts::WORD_NAMES;
+        let mut out = String::from("(ok ");
+        out.push_str(&format!(
+            "(sessions {sessions}) (evictions {evictions}) (resumes {resumes})"
+        ));
+        for (name, value) in names.iter().zip(w.iter()) {
+            out.push_str(&format!(" ({} {})", name.replace('_', "-"), value));
+        }
+        out.push(')');
+        out
+    }
+
+    /// Lifetime eviction / resume counters (scheduling-dependent; used
+    /// by harness assertions, never in deterministic reports).
+    pub fn eviction_counters(&self) -> (u64, u64) {
+        let st = self.lock();
+        (st.evictions, st.resumes)
+    }
+
+    /// Ids of all live sessions (any state), ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let st = self.lock();
+        let mut ids: Vec<u64> = st.slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}

@@ -1,0 +1,162 @@
+//! A bounded thread pool over `std::sync` primitives.
+//!
+//! The server is dependency-free, so the pool is a `Mutex<VecDeque>`
+//! of boxed jobs plus a condvar — the same shape as the sweep engine's
+//! work queue, with two hygiene properties the serving path needs:
+//!
+//! * **Poison recovery.** Every guard acquisition uses
+//!   `unwrap_or_else(|e| e.into_inner())` (the idiom established in
+//!   `Rooted::drop`): a panic while the queue lock is held must not
+//!   wedge every other worker behind a `PoisonError`.
+//! * **Panic containment.** Each job runs under `catch_unwind`; a
+//!   panicking job is counted and dropped, the worker survives, and
+//!   later jobs run normally.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutting_down: AtomicBool,
+    panics: AtomicU64,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A fixed-size worker pool executing boxed jobs in FIFO order.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `n` workers (at least one).
+    pub fn new(n: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            panics: AtomicU64::new(0),
+        });
+        let workers = (0..n.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Enqueue a job. Jobs submitted after [`ThreadPool::join`] began
+    /// are silently dropped (the pool is draining).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        self.shared.lock().push_back(Box::new(job));
+        self.shared.ready.notify_one();
+    }
+
+    /// Number of jobs that ended in a panic (contained, not fatal).
+    pub fn panicked_jobs(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting work, let the workers finish the
+    /// queue, and join them.
+    pub fn join(mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // A dropped (not joined) pool still signals shutdown so its
+        // workers exit once the queue drains, instead of leaking
+        // blocked threads.
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_jobs_and_drains_on_join() {
+        let pool = ThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_the_pool() {
+        let pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for k in 0..20 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                if k % 5 == 0 {
+                    panic!("job {k} exploding on purpose");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panic_count_is_reported() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("boom"));
+        pool.execute(|| {});
+        // Drain deterministically before reading the counter.
+        let shared = Arc::clone(&pool.shared);
+        pool.join();
+        assert_eq!(shared.panics.load(Ordering::Relaxed), 1);
+    }
+}

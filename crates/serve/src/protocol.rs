@@ -1,0 +1,216 @@
+//! Length-framed s-expression wire protocol.
+//!
+//! Every message — request or reply — is one frame: a 4-byte
+//! little-endian payload length followed by that many bytes of UTF-8
+//! s-expression text (one expression per frame). The framing layer is
+//! symmetric, so the same two functions serve client and server.
+//!
+//! Requests (the client→server vocabulary):
+//!
+//! | form                     | meaning                                   |
+//! |--------------------------|-------------------------------------------|
+//! | `(open)`                 | create a session, reply `(ok <id>)`       |
+//! | `(eval <id> <form>...)`  | run forms on the session's machine        |
+//! | `(ledger <id>)`          | the session's `LptStats` as an alist      |
+//! | `(digest <id>)`          | running request/reply digest as a symbol  |
+//! | `(stats)`                | aggregated event counts across sessions   |
+//! | `(close <id>)`           | shut the machine down, reply occupancy    |
+//! | `(shutdown)`             | begin graceful server drain               |
+//!
+//! Replies are `(ok ...)` or `(err <class> <code> ...)`. The reader has
+//! no string syntax, so every error is encoded as symbols: a *class*
+//! naming the failing layer (`proto`, `session`, `compile`, `vm`,
+//! `heap`, `lp`, `persist`) and a kebab-case *code* naming the typed
+//! error variant — the full `VmError`/`LpError`/`PersistError` surface
+//! maps to a reply; nothing panics across the wire.
+
+use small_core::LpError;
+use small_lisp::compiler::CompileError;
+use small_lisp::vm::{BackendError, VmError};
+use small_persist::PersistError;
+use small_sexpr::ParseError;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload; a peer announcing more is corrupt
+/// (or hostile) and the connection is dropped.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Write one frame: 4-byte LE length, then the payload.
+pub fn write_frame(w: &mut impl Write, text: &str) -> io::Result<()> {
+    let len = u32::try_from(text.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream *at a frame
+/// boundary*; EOF mid-frame, an oversized announcement, or non-UTF-8
+/// payload are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Build an `(err <class> <code>)` reply.
+pub fn err_reply(class: &str, code: &str) -> String {
+    format!("(err {class} {code})")
+}
+
+/// An `(err <class> <code> <detail>)` reply with one extra symbol.
+pub fn err_reply_with(class: &str, code: &str, detail: &str) -> String {
+    format!("(err {class} {code} {detail})")
+}
+
+fn heap_code(e: small_heap::controller::HeapError) -> &'static str {
+    use small_heap::controller::HeapError;
+    match e {
+        HeapError::Exhausted => "exhausted",
+        HeapError::NotAnObject => "not-an-object",
+        HeapError::BadAddress => "bad-address",
+        HeapError::Transient => "transient",
+    }
+}
+
+/// Typed reply for a parse failure of the client's payload.
+pub fn parse_error_reply(e: &ParseError) -> String {
+    let code = match e {
+        ParseError::UnexpectedEof => "unexpected-eof",
+        ParseError::UnbalancedClose(_) => "unbalanced-close",
+        ParseError::BadDot(_) => "bad-dot",
+        ParseError::TrailingInput(_) => "trailing-input",
+    };
+    err_reply("proto", code)
+}
+
+/// Typed reply for a compile failure of the client's program.
+pub fn compile_error_reply(e: &CompileError) -> String {
+    let code = match e {
+        CompileError::BadForm(_) => "bad-form",
+        CompileError::NoSuchLabel(_) => "no-such-label",
+        CompileError::BadCallHead => "bad-call-head",
+        CompileError::NestedDef => "nested-def",
+    };
+    err_reply("compile", code)
+}
+
+/// Typed reply for an LP failure (cyclic write-out, degraded-mode
+/// refusal, …) surfaced outside the VM's error chain.
+pub fn lp_error_reply(e: &LpError) -> String {
+    match e {
+        LpError::TrueOverflow => err_reply("lp", "true-overflow"),
+        LpError::Heap(h) => err_reply_with("lp", "heap", heap_code(*h)),
+        LpError::NotAList => err_reply("lp", "not-a-list"),
+        LpError::UnexpectedTag(_) => err_reply("lp", "unexpected-tag"),
+        LpError::Degraded(_) => err_reply("lp", "degraded"),
+        LpError::Cyclic => err_reply("lp", "cyclic"),
+    }
+}
+
+/// Typed reply for every VM runtime failure, including the backend
+/// chain (`VmError::Backend(BackendError::…)`).
+pub fn vm_error_reply(e: &VmError) -> String {
+    match e {
+        VmError::Unbound(_) => err_reply("vm", "unbound"),
+        VmError::NoSuchFunction(_) => err_reply("vm", "no-such-function"),
+        VmError::TypeError(op) => err_reply_with("vm", "type-error", op),
+        VmError::DivideByZero => err_reply("vm", "divide-by-zero"),
+        VmError::StackUnderflow => err_reply("vm", "stack-underflow"),
+        VmError::ReadEof => err_reply("vm", "read-eof"),
+        VmError::StepBudget => err_reply("vm", "step-budget"),
+        VmError::Backend(b) => match b {
+            BackendError::TrueOverflow => err_reply("lp", "true-overflow"),
+            BackendError::Heap(h) => err_reply_with("heap", "fault", heap_code(*h)),
+            BackendError::NotAList => err_reply("lp", "not-a-list"),
+            BackendError::UnexpectedTag(_) => err_reply("lp", "unexpected-tag"),
+            BackendError::Degraded(_) => err_reply("lp", "degraded"),
+        },
+    }
+}
+
+/// Typed reply for a persistence failure while suspending or resuming
+/// a session (a corrupt checkpoint blob fails closed as an error reply
+/// on the session that touched it, never a panic).
+pub fn persist_error_reply(e: &PersistError) -> String {
+    let code = match e {
+        PersistError::NoCheckpoint => "no-checkpoint",
+        PersistError::CorruptCheckpoint(_) => "corrupt-checkpoint",
+        PersistError::UnsupportedVersion(_) => "unsupported-version",
+        PersistError::CorruptJournal { .. } => "corrupt-journal",
+        PersistError::ReplayDivergence { .. } => "replay-divergence",
+        PersistError::MalformedImage(_) => "malformed-image",
+        PersistError::Crash { .. } => "crash",
+    };
+    err_reply("persist", code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "(open)").unwrap();
+        write_frame(&mut buf, "(eval 0 (add 1 2))").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("(open)"));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("(eval 0 (add 1 2))")
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "(open)").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_refused() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn every_error_reply_parses_as_a_symbol_only_sexpr() {
+        use small_sexpr::{parse, Interner};
+        let replies = [
+            vm_error_reply(&VmError::TypeError("car")),
+            vm_error_reply(&VmError::Backend(BackendError::Heap(
+                small_heap::controller::HeapError::Exhausted,
+            ))),
+            lp_error_reply(&LpError::Cyclic),
+            persist_error_reply(&PersistError::NoCheckpoint),
+            compile_error_reply(&CompileError::BadCallHead),
+            parse_error_reply(&ParseError::UnexpectedEof),
+        ];
+        for r in replies {
+            let mut i = Interner::new();
+            parse(&r, &mut i).unwrap_or_else(|e| panic!("{r}: {e}"));
+            assert!(r.starts_with("(err "), "{r}");
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The TCP front end: accept loop, request dispatch, graceful drain.
+//!
+//! One connection is one pool job running a read-frame → dispatch →
+//! write-frame loop until the client disconnects. Dispatch parses each
+//! frame with a connection-scratch interner, routes it to the
+//! [`SessionManager`], and prints session-bound payloads back to
+//! canonical text before the session recompiles them against its own
+//! persistent interner — so symbol identity is per-session, never
+//! per-connection.
+//!
+//! Shutdown (`(shutdown)` request or [`ServerHandle::shutdown`]) is a
+//! drain: the acceptor stops taking connections (a self-connection
+//! unblocks `accept`), in-flight connections run to completion, and
+//! the pool joins.
+
+use crate::manager::SessionManager;
+use crate::pool::ThreadPool;
+use crate::protocol::{err_reply, parse_error_reply, read_frame, write_frame};
+use crate::session::ServeConfig;
+use small_sexpr::{print, Interner, SExpr};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server: address + drain control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 to let the OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared session manager (for harness-side assertions).
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Block until a client-initiated `(shutdown)` request drains the
+    /// server (the `serve` bin's main loop).
+    pub fn shutdown_when_drained(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight connections,
+    /// join the acceptor and the worker pool.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve with `workers` pool threads.
+pub fn start(addr: &str, cfg: ServeConfig, workers: usize) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let manager = Arc::new(SessionManager::new(cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let manager = Arc::clone(&manager);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let pool = ThreadPool::new(workers);
+            for conn in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let manager = Arc::clone(&manager);
+                let stop = Arc::clone(&stop);
+                let local = local;
+                pool.execute(move || {
+                    let _ = serve_connection(stream, &manager, &stop, local);
+                });
+            }
+            // Drain: finish every accepted connection before returning.
+            pool.join();
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        manager,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    manager: &SessionManager,
+    stop: &Arc<AtomicBool>,
+    local: SocketAddr,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(text) = read_frame(&mut reader)? {
+        let (reply, shutdown) = dispatch(&text, manager);
+        write_frame(&mut writer, &reply)?;
+        if shutdown {
+            stop.store(true, Ordering::Release);
+            // Unblock the acceptor so the drain can begin.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Route one request frame to a reply. The bool asks the server to
+/// begin draining.
+pub fn dispatch(text: &str, manager: &SessionManager) -> (String, bool) {
+    let mut scratch = Interner::new();
+    let expr = match small_sexpr::parse(text, &mut scratch) {
+        Ok(e) => e,
+        Err(e) => return (parse_error_reply(&e), false),
+    };
+    let bad = || (err_reply("proto", "bad-request"), false);
+    let items: Vec<&SExpr> = expr.iter().collect();
+    let Some(head) = items.first().and_then(|h| h.as_sym()) else {
+        return bad();
+    };
+    let session_arg = |k: usize| -> Option<u64> {
+        items
+            .get(k)
+            .and_then(|e| e.as_int())
+            .and_then(|i| u64::try_from(i).ok())
+    };
+    match scratch.name(head) {
+        "open" if items.len() == 1 => {
+            let id = manager.open();
+            (format!("(ok {id})"), false)
+        }
+        "eval" if items.len() >= 3 => {
+            let Some(id) = session_arg(1) else {
+                return bad();
+            };
+            // Re-print the payload forms so the session compiles
+            // canonical text with its own interner.
+            let src = items[2..]
+                .iter()
+                .map(|f| print(f, &scratch))
+                .collect::<Vec<_>>()
+                .join(" ");
+            (manager.eval(id, &src), false)
+        }
+        "ledger" if items.len() == 2 => match session_arg(1) {
+            Some(id) => (manager.ledger(id), false),
+            None => bad(),
+        },
+        "digest" if items.len() == 2 => match session_arg(1) {
+            Some(id) => (manager.digest(id), false),
+            None => bad(),
+        },
+        "stats" if items.len() == 1 => (manager.stats_reply(), false),
+        "close" if items.len() == 2 => match session_arg(1) {
+            Some(id) => (manager.close(id), false),
+            None => bad(),
+        },
+        "shutdown" if items.len() == 1 => ("(ok draining)".to_string(), true),
+        _ => bad(),
+    }
+}
+
+/// A minimal blocking client for tests and the load generator.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request frame and read the reply frame.
+    pub fn request(&mut self, text: &str) -> io::Result<String> {
+        write_frame(&mut self.writer, text)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// `(open)` and parse the id.
+    pub fn open(&mut self) -> io::Result<u64> {
+        let reply = self.request("(open)")?;
+        reply
+            .strip_prefix("(ok ")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|r| r.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, reply))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            step_budget: 100_000,
+            max_resident: 2,
+        }
+    }
+
+    #[test]
+    fn end_to_end_sessions_over_tcp() {
+        let handle = start("127.0.0.1:0", tiny_cfg(), 4).unwrap();
+        let addr = handle.addr();
+
+        // Two concurrent clients, each with its own session: globals
+        // are per-session, errors are typed replies, and the machines
+        // stay usable afterwards.
+        let threads: Vec<_> = (0..2)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let id = c.open().unwrap();
+                    let v = 10 + k;
+                    assert_eq!(
+                        c.request(&format!("(eval {id} (setq g {v}))")).unwrap(),
+                        format!("(ok {v})")
+                    );
+                    assert_eq!(
+                        c.request(&format!("(eval {id} (car 5))")).unwrap(),
+                        "(err vm type-error car)"
+                    );
+                    assert_eq!(
+                        c.request(&format!("(eval {id} (add g g))")).unwrap(),
+                        format!("(ok {})", 2 * v)
+                    );
+                    assert!(c
+                        .request(&format!("(ledger {id})"))
+                        .unwrap()
+                        .starts_with("(ok (refops "));
+                    assert_eq!(
+                        c.request(&format!("(close {id})")).unwrap(),
+                        "(ok closed 0)"
+                    );
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(
+            c.request("(eval 99 1)").unwrap(),
+            "(err session no-such-session)"
+        );
+        assert_eq!(c.request("(nonsense)").unwrap(), "(err proto bad-request)");
+        assert_eq!(c.request("(open").unwrap(), "(err proto unexpected-eof)");
+        assert!(c.request("(stats)").unwrap().starts_with("(ok (sessions "));
+        assert_eq!(c.request("(shutdown)").unwrap(), "(ok draining)");
+        // Drain waits for in-flight connections; release ours first.
+        drop(c);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn lru_eviction_and_resume_over_tcp() {
+        let handle = start("127.0.0.1:0", tiny_cfg(), 2).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // max_resident = 2 and four sessions on one connection: earlier
+        // sessions are evicted to bytes and resumed on touch, with
+        // their globals intact.
+        let ids: Vec<u64> = (0..4).map(|_| c.open().unwrap()).collect();
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(
+                c.request(&format!("(eval {id} (setq mine {k}))")).unwrap(),
+                format!("(ok {k})")
+            );
+        }
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(
+                c.request(&format!("(eval {id} mine)")).unwrap(),
+                format!("(ok {k})")
+            );
+        }
+        let (evictions, resumes) = handle.manager().eviction_counters();
+        assert!(evictions >= 2, "expected eviction churn, got {evictions}");
+        assert!(resumes >= 2, "expected resume churn, got {resumes}");
+        for id in &ids {
+            assert_eq!(
+                c.request(&format!("(close {id})")).unwrap(),
+                "(ok closed 0)"
+            );
+        }
+        // Drain waits for in-flight connections; release ours first.
+        drop(c);
+        handle.shutdown();
+    }
+}

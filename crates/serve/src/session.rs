@@ -1,0 +1,457 @@
+//! One serving session: a complete SMALL machine behind a request API.
+//!
+//! A [`Session`] owns a `Vm<SmallBackend>` (the EP), its List
+//! Processor (the LP), a persistent [`Interner`] so symbols keep their
+//! identities across requests, and a [`CountingSink`] recording the
+//! session's EP↔LP event traffic. Requests are s-expression program
+//! texts; each is compiled against the session interner and run on the
+//! same machine, so `setq`-created globals (and the LPT entries they
+//! retain) carry over from request to request — exactly the paper's
+//! long-lived EP/LP pairing, placed behind a service boundary.
+//!
+//! Sessions can be *suspended* to a byte blob (a `small-persist`
+//! checkpoint embedding the LPT image, the heap-controller image, the
+//! interner, the global bindings, and the metrics counters) and later
+//! *resumed*. Suspension is **stats-neutral**: the `LptStats` ledger
+//! and event counts travel inside the image and no retain/release
+//! traffic is issued on either side, so an evicted-and-resumed session
+//! is indistinguishable — ledger included — from one that stayed
+//! resident. The soak harness turns that property into a gate.
+
+use crate::protocol::{
+    compile_error_reply, lp_error_reply, parse_error_reply, persist_error_reply, vm_error_reply,
+};
+use small_core::machine::SmallBackend;
+use small_core::{Id, ListProcessor, LpConfig, LptStats};
+use small_heap::controller::TwoPointerController;
+use small_heap::PersistableController;
+use small_lisp::compiler::{compile_forms, compile_program};
+use small_lisp::vm::{ListBackend, Vm, VmValue};
+use small_metrics::{CountingSink, EventCounts};
+use small_persist::{
+    decode_checkpoint, digest_bytes, encode_checkpoint, ByteReader, ByteWriter, Checkpoint,
+    PersistError, DIGEST_SEED,
+};
+use small_sexpr::{parse_all, print, Interner, Symbol};
+
+/// Sizing and policy knobs shared by every session a manager creates.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Backing heap cells per session.
+    pub heap_cells: usize,
+    /// LPT entries per session.
+    pub table_size: usize,
+    /// Instruction budget per request (a runaway program gets a typed
+    /// `step-budget` reply instead of wedging its worker).
+    pub step_budget: u64,
+    /// Maximum resident (non-suspended) sessions before LRU eviction.
+    pub max_resident: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            heap_cells: 1 << 14,
+            table_size: 512,
+            step_budget: 2_000_000,
+            max_resident: 4,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The LP configuration each session machine runs under.
+    pub fn lp_config(&self) -> LpConfig {
+        LpConfig {
+            table_size: self.table_size,
+            ..LpConfig::default()
+        }
+    }
+}
+
+type Backend = SmallBackend<TwoPointerController, CountingSink>;
+
+/// A resident session: one full SMALL machine plus request bookkeeping.
+pub struct Session {
+    /// Manager-assigned identifier (stable across suspend/resume).
+    pub id: u64,
+    interner: Interner,
+    vm: Vm<Backend>,
+    step_budget: u64,
+    /// Requests served so far (evals only).
+    pub requests: u64,
+    /// Running FNV-1a digest over every request text and reply text, in
+    /// order — the session's externally checkable transcript fingerprint.
+    pub digest: u64,
+}
+
+fn empty_vm(interner: &mut Interner, backend: Backend) -> Vm<Backend> {
+    let program = compile_program("nil", interner).expect("the empty program compiles");
+    Vm::new(program, backend)
+}
+
+impl Session {
+    /// A fresh session with an empty machine.
+    pub fn new(id: u64, cfg: &ServeConfig) -> Session {
+        let mut interner = Interner::new();
+        let backend =
+            SmallBackend::with_sink(cfg.heap_cells, cfg.lp_config(), CountingSink::default());
+        let vm = empty_vm(&mut interner, backend);
+        Session {
+            id,
+            interner,
+            vm,
+            step_budget: cfg.step_budget,
+            requests: 0,
+            digest: DIGEST_SEED,
+        }
+    }
+
+    /// Compile and run one request program; returns the reply text.
+    ///
+    /// Every failure mode — parse, compile, VM runtime, LP, cyclic
+    /// result — becomes a typed `(err ...)` reply; the machine is
+    /// recovered to its global level and stays usable. The deferred
+    /// unroot queue is drained at the end of every request, so request
+    /// boundaries are also valid suspension boundaries and the ledger
+    /// advances deterministically with the request stream alone.
+    pub fn eval(&mut self, src: &str) -> String {
+        let reply = self.eval_inner(src);
+        self.digest = digest_bytes(self.digest, src.as_bytes());
+        self.digest = digest_bytes(self.digest, reply.as_bytes());
+        self.requests += 1;
+        reply
+    }
+
+    fn eval_inner(&mut self, src: &str) -> String {
+        let forms = match parse_all(src, &mut self.interner) {
+            Ok(f) => f,
+            Err(e) => return parse_error_reply(&e),
+        };
+        let program = match compile_forms(&forms, &mut self.interner) {
+            Ok(p) => p,
+            Err(e) => return compile_error_reply(&e),
+        };
+        self.vm.load_program(program);
+        self.vm.set_budget(self.step_budget);
+        let reply = match self.vm.run() {
+            Ok(v) => {
+                let reply = match self.vm.backend.try_write_out(&v) {
+                    Ok(e) => format!("(ok {})", print(&e, &self.interner)),
+                    Err(e) => lp_error_reply(&e),
+                };
+                if let VmValue::List(id) = v {
+                    self.vm.backend.release(&id);
+                }
+                reply
+            }
+            Err(e) => {
+                self.vm.recover();
+                vm_error_reply(&e)
+            }
+        };
+        self.vm.backend.lp.drain_unroots();
+        reply
+    }
+
+    /// The session's LP ledger.
+    pub fn ledger(&self) -> LptStats {
+        self.vm.backend.lp.stats()
+    }
+
+    /// The ledger as an `(ok (<field> <value>) ...)` alist reply —
+    /// every `LptStats` field, in declaration order.
+    pub fn ledger_reply(&self) -> String {
+        let s = self.ledger();
+        format!(
+            "(ok (refops {}) (ep-refops {}) (gets {}) (frees {}) (hits {}) (misses {}) \
+             (pseudo-overflows {}) (compressed {}) (cycle-collections {}) (cycles-reclaimed {}) \
+             (max-occupancy {}) (occupancy-sum {}) (occupancy-samples {}) (max-refcount {}) \
+             (max-ep-refcount {}) (faults-detected {}) (faults-recovered {}) \
+             (overflow-entries {}) (overflow-exits {}) (heap-direct-ops {}))",
+            s.refops,
+            s.ep_refops,
+            s.gets,
+            s.frees,
+            s.hits,
+            s.misses,
+            s.pseudo_overflows,
+            s.compressed,
+            s.cycle_collections,
+            s.cycles_reclaimed,
+            s.max_occupancy,
+            s.occupancy_sum,
+            s.occupancy_samples,
+            s.max_refcount,
+            s.max_ep_refcount,
+            s.faults_detected,
+            s.faults_recovered,
+            s.overflow_entries,
+            s.overflow_exits,
+            s.heap_direct_ops,
+        )
+    }
+
+    /// The transcript digest as an `(ok d<hex>)` reply (a symbol — the
+    /// reader has no token for a full 64-bit unsigned integer).
+    pub fn digest_reply(&self) -> String {
+        format!("(ok d{:016x})", self.digest)
+    }
+
+    /// The session's event counts (a copy).
+    pub fn counts(&self) -> EventCounts {
+        self.vm.backend.lp.sink().counts
+    }
+
+    /// Shut the machine down: release every binding and stack slot,
+    /// settle deferred and lazy work, and report the LPT occupancy left
+    /// behind — which must be 0 (the §5.3.2 empty-table invariant) for
+    /// any session whose programs tore down their cycles.
+    pub fn close(mut self) -> (usize, LptStats) {
+        self.vm.shutdown();
+        self.vm.backend.lp.drain_unroots();
+        self.vm.backend.lp.drain_lazy();
+        (self.vm.backend.lp.occupancy(), self.vm.backend.lp.stats())
+    }
+
+    // -----------------------------------------------------------------
+    // Suspend / resume
+    // -----------------------------------------------------------------
+
+    /// Suspend the session to a self-contained checkpoint blob.
+    ///
+    /// Must be called at a request boundary (the manager only evicts
+    /// idle sessions). The blob embeds the LPT image, the heap image,
+    /// the interner, the global bindings, the metrics counters, and the
+    /// request/digest bookkeeping — everything [`Session::resume`]
+    /// needs. No release traffic is issued: the outstanding binding
+    /// handles' counts ride inside the LPT image and are re-wrapped on
+    /// resume, keeping suspension invisible to the ledger.
+    pub fn suspend(mut self) -> Vec<u8> {
+        self.vm.backend.lp.drain_unroots();
+        let mut w = ByteWriter::new();
+        w.put_u64(self.requests);
+        w.put_u64(self.digest);
+        for word in self.vm.backend.lp.sink().counts.to_words() {
+            w.put_u64(word);
+        }
+        w.put_u64(self.interner.len() as u64);
+        for k in 0..self.interner.len() {
+            w.put_str(self.interner.name(Symbol(k as u32)));
+        }
+        let globals = self.vm.globals();
+        w.put_u64(globals.len() as u64);
+        for (sym, v) in globals {
+            w.put_u32(sym.0);
+            match v {
+                VmValue::Nil => w.put_u8(0),
+                VmValue::Int(i) => {
+                    w.put_u8(1);
+                    w.put_u64(*i as u64);
+                }
+                VmValue::Sym(s) => {
+                    w.put_u8(2);
+                    w.put_u32(s.0);
+                }
+                VmValue::List(id) => {
+                    w.put_u8(3);
+                    w.put_u32(*id);
+                }
+            }
+        }
+        encode_checkpoint(&Checkpoint {
+            event_index: self.requests,
+            journal_seq: 0,
+            lp: self.vm.backend.lp.export_image(),
+            controller: self.vm.backend.lp.controller.export_image(),
+            driver: w.finish(),
+        })
+        // Dropping `self` here drops the outstanding `Rooted` handles
+        // without draining their unroots — the counts they represent
+        // were exported live, as resume expects.
+    }
+
+    /// Resume a session from a [`Session::suspend`] blob. Fails closed
+    /// on any damage (CRC, version, malformed image, short driver).
+    pub fn resume(id: u64, cfg: &ServeConfig, bytes: &[u8]) -> Result<Session, PersistError> {
+        let corrupt = PersistError::CorruptCheckpoint;
+        let ckpt = decode_checkpoint(bytes)?;
+        let mut r = ByteReader::new(&ckpt.driver);
+        let requests = r.u64().map_err(corrupt)?;
+        let digest = r.u64().map_err(corrupt)?;
+        let mut words = [0u64; 22];
+        for word in &mut words {
+            *word = r.u64().map_err(corrupt)?;
+        }
+        let mut interner = Interner::new();
+        let nsyms = r.len().map_err(corrupt)?;
+        for _ in 0..nsyms {
+            let name = r.str().map_err(corrupt)?;
+            interner.intern(name);
+        }
+        let nglobals = r.len().map_err(corrupt)?;
+        let mut globals: Vec<(Symbol, VmValue<Id>)> = Vec::with_capacity(nglobals);
+        for _ in 0..nglobals {
+            let sym = Symbol(r.u32().map_err(corrupt)?);
+            let v = match r.u8().map_err(corrupt)? {
+                0 => VmValue::Nil,
+                1 => VmValue::Int(r.u64().map_err(corrupt)? as i64),
+                2 => VmValue::Sym(Symbol(r.u32().map_err(corrupt)?)),
+                3 => VmValue::List(r.u32().map_err(corrupt)?),
+                _ => return Err(corrupt("bad global value tag")),
+            };
+            globals.push((sym, v));
+        }
+        r.expect_end().map_err(corrupt)?;
+
+        let controller = TwoPointerController::import_image(&ckpt.controller)?;
+        let sink = CountingSink {
+            counts: EventCounts::from_words(&words),
+        };
+        let lp = ListProcessor::from_image(controller, cfg.lp_config(), &ckpt.lp, sink)?;
+        if !lp.audit().is_clean() {
+            return Err(corrupt("restored session table fails audit"));
+        }
+        let mut backend = SmallBackend::from_lp(lp);
+        for (_, v) in &globals {
+            if let VmValue::List(obj) = v {
+                backend.resume_retained(*obj);
+            }
+        }
+        let mut vm = empty_vm(&mut interner, backend);
+        vm.restore_globals(globals);
+        Ok(Session {
+            id,
+            interner,
+            vm,
+            step_budget: cfg.step_budget,
+            requests,
+            digest,
+        })
+    }
+
+    /// Decode only the event counts from a suspended blob (for `/stats`
+    /// aggregation without resurrecting the machine).
+    pub fn peek_counts(bytes: &[u8]) -> Result<EventCounts, PersistError> {
+        let corrupt = PersistError::CorruptCheckpoint;
+        let ckpt = decode_checkpoint(bytes)?;
+        let mut r = ByteReader::new(&ckpt.driver);
+        r.u64().map_err(corrupt)?;
+        r.u64().map_err(corrupt)?;
+        let mut words = [0u64; 22];
+        for word in &mut words {
+            *word = r.u64().map_err(corrupt)?;
+        }
+        Ok(EventCounts::from_words(&words))
+    }
+
+    /// A typed error reply for a persist failure on this path (exposed
+    /// for the manager's resume-on-touch).
+    pub fn persist_reply(e: &PersistError) -> String {
+        persist_error_reply(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn globals_persist_across_requests() {
+        let mut s = Session::new(0, &cfg());
+        assert_eq!(s.eval("(setq acc (cons 1 (cons 2 nil)))"), "(ok (1 2))");
+        assert_eq!(s.eval("(car acc)"), "(ok 1)");
+        assert_eq!(s.eval("(setq acc (cons 0 acc))"), "(ok (0 1 2))");
+        assert_eq!(s.eval("(setq acc nil)"), "(ok nil)");
+        let (occ, _) = s.close();
+        assert_eq!(occ, 0);
+    }
+
+    #[test]
+    fn typed_errors_do_not_kill_the_session() {
+        let mut s = Session::new(0, &cfg());
+        assert_eq!(s.eval("(setq g 7)"), "(ok 7)");
+        assert_eq!(s.eval("(car 5)"), "(err vm type-error car)");
+        assert_eq!(s.eval("(quotient 1 0)"), "(err vm divide-by-zero)");
+        assert_eq!(s.eval("(cond"), "(err proto unexpected-eof)");
+        assert_eq!(s.eval("(go nowhere)"), "(err compile no-such-label)");
+        assert_eq!(s.eval("g"), "(ok 7)");
+        let (occ, _) = s.close();
+        assert_eq!(occ, 0);
+    }
+
+    #[test]
+    fn cyclic_result_is_a_typed_reply_not_a_panic() {
+        let mut s = Session::new(0, &cfg());
+        let cyc = "(prog (x) (setq x (cons 1 (cons 2 nil))) (rplacd (cdr x) x) (return x))";
+        assert_eq!(s.eval(cyc), "(err lp cyclic)");
+        // The cycle is unreachable garbage now; a later request still runs.
+        assert_eq!(s.eval("(add 1 2)"), "(ok 3)");
+    }
+
+    #[test]
+    fn runaway_program_hits_step_budget() {
+        let mut s = Session::new(
+            0,
+            &ServeConfig {
+                step_budget: 10_000,
+                ..cfg()
+            },
+        );
+        assert_eq!(s.eval("(prog () loop (go loop))"), "(err vm step-budget)");
+        assert_eq!(s.eval("(add 1 1)"), "(ok 2)");
+    }
+
+    #[test]
+    fn suspend_resume_is_transparent_and_stats_neutral() {
+        let c = cfg();
+        let mut a = Session::new(7, &c);
+        let mut b = Session::new(7, &c);
+        let warm = [
+            "(setq acc (cons 1 (cons 2 (cons 3 nil))))",
+            "(setq n 5)",
+            "(setq acc (cons n acc))",
+        ];
+        for req in warm {
+            assert_eq!(a.eval(req), b.eval(req));
+        }
+        let blob = a.suspend();
+        let mut a = Session::resume(7, &c, &blob).expect("resume");
+        assert_eq!(
+            a.ledger(),
+            b.ledger(),
+            "suspension must not move the ledger"
+        );
+        assert_eq!(a.counts(), b.counts());
+        let cold = ["(car acc)", "(setq acc (cdr acc))", "(setq acc nil)"];
+        for req in cold {
+            assert_eq!(a.eval(req), b.eval(req));
+        }
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.ledger_reply(), b.ledger_reply());
+        let (occ_a, _) = a.close();
+        let (occ_b, _) = b.close();
+        assert_eq!((occ_a, occ_b), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_blob_fails_closed() {
+        let c = cfg();
+        let mut s = Session::new(1, &c);
+        s.eval("(setq x (cons 1 nil))");
+        let mut blob = s.suspend();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xff;
+        assert!(Session::resume(1, &c, &blob).is_err());
+        let short = &blob[..blob.len() / 3];
+        assert!(Session::resume(1, &c, short).is_err());
+    }
+}

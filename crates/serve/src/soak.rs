@@ -1,0 +1,280 @@
+//! The deterministic soak harness: a concurrent client fleet against
+//! the TCP server, compared byte-for-byte with a serial in-process
+//! twin.
+//!
+//! For every pinned seed, `clients` threads each open a session and
+//! replay the seed's generated request stream (see [`crate::gen`]),
+//! collecting the full reply transcript — evals, ledger, digest,
+//! close. The same streams then run serially through a second
+//! [`SessionManager`] with eviction disabled. Session isolation and
+//! eviction-transparency reduce to one check: **every transcript must
+//! be byte-identical across the two runs**, even though the server run
+//! interleaved requests across threads and suspended/resumed sessions
+//! under LRU pressure at scheduler whim.
+//!
+//! A deterministic *eviction sweep* follows the fleet on both sides:
+//! `max_resident + 2` sessions driven round-robin over one connection,
+//! so every request round forces suspend/resume churn in a fixed
+//! order. This guarantees the suspend/resume path is exercised (and
+//! its transcript compared) regardless of how the parallel phase was
+//! scheduled.
+//!
+//! The report (`results/soak_report.json`) contains only
+//! schedule-independent data — transcripts' digests, per-run aggregate
+//! event counts, match flags — and is therefore byte-identical across
+//! runs; CI `cmp`s a double run. Scheduling-dependent counters
+//! (eviction/resume totals) are returned to the caller for threshold
+//! assertions and stderr, never written to the report.
+
+use crate::gen::programs_for;
+use crate::manager::SessionManager;
+use crate::server::{self, dispatch, Client};
+use crate::session::ServeConfig;
+use small_metrics::EventCounts;
+use small_persist::{digest_bytes, DIGEST_SEED};
+use std::io;
+
+/// Soak run shape.
+#[derive(Debug, Clone)]
+pub struct SoakParams {
+    /// Seeds to run (one server per seed).
+    pub seeds: Vec<u64>,
+    /// Concurrent clients per seed.
+    pub clients: usize,
+    /// Generated eval requests per client (plus fixed prologue/teardown).
+    pub requests: usize,
+    /// Per-session machine configuration; `max_resident` below
+    /// `clients` keeps the LRU evictor busy during the fleet phase.
+    pub cfg: ServeConfig,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for SoakParams {
+    fn default() -> Self {
+        SoakParams {
+            seeds: vec![11, 23, 47],
+            clients: 8,
+            requests: 32,
+            cfg: ServeConfig {
+                heap_cells: 1 << 13,
+                table_size: 384,
+                max_resident: 3,
+                ..ServeConfig::default()
+            },
+            workers: 10,
+        }
+    }
+}
+
+/// What a soak run produced.
+pub struct SoakOutcome {
+    /// The deterministic JSON report body.
+    pub report: String,
+    /// Transcript (or aggregate-count) divergences found.
+    pub mismatches: usize,
+    /// Total LRU evictions across all servers (scheduling-dependent).
+    pub evictions: u64,
+    /// Total resume-on-touch events (scheduling-dependent).
+    pub resumes: u64,
+}
+
+fn transcript_digest(replies: &[String]) -> u64 {
+    let mut h = DIGEST_SEED;
+    for r in replies {
+        h = digest_bytes(h, r.as_bytes());
+    }
+    h
+}
+
+/// One TCP client's full scripted conversation.
+fn tcp_client_run(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    client: u64,
+    requests: usize,
+) -> io::Result<Vec<String>> {
+    let mut c = Client::connect(addr)?;
+    let id = c.open()?;
+    let mut t = Vec::new();
+    for prog in programs_for(seed, client, requests) {
+        t.push(c.request(&format!("(eval {id} {prog})"))?);
+    }
+    t.push(c.request(&format!("(ledger {id})"))?);
+    t.push(c.request(&format!("(digest {id})"))?);
+    t.push(c.request(&format!("(close {id})"))?);
+    Ok(t)
+}
+
+/// The serial twin of [`tcp_client_run`]: same frames, same dispatch
+/// code path, one thread, no eviction.
+fn serial_client_run(mgr: &SessionManager, seed: u64, client: u64, requests: usize) -> Vec<String> {
+    let id = mgr.open();
+    let mut t = Vec::new();
+    for prog in programs_for(seed, client, requests) {
+        t.push(dispatch(&format!("(eval {id} {prog})"), mgr).0);
+    }
+    t.push(dispatch(&format!("(ledger {id})"), mgr).0);
+    t.push(dispatch(&format!("(digest {id})"), mgr).0);
+    t.push(dispatch(&format!("(close {id})"), mgr).0);
+    t
+}
+
+/// The deterministic eviction sweep, expressed over any request
+/// transport. Opens `max_resident + 2` sessions and drives them
+/// round-robin so every round suspends and resumes sessions in a
+/// fixed order.
+fn run_sweep(
+    req: &mut dyn FnMut(&str) -> io::Result<String>,
+    seed: u64,
+    cfg: &ServeConfig,
+) -> io::Result<Vec<String>> {
+    let fleet = cfg.max_resident + 2;
+    let sweep_seed = seed.wrapping_add(0x5eed);
+    let mut t = Vec::new();
+    let mut ids = Vec::new();
+    for _ in 0..fleet {
+        let reply = req("(open)")?;
+        let id = reply
+            .strip_prefix("(ok ")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|r| r.parse::<u64>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, reply.clone()))?;
+        t.push(reply);
+        ids.push(id);
+    }
+    let progs: Vec<Vec<String>> = (0..fleet)
+        .map(|k| programs_for(sweep_seed, k as u64, 6))
+        .collect();
+    let rounds = progs[0].len();
+    for round in 0..rounds {
+        for (&id, prog) in ids.iter().zip(progs.iter()) {
+            t.push(req(&format!("(eval {id} {})", prog[round]))?);
+        }
+    }
+    for &id in &ids {
+        t.push(req(&format!("(ledger {id})"))?);
+        t.push(req(&format!("(digest {id})"))?);
+        t.push(req(&format!("(close {id})"))?);
+    }
+    Ok(t)
+}
+
+fn counts_json(c: &EventCounts) -> String {
+    let words = c.to_words();
+    let fields: Vec<String> = EventCounts::WORD_NAMES
+        .iter()
+        .zip(words.iter())
+        .map(|(name, value)| format!("\"{name}\":{value}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Run the full soak campaign. IO errors from the TCP leg surface as
+/// mismatches (a transcript that could not be collected can't match),
+/// not process aborts.
+pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
+    let mut runs = Vec::new();
+    let mut mismatches = 0usize;
+    let mut evictions = 0u64;
+    let mut resumes = 0u64;
+
+    for &seed in &p.seeds {
+        let handle = server::start("127.0.0.1:0", p.cfg, p.workers)?;
+        let addr = handle.addr();
+
+        // Phase 1: the concurrent fleet.
+        let server_transcripts: Vec<io::Result<Vec<String>>> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..p.clients)
+                .map(|c| s.spawn(move || tcp_client_run(addr, seed, c as u64, p.requests)))
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| {
+                    j.join()
+                        .unwrap_or_else(|_| Err(io::Error::other("client thread panicked")))
+                })
+                .collect()
+        });
+
+        // Phase 2: the deterministic eviction sweep over one connection.
+        let sweep_server: io::Result<Vec<String>> = (|| {
+            let mut c = Client::connect(addr)?;
+            run_sweep(&mut |frame| c.request(frame), seed, &p.cfg)
+        })();
+
+        let server_counts = handle.manager().aggregate_counts();
+        let (ev, res) = handle.manager().eviction_counters();
+        evictions += ev;
+        resumes += res;
+
+        // Graceful drain.
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.request("(shutdown)");
+        }
+        handle.shutdown();
+
+        // Serial twin: same frames, one thread, eviction disabled.
+        let serial_cfg = ServeConfig {
+            max_resident: usize::MAX,
+            ..p.cfg
+        };
+        let twin = SessionManager::new(serial_cfg);
+        let serial_transcripts: Vec<Vec<String>> = (0..p.clients)
+            .map(|c| serial_client_run(&twin, seed, c as u64, p.requests))
+            .collect();
+        let sweep_serial = run_sweep(&mut |frame| Ok(dispatch(frame, &twin).0), seed, &p.cfg)
+            .expect("serial sweep is infallible");
+        let serial_counts = twin.aggregate_counts();
+
+        // Compare.
+        let mut sessions_json = Vec::new();
+        for c in 0..p.clients {
+            let serial = &serial_transcripts[c];
+            let ok = matches!(&server_transcripts[c], Ok(t) if t == serial);
+            if !ok {
+                mismatches += 1;
+            }
+            sessions_json.push(format!(
+                "{{\"client\":{c},\"reply_digest\":\"d{:016x}\",\"match\":{ok}}}",
+                transcript_digest(serial)
+            ));
+        }
+        let sweep_ok = matches!(&sweep_server, Ok(t) if *t == sweep_serial);
+        if !sweep_ok {
+            mismatches += 1;
+        }
+        let counts_ok = server_counts == serial_counts;
+        if !counts_ok {
+            mismatches += 1;
+        }
+        runs.push(format!(
+            "{{\"seed\":{seed},\"sessions\":[{}],\
+             \"sweep_digest\":\"d{:016x}\",\"sweep_match\":{sweep_ok},\
+             \"counts_match\":{counts_ok},\"aggregate\":{}}}",
+            sessions_json.join(","),
+            transcript_digest(&sweep_serial),
+            counts_json(&serial_counts),
+        ));
+    }
+
+    let report = format!(
+        "{{\"schema\":\"soak_report_v1\",\"clients\":{},\"requests\":{},\
+         \"seeds\":[{}],\"all_match\":{},\"runs\":[{}]}}\n",
+        p.clients,
+        p.requests,
+        p.seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        mismatches == 0,
+        runs.join(","),
+    );
+    Ok(SoakOutcome {
+        report,
+        mismatches,
+        evictions,
+        resumes,
+    })
+}

@@ -11,7 +11,9 @@ pub use small_heap as heap;
 pub use small_lisp as lisp;
 pub use small_metrics as metrics;
 pub use small_multilisp as multilisp;
+pub use small_persist as persist;
 pub use small_profile as profile;
+pub use small_serve as serve;
 pub use small_sexpr as sexpr;
 pub use small_simulator as simulator;
 pub use small_trace as trace;

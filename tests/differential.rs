@@ -98,6 +98,61 @@ fn arb_program() -> impl Strategy<Value = String> {
     prop_oneof![gen_expr(Ty::Int, 4), gen_expr(Ty::List, 4)]
 }
 
+/// Mutation scenes (§2's `rplaca`/`rplacd` path): a `prog` builds
+/// fresh cells over generated list-typed bindings, mutates them —
+/// directly, through shared structure, and through a temporary
+/// self-referential knot — and returns an observation. Mutation
+/// targets are `cons` results, so they are non-nil by construction;
+/// cycles are always broken before the value is written out.
+fn gen_mutation_program() -> impl Strategy<Value = String> {
+    let int = || gen_expr(Ty::Int, 2);
+    let list = || gen_expr(Ty::List, 2);
+    prop_oneof![
+        // Both fields of a fresh cell, observed after mutation.
+        (int(), list(), int(), list()).prop_map(|(a, l, b, l2)| format!(
+            "(prog (m0) \
+               (setq m0 (cons {a} {l})) \
+               (rplaca m0 {b}) \
+               (rplacd m0 {l2}) \
+               (return (cons (car m0) (cdr m0))))"
+        )),
+        // Shared structure: m1's tail IS m0; a write through m0 must be
+        // visible through m1, and the shared tail is guarded before a
+        // second write through the alias.
+        (int(), list(), int(), int(), list()).prop_map(|(a, l, b, c, l2)| format!(
+            "(prog (m0 m1) \
+               (setq m0 (cons {a} {l})) \
+               (setq m1 (cons {b} m0)) \
+               (rplaca m0 {c}) \
+               (rplacd m0 {l2}) \
+               (cond ((null (cdr m0)) nil) (t (rplaca (cdr m0) (car m1)))) \
+               (return (cons (car (cdr m1)) (append m1 m0))))"
+        )),
+        // Self-reference: tie a two-cell knot with rplacd, read back
+        // through the cycle, then break it before returning (so
+        // write-out sees a tree and the LPT can drain to empty).
+        (int(), int()).prop_map(|(a, b)| format!(
+            "(prog (m0 m1) \
+               (setq m0 (cons {a} (cons {b} nil))) \
+               (rplacd (cdr m0) m0) \
+               (setq m1 (car (cdr (cdr m0)))) \
+               (rplacd (cdr m0) nil) \
+               (return (cons m1 m0)))"
+        )),
+        // A chain rewrite: mutate an interior fresh cell, retarget its
+        // tail at a still-shared cell, then write through the share.
+        (int(), int(), int(), int(), int()).prop_map(|(a, b, c, d, e)| format!(
+            "(prog (m0 m1) \
+               (setq m0 (cons {a} nil)) \
+               (setq m1 (cons {b} (cons {c} m0))) \
+               (rplaca (cdr m1) {d}) \
+               (rplacd (cdr m1) (cons {e} m0)) \
+               (rplaca m0 (length m1)) \
+               (return (append m1 (cons (car m0) nil))))"
+        )),
+    ]
+}
+
 fn run_interp(src: &str) -> String {
     let mut it = Interp::new(Interner::new(), DeepEnv::new(), NoHook);
     it.run_program(PRELUDE).expect("prelude");
@@ -131,6 +186,20 @@ proptest! {
         prop_assert_eq!(&interp, &direct, "interpreter vs direct VM on {}", src);
         prop_assert_eq!(&interp, &small, "interpreter vs SMALL on {}", src);
         // Reference accounting on the SMALL machine: nothing leaks.
+        let mut lp = backend.lp;
+        lp.drain_lazy();
+        prop_assert_eq!(lp.occupancy(), 0, "LPT leak running {}", src);
+    }
+
+    #[test]
+    fn three_engines_agree_under_mutation(src in gen_mutation_program()) {
+        let interp = run_interp(&src);
+        let (direct, _) = run_vm(&src, DirectBackend::new(1 << 16));
+        let (small, backend) = run_vm(&src, SmallBackend::new(1 << 16, LpConfig::default()));
+        prop_assert_eq!(&interp, &direct, "interpreter vs direct VM on {}", src);
+        prop_assert_eq!(&interp, &small, "interpreter vs SMALL on {}", src);
+        // §5.3.2 still holds under §2's mutation path: every reference
+        // retained through rplaca/rplacd is released by shutdown.
         let mut lp = backend.lp;
         lp.drain_lazy();
         prop_assert_eq!(lp.occupancy(), 0, "LPT leak running {}", src);
