@@ -1,12 +1,19 @@
-//! `serve` — run the SMALL session server until a client sends
-//! `(shutdown)`.
+//! `serve` — run the sharded SMALL session server until a client
+//! sends `(shutdown)`.
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--table-size N] [--heap-cells N]
-//!       [--max-resident N] [--workers N] [--step-budget N]
+//!       [--max-resident N] [--step-budget N]
+//!       [--shards N] [--queue-cap N] [--max-conns N] [--replicate]
 //! ```
+//!
+//! With `--replicate` the server runs as a replication primary:
+//! every mutating request is appended to the in-memory WAL and
+//! replica-role connections may `(pull <lsn>)` journal frames.
 
+use small_serve::server::ServerParams;
 use small_serve::session::ServeConfig;
+use small_serve::PROTO_VERSION;
 use std::process::ExitCode;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
@@ -29,12 +36,29 @@ fn run() -> Result<(), String> {
         max_resident: parse_flag(&args, "--max-resident", 8usize)?,
         step_budget: parse_flag(&args, "--step-budget", 2_000_000u64)?,
     };
-    let workers = parse_flag(&args, "--workers", 8usize)?;
-    let handle = small_serve::start(&addr, cfg, workers).map_err(|e| e.to_string())?;
-    eprintln!("serving SMALL sessions on {}", handle.addr());
-    eprintln!("frame = 4-byte LE length + s-expression; send (shutdown) to drain");
-    // The acceptor owns the serving loop; joining it is the wait.
-    handle.shutdown_when_drained();
+    let params = ServerParams {
+        shards: parse_flag(&args, "--shards", 4usize)?,
+        queue_cap: parse_flag(&args, "--queue-cap", 64usize)?,
+        max_conns_per_shard: parse_flag(&args, "--max-conns", 64usize)?,
+        replicate: args.iter().any(|a| a == "--replicate"),
+    };
+    let handle = small_serve::start(&addr, cfg, params).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving SMALL sessions on {} ({} shards{})",
+        handle.addr(),
+        params.shards,
+        if params.replicate {
+            ", replication primary"
+        } else {
+            ""
+        }
+    );
+    eprintln!(
+        "frame = 4-byte LE length + s-expression; handshake with \
+         (hello {PROTO_VERSION} client); send (shutdown) to drain"
+    );
+    // A client's (shutdown) triggers the drain; joining is the wait.
+    handle.join();
     Ok(())
 }
 

@@ -3,14 +3,16 @@
 //!
 //! ```text
 //! soak [--seeds N | --seeds a,b,c] [--clients N] [--requests N]
-//!      [--max-resident N] [--workers N] [--out PATH]
+//!      [--max-resident N] [--shards N] [--queue-cap N]
+//!      [--churn N] [--churn-workers N] [--out PATH]
 //! ```
 //!
 //! `--seeds N` (a single integer) takes the first `N` pinned seeds, so
 //! `soak --seeds 3 --clients 8` is a stable CI invocation. A comma
-//! list pins explicit seeds. Exit is nonzero on any transcript or
-//! aggregate-count mismatch, or if the run exercised no
-//! eviction/resume churn.
+//! list pins explicit seeds. `--churn N` appends a phase that rolls
+//! `N` short-lived sessions through a fresh server across a small
+//! worker fleet. Exit is nonzero on any transcript or aggregate-count
+//! mismatch, or if the run exercised no eviction/resume churn.
 
 use small_serve::gen::PINNED_SEEDS;
 use small_serve::session::ServeConfig;
@@ -24,8 +26,7 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
-    if let Some((_, rest)) = spec.split_once(',') {
-        let _ = rest; // comma list: parse every element
+    if spec.contains(',') {
         return spec
             .split(',')
             .map(|s| s.trim().parse().map_err(|_| format!("bad seed: {s}")))
@@ -58,8 +59,17 @@ fn run() -> Result<ExitCode, String> {
             ..p.cfg
         };
     }
-    if let Some(s) = arg_value(&args, "--workers") {
-        p.workers = s.parse().map_err(|_| "bad --workers")?;
+    if let Some(s) = arg_value(&args, "--shards") {
+        p.server.shards = s.parse().map_err(|_| "bad --shards")?;
+    }
+    if let Some(s) = arg_value(&args, "--queue-cap") {
+        p.server.queue_cap = s.parse().map_err(|_| "bad --queue-cap")?;
+    }
+    if let Some(s) = arg_value(&args, "--churn") {
+        p.churn = s.parse().map_err(|_| "bad --churn")?;
+    }
+    if let Some(s) = arg_value(&args, "--churn-workers") {
+        p.churn_workers = s.parse().map_err(|_| "bad --churn-workers")?;
     }
     let out = arg_value(&args, "--out").unwrap_or_else(|| "results/soak_report.json".to_string());
 
@@ -72,10 +82,12 @@ fn run() -> Result<ExitCode, String> {
     std::fs::write(&out, &outcome.report).map_err(|e| e.to_string())?;
 
     eprintln!(
-        "soak: {} seeds x {} clients x {} requests -> {}",
+        "soak: {} seeds x {} clients x {} requests ({} shards, churn {}) -> {}",
         p.seeds.len(),
         p.clients,
         p.requests,
+        p.server.shards,
+        p.churn,
         out
     );
     eprintln!(

@@ -1,0 +1,120 @@
+//! The typed blocking client.
+//!
+//! Everything in-tree that talks to a server — the soak fleet, the
+//! churn workers, the standby's frame puller, the failover campaign,
+//! and every integration test — goes through [`Client`]. It speaks
+//! only [`Request`]/[`Reply`] values; the framing and text live in
+//! [`crate::protocol`] and nowhere else.
+//!
+//! Connecting performs the versioned `(hello <version> <role>)`
+//! handshake immediately and fails if the server rejects it, so a
+//! constructed `Client` is always protocol-compatible.
+
+use crate::protocol::{read_frame, write_frame, Reply, Request, Role, PROTO_VERSION};
+use crate::repl::{ReplError, Standby};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking request/reply client with the handshake already done.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn data_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connect and handshake as `role` at the current protocol
+    /// version.
+    pub fn connect(addr: SocketAddr, role: Role) -> io::Result<Client> {
+        Client::connect_with_version(addr, role, PROTO_VERSION)
+    }
+
+    /// Connect and handshake announcing an explicit `version` (tests
+    /// use this to exercise the mismatch path).
+    pub fn connect_with_version(addr: SocketAddr, role: Role, version: u32) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        match client.request(&Request::Hello { version, role })? {
+            Reply::Hello { .. } => Ok(client),
+            other => Err(data_err(format!("handshake refused: {}", other.encode()))),
+        }
+    }
+
+    /// Send one request and read its typed reply.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        let text = self.request_text(&req.encode())?;
+        Reply::decode(&text).ok_or_else(|| data_err(format!("unparseable reply: {text}")))
+    }
+
+    /// Send raw request text and return the raw reply text. The soak
+    /// harness transcripts use this (byte-level comparison); tests use
+    /// it to probe malformed-input handling. Framing still happens in
+    /// `protocol` — this never touches bytes itself.
+    pub fn request_text(&mut self, text: &str) -> io::Result<String> {
+        write_frame(&mut self.writer, text)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Pipeline: write every request back-to-back in one burst, then
+    /// read exactly one reply per request, in order. This is how the
+    /// back-pressure test fills a bounded run queue faster than the
+    /// shard drains it.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> io::Result<Vec<String>> {
+        for req in reqs {
+            write_frame(&mut self.writer, &req.encode())?;
+        }
+        self.writer.flush()?;
+        let mut replies = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            replies.push(read_frame(&mut self.reader)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-pipeline")
+            })?);
+        }
+        Ok(replies)
+    }
+
+    /// `(open)` and return the new session id.
+    pub fn open(&mut self) -> io::Result<u64> {
+        match self.request(&Request::Open)? {
+            Reply::Opened { id } => Ok(id),
+            other => Err(data_err(format!("open refused: {}", other.encode()))),
+        }
+    }
+
+    /// Pull WAL frames once from `from`; returns `(next_lsn, bytes)`.
+    /// The connection must have hand-shaken as [`Role::Replica`].
+    pub fn pull(&mut self, from: u64) -> io::Result<(u64, Vec<u8>)> {
+        match self.request(&Request::Pull { from })? {
+            Reply::Frames { next, bytes } => Ok((next, bytes)),
+            other => Err(data_err(format!("pull refused: {}", other.encode()))),
+        }
+    }
+
+    /// Pull-and-replay until the standby has applied everything up to
+    /// `target_lsn`. Digest or frame damage fails closed as
+    /// `InvalidData` carrying the [`ReplError`] text.
+    pub fn catch_up(&mut self, standby: &mut Standby, target_lsn: u64) -> io::Result<()> {
+        while standby.next_lsn() < target_lsn {
+            let from = standby.next_lsn();
+            let (next, bytes) = self.pull(from)?;
+            if next == from {
+                return Err(data_err(format!(
+                    "primary cannot serve lsn {from} (target {target_lsn})"
+                )));
+            }
+            standby
+                .apply(&bytes)
+                .map_err(|e: ReplError| data_err(e.to_string()))?;
+        }
+        Ok(())
+    }
+}

@@ -3,36 +3,56 @@
 //! The paper's EP/LP split is already a client/server protocol — the
 //! EP issues `cons`/`car`/`cdr` requests against an LP that owns all
 //! list structure. This crate lifts that shape one level up: many
-//! complete SMALL machines (EP + LP + metrics sink) behind one
-//! dependency-free threaded TCP server speaking a length-framed
-//! s-expression protocol.
+//! complete SMALL machines (EP + LP + metrics sink) behind a sharded,
+//! dependency-free nonblocking TCP server speaking a length-framed
+//! s-expression protocol, with WAL-shipping replication onto a warm
+//! standby.
 //!
-//! * [`protocol`] — wire framing and the typed error-reply vocabulary
-//!   (every `VmError`/`LpError`/`PersistError` crosses the wire as a
-//!   symbol-coded reply; nothing panics across the boundary).
+//! * [`protocol`] — the single home of the wire format: framing, the
+//!   documented grammar, the versioned handshake, and the public typed
+//!   [`protocol::Request`]/[`protocol::Reply`] API (round-trip
+//!   proptested). No raw framing exists outside this module and the
+//!   I/O edges that call it.
+//! * [`client`] — the typed blocking client every in-tree consumer
+//!   uses (soak fleet, churn workers, standby puller, tests).
 //! * [`session`] — one machine per session; compile-and-run requests,
 //!   `setq` globals persisting across requests, suspend/resume through
 //!   `small-persist` checkpoints with a stats-neutral guarantee.
-//! * [`manager`] — checkout-based session ownership: per-session
-//!   request serialization, cross-session concurrency, LRU eviction of
-//!   idle sessions to bytes, resume-on-touch, `/stats` aggregation.
-//! * [`pool`] / [`server`] — bounded worker pool (poison-recovering,
-//!   panic-containing) and the accept/dispatch/drain front end.
-//! * [`gen`] / [`soak`] — seeded load generation and the
-//!   fleet-vs-serial-twin soak harness with a byte-deterministic
-//!   report.
+//! * [`manager`] — the per-shard [`SessionStore`]: single-owner, no
+//!   locks; LRU suspend-to-checkpoint; also the serial twin the
+//!   harnesses compare wire transcripts against.
+//! * [`reactor`] / [`shard`] / [`server`] — nonblocking connections
+//!   with ordered reply outboxes; N shard event loops with sessions
+//!   pinned by `id % shards` and bounded run queues that shed with
+//!   typed `(err busy …)` replies; the acceptor/lifecycle front end
+//!   with a two-barrier drain that can never tear a suspend blob.
+//! * [`repl`] — WAL-shipping replication: group-committed journal
+//!   frames pulled by a warm [`repl::Standby`] and replayed under
+//!   digest verification, so failover promotes byte-identical state.
+//! * [`gen`] / [`soak`] / [`failover`] — seeded load generation, the
+//!   fleet-vs-serial-twin soak (plus multi-thousand-session churn),
+//!   and the kill-primary failover campaign, all with
+//!   byte-deterministic reports.
 
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod failover;
 pub mod gen;
 pub mod manager;
-pub mod pool;
 pub mod protocol;
+pub mod reactor;
+pub mod repl;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod soak;
 
-pub use manager::SessionManager;
-pub use server::{start, Client, ServerHandle};
+pub use client::Client;
+pub use failover::{run_failover, FailoverOutcome, FailoverParams};
+pub use manager::SessionStore;
+pub use protocol::{Reply, Request, Role, PROTO_VERSION};
+pub use repl::{Standby, Wal};
+pub use server::{start, DrainOutcome, ServerHandle, ServerParams};
 pub use session::{ServeConfig, Session};
 pub use soak::{run_soak, SoakOutcome, SoakParams};

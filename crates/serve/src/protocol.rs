@@ -1,44 +1,96 @@
-//! Length-framed s-expression wire protocol.
+//! The typed wire protocol: framing, grammar, and the public
+//! [`Request`]/[`Reply`] API.
 //!
-//! Every message — request or reply — is one frame: a 4-byte
+//! This module is the **single home of the wire format**. No other
+//! module (and no test) assembles or parses raw protocol text; they
+//! construct [`Request`] values, encode them here, and decode the peer's
+//! bytes back into [`Reply`] values. The blocking client in
+//! [`crate::client`] and the nonblocking server connections in
+//! [`crate::reactor`] both call into this module for every byte that
+//! crosses the wire.
+//!
+//! # Wire grammar (protocol version [`PROTO_VERSION`])
+//!
+//! Every message — request or reply — is one *frame*: a 4-byte
 //! little-endian payload length followed by that many bytes of UTF-8
-//! s-expression text (one expression per frame). The framing layer is
-//! symmetric, so the same two functions serve client and server.
+//! s-expression text (one expression per frame, at most [`MAX_FRAME`]
+//! bytes).
 //!
-//! Requests (the client→server vocabulary):
+//! ```text
+//! request = (hello <version:int> <role>)     role = client | replica
+//!         | (open)
+//!         | (eval <id:int> <form>...)
+//!         | (ledger <id:int>)
+//!         | (digest <id:int>)
+//!         | (stats)
+//!         | (close <id:int>)
+//!         | (shutdown)
+//!         | (pull <lsn:int>)                 replica connections only
 //!
-//! | form                     | meaning                                   |
-//! |--------------------------|-------------------------------------------|
-//! | `(open)`                 | create a session, reply `(ok <id>)`       |
-//! | `(eval <id> <form>...)`  | run forms on the session's machine        |
-//! | `(ledger <id>)`          | the session's `LptStats` as an alist      |
-//! | `(digest <id>)`          | running request/reply digest as a symbol  |
-//! | `(stats)`                | aggregated event counts across sessions   |
-//! | `(close <id>)`           | shut the machine down, reply occupancy    |
-//! | `(shutdown)`             | begin graceful server drain               |
+//! reply   = (ok hello <version:int>)
+//!         | (ok opened <id:int>)
+//!         | (ok value <form>)
+//!         | (ok ledger (<field:sym> <n:int>)*20)
+//!         | (ok digest d<hex16>)
+//!         | (ok stats (sessions <n>) (evictions <n>) (resumes <n>)
+//!                     (<counter:sym> <n:int>)*22)
+//!         | (ok closed <occupancy:int>)
+//!         | (ok draining)
+//!         | (ok frames <next-lsn:int> <h-hex:sym>)
+//!         | (err <class:sym> <code:sym> <atom>...)
+//! ```
 //!
-//! Replies are `(ok ...)` or `(err <class> <code> ...)`. The reader has
-//! no string syntax, so every error is encoded as symbols: a *class*
-//! naming the failing layer (`proto`, `session`, `compile`, `vm`,
-//! `heap`, `lp`, `persist`) and a kebab-case *code* naming the typed
-//! error variant — the full `VmError`/`LpError`/`PersistError` surface
-//! maps to a reply; nothing panics across the wire.
+//! `d<hex16>` is a symbol: `d` followed by 16 lowercase hex digits (the
+//! reader has no token for a full 64-bit unsigned integer). `<h-hex>`
+//! is a symbol `h` followed by an even number of lowercase hex digits
+//! carrying binary WAL frames (possibly zero digits — an empty batch).
+//!
+//! The first request on a connection should be the versioned
+//! handshake. A `hello` whose version is not [`PROTO_VERSION`] is
+//! rejected with `(err proto unsupported-version <got> <want>)` and the
+//! connection is closed; a `(pull …)` on a connection that did not
+//! hand-shake as `replica` is rejected with `(err proto not-a-replica)`.
+//! Requests other than `hello` are accepted without a handshake so
+//! hand-rolled probes stay possible, but every in-tree client
+//! hand-shakes first.
+//!
+//! Error replies carry a *class* naming the failing layer (`proto`,
+//! `busy`, `session`, `compile`, `vm`, `heap`, `lp`, `persist`, `repl`)
+//! and a kebab-case *code* naming the typed error variant — the full
+//! `VmError`/`LpError`/`PersistError` surface maps to a reply; nothing
+//! panics across the wire. `(err busy queue-full <shard>)` is the
+//! back-pressure reply: the target shard's bounded run queue was full
+//! and the request was shed (the connection stays open).
 
-use small_core::LpError;
+use small_core::{LpError, LptStats};
 use small_lisp::compiler::CompileError;
 use small_lisp::vm::{BackendError, VmError};
+use small_metrics::EventCounts;
 use small_persist::PersistError;
-use small_sexpr::ParseError;
+use small_sexpr::{parse, print, Interner, ParseError, SExpr};
 use std::io::{self, Read, Write};
+
+/// Current protocol version, announced in the `(hello …)` handshake.
+pub const PROTO_VERSION: u32 = 1;
 
 /// Upper bound on a frame payload; a peer announcing more is corrupt
 /// (or hostile) and the connection is dropped.
 pub const MAX_FRAME: usize = 1 << 20;
 
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
 /// Write one frame: 4-byte LE length, then the payload.
 pub fn write_frame(w: &mut impl Write, text: &str) -> io::Result<()> {
     let len = u32::try_from(text.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if text.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
     w.write_all(&len.to_le_bytes())?;
     w.write_all(text.as_bytes())?;
     w.flush()
@@ -68,14 +120,585 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
-/// Build an `(err <class> <code>)` reply.
-pub fn err_reply(class: &str, code: &str) -> String {
-    format!("(err {class} {code})")
+/// Incremental frame decoder for nonblocking reads: bytes go in as they
+/// arrive, complete frames come out. Used by the server's event-loop
+/// connections, which cannot block in [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    at: usize,
 }
 
-/// An `(err <class> <code> <detail>)` reply with one extra symbol.
-pub fn err_reply_with(class: &str, code: &str, detail: &str) -> String {
-    format!("(err {class} {code} {detail})")
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, if one is buffered. An oversized
+    /// length announcement or non-UTF-8 payload is a protocol error —
+    /// the connection should be dropped.
+    pub fn pop(&mut self) -> io::Result<Option<String>> {
+        if self.buf.len() - self.at < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.at..self.at + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds MAX_FRAME",
+            ));
+        }
+        if self.buf.len() - self.at < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let start = self.at + 4;
+        let text = std::str::from_utf8(&self.buf[start..start + len])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?
+            .to_string();
+        self.at = start + len;
+        Ok(Some(text))
+    }
+
+    /// True if a partial frame is buffered (EOF now would be torn).
+    pub fn has_partial(&self) -> bool {
+        self.at < self.buf.len()
+    }
+
+    fn compact(&mut self) {
+        if self.at > 0 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hex-symbol codec (binary payloads inside the symbolic reader)
+// ---------------------------------------------------------------------
+
+/// Encode bytes as the `h<hex>` symbol used by `(ok frames …)`.
+pub fn hex_sym(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(1 + bytes.len() * 2);
+    s.push('h');
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode an `h<hex>` symbol back to bytes.
+pub fn parse_hex_sym(sym: &str) -> Option<Vec<u8>> {
+    let hex = sym.strip_prefix('h')?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    let b = hex.as_bytes();
+    for pair in b.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        if pair[0].is_ascii_uppercase() || pair[1].is_ascii_uppercase() {
+            return None; // canonical form is lowercase
+        }
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------
+// Typed requests
+// ---------------------------------------------------------------------
+
+/// Connection role declared in the `(hello …)` handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// An ordinary session client.
+    Client,
+    /// A warm-standby replica pulling WAL frames.
+    Replica,
+}
+
+impl Role {
+    fn name(self) -> &'static str {
+        match self {
+            Role::Client => "client",
+            Role::Replica => "replica",
+        }
+    }
+}
+
+/// A client→server request, one per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `(hello <version> <role>)` — the versioned handshake.
+    Hello {
+        /// Protocol version the peer speaks.
+        version: u32,
+        /// Declared connection role.
+        role: Role,
+    },
+    /// `(open)` — create a session.
+    Open,
+    /// `(eval <id> <form>...)` — run forms on the session's machine.
+    /// `src` is the canonical printed text of the forms, space-joined.
+    Eval {
+        /// Target session.
+        id: u64,
+        /// Canonical program text.
+        src: String,
+    },
+    /// `(ledger <id>)` — the session's `LptStats` ledger.
+    Ledger {
+        /// Target session.
+        id: u64,
+    },
+    /// `(digest <id>)` — the session's running transcript digest.
+    Digest {
+        /// Target session.
+        id: u64,
+    },
+    /// `(stats)` — server-wide aggregate counters.
+    Stats,
+    /// `(close <id>)` — shut the session's machine down.
+    Close {
+        /// Target session.
+        id: u64,
+    },
+    /// `(shutdown)` — begin graceful server drain.
+    Shutdown,
+    /// `(pull <lsn>)` — fetch WAL frames starting at `from` (replica
+    /// connections only).
+    Pull {
+        /// First log sequence number wanted.
+        from: u64,
+    },
+}
+
+impl Request {
+    /// Canonical wire text of the request.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Hello { version, role } => {
+                format!("(hello {version} {})", role.name())
+            }
+            Request::Open => "(open)".to_string(),
+            Request::Eval { id, src } => format!("(eval {id} {src})"),
+            Request::Ledger { id } => format!("(ledger {id})"),
+            Request::Digest { id } => format!("(digest {id})"),
+            Request::Stats => "(stats)".to_string(),
+            Request::Close { id } => format!("(close {id})"),
+            Request::Shutdown => "(shutdown)".to_string(),
+            Request::Pull { from } => format!("(pull {from})"),
+        }
+    }
+
+    /// Decode one request frame. On failure the caller gets the typed
+    /// error [`Reply`] to send back (`proto` class: parse error or
+    /// `bad-request`).
+    pub fn decode(text: &str) -> Result<Request, Reply> {
+        let mut scratch = Interner::new();
+        let expr = match parse(text, &mut scratch) {
+            Ok(e) => e,
+            Err(e) => return Err(parse_error_reply(&e)),
+        };
+        let bad = || Err(err("proto", "bad-request"));
+        let items: Vec<&SExpr> = expr.iter().collect();
+        let Some(head) = items.first().and_then(|h| h.as_sym()) else {
+            return bad();
+        };
+        let uint = |k: usize| -> Option<u64> {
+            items
+                .get(k)
+                .and_then(|e| e.as_int())
+                .and_then(|i| u64::try_from(i).ok())
+        };
+        match scratch.name(head) {
+            "hello" if items.len() == 3 => {
+                let Some(version) = uint(1).and_then(|v| u32::try_from(v).ok()) else {
+                    return bad();
+                };
+                let role = match items[2].as_sym().map(|s| scratch.name(s)) {
+                    Some("client") => Role::Client,
+                    Some("replica") => Role::Replica,
+                    _ => return bad(),
+                };
+                Ok(Request::Hello { version, role })
+            }
+            "open" if items.len() == 1 => Ok(Request::Open),
+            "eval" if items.len() >= 3 => {
+                let Some(id) = uint(1) else { return bad() };
+                // Re-print the payload forms so the session compiles
+                // canonical text with its own interner.
+                let src = items[2..]
+                    .iter()
+                    .map(|f| print(f, &scratch))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Ok(Request::Eval { id, src })
+            }
+            "ledger" if items.len() == 2 => match uint(1) {
+                Some(id) => Ok(Request::Ledger { id }),
+                None => bad(),
+            },
+            "digest" if items.len() == 2 => match uint(1) {
+                Some(id) => Ok(Request::Digest { id }),
+                None => bad(),
+            },
+            "stats" if items.len() == 1 => Ok(Request::Stats),
+            "close" if items.len() == 2 => match uint(1) {
+                Some(id) => Ok(Request::Close { id }),
+                None => bad(),
+            },
+            "shutdown" if items.len() == 1 => Ok(Request::Shutdown),
+            "pull" if items.len() == 2 => match uint(1) {
+                Some(from) => Ok(Request::Pull { from }),
+                None => bad(),
+            },
+            _ => bad(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed replies
+// ---------------------------------------------------------------------
+
+/// The `(ok stats …)` body: manager-level counters plus the 22
+/// aggregated event-count words (in [`EventCounts::WORD_NAMES`] order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsBody {
+    /// Live sessions (any state).
+    pub sessions: u64,
+    /// Lifetime LRU evictions.
+    pub evictions: u64,
+    /// Lifetime resume-on-touch events.
+    pub resumes: u64,
+    /// Aggregated [`EventCounts`] words.
+    pub counts: [u64; 22],
+}
+
+/// A server→client reply, one per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `(ok hello <version>)` — handshake accepted.
+    Hello {
+        /// Version the server speaks (always [`PROTO_VERSION`]).
+        version: u32,
+    },
+    /// `(ok opened <id>)`.
+    Opened {
+        /// The new session's id.
+        id: u64,
+    },
+    /// `(ok value <form>)` — an evaluation result, canonically printed.
+    Value {
+        /// Canonical printed text of the value.
+        text: String,
+    },
+    /// `(ok ledger …)` — the session's full `LptStats`.
+    Ledger(Box<LptStats>),
+    /// `(ok digest d<hex16>)`.
+    Digest {
+        /// The session's running transcript digest.
+        digest: u64,
+    },
+    /// `(ok stats …)`.
+    Stats(Box<StatsBody>),
+    /// `(ok closed <occupancy>)`.
+    Closed {
+        /// Residual LPT occupancy the closed session left behind.
+        occupancy: u64,
+    },
+    /// `(ok draining)` — shutdown acknowledged.
+    Draining,
+    /// `(ok frames <next-lsn> <h-hex>)` — a batch of WAL frames.
+    Frames {
+        /// LSN to pull from next.
+        next: u64,
+        /// Concatenated encoded WAL frames (possibly empty).
+        bytes: Vec<u8>,
+    },
+    /// `(err <class> <code> <atom>...)`.
+    Err {
+        /// Failing layer (`proto`, `busy`, `vm`, …).
+        class: String,
+        /// Kebab-case variant code.
+        code: String,
+        /// Extra atoms (each printed as one token).
+        detail: Vec<String>,
+    },
+}
+
+/// The ledger field names, in `LptStats` declaration order — shared by
+/// the encoder, the decoder, and anything formatting ledgers.
+pub const LEDGER_FIELDS: [&str; 20] = [
+    "refops",
+    "ep-refops",
+    "gets",
+    "frees",
+    "hits",
+    "misses",
+    "pseudo-overflows",
+    "compressed",
+    "cycle-collections",
+    "cycles-reclaimed",
+    "max-occupancy",
+    "occupancy-sum",
+    "occupancy-samples",
+    "max-refcount",
+    "max-ep-refcount",
+    "faults-detected",
+    "faults-recovered",
+    "overflow-entries",
+    "overflow-exits",
+    "heap-direct-ops",
+];
+
+fn ledger_words(s: &LptStats) -> [u64; 20] {
+    [
+        s.refops,
+        s.ep_refops,
+        s.gets,
+        s.frees,
+        s.hits,
+        s.misses,
+        s.pseudo_overflows,
+        s.compressed,
+        s.cycle_collections,
+        s.cycles_reclaimed,
+        s.max_occupancy as u64,
+        s.occupancy_sum,
+        s.occupancy_samples,
+        u64::from(s.max_refcount),
+        u64::from(s.max_ep_refcount),
+        s.faults_detected,
+        s.faults_recovered,
+        s.overflow_entries,
+        s.overflow_exits,
+        s.heap_direct_ops,
+    ]
+}
+
+fn ledger_from_words(w: &[u64; 20]) -> Option<LptStats> {
+    Some(LptStats {
+        refops: w[0],
+        ep_refops: w[1],
+        gets: w[2],
+        frees: w[3],
+        hits: w[4],
+        misses: w[5],
+        pseudo_overflows: w[6],
+        compressed: w[7],
+        cycle_collections: w[8],
+        cycles_reclaimed: w[9],
+        max_occupancy: usize::try_from(w[10]).ok()?,
+        occupancy_sum: w[11],
+        occupancy_samples: w[12],
+        max_refcount: u32::try_from(w[13]).ok()?,
+        max_ep_refcount: u32::try_from(w[14]).ok()?,
+        faults_detected: w[15],
+        faults_recovered: w[16],
+        overflow_entries: w[17],
+        overflow_exits: w[18],
+        heap_direct_ops: w[19],
+    })
+}
+
+impl Reply {
+    /// Canonical wire text of the reply.
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Hello { version } => format!("(ok hello {version})"),
+            Reply::Opened { id } => format!("(ok opened {id})"),
+            Reply::Value { text } => format!("(ok value {text})"),
+            Reply::Ledger(stats) => {
+                let words = ledger_words(stats);
+                let mut out = String::from("(ok ledger");
+                for (name, v) in LEDGER_FIELDS.iter().zip(words.iter()) {
+                    out.push_str(&format!(" ({name} {v})"));
+                }
+                out.push(')');
+                out
+            }
+            Reply::Digest { digest } => format!("(ok digest d{digest:016x})"),
+            Reply::Stats(body) => {
+                let mut out = format!(
+                    "(ok stats (sessions {}) (evictions {}) (resumes {})",
+                    body.sessions, body.evictions, body.resumes
+                );
+                for (name, v) in EventCounts::WORD_NAMES.iter().zip(body.counts.iter()) {
+                    out.push_str(&format!(" ({} {v})", name.replace('_', "-")));
+                }
+                out.push(')');
+                out
+            }
+            Reply::Closed { occupancy } => format!("(ok closed {occupancy})"),
+            Reply::Draining => "(ok draining)".to_string(),
+            Reply::Frames { next, bytes } => {
+                format!("(ok frames {next} {})", hex_sym(bytes))
+            }
+            Reply::Err {
+                class,
+                code,
+                detail,
+            } => {
+                let mut out = format!("(err {class} {code}");
+                for d in detail {
+                    out.push(' ');
+                    out.push_str(d);
+                }
+                out.push(')');
+                out
+            }
+        }
+    }
+
+    /// Decode one reply frame. `None` means the text is not a
+    /// well-formed reply of this protocol version.
+    pub fn decode(text: &str) -> Option<Reply> {
+        let mut scratch = Interner::new();
+        let expr = parse(text, &mut scratch).ok()?;
+        let items: Vec<&SExpr> = expr.iter().collect();
+        let head = scratch.name(items.first()?.as_sym()?).to_string();
+        match head.as_str() {
+            "ok" => {
+                let tag = scratch.name(items.get(1)?.as_sym()?).to_string();
+                match tag.as_str() {
+                    "hello" if items.len() == 3 => Some(Reply::Hello {
+                        version: u32::try_from(items[2].as_int()?).ok()?,
+                    }),
+                    "opened" if items.len() == 3 => Some(Reply::Opened {
+                        id: u64::try_from(items[2].as_int()?).ok()?,
+                    }),
+                    "value" if items.len() == 3 => Some(Reply::Value {
+                        text: print(items[2], &scratch),
+                    }),
+                    "ledger" if items.len() == 2 + LEDGER_FIELDS.len() => {
+                        let mut words = [0u64; 20];
+                        for (k, slot) in words.iter_mut().enumerate() {
+                            let pair: Vec<&SExpr> = items[2 + k].iter().collect();
+                            if pair.len() != 2 {
+                                return None;
+                            }
+                            let name = scratch.name(pair[0].as_sym()?);
+                            if name != LEDGER_FIELDS[k] {
+                                return None;
+                            }
+                            *slot = u64::try_from(pair[1].as_int()?).ok()?;
+                        }
+                        Some(Reply::Ledger(Box::new(ledger_from_words(&words)?)))
+                    }
+                    "digest" if items.len() == 3 => {
+                        let sym = scratch.name(items[2].as_sym()?);
+                        let hex = sym.strip_prefix('d')?;
+                        if hex.len() != 16 {
+                            return None;
+                        }
+                        Some(Reply::Digest {
+                            digest: u64::from_str_radix(hex, 16).ok()?,
+                        })
+                    }
+                    "stats" if items.len() == 5 + EventCounts::WORD_NAMES.len() => {
+                        let pair = |k: usize, want: &str| -> Option<u64> {
+                            let p: Vec<&SExpr> = items[k].iter().collect();
+                            if p.len() != 2 || scratch.name(p[0].as_sym()?) != want {
+                                return None;
+                            }
+                            u64::try_from(p[1].as_int()?).ok()
+                        };
+                        let sessions = pair(2, "sessions")?;
+                        let evictions = pair(3, "evictions")?;
+                        let resumes = pair(4, "resumes")?;
+                        let mut counts = [0u64; 22];
+                        for (k, slot) in counts.iter_mut().enumerate() {
+                            let want = EventCounts::WORD_NAMES[k].replace('_', "-");
+                            *slot = pair(5 + k, &want)?;
+                        }
+                        Some(Reply::Stats(Box::new(StatsBody {
+                            sessions,
+                            evictions,
+                            resumes,
+                            counts,
+                        })))
+                    }
+                    "closed" if items.len() == 3 => Some(Reply::Closed {
+                        occupancy: u64::try_from(items[2].as_int()?).ok()?,
+                    }),
+                    "draining" if items.len() == 2 => Some(Reply::Draining),
+                    "frames" if items.len() == 4 => {
+                        let next = u64::try_from(items[2].as_int()?).ok()?;
+                        let bytes = parse_hex_sym(scratch.name(items[3].as_sym()?))?;
+                        Some(Reply::Frames { next, bytes })
+                    }
+                    _ => None,
+                }
+            }
+            "err" if items.len() >= 3 => {
+                let class = scratch.name(items[1].as_sym()?).to_string();
+                let code = scratch.name(items[2].as_sym()?).to_string();
+                let detail = items[3..]
+                    .iter()
+                    .map(|e| print(e, &scratch))
+                    .collect::<Vec<_>>();
+                Some(Reply::Err {
+                    class,
+                    code,
+                    detail,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// True for `(err …)` replies.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Reply::Err { .. })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed error-reply constructors
+// ---------------------------------------------------------------------
+
+/// Build an `(err <class> <code>)` reply.
+pub fn err(class: &str, code: &str) -> Reply {
+    Reply::Err {
+        class: class.to_string(),
+        code: code.to_string(),
+        detail: Vec::new(),
+    }
+}
+
+/// An `(err <class> <code> <detail>...)` reply with extra atoms.
+pub fn err_with(class: &str, code: &str, detail: &[&str]) -> Reply {
+    Reply::Err {
+        class: class.to_string(),
+        code: code.to_string(),
+        detail: detail.iter().map(|d| d.to_string()).collect(),
+    }
+}
+
+/// The back-pressure reply: `shard`'s bounded run queue was full.
+pub fn busy_reply(shard: usize) -> Reply {
+    err_with("busy", "queue-full", &[&shard.to_string()])
+}
+
+/// The handshake-rejection reply for a version the server does not
+/// speak.
+pub fn unsupported_version_reply(got: u32) -> Reply {
+    err_with(
+        "proto",
+        "unsupported-version",
+        &[&got.to_string(), &PROTO_VERSION.to_string()],
+    )
 }
 
 fn heap_code(e: small_heap::controller::HeapError) -> &'static str {
@@ -89,57 +712,57 @@ fn heap_code(e: small_heap::controller::HeapError) -> &'static str {
 }
 
 /// Typed reply for a parse failure of the client's payload.
-pub fn parse_error_reply(e: &ParseError) -> String {
+pub fn parse_error_reply(e: &ParseError) -> Reply {
     let code = match e {
         ParseError::UnexpectedEof => "unexpected-eof",
         ParseError::UnbalancedClose(_) => "unbalanced-close",
         ParseError::BadDot(_) => "bad-dot",
         ParseError::TrailingInput(_) => "trailing-input",
     };
-    err_reply("proto", code)
+    err("proto", code)
 }
 
 /// Typed reply for a compile failure of the client's program.
-pub fn compile_error_reply(e: &CompileError) -> String {
+pub fn compile_error_reply(e: &CompileError) -> Reply {
     let code = match e {
         CompileError::BadForm(_) => "bad-form",
         CompileError::NoSuchLabel(_) => "no-such-label",
         CompileError::BadCallHead => "bad-call-head",
         CompileError::NestedDef => "nested-def",
     };
-    err_reply("compile", code)
+    err("compile", code)
 }
 
 /// Typed reply for an LP failure (cyclic write-out, degraded-mode
 /// refusal, …) surfaced outside the VM's error chain.
-pub fn lp_error_reply(e: &LpError) -> String {
+pub fn lp_error_reply(e: &LpError) -> Reply {
     match e {
-        LpError::TrueOverflow => err_reply("lp", "true-overflow"),
-        LpError::Heap(h) => err_reply_with("lp", "heap", heap_code(*h)),
-        LpError::NotAList => err_reply("lp", "not-a-list"),
-        LpError::UnexpectedTag(_) => err_reply("lp", "unexpected-tag"),
-        LpError::Degraded(_) => err_reply("lp", "degraded"),
-        LpError::Cyclic => err_reply("lp", "cyclic"),
+        LpError::TrueOverflow => err("lp", "true-overflow"),
+        LpError::Heap(h) => err_with("lp", "heap", &[heap_code(*h)]),
+        LpError::NotAList => err("lp", "not-a-list"),
+        LpError::UnexpectedTag(_) => err("lp", "unexpected-tag"),
+        LpError::Degraded(_) => err("lp", "degraded"),
+        LpError::Cyclic => err("lp", "cyclic"),
     }
 }
 
 /// Typed reply for every VM runtime failure, including the backend
 /// chain (`VmError::Backend(BackendError::…)`).
-pub fn vm_error_reply(e: &VmError) -> String {
+pub fn vm_error_reply(e: &VmError) -> Reply {
     match e {
-        VmError::Unbound(_) => err_reply("vm", "unbound"),
-        VmError::NoSuchFunction(_) => err_reply("vm", "no-such-function"),
-        VmError::TypeError(op) => err_reply_with("vm", "type-error", op),
-        VmError::DivideByZero => err_reply("vm", "divide-by-zero"),
-        VmError::StackUnderflow => err_reply("vm", "stack-underflow"),
-        VmError::ReadEof => err_reply("vm", "read-eof"),
-        VmError::StepBudget => err_reply("vm", "step-budget"),
+        VmError::Unbound(_) => err("vm", "unbound"),
+        VmError::NoSuchFunction(_) => err("vm", "no-such-function"),
+        VmError::TypeError(op) => err_with("vm", "type-error", &[op]),
+        VmError::DivideByZero => err("vm", "divide-by-zero"),
+        VmError::StackUnderflow => err("vm", "stack-underflow"),
+        VmError::ReadEof => err("vm", "read-eof"),
+        VmError::StepBudget => err("vm", "step-budget"),
         VmError::Backend(b) => match b {
-            BackendError::TrueOverflow => err_reply("lp", "true-overflow"),
-            BackendError::Heap(h) => err_reply_with("heap", "fault", heap_code(*h)),
-            BackendError::NotAList => err_reply("lp", "not-a-list"),
-            BackendError::UnexpectedTag(_) => err_reply("lp", "unexpected-tag"),
-            BackendError::Degraded(_) => err_reply("lp", "degraded"),
+            BackendError::TrueOverflow => err("lp", "true-overflow"),
+            BackendError::Heap(h) => err_with("heap", "fault", &[heap_code(*h)]),
+            BackendError::NotAList => err("lp", "not-a-list"),
+            BackendError::UnexpectedTag(_) => err("lp", "unexpected-tag"),
+            BackendError::Degraded(_) => err("lp", "degraded"),
         },
     }
 }
@@ -147,7 +770,7 @@ pub fn vm_error_reply(e: &VmError) -> String {
 /// Typed reply for a persistence failure while suspending or resuming
 /// a session (a corrupt checkpoint blob fails closed as an error reply
 /// on the session that touched it, never a panic).
-pub fn persist_error_reply(e: &PersistError) -> String {
+pub fn persist_error_reply(e: &PersistError) -> Reply {
     let code = match e {
         PersistError::NoCheckpoint => "no-checkpoint",
         PersistError::CorruptCheckpoint(_) => "corrupt-checkpoint",
@@ -157,12 +780,13 @@ pub fn persist_error_reply(e: &PersistError) -> String {
         PersistError::MalformedImage(_) => "malformed-image",
         PersistError::Crash { .. } => "crash",
     };
-    err_reply("persist", code)
+    err("persist", code)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn frame_round_trip() {
@@ -192,11 +816,77 @@ mod tests {
         let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
         buf.extend_from_slice(b"xx");
         assert!(read_frame(&mut buf.as_slice()).is_err());
+        let mut fb = FrameBuf::new();
+        fb.extend(&buf);
+        assert!(fb.pop().is_err());
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "(open)").unwrap();
+        write_frame(&mut wire, "(stats)").unwrap();
+        // Feed the bytes one at a time; frames pop exactly at their
+        // boundaries.
+        let mut fb = FrameBuf::new();
+        let mut seen = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(f) = fb.pop().unwrap() {
+                seen.push(f);
+            }
+        }
+        assert_eq!(seen, vec!["(open)".to_string(), "(stats)".to_string()]);
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn hex_sym_round_trips() {
+        for bytes in [&b""[..], &b"\x00\xff\x10"[..], &b"hello"[..]] {
+            let sym = hex_sym(bytes);
+            assert_eq!(parse_hex_sym(&sym).as_deref(), Some(bytes));
+        }
+        assert_eq!(parse_hex_sym("habc"), None, "odd digit count");
+        assert_eq!(parse_hex_sym("xff"), None, "bad prefix");
+        assert_eq!(parse_hex_sym("hAB"), None, "uppercase is non-canonical");
+    }
+
+    #[test]
+    fn request_decode_matches_grammar() {
+        assert_eq!(Request::decode("(open)"), Ok(Request::Open));
+        assert_eq!(
+            Request::decode("(hello 1 replica)"),
+            Ok(Request::Hello {
+                version: 1,
+                role: Role::Replica
+            })
+        );
+        assert_eq!(
+            Request::decode("(eval 3 (add 1 2) (car x))"),
+            Ok(Request::Eval {
+                id: 3,
+                src: "(add 1 2) (car x)".to_string()
+            })
+        );
+        assert_eq!(Request::decode("(pull 17)"), Ok(Request::Pull { from: 17 }));
+        // Malformed requests come back as typed proto errors.
+        assert_eq!(
+            Request::decode("(nonsense)"),
+            Err(err("proto", "bad-request"))
+        );
+        assert_eq!(
+            Request::decode("(open"),
+            Err(err("proto", "unexpected-eof"))
+        );
+        assert_eq!(
+            Request::decode("(eval x 1)"),
+            Err(err("proto", "bad-request"))
+        );
     }
 
     #[test]
     fn every_error_reply_parses_as_a_symbol_only_sexpr() {
-        use small_sexpr::{parse, Interner};
+        use small_sexpr::parse;
         let replies = [
             vm_error_reply(&VmError::TypeError("car")),
             vm_error_reply(&VmError::Backend(BackendError::Heap(
@@ -206,11 +896,116 @@ mod tests {
             persist_error_reply(&PersistError::NoCheckpoint),
             compile_error_reply(&CompileError::BadCallHead),
             parse_error_reply(&ParseError::UnexpectedEof),
+            busy_reply(3),
+            unsupported_version_reply(9),
         ];
         for r in replies {
+            let text = r.encode();
             let mut i = Interner::new();
-            parse(&r, &mut i).unwrap_or_else(|e| panic!("{r}: {e}"));
-            assert!(r.starts_with("(err "), "{r}");
+            parse(&text, &mut i).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert!(text.starts_with("(err "), "{text}");
+            assert_eq!(Reply::decode(&text).as_ref(), Some(&r), "{text}");
+        }
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        let id = 0u64..1_000_000;
+        prop_oneof![
+            Just(Request::Open),
+            Just(Request::Stats),
+            Just(Request::Shutdown),
+            (
+                0u32..10,
+                prop_oneof![Just(Role::Client), Just(Role::Replica)]
+            )
+                .prop_map(|(version, role)| Request::Hello { version, role }),
+            id.clone().prop_map(|id| Request::Ledger { id }),
+            id.clone().prop_map(|id| Request::Digest { id }),
+            id.clone().prop_map(|id| Request::Close { id }),
+            (0u64..1_000_000).prop_map(|from| Request::Pull { from }),
+            (
+                id,
+                prop_oneof![
+                    Just("(add 1 2)".to_string()),
+                    Just("(setq acc (cons 1 acc))".to_string()),
+                    Just("nil".to_string()),
+                    Just("(prog (x) (setq x (cons 1 nil)) (return x)) (car acc)".to_string()),
+                ]
+            )
+                .prop_map(|(id, src)| Request::Eval { id, src }),
+        ]
+    }
+
+    fn arb_reply() -> impl Strategy<Value = Reply> {
+        prop_oneof![
+            Just(Reply::Draining),
+            (0u32..10).prop_map(|version| Reply::Hello { version }),
+            (0u64..1_000_000).prop_map(|id| Reply::Opened { id }),
+            (0u64..100).prop_map(|occupancy| Reply::Closed { occupancy }),
+            any::<u64>().prop_map(|digest| Reply::Digest { digest }),
+            prop_oneof![
+                Just("42".to_string()),
+                Just("(1 2 3)".to_string()),
+                Just("nil".to_string()),
+                Just("(a (b . 7) c)".to_string()),
+            ]
+            .prop_map(|text| Reply::Value { text }),
+            prop::collection::vec(0u64..1_000_000, 20).prop_map(|v| {
+                let mut w = [0u64; 20];
+                w.copy_from_slice(&v);
+                Reply::Ledger(Box::new(ledger_from_words(&w).unwrap()))
+            }),
+            (
+                0u64..100,
+                0u64..100,
+                0u64..100,
+                prop::collection::vec(0u64..1_000_000, 22)
+            )
+                .prop_map(|(sessions, evictions, resumes, v)| {
+                    let mut counts = [0u64; 22];
+                    counts.copy_from_slice(&v);
+                    Reply::Stats(Box::new(StatsBody {
+                        sessions,
+                        evictions,
+                        resumes,
+                        counts,
+                    }))
+                }),
+            (0u64..1_000_000, prop::collection::vec(any::<u8>(), 0..48))
+                .prop_map(|(next, bytes)| Reply::Frames { next, bytes }),
+            (
+                prop_oneof![Just("vm"), Just("lp"), Just("busy"), Just("proto")],
+                prop_oneof![Just("type-error"), Just("queue-full"), Just("cyclic")],
+                prop::collection::vec(
+                    prop_oneof![Just("car".to_string()), Just("7".to_string())],
+                    0..3
+                )
+            )
+                .prop_map(|(class, code, detail)| Reply::Err {
+                    class: class.to_string(),
+                    code: code.to_string(),
+                    detail,
+                }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn request_encode_decode_round_trips(req in arb_request()) {
+            let text = req.encode();
+            prop_assert_eq!(Request::decode(&text), Ok(req));
+        }
+
+        #[test]
+        fn reply_encode_decode_round_trips(reply in arb_reply()) {
+            let text = reply.encode();
+            let back = Reply::decode(&text);
+            prop_assert_eq!(back.as_ref(), Some(&reply), "{}", text);
+            // Re-encoding the decoded value is byte-identical: the
+            // encoding is canonical.
+            prop_assert_eq!(back.unwrap().encode(), text);
         }
     }
 }

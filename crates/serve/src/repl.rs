@@ -1,0 +1,456 @@
+//! WAL-shipping replication: primary → warm standby.
+//!
+//! The primary appends one record per *mutating* request (`open`,
+//! `eval`, `close`) to an in-memory write-ahead log. Each record is
+//! encoded as a `[u32 len][u32 crc32][payload]` frame — the same frame
+//! discipline `small-persist` uses for journal batches — and carries
+//! the request itself plus the FNV-1a digest of the encoded reply the
+//! primary produced. Appending happens **before** the reply is posted
+//! to the client, so an acknowledged request is always shipped: the
+//! standby can never be missing state a client has seen confirmed.
+//!
+//! A standby connects with a `(hello <version> replica)` handshake and
+//! pulls frames with `(pull <lsn>)`, receiving `(ok frames <next>
+//! <h-hex>)` batches. It replays each record through its own
+//! [`SessionStore`] — re-executing the request, not patching state —
+//! and verifies that the digest of its own reply matches the digest
+//! the primary recorded. Any mismatch is a typed
+//! [`ReplError::Divergence`] and replication **fails closed**: a
+//! standby that cannot prove byte-identical behaviour must not be
+//! promoted. Read-only requests (`ledger`, `digest`, `stats`) are not
+//! logged; they cannot change state, and the post-failover harness
+//! queries them directly against the promoted store.
+//!
+//! LRU suspend/resume is deliberately invisible here: eviction is
+//! stats-neutral, so primary and standby may evict entirely different
+//! sessions at different times and still agree byte-for-byte on every
+//! reply, ledger, and digest. The failover campaign runs the standby
+//! with a *different* residency cap than the primary to keep that
+//! honest.
+
+use crate::manager::SessionStore;
+use crate::protocol::Reply;
+use crate::session::ServeConfig;
+use small_persist::{crc32, digest_bytes, ByteReader, ByteWriter, DIGEST_SEED};
+use std::fmt;
+
+/// The digest a WAL record stores for a reply: FNV-1a over the
+/// canonical encoded reply text.
+pub fn reply_digest(reply: &Reply) -> u64 {
+    digest_bytes(DIGEST_SEED, reply.encode().as_bytes())
+}
+
+/// A mutating operation, as shipped to the standby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// `(open)` that allocated the record's session id.
+    Open,
+    /// `(eval <id> …)` with the canonical program text.
+    Eval(String),
+    /// `(close <id>)`.
+    Close,
+}
+
+/// One replicated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number (dense, from 0).
+    pub lsn: u64,
+    /// The session the operation targets (for `Open`: the id assigned).
+    pub session: u64,
+    /// The operation.
+    pub op: WalOp,
+    /// FNV-1a digest of the primary's encoded reply.
+    pub reply_digest: u64,
+}
+
+fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(rec.lsn);
+    w.put_u64(rec.session);
+    match &rec.op {
+        WalOp::Open => w.put_u8(0),
+        WalOp::Eval(src) => {
+            w.put_u8(1);
+            w.put_str(src);
+        }
+        WalOp::Close => w.put_u8(2),
+    }
+    w.put_u64(rec.reply_digest);
+    let payload = w.finish();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Replication failures. Transport is TCP (reliable), so unlike the
+/// on-disk journal there is no torn-tail tolerance: any damage or gap
+/// in a pulled batch fails closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplError {
+    /// A frame failed structural or CRC validation.
+    BadFrame {
+        /// Byte offset of the bad frame within the batch.
+        offset: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Records arrived out of sequence.
+    Gap {
+        /// The LSN the standby expected next.
+        expected: u64,
+        /// The LSN that actually arrived.
+        got: u64,
+    },
+    /// The standby's replay produced a different reply than the
+    /// primary recorded — the standby must not be promoted.
+    Divergence {
+        /// LSN of the diverging record.
+        lsn: u64,
+        /// Digest the primary recorded.
+        expected: u64,
+        /// Digest of the standby's own reply.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for ReplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplError::BadFrame { offset, reason } => {
+                write!(f, "bad WAL frame at byte {offset}: {reason}")
+            }
+            ReplError::Gap { expected, got } => {
+                write!(f, "WAL gap: expected lsn {expected}, got {got}")
+            }
+            ReplError::Divergence {
+                lsn,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replay divergence at lsn {lsn}: primary d{expected:016x}, standby d{actual:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+/// Decode a batch of concatenated WAL frames. Strict: a torn tail,
+/// bad CRC, or malformed payload is an error, never a truncation.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<WalRecord>, ReplError> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let bad = |reason| ReplError::BadFrame { offset: at, reason };
+        if bytes.len() - at < 8 {
+            return Err(bad("torn header"));
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if bytes.len() - at - 8 < len {
+            return Err(bad("torn payload"));
+        }
+        let payload = &bytes[at + 8..at + 8 + len];
+        if crc32(payload) != crc {
+            return Err(bad("crc mismatch"));
+        }
+        let mut r = ByteReader::new(payload);
+        let field = |r: &mut ByteReader| r.u64().map_err(|_| bad("short payload"));
+        let lsn = field(&mut r)?;
+        let session = field(&mut r)?;
+        let op = match r.u8().map_err(|_| bad("short payload"))? {
+            0 => WalOp::Open,
+            1 => WalOp::Eval(r.str().map_err(|_| bad("short payload"))?.to_string()),
+            2 => WalOp::Close,
+            _ => return Err(bad("bad op tag")),
+        };
+        let reply_digest = field(&mut r)?;
+        r.expect_end().map_err(|_| bad("trailing bytes"))?;
+        out.push(WalRecord {
+            lsn,
+            session,
+            op,
+            reply_digest,
+        });
+        at += 8 + len;
+    }
+    Ok(out)
+}
+
+/// The primary's in-memory write-ahead log: encoded frames indexed by
+/// LSN. Shards append under a brief mutex held only for the push (the
+/// server wraps this in `Arc<Mutex<Wal>>`).
+#[derive(Default)]
+pub struct Wal {
+    frames: Vec<Vec<u8>>,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Wal {
+        Wal::default()
+    }
+
+    /// Append one record; assigns and returns its LSN.
+    pub fn append(&mut self, session: u64, op: WalOp, reply_digest: u64) -> u64 {
+        let lsn = self.frames.len() as u64;
+        self.frames.push(encode_record(&WalRecord {
+            lsn,
+            session,
+            op,
+            reply_digest,
+        }));
+        lsn
+    }
+
+    /// The LSN the next append will get (== records logged so far).
+    pub fn next_lsn(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Concatenated frames starting at `from`, bounded by `max_bytes`
+    /// (at least one frame if any remain, so pulls always progress).
+    /// Returns the batch and the LSN to pull from next.
+    pub fn frames_from(&self, from: u64, max_bytes: usize) -> (Vec<u8>, u64) {
+        let mut out = Vec::new();
+        let mut next = from;
+        while (next as usize) < self.frames.len() {
+            let frame = &self.frames[next as usize];
+            if !out.is_empty() && out.len() + frame.len() > max_bytes {
+                break;
+            }
+            out.extend_from_slice(frame);
+            next += 1;
+        }
+        (out, next)
+    }
+}
+
+/// A warm standby: replays pulled WAL batches through its own store
+/// under digest verification, ready to be promoted.
+pub struct Standby {
+    store: SessionStore,
+    next_lsn: u64,
+}
+
+impl Standby {
+    /// A cold standby (no state, expecting LSN 0).
+    pub fn new(cfg: ServeConfig) -> Standby {
+        Standby {
+            store: SessionStore::new(cfg),
+            next_lsn: 0,
+        }
+    }
+
+    /// The LSN this standby wants next — the argument for its next
+    /// `(pull …)`.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Replay one pulled batch. Returns the number of records applied.
+    /// Fails closed on damage, gaps, or divergence; a failed standby
+    /// must be discarded, not promoted.
+    pub fn apply(&mut self, bytes: &[u8]) -> Result<usize, ReplError> {
+        let records = decode_frames(bytes)?;
+        for rec in &records {
+            if rec.lsn != self.next_lsn {
+                return Err(ReplError::Gap {
+                    expected: self.next_lsn,
+                    got: rec.lsn,
+                });
+            }
+            let reply = match &rec.op {
+                WalOp::Open => self.store.open_with_id(rec.session),
+                WalOp::Eval(src) => self.store.eval(rec.session, src),
+                WalOp::Close => self.store.close(rec.session),
+            };
+            let actual = reply_digest(&reply);
+            if actual != rec.reply_digest {
+                return Err(ReplError::Divergence {
+                    lsn: rec.lsn,
+                    expected: rec.reply_digest,
+                    actual,
+                });
+            }
+            self.next_lsn += 1;
+        }
+        Ok(records.len())
+    }
+
+    /// Read-only view of the standby's store (harness assertions).
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// Promote: the standby's store becomes the serving store. After
+    /// promotion the caller serves requests against it directly.
+    pub fn promote(self) -> SessionStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn cfg(max_resident: usize) -> ServeConfig {
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            max_resident,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Drive a primary store + WAL by hand, exactly as a shard does.
+    fn primary_step(store: &mut SessionStore, wal: &mut Wal, req: &Request) -> Reply {
+        let reply = store.apply(req);
+        match req {
+            Request::Open => {
+                if let Reply::Opened { id } = reply {
+                    wal.append(id, WalOp::Open, reply_digest(&reply));
+                }
+            }
+            Request::Eval { id, src } => {
+                wal.append(*id, WalOp::Eval(src.clone()), reply_digest(&reply));
+            }
+            Request::Close { id } => {
+                wal.append(*id, WalOp::Close, reply_digest(&reply));
+            }
+            _ => {}
+        }
+        reply
+    }
+
+    #[test]
+    fn standby_replays_to_identical_state() {
+        let mut primary = SessionStore::new(cfg(2));
+        let mut wal = Wal::new();
+        // Standby runs a *different* residency cap: eviction schedule
+        // differs, results must not.
+        let mut standby = Standby::new(cfg(1));
+
+        let mut reqs = vec![Request::Open, Request::Open, Request::Open];
+        for id in 0..3u64 {
+            reqs.push(Request::Eval {
+                id,
+                src: "(setq acc nil)".to_string(),
+            });
+            for j in 0..4 {
+                reqs.push(Request::Eval {
+                    id,
+                    src: format!("(setq acc (cons {} acc))", id as usize + j),
+                });
+            }
+        }
+        reqs.push(Request::Close { id: 1 });
+        for req in &reqs {
+            let reply = primary_step(&mut primary, &mut wal, req);
+            assert!(!reply.is_err(), "{req:?} → {}", reply.encode());
+        }
+
+        // Pull in small batches until caught up.
+        while standby.next_lsn() < wal.next_lsn() {
+            let (batch, next) = wal.frames_from(standby.next_lsn(), 96);
+            assert!(next > standby.next_lsn(), "pull must progress");
+            standby.apply(&batch).expect("replay");
+        }
+
+        // Promoted state is byte-identical: ledgers and digests of all
+        // surviving sessions match, as do aggregate counts.
+        let mut promoted = standby.promote();
+        assert_eq!(promoted.session_ids(), primary.session_ids());
+        for id in primary.session_ids() {
+            assert_eq!(promoted.ledger(id), primary.ledger(id), "ledger {id}");
+            assert_eq!(promoted.digest(id), primary.digest(id), "digest {id}");
+        }
+        assert_eq!(promoted.aggregate_counts(), primary.aggregate_counts());
+        // And the promoted store keeps serving with id continuity.
+        assert_eq!(promoted.apply(&Request::Open), Reply::Opened { id: 3 });
+    }
+
+    #[test]
+    fn corrupt_batch_fails_closed() {
+        let mut wal = Wal::new();
+        wal.append(0, WalOp::Open, 7);
+        wal.append(0, WalOp::Eval("(add 1 2)".to_string()), 9);
+        let (mut batch, _) = wal.frames_from(0, usize::MAX);
+        // Flip a payload byte: CRC must catch it.
+        let last = batch.len() - 1;
+        batch[last] ^= 0xff;
+        let mut standby = Standby::new(cfg(2));
+        assert!(matches!(
+            standby.apply(&batch),
+            Err(ReplError::BadFrame { .. })
+        ));
+        // A torn tail is also fatal — TCP delivered it, so it is damage.
+        let (whole, _) = wal.frames_from(0, usize::MAX);
+        assert!(matches!(
+            standby.apply(&whole[..whole.len() - 3]),
+            Err(ReplError::BadFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn gap_and_divergence_fail_closed() {
+        let mut primary = SessionStore::new(cfg(2));
+        let mut wal = Wal::new();
+        primary_step(&mut primary, &mut wal, &Request::Open);
+        primary_step(
+            &mut primary,
+            &mut wal,
+            &Request::Eval {
+                id: 0,
+                src: "(add 1 1)".to_string(),
+            },
+        );
+        // Skip the first record: gap.
+        let mut standby = Standby::new(cfg(2));
+        let (tail, _) = wal.frames_from(1, usize::MAX);
+        assert_eq!(
+            standby.apply(&tail),
+            Err(ReplError::Gap {
+                expected: 0,
+                got: 1
+            })
+        );
+        // Lie about a reply digest: divergence at that lsn.
+        let mut lying = Wal::new();
+        lying.append(0, WalOp::Open, 0xdead_beef);
+        let (batch, _) = lying.frames_from(0, usize::MAX);
+        let mut standby = Standby::new(cfg(2));
+        assert!(matches!(
+            standby.apply(&batch),
+            Err(ReplError::Divergence { lsn: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_batches_bound_bytes() {
+        let mut wal = Wal::new();
+        for k in 0..10u64 {
+            wal.append(k, WalOp::Eval(format!("(add {k} {k})")), k * 3);
+        }
+        let (all, next) = wal.frames_from(0, usize::MAX);
+        assert_eq!(next, 10);
+        let records = decode_frames(&all).expect("decode");
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[4].op, WalOp::Eval("(add 4 4)".to_string()));
+        // Bounded pulls always progress and cover the log exactly.
+        let mut at = 0;
+        let mut seen = 0;
+        while at < wal.next_lsn() {
+            let (batch, next) = wal.frames_from(at, 64);
+            assert!(next > at);
+            seen += decode_frames(&batch).expect("decode").len();
+            at = next;
+        }
+        assert_eq!(seen, 10);
+    }
+}

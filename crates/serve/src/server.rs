@@ -1,314 +1,361 @@
-//! The TCP front end: accept loop, request dispatch, graceful drain.
+//! The sharded server front end: listener, acceptor, lifecycle.
 //!
-//! One connection is one pool job running a read-frame → dispatch →
-//! write-frame loop until the client disconnects. Dispatch parses each
-//! frame with a connection-scratch interner, routes it to the
-//! [`SessionManager`], and prints session-bound payloads back to
-//! canonical text before the session recompiles them against its own
-//! persistent interner — so symbol identity is per-session, never
-//! per-connection.
+//! [`start`] binds a listener and spawns one acceptor thread plus
+//! [`ServerParams::shards`] shard event loops ([`crate::shard`]). The
+//! acceptor does nothing but `accept` and deal connections round-robin
+//! into per-shard inboxes — admission control (per-shard connection
+//! caps, bounded run queues) lives in the shards, where it can always
+//! answer with a typed reply instead of silently refusing.
 //!
-//! Shutdown (`(shutdown)` request or [`ServerHandle::shutdown`]) is a
-//! drain: the acceptor stops taking connections (a self-connection
-//! unblocks `accept`), in-flight connections run to completion, and
-//! the pool joins.
+//! Shutdown — client-initiated via `(shutdown)` or caller-initiated
+//! via [`ServerHandle::shutdown`] — runs the two-barrier drain
+//! documented in [`crate::shard`] and yields a [`DrainOutcome`]: the
+//! per-shard session stores, with every suspend-to-checkpoint known
+//! complete. Callers that care (the soak and failover harnesses do)
+//! call [`DrainOutcome::verify_suspended`] to prove no blob was torn
+//! at exit.
 
-use crate::manager::SessionManager;
-use crate::pool::ThreadPool;
-use crate::protocol::{err_reply, parse_error_reply, read_frame, write_frame};
+use crate::manager::SessionStore;
+use crate::protocol::StatsBody;
+use crate::repl::Wal;
 use crate::session::ServeConfig;
-use small_sexpr::{print, Interner, SExpr};
-use std::io::{self, BufReader, BufWriter};
+use crate::shard::{shard_loop, RunQueue, SharedState};
+use small_metrics::EventCounts;
+use small_persist::PersistError;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// A running server: address + drain control.
+/// Concurrency and admission knobs for one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerParams {
+    /// Shard event loops; session `id % shards` pins each session.
+    pub shards: usize,
+    /// Bounded run-queue capacity per shard; overflow is shed with
+    /// `(err busy queue-full <shard>)`.
+    pub queue_cap: usize,
+    /// Connections a single shard will own at once; overflow is shed
+    /// with `(err busy too-many-connections <shard>)` before close —
+    /// admission is bounded but never silent.
+    pub max_conns_per_shard: usize,
+    /// Run as a replication primary: append every mutating request to
+    /// the WAL and serve `(pull …)` to replica-role connections.
+    pub replicate: bool,
+}
+
+impl Default for ServerParams {
+    fn default() -> ServerParams {
+        ServerParams {
+            shards: 4,
+            queue_cap: 64,
+            max_conns_per_shard: 64,
+            replicate: false,
+        }
+    }
+}
+
+/// A running server: address plus the threads to join at shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
-    manager: Arc<SessionManager>,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    shared: Arc<SharedState>,
+    acceptor: JoinHandle<()>,
+    shards: Vec<JoinHandle<SessionStore>>,
 }
 
-impl ServerHandle {
-    /// The bound address (use port 0 to let the OS pick).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
+/// What a drained server leaves behind.
+pub struct DrainOutcome {
+    /// Each shard's session store, in shard order. Every suspended
+    /// session's checkpoint blob in here is fully written — barrier 2
+    /// of the drain protocol guarantees it.
+    pub stores: Vec<SessionStore>,
+}
 
-    /// The shared session manager (for harness-side assertions).
-    pub fn manager(&self) -> &Arc<SessionManager> {
-        &self.manager
-    }
-
-    /// Block until a client-initiated `(shutdown)` request drains the
-    /// server (the `serve` bin's main loop).
-    pub fn shutdown_when_drained(mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+impl DrainOutcome {
+    /// Aggregate event counts across every shard (resident, suspended,
+    /// and retired sessions included).
+    pub fn aggregate_counts(&self) -> EventCounts {
+        let mut total = EventCounts::default();
+        for store in &self.stores {
+            total.merge(&store.aggregate_counts());
         }
+        total
     }
 
-    /// Graceful drain: stop accepting, finish in-flight connections,
-    /// join the acceptor and the worker pool.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Unblock accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+    /// Summed lifetime (evictions, resumes) across shards.
+    pub fn eviction_counters(&self) -> (u64, u64) {
+        self.stores
+            .iter()
+            .map(|s| s.eviction_counters())
+            .fold((0, 0), |(e, r), (se, sr)| (e + se, r + sr))
+    }
+
+    /// Ids of every live session across shards, ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.stores.iter().flat_map(|s| s.session_ids()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Decode every suspended blob across every shard; the count of
+    /// verified blobs on success, the first damage found otherwise.
+    /// This is the teeth behind "drain waits for suspends": a torn
+    /// blob here means the drain protocol failed.
+    pub fn verify_suspended(&self) -> Result<usize, PersistError> {
+        let mut total = 0;
+        for store in &self.stores {
+            total += store.verify_suspended()?;
         }
+        Ok(total)
     }
 }
 
-/// Bind `addr` and serve with `workers` pool threads.
-pub fn start(addr: &str, cfg: ServeConfig, workers: usize) -> io::Result<ServerHandle> {
+/// Bind `addr` and start the acceptor and shard threads.
+pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Result<ServerHandle> {
+    assert!(params.shards > 0, "at least one shard");
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let manager = Arc::new(SessionManager::new(cfg));
-    let stop = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(SharedState {
+        queues: (0..params.shards)
+            .map(|_| Arc::new(RunQueue::new(params.queue_cap)))
+            .collect(),
+        inboxes: (0..params.shards).map(|_| Mutex::new(Vec::new())).collect(),
+        stats: (0..params.shards)
+            .map(|_| {
+                Mutex::new(StatsBody {
+                    sessions: 0,
+                    evictions: 0,
+                    resumes: 0,
+                    counts: [0u64; 22],
+                })
+            })
+            .collect(),
+        stop: AtomicBool::new(false),
+        decode_done: AtomicUsize::new(0),
+        queues_done: AtomicUsize::new(0),
+        next_id: AtomicU64::new(0),
+        wal: params.replicate.then(|| Mutex::new(Wal::new())),
+        addr: local,
+    });
+
+    let shards: Vec<JoinHandle<SessionStore>> = (0..params.shards)
+        .map(|me| {
+            let shared = Arc::clone(&shared);
+            let store = SessionStore::new(cfg);
+            let max_conns = params.max_conns_per_shard;
+            std::thread::Builder::new()
+                .name(format!("shard-{me}"))
+                .spawn(move || shard_loop(me, store, shared, max_conns))
+                .expect("spawn shard")
+        })
+        .collect();
 
     let acceptor = {
-        let manager = Arc::clone(&manager);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let pool = ThreadPool::new(workers);
-            for conn in listener.incoming() {
-                if stop.load(Ordering::Acquire) {
-                    break;
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("acceptor".to_string())
+            .spawn(move || {
+                let mut rr = 0usize;
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break; // the wakeup (or any late) connection is dropped
+                    }
+                    let Ok(stream) = stream else { continue };
+                    shared.inboxes[rr]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(stream);
+                    rr = (rr + 1) % shared.nshards();
                 }
-                let Ok(stream) = conn else { continue };
-                let manager = Arc::clone(&manager);
-                let stop = Arc::clone(&stop);
-                let local = local;
-                pool.execute(move || {
-                    let _ = serve_connection(stream, &manager, &stop, local);
-                });
-            }
-            // Drain: finish every accepted connection before returning.
-            pool.join();
-        })
+            })
+            .expect("spawn acceptor")
     };
 
     Ok(ServerHandle {
         addr: local,
-        manager,
-        stop,
-        acceptor: Some(acceptor),
+        shared,
+        acceptor,
+        shards,
     })
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    manager: &SessionManager,
-    stop: &Arc<AtomicBool>,
-    local: SocketAddr,
-) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    while let Some(text) = read_frame(&mut reader)? {
-        let (reply, shutdown) = dispatch(&text, manager);
-        write_frame(&mut writer, &reply)?;
-        if shutdown {
-            stop.store(true, Ordering::Release);
-            // Unblock the acceptor so the drain can begin.
-            let _ = TcpStream::connect(local);
-            break;
-        }
+impl ServerHandle {
+    /// The bound address (use `"127.0.0.1:0"` to let the OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
-    Ok(())
-}
 
-/// Route one request frame to a reply. The bool asks the server to
-/// begin draining.
-pub fn dispatch(text: &str, manager: &SessionManager) -> (String, bool) {
-    let mut scratch = Interner::new();
-    let expr = match small_sexpr::parse(text, &mut scratch) {
-        Ok(e) => e,
-        Err(e) => return (parse_error_reply(&e), false),
-    };
-    let bad = || (err_reply("proto", "bad-request"), false);
-    let items: Vec<&SExpr> = expr.iter().collect();
-    let Some(head) = items.first().and_then(|h| h.as_sym()) else {
-        return bad();
-    };
-    let session_arg = |k: usize| -> Option<u64> {
-        items
-            .get(k)
-            .and_then(|e| e.as_int())
-            .and_then(|i| u64::try_from(i).ok())
-    };
-    match scratch.name(head) {
-        "open" if items.len() == 1 => {
-            let id = manager.open();
-            (format!("(ok {id})"), false)
-        }
-        "eval" if items.len() >= 3 => {
-            let Some(id) = session_arg(1) else {
-                return bad();
-            };
-            // Re-print the payload forms so the session compiles
-            // canonical text with its own interner.
-            let src = items[2..]
-                .iter()
-                .map(|f| print(f, &scratch))
-                .collect::<Vec<_>>()
-                .join(" ");
-            (manager.eval(id, &src), false)
-        }
-        "ledger" if items.len() == 2 => match session_arg(1) {
-            Some(id) => (manager.ledger(id), false),
-            None => bad(),
-        },
-        "digest" if items.len() == 2 => match session_arg(1) {
-            Some(id) => (manager.digest(id), false),
-            None => bad(),
-        },
-        "stats" if items.len() == 1 => (manager.stats_reply(), false),
-        "close" if items.len() == 2 => match session_arg(1) {
-            Some(id) => (manager.close(id), false),
-            None => bad(),
-        },
-        "shutdown" if items.len() == 1 => ("(ok draining)".to_string(), true),
-        _ => bad(),
+    /// Whether drain has begun (a client may have sent `(shutdown)`).
+    pub fn draining(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Records logged so far, when running as a primary (`None`
+    /// otherwise). Lets a harness confirm a standby is caught up.
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.shared
+            .wal
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).next_lsn())
+    }
+
+    /// Begin (idempotently) and complete the drain: joins the acceptor
+    /// and every shard, returning their stores. Blocks until barrier 2
+    /// has passed on all shards — i.e. until every queued request has
+    /// replied and every LRU suspend has fully written its blob.
+    pub fn shutdown(self) -> DrainOutcome {
+        self.shared.begin_stop();
+        self.join()
+    }
+
+    /// Wait for a drain someone else starts (a client's `(shutdown)`
+    /// request) and collect the stores. The `serve` binary's main
+    /// loop is exactly this call.
+    pub fn join(self) -> DrainOutcome {
+        let _ = self.acceptor.join();
+        let stores = self
+            .shards
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect();
+        DrainOutcome { stores }
     }
 }
 
-/// A minimal blocking client for tests and the load generator.
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-impl Client {
-    /// Connect to a server.
-    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
-    }
-
-    /// Send one request frame and read the reply frame.
-    pub fn request(&mut self, text: &str) -> io::Result<String> {
-        write_frame(&mut self.writer, text)?;
-        read_frame(&mut self.reader)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
-    }
-
-    /// `(open)` and parse the id.
-    pub fn open(&mut self) -> io::Result<u64> {
-        let reply = self.request("(open)")?;
-        reply
-            .strip_prefix("(ok ")
-            .and_then(|r| r.strip_suffix(')'))
-            .and_then(|r| r.parse().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, reply))
-    }
+/// Connect a raw socket (no client machinery) to an address — for
+/// tests that need to speak below the typed client.
+pub fn raw_connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let s = TcpStream::connect(addr)?;
+    s.set_nodelay(true)?;
+    Ok(s)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::Client;
+    use crate::protocol::{Reply, Request, Role, PROTO_VERSION};
 
-    fn tiny_cfg() -> ServeConfig {
+    fn small_cfg() -> ServeConfig {
         ServeConfig {
             heap_cells: 1 << 12,
             table_size: 256,
-            step_budget: 100_000,
             max_resident: 2,
+            ..ServeConfig::default()
         }
     }
 
     #[test]
-    fn end_to_end_sessions_over_tcp() {
-        let handle = start("127.0.0.1:0", tiny_cfg(), 4).unwrap();
-        let addr = handle.addr();
-
-        // Two concurrent clients, each with its own session: globals
-        // are per-session, errors are typed replies, and the machines
-        // stay usable afterwards.
-        let threads: Vec<_> = (0..2)
-            .map(|k| {
-                std::thread::spawn(move || {
-                    let mut c = Client::connect(addr).unwrap();
-                    let id = c.open().unwrap();
-                    let v = 10 + k;
-                    assert_eq!(
-                        c.request(&format!("(eval {id} (setq g {v}))")).unwrap(),
-                        format!("(ok {v})")
-                    );
-                    assert_eq!(
-                        c.request(&format!("(eval {id} (car 5))")).unwrap(),
-                        "(err vm type-error car)"
-                    );
-                    assert_eq!(
-                        c.request(&format!("(eval {id} (add g g))")).unwrap(),
-                        format!("(ok {})", 2 * v)
-                    );
-                    assert!(c
-                        .request(&format!("(ledger {id})"))
-                        .unwrap()
-                        .starts_with("(ok (refops "));
-                    assert_eq!(
-                        c.request(&format!("(close {id})")).unwrap(),
-                        "(ok closed 0)"
-                    );
+    fn serves_typed_requests_across_shards() {
+        let handle = start("127.0.0.1:0", small_cfg(), ServerParams::default()).unwrap();
+        let mut c = Client::connect(handle.addr(), Role::Client).unwrap();
+        // Enough sessions to land on every shard.
+        let ids: Vec<u64> = (0..6).map(|_| c.open().unwrap()).collect();
+        assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+        for &id in &ids {
+            assert_eq!(
+                c.request(&Request::Eval {
+                    id,
+                    src: format!("(setq acc (cons {id} nil))"),
                 })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
+                .unwrap()
+                .encode(),
+                format!("(ok value ({id}))")
+            );
         }
+        // Sessions are isolated even though they share shards.
+        for &id in &ids {
+            assert_eq!(
+                c.request(&Request::Eval {
+                    id,
+                    src: "(car acc)".to_string(),
+                })
+                .unwrap()
+                .encode(),
+                format!("(ok value {id})")
+            );
+        }
+        match c.request(&Request::Stats).unwrap() {
+            Reply::Stats(body) => assert_eq!(body.sessions, 6),
+            other => panic!("want stats, got {}", other.encode()),
+        }
+        for &id in &ids {
+            assert_eq!(
+                c.request(&Request::Close { id }).unwrap(),
+                Reply::Closed { occupancy: 0 }
+            );
+        }
+        assert_eq!(c.request(&Request::Shutdown).unwrap(), Reply::Draining);
+        let outcome = handle.shutdown();
+        assert_eq!(outcome.session_ids(), Vec::<u64>::new());
+    }
 
-        let mut c = Client::connect(addr).unwrap();
+    #[test]
+    fn handshake_rejects_version_mismatch() {
+        let handle = start("127.0.0.1:0", small_cfg(), ServerParams::default()).unwrap();
+        let err = Client::connect_with_version(handle.addr(), Role::Client, PROTO_VERSION + 1)
+            .expect_err("mismatched hello must be rejected");
+        assert!(err.to_string().contains("unsupported-version"), "{err}");
+        // A correct handshake still works.
+        let mut c = Client::connect(handle.addr(), Role::Client).unwrap();
+        assert!(!c.request(&Request::Stats).unwrap().is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_session_and_bad_frames_get_typed_errors() {
+        let handle = start("127.0.0.1:0", small_cfg(), ServerParams::default()).unwrap();
+        let mut c = Client::connect(handle.addr(), Role::Client).unwrap();
         assert_eq!(
-            c.request("(eval 99 1)").unwrap(),
+            c.request(&Request::Eval {
+                id: 404,
+                src: "(add 1 2)".to_string(),
+            })
+            .unwrap()
+            .encode(),
             "(err session no-such-session)"
         );
-        assert_eq!(c.request("(nonsense)").unwrap(), "(err proto bad-request)");
-        assert_eq!(c.request("(open").unwrap(), "(err proto unexpected-eof)");
-        assert!(c.request("(stats)").unwrap().starts_with("(ok (sessions "));
-        assert_eq!(c.request("(shutdown)").unwrap(), "(ok draining)");
-        // Drain waits for in-flight connections; release ours first.
-        drop(c);
+        assert_eq!(
+            c.request_text("(nonsense request)").unwrap(),
+            "(err proto bad-request)"
+        );
+        assert_eq!(
+            c.request_text("(open").unwrap(),
+            "(err proto unexpected-eof)"
+        );
+        assert_eq!(
+            c.request_text("(pull 0)").unwrap(),
+            "(err repl disabled)",
+            "pull against a non-replicating server"
+        );
         handle.shutdown();
     }
 
     #[test]
-    fn lru_eviction_and_resume_over_tcp() {
-        let handle = start("127.0.0.1:0", tiny_cfg(), 2).unwrap();
-        let mut c = Client::connect(handle.addr()).unwrap();
-        // max_resident = 2 and four sessions on one connection: earlier
-        // sessions are evicted to bytes and resumed on touch, with
-        // their globals intact.
-        let ids: Vec<u64> = (0..4).map(|_| c.open().unwrap()).collect();
-        for (k, id) in ids.iter().enumerate() {
-            assert_eq!(
-                c.request(&format!("(eval {id} (setq mine {k}))")).unwrap(),
-                format!("(ok {k})")
-            );
+    fn drain_leaves_only_verified_suspended_blobs() {
+        // Cap 1 per shard and eight sessions: the final requests force
+        // suspend-to-checkpoint churn right up to the drain. Barrier 2
+        // must wait for those suspends, so every blob verifies.
+        let cfg = ServeConfig {
+            max_resident: 1,
+            ..small_cfg()
+        };
+        let handle = start("127.0.0.1:0", cfg, ServerParams::default()).unwrap();
+        let mut c = Client::connect(handle.addr(), Role::Client).unwrap();
+        let ids: Vec<u64> = (0..8).map(|_| c.open().unwrap()).collect();
+        for &id in &ids {
+            c.request(&Request::Eval {
+                id,
+                src: "(setq acc (cons 1 (cons 2 nil)))".to_string(),
+            })
+            .unwrap();
         }
-        for (k, id) in ids.iter().enumerate() {
-            assert_eq!(
-                c.request(&format!("(eval {id} mine)")).unwrap(),
-                format!("(ok {k})")
-            );
-        }
-        let (evictions, resumes) = handle.manager().eviction_counters();
-        assert!(evictions >= 2, "expected eviction churn, got {evictions}");
-        assert!(resumes >= 2, "expected resume churn, got {resumes}");
-        for id in &ids {
-            assert_eq!(
-                c.request(&format!("(close {id})")).unwrap(),
-                "(ok closed 0)"
-            );
-        }
-        // Drain waits for in-flight connections; release ours first.
         drop(c);
-        handle.shutdown();
+        let outcome = handle.shutdown();
+        assert_eq!(outcome.session_ids(), ids);
+        let verified = outcome.verify_suspended().expect("no torn blob at exit");
+        let (evictions, _) = outcome.eviction_counters();
+        assert!(evictions > 0, "cap 1 must have evicted");
+        assert!(verified > 0, "some sessions must be suspended at exit");
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::protocol::{
     compile_error_reply, lp_error_reply, parse_error_reply, persist_error_reply, vm_error_reply,
+    Reply,
 };
 use small_core::machine::SmallBackend;
 use small_core::{Id, ListProcessor, LpConfig, LptStats};
@@ -107,7 +108,7 @@ impl Session {
         }
     }
 
-    /// Compile and run one request program; returns the reply text.
+    /// Compile and run one request program; returns the typed reply.
     ///
     /// Every failure mode — parse, compile, VM runtime, LP, cyclic
     /// result — becomes a typed `(err ...)` reply; the machine is
@@ -115,15 +116,19 @@ impl Session {
     /// unroot queue is drained at the end of every request, so request
     /// boundaries are also valid suspension boundaries and the ledger
     /// advances deterministically with the request stream alone.
-    pub fn eval(&mut self, src: &str) -> String {
+    ///
+    /// The transcript digest folds the request text and the *encoded*
+    /// reply text, so it is exactly a fingerprint of the wire traffic
+    /// this session produced.
+    pub fn eval(&mut self, src: &str) -> Reply {
         let reply = self.eval_inner(src);
         self.digest = digest_bytes(self.digest, src.as_bytes());
-        self.digest = digest_bytes(self.digest, reply.as_bytes());
+        self.digest = digest_bytes(self.digest, reply.encode().as_bytes());
         self.requests += 1;
         reply
     }
 
-    fn eval_inner(&mut self, src: &str) -> String {
+    fn eval_inner(&mut self, src: &str) -> Reply {
         let forms = match parse_all(src, &mut self.interner) {
             Ok(f) => f,
             Err(e) => return parse_error_reply(&e),
@@ -137,7 +142,9 @@ impl Session {
         let reply = match self.vm.run() {
             Ok(v) => {
                 let reply = match self.vm.backend.try_write_out(&v) {
-                    Ok(e) => format!("(ok {})", print(&e, &self.interner)),
+                    Ok(e) => Reply::Value {
+                        text: print(&e, &self.interner),
+                    },
                     Err(e) => lp_error_reply(&e),
                 };
                 if let VmValue::List(id) = v {
@@ -159,43 +166,18 @@ impl Session {
         self.vm.backend.lp.stats()
     }
 
-    /// The ledger as an `(ok (<field> <value>) ...)` alist reply —
-    /// every `LptStats` field, in declaration order.
-    pub fn ledger_reply(&self) -> String {
-        let s = self.ledger();
-        format!(
-            "(ok (refops {}) (ep-refops {}) (gets {}) (frees {}) (hits {}) (misses {}) \
-             (pseudo-overflows {}) (compressed {}) (cycle-collections {}) (cycles-reclaimed {}) \
-             (max-occupancy {}) (occupancy-sum {}) (occupancy-samples {}) (max-refcount {}) \
-             (max-ep-refcount {}) (faults-detected {}) (faults-recovered {}) \
-             (overflow-entries {}) (overflow-exits {}) (heap-direct-ops {}))",
-            s.refops,
-            s.ep_refops,
-            s.gets,
-            s.frees,
-            s.hits,
-            s.misses,
-            s.pseudo_overflows,
-            s.compressed,
-            s.cycle_collections,
-            s.cycles_reclaimed,
-            s.max_occupancy,
-            s.occupancy_sum,
-            s.occupancy_samples,
-            s.max_refcount,
-            s.max_ep_refcount,
-            s.faults_detected,
-            s.faults_recovered,
-            s.overflow_entries,
-            s.overflow_exits,
-            s.heap_direct_ops,
-        )
+    /// The ledger as a typed `(ok ledger …)` reply — every `LptStats`
+    /// field, in declaration order (see
+    /// [`crate::protocol::LEDGER_FIELDS`]).
+    pub fn ledger_reply(&self) -> Reply {
+        Reply::Ledger(Box::new(self.ledger()))
     }
 
-    /// The transcript digest as an `(ok d<hex>)` reply (a symbol — the
-    /// reader has no token for a full 64-bit unsigned integer).
-    pub fn digest_reply(&self) -> String {
-        format!("(ok d{:016x})", self.digest)
+    /// The transcript digest as a typed `(ok digest d<hex16>)` reply.
+    pub fn digest_reply(&self) -> Reply {
+        Reply::Digest {
+            digest: self.digest,
+        }
     }
 
     /// The session's event counts (a copy).
@@ -346,8 +328,8 @@ impl Session {
     }
 
     /// A typed error reply for a persist failure on this path (exposed
-    /// for the manager's resume-on-touch).
-    pub fn persist_reply(e: &PersistError) -> String {
+    /// for the store's resume-on-touch).
+    pub fn persist_reply(e: &PersistError) -> Reply {
         persist_error_reply(e)
     }
 }
@@ -367,10 +349,16 @@ mod tests {
     #[test]
     fn globals_persist_across_requests() {
         let mut s = Session::new(0, &cfg());
-        assert_eq!(s.eval("(setq acc (cons 1 (cons 2 nil)))"), "(ok (1 2))");
-        assert_eq!(s.eval("(car acc)"), "(ok 1)");
-        assert_eq!(s.eval("(setq acc (cons 0 acc))"), "(ok (0 1 2))");
-        assert_eq!(s.eval("(setq acc nil)"), "(ok nil)");
+        assert_eq!(
+            s.eval("(setq acc (cons 1 (cons 2 nil)))").encode(),
+            "(ok value (1 2))"
+        );
+        assert_eq!(s.eval("(car acc)").encode(), "(ok value 1)");
+        assert_eq!(
+            s.eval("(setq acc (cons 0 acc))").encode(),
+            "(ok value (0 1 2))"
+        );
+        assert_eq!(s.eval("(setq acc nil)").encode(), "(ok value nil)");
         let (occ, _) = s.close();
         assert_eq!(occ, 0);
     }
@@ -378,12 +366,15 @@ mod tests {
     #[test]
     fn typed_errors_do_not_kill_the_session() {
         let mut s = Session::new(0, &cfg());
-        assert_eq!(s.eval("(setq g 7)"), "(ok 7)");
-        assert_eq!(s.eval("(car 5)"), "(err vm type-error car)");
-        assert_eq!(s.eval("(quotient 1 0)"), "(err vm divide-by-zero)");
-        assert_eq!(s.eval("(cond"), "(err proto unexpected-eof)");
-        assert_eq!(s.eval("(go nowhere)"), "(err compile no-such-label)");
-        assert_eq!(s.eval("g"), "(ok 7)");
+        assert_eq!(s.eval("(setq g 7)").encode(), "(ok value 7)");
+        assert_eq!(s.eval("(car 5)").encode(), "(err vm type-error car)");
+        assert_eq!(s.eval("(quotient 1 0)").encode(), "(err vm divide-by-zero)");
+        assert_eq!(s.eval("(cond").encode(), "(err proto unexpected-eof)");
+        assert_eq!(
+            s.eval("(go nowhere)").encode(),
+            "(err compile no-such-label)"
+        );
+        assert_eq!(s.eval("g").encode(), "(ok value 7)");
         let (occ, _) = s.close();
         assert_eq!(occ, 0);
     }
@@ -392,9 +383,9 @@ mod tests {
     fn cyclic_result_is_a_typed_reply_not_a_panic() {
         let mut s = Session::new(0, &cfg());
         let cyc = "(prog (x) (setq x (cons 1 (cons 2 nil))) (rplacd (cdr x) x) (return x))";
-        assert_eq!(s.eval(cyc), "(err lp cyclic)");
+        assert_eq!(s.eval(cyc).encode(), "(err lp cyclic)");
         // The cycle is unreachable garbage now; a later request still runs.
-        assert_eq!(s.eval("(add 1 2)"), "(ok 3)");
+        assert_eq!(s.eval("(add 1 2)").encode(), "(ok value 3)");
     }
 
     #[test]
@@ -406,8 +397,11 @@ mod tests {
                 ..cfg()
             },
         );
-        assert_eq!(s.eval("(prog () loop (go loop))"), "(err vm step-budget)");
-        assert_eq!(s.eval("(add 1 1)"), "(ok 2)");
+        assert_eq!(
+            s.eval("(prog () loop (go loop))").encode(),
+            "(err vm step-budget)"
+        );
+        assert_eq!(s.eval("(add 1 1)").encode(), "(ok value 2)");
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! Shard event loops: pinned sessions, bounded queues, ordered drain.
+//!
+//! The server runs `nshards` single-threaded event loops. Every
+//! session is *pinned* to the shard `id % nshards`; that shard's
+//! [`SessionStore`] is touched by that shard's thread only, so
+//! per-session request serialization is structural — no lock protects
+//! a session, because no two threads can ever want one.
+//!
+//! Connections are distributed round-robin across shards by the
+//! acceptor. The owning shard decodes frames and routes each
+//! session-targeting request to the home shard's **bounded run queue**
+//! ([`RunQueue::try_push`]). A full queue sheds the request *at decode
+//! time* with a typed `(err busy queue-full <shard>)` reply in the
+//! request's reply slot — deterministic back-pressure in place of
+//! unbounded accept; the connection stays open and ordered. Requests
+//! that touch no session (`hello`, `stats`, `pull`, malformed frames)
+//! are answered immediately by the owning shard.
+//!
+//! # Drain (the shutdown/suspend race, fixed structurally)
+//!
+//! Graceful shutdown is a two-barrier protocol over [`SharedState`]:
+//!
+//! 1. Each shard, on observing `stop`, stops adopting connections and
+//!    decoding frames, then acknowledges on `decode_done`. Once all
+//!    `nshards` have acknowledged, **no new job can ever be enqueued**.
+//! 2. Each shard then drains its own run queue to empty — executing
+//!    every remaining job, including the LRU suspends those jobs
+//!    trigger, which run synchronously inside the loop — and
+//!    acknowledges on `queues_done`. Once all have acknowledged, every
+//!    reply has been completed and every suspend-to-checkpoint blob is
+//!    fully written.
+//!
+//! Only then do shards flush remaining bytes and return their stores
+//! to the joiner. A suspend can therefore never be in flight when the
+//! server exits: the old drain path could race an in-flight
+//! suspend-to-checkpoint and tear the blob; this one cannot, and
+//! [`crate::server::DrainOutcome::verify_suspended`] checks it.
+
+use crate::manager::SessionStore;
+use crate::protocol::{busy_reply, err, err_with, Reply, Request, Role, StatsBody, PROTO_VERSION};
+use crate::reactor::{Conn, Outbox};
+use crate::repl::{reply_digest, Wal, WalOp};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Idle sleep between event-loop passes that did no work.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Byte budget for one `(pull …)` batch (hex-doubled on the wire, so
+/// comfortably inside `MAX_FRAME`).
+const PULL_BATCH_BYTES: usize = 64 * 1024;
+
+/// How long the final flush may take per shard before giving up on
+/// unresponsive peers.
+const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(2);
+
+/// A session-targeting operation, routed to the session's home shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Create the session under a pre-allocated global id.
+    Open {
+        /// The id the decoding shard reserved.
+        id: u64,
+    },
+    /// Run a program on the session.
+    Eval {
+        /// Target session.
+        id: u64,
+        /// Canonical program text.
+        src: String,
+    },
+    /// Ledger query.
+    Ledger {
+        /// Target session.
+        id: u64,
+    },
+    /// Digest query.
+    Digest {
+        /// Target session.
+        id: u64,
+    },
+    /// Close the session.
+    Close {
+        /// Target session.
+        id: u64,
+    },
+}
+
+impl Action {
+    /// The session id this action targets (pins it to a shard).
+    pub fn session(&self) -> u64 {
+        match self {
+            Action::Open { id }
+            | Action::Eval { id, .. }
+            | Action::Ledger { id }
+            | Action::Digest { id }
+            | Action::Close { id } => *id,
+        }
+    }
+}
+
+/// One queued unit of work: an action plus the reply slot it must fill.
+pub struct Job {
+    /// Reply slot in the connection's outbox.
+    pub seq: u64,
+    /// The connection's outbox (shared with the owning shard).
+    pub outbox: Arc<Outbox>,
+    /// What to do.
+    pub action: Action,
+}
+
+/// A bounded MPSC run queue: any shard pushes, the home shard drains.
+pub struct RunQueue {
+    cap: usize,
+    q: Mutex<VecDeque<Job>>,
+}
+
+impl RunQueue {
+    /// A queue admitting at most `cap` jobs.
+    pub fn new(cap: usize) -> RunQueue {
+        RunQueue {
+            cap,
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Push unless full. On `Err` the caller sheds the job with a
+    /// typed busy reply — never silently.
+    pub fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.lock();
+        if q.len() >= self.cap {
+            Err(job)
+        } else {
+            q.push_back(job);
+            Ok(())
+        }
+    }
+
+    /// Take everything currently queued, in FIFO order.
+    pub fn drain_all(&self) -> Vec<Job> {
+        self.lock().drain(..).collect()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+/// State shared by the acceptor, every shard, and the server handle.
+pub struct SharedState {
+    /// One bounded run queue per shard.
+    pub queues: Vec<Arc<RunQueue>>,
+    /// One incoming-connection inbox per shard (acceptor → shard).
+    pub inboxes: Vec<Mutex<Vec<TcpStream>>>,
+    /// Per-shard published stats (each shard writes its own cell).
+    pub stats: Vec<Mutex<StatsBody>>,
+    /// Drain flag: set by `(shutdown)` or the server handle.
+    pub stop: AtomicBool,
+    /// Shards that have permanently stopped decoding (barrier 1).
+    pub decode_done: AtomicUsize,
+    /// Shards whose run queue has fully drained (barrier 2).
+    pub queues_done: AtomicUsize,
+    /// Global session-id allocator (decode-order dense).
+    pub next_id: AtomicU64,
+    /// The replication log, when the server runs as a primary.
+    pub wal: Option<Mutex<Wal>>,
+    /// The listen address (shards self-connect to unblock the
+    /// acceptor when a client-initiated shutdown sets `stop`).
+    pub addr: SocketAddr,
+}
+
+impl SharedState {
+    /// Shard count.
+    pub fn nshards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The shard session `id` is pinned to.
+    pub fn home(&self, id: u64) -> usize {
+        (id % self.nshards() as u64) as usize
+    }
+
+    /// Begin drain (idempotent) and unblock the acceptor.
+    pub fn begin_stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Fire-and-forget self-connect; the acceptor wakes, sees
+            // `stop`, and exits. Failure is harmless (listener gone).
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Sum every shard's published stats cell.
+    pub fn stats_reply(&self) -> Reply {
+        let mut body = StatsBody {
+            sessions: 0,
+            evictions: 0,
+            resumes: 0,
+            counts: [0u64; 22],
+        };
+        for cell in &self.stats {
+            let c = cell.lock().unwrap_or_else(|e| e.into_inner());
+            body.sessions += c.sessions;
+            body.evictions += c.evictions;
+            body.resumes += c.resumes;
+            for (total, v) in body.counts.iter_mut().zip(c.counts.iter()) {
+                *total += v;
+            }
+        }
+        Reply::Stats(Box::new(body))
+    }
+}
+
+/// Execute one routed action against the shard's store.
+fn execute(store: &mut SessionStore, action: &Action) -> Reply {
+    match action {
+        Action::Open { id } => store.open_with_id(*id),
+        Action::Eval { id, src } => store.eval(*id, src),
+        Action::Ledger { id } => store.ledger(*id),
+        Action::Digest { id } => store.digest(*id),
+        Action::Close { id } => store.close(*id),
+    }
+}
+
+/// Run the jobs currently in this shard's queue; returns how many ran.
+///
+/// WAL appends happen *before* the reply is completed into its outbox:
+/// by the time a client can observe an acknowledgement, the record is
+/// pullable. Mutating error replies (`no-such-session`, even a
+/// contained panic) are logged too, so a standby replays the exact
+/// request stream and the digest check keeps both sides honest.
+fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> usize {
+    let jobs = shared.queues[me].drain_all();
+    if jobs.is_empty() {
+        return 0;
+    }
+    let mut completions: Vec<(Arc<Outbox>, u64, Reply)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let reply = catch_unwind(AssertUnwindSafe(|| execute(store, &job.action)))
+            .unwrap_or_else(|_| err("session", "panicked"));
+        if let Some(wal) = &shared.wal {
+            let op = match &job.action {
+                Action::Open { .. } => Some(WalOp::Open),
+                Action::Eval { src, .. } => Some(WalOp::Eval(src.clone())),
+                Action::Close { .. } => Some(WalOp::Close),
+                Action::Ledger { .. } | Action::Digest { .. } => None,
+            };
+            if let Some(op) = op {
+                wal.lock().unwrap_or_else(|e| e.into_inner()).append(
+                    job.action.session(),
+                    op,
+                    reply_digest(&reply),
+                );
+            }
+        }
+        completions.push((job.outbox, job.seq, reply));
+    }
+    let ran = completions.len();
+    // Publish this shard's stats before releasing any reply: a client
+    // that sees an acknowledgement and immediately asks `(stats)` on
+    // another shard gets counters that already include its request.
+    *shared.stats[me].lock().unwrap_or_else(|e| e.into_inner()) = store.stats_body();
+    for (outbox, seq, reply) in completions {
+        outbox.complete(seq, &reply);
+    }
+    ran
+}
+
+/// Decode-time handling of one frame: answer connection-scoped
+/// requests immediately, route session-scoped ones to their home
+/// shard's bounded queue.
+fn handle_frame(text: &str, conn: &mut Conn, shared: &SharedState) {
+    let seq = conn.outbox.alloc();
+    let req = match Request::decode(text) {
+        Ok(r) => r,
+        Err(reply) => {
+            conn.outbox.complete(seq, &reply);
+            return;
+        }
+    };
+    let route = |action: Action, conn: &Conn| {
+        let target = shared.home(action.session());
+        let job = Job {
+            seq,
+            outbox: Arc::clone(&conn.outbox),
+            action,
+        };
+        if shared.queues[target].try_push(job).is_err() {
+            // Shed at decode time: typed, ordered, connection intact.
+            conn.outbox.complete(seq, &busy_reply(target));
+        }
+    };
+    match req {
+        Request::Hello { version, role } => {
+            if version == PROTO_VERSION {
+                conn.role = Some(role);
+                conn.outbox.complete(
+                    seq,
+                    &Reply::Hello {
+                        version: PROTO_VERSION,
+                    },
+                );
+            } else {
+                conn.outbox
+                    .complete(seq, &crate::protocol::unsupported_version_reply(version));
+                conn.close_after_flush = true;
+            }
+        }
+        Request::Stats => conn.outbox.complete(seq, &shared.stats_reply()),
+        Request::Shutdown => {
+            conn.outbox.complete(seq, &Reply::Draining);
+            shared.begin_stop();
+        }
+        Request::Pull { from } => {
+            let reply = match (&conn.role, &shared.wal) {
+                (Some(Role::Replica), Some(wal)) => {
+                    let wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+                    let (bytes, next) = wal.frames_from(from, PULL_BATCH_BYTES);
+                    Reply::Frames { next, bytes }
+                }
+                (_, None) => err("repl", "disabled"),
+                _ => err("proto", "not-a-replica"),
+            };
+            conn.outbox.complete(seq, &reply);
+        }
+        Request::Open => {
+            let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+            route(Action::Open { id }, conn);
+        }
+        Request::Eval { id, src } => route(Action::Eval { id, src }, conn),
+        Request::Ledger { id } => route(Action::Ledger { id }, conn),
+        Request::Digest { id } => route(Action::Digest { id }, conn),
+        Request::Close { id } => route(Action::Close { id }, conn),
+    }
+}
+
+/// The shard event loop. Returns the shard's store once drained, so
+/// the joiner can audit suspended blobs and aggregate final state.
+pub fn shard_loop(
+    me: usize,
+    mut store: SessionStore,
+    shared: Arc<SharedState>,
+    max_conns: usize,
+) -> SessionStore {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut decode_acked = false;
+    let mut queue_acked = false;
+    let nshards = shared.nshards();
+    loop {
+        let mut worked = 0usize;
+
+        if !decode_acked {
+            if shared.stop.load(Ordering::SeqCst) {
+                // Barrier 1: this shard will never adopt, read, or
+                // route again.
+                decode_acked = true;
+                shared.decode_done.fetch_add(1, Ordering::SeqCst);
+            } else {
+                // Adopt newly accepted connections, shedding over the
+                // cap with a typed reply (never a silent close).
+                let incoming: Vec<TcpStream> = shared.inboxes[me]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .drain(..)
+                    .collect();
+                for stream in incoming {
+                    worked += 1;
+                    if conns.len() >= max_conns {
+                        let mut stream = stream;
+                        let reject = err_with("busy", "too-many-connections", &[&me.to_string()]);
+                        let _ = crate::protocol::write_frame(&mut stream, &reject.encode());
+                        continue; // dropped: peer got the typed reply first
+                    }
+                    if let Ok(conn) = Conn::adopt(stream) {
+                        conns.push(conn);
+                    }
+                }
+                // Decode and route everything readable.
+                for conn in conns.iter_mut() {
+                    let texts = conn.read_frames();
+                    worked += texts.len();
+                    for text in texts {
+                        handle_frame(&text, conn, &shared);
+                    }
+                }
+            }
+        }
+
+        // Execute whatever reached this shard's queue.
+        worked += run_queue_jobs(me, &mut store, &shared);
+
+        // Flush replies; retire finished connections.
+        for conn in &mut conns {
+            conn.flush();
+        }
+        conns.retain(|c| !c.finished());
+
+        if decode_acked && shared.decode_done.load(Ordering::SeqCst) == nshards {
+            // No producer remains anywhere. Drain to empty (each pass
+            // may trigger synchronous LRU suspends — they complete
+            // inside `run_queue_jobs`, so barrier 2 implies every
+            // checkpoint blob is fully written).
+            while !shared.queues[me].is_empty() {
+                run_queue_jobs(me, &mut store, &shared);
+            }
+            if !queue_acked {
+                queue_acked = true;
+                shared.queues_done.fetch_add(1, Ordering::SeqCst);
+            }
+            if shared.queues_done.load(Ordering::SeqCst) == nshards {
+                // Every reply in the system is completed; push the
+                // remaining bytes out and go home.
+                let deadline = Instant::now() + DRAIN_FLUSH_DEADLINE;
+                loop {
+                    let mut pending = false;
+                    for conn in &mut conns {
+                        pending |= conn.flush();
+                    }
+                    conns.retain(|c| !c.finished());
+                    if !pending || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(IDLE_SLEEP);
+                }
+                *shared.stats[me].lock().unwrap_or_else(|e| e.into_inner()) = store.stats_body();
+                return store;
+            }
+        }
+
+        if worked == 0 {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seq: u64) -> Job {
+        Job {
+            seq,
+            outbox: Outbox::new(),
+            action: Action::Open { id: seq },
+        }
+    }
+
+    #[test]
+    fn bounded_queue_sheds_deterministically() {
+        let q = RunQueue::new(1);
+        assert!(q.try_push(job(0)).is_ok());
+        // Queue of one: the second push is always rejected, the
+        // rejected job comes back intact for its busy reply.
+        let back = q.try_push(job(1)).unwrap_err();
+        assert_eq!(back.seq, 1);
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].seq, 0);
+        assert!(q.is_empty());
+        // Space freed: pushes succeed again.
+        assert!(q.try_push(job(2)).is_ok());
+    }
+
+    #[test]
+    fn actions_pin_to_their_session() {
+        let a = Action::Eval {
+            id: 7,
+            src: "(add 1 2)".to_string(),
+        };
+        assert_eq!(a.session(), 7);
+        assert_eq!(Action::Close { id: 3 }.session(), 3);
+    }
+}

@@ -1,23 +1,34 @@
 //! The deterministic soak harness: a concurrent client fleet against
-//! the TCP server, compared byte-for-byte with a serial in-process
-//! twin.
+//! the sharded TCP server, compared byte-for-byte with a serial
+//! in-process twin.
 //!
 //! For every pinned seed, `clients` threads each open a session and
 //! replay the seed's generated request stream (see [`crate::gen`]),
 //! collecting the full reply transcript — evals, ledger, digest,
-//! close. The same streams then run serially through a second
-//! [`SessionManager`] with eviction disabled. Session isolation and
-//! eviction-transparency reduce to one check: **every transcript must
-//! be byte-identical across the two runs**, even though the server run
-//! interleaved requests across threads and suspended/resumed sessions
-//! under LRU pressure at scheduler whim.
+//! close. The same streams then run serially through a
+//! [`SessionStore`] twin with eviction disabled
+//! ([`SessionStore::apply`] produces exactly the replies the server
+//! encodes). Session isolation and eviction-transparency reduce to one
+//! check: **every transcript must be byte-identical across the two
+//! runs**, even though the server run interleaved requests across
+//! shards and suspended/resumed sessions under per-shard LRU pressure.
+//! Session ids are allocated in decode order and therefore racy across
+//! concurrent clients, so fleet transcripts exclude the `(ok opened …)`
+//! reply; every other reply is id-free.
 //!
 //! A deterministic *eviction sweep* follows the fleet on both sides:
-//! `max_resident + 2` sessions driven round-robin over one connection,
-//! so every request round forces suspend/resume churn in a fixed
-//! order. This guarantees the suspend/resume path is exercised (and
-//! its transcript compared) regardless of how the parallel phase was
+//! `max_resident + 2` sessions driven round-robin over one lockstep
+//! connection, so every request round forces suspend/resume churn in a
+//! fixed order (and, being lockstep, fixed ids — the sweep transcript
+//! *does* include open replies). This guarantees the suspend/resume
+//! path is exercised regardless of how the parallel phase was
 //! scheduled.
+//!
+//! An optional **churn phase** (`churn > 0`) then rolls thousands of
+//! short-lived sessions through a fresh server — open, a few requests,
+//! close — across a small worker fleet, proving the sharded core
+//! sustains multi-thousand-session turnover behind bounded queues with
+//! zero busy-sheds at lockstep depth.
 //!
 //! The report (`results/soak_report.json`) contains only
 //! schedule-independent data — transcripts' digests, per-run aggregate
@@ -26,9 +37,11 @@
 //! (eviction/resume totals) are returned to the caller for threshold
 //! assertions and stderr, never written to the report.
 
+use crate::client::Client;
 use crate::gen::programs_for;
-use crate::manager::SessionManager;
-use crate::server::{self, dispatch, Client};
+use crate::manager::SessionStore;
+use crate::protocol::{Reply, Request, Role};
+use crate::server::{self, ServerParams};
 use crate::session::ServeConfig;
 use small_metrics::EventCounts;
 use small_persist::{digest_bytes, DIGEST_SEED};
@@ -43,11 +56,15 @@ pub struct SoakParams {
     pub clients: usize,
     /// Generated eval requests per client (plus fixed prologue/teardown).
     pub requests: usize,
-    /// Per-session machine configuration; `max_resident` below
-    /// `clients` keeps the LRU evictor busy during the fleet phase.
+    /// Per-session machine configuration; a small `max_resident` keeps
+    /// every shard's LRU evictor busy during the fleet phase.
     pub cfg: ServeConfig,
-    /// Server worker threads.
-    pub workers: usize,
+    /// Server shape (shards, queue bounds, connection caps).
+    pub server: ServerParams,
+    /// Total short-lived sessions for the churn phase (0 = skip).
+    pub churn: usize,
+    /// Concurrent churn workers.
+    pub churn_workers: usize,
 }
 
 impl Default for SoakParams {
@@ -59,10 +76,19 @@ impl Default for SoakParams {
             cfg: ServeConfig {
                 heap_cells: 1 << 13,
                 table_size: 384,
-                max_resident: 3,
+                // One resident session per shard: any two sessions
+                // sharing a shard thrash suspend/resume.
+                max_resident: 1,
                 ..ServeConfig::default()
             },
-            workers: 10,
+            server: ServerParams {
+                shards: 2,
+                queue_cap: 64,
+                max_conns_per_shard: 64,
+                replicate: false,
+            },
+            churn: 0,
+            churn_workers: 4,
         }
     }
 }
@@ -87,6 +113,19 @@ fn transcript_digest(replies: &[String]) -> u64 {
     h
 }
 
+/// The typed request stream one fleet client sends after opening its
+/// session (transcripted; the racy `(ok opened …)` reply is not).
+fn client_requests(id: u64, seed: u64, client: u64, requests: usize) -> Vec<Request> {
+    let mut reqs: Vec<Request> = programs_for(seed, client, requests)
+        .into_iter()
+        .map(|src| Request::Eval { id, src })
+        .collect();
+    reqs.push(Request::Ledger { id });
+    reqs.push(Request::Digest { id });
+    reqs.push(Request::Close { id });
+    reqs
+}
+
 /// One TCP client's full scripted conversation.
 fn tcp_client_run(
     addr: std::net::SocketAddr,
@@ -94,38 +133,37 @@ fn tcp_client_run(
     client: u64,
     requests: usize,
 ) -> io::Result<Vec<String>> {
-    let mut c = Client::connect(addr)?;
+    let mut c = Client::connect(addr, Role::Client)?;
     let id = c.open()?;
     let mut t = Vec::new();
-    for prog in programs_for(seed, client, requests) {
-        t.push(c.request(&format!("(eval {id} {prog})"))?);
+    for req in client_requests(id, seed, client, requests) {
+        t.push(c.request_text(&req.encode())?);
     }
-    t.push(c.request(&format!("(ledger {id})"))?);
-    t.push(c.request(&format!("(digest {id})"))?);
-    t.push(c.request(&format!("(close {id})"))?);
     Ok(t)
 }
 
-/// The serial twin of [`tcp_client_run`]: same frames, same dispatch
-/// code path, one thread, no eviction.
-fn serial_client_run(mgr: &SessionManager, seed: u64, client: u64, requests: usize) -> Vec<String> {
-    let id = mgr.open();
-    let mut t = Vec::new();
-    for prog in programs_for(seed, client, requests) {
-        t.push(dispatch(&format!("(eval {id} {prog})"), mgr).0);
-    }
-    t.push(dispatch(&format!("(ledger {id})"), mgr).0);
-    t.push(dispatch(&format!("(digest {id})"), mgr).0);
-    t.push(dispatch(&format!("(close {id})"), mgr).0);
-    t
+/// The serial twin of [`tcp_client_run`]: same typed requests, one
+/// thread, no eviction.
+fn serial_client_run(
+    twin: &mut SessionStore,
+    seed: u64,
+    client: u64,
+    requests: usize,
+) -> Vec<String> {
+    let id = twin.open();
+    client_requests(id, seed, client, requests)
+        .iter()
+        .map(|req| twin.apply(req).encode())
+        .collect()
 }
 
 /// The deterministic eviction sweep, expressed over any request
 /// transport. Opens `max_resident + 2` sessions and drives them
 /// round-robin so every round suspends and resumes sessions in a
-/// fixed order.
+/// fixed order. Lockstep on one connection, so the open replies are
+/// deterministic and transcripted.
 fn run_sweep(
-    req: &mut dyn FnMut(&str) -> io::Result<String>,
+    req: &mut dyn FnMut(&Request) -> io::Result<String>,
     seed: u64,
     cfg: &ServeConfig,
 ) -> io::Result<Vec<String>> {
@@ -134,12 +172,11 @@ fn run_sweep(
     let mut t = Vec::new();
     let mut ids = Vec::new();
     for _ in 0..fleet {
-        let reply = req("(open)")?;
-        let id = reply
-            .strip_prefix("(ok ")
-            .and_then(|r| r.strip_suffix(')'))
-            .and_then(|r| r.parse::<u64>().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, reply.clone()))?;
+        let reply = req(&Request::Open)?;
+        let id = match Reply::decode(&reply) {
+            Some(Reply::Opened { id }) => id,
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, reply)),
+        };
         t.push(reply);
         ids.push(id);
     }
@@ -149,13 +186,16 @@ fn run_sweep(
     let rounds = progs[0].len();
     for round in 0..rounds {
         for (&id, prog) in ids.iter().zip(progs.iter()) {
-            t.push(req(&format!("(eval {id} {})", prog[round]))?);
+            t.push(req(&Request::Eval {
+                id,
+                src: prog[round].clone(),
+            })?);
         }
     }
     for &id in &ids {
-        t.push(req(&format!("(ledger {id})"))?);
-        t.push(req(&format!("(digest {id})"))?);
-        t.push(req(&format!("(close {id})"))?);
+        t.push(req(&Request::Ledger { id })?);
+        t.push(req(&Request::Digest { id })?);
+        t.push(req(&Request::Close { id })?);
     }
     Ok(t)
 }
@@ -170,6 +210,109 @@ fn counts_json(c: &EventCounts) -> String {
     format!("{{{}}}", fields.join(","))
 }
 
+/// The request scripts of one churn worker: `sessions` short-lived
+/// sessions, each opened, exercised briefly, and closed.
+fn churn_scripts(seed: u64, worker: u64, sessions: usize) -> Vec<Vec<String>> {
+    (0..sessions)
+        .map(|k| programs_for(seed ^ 0xc4a0, worker * 1_000_003 + k as u64, 2))
+        .collect()
+}
+
+/// One churn worker's conversation: open → short script → close per
+/// session, transcripting every id-free reply.
+fn churn_worker_run(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    worker: u64,
+    sessions: usize,
+) -> io::Result<Vec<String>> {
+    let mut c = Client::connect(addr, Role::Client)?;
+    let mut t = Vec::new();
+    for script in churn_scripts(seed, worker, sessions) {
+        let id = c.open()?;
+        for src in script {
+            t.push(c.request_text(&Request::Eval { id, src }.encode())?);
+        }
+        t.push(c.request_text(&Request::Close { id }.encode())?);
+    }
+    Ok(t)
+}
+
+struct ChurnResult {
+    json: String,
+    mismatches: usize,
+    evictions: u64,
+    resumes: u64,
+}
+
+/// The churn phase: `total` sessions rolled through a fresh server by
+/// `workers` concurrent connections, vs. a serial twin.
+fn run_churn(p: &SoakParams, seed: u64) -> io::Result<ChurnResult> {
+    let total = p.churn;
+    let workers = p.churn_workers.max(1);
+    let per_worker = total.div_ceil(workers);
+    let handle = server::start("127.0.0.1:0", p.cfg, p.server)?;
+    let addr = handle.addr();
+
+    let transcripts: Vec<io::Result<Vec<String>>> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..workers)
+            .map(|w| s.spawn(move || churn_worker_run(addr, seed, w as u64, per_worker)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| {
+                j.join()
+                    .unwrap_or_else(|_| Err(io::Error::other("churn worker panicked")))
+            })
+            .collect()
+    });
+
+    let outcome = handle.shutdown();
+    let (evictions, resumes) = outcome.eviction_counters();
+    let server_counts = outcome.aggregate_counts();
+
+    // Serial twin: every worker's scripts, one store, no eviction.
+    let mut twin = SessionStore::new(ServeConfig {
+        max_resident: usize::MAX,
+        ..p.cfg
+    });
+    let mut mismatches = 0usize;
+    let mut digests = Vec::new();
+    for (w, transcript) in transcripts.iter().enumerate() {
+        let mut serial = Vec::new();
+        for script in churn_scripts(seed, w as u64, per_worker) {
+            let id = twin.open();
+            for src in script {
+                serial.push(twin.apply(&Request::Eval { id, src }).encode());
+            }
+            serial.push(twin.apply(&Request::Close { id }).encode());
+        }
+        let ok = matches!(transcript, Ok(t) if *t == serial);
+        if !ok {
+            mismatches += 1;
+        }
+        digests.push(format!(
+            "{{\"worker\":{w},\"reply_digest\":\"d{:016x}\",\"match\":{ok}}}",
+            transcript_digest(&serial)
+        ));
+    }
+    let counts_ok = server_counts == twin.aggregate_counts();
+    if !counts_ok {
+        mismatches += 1;
+    }
+    let sessions = per_worker * workers;
+    Ok(ChurnResult {
+        json: format!(
+            "{{\"sessions\":{sessions},\"workers\":{workers},\
+             \"counts_match\":{counts_ok},\"transcripts\":[{}]}}",
+            digests.join(",")
+        ),
+        mismatches,
+        evictions,
+        resumes,
+    })
+}
+
 /// Run the full soak campaign. IO errors from the TCP leg surface as
 /// mismatches (a transcript that could not be collected can't match),
 /// not process aborts.
@@ -180,7 +323,7 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
     let mut resumes = 0u64;
 
     for &seed in &p.seeds {
-        let handle = server::start("127.0.0.1:0", p.cfg, p.workers)?;
+        let handle = server::start("127.0.0.1:0", p.cfg, p.server)?;
         let addr = handle.addr();
 
         // Phase 1: the concurrent fleet.
@@ -199,31 +342,32 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
 
         // Phase 2: the deterministic eviction sweep over one connection.
         let sweep_server: io::Result<Vec<String>> = (|| {
-            let mut c = Client::connect(addr)?;
-            run_sweep(&mut |frame| c.request(frame), seed, &p.cfg)
+            let mut c = Client::connect(addr, Role::Client)?;
+            run_sweep(&mut |req| c.request_text(&req.encode()), seed, &p.cfg)
         })();
 
-        let server_counts = handle.manager().aggregate_counts();
-        let (ev, res) = handle.manager().eviction_counters();
+        // Graceful drain; the outcome carries final state for audit.
+        if let Ok(mut c) = Client::connect(addr, Role::Client) {
+            let _ = c.request(&Request::Shutdown);
+        }
+        let outcome = handle.shutdown();
+        let server_counts = outcome.aggregate_counts();
+        let (ev, res) = outcome.eviction_counters();
         evictions += ev;
         resumes += res;
+        // The drain guarantee has teeth: every suspended blob written
+        // by the final evictions must decode cleanly.
+        let blobs_ok = outcome.verify_suspended().is_ok();
 
-        // Graceful drain.
-        if let Ok(mut c) = Client::connect(addr) {
-            let _ = c.request("(shutdown)");
-        }
-        handle.shutdown();
-
-        // Serial twin: same frames, one thread, eviction disabled.
-        let serial_cfg = ServeConfig {
+        // Serial twin: same typed requests, one thread, no eviction.
+        let mut twin = SessionStore::new(ServeConfig {
             max_resident: usize::MAX,
             ..p.cfg
-        };
-        let twin = SessionManager::new(serial_cfg);
+        });
         let serial_transcripts: Vec<Vec<String>> = (0..p.clients)
-            .map(|c| serial_client_run(&twin, seed, c as u64, p.requests))
+            .map(|c| serial_client_run(&mut twin, seed, c as u64, p.requests))
             .collect();
-        let sweep_serial = run_sweep(&mut |frame| Ok(dispatch(frame, &twin).0), seed, &p.cfg)
+        let sweep_serial = run_sweep(&mut |req| Ok(twin.apply(req).encode()), seed, &p.cfg)
             .expect("serial sweep is infallible");
         let serial_counts = twin.aggregate_counts();
 
@@ -248,21 +392,40 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         if !counts_ok {
             mismatches += 1;
         }
+        if !blobs_ok {
+            mismatches += 1;
+        }
         runs.push(format!(
             "{{\"seed\":{seed},\"sessions\":[{}],\
              \"sweep_digest\":\"d{:016x}\",\"sweep_match\":{sweep_ok},\
-             \"counts_match\":{counts_ok},\"aggregate\":{}}}",
+             \"counts_match\":{counts_ok},\"drain_blobs_ok\":{blobs_ok},\"aggregate\":{}}}",
             sessions_json.join(","),
             transcript_digest(&sweep_serial),
             counts_json(&serial_counts),
         ));
     }
 
+    // Phase 3 (optional): multi-thousand-session churn on the first seed.
+    let churn_json = if p.churn > 0 {
+        let seed = p.seeds.first().copied().unwrap_or(11);
+        let churn = run_churn(p, seed)?;
+        mismatches += churn.mismatches;
+        evictions += churn.evictions;
+        resumes += churn.resumes;
+        churn.json
+    } else {
+        "null".to_string()
+    };
+
     let report = format!(
-        "{{\"schema\":\"soak_report_v1\",\"clients\":{},\"requests\":{},\
-         \"seeds\":[{}],\"all_match\":{},\"runs\":[{}]}}\n",
+        "{{\"schema\":\"soak_report_v2\",\"proto_version\":{},\"clients\":{},\"requests\":{},\
+         \"shards\":{},\"queue_cap\":{},\
+         \"seeds\":[{}],\"all_match\":{},\"churn\":{churn_json},\"runs\":[{}]}}\n",
+        crate::protocol::PROTO_VERSION,
         p.clients,
         p.requests,
+        p.server.shards,
+        p.server.queue_cap,
         p.seeds
             .iter()
             .map(u64::to_string)

@@ -1,0 +1,142 @@
+//! Back-pressure: a bounded run queue of 1 plus a scripted pipelined
+//! client. Requests beyond the bound must be refused with the typed
+//! `(err busy queue-full <shard>)` reply — never stalled, never
+//! silently dropped — and the connection must remain fully usable
+//! afterwards.
+//!
+//! Determinism note: the shard loop decodes *everything readable*
+//! before executing queued jobs, and the client writes its burst in a
+//! single flush (one small TCP segment on loopback). So however the
+//! burst interleaves with execution, every decode pass finds the
+//! queue holding at most one free slot, and sheds the rest of that
+//! pass's frames with the busy reply. The invariants asserted here —
+//! one reply per request, in order, each either the correct value or
+//! the typed busy — hold under any interleaving.
+
+use small_serve::server::{start, ServerParams};
+use small_serve::session::ServeConfig;
+use small_serve::{Client, Reply, Request, Role};
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        heap_cells: 1 << 12,
+        table_size: 256,
+        max_resident: 4,
+        ..ServeConfig::default()
+    }
+}
+
+fn tiny_server(queue_cap: usize) -> small_serve::ServerHandle {
+    start(
+        "127.0.0.1:0",
+        cfg(),
+        ServerParams {
+            shards: 1,
+            queue_cap,
+            max_conns_per_shard: 4,
+            replicate: false,
+        },
+    )
+    .expect("server starts")
+}
+
+const BURST: usize = 16;
+
+fn burst_requests(id: u64) -> Vec<Request> {
+    (0..BURST)
+        .map(|k| Request::Eval {
+            id,
+            src: format!("(add {k} {k})"),
+        })
+        .collect()
+}
+
+#[test]
+fn bounded_queue_sheds_with_typed_busy_and_connection_survives() {
+    let handle = tiny_server(1);
+    let mut c = Client::connect(handle.addr(), Role::Client).unwrap();
+    let id = c.open().unwrap();
+
+    let replies = c.pipeline(&burst_requests(id)).expect("no hang, no drop");
+    assert_eq!(replies.len(), BURST, "exactly one reply per request");
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for (k, text) in replies.iter().enumerate() {
+        if text == "(err busy queue-full 0)" {
+            shed += 1;
+        } else {
+            // A non-busy reply must be the *correct* value for its
+            // position — order and content both survive shedding.
+            assert_eq!(text, &format!("(ok value {})", 2 * k), "reply {k}");
+            served += 1;
+        }
+    }
+    assert_eq!(served + shed, BURST);
+    assert!(served >= 1, "the queued request per pass must execute");
+    assert!(
+        shed >= 1,
+        "a single-flush burst of {BURST} against a queue of 1 must shed"
+    );
+
+    // The connection that was shed on is still a first-class citizen.
+    assert_eq!(
+        c.request(&Request::Eval {
+            id,
+            src: "(add 20 22)".to_string(),
+        })
+        .unwrap()
+        .encode(),
+        "(ok value 42)"
+    );
+    assert_eq!(
+        c.request(&Request::Close { id }).unwrap(),
+        Reply::Closed { occupancy: 0 }
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn roomy_queue_absorbs_the_same_burst() {
+    // Same script, queue bound comfortably above the burst: nothing
+    // sheds, proving the busy replies above were the bound's doing.
+    let handle = tiny_server(BURST * 2);
+    let mut c = Client::connect(handle.addr(), Role::Client).unwrap();
+    let id = c.open().unwrap();
+    let replies = c.pipeline(&burst_requests(id)).unwrap();
+    for (k, text) in replies.iter().enumerate() {
+        assert_eq!(text, &format!("(ok value {})", 2 * k), "reply {k}");
+    }
+    assert_eq!(
+        c.request(&Request::Close { id }).unwrap(),
+        Reply::Closed { occupancy: 0 }
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_typed_reply() {
+    // max_conns_per_shard is 4 on a 1-shard server: the fifth
+    // concurrent connection must be told why before the close.
+    let handle = tiny_server(64);
+    let keep: Vec<Client> = (0..4)
+        .map(|_| Client::connect(handle.addr(), Role::Client).unwrap())
+        .collect();
+    let mut raw = small_serve::server::raw_connect(handle.addr()).unwrap();
+    use small_serve::protocol::{read_frame, write_frame};
+    write_frame(
+        &mut raw,
+        &Request::Hello {
+            version: small_serve::PROTO_VERSION,
+            role: Role::Client,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let reply = read_frame(&mut std::io::BufReader::new(raw))
+        .unwrap()
+        .expect("typed refusal, not a silent close");
+    assert_eq!(reply, "(err busy too-many-connections 0)");
+    drop(keep);
+    handle.shutdown();
+}

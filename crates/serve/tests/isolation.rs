@@ -1,5 +1,5 @@
 //! Session isolation under concurrency machinery: K sessions fed a
-//! randomly interleaved request schedule through a [`SessionManager`]
+//! randomly interleaved request schedule through a [`SessionStore`]
 //! with a small residency cap (forcing LRU eviction and resume churn
 //! between requests) must each produce exactly the replies, ledger,
 //! and digest of the same script run serially on a fresh, never-
@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use small_serve::session::{ServeConfig, Session};
-use small_serve::SessionManager;
+use small_serve::{Reply, SessionStore};
 
 const K: usize = 5;
 const TEMPLATES: u8 = 7;
@@ -59,13 +59,13 @@ proptest! {
     fn interleaved_sessions_match_serial_runs(
         schedule in prop::collection::vec((0..K, 0..TEMPLATES), 8..48)
     ) {
-        // Concurrent-shaped run: one manager, residency cap of 2, the
+        // Concurrent-shaped run: one store, residency cap of 2, the
         // interleaved schedule. Sessions are evicted and resumed as the
         // schedule touches them.
-        let manager = SessionManager::new(cfg(2));
-        let ids: Vec<u64> = (0..K).map(|_| manager.open()).collect();
+        let mut store = SessionStore::new(cfg(2));
+        let ids: Vec<u64> = (0..K).map(|_| store.open()).collect();
         let per = scripts(&schedule);
-        let mut managed: Vec<Vec<String>> = (0..K).map(|_| Vec::new()).collect();
+        let mut managed: Vec<Vec<Reply>> = (0..K).map(|_| Vec::new()).collect();
         let mut cursor = [0usize; K];
         // Replay the schedule: seed request first touch, then in order.
         let mut order: Vec<usize> = Vec::new();
@@ -78,20 +78,20 @@ proptest! {
         for k in order {
             let j = cursor[k];
             if j < per[k].len() {
-                managed[k].push(manager.eval(ids[k], &per[k][j]));
+                managed[k].push(store.eval(ids[k], &per[k][j]));
                 cursor[k] = j + 1;
             }
         }
-        let ledgers: Vec<String> = ids.iter().map(|id| manager.ledger(*id)).collect();
-        let digests: Vec<String> = ids.iter().map(|id| manager.digest(*id)).collect();
-        let (evictions, resumes) = manager.eviction_counters();
-        prop_assert!(evictions > 0, "residency cap 2 with {K} sessions must evict");
+        let ledgers: Vec<Reply> = ids.iter().map(|id| store.ledger(*id)).collect();
+        let digests: Vec<Reply> = ids.iter().map(|id| store.digest(*id)).collect();
+        let (evictions, resumes) = store.eviction_counters();
+        prop_assert!(evictions > 0, "residency cap 2 with {} sessions must evict", K);
         prop_assert!(resumes > 0, "touching an evicted session must resume it");
 
         // Serial twin: fresh sessions, never evicted, same scripts.
         for k in 0..K {
             let mut s = Session::new(ids[k], &cfg(usize::MAX));
-            let serial: Vec<String> = per[k].iter().map(|r| s.eval(r)).collect();
+            let serial: Vec<Reply> = per[k].iter().map(|r| s.eval(r)).collect();
             prop_assert_eq!(&managed[k], &serial, "replies diverged for session {}", k);
             prop_assert_eq!(&ledgers[k], &s.ledger_reply(), "ledger diverged for session {}", k);
             prop_assert_eq!(&digests[k], &s.digest_reply(), "digest diverged for session {}", k);
@@ -99,19 +99,19 @@ proptest! {
             prop_assert_eq!(occupancy, 0, "serial session {} leaked", k);
         }
         for id in ids {
-            prop_assert_eq!(manager.close(id), "(ok closed 0)".to_string());
+            prop_assert_eq!(store.close(id), Reply::Closed { occupancy: 0 });
         }
     }
 }
 
 /// Deterministic round-trip: with a residency cap of 1, two sessions
 /// alternating requests are suspended and resumed on every touch; the
-/// evicted-every-time run must match a never-evicted manager exactly,
+/// evicted-every-time run must match a never-evicted store exactly,
 /// including ledgers (stats-neutral suspend) and digests.
 #[test]
 fn eviction_round_trip_is_invisible() {
-    let thrash = SessionManager::new(cfg(1));
-    let roomy = SessionManager::new(cfg(usize::MAX));
+    let mut thrash = SessionStore::new(cfg(1));
+    let mut roomy = SessionStore::new(cfg(usize::MAX));
     let a = [thrash.open(), roomy.open()];
     let b = [thrash.open(), roomy.open()];
     let script = [
@@ -147,12 +147,12 @@ fn eviction_round_trip_is_invisible() {
     assert_eq!(
         (roomy_ev, roomy_res),
         (0, 0),
-        "roomy manager must never evict"
+        "roomy store must never evict"
     );
     for id in [a[0], b[0]] {
-        assert_eq!(thrash.close(id), "(ok closed 0)");
+        assert_eq!(thrash.close(id), Reply::Closed { occupancy: 0 });
     }
     for id in [a[1], b[1]] {
-        assert_eq!(roomy.close(id), "(ok closed 0)");
+        assert_eq!(roomy.close(id), Reply::Closed { occupancy: 0 });
     }
 }
