@@ -5,21 +5,27 @@
 //! cargo run -p small-bench --bin regress --release            # deterministic payload
 //! cargo run -p small-bench --bin regress --release -- --wall  # + wall-time medians
 //! cargo run -p small-bench --bin regress --release -- --out path.json
+//! cargo run -p small-bench --bin regress --release -- --check # verify committed file
 //! ```
 //!
-//! Without `--wall` the payload contains only virtual-cycle totals and
-//! event counts and is byte-identical across consecutive runs (the CI
-//! determinism gate depends on this).
+//! Without `--wall` the payload contains only virtual-cycle totals,
+//! event counts, and latency quantiles and is byte-identical across
+//! consecutive runs. `--check` regenerates that deterministic payload
+//! and byte-compares it against the committed file with wall-time
+//! medians normalized to `null` (the CI trajectory gate: committed
+//! wall data is machine-local, everything else must reproduce exactly).
 
 use small_bench::regress;
 
 fn main() {
     let mut wall = false;
+    let mut check = false;
     let mut out = String::from("BENCH_small.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--wall" => wall = true,
+            "--check" => check = true,
             "--out" => match args.next() {
                 Some(p) => out = p,
                 None => {
@@ -29,10 +35,14 @@ fn main() {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: regress [--wall] [--out <path>]");
+                eprintln!("usage: regress [--wall] [--check] [--out <path>]");
                 std::process::exit(2);
             }
         }
+    }
+    if check && wall {
+        eprintln!("--check regenerates the deterministic payload; drop --wall");
+        std::process::exit(2);
     }
 
     let results = regress::run(wall);
@@ -50,7 +60,44 @@ fn main() {
                 .unwrap_or_default(),
         );
     }
-    let json = regress::to_json(&results);
+    let soak = regress::run_soak_cells(wall);
+    for r in &soak {
+        println!(
+            "soak seed {:<3} {}x{}  reqs {:>5}  evals {:>5}  eval p50 {:>5} p99 {:>5} cycles{}",
+            r.cell.seed,
+            r.cell.clients,
+            r.cell.requests,
+            r.requests_total,
+            r.evals,
+            r.eval_p50_cycles,
+            r.eval_p99_cycles,
+            r.wall_us
+                .map(|us| format!("  wall {us}us"))
+                .unwrap_or_default(),
+        );
+    }
+    let json = regress::to_json(&results, &soak);
+
+    if check {
+        let committed = match std::fs::read_to_string(&out) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("could not read {out}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if regress::normalize_wall(committed.trim_end()) == json {
+            println!("{out} matches the regenerated trajectory (wall medians ignored)");
+        } else {
+            eprintln!("{out} diverges from the regenerated trajectory");
+            eprintln!(
+                "regenerate with: cargo run -p small-bench --bin regress --release -- --wall"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
     match std::fs::write(&out, &json) {
         Ok(()) => println!(
             "wrote {out} ({} bytes, schema {})",

@@ -151,14 +151,20 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 ≤ q ≤ 1.0`): the smallest power-of-two bound below which at
-    /// least `q` of the samples fall. Returns 0 for an empty histogram.
+    /// Lower bound of the bucket containing the `q`-quantile sample.
+    ///
+    /// `q` is clamped to `[0, 1]` and mapped to the `max(1, ⌈q·count⌉)`-th
+    /// sample in sorted order, so the edges are defined: `quantile(0.0)`
+    /// is the minimum sample's bucket bound, `quantile(1.0)` the maximum
+    /// sample's. An empty histogram reports 0 for every `q`. Because the
+    /// answer depends only on the bucket array and the count, it is
+    /// invariant under recording order and under any sequence of
+    /// [`Histogram::merge`] calls producing the same sample multiset.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (k, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -454,7 +460,10 @@ pub struct EventCounts {
 }
 
 impl EventCounts {
-    fn record(&mut self, event: Event) {
+    /// Fold one event into the counters (the body of
+    /// [`CountingSink::record`], public so composite sinks can reuse
+    /// it).
+    pub fn record(&mut self, event: Event) {
         match event {
             Event::LptHit => self.lpt_hits.inc(),
             Event::LptMiss => self.lpt_misses.inc(),
@@ -779,7 +788,10 @@ impl MetricsSnapshot {
     }
 }
 
-fn histogram_json(h: &Histogram) -> String {
+/// Serialize one histogram with the fixed key order every snapshot
+/// consumer relies on: `count`, `sum`, `min`, `max`, `p50`, `p99`,
+/// `buckets` (non-empty buckets as `[lower_bound, count]` pairs).
+pub fn histogram_json(h: &Histogram) -> String {
     let mut o = JsonObject::new();
     o.field_u64("count", h.count());
     o.field_u64("sum", h.sum());
@@ -989,12 +1001,11 @@ mod tests {
             assert_eq!(h.sum(), v);
             assert_eq!((h.min(), h.max()), (v, v));
             assert_eq!(h.mean(), v as f64);
-            // q = 0 asks for an empty prefix and reports 0 by convention.
-            assert_eq!(h.quantile(0.0), 0);
-            // Every positive quantile of a one-sample distribution lands
-            // in the sample's bucket: the reported bound is the bucket's
-            // lower bound, which is ≤ v and within a factor of two of it.
-            for q in [0.5, 1.0] {
+            // Every quantile of a one-sample distribution — p0 and p100
+            // included — lands in the sample's bucket: the reported bound
+            // is the bucket's lower bound, which is ≤ v and within a
+            // factor of two of it.
+            for q in [0.0, 0.5, 1.0] {
                 let b = h.quantile(q);
                 assert!(b <= v, "quantile({q}) = {b} above sample {v}");
                 assert!(v < 2 * b.max(1), "quantile({q}) = {b} not v's bucket");
@@ -1019,12 +1030,74 @@ mod tests {
         // Quantiles outside [0,1] clamp rather than panic or scan past
         // the last bucket.
         assert_eq!(h.quantile(2.0), 1u64 << 63);
-        assert_eq!(h.quantile(-1.0), 0, "q<=0 clamps to the first sample");
+        assert_eq!(h.quantile(-1.0), 1u64 << 63, "q<0 clamps to q=0");
         let mut other = Histogram::new();
         other.record(u64::MAX);
         h.merge(&other);
         assert_eq!(h.sum(), u64::MAX, "merge saturates too");
         assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantile_endpoints_track_min_and_max_buckets() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 17, 64] {
+            h.record(v);
+        }
+        // p0 is the minimum sample's bucket lower bound, p100 the
+        // maximum's — neither collapses to 0.
+        assert_eq!(h.quantile(0.0), 2, "3 lives in [2,4)");
+        assert_eq!(h.quantile(1.0), 512, "900 lives in [512,1024)");
+        // Single-bucket data: every quantile is that bucket's bound.
+        let mut one = Histogram::new();
+        one.record(5);
+        one.record(6);
+        one.record(7);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 4, "all samples in [4,8)");
+        }
+    }
+
+    #[test]
+    fn merge_and_quantile_are_order_independent() {
+        let samples: [u64; 8] = [0, 1, 5, 5, 12, 80, 80, 4000];
+        let mut forward = Histogram::new();
+        let mut reverse = Histogram::new();
+        for &v in &samples {
+            forward.record(v);
+        }
+        for &v in samples.iter().rev() {
+            reverse.record(v);
+        }
+        assert_eq!(forward, reverse, "recording order is invisible");
+        // Split the same multiset across shards in two different ways;
+        // merging in any order must agree bucket-for-bucket, so every
+        // quantile agrees too.
+        let mut split_a = Histogram::new();
+        let mut split_b = Histogram::new();
+        for (k, &v) in samples.iter().enumerate() {
+            if k % 2 == 0 {
+                split_a.record(v);
+            } else {
+                split_b.record(v);
+            }
+        }
+        let mut ab = split_a.clone();
+        ab.merge(&split_b);
+        let mut ba = split_b.clone();
+        ba.merge(&split_a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, forward);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(ab.quantile(q), forward.quantile(q));
+            assert_eq!(ba.quantile(q), forward.quantile(q));
+        }
+        // Merging an empty histogram is the identity, edges included.
+        let mut with_empty = forward.clone();
+        with_empty.merge(&Histogram::new());
+        assert_eq!(with_empty, forward);
+        assert_eq!(with_empty.min(), 0);
+        assert_eq!(with_empty.quantile(0.0), forward.quantile(0.0));
     }
 
     // A minimal JSON reader for the round-trip test: parses objects into

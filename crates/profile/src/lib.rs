@@ -597,6 +597,130 @@ impl Profile {
     }
 }
 
+// ---------------------------------------------------------------------
+// CycleClock — the bare virtual clock, for callers that need elapsed
+// cycles without spans or attribution (the serve layer's per-request
+// latency telemetry).
+// ---------------------------------------------------------------------
+
+/// The incremental virtual clock of [`SpanSink::close_op`] /
+/// [`TimingModel::run_stream`], stripped of span and attribution
+/// storage: advance it one operation class at a time, read the total
+/// elapsed cycles, reset.
+///
+/// Because the arithmetic is identical to `run_stream`, the elapsed
+/// total over a class stream is a pure function of that stream — the
+/// property the serving layer's deterministic latency histograms gate
+/// on.
+#[derive(Debug, Clone)]
+pub struct CycleClock {
+    model: TimingModel,
+    ep_gap: u64,
+    now: u64,
+    lp_free_at: u64,
+}
+
+impl Default for CycleClock {
+    fn default() -> Self {
+        CycleClock::new(TimingModel::default(), DEFAULT_EP_GAP)
+    }
+}
+
+impl CycleClock {
+    /// A clock under an explicit cost model and inter-operation EP gap.
+    pub fn new(model: TimingModel, ep_gap: u64) -> CycleClock {
+        CycleClock {
+            model,
+            ep_gap,
+            now: 0,
+            lp_free_at: 0,
+        }
+    }
+
+    /// Advance over one completed operation — the `run_stream` loop
+    /// body, including the §4.3.2.5 chaining stall against the previous
+    /// operation's LP tail.
+    pub fn advance(&mut self, class: OpClass) {
+        let t = self.model.op(TimedOp::from_class(class));
+        let pre_end = self.now + t.ep_pre;
+        let stall = self.lp_free_at.saturating_sub(pre_end);
+        let service_end = pre_end + stall + t.latency;
+        self.lp_free_at = service_end + t.lp_tail;
+        self.now = service_end + self.ep_gap;
+    }
+
+    /// Total elapsed cycles so far: EP time or outstanding LP tail,
+    /// whichever runs later (the `run_stream` total).
+    pub fn elapsed(&self) -> u64 {
+        self.now.max(self.lp_free_at)
+    }
+
+    /// Read the elapsed total and reset to zero — one call per request
+    /// gives per-request cycle costs on a shared clock.
+    pub fn take(&mut self) -> u64 {
+        let elapsed = self.elapsed();
+        self.now = 0;
+        self.lp_free_at = 0;
+        elapsed
+    }
+}
+
+// ---------------------------------------------------------------------
+// chrome — the Chrome Trace Format emitter, reusable by layers that
+// trace wall-clock spans (the serve layer's shard event loops) rather
+// than virtual cycles.
+// ---------------------------------------------------------------------
+
+/// Incremental Chrome Trace Format builder: named threads plus
+/// complete (`"X"`) duration events, loadable in `chrome://tracing`
+/// and Perfetto. [`Profile::chrome_trace_json`] emits the virtual-cycle
+/// timeline in the same envelope; this builder serves wall-clock span
+/// logs whose intervals are known at record time.
+pub mod chrome {
+    /// A trace under construction. Events appear in emission order;
+    /// timestamps and durations are microseconds.
+    #[derive(Debug, Default)]
+    pub struct TraceBuilder {
+        parts: Vec<String>,
+    }
+
+    impl TraceBuilder {
+        /// A trace whose single process carries `process_name`.
+        pub fn new(process_name: &str) -> TraceBuilder {
+            let mut b = TraceBuilder { parts: Vec::new() };
+            b.parts.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+                 \"args\":{{\"name\":\"{process_name}\"}}}}"
+            ));
+            b
+        }
+
+        /// Name thread `tid` in the trace viewer.
+        pub fn thread(&mut self, tid: u32, name: &str) {
+            self.parts.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+
+        /// One complete duration event on thread `tid`.
+        pub fn complete(&mut self, name: &str, cat: &str, tid: u32, ts_us: u64, dur_us: u64) {
+            self.parts.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+                 \"ts\":{ts_us},\"dur\":{dur_us},\"pid\":1,\"tid\":{tid}}}"
+            ));
+        }
+
+        /// Close the trace and return the JSON text.
+        pub fn finish(self) -> String {
+            format!(
+                "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+                self.parts.join(",")
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,11 +5,19 @@
 //! serve [--addr HOST:PORT] [--table-size N] [--heap-cells N]
 //!       [--max-resident N] [--step-budget N]
 //!       [--shards N] [--queue-cap N] [--max-conns N] [--replicate]
+//!       [--wall] [--metrics-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! With `--replicate` the server runs as a replication primary:
 //! every mutating request is appended to the in-memory WAL and
 //! replica-role connections may `(pull <lsn>)` journal frames.
+//!
+//! Telemetry: virtual-cycle latency histograms are always on and
+//! queryable live with a `(metrics)` request; `--wall` additionally
+//! records wall-clock latency. `--metrics-out PATH` writes a
+//! Prometheus-style text exposition of the final merged snapshot at
+//! shutdown, and `--trace-out PATH` writes a Chrome Trace Format JSON
+//! of the shard event-loop spans (open in `chrome://tracing`).
 
 use small_serve::server::ServerParams;
 use small_serve::session::ServeConfig;
@@ -36,11 +44,31 @@ fn run() -> Result<(), String> {
         max_resident: parse_flag(&args, "--max-resident", 8usize)?,
         step_budget: parse_flag(&args, "--step-budget", 2_000_000u64)?,
     };
+    let metrics_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| "--metrics-out needs a path".to_string())
+        })
+        .transpose()?;
+    let trace_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| "--trace-out needs a path".to_string())
+        })
+        .transpose()?;
     let params = ServerParams {
         shards: parse_flag(&args, "--shards", 4usize)?,
         queue_cap: parse_flag(&args, "--queue-cap", 64usize)?,
         max_conns_per_shard: parse_flag(&args, "--max-conns", 64usize)?,
         replicate: args.iter().any(|a| a == "--replicate"),
+        wall: args.iter().any(|a| a == "--wall"),
+        trace: trace_out.is_some(),
     };
     let handle = small_serve::start(&addr, cfg, params).map_err(|e| e.to_string())?;
     eprintln!(
@@ -58,7 +86,18 @@ fn run() -> Result<(), String> {
          (hello {PROTO_VERSION} client); send (shutdown) to drain"
     );
     // A client's (shutdown) triggers the drain; joining is the wait.
-    handle.join();
+    let outcome = handle.join();
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, outcome.prometheus()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics exposition written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let json = outcome
+            .chrome_trace()
+            .expect("trace was enabled by --trace-out");
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (open in chrome://tracing)");
+    }
     Ok(())
 }
 

@@ -5,14 +5,24 @@
 //! soak [--seeds N | --seeds a,b,c] [--clients N] [--requests N]
 //!      [--max-resident N] [--shards N] [--queue-cap N]
 //!      [--churn N] [--churn-workers N] [--out PATH]
+//!      [--wall] [--metrics-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! `--seeds N` (a single integer) takes the first `N` pinned seeds, so
 //! `soak --seeds 3 --clients 8` is a stable CI invocation. A comma
 //! list pins explicit seeds. `--churn N` appends a phase that rolls
 //! `N` short-lived sessions through a fresh server across a small
-//! worker fleet. Exit is nonzero on any transcript or aggregate-count
-//! mismatch, or if the run exercised no eviction/resume churn.
+//! worker fleet. Exit is nonzero on any transcript, aggregate-count,
+//! or metrics-snapshot mismatch, or if the run exercised no
+//! eviction/resume churn.
+//!
+//! Telemetry: every run prints sustained req/s and per-shard p50/p99
+//! eval latency (virtual clock) to stderr, and the report embeds the
+//! deterministic metrics snapshot fetched live over `(metrics)`.
+//! `--wall` additionally records wall-clock latency histograms,
+//! `--metrics-out PATH` writes the merged Prometheus text exposition,
+//! and `--trace-out PATH` records shard event-loop spans and writes a
+//! Chrome Trace Format JSON (open in `chrome://tracing`).
 
 use small_serve::gen::PINNED_SEEDS;
 use small_serve::session::ServeConfig;
@@ -72,6 +82,10 @@ fn run() -> Result<ExitCode, String> {
         p.churn_workers = s.parse().map_err(|_| "bad --churn-workers")?;
     }
     let out = arg_value(&args, "--out").unwrap_or_else(|| "results/soak_report.json".to_string());
+    let metrics_out = arg_value(&args, "--metrics-out");
+    let trace_out = arg_value(&args, "--trace-out");
+    p.server.wall = args.iter().any(|a| a == "--wall");
+    p.server.trace = trace_out.is_some();
 
     let outcome = run_soak(&p).map_err(|e| e.to_string())?;
     if let Some(dir) = std::path::Path::new(&out).parent() {
@@ -80,6 +94,21 @@ fn run() -> Result<ExitCode, String> {
         }
     }
     std::fs::write(&out, &outcome.report).map_err(|e| e.to_string())?;
+    for line in &outcome.summary {
+        eprintln!("soak: {line}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, &outcome.prometheus).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("soak: metrics exposition written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let json = outcome
+            .chrome_trace
+            .as_deref()
+            .ok_or("trace was enabled but no trace was collected")?;
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("soak: chrome trace written to {path} (open in chrome://tracing)");
+    }
 
     eprintln!(
         "soak: {} seeds x {} clients x {} requests ({} shards, churn {}) -> {}",

@@ -81,6 +81,7 @@ impl Default for FailoverParams {
                 queue_cap: 64,
                 max_conns_per_shard: 16,
                 replicate: true,
+                ..ServerParams::default()
             },
         }
     }

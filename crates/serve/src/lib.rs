@@ -29,6 +29,11 @@
 //! * [`repl`] — WAL-shipping replication: group-committed journal
 //!   frames pulled by a warm [`repl::Standby`] and replayed under
 //!   digest verification, so failover promotes byte-identical state.
+//! * [`telemetry`] — the request-path observability layer: per-shard
+//!   [`telemetry::ShardMetrics`] latency histograms on two clocks
+//!   (deterministic virtual cycles, opt-in wall time), volatile
+//!   queue/shed/WAL-lag observables, a Prometheus text dump, and a
+//!   wall-clock [`telemetry::TraceLog`] exporting Chrome traces.
 //! * [`gen`] / [`soak`] / [`failover`] — seeded load generation, the
 //!   fleet-vs-serial-twin soak (plus multi-thousand-session churn),
 //!   and the kill-primary failover campaign, all with
@@ -47,6 +52,7 @@ pub mod server;
 pub mod session;
 pub mod shard;
 pub mod soak;
+pub mod telemetry;
 
 pub use client::Client;
 pub use failover::{run_failover, FailoverOutcome, FailoverParams};
@@ -56,3 +62,4 @@ pub use repl::{Standby, Wal};
 pub use server::{start, DrainOutcome, ServerHandle, ServerParams};
 pub use session::{ServeConfig, Session};
 pub use soak::{run_soak, SoakOutcome, SoakParams};
+pub use telemetry::{prometheus_text, ReqKind, ServeSink, ShardMetrics, TraceLog, VolatileMetrics};

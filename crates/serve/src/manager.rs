@@ -32,9 +32,12 @@
 
 use crate::protocol::{err, Reply, Request, StatsBody, PROTO_VERSION};
 use crate::session::{ServeConfig, Session};
+use crate::telemetry::{ReqKind, ShardMetrics, TraceLog, VolatileMetrics};
 use small_metrics::EventCounts;
 use small_persist::PersistError;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 enum Slot {
     Resident(Box<Session>),
@@ -55,6 +58,15 @@ pub struct SessionStore {
     /// Counts carried by sessions that have been closed (so `(stats)`
     /// keeps covering them).
     retired: EventCounts,
+    /// Per-request-kind latency telemetry for every request this store
+    /// served. The virtual-cycle histograms are deterministic (latency
+    /// is a pure function of each request's operation stream — see
+    /// [`Session::take_cycles`]); the wall histograms fill only under
+    /// [`SessionStore::with_wall`].
+    telemetry: ShardMetrics,
+    wall: bool,
+    /// Wall-clock span log and this store's trace thread, when tracing.
+    trace: Option<(Arc<TraceLog>, u32)>,
 }
 
 impl SessionStore {
@@ -69,12 +81,44 @@ impl SessionStore {
             evictions: 0,
             resumes: 0,
             retired: EventCounts::default(),
+            telemetry: ShardMetrics::default(),
+            wall: false,
+            trace: None,
         }
+    }
+
+    /// Enable wall-clock request timing (the volatile half of the
+    /// telemetry; off by default so unpinned machines don't report
+    /// noise).
+    pub fn with_wall(mut self, wall: bool) -> SessionStore {
+        self.wall = wall;
+        self
+    }
+
+    /// Attach a span log; suspend/resume lifecycle events on this store
+    /// record to trace thread `tid`.
+    pub fn with_trace(mut self, log: Arc<TraceLog>, tid: u32) -> SessionStore {
+        self.trace = Some((log, tid));
+        self
+    }
+
+    /// The store's request telemetry.
+    pub fn telemetry(&self) -> &ShardMetrics {
+        &self.telemetry
     }
 
     /// The configuration sessions are built with.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    fn wall_start(&self) -> Option<Instant> {
+        self.wall.then(Instant::now)
+    }
+
+    fn record_req(&mut self, kind: ReqKind, cycles: u64, t0: Option<Instant>) {
+        let wall_us = t0.map(|t| t.elapsed().as_micros() as u64);
+        self.telemetry.record(kind, cycles, wall_us);
     }
 
     /// Create a session with a store-allocated id (serial twin and
@@ -93,11 +137,13 @@ impl SessionStore {
         if self.slots.contains_key(&id) {
             return err("session", "duplicate-session");
         }
+        let t0 = self.wall_start();
         self.next_id = self.next_id.max(id + 1);
         let session = Box::new(Session::new(id, &self.cfg));
         self.slots.insert(id, Slot::Resident(session));
         self.touch(id);
         self.enforce_lru();
+        self.record_req(ReqKind::Open, 0, t0);
         Reply::Opened { id }
     }
 
@@ -123,6 +169,8 @@ impl SessionStore {
             // Synchronous suspend: by the time this statement finishes
             // the blob is fully written. There is no in-flight state
             // for a drain to race.
+            let trace = self.trace.clone();
+            let _span = trace.as_ref().map(|(log, tid)| log.span(*tid, "suspend"));
             self.slots
                 .insert(victim, Slot::Suspended(session.suspend()));
             self.evictions += 1;
@@ -155,9 +203,18 @@ impl SessionStore {
                 let Some(Slot::Suspended(bytes)) = self.slots.remove(&id) else {
                     unreachable!("matched suspended above");
                 };
-                match Session::resume(id, &self.cfg, &bytes) {
+                let trace = self.trace.clone();
+                let resume_span = trace.as_ref().map(|(log, tid)| log.span(*tid, "resume"));
+                let resumed = Session::resume(id, &self.cfg, &bytes);
+                drop(resume_span);
+                match resumed {
                     Ok(mut s) => {
                         self.resumes += 1;
+                        // Discard any cycles the resume machinery
+                        // accrued (handle re-wrapping): request latency
+                        // must not depend on whether the session was
+                        // evicted, or the twin comparison would break.
+                        let _ = s.take_cycles();
                         let reply = f(&mut s);
                         self.slots.insert(id, Slot::Resident(Box::new(s)));
                         self.touch(id);
@@ -173,26 +230,45 @@ impl SessionStore {
         }
     }
 
-    /// Compile and run a request program on session `id`.
+    /// Compile and run a request program on session `id`. The request's
+    /// virtual-cycle cost (priced by the session's [`crate::telemetry::ServeSink`])
+    /// lands in this store's telemetry.
     pub fn eval(&mut self, id: u64, src: &str) -> Reply {
-        self.with_session(id, |s| s.eval(src))
+        let t0 = self.wall_start();
+        let mut cycles = 0;
+        let reply = self.with_session(id, |s| {
+            let r = s.eval(src);
+            cycles = s.take_cycles();
+            r
+        });
+        self.record_req(ReqKind::Eval, cycles, t0);
+        reply
     }
 
-    /// The session's `LptStats` ledger reply.
+    /// The session's `LptStats` ledger reply. Ledger reads run no
+    /// machine operations, so their virtual-cycle cost is 0 by
+    /// definition; the histogram still counts them.
     pub fn ledger(&mut self, id: u64) -> Reply {
-        self.with_session(id, |s| s.ledger_reply())
+        let t0 = self.wall_start();
+        let reply = self.with_session(id, |s| s.ledger_reply());
+        self.record_req(ReqKind::Ledger, 0, t0);
+        reply
     }
 
     /// The session's transcript digest reply.
     pub fn digest(&mut self, id: u64) -> Reply {
-        self.with_session(id, |s| s.digest_reply())
+        let t0 = self.wall_start();
+        let reply = self.with_session(id, |s| s.digest_reply());
+        self.record_req(ReqKind::Digest, 0, t0);
+        reply
     }
 
     /// Close a session: shut its machine down and remove it. The reply
     /// carries the residual LPT occupancy (0 unless the session leaked
     /// cyclic garbage).
     pub fn close(&mut self, id: u64) -> Reply {
-        match self.slots.remove(&id) {
+        let t0 = self.wall_start();
+        let reply = match self.slots.remove(&id) {
             None => err("session", "no-such-session"),
             Some(Slot::Resident(session)) => {
                 self.touch.remove(&id);
@@ -217,7 +293,9 @@ impl SessionStore {
                     Err(e) => Session::persist_reply(&e),
                 }
             }
-        }
+        };
+        self.record_req(ReqKind::Close, 0, t0);
+        reply
     }
 
     /// Map any typed request to its reply, exactly as the server does —
@@ -243,6 +321,12 @@ impl SessionStore {
             Request::Ledger { id } => self.ledger(*id),
             Request::Digest { id } => self.digest(*id),
             Request::Stats => Reply::Stats(Box::new(self.stats_body())),
+            Request::Metrics => Reply::Metrics {
+                deterministic: self.telemetry.deterministic_json(),
+                // A serial twin has no queues, sheds, or WAL — its
+                // volatile section is structurally present but empty.
+                volatile: VolatileMetrics::default().json(&self.telemetry),
+            },
             Request::Close { id } => self.close(*id),
             Request::Shutdown => Reply::Draining,
             Request::Pull { .. } => err("proto", "not-a-replica"),
@@ -273,6 +357,7 @@ impl SessionStore {
             sessions: self.slots.len() as u64,
             evictions: self.evictions,
             resumes: self.resumes,
+            requests: self.telemetry.requests(),
             counts: self.aggregate_counts().to_words(),
         }
     }
@@ -429,7 +514,7 @@ mod tests {
                     role: crate::protocol::Role::Client
                 })
                 .encode(),
-            "(err proto unsupported-version 99 1)"
+            "(err proto unsupported-version 99 2)"
         );
         assert_eq!(store.apply(&Request::Shutdown), Reply::Draining);
         assert_eq!(

@@ -23,6 +23,7 @@
 //!         | (ledger <id:int>)
 //!         | (digest <id:int>)
 //!         | (stats)
+//!         | (metrics)
 //!         | (close <id:int>)
 //!         | (shutdown)
 //!         | (pull <lsn:int>)                 replica connections only
@@ -33,7 +34,8 @@
 //!         | (ok ledger (<field:sym> <n:int>)*20)
 //!         | (ok digest d<hex16>)
 //!         | (ok stats (sessions <n>) (evictions <n>) (resumes <n>)
-//!                     (<counter:sym> <n:int>)*22)
+//!                     (requests <n>) (<counter:sym> <n:int>)*22)
+//!         | (ok metrics <det-json:h-hex> <vol-json:h-hex>)
 //!         | (ok closed <occupancy:int>)
 //!         | (ok draining)
 //!         | (ok frames <next-lsn:int> <h-hex:sym>)
@@ -43,7 +45,12 @@
 //! `d<hex16>` is a symbol: `d` followed by 16 lowercase hex digits (the
 //! reader has no token for a full 64-bit unsigned integer). `<h-hex>`
 //! is a symbol `h` followed by an even number of lowercase hex digits
-//! carrying binary WAL frames (possibly zero digits — an empty batch).
+//! carrying a binary payload (possibly zero digits — an empty one):
+//! concatenated WAL frames in `(ok frames …)`, UTF-8 JSON snapshot text
+//! in `(ok metrics …)`. The metrics reply carries two payloads — the
+//! *deterministic* snapshot (virtual-cycle latency histograms; byte-
+//! identical across same-seed runs) and the *volatile* one (wall-clock
+//! histograms, queue depth, shed counters, WAL lag).
 //!
 //! The first request on a connection should be the versioned
 //! handshake. A `hello` whose version is not [`PROTO_VERSION`] is
@@ -71,7 +78,9 @@ use small_sexpr::{parse, print, Interner, ParseError, SExpr};
 use std::io::{self, Read, Write};
 
 /// Current protocol version, announced in the `(hello …)` handshake.
-pub const PROTO_VERSION: u32 = 1;
+/// Version 2 added the `(metrics)` request and the `(requests <n>)`
+/// field in `(ok stats …)`.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload; a peer announcing more is corrupt
 /// (or hostile) and the connection is dropped.
@@ -267,6 +276,9 @@ pub enum Request {
     },
     /// `(stats)` — server-wide aggregate counters.
     Stats,
+    /// `(metrics)` — the server-wide telemetry snapshot (deterministic
+    /// and volatile JSON sections as hex-symbol payloads).
+    Metrics,
     /// `(close <id>)` — shut the session's machine down.
     Close {
         /// Target session.
@@ -294,6 +306,7 @@ impl Request {
             Request::Ledger { id } => format!("(ledger {id})"),
             Request::Digest { id } => format!("(digest {id})"),
             Request::Stats => "(stats)".to_string(),
+            Request::Metrics => "(metrics)".to_string(),
             Request::Close { id } => format!("(close {id})"),
             Request::Shutdown => "(shutdown)".to_string(),
             Request::Pull { from } => format!("(pull {from})"),
@@ -353,6 +366,7 @@ impl Request {
                 None => bad(),
             },
             "stats" if items.len() == 1 => Ok(Request::Stats),
+            "metrics" if items.len() == 1 => Ok(Request::Metrics),
             "close" if items.len() == 2 => match uint(1) {
                 Some(id) => Ok(Request::Close { id }),
                 None => bad(),
@@ -381,6 +395,8 @@ pub struct StatsBody {
     pub evictions: u64,
     /// Lifetime resume-on-touch events.
     pub resumes: u64,
+    /// Session-targeting requests served (all kinds).
+    pub requests: u64,
     /// Aggregated [`EventCounts`] words.
     pub counts: [u64; 22],
 }
@@ -412,6 +428,19 @@ pub enum Reply {
     },
     /// `(ok stats …)`.
     Stats(Box<StatsBody>),
+    /// `(ok metrics <h-hex> <h-hex>)` — the telemetry snapshot's
+    /// deterministic and volatile JSON sections, hex-encoded so
+    /// harnesses can byte-compare the deterministic payload without
+    /// parsing JSON.
+    Metrics {
+        /// Fixed-key-order JSON: virtual-cycle latency histograms and
+        /// per-kind request counts. Byte-identical across same-seed
+        /// runs.
+        deterministic: String,
+        /// Fixed-key-order JSON: wall-clock histograms, queue depth,
+        /// shed counters, WAL-replication lag. Never byte-compared.
+        volatile: String,
+    },
     /// `(ok closed <occupancy>)`.
     Closed {
         /// Residual LPT occupancy the closed session left behind.
@@ -531,8 +560,8 @@ impl Reply {
             Reply::Digest { digest } => format!("(ok digest d{digest:016x})"),
             Reply::Stats(body) => {
                 let mut out = format!(
-                    "(ok stats (sessions {}) (evictions {}) (resumes {})",
-                    body.sessions, body.evictions, body.resumes
+                    "(ok stats (sessions {}) (evictions {}) (resumes {}) (requests {})",
+                    body.sessions, body.evictions, body.resumes, body.requests
                 );
                 for (name, v) in EventCounts::WORD_NAMES.iter().zip(body.counts.iter()) {
                     out.push_str(&format!(" ({} {v})", name.replace('_', "-")));
@@ -540,6 +569,14 @@ impl Reply {
                 out.push(')');
                 out
             }
+            Reply::Metrics {
+                deterministic,
+                volatile,
+            } => format!(
+                "(ok metrics {} {})",
+                hex_sym(deterministic.as_bytes()),
+                hex_sym(volatile.as_bytes())
+            ),
             Reply::Closed { occupancy } => format!("(ok closed {occupancy})"),
             Reply::Draining => "(ok draining)".to_string(),
             Reply::Frames { next, bytes } => {
@@ -606,7 +643,7 @@ impl Reply {
                             digest: u64::from_str_radix(hex, 16).ok()?,
                         })
                     }
-                    "stats" if items.len() == 5 + EventCounts::WORD_NAMES.len() => {
+                    "stats" if items.len() == 6 + EventCounts::WORD_NAMES.len() => {
                         let pair = |k: usize, want: &str| -> Option<u64> {
                             let p: Vec<&SExpr> = items[k].iter().collect();
                             if p.len() != 2 || scratch.name(p[0].as_sym()?) != want {
@@ -617,17 +654,27 @@ impl Reply {
                         let sessions = pair(2, "sessions")?;
                         let evictions = pair(3, "evictions")?;
                         let resumes = pair(4, "resumes")?;
+                        let requests = pair(5, "requests")?;
                         let mut counts = [0u64; 22];
                         for (k, slot) in counts.iter_mut().enumerate() {
                             let want = EventCounts::WORD_NAMES[k].replace('_', "-");
-                            *slot = pair(5 + k, &want)?;
+                            *slot = pair(6 + k, &want)?;
                         }
                         Some(Reply::Stats(Box::new(StatsBody {
                             sessions,
                             evictions,
                             resumes,
+                            requests,
                             counts,
                         })))
+                    }
+                    "metrics" if items.len() == 4 => {
+                        let det = parse_hex_sym(scratch.name(items[2].as_sym()?))?;
+                        let vol = parse_hex_sym(scratch.name(items[3].as_sym()?))?;
+                        Some(Reply::Metrics {
+                            deterministic: String::from_utf8(det).ok()?,
+                            volatile: String::from_utf8(vol).ok()?,
+                        })
                     }
                     "closed" if items.len() == 3 => Some(Reply::Closed {
                         occupancy: u64::try_from(items[2].as_int()?).ok()?,
@@ -869,6 +916,12 @@ mod tests {
             })
         );
         assert_eq!(Request::decode("(pull 17)"), Ok(Request::Pull { from: 17 }));
+        assert_eq!(Request::decode("(metrics)"), Ok(Request::Metrics));
+        // Arity matters: `(metrics 1)` is not a request.
+        assert_eq!(
+            Request::decode("(metrics 1)"),
+            Err(err("proto", "bad-request"))
+        );
         // Malformed requests come back as typed proto errors.
         assert_eq!(
             Request::decode("(nonsense)"),
@@ -908,11 +961,26 @@ mod tests {
         }
     }
 
+    #[test]
+    fn metrics_reply_round_trips_json_payloads() {
+        let reply = Reply::Metrics {
+            deterministic: "{\"schema\":\"small-metrics-snapshot/1\",\"requests\":2}".to_string(),
+            volatile: "{\"busy_sheds\":0,\"wal\":{\"lag\":3}}".to_string(),
+        };
+        let text = reply.encode();
+        // The payloads ride as hex symbols — braces and quotes never
+        // touch the s-expression reader.
+        assert!(text.starts_with("(ok metrics h"), "{text}");
+        assert!(!text.contains('{'), "{text}");
+        assert_eq!(Reply::decode(&text).as_ref(), Some(&reply));
+    }
+
     fn arb_request() -> impl Strategy<Value = Request> {
         let id = 0u64..1_000_000;
         prop_oneof![
             Just(Request::Open),
             Just(Request::Stats),
+            Just(Request::Metrics),
             Just(Request::Shutdown),
             (
                 0u32..10,
@@ -959,17 +1027,31 @@ mod tests {
                 0u64..100,
                 0u64..100,
                 0u64..100,
+                0u64..10_000,
                 prop::collection::vec(0u64..1_000_000, 22)
             )
-                .prop_map(|(sessions, evictions, resumes, v)| {
+                .prop_map(|(sessions, evictions, resumes, requests, v)| {
                     let mut counts = [0u64; 22];
                     counts.copy_from_slice(&v);
                     Reply::Stats(Box::new(StatsBody {
                         sessions,
                         evictions,
                         resumes,
+                        requests,
                         counts,
                     }))
+                }),
+            (
+                prop_oneof![
+                    Just("{\"requests\":0}".to_string()),
+                    Just("{\"kinds\":{\"eval\":{\"count\":3}}}".to_string()),
+                    Just(String::new()),
+                ],
+                prop_oneof![Just("{\"busy_sheds\":1}".to_string()), Just(String::new()),]
+            )
+                .prop_map(|(deterministic, volatile)| Reply::Metrics {
+                    deterministic,
+                    volatile
                 }),
             (0u64..1_000_000, prop::collection::vec(any::<u8>(), 0..48))
                 .prop_map(|(next, bytes)| Reply::Frames { next, bytes }),

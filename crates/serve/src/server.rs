@@ -20,6 +20,7 @@ use crate::protocol::StatsBody;
 use crate::repl::Wal;
 use crate::session::ServeConfig;
 use crate::shard::{shard_loop, RunQueue, SharedState};
+use crate::telemetry::{prometheus_text, ShardMetrics, TraceLog, VolatileMetrics};
 use small_metrics::EventCounts;
 use small_persist::PersistError;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,6 +43,14 @@ pub struct ServerParams {
     /// Run as a replication primary: append every mutating request to
     /// the WAL and serve `(pull …)` to replica-role connections.
     pub replicate: bool,
+    /// Record wall-clock request latency (the volatile half of the
+    /// telemetry; same opt-in as the bench harness's `--wall`). The
+    /// virtual-cycle histograms are always on — they cost a few adds
+    /// per operation and are deterministic.
+    pub wall: bool,
+    /// Record wall-clock spans (accept → decode → run → flush,
+    /// suspend/resume, WAL ship) for Chrome-trace export at drain.
+    pub trace: bool,
 }
 
 impl Default for ServerParams {
@@ -51,6 +60,8 @@ impl Default for ServerParams {
             queue_cap: 64,
             max_conns_per_shard: 64,
             replicate: false,
+            wall: false,
+            trace: false,
         }
     }
 }
@@ -69,9 +80,46 @@ pub struct DrainOutcome {
     /// session's checkpoint blob in here is fully written — barrier 2
     /// of the drain protocol guarantees it.
     pub stores: Vec<SessionStore>,
+    /// Per-shard volatile observables at drain, in shard order.
+    pub volatile: Vec<VolatileMetrics>,
+    /// The span log, when the server ran with [`ServerParams::trace`].
+    pub trace: Option<Arc<TraceLog>>,
 }
 
 impl DrainOutcome {
+    /// The merged request telemetry across shards (order-independent:
+    /// the deterministic section depends only on the multiset of
+    /// served requests).
+    pub fn telemetry(&self) -> ShardMetrics {
+        let mut total = ShardMetrics::default();
+        for store in &self.stores {
+            total.merge(store.telemetry());
+        }
+        total
+    }
+
+    /// The merged volatile observables across shards.
+    pub fn volatile_total(&self) -> VolatileMetrics {
+        let mut total = VolatileMetrics::default();
+        for v in &self.volatile {
+            total.merge(v);
+        }
+        total
+    }
+
+    /// The Prometheus-style text exposition of the final merged
+    /// snapshot (the `--metrics-out` dump).
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.telemetry(), &self.volatile_total())
+    }
+
+    /// The Chrome Trace Format JSON of the span log, when tracing was
+    /// on (open in `chrome://tracing` or Perfetto).
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace
+            .as_ref()
+            .map(|log| log.chrome_trace_json(self.stores.len()))
+    }
     /// Aggregate event counts across every shard (resident, suspended,
     /// and retired sessions included).
     pub fn aggregate_counts(&self) -> EventCounts {
@@ -115,6 +163,7 @@ pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Res
     assert!(params.shards > 0, "at least one shard");
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    let trace = params.trace.then(|| Arc::new(TraceLog::new()));
     let shared = Arc::new(SharedState {
         queues: (0..params.shards)
             .map(|_| Arc::new(RunQueue::new(params.queue_cap)))
@@ -126,10 +175,18 @@ pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Res
                     sessions: 0,
                     evictions: 0,
                     resumes: 0,
+                    requests: 0,
                     counts: [0u64; 22],
                 })
             })
             .collect(),
+        telemetry: (0..params.shards)
+            .map(|_| Mutex::new(ShardMetrics::default()))
+            .collect(),
+        volatile: (0..params.shards)
+            .map(|_| Mutex::new(VolatileMetrics::default()))
+            .collect(),
+        trace: trace.clone(),
         stop: AtomicBool::new(false),
         decode_done: AtomicUsize::new(0),
         queues_done: AtomicUsize::new(0),
@@ -141,7 +198,10 @@ pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Res
     let shards: Vec<JoinHandle<SessionStore>> = (0..params.shards)
         .map(|me| {
             let shared = Arc::clone(&shared);
-            let store = SessionStore::new(cfg);
+            let mut store = SessionStore::new(cfg).with_wall(params.wall);
+            if let Some(log) = &trace {
+                store = store.with_trace(Arc::clone(log), me as u32 + 1);
+            }
             let max_conns = params.max_conns_per_shard;
             std::thread::Builder::new()
                 .name(format!("shard-{me}"))
@@ -213,12 +273,22 @@ impl ServerHandle {
     /// loop is exactly this call.
     pub fn join(self) -> DrainOutcome {
         let _ = self.acceptor.join();
-        let stores = self
+        let stores: Vec<SessionStore> = self
             .shards
             .into_iter()
             .map(|h| h.join().expect("shard thread panicked"))
             .collect();
-        DrainOutcome { stores }
+        let volatile = self
+            .shared
+            .volatile
+            .iter()
+            .map(|cell| cell.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        DrainOutcome {
+            stores,
+            volatile,
+            trace: self.shared.trace.clone(),
+        }
     }
 }
 

@@ -2,8 +2,9 @@
 //!
 //! A [`Session`] owns a `Vm<SmallBackend>` (the EP), its List
 //! Processor (the LP), a persistent [`Interner`] so symbols keep their
-//! identities across requests, and a [`CountingSink`] recording the
-//! session's EP↔LP event traffic. Requests are s-expression program
+//! identities across requests, and a [`ServeSink`] recording the
+//! session's EP↔LP event traffic while pricing it on the machine's
+//! virtual clock. Requests are s-expression program
 //! texts; each is compiled against the session interner and run on the
 //! same machine, so `setq`-created globals (and the LPT entries they
 //! retain) carry over from request to request — exactly the paper's
@@ -22,13 +23,14 @@ use crate::protocol::{
     compile_error_reply, lp_error_reply, parse_error_reply, persist_error_reply, vm_error_reply,
     Reply,
 };
+use crate::telemetry::ServeSink;
 use small_core::machine::SmallBackend;
 use small_core::{Id, ListProcessor, LpConfig, LptStats};
 use small_heap::controller::TwoPointerController;
 use small_heap::PersistableController;
 use small_lisp::compiler::{compile_forms, compile_program};
 use small_lisp::vm::{ListBackend, Vm, VmValue};
-use small_metrics::{CountingSink, EventCounts};
+use small_metrics::EventCounts;
 use small_persist::{
     decode_checkpoint, digest_bytes, encode_checkpoint, ByteReader, ByteWriter, Checkpoint,
     PersistError, DIGEST_SEED,
@@ -70,7 +72,7 @@ impl ServeConfig {
     }
 }
 
-type Backend = SmallBackend<TwoPointerController, CountingSink>;
+type Backend = SmallBackend<TwoPointerController, ServeSink>;
 
 /// A resident session: one full SMALL machine plus request bookkeeping.
 pub struct Session {
@@ -96,7 +98,7 @@ impl Session {
     pub fn new(id: u64, cfg: &ServeConfig) -> Session {
         let mut interner = Interner::new();
         let backend =
-            SmallBackend::with_sink(cfg.heap_cells, cfg.lp_config(), CountingSink::default());
+            SmallBackend::with_sink(cfg.heap_cells, cfg.lp_config(), ServeSink::default());
         let vm = empty_vm(&mut interner, backend);
         Session {
             id,
@@ -183,6 +185,15 @@ impl Session {
     /// The session's event counts (a copy).
     pub fn counts(&self) -> EventCounts {
         self.vm.backend.lp.sink().counts
+    }
+
+    /// Virtual cycles accrued since the last take, pricing the
+    /// operation stream on the machine's timing model (see
+    /// [`ServeSink`]); resets the clock. The store calls this once per
+    /// request, so the value is a pure function of the request's own
+    /// operation stream — schedule- and eviction-independent.
+    pub fn take_cycles(&mut self) -> u64 {
+        self.vm.backend.lp.sink_mut().take_cycles()
     }
 
     /// Shut the machine down: release every binding and stack slot,
@@ -287,9 +298,7 @@ impl Session {
         r.expect_end().map_err(corrupt)?;
 
         let controller = TwoPointerController::import_image(&ckpt.controller)?;
-        let sink = CountingSink {
-            counts: EventCounts::from_words(&words),
-        };
+        let sink = ServeSink::with_counts(EventCounts::from_words(&words));
         let lp = ListProcessor::from_image(controller, cfg.lp_config(), &ckpt.lp, sink)?;
         if !lp.audit().is_clean() {
             return Err(corrupt("restored session table fails audit"));

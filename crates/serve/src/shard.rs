@@ -40,6 +40,7 @@ use crate::manager::SessionStore;
 use crate::protocol::{busy_reply, err, err_with, Reply, Request, Role, StatsBody, PROTO_VERSION};
 use crate::reactor::{Conn, Outbox};
 use crate::repl::{reply_digest, Wal, WalOp};
+use crate::telemetry::{ShardMetrics, TraceLog, VolatileMetrics};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -163,6 +164,14 @@ pub struct SharedState {
     pub inboxes: Vec<Mutex<Vec<TcpStream>>>,
     /// Per-shard published stats (each shard writes its own cell).
     pub stats: Vec<Mutex<StatsBody>>,
+    /// Per-shard published request telemetry (each shard copies its
+    /// store's registry into its own cell, before releasing replies —
+    /// same publication discipline as `stats`).
+    pub telemetry: Vec<Mutex<ShardMetrics>>,
+    /// Per-shard volatile observables (queue depth, sheds, WAL lag).
+    pub volatile: Vec<Mutex<VolatileMetrics>>,
+    /// Wall-clock span log, when tracing is on.
+    pub trace: Option<Arc<TraceLog>>,
     /// Drain flag: set by `(shutdown)` or the server handle.
     pub stop: AtomicBool,
     /// Shards that have permanently stopped decoding (barrier 1).
@@ -204,6 +213,7 @@ impl SharedState {
             sessions: 0,
             evictions: 0,
             resumes: 0,
+            requests: 0,
             counts: [0u64; 22],
         };
         for cell in &self.stats {
@@ -211,11 +221,38 @@ impl SharedState {
             body.sessions += c.sessions;
             body.evictions += c.evictions;
             body.resumes += c.resumes;
+            body.requests += c.requests;
             for (total, v) in body.counts.iter_mut().zip(c.counts.iter()) {
                 *total += v;
             }
         }
         Reply::Stats(Box::new(body))
+    }
+
+    /// Merge every shard's published telemetry cells into one snapshot.
+    /// Histogram merging is order-independent, so the deterministic
+    /// section depends only on the multiset of served requests — not on
+    /// which shard served what or when the cells are read.
+    pub fn merged_telemetry(&self) -> (ShardMetrics, VolatileMetrics) {
+        let mut reqs = ShardMetrics::default();
+        for cell in &self.telemetry {
+            reqs.merge(&cell.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        let mut vol = VolatileMetrics::default();
+        for cell in &self.volatile {
+            vol.merge(&cell.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        (reqs, vol)
+    }
+
+    /// The `(ok metrics …)` reply: both JSON sections from the merged
+    /// snapshot.
+    pub fn metrics_reply(&self) -> Reply {
+        let (reqs, vol) = self.merged_telemetry();
+        Reply::Metrics {
+            deterministic: reqs.deterministic_json(),
+            volatile: vol.json(&reqs),
+        }
     }
 }
 
@@ -242,10 +279,30 @@ fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> 
     if jobs.is_empty() {
         return 0;
     }
+    let tid = me as u32 + 1;
+    let mut wal_appends = 0u64;
+    // Sample run-queue occupancy at every non-empty drain (volatile:
+    // depends on arrival timing).
+    shared.volatile[me]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .queue_depth
+        .record(jobs.len() as u64);
     let mut completions: Vec<(Arc<Outbox>, u64, Reply)> = Vec::with_capacity(jobs.len());
     for job in jobs {
+        let span = shared.trace.as_ref().map(|log| {
+            let name = match &job.action {
+                Action::Open { .. } => "run:open",
+                Action::Eval { .. } => "run:eval",
+                Action::Ledger { .. } => "run:ledger",
+                Action::Digest { .. } => "run:digest",
+                Action::Close { .. } => "run:close",
+            };
+            log.span(tid, name)
+        });
         let reply = catch_unwind(AssertUnwindSafe(|| execute(store, &job.action)))
             .unwrap_or_else(|_| err("session", "panicked"));
+        drop(span);
         if let Some(wal) = &shared.wal {
             let op = match &job.action {
                 Action::Open { .. } => Some(WalOp::Open),
@@ -259,15 +316,27 @@ fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> 
                     op,
                     reply_digest(&reply),
                 );
+                wal_appends += 1;
             }
         }
         completions.push((job.outbox, job.seq, reply));
     }
     let ran = completions.len();
-    // Publish this shard's stats before releasing any reply: a client
-    // that sees an acknowledgement and immediately asks `(stats)` on
-    // another shard gets counters that already include its request.
+    // Publish this shard's stats and telemetry before releasing any
+    // reply: a client that sees an acknowledgement and immediately asks
+    // `(stats)` or `(metrics)` on another shard gets counters that
+    // already include its request.
     *shared.stats[me].lock().unwrap_or_else(|e| e.into_inner()) = store.stats_body();
+    *shared.telemetry[me]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = store.telemetry().clone();
+    if wal_appends > 0 {
+        shared.volatile[me]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .wal_appended
+            .add(wal_appends);
+    }
     for (outbox, seq, reply) in completions {
         outbox.complete(seq, &reply);
     }
@@ -277,7 +346,7 @@ fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> 
 /// Decode-time handling of one frame: answer connection-scoped
 /// requests immediately, route session-scoped ones to their home
 /// shard's bounded queue.
-fn handle_frame(text: &str, conn: &mut Conn, shared: &SharedState) {
+fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
     let seq = conn.outbox.alloc();
     let req = match Request::decode(text) {
         Ok(r) => r,
@@ -295,6 +364,12 @@ fn handle_frame(text: &str, conn: &mut Conn, shared: &SharedState) {
         };
         if shared.queues[target].try_push(job).is_err() {
             // Shed at decode time: typed, ordered, connection intact.
+            // The shed is charged to the shard whose queue was full.
+            shared.volatile[target]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .busy_sheds
+                .inc();
             conn.outbox.complete(seq, &busy_reply(target));
         }
     };
@@ -315,6 +390,7 @@ fn handle_frame(text: &str, conn: &mut Conn, shared: &SharedState) {
             }
         }
         Request::Stats => conn.outbox.complete(seq, &shared.stats_reply()),
+        Request::Metrics => conn.outbox.complete(seq, &shared.metrics_reply()),
         Request::Shutdown => {
             conn.outbox.complete(seq, &Reply::Draining);
             shared.begin_stop();
@@ -322,8 +398,18 @@ fn handle_frame(text: &str, conn: &mut Conn, shared: &SharedState) {
         Request::Pull { from } => {
             let reply = match (&conn.role, &shared.wal) {
                 (Some(Role::Replica), Some(wal)) => {
+                    let span = shared
+                        .trace
+                        .as_ref()
+                        .map(|log| log.span(me as u32 + 1, "wal_ship"));
                     let wal = wal.lock().unwrap_or_else(|e| e.into_inner());
                     let (bytes, next) = wal.frames_from(from, PULL_BATCH_BYTES);
+                    drop(span);
+                    let mut vol = shared.volatile[me]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    vol.wal_pull_batches.inc();
+                    vol.wal_shipped.add(next.saturating_sub(from));
                     Reply::Frames { next, bytes }
                 }
                 (_, None) => err("repl", "disabled"),
@@ -371,25 +457,40 @@ pub fn shard_loop(
                     .unwrap_or_else(|e| e.into_inner())
                     .drain(..)
                     .collect();
+                let accept_span = (!incoming.is_empty())
+                    .then(|| shared.trace.as_ref())
+                    .flatten()
+                    .map(|log| log.span(me as u32 + 1, "accept"));
                 for stream in incoming {
                     worked += 1;
                     if conns.len() >= max_conns {
                         let mut stream = stream;
                         let reject = err_with("busy", "too-many-connections", &[&me.to_string()]);
                         let _ = crate::protocol::write_frame(&mut stream, &reject.encode());
+                        shared.volatile[me]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .conn_sheds
+                            .inc();
                         continue; // dropped: peer got the typed reply first
                     }
                     if let Ok(conn) = Conn::adopt(stream) {
                         conns.push(conn);
                     }
                 }
+                drop(accept_span);
                 // Decode and route everything readable.
                 for conn in conns.iter_mut() {
                     let texts = conn.read_frames();
                     worked += texts.len();
+                    let decode_span = (!texts.is_empty())
+                        .then(|| shared.trace.as_ref())
+                        .flatten()
+                        .map(|log| log.span(me as u32 + 1, "decode"));
                     for text in texts {
-                        handle_frame(&text, conn, &shared);
+                        handle_frame(me, &text, conn, &shared);
                     }
+                    drop(decode_span);
                 }
             }
         }
@@ -397,9 +498,17 @@ pub fn shard_loop(
         // Execute whatever reached this shard's queue.
         worked += run_queue_jobs(me, &mut store, &shared);
 
-        // Flush replies; retire finished connections.
+        // Flush replies; retire finished connections. The span is only
+        // recorded when some outbox actually had bytes in flight.
+        let flush_t0 = shared.trace.as_ref().map(|log| log.now_us());
+        let mut flushed_any = false;
         for conn in &mut conns {
-            conn.flush();
+            flushed_any |= conn.flush();
+        }
+        if flushed_any {
+            if let (Some(log), Some(t0)) = (shared.trace.as_ref(), flush_t0) {
+                log.record(me as u32 + 1, "flush", t0);
+            }
         }
         conns.retain(|c| !c.finished());
 
@@ -431,6 +540,9 @@ pub fn shard_loop(
                     std::thread::sleep(IDLE_SLEEP);
                 }
                 *shared.stats[me].lock().unwrap_or_else(|e| e.into_inner()) = store.stats_body();
+                *shared.telemetry[me]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()) = store.telemetry().clone();
                 return store;
             }
         }

@@ -30,12 +30,22 @@
 //! sustains multi-thousand-session turnover behind bounded queues with
 //! zero busy-sheds at lockstep depth.
 //!
+//! After the sweep, the harness fetches a live `(metrics)` snapshot
+//! over the wire and byte-compares its deterministic section (per-kind
+//! request counts and virtual-cycle latency histograms) against the
+//! serial twin's: request latency on the virtual clock is a pure
+//! function of each request's operation stream, and histogram merging
+//! is order-independent, so shard scheduling and eviction churn must
+//! be invisible in the snapshot too.
+//!
 //! The report (`results/soak_report.json`) contains only
 //! schedule-independent data — transcripts' digests, per-run aggregate
-//! event counts, match flags — and is therefore byte-identical across
-//! runs; CI `cmp`s a double run. Scheduling-dependent counters
-//! (eviction/resume totals) are returned to the caller for threshold
-//! assertions and stderr, never written to the report.
+//! event counts, the deterministic metrics snapshot, match flags — and
+//! is therefore byte-identical across runs; CI `cmp`s a double run.
+//! Scheduling-dependent observables (eviction/resume totals, wall-clock
+//! req/s, per-shard latency summaries, Prometheus text, Chrome traces)
+//! are returned to the caller for threshold assertions and stderr,
+//! never written to the report.
 
 use crate::client::Client;
 use crate::gen::programs_for;
@@ -43,9 +53,11 @@ use crate::manager::SessionStore;
 use crate::protocol::{Reply, Request, Role};
 use crate::server::{self, ServerParams};
 use crate::session::ServeConfig;
+use crate::telemetry::{prometheus_text, ReqKind, ShardMetrics, VolatileMetrics};
 use small_metrics::EventCounts;
 use small_persist::{digest_bytes, DIGEST_SEED};
 use std::io;
+use std::time::Instant;
 
 /// Soak run shape.
 #[derive(Debug, Clone)]
@@ -86,6 +98,7 @@ impl Default for SoakParams {
                 queue_cap: 64,
                 max_conns_per_shard: 64,
                 replicate: false,
+                ..ServerParams::default()
             },
             churn: 0,
             churn_workers: 4,
@@ -97,12 +110,24 @@ impl Default for SoakParams {
 pub struct SoakOutcome {
     /// The deterministic JSON report body.
     pub report: String,
-    /// Transcript (or aggregate-count) divergences found.
+    /// Transcript (or aggregate-count, or metrics-snapshot) divergences
+    /// found.
     pub mismatches: usize,
     /// Total LRU evictions across all servers (scheduling-dependent).
     pub evictions: u64,
     /// Total resume-on-touch events (scheduling-dependent).
     pub resumes: u64,
+    /// Human-readable per-seed/per-shard telemetry lines — sustained
+    /// requests/sec and binned p50/p99 eval latency on the virtual
+    /// clock. Scheduling-dependent (stderr material, never report
+    /// material).
+    pub summary: Vec<String>,
+    /// Prometheus-style text exposition of the telemetry merged across
+    /// every seed's server (the `--metrics-out` payload).
+    pub prometheus: String,
+    /// Chrome Trace Format JSON from the last seed's server, when the
+    /// soak ran with [`ServerParams::trace`].
+    pub chrome_trace: Option<String>,
 }
 
 fn transcript_digest(replies: &[String]) -> u64 {
@@ -198,6 +223,29 @@ fn run_sweep(
         t.push(req(&Request::Close { id })?);
     }
     Ok(t)
+}
+
+/// Run one seed's serial twin alone — the fleet scripts plus the
+/// eviction sweep, no TCP, no threads — and return its request
+/// telemetry. This is the deterministic "soak cell" the bench
+/// trajectory commits: virtual-cycle latency histograms that any
+/// machine reproduces byte-identically from the seed.
+pub fn twin_telemetry(
+    seed: u64,
+    clients: usize,
+    requests: usize,
+    cfg: &ServeConfig,
+) -> ShardMetrics {
+    let mut twin = SessionStore::new(ServeConfig {
+        max_resident: usize::MAX,
+        ..*cfg
+    });
+    for c in 0..clients {
+        let _ = serial_client_run(&mut twin, seed, c as u64, requests);
+    }
+    run_sweep(&mut |req| Ok(twin.apply(req).encode()), seed, cfg)
+        .expect("serial sweep is infallible");
+    twin.telemetry().clone()
 }
 
 fn counts_json(c: &EventCounts) -> String {
@@ -321,10 +369,15 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
     let mut mismatches = 0usize;
     let mut evictions = 0u64;
     let mut resumes = 0u64;
+    let mut summary = Vec::new();
+    let mut total_reqs = ShardMetrics::default();
+    let mut total_vol = VolatileMetrics::default();
+    let mut chrome_trace = None;
 
     for &seed in &p.seeds {
         let handle = server::start("127.0.0.1:0", p.cfg, p.server)?;
         let addr = handle.addr();
+        let t_run = Instant::now();
 
         // Phase 1: the concurrent fleet.
         let server_transcripts: Vec<io::Result<Vec<String>>> = std::thread::scope(|s| {
@@ -346,6 +399,24 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
             run_sweep(&mut |req| c.request_text(&req.encode()), seed, &p.cfg)
         })();
 
+        let elapsed = t_run.elapsed();
+
+        // The live wire surface: a `(metrics)` snapshot fetched after
+        // every fleet and sweep reply has been received. Reply release
+        // happens only after the owning shard publishes its telemetry
+        // cell, so this merged snapshot is final — its deterministic
+        // section must equal the serial twin's, byte for byte.
+        let wire_metrics: io::Result<(String, String)> = (|| {
+            let mut c = Client::connect(addr, Role::Client)?;
+            match c.request(&Request::Metrics).map_err(io::Error::other)? {
+                Reply::Metrics {
+                    deterministic,
+                    volatile,
+                } => Ok((deterministic, volatile)),
+                other => Err(io::Error::new(io::ErrorKind::InvalidData, other.encode())),
+            }
+        })();
+
         // Graceful drain; the outcome carries final state for audit.
         if let Ok(mut c) = Client::connect(addr, Role::Client) {
             let _ = c.request(&Request::Shutdown);
@@ -355,6 +426,35 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         let (ev, res) = outcome.eviction_counters();
         evictions += ev;
         resumes += res;
+
+        // Per-shard virtual-clock latency summary (scheduling-dependent:
+        // fleet session ids are racy, so shard assignment varies).
+        let seed_reqs: u64 = outcome
+            .stores
+            .iter()
+            .map(|s| s.telemetry().requests())
+            .sum();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        summary.push(format!(
+            "seed {seed}: {seed_reqs} requests in {secs:.3}s ({:.0} req/s sustained)",
+            seed_reqs as f64 / secs
+        ));
+        for (k, store) in outcome.stores.iter().enumerate() {
+            let t = store.telemetry();
+            let e = t.kind(ReqKind::Eval);
+            summary.push(format!(
+                "  shard {k}: {} requests, {} evals, eval latency p50={} p99={} cycles",
+                t.requests(),
+                e.count.get(),
+                e.cycles.quantile(0.5),
+                e.cycles.quantile(0.99),
+            ));
+        }
+        total_reqs.merge(&outcome.telemetry());
+        total_vol.merge(&outcome.volatile_total());
+        if let Some(json) = outcome.chrome_trace() {
+            chrome_trace = Some(json);
+        }
         // The drain guarantee has teeth: every suspended blob written
         // by the final evictions must decode cleanly.
         let blobs_ok = outcome.verify_suspended().is_ok();
@@ -370,6 +470,7 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         let sweep_serial = run_sweep(&mut |req| Ok(twin.apply(req).encode()), seed, &p.cfg)
             .expect("serial sweep is infallible");
         let serial_counts = twin.aggregate_counts();
+        let twin_metrics = twin.telemetry().deterministic_json();
 
         // Compare.
         let mut sessions_json = Vec::new();
@@ -395,10 +496,20 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         if !blobs_ok {
             mismatches += 1;
         }
+        // The telemetry gate: the snapshot fetched over the wire from
+        // the sharded, racy, eviction-thrashed server must be
+        // byte-identical to the serial twin's — virtual-cycle latency
+        // is a pure function of each request's op stream, and
+        // histogram merging is order-independent.
+        let metrics_ok = matches!(&wire_metrics, Ok((det, _)) if *det == twin_metrics);
+        if !metrics_ok {
+            mismatches += 1;
+        }
         runs.push(format!(
             "{{\"seed\":{seed},\"sessions\":[{}],\
              \"sweep_digest\":\"d{:016x}\",\"sweep_match\":{sweep_ok},\
-             \"counts_match\":{counts_ok},\"drain_blobs_ok\":{blobs_ok},\"aggregate\":{}}}",
+             \"counts_match\":{counts_ok},\"metrics_match\":{metrics_ok},\
+             \"drain_blobs_ok\":{blobs_ok},\"metrics\":{twin_metrics},\"aggregate\":{}}}",
             sessions_json.join(","),
             transcript_digest(&sweep_serial),
             counts_json(&serial_counts),
@@ -418,7 +529,7 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
     };
 
     let report = format!(
-        "{{\"schema\":\"soak_report_v2\",\"proto_version\":{},\"clients\":{},\"requests\":{},\
+        "{{\"schema\":\"soak_report_v3\",\"proto_version\":{},\"clients\":{},\"requests\":{},\
          \"shards\":{},\"queue_cap\":{},\
          \"seeds\":[{}],\"all_match\":{},\"churn\":{churn_json},\"runs\":[{}]}}\n",
         crate::protocol::PROTO_VERSION,
@@ -439,5 +550,8 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         mismatches,
         evictions,
         resumes,
+        summary,
+        prometheus: prometheus_text(&total_reqs, &total_vol),
+        chrome_trace,
     })
 }

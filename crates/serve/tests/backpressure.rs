@@ -35,6 +35,7 @@ fn tiny_server(queue_cap: usize) -> small_serve::ServerHandle {
             queue_cap,
             max_conns_per_shard: 4,
             replicate: false,
+            ..ServerParams::default()
         },
     )
     .expect("server starts")

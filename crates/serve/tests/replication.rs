@@ -26,6 +26,7 @@ fn primary() -> small_serve::ServerHandle {
             queue_cap: 64,
             max_conns_per_shard: 8,
             replicate: true,
+            ..ServerParams::default()
         },
     )
     .expect("primary starts")

@@ -1,0 +1,136 @@
+//! Wire-level telemetry: the `(metrics)` request against a live
+//! server, and the deterministic-snapshot contract — per-kind counts
+//! and virtual-cycle latency histograms must be byte-identical across
+//! server topologies and eviction schedules, because request latency
+//! on the virtual clock is a pure function of each request's operation
+//! stream and histogram merging is order-independent.
+
+use small_serve::gen::programs_for;
+use small_serve::server::{start, ServerParams};
+use small_serve::session::ServeConfig;
+use small_serve::{Client, Reply, Request, Role};
+use std::thread;
+
+const SEED: u64 = 23;
+const CLIENTS: usize = 6;
+const REQUESTS: usize = 12;
+
+fn run_fleet(cfg: ServeConfig, params: ServerParams) -> (String, String) {
+    let handle = start("127.0.0.1:0", cfg, params).expect("server starts");
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut cl = Client::connect(addr, Role::Client).unwrap();
+                let id = cl.open().unwrap();
+                for src in programs_for(SEED, c as u64, REQUESTS) {
+                    let _ = cl.request(&Request::Eval { id, src }).unwrap();
+                }
+                cl.request(&Request::Close { id }).unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Every client's replies are in hand, and shards publish their
+    // telemetry cells before releasing any reply, so this read is
+    // final.
+    let mut cl = Client::connect(addr, Role::Client).unwrap();
+    let snapshot = match cl.request(&Request::Metrics).unwrap() {
+        Reply::Metrics {
+            deterministic,
+            volatile,
+        } => (deterministic, volatile),
+        other => panic!("metrics refused: {}", other.encode()),
+    };
+    handle.shutdown();
+    snapshot
+}
+
+#[test]
+fn metrics_request_round_trips_a_live_snapshot() {
+    let (det, vol) = run_fleet(
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            max_resident: 8,
+            ..ServeConfig::default()
+        },
+        ServerParams {
+            shards: 1,
+            ..ServerParams::default()
+        },
+    );
+    assert!(det.starts_with("{\"schema\":\"small-metrics-snapshot/1\""));
+    let expected = (CLIENTS * (REQUESTS + 3)) as u64;
+    assert!(det.contains(&format!("\"requests\":{}", expected + 2 * CLIENTS as u64)));
+    assert!(det.contains(&format!("\"eval\":{{\"count\":{expected}")));
+    // The wall histograms live in the volatile section only — the
+    // deterministic payload must never mention them.
+    assert!(!det.contains("wall_us"));
+    for key in ["queue_depth", "busy_sheds", "conn_sheds", "\"wal\":"] {
+        assert!(vol.contains(key), "volatile snapshot lacks {key}");
+    }
+}
+
+#[test]
+fn snapshot_is_invariant_across_topology_and_eviction_schedule() {
+    // Same workload, two very different servers: single-shard with
+    // room for every session, versus two shards with one resident
+    // session each (every interleaving forces suspend/resume churn).
+    // Scheduling must be invisible in the deterministic section.
+    let (calm, _) = run_fleet(
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            max_resident: 8,
+            ..ServeConfig::default()
+        },
+        ServerParams {
+            shards: 1,
+            ..ServerParams::default()
+        },
+    );
+    let (churned, _) = run_fleet(
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            max_resident: 1,
+            ..ServeConfig::default()
+        },
+        ServerParams {
+            shards: 2,
+            ..ServerParams::default()
+        },
+    );
+    assert_eq!(calm, churned);
+}
+
+#[test]
+fn malformed_metrics_request_is_a_typed_proto_error() {
+    let handle = start(
+        "127.0.0.1:0",
+        ServeConfig {
+            heap_cells: 1 << 12,
+            table_size: 256,
+            max_resident: 4,
+            ..ServeConfig::default()
+        },
+        ServerParams {
+            shards: 1,
+            ..ServerParams::default()
+        },
+    )
+    .expect("server starts");
+    let mut cl = Client::connect(handle.addr(), Role::Client).unwrap();
+    // `(metrics)` takes no arguments; anything else must be refused
+    // with the protocol error class, and the connection must survive.
+    assert_eq!(
+        cl.request_text("(metrics 1)").unwrap(),
+        "(err proto bad-request)"
+    );
+    let live = cl.request(&Request::Metrics).unwrap().encode();
+    assert!(live.starts_with("(ok metrics h"), "connection died: {live}");
+    handle.shutdown();
+}
