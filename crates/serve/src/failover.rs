@@ -5,9 +5,13 @@
 //! while a replica-role connection pulls WAL frames into an in-process
 //! warm [`Standby`] after **every** acknowledged mutating request
 //! (acked ⇒ journaled ⇒ shipped), then kills the primary at the pinned
-//! global operation index, promotes the standby, and finishes the
-//! remaining script — plus a fresh-session epilogue — against the
-//! promoted store.
+//! global operation index. Promotion is *not* scripted: the standby
+//! holds a [`Lease`] on the primary, fed by `(ping)` heartbeats during
+//! the run, and only promotes once the dead primary has missed
+//! [`LeaseParams::miss_threshold`] consecutive probes — the same
+//! automatic decision a production standby would make. It then
+//! finishes the remaining script — plus a fresh-session epilogue —
+//! against the promoted store.
 //!
 //! The oracle is the uninterrupted serial twin: the same typed request
 //! stream applied to a never-evicting [`SessionStore`]. Every reply
@@ -24,15 +28,20 @@
 //! schedule-independent data and is byte-identical across runs; CI
 //! runs the campaign twice and `cmp`s the two reports.
 
-use crate::client::Client;
+use crate::client::{self, Client};
 use crate::gen::programs_for;
 use crate::manager::SessionStore;
 use crate::protocol::{Request, Role};
-use crate::repl::Standby;
+use crate::repl::{Lease, LeaseParams, Standby};
 use crate::server::{self, ServerParams};
 use crate::session::ServeConfig;
 use small_persist::{digest_bytes, DIGEST_SEED};
 use std::io;
+
+/// Heartbeat cadence during the live phase: one `(ping)` probe per
+/// this many script operations keeps the lease fed (and the probe
+/// count deterministic — it is a function of the kill point alone).
+const HEARTBEAT_EVERY: usize = 8;
 
 /// Campaign shape.
 #[derive(Debug, Clone)]
@@ -101,7 +110,9 @@ pub struct FailoverOutcome {
 /// because the harness client is lockstep: opens decode in order, so
 /// session `s` has id `s`.
 fn script(seed: u64, sessions: usize, requests: usize) -> Vec<Request> {
-    let mut ops: Vec<Request> = (0..sessions).map(|_| Request::Open).collect();
+    let mut ops: Vec<Request> = (0..sessions)
+        .map(|_| Request::Open { token: None })
+        .collect();
     let progs: Vec<Vec<String>> = (0..sessions)
         .map(|s| programs_for(seed, s as u64, requests))
         .collect();
@@ -110,6 +121,7 @@ fn script(seed: u64, sessions: usize, requests: usize) -> Vec<Request> {
         for (s, prog) in progs.iter().enumerate() {
             ops.push(Request::Eval {
                 id: s as u64,
+                seq: None,
                 src: prog[round].clone(),
             });
         }
@@ -123,17 +135,21 @@ fn script(seed: u64, sessions: usize, requests: usize) -> Vec<Request> {
 fn epilogue(sessions: usize) -> Vec<Request> {
     let fresh = sessions as u64;
     let mut ops = vec![
-        Request::Open,
+        Request::Open { token: None },
         Request::Eval {
             id: fresh,
+            seq: None,
             src: "(setq acc (cons 7 nil))".to_string(),
         },
-        Request::Close { id: fresh },
+        Request::Close {
+            id: fresh,
+            seq: None,
+        },
     ];
     for s in 0..sessions as u64 {
         ops.push(Request::Ledger { id: s });
         ops.push(Request::Digest { id: s });
-        ops.push(Request::Close { id: s });
+        ops.push(Request::Close { id: s, seq: None });
     }
     ops
 }
@@ -169,16 +185,30 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
     let kill_at = kill_point.min(ops.len().saturating_sub(1));
     let mut transcript = Vec::new();
     let mut oracle = Vec::new();
+    let mut lease = Lease::new(LeaseParams::default());
+    let mut beats = 0u64;
 
     // Phase 1: lockstep against the live primary, shipping the WAL to
-    // the standby after every acknowledged request.
-    for op in ops.iter().take(kill_at) {
+    // the standby after every acknowledged request and feeding the
+    // standby's lease with periodic heartbeats.
+    for (i, op) in ops.iter().take(kill_at).enumerate() {
         transcript.push(client.request_text(&op.encode())?);
         oracle.push(twin.apply(op).encode());
         let target = handle
             .wal_next_lsn()
             .expect("replicating primary has a WAL");
         puller.catch_up(&mut standby, target)?;
+        if i % HEARTBEAT_EVERY == 0 {
+            match client::ping(addr, lease.params().ping_timeout) {
+                Some(lsn) => {
+                    lease.beat(lsn);
+                    beats += 1;
+                }
+                None => {
+                    lease.miss();
+                }
+            }
+        }
     }
 
     // Kill: drop the connections and drain the primary. Its final
@@ -189,6 +219,25 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
     let replicated_lsn = standby.next_lsn();
     let corpse = handle.shutdown();
     let drain_ok = corpse.verify_suspended().is_ok();
+
+    // The standby detects the death itself: the dead primary refuses
+    // every probe, and after `miss_threshold` consecutive misses the
+    // lease expires and promotion is *its* decision, not the
+    // harness's. Bounded in case something else grabs the port.
+    let misses_before = lease.misses();
+    for _ in 0..lease.params().miss_threshold * 10 {
+        if lease.is_expired() {
+            break;
+        }
+        match client::ping(addr, lease.params().ping_timeout) {
+            Some(lsn) => lease.beat(lsn),
+            None => {
+                lease.miss();
+            }
+        }
+    }
+    let lease_ok =
+        lease.is_expired() && lease.misses() == lease.params().miss_threshold && misses_before == 0;
 
     // Phase 2: promote and finish the script on the survivor.
     let mut promoted = standby.promote();
@@ -203,15 +252,18 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
 
     let transcript_ok = transcript == oracle;
     let counts_ok = promoted.aggregate_counts() == twin.aggregate_counts();
-    let mismatched = !(transcript_ok && counts_ok && drain_ok);
+    let mismatched = !(transcript_ok && counts_ok && drain_ok && lease_ok);
     Ok(RunResult {
         json: format!(
             "{{\"seed\":{seed},\"kill_at\":{kill_at},\"ops\":{},\
              \"replicated_lsn\":{replicated_lsn},\
+             \"lease_beats\":{beats},\"lease_misses\":{},\"lease_expired\":{},\
              \"transcript_digest\":\"d{:016x}\",\
              \"transcript_match\":{transcript_ok},\"counts_match\":{counts_ok},\
              \"primary_drain_ok\":{drain_ok}}}",
             ops.len(),
+            lease.misses(),
+            lease.is_expired(),
             transcript_digest(&oracle),
         ),
         mismatched,
@@ -232,7 +284,7 @@ pub fn run_failover(p: &FailoverParams) -> io::Result<FailoverOutcome> {
         }
     }
     let report = format!(
-        "{{\"schema\":\"failover_report_v1\",\"proto_version\":{},\
+        "{{\"schema\":\"failover_report_v2\",\"proto_version\":{},\
          \"sessions\":{},\"requests\":{},\
          \"kill_points\":[{}],\"seeds\":[{}],\"all_match\":{},\"runs\":[{}]}}\n",
         crate::protocol::PROTO_VERSION,

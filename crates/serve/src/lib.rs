@@ -36,8 +36,13 @@
 //!   wall-clock [`telemetry::TraceLog`] exporting Chrome traces.
 //! * [`gen`] / [`soak`] / [`failover`] — seeded load generation, the
 //!   fleet-vs-serial-twin soak (plus multi-thousand-session churn),
-//!   and the kill-primary failover campaign, all with
-//!   byte-deterministic reports.
+//!   and the kill-primary failover campaign (lease-driven promotion),
+//!   all with byte-deterministic reports.
+//! * [`netchaos`] — deterministic network-fault chaos: a seeded fault
+//!   plan (torn frames, pinned-offset connection resets, duplicated /
+//!   delayed / corrupted replica pulls) injected under a retrying
+//!   client, proving exactly-once retry semantics and lease-based
+//!   automatic failover against the serial twin.
 
 #![warn(missing_docs)]
 
@@ -45,6 +50,7 @@ pub mod client;
 pub mod failover;
 pub mod gen;
 pub mod manager;
+pub mod netchaos;
 pub mod protocol;
 pub mod reactor;
 pub mod repl;
@@ -54,11 +60,12 @@ pub mod shard;
 pub mod soak;
 pub mod telemetry;
 
-pub use client::Client;
+pub use client::{Client, RetryClient, RetryPolicy, Transport};
 pub use failover::{run_failover, FailoverOutcome, FailoverParams};
 pub use manager::SessionStore;
+pub use netchaos::{run_netchaos, FaultPlan, FaultyStream, NetChaosOutcome, NetChaosParams};
 pub use protocol::{Reply, Request, Role, PROTO_VERSION};
-pub use repl::{Standby, Wal};
+pub use repl::{Lease, LeaseParams, Standby, Wal};
 pub use server::{start, DrainOutcome, ServerHandle, ServerParams};
 pub use session::{ServeConfig, Session};
 pub use soak::{run_soak, SoakOutcome, SoakParams};

@@ -30,7 +30,9 @@
 //! [`Request`] to the exact [`Reply`] the server would produce, so an
 //! uninterrupted in-process run is byte-comparable with wire traffic.
 
-use crate::protocol::{err, Reply, Request, StatsBody, PROTO_VERSION};
+use crate::protocol::{
+    err, seq_gap_reply, seq_too_old_reply, Reply, Request, StatsBody, PROTO_VERSION,
+};
 use crate::session::{ServeConfig, Session};
 use crate::telemetry::{ReqKind, ShardMetrics, TraceLog, VolatileMetrics};
 use small_metrics::EventCounts;
@@ -58,6 +60,14 @@ pub struct SessionStore {
     /// Counts carried by sessions that have been closed (so `(stats)`
     /// keeps covering them).
     retired: EventCounts,
+    /// Idempotency-token → session-id map for `(open <token>)`: a
+    /// retried tokenized open returns the original `(ok opened <id>)`
+    /// instead of creating a second session.
+    open_tokens: HashMap<u64, u64>,
+    /// Per-id cached reply of the last *sequenced* close, so a retried
+    /// `(close <id> <seq>)` that raced a reset is answered from cache
+    /// instead of `no-such-session`.
+    closed: HashMap<u64, (u64, Reply)>,
     /// Per-request-kind latency telemetry for every request this store
     /// served. The virtual-cycle histograms are deterministic (latency
     /// is a pure function of each request's operation stream — see
@@ -81,6 +91,8 @@ impl SessionStore {
             evictions: 0,
             resumes: 0,
             retired: EventCounts::default(),
+            open_tokens: HashMap::new(),
+            closed: HashMap::new(),
             telemetry: ShardMetrics::default(),
             wall: false,
             trace: None,
@@ -145,6 +157,25 @@ impl SessionStore {
         self.enforce_lru();
         self.record_req(ReqKind::Open, 0, t0);
         Reply::Opened { id }
+    }
+
+    /// Create a session under a caller-assigned id, idempotently: if
+    /// `token` has already opened a session, the original
+    /// `(ok opened <id>)` is returned and nothing is created.
+    ///
+    /// The `applied` flag is `true` only when a session was actually
+    /// created (the journal-this signal).
+    pub fn open_with_token(&mut self, id: u64, token: u64) -> (Reply, bool) {
+        if let Some(&existing) = self.open_tokens.get(&token) {
+            return (Reply::Opened { id: existing }, false);
+        }
+        let reply = self.open_with_id(id);
+        if let Reply::Opened { id } = reply {
+            self.open_tokens.insert(token, id);
+            (Reply::Opened { id }, true)
+        } else {
+            (reply, false)
+        }
     }
 
     fn touch(&mut self, id: u64) {
@@ -245,6 +276,24 @@ impl SessionStore {
         reply
     }
 
+    /// Run one sequenced request on session `id` (see
+    /// [`Session::eval_seq`]): executes exactly once; retries are
+    /// answered from the session's replay window. `applied` is `true`
+    /// only when the request actually executed.
+    pub fn eval_seq(&mut self, id: u64, seq: u64, src: &str) -> (Reply, bool) {
+        let t0 = self.wall_start();
+        let mut cycles = 0;
+        let mut applied = false;
+        let reply = self.with_session(id, |s| {
+            let (r, a) = s.eval_seq(seq, src);
+            applied = a;
+            cycles = s.take_cycles();
+            r
+        });
+        self.record_req(ReqKind::Eval, cycles, t0);
+        (reply, applied)
+    }
+
     /// The session's `LptStats` ledger reply. Ledger reads run no
     /// machine operations, so their virtual-cycle cost is 0 by
     /// definition; the histogram still counts them.
@@ -298,6 +347,38 @@ impl SessionStore {
         reply
     }
 
+    /// Close session `id` under sequence number `seq`, exactly once: a
+    /// retry after the session is gone returns the cached
+    /// `(ok closed …)` instead of `no-such-session`. `applied` is
+    /// `true` only when the machine was actually shut down.
+    pub fn close_seq(&mut self, id: u64, seq: u64) -> (Reply, bool) {
+        if !self.slots.contains_key(&id) {
+            return match self.closed.get(&id) {
+                Some((s, reply)) if *s == seq => (reply.clone(), false),
+                _ => (err("session", "no-such-session"), false),
+            };
+        }
+        // Materialize the session (resuming if evicted) to consult its
+        // seq cursor; a failed resume is the typed persist error.
+        let mut cursor = None;
+        let probe = self.with_session(id, |s| {
+            cursor = Some(s.next_seq());
+            Reply::Draining
+        });
+        let Some(cursor) = cursor else {
+            return (probe, false);
+        };
+        if seq > cursor {
+            (seq_gap_reply(cursor, seq), false)
+        } else if seq < cursor {
+            (seq_too_old_reply(seq), false)
+        } else {
+            let reply = self.close(id);
+            self.closed.insert(id, (seq, reply.clone()));
+            (reply, true)
+        }
+    }
+
     /// Map any typed request to its reply, exactly as the server does —
     /// this is the serial twin the soak and failover harnesses compare
     /// wire transcripts against. `Pull` is a replication-transport
@@ -313,11 +394,20 @@ impl SessionStore {
                     crate::protocol::unsupported_version_reply(*version)
                 }
             }
-            Request::Open => {
+            Request::Open { token: None } => {
                 let id = self.next_id;
                 self.open_with_id(id)
             }
-            Request::Eval { id, src } => self.eval(*id, src),
+            Request::Open { token: Some(t) } => {
+                let id = self.next_id;
+                self.open_with_token(id, *t).0
+            }
+            Request::Eval { id, seq: None, src } => self.eval(*id, src),
+            Request::Eval {
+                id,
+                seq: Some(s),
+                src,
+            } => self.eval_seq(*id, *s, src).0,
             Request::Ledger { id } => self.ledger(*id),
             Request::Digest { id } => self.digest(*id),
             Request::Stats => Reply::Stats(Box::new(self.stats_body())),
@@ -327,7 +417,10 @@ impl SessionStore {
                 // volatile section is structurally present but empty.
                 volatile: VolatileMetrics::default().json(&self.telemetry),
             },
-            Request::Close { id } => self.close(*id),
+            Request::Close { id, seq: None } => self.close(*id),
+            Request::Close { id, seq: Some(s) } => self.close_seq(*id, *s).0,
+            // The twin has no WAL; a real server answers its next LSN.
+            Request::Ping => Reply::Pong { lsn: 0 },
             Request::Shutdown => Reply::Draining,
             Request::Pull { .. } => err("proto", "not-a-replica"),
         }
@@ -488,11 +581,15 @@ mod tests {
     #[test]
     fn apply_mirrors_the_wire_semantics() {
         let mut store = SessionStore::new(cfg(4));
-        assert_eq!(store.apply(&Request::Open), Reply::Opened { id: 0 });
+        assert_eq!(
+            store.apply(&Request::Open { token: None }),
+            Reply::Opened { id: 0 }
+        );
         assert_eq!(
             store
                 .apply(&Request::Eval {
                     id: 0,
+                    seq: None,
                     src: "(add 2 2)".to_string()
                 })
                 .encode(),
@@ -514,16 +611,69 @@ mod tests {
                     role: crate::protocol::Role::Client
                 })
                 .encode(),
-            "(err proto unsupported-version 99 2)"
+            "(err proto unsupported-version 99 3)"
         );
+        assert_eq!(store.apply(&Request::Ping), Reply::Pong { lsn: 0 });
         assert_eq!(store.apply(&Request::Shutdown), Reply::Draining);
         assert_eq!(
             store.apply(&Request::Pull { from: 0 }).encode(),
             "(err proto not-a-replica)"
         );
         assert_eq!(
-            store.apply(&Request::Close { id: 0 }),
+            store.apply(&Request::Close { id: 0, seq: None }),
             Reply::Closed { occupancy: 0 }
         );
+    }
+
+    #[test]
+    fn tokenized_open_is_idempotent() {
+        let mut store = SessionStore::new(cfg(4));
+        let (first, applied) = store.open_with_token(0, 77);
+        assert!(applied);
+        assert_eq!(first, Reply::Opened { id: 0 });
+        // Retrying the token — even with a different candidate id —
+        // returns the original reply and creates nothing.
+        let (retry, applied) = store.open_with_token(5, 77);
+        assert!(!applied);
+        assert_eq!(retry, Reply::Opened { id: 0 });
+        assert_eq!(store.session_count(), 1);
+        // A different token gets a fresh session.
+        let (other, applied) = store.open_with_token(5, 78);
+        assert!(applied);
+        assert_eq!(other, Reply::Opened { id: 5 });
+    }
+
+    #[test]
+    fn sequenced_close_retries_come_from_cache() {
+        let mut store = SessionStore::new(cfg(4));
+        let id = store.open();
+        assert!(store.eval_seq(id, 0, "(setq x 1)").1);
+        let (closed, applied) = store.close_seq(id, 1);
+        assert!(applied);
+        assert_eq!(closed.encode(), "(ok closed 0)");
+        // The retry after the session is gone replays the cached reply.
+        let (retry, applied) = store.close_seq(id, 1);
+        assert!(!applied);
+        assert_eq!(retry, closed);
+        // A different seq against the dead session stays typed.
+        assert_eq!(
+            store.close_seq(id, 3).0.encode(),
+            "(err session no-such-session)"
+        );
+    }
+
+    #[test]
+    fn sequenced_eval_survives_eviction() {
+        let mut store = SessionStore::new(cfg(1));
+        let a = store.open();
+        let b = store.open(); // evicts a
+        assert!(store.eval_seq(a, 0, "(setq n 4)").1);
+        assert!(store.eval_seq(b, 0, "(setq n 9)").1); // evicts a again
+        let (reply, applied) = store.eval_seq(a, 0, "(setq n 4)");
+        assert!(!applied, "retry must come from the resumed window");
+        assert_eq!(reply.encode(), "(ok value 4)");
+        let (reply, applied) = store.eval_seq(a, 1, "(add n 1)");
+        assert!(applied);
+        assert_eq!(reply.encode(), "(ok value 5)");
     }
 }

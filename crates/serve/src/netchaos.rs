@@ -1,0 +1,723 @@
+//! Deterministic network-fault chaos for the serving stack.
+//!
+//! The heap-fault chaos harness (`small-chaos`) proved the *machine*
+//! survives seeded allocator failure; this module points the same
+//! discipline at the *wire*. A seeded [`FaultPlan`] is injected at the
+//! transport boundary — a [`FaultyStream`] slid underneath the typed
+//! client — and at the replication pull loop:
+//!
+//! * **partial reads/writes** — every I/O call is clamped to a seeded
+//!   chunk size (down to a single byte), so frames tear and coalesce
+//!   at arbitrary boundaries on both sides;
+//! * **connection resets at pinned byte offsets** — when the shared
+//!   cumulative byte counter reaches a planned offset the socket is
+//!   shut down mid-frame and the caller sees `ConnectionReset`;
+//! * **duplicated replica pulls** — after catching up, the standby is
+//!   fed an already-applied batch again and must skip it;
+//! * **delayed replica pulls** — scheduled rounds skip the catch-up
+//!   entirely, growing (and then draining) real applied lag;
+//! * **corrupted WAL frames** — a pulled batch has a byte flipped and
+//!   must fail closed ([`ReplError::BadFrame`]) without perturbing the
+//!   standby, which then applies the clean batch.
+//!
+//! The system under test survives via the protocol-v3 machinery: the
+//! [`RetryClient`] re-sends dropped requests verbatim on fresh
+//! connections, and because every mutating request in the script
+//! carries an idempotency token or sequence number, the server's dedup
+//! window turns re-sends into cached replies — exactly-once effects
+//! over at-least-once delivery. After the pinned kill point the
+//! primary dies for real, the standby's [`Lease`] expires after
+//! consecutive missed `(ping)` probes, and the standby promotes
+//! itself.
+//!
+//! The oracle is the same as the failover campaign's: an uninterrupted
+//! serial twin. Every reply the chaos-ridden client collects — one per
+//! scripted operation, however many attempts it took — must be
+//! byte-identical to the twin's, the promoted store must agree with
+//! the twin on aggregate counts, and a post-promotion re-send of the
+//! last pre-kill mutating request must come back from the replicated
+//! dedup window without executing. The report
+//! (`results/netchaos_report.json`) contains only schedule-independent
+//! data and is byte-identical across runs; CI runs the campaign twice
+//! and `cmp`s the two reports.
+
+use crate::client::{self, Client, RetryClient, RetryPolicy, Transport};
+use crate::gen::programs_for;
+use crate::manager::SessionStore;
+use crate::protocol::{Request, Role};
+use crate::repl::{Lease, LeaseParams, ReplError, Standby};
+use crate::server::{self, ServerParams};
+use crate::session::ServeConfig;
+use small_persist::{digest_bytes, DIGEST_SEED};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Heartbeat cadence during the live phase (every N script ops), so
+/// the lease sees real beats before the kill and the probe count is a
+/// deterministic function of the kill point.
+const HEARTBEAT_EVERY: usize = 8;
+
+/// Tokens for the scripted opens start here (any value works; being
+/// far from the session-id range keeps transcripts easy to read).
+const TOKEN_BASE: u64 = 1000;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// The fault plan
+// ---------------------------------------------------------------------
+
+/// The seeded fault schedule for one run. Everything here is computed
+/// up front from `(seed, kill_at)` — nothing is drawn during I/O — so
+/// the faults a run experiences are a pure function of its key.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Cumulative client-connection byte offsets (reads + writes
+    /// combined, across reconnects) at which the connection is reset.
+    pub reset_offsets: Vec<u64>,
+    /// Script indices after which the standby re-applies an
+    /// already-applied batch (must be skipped as a duplicate).
+    pub dup_pulls: Vec<usize>,
+    /// Script indices whose catch-up is skipped (applied lag grows).
+    /// Never includes the final pre-kill index, so the standby is
+    /// always caught up when the primary dies.
+    pub delayed_pulls: Vec<usize>,
+    /// Script indices where a corrupted copy of the next batch is
+    /// probed (must fail closed) before the clean batch applies.
+    pub corrupt_pulls: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// Build the plan for one `(seed, kill_at)` run.
+    pub fn new(seed: u64, kill_at: usize) -> FaultPlan {
+        let mut rng = seed ^ 0x6E65_7463_6861_6F73; // "netchaos"
+        let mut reset_offsets = Vec::new();
+        // First reset lands inside the early frames; spacing leaves a
+        // full retry cycle (redial handshake + re-send + reply) of
+        // headroom so a bounded attempt budget always wins through.
+        let mut at = 200 + splitmix64(&mut rng) % 256;
+        for _ in 0..6 {
+            reset_offsets.push(at);
+            at += 384 + splitmix64(&mut rng) % 512;
+        }
+        let (mut dup_pulls, mut delayed_pulls, mut corrupt_pulls) =
+            (Vec::new(), Vec::new(), Vec::new());
+        for i in 1..kill_at {
+            match splitmix64(&mut rng) % 8 {
+                0 => dup_pulls.push(i),
+                1 if i + 1 < kill_at => delayed_pulls.push(i),
+                2 => corrupt_pulls.push(i),
+                _ => {}
+            }
+        }
+        FaultPlan {
+            reset_offsets,
+            dup_pulls,
+            delayed_pulls,
+            corrupt_pulls,
+        }
+    }
+
+    /// Distinct fault points this plan schedules (resets are counted
+    /// as planned here; the report also records how many fired).
+    pub fn points(&self) -> usize {
+        self.reset_offsets.len()
+            + self.dup_pulls.len()
+            + self.delayed_pulls.len()
+            + self.corrupt_pulls.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The faulty transport
+// ---------------------------------------------------------------------
+
+/// Shared fault-injection state: one per run, threaded through every
+/// [`FaultyStream`] the run's client dials, so byte counters and the
+/// reset queue survive reconnects.
+#[derive(Debug)]
+pub struct FaultState {
+    /// Chunk-size stream. Private to the transport: its consumption
+    /// rate depends on call timing, which is why reset offsets are
+    /// *not* drawn from it during I/O.
+    rng: u64,
+    /// Cumulative bytes moved (reads + writes) across every connection
+    /// sharing this state.
+    transferred: u64,
+    /// Pending reset offsets against `transferred`, ascending.
+    resets: VecDeque<u64>,
+    /// Offsets consumed so far.
+    resets_fired: u64,
+}
+
+impl FaultState {
+    /// Fresh shared state with a seeded chunker and a reset queue.
+    pub fn shared(seed: u64, reset_offsets: &[u64]) -> Arc<Mutex<FaultState>> {
+        Arc::new(Mutex::new(FaultState {
+            rng: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            transferred: 0,
+            resets: reset_offsets.iter().copied().collect(),
+            resets_fired: 0,
+        }))
+    }
+
+    /// Resets injected so far.
+    pub fn resets_fired(&self) -> u64 {
+        self.resets_fired
+    }
+
+    /// Total bytes moved through faulty streams so far.
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    /// Budget for one I/O call of at most `len` bytes: `None` means
+    /// the call must inject a reset *now* (the counter sits exactly on
+    /// a planned offset); otherwise the allowed size, clamped to the
+    /// seeded chunk and to the distance to the next offset so the
+    /// counter can never jump past one.
+    fn pre_io(&mut self, len: usize) -> Option<usize> {
+        if let Some(&next) = self.resets.front() {
+            if self.transferred >= next {
+                self.resets.pop_front();
+                self.resets_fired += 1;
+                return None;
+            }
+        }
+        let chunk = 1 + (splitmix64(&mut self.rng) % 64) as usize;
+        let room = self
+            .resets
+            .front()
+            .map(|&next| (next - self.transferred) as usize)
+            .unwrap_or(usize::MAX);
+        Some(len.min(chunk).min(room))
+    }
+}
+
+/// A [`TcpStream`] that tears frames and dies on schedule: every read
+/// and write is clamped to a seeded chunk size, and when the shared
+/// cumulative byte counter reaches a planned offset the socket is shut
+/// down and the call fails with `ConnectionReset`. Implements
+/// [`Transport`], so a [`Client`] runs over it unchanged.
+#[derive(Debug)]
+pub struct FaultyStream {
+    inner: TcpStream,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyStream {
+    /// Wrap a connected stream in a run's shared fault state.
+    pub fn new(inner: TcpStream, state: Arc<Mutex<FaultState>>) -> FaultyStream {
+        FaultyStream { inner, state }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn inject_reset(&self) -> io::Error {
+        let _ = self.inner.shutdown(Shutdown::Both);
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected reset")
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let cap = match self.lock().pre_io(buf.len()) {
+            Some(cap) => cap,
+            None => return Err(self.inject_reset()),
+        };
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.lock().transferred += n as u64;
+        Ok(n)
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let cap = match self.lock().pre_io(buf.len()) {
+            Some(cap) => cap,
+            None => return Err(self.inject_reset()),
+        };
+        let n = self.inner.write(&buf[..cap])?;
+        self.lock().transferred += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Transport for FaultyStream {
+    fn try_split(&self) -> io::Result<FaultyStream> {
+        Ok(FaultyStream {
+            inner: self.inner.try_clone()?,
+            state: Arc::clone(&self.state),
+        })
+    }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(timeout)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The campaign
+// ---------------------------------------------------------------------
+
+/// Campaign shape.
+#[derive(Debug, Clone)]
+pub struct NetChaosParams {
+    /// Seeds to run; every seed runs once per kill point.
+    pub seeds: Vec<u64>,
+    /// Sessions opened (with idempotency tokens) before the rounds.
+    pub sessions: usize,
+    /// Generated eval requests per session.
+    pub requests: usize,
+    /// Global operation indices at which the primary is killed.
+    pub kill_points: Vec<usize>,
+    /// Primary (and twin-input) machine configuration.
+    pub cfg: ServeConfig,
+    /// Standby machine configuration (different residency cap, as in
+    /// the failover campaign).
+    pub standby_cfg: ServeConfig,
+    /// Primary server shape; `replicate` is forced on.
+    pub server: ServerParams,
+}
+
+impl Default for NetChaosParams {
+    fn default() -> Self {
+        let cfg = ServeConfig {
+            heap_cells: 1 << 13,
+            table_size: 384,
+            max_resident: 2,
+            ..ServeConfig::default()
+        };
+        NetChaosParams {
+            seeds: vec![11, 23, 47],
+            sessions: 4,
+            requests: 8,
+            // Script length is sessions + sessions * requests = 36.
+            kill_points: vec![5, 31],
+            cfg,
+            standby_cfg: ServeConfig {
+                max_resident: 1,
+                ..cfg
+            },
+            server: ServerParams {
+                shards: 2,
+                queue_cap: 64,
+                max_conns_per_shard: 16,
+                replicate: true,
+                ..ServerParams::default()
+            },
+        }
+    }
+}
+
+/// What a campaign produced.
+pub struct NetChaosOutcome {
+    /// The deterministic JSON report body.
+    pub report: String,
+    /// Runs with any divergence or an unsurvived fault.
+    pub mismatches: usize,
+    /// Distinct fault points injected across the whole campaign.
+    pub fault_points: usize,
+}
+
+/// The fully idempotent script: tokenized opens, then the generated
+/// programs dealt round-robin as `(seval …)` with dense per-session
+/// sequence numbers. Every mutating request can be re-sent verbatim.
+fn script(seed: u64, sessions: usize, requests: usize) -> Vec<Request> {
+    let mut ops: Vec<Request> = (0..sessions)
+        .map(|s| Request::Open {
+            token: Some(TOKEN_BASE + s as u64),
+        })
+        .collect();
+    let progs: Vec<Vec<String>> = (0..sessions)
+        .map(|s| programs_for(seed, s as u64, requests))
+        .collect();
+    let mut seqs = vec![0u64; sessions];
+    let rounds = progs.first().map_or(0, Vec::len);
+    for round in 0..rounds {
+        for (s, prog) in progs.iter().enumerate() {
+            ops.push(Request::Eval {
+                id: s as u64,
+                seq: Some(seqs[s]),
+                src: prog[round].clone(),
+            });
+            seqs[s] += 1;
+        }
+    }
+    ops
+}
+
+/// Post-promotion epilogue (applied directly to the promoted store and
+/// the twin — no wire, no retries, so no sequence numbers needed):
+/// a fresh session proving id continuity, then ledger/digest/close for
+/// every original session.
+fn epilogue(sessions: usize) -> Vec<Request> {
+    let fresh = sessions as u64;
+    let mut ops = vec![
+        Request::Open { token: None },
+        Request::Eval {
+            id: fresh,
+            seq: None,
+            src: "(setq acc (cons 7 nil))".to_string(),
+        },
+        Request::Close {
+            id: fresh,
+            seq: None,
+        },
+    ];
+    for s in 0..sessions as u64 {
+        ops.push(Request::Ledger { id: s });
+        ops.push(Request::Digest { id: s });
+        ops.push(Request::Close { id: s, seq: None });
+    }
+    ops
+}
+
+fn transcript_digest(replies: &[String]) -> u64 {
+    let mut h = DIGEST_SEED;
+    for r in replies {
+        h = digest_bytes(h, r.as_bytes());
+    }
+    h
+}
+
+fn repl_io(e: ReplError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+struct RunResult {
+    json: String,
+    mismatched: bool,
+    fault_points: usize,
+}
+
+/// One `(seed, kill_point)` run.
+fn run_one(p: &NetChaosParams, seed: u64, kill_point: usize) -> io::Result<RunResult> {
+    let mut params = p.server;
+    params.replicate = true;
+    let handle = server::start("127.0.0.1:0", p.cfg, params)?;
+    let addr = handle.addr();
+
+    let ops = script(seed, p.sessions, p.requests);
+    let kill_at = kill_point.min(ops.len().saturating_sub(1));
+    let plan = FaultPlan::new(seed, kill_at);
+    let state = FaultState::shared(seed, &plan.reset_offsets);
+
+    // The chaos-ridden client: typed client over the faulty transport,
+    // wrapped in deadline + seeded-backoff + reconnect-with-resume.
+    let dial_state = Arc::clone(&state);
+    let mut client = RetryClient::new(
+        move || {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Client::from_transport(
+                FaultyStream::new(stream, Arc::clone(&dial_state)),
+                Role::Client,
+            )
+        },
+        RetryPolicy {
+            attempts: 10,
+            seed,
+            ..RetryPolicy::default()
+        },
+    );
+    // The replica puller rides a clean connection: its faults (dups,
+    // delays, corruption) are injected at the batch level below, where
+    // they can be asserted on precisely.
+    let mut puller = Client::connect(addr, Role::Replica)?;
+    let mut standby = Standby::new(p.standby_cfg);
+    let mut twin = SessionStore::new(ServeConfig {
+        max_resident: usize::MAX,
+        ..p.cfg
+    });
+    let mut lease = Lease::new(LeaseParams::default());
+
+    let mut transcript = Vec::new();
+    let mut oracle = Vec::new();
+    let (mut beats, mut dup_pulls, mut delayed_pulls, mut corrupt_probes) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut max_pull_lag = 0u64;
+    let (mut dup_ok, mut corrupt_ok) = (true, true);
+
+    // Phase 1: lockstep through the fault plan. One transcript entry
+    // per scripted op, however many attempts the wire needed.
+    for (i, op) in ops.iter().take(kill_at).enumerate() {
+        transcript.push(client.request_text(&op.encode())?);
+        oracle.push(twin.apply(op).encode());
+        let target = handle
+            .wal_next_lsn()
+            .expect("replicating primary has a WAL");
+        if plan.delayed_pulls.contains(&i) {
+            delayed_pulls += 1;
+            max_pull_lag = max_pull_lag.max(target.saturating_sub(standby.applied_lsn()));
+        } else {
+            if plan.corrupt_pulls.contains(&i) && standby.next_lsn() < target {
+                let (_, bytes) = puller.pull(standby.next_lsn())?;
+                if !bytes.is_empty() {
+                    let mut bad = bytes.clone();
+                    let last = bad.len() - 1;
+                    bad[last] ^= 0xff;
+                    // Fail closed: the corrupt batch must change nothing.
+                    let before = standby.next_lsn();
+                    corrupt_ok &= matches!(standby.apply(&bad), Err(ReplError::BadFrame { .. }));
+                    corrupt_ok &= standby.next_lsn() == before;
+                    standby.apply(&bytes).map_err(repl_io)?;
+                    corrupt_probes += 1;
+                }
+            }
+            puller.catch_up(&mut standby, target)?;
+            if plan.dup_pulls.contains(&i) && standby.next_lsn() > 0 {
+                // Re-pull a window the standby already applied: an
+                // at-least-once shipping layer in miniature.
+                let from = standby.next_lsn().saturating_sub(2);
+                let (_, bytes) = puller.pull(from)?;
+                dup_ok &= standby.apply(&bytes).map_err(repl_io)? == 0;
+                dup_pulls += 1;
+            }
+        }
+        if i % HEARTBEAT_EVERY == 0 {
+            match client::ping(addr, lease.params().ping_timeout) {
+                Some(lsn) => {
+                    lease.beat(lsn);
+                    beats += 1;
+                }
+                None => {
+                    lease.miss();
+                }
+            }
+        }
+    }
+    let resets_fired = {
+        let st = state.lock().unwrap_or_else(|e| e.into_inner());
+        st.resets_fired()
+    };
+
+    // Kill the primary for real.
+    client.disconnect();
+    drop(client);
+    drop(puller);
+    let replicated_lsn = standby.next_lsn();
+    let corpse = handle.shutdown();
+    let drain_ok = corpse.verify_suspended().is_ok();
+
+    // The standby notices on its own: consecutive missed probes expire
+    // the lease, and promotion is its decision. Bounded in case the
+    // freed port is grabbed by a concurrent test's listener.
+    for _ in 0..lease.params().miss_threshold * 10 {
+        if lease.is_expired() {
+            break;
+        }
+        match client::ping(addr, lease.params().ping_timeout) {
+            Some(lsn) => lease.beat(lsn),
+            None => {
+                lease.miss();
+            }
+        }
+    }
+    let lease_ok = lease.is_expired() && lease.misses() == lease.params().miss_threshold;
+
+    let mut promoted = standby.promote();
+
+    // Exactly-once across failover: re-send the last pre-kill mutating
+    // request. The promoted standby must answer from the *replicated*
+    // dedup state — same reply bytes, nothing executed.
+    let mut retry_cached = true;
+    let last_mutating = ops.iter().enumerate().take(kill_at).rev().find(|(_, op)| {
+        matches!(
+            op,
+            Request::Eval { seq: Some(_), .. } | Request::Open { token: Some(_) }
+        )
+    });
+    if let Some((idx, op)) = last_mutating {
+        let (reply, applied) = match op {
+            Request::Eval {
+                id,
+                seq: Some(s),
+                src,
+            } => {
+                let ledger_before = promoted.ledger(*id);
+                let out = promoted.eval_seq(*id, *s, src);
+                retry_cached &= promoted.ledger(*id) == ledger_before;
+                out
+            }
+            Request::Open { token: Some(t) } => promoted.open_with_token(u64::MAX, *t),
+            _ => unreachable!("filtered above"),
+        };
+        retry_cached &= !applied && reply.encode() == transcript[idx];
+    }
+
+    // Phase 2: finish the script and the epilogue on the survivor.
+    for op in ops.iter().skip(kill_at) {
+        transcript.push(promoted.apply(op).encode());
+        oracle.push(twin.apply(op).encode());
+    }
+    for op in epilogue(p.sessions) {
+        transcript.push(promoted.apply(&op).encode());
+        oracle.push(twin.apply(&op).encode());
+    }
+
+    let transcript_ok = transcript == oracle;
+    let counts_ok = promoted.aggregate_counts() == twin.aggregate_counts();
+    let mismatched = !(transcript_ok
+        && counts_ok
+        && drain_ok
+        && lease_ok
+        && retry_cached
+        && dup_ok
+        && corrupt_ok);
+    let fault_points = resets_fired as usize
+        + dup_pulls as usize
+        + delayed_pulls as usize
+        + corrupt_probes as usize;
+    Ok(RunResult {
+        json: format!(
+            "{{\"seed\":{seed},\"kill_at\":{kill_at},\"ops\":{},\
+             \"resets_planned\":{},\"resets_fired\":{resets_fired},\
+             \"dup_pulls\":{dup_pulls},\"delayed_pulls\":{delayed_pulls},\
+             \"corrupt_probes\":{corrupt_probes},\"max_pull_lag\":{max_pull_lag},\
+             \"replicated_lsn\":{replicated_lsn},\
+             \"lease_beats\":{beats},\"lease_misses\":{},\"lease_expired\":{},\
+             \"transcript_digest\":\"d{:016x}\",\
+             \"transcript_match\":{transcript_ok},\"counts_match\":{counts_ok},\
+             \"retry_cached\":{retry_cached},\"dup_idempotent\":{dup_ok},\
+             \"corrupt_failed_closed\":{corrupt_ok},\"primary_drain_ok\":{drain_ok}}}",
+            ops.len(),
+            plan.reset_offsets.len(),
+            lease.misses(),
+            lease.is_expired(),
+            transcript_digest(&oracle),
+        ),
+        mismatched,
+        fault_points,
+    })
+}
+
+/// Run the whole campaign: every seed at every kill point.
+pub fn run_netchaos(p: &NetChaosParams) -> io::Result<NetChaosOutcome> {
+    let mut runs = Vec::new();
+    let mut mismatches = 0usize;
+    let mut fault_points = 0usize;
+    for &seed in &p.seeds {
+        for &kill in &p.kill_points {
+            let run = run_one(p, seed, kill)?;
+            if run.mismatched {
+                mismatches += 1;
+            }
+            fault_points += run.fault_points;
+            runs.push(run.json);
+        }
+    }
+    let report = format!(
+        "{{\"schema\":\"netchaos_report_v1\",\"proto_version\":{},\
+         \"sessions\":{},\"requests\":{},\
+         \"kill_points\":[{}],\"seeds\":[{}],\
+         \"fault_points\":{fault_points},\"all_match\":{},\"runs\":[{}]}}\n",
+        crate::protocol::PROTO_VERSION,
+        p.sessions,
+        p.requests,
+        p.kill_points
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        p.seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        mismatches == 0,
+        runs.join(","),
+    );
+    Ok(NetChaosOutcome {
+        report,
+        mismatches,
+        fault_points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn faulty_stream_resets_at_the_pinned_offset() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = TcpStream::connect(addr).unwrap();
+        let (sink, _) = listener.accept().unwrap();
+        let state = FaultState::shared(7, &[100]);
+        let mut faulty = FaultyStream::new(peer, Arc::clone(&state));
+
+        // Chunking: a large write is always clamped below the chunk cap.
+        let n = faulty.write(&[0u8; 500]).unwrap();
+        assert!((1..=64).contains(&n), "chunked write returned {n}");
+
+        // Writing through the boundary fails exactly at byte 100, with
+        // the socket dead afterwards.
+        let mut total = n as u64;
+        let err = loop {
+            match faulty.write(&[0u8; 500]) {
+                Ok(n) => total += n as u64,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(total, 100, "reset fired at the pinned offset");
+        let st = state.lock().unwrap();
+        assert_eq!((st.resets_fired(), st.transferred()), (1, 100));
+        drop(sink);
+    }
+
+    #[test]
+    fn fault_plans_are_pure_functions_of_their_key() {
+        let a = FaultPlan::new(11, 31);
+        let b = FaultPlan::new(11, 31);
+        assert_eq!(a.reset_offsets, b.reset_offsets);
+        assert_eq!(a.dup_pulls, b.dup_pulls);
+        assert_eq!(a.delayed_pulls, b.delayed_pulls);
+        assert_eq!(a.corrupt_pulls, b.corrupt_pulls);
+        assert!(a.points() > 0);
+        // Delays never land on the final pre-kill op.
+        assert!(!a.delayed_pulls.contains(&30));
+        let c = FaultPlan::new(23, 31);
+        assert_ne!(a.reset_offsets, c.reset_offsets, "seeds must differ");
+    }
+
+    #[test]
+    fn netchaos_campaign_is_clean_and_deterministic() {
+        let p = NetChaosParams {
+            seeds: vec![11],
+            kill_points: vec![5, 31],
+            ..NetChaosParams::default()
+        };
+        let a = run_netchaos(&p).expect("campaign runs");
+        assert_eq!(a.mismatches, 0, "report: {}", a.report);
+        assert!(a.fault_points > 0, "faults must actually fire");
+        let b = run_netchaos(&p).expect("campaign reruns");
+        assert_eq!(a.report, b.report, "report must be byte-deterministic");
+    }
+}

@@ -19,12 +19,16 @@
 //! ```text
 //! request = (hello <version:int> <role>)     role = client | replica
 //!         | (open)
+//!         | (open <token:int>)               idempotent open
 //!         | (eval <id:int> <form>...)
+//!         | (seval <id:int> <seq:int> <form>...)   sequenced eval
 //!         | (ledger <id:int>)
 //!         | (digest <id:int>)
 //!         | (stats)
 //!         | (metrics)
 //!         | (close <id:int>)
+//!         | (close <id:int> <seq:int>)       sequenced close
+//!         | (ping)
 //!         | (shutdown)
 //!         | (pull <lsn:int>)                 replica connections only
 //!
@@ -37,6 +41,7 @@
 //!                     (requests <n>) (<counter:sym> <n:int>)*22)
 //!         | (ok metrics <det-json:h-hex> <vol-json:h-hex>)
 //!         | (ok closed <occupancy:int>)
+//!         | (ok pong <lsn:int>)
 //!         | (ok draining)
 //!         | (ok frames <next-lsn:int> <h-hex:sym>)
 //!         | (err <class:sym> <code:sym> <atom>...)
@@ -68,6 +73,22 @@
 //! panics across the wire. `(err busy queue-full <shard>)` is the
 //! back-pressure reply: the target shard's bounded run queue was full
 //! and the request was shed (the connection stays open).
+//!
+//! # Exactly-once retries (version 3)
+//!
+//! Version 3 adds the optional *idempotency* surface a retrying client
+//! uses after a connection reset: `(open <token>)` re-routes a retried
+//! open to the session the token already created and returns the same
+//! `(ok opened <id>)`; `(seval <id> <seq> <form>...)` and
+//! `(close <id> <seq>)` carry a dense per-session sequence number so a
+//! retried mutating request is answered from the server's dedup window
+//! instead of re-executing. A seq ahead of the session's cursor is
+//! `(err session seq-gap <expected> <got>)`; one that has fallen out of
+//! the window is `(err session seq-too-old <seq>)`. Seq-less requests
+//! keep the version-2 at-most-once semantics unchanged. `(ping)` →
+//! `(ok pong <lsn>)` is the liveness heartbeat the standby's primary
+//! lease counts; `lsn` is the primary's next WAL sequence number (0
+//! when replication is off).
 
 use small_core::{LpError, LptStats};
 use small_lisp::compiler::CompileError;
@@ -79,8 +100,10 @@ use std::io::{self, Read, Write};
 
 /// Current protocol version, announced in the `(hello …)` handshake.
 /// Version 2 added the `(metrics)` request and the `(requests <n>)`
-/// field in `(ok stats …)`.
-pub const PROTO_VERSION: u32 = 2;
+/// field in `(ok stats …)`. Version 3 added `(ping)` heartbeats and
+/// the optional idempotency fields: `(open <token>)`,
+/// `(seval <id> <seq> …)`, `(close <id> <seq>)`.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Upper bound on a frame payload; a peer announcing more is corrupt
 /// (or hostile) and the connection is dropped.
@@ -254,13 +277,23 @@ pub enum Request {
         /// Declared connection role.
         role: Role,
     },
-    /// `(open)` — create a session.
-    Open,
-    /// `(eval <id> <form>...)` — run forms on the session's machine.
-    /// `src` is the canonical printed text of the forms, space-joined.
+    /// `(open)` / `(open <token>)` — create a session. A token makes
+    /// the open idempotent: retrying the same token returns the same
+    /// `(ok opened <id>)` instead of creating a second session.
+    Open {
+        /// Optional idempotency token (client-chosen, globally unique).
+        token: Option<u64>,
+    },
+    /// `(eval <id> <form>...)` / `(seval <id> <seq> <form>...)` — run
+    /// forms on the session's machine. `src` is the canonical printed
+    /// text of the forms, space-joined.
     Eval {
         /// Target session.
         id: u64,
+        /// Optional per-session sequence number (dense from 0). A
+        /// sequenced request is executed at most once; retries are
+        /// answered from the dedup window.
+        seq: Option<u64>,
         /// Canonical program text.
         src: String,
     },
@@ -279,11 +312,17 @@ pub enum Request {
     /// `(metrics)` — the server-wide telemetry snapshot (deterministic
     /// and volatile JSON sections as hex-symbol payloads).
     Metrics,
-    /// `(close <id>)` — shut the session's machine down.
+    /// `(close <id>)` / `(close <id> <seq>)` — shut the session's
+    /// machine down.
     Close {
         /// Target session.
         id: u64,
+        /// Optional per-session sequence number (same space as
+        /// sequenced evals).
+        seq: Option<u64>,
     },
+    /// `(ping)` — liveness heartbeat; answered at decode time.
+    Ping,
     /// `(shutdown)` — begin graceful server drain.
     Shutdown,
     /// `(pull <lsn>)` — fetch WAL frames starting at `from` (replica
@@ -301,13 +340,21 @@ impl Request {
             Request::Hello { version, role } => {
                 format!("(hello {version} {})", role.name())
             }
-            Request::Open => "(open)".to_string(),
-            Request::Eval { id, src } => format!("(eval {id} {src})"),
+            Request::Open { token: None } => "(open)".to_string(),
+            Request::Open { token: Some(t) } => format!("(open {t})"),
+            Request::Eval { id, seq: None, src } => format!("(eval {id} {src})"),
+            Request::Eval {
+                id,
+                seq: Some(s),
+                src,
+            } => format!("(seval {id} {s} {src})"),
             Request::Ledger { id } => format!("(ledger {id})"),
             Request::Digest { id } => format!("(digest {id})"),
             Request::Stats => "(stats)".to_string(),
             Request::Metrics => "(metrics)".to_string(),
-            Request::Close { id } => format!("(close {id})"),
+            Request::Close { id, seq: None } => format!("(close {id})"),
+            Request::Close { id, seq: Some(s) } => format!("(close {id} {s})"),
+            Request::Ping => "(ping)".to_string(),
             Request::Shutdown => "(shutdown)".to_string(),
             Request::Pull { from } => format!("(pull {from})"),
         }
@@ -345,7 +392,11 @@ impl Request {
                 };
                 Ok(Request::Hello { version, role })
             }
-            "open" if items.len() == 1 => Ok(Request::Open),
+            "open" if items.len() == 1 => Ok(Request::Open { token: None }),
+            "open" if items.len() == 2 => match uint(1) {
+                Some(t) => Ok(Request::Open { token: Some(t) }),
+                None => bad(),
+            },
             "eval" if items.len() >= 3 => {
                 let Some(id) = uint(1) else { return bad() };
                 // Re-print the payload forms so the session compiles
@@ -355,7 +406,22 @@ impl Request {
                     .map(|f| print(f, &scratch))
                     .collect::<Vec<_>>()
                     .join(" ");
-                Ok(Request::Eval { id, src })
+                Ok(Request::Eval { id, seq: None, src })
+            }
+            "seval" if items.len() >= 4 => {
+                let (Some(id), Some(seq)) = (uint(1), uint(2)) else {
+                    return bad();
+                };
+                let src = items[3..]
+                    .iter()
+                    .map(|f| print(f, &scratch))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Ok(Request::Eval {
+                    id,
+                    seq: Some(seq),
+                    src,
+                })
             }
             "ledger" if items.len() == 2 => match uint(1) {
                 Some(id) => Ok(Request::Ledger { id }),
@@ -368,9 +434,14 @@ impl Request {
             "stats" if items.len() == 1 => Ok(Request::Stats),
             "metrics" if items.len() == 1 => Ok(Request::Metrics),
             "close" if items.len() == 2 => match uint(1) {
-                Some(id) => Ok(Request::Close { id }),
+                Some(id) => Ok(Request::Close { id, seq: None }),
                 None => bad(),
             },
+            "close" if items.len() == 3 => match (uint(1), uint(2)) {
+                (Some(id), Some(seq)) => Ok(Request::Close { id, seq: Some(seq) }),
+                _ => bad(),
+            },
+            "ping" if items.len() == 1 => Ok(Request::Ping),
             "shutdown" if items.len() == 1 => Ok(Request::Shutdown),
             "pull" if items.len() == 2 => match uint(1) {
                 Some(from) => Ok(Request::Pull { from }),
@@ -445,6 +516,12 @@ pub enum Reply {
     Closed {
         /// Residual LPT occupancy the closed session left behind.
         occupancy: u64,
+    },
+    /// `(ok pong <lsn>)` — heartbeat answer carrying the primary's
+    /// next WAL sequence number (0 when replication is off).
+    Pong {
+        /// Next WAL LSN on the answering server.
+        lsn: u64,
     },
     /// `(ok draining)` — shutdown acknowledged.
     Draining,
@@ -578,6 +655,7 @@ impl Reply {
                 hex_sym(volatile.as_bytes())
             ),
             Reply::Closed { occupancy } => format!("(ok closed {occupancy})"),
+            Reply::Pong { lsn } => format!("(ok pong {lsn})"),
             Reply::Draining => "(ok draining)".to_string(),
             Reply::Frames { next, bytes } => {
                 format!("(ok frames {next} {})", hex_sym(bytes))
@@ -679,6 +757,9 @@ impl Reply {
                     "closed" if items.len() == 3 => Some(Reply::Closed {
                         occupancy: u64::try_from(items[2].as_int()?).ok()?,
                     }),
+                    "pong" if items.len() == 3 => Some(Reply::Pong {
+                        lsn: u64::try_from(items[2].as_int()?).ok()?,
+                    }),
                     "draining" if items.len() == 2 => Some(Reply::Draining),
                     "frames" if items.len() == 4 => {
                         let next = u64::try_from(items[2].as_int()?).ok()?;
@@ -736,6 +817,23 @@ pub fn err_with(class: &str, code: &str, detail: &[&str]) -> Reply {
 /// The back-pressure reply: `shard`'s bounded run queue was full.
 pub fn busy_reply(shard: usize) -> Reply {
     err_with("busy", "queue-full", &[&shard.to_string()])
+}
+
+/// The dedup-window reply for a sequence number ahead of the session's
+/// cursor: the client skipped a request.
+pub fn seq_gap_reply(expected: u64, got: u64) -> Reply {
+    err_with(
+        "session",
+        "seq-gap",
+        &[&expected.to_string(), &got.to_string()],
+    )
+}
+
+/// The dedup-window reply for a sequence number that has fallen out of
+/// the replay window — the retry arrived too late to be answered from
+/// cache.
+pub fn seq_too_old_reply(seq: u64) -> Reply {
+    err_with("session", "seq-too-old", &[&seq.to_string()])
 }
 
 /// The handshake-rejection reply for a version the server does not
@@ -900,7 +998,11 @@ mod tests {
 
     #[test]
     fn request_decode_matches_grammar() {
-        assert_eq!(Request::decode("(open)"), Ok(Request::Open));
+        assert_eq!(Request::decode("(open)"), Ok(Request::Open { token: None }));
+        assert_eq!(
+            Request::decode("(open 99)"),
+            Ok(Request::Open { token: Some(99) })
+        );
         assert_eq!(
             Request::decode("(hello 1 replica)"),
             Ok(Request::Hello {
@@ -912,9 +1014,26 @@ mod tests {
             Request::decode("(eval 3 (add 1 2) (car x))"),
             Ok(Request::Eval {
                 id: 3,
+                seq: None,
                 src: "(add 1 2) (car x)".to_string()
             })
         );
+        assert_eq!(
+            Request::decode("(seval 3 7 (add 1 2))"),
+            Ok(Request::Eval {
+                id: 3,
+                seq: Some(7),
+                src: "(add 1 2)".to_string()
+            })
+        );
+        assert_eq!(
+            Request::decode("(close 4 2)"),
+            Ok(Request::Close {
+                id: 4,
+                seq: Some(2)
+            })
+        );
+        assert_eq!(Request::decode("(ping)"), Ok(Request::Ping));
         assert_eq!(Request::decode("(pull 17)"), Ok(Request::Pull { from: 17 }));
         assert_eq!(Request::decode("(metrics)"), Ok(Request::Metrics));
         // Arity matters: `(metrics 1)` is not a request.
@@ -951,6 +1070,8 @@ mod tests {
             parse_error_reply(&ParseError::UnexpectedEof),
             busy_reply(3),
             unsupported_version_reply(9),
+            seq_gap_reply(4, 7),
+            seq_too_old_reply(1),
         ];
         for r in replies {
             let text = r.encode();
@@ -977,11 +1098,14 @@ mod tests {
 
     fn arb_request() -> impl Strategy<Value = Request> {
         let id = 0u64..1_000_000;
+        let seq = prop_oneof![Just(None), (0u64..1_000).prop_map(Some)].boxed();
         prop_oneof![
-            Just(Request::Open),
             Just(Request::Stats),
             Just(Request::Metrics),
+            Just(Request::Ping),
             Just(Request::Shutdown),
+            prop_oneof![Just(None), (0u64..1_000_000).prop_map(Some)]
+                .prop_map(|token| Request::Open { token }),
             (
                 0u32..10,
                 prop_oneof![Just(Role::Client), Just(Role::Replica)]
@@ -989,10 +1113,11 @@ mod tests {
                 .prop_map(|(version, role)| Request::Hello { version, role }),
             id.clone().prop_map(|id| Request::Ledger { id }),
             id.clone().prop_map(|id| Request::Digest { id }),
-            id.clone().prop_map(|id| Request::Close { id }),
+            (id.clone(), seq.clone()).prop_map(|(id, seq)| Request::Close { id, seq }),
             (0u64..1_000_000).prop_map(|from| Request::Pull { from }),
             (
                 id,
+                seq,
                 prop_oneof![
                     Just("(add 1 2)".to_string()),
                     Just("(setq acc (cons 1 acc))".to_string()),
@@ -1000,7 +1125,7 @@ mod tests {
                     Just("(prog (x) (setq x (cons 1 nil)) (return x)) (car acc)".to_string()),
                 ]
             )
-                .prop_map(|(id, src)| Request::Eval { id, src }),
+                .prop_map(|(id, seq, src)| Request::Eval { id, seq, src }),
         ]
     }
 
@@ -1010,6 +1135,7 @@ mod tests {
             (0u32..10).prop_map(|version| Reply::Hello { version }),
             (0u64..1_000_000).prop_map(|id| Reply::Opened { id }),
             (0u64..100).prop_map(|occupancy| Reply::Closed { occupancy }),
+            (0u64..1_000_000).prop_map(|lsn| Reply::Pong { lsn }),
             any::<u64>().prop_map(|digest| Reply::Digest { digest }),
             prop_oneof![
                 Just("42".to_string()),
@@ -1088,6 +1214,58 @@ mod tests {
             // Re-encoding the decoded value is byte-identical: the
             // encoding is canonical.
             prop_assert_eq!(back.unwrap().encode(), text);
+        }
+
+        /// Any chunking of a valid frame stream — down to 1-byte reads
+        /// that tear every length prefix — decodes through [`FrameBuf`]
+        /// to exactly the frames a one-shot [`read_frame`] loop sees.
+        #[test]
+        fn frame_buf_chunking_equals_one_shot(
+            reqs in prop::collection::vec(arb_request(), 1..8),
+            splits in prop::collection::vec(1usize..9, 1..64),
+        ) {
+            let mut wire = Vec::new();
+            for r in &reqs {
+                write_frame(&mut wire, &r.encode()).unwrap();
+            }
+            let mut expected = Vec::new();
+            let mut rd = wire.as_slice();
+            while let Some(f) = read_frame(&mut rd).unwrap() {
+                expected.push(f);
+            }
+            let mut fb = FrameBuf::new();
+            let mut seen = Vec::new();
+            let mut at = 0;
+            let mut turn = 0;
+            while at < wire.len() {
+                let end = (at + splits[turn % splits.len()]).min(wire.len());
+                turn += 1;
+                fb.extend(&wire[at..end]);
+                at = end;
+                while let Some(f) = fb.pop().unwrap() {
+                    seen.push(f);
+                }
+            }
+            prop_assert_eq!(seen, expected);
+            prop_assert!(!fb.has_partial());
+        }
+
+        /// An oversized length prefix is refused the moment the 4
+        /// header bytes are in — before any payload is buffered.
+        #[test]
+        fn oversized_prefix_rejects_before_buffering(
+            announced in (MAX_FRAME as u32 + 1)..u32::MAX,
+        ) {
+            let hdr = announced.to_le_bytes();
+            let mut fb = FrameBuf::new();
+            // Feed the header one byte at a time; while it is torn the
+            // buffer just waits.
+            for &b in &hdr[..3] {
+                fb.extend(&[b]);
+                prop_assert!(fb.pop().unwrap().is_none());
+            }
+            fb.extend(&hdr[3..]);
+            prop_assert!(fb.pop().is_err());
         }
     }
 }

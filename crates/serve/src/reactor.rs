@@ -243,14 +243,23 @@ mod tests {
         let mut conn = Conn::adopt(accepted).unwrap();
 
         // Pipelined requests in one write.
-        write_frame(&mut peer, &Request::Open.encode()).unwrap();
+        write_frame(&mut peer, &Request::Open { token: None }.encode()).unwrap();
         write_frame(&mut peer, &Request::Stats.encode()).unwrap();
-        // Give loopback a moment to deliver.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        // Wait on progress, not wall-clock: loopback delivery is not
+        // instant, but any poll that yields a frame resets the
+        // patience counter, so only a genuine stall can fail — and a
+        // slow machine cannot.
         let mut seen = Vec::new();
-        while seen.len() < 2 && std::time::Instant::now() < deadline {
-            seen.extend(conn.read_frames());
-            std::thread::sleep(std::time::Duration::from_millis(1));
+        let mut idle_polls = 0u32;
+        while seen.len() < 2 && idle_polls < 10_000 {
+            let got = conn.read_frames();
+            if got.is_empty() {
+                idle_polls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            } else {
+                idle_polls = 0;
+                seen.extend(got);
+            }
         }
         assert_eq!(seen, vec!["(open)".to_string(), "(stats)".to_string()]);
 

@@ -40,15 +40,32 @@ pub fn reply_digest(reply: &Reply) -> u64 {
     digest_bytes(DIGEST_SEED, reply.encode().as_bytes())
 }
 
-/// A mutating operation, as shipped to the standby.
+/// A mutating operation, as shipped to the standby. The optional
+/// idempotency fields (open token, request seq) ride in the record so
+/// the standby's replay rebuilds the *same dedup state* the primary
+/// held — a retry that lands after failover still gets its cached
+/// reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalOp {
-    /// `(open)` that allocated the record's session id.
-    Open,
-    /// `(eval <id> …)` with the canonical program text.
-    Eval(String),
-    /// `(close <id>)`.
-    Close,
+    /// `(open)` / `(open <token>)` that allocated the record's session
+    /// id.
+    Open {
+        /// Idempotency token, when the open carried one.
+        token: Option<u64>,
+    },
+    /// `(eval <id> …)` / `(seval <id> <seq> …)` with the canonical
+    /// program text.
+    Eval {
+        /// Per-session sequence number, when the eval carried one.
+        seq: Option<u64>,
+        /// Canonical program text.
+        src: String,
+    },
+    /// `(close <id>)` / `(close <id> <seq>)`.
+    Close {
+        /// Per-session sequence number, when the close carried one.
+        seq: Option<u64>,
+    },
 }
 
 /// One replicated request.
@@ -69,12 +86,25 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
     w.put_u64(rec.lsn);
     w.put_u64(rec.session);
     match &rec.op {
-        WalOp::Open => w.put_u8(0),
-        WalOp::Eval(src) => {
+        WalOp::Open { token: None } => w.put_u8(0),
+        WalOp::Eval { seq: None, src } => {
             w.put_u8(1);
             w.put_str(src);
         }
-        WalOp::Close => w.put_u8(2),
+        WalOp::Close { seq: None } => w.put_u8(2),
+        WalOp::Open { token: Some(t) } => {
+            w.put_u8(3);
+            w.put_u64(*t);
+        }
+        WalOp::Eval { seq: Some(s), src } => {
+            w.put_u8(4);
+            w.put_u64(*s);
+            w.put_str(src);
+        }
+        WalOp::Close { seq: Some(s) } => {
+            w.put_u8(5);
+            w.put_u64(*s);
+        }
     }
     w.put_u64(rec.reply_digest);
     let payload = w.finish();
@@ -163,9 +193,22 @@ pub fn decode_frames(bytes: &[u8]) -> Result<Vec<WalRecord>, ReplError> {
         let lsn = field(&mut r)?;
         let session = field(&mut r)?;
         let op = match r.u8().map_err(|_| bad("short payload"))? {
-            0 => WalOp::Open,
-            1 => WalOp::Eval(r.str().map_err(|_| bad("short payload"))?.to_string()),
-            2 => WalOp::Close,
+            0 => WalOp::Open { token: None },
+            1 => WalOp::Eval {
+                seq: None,
+                src: r.str().map_err(|_| bad("short payload"))?.to_string(),
+            },
+            2 => WalOp::Close { seq: None },
+            3 => WalOp::Open {
+                token: Some(r.u64().map_err(|_| bad("short payload"))?),
+            },
+            4 => WalOp::Eval {
+                seq: Some(r.u64().map_err(|_| bad("short payload"))?),
+                src: r.str().map_err(|_| bad("short payload"))?.to_string(),
+            },
+            5 => WalOp::Close {
+                seq: Some(r.u64().map_err(|_| bad("short payload"))?),
+            },
             _ => return Err(bad("bad op tag")),
         };
         let reply_digest = field(&mut r)?;
@@ -252,22 +295,42 @@ impl Standby {
         self.next_lsn
     }
 
+    /// The highest LSN applied so far (== [`Standby::next_lsn`]); the
+    /// name the lag metrics use.
+    pub fn applied_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
     /// Replay one pulled batch. Returns the number of records applied.
-    /// Fails closed on damage, gaps, or divergence; a failed standby
-    /// must be discarded, not promoted.
+    ///
+    /// Records the standby has already applied (`lsn < next_lsn`) are
+    /// *skipped*, making a duplicated pull — a retried `(pull …)` after
+    /// a reset, or an at-least-once shipping layer — idempotent. A
+    /// record *ahead* of the cursor is still a fail-closed
+    /// [`ReplError::Gap`], as are damage and divergence; a failed
+    /// standby must be discarded, not promoted. The batch is fully
+    /// decoded before any record applies, so a corrupt batch changes
+    /// nothing.
     pub fn apply(&mut self, bytes: &[u8]) -> Result<usize, ReplError> {
         let records = decode_frames(bytes)?;
+        let mut applied = 0;
         for rec in &records {
-            if rec.lsn != self.next_lsn {
+            if rec.lsn < self.next_lsn {
+                continue; // already applied: duplicated pull
+            }
+            if rec.lsn > self.next_lsn {
                 return Err(ReplError::Gap {
                     expected: self.next_lsn,
                     got: rec.lsn,
                 });
             }
             let reply = match &rec.op {
-                WalOp::Open => self.store.open_with_id(rec.session),
-                WalOp::Eval(src) => self.store.eval(rec.session, src),
-                WalOp::Close => self.store.close(rec.session),
+                WalOp::Open { token: None } => self.store.open_with_id(rec.session),
+                WalOp::Open { token: Some(t) } => self.store.open_with_token(rec.session, *t).0,
+                WalOp::Eval { seq: None, src } => self.store.eval(rec.session, src),
+                WalOp::Eval { seq: Some(s), src } => self.store.eval_seq(rec.session, *s, src).0,
+                WalOp::Close { seq: None } => self.store.close(rec.session),
+                WalOp::Close { seq: Some(s) } => self.store.close_seq(rec.session, *s).0,
             };
             let actual = reply_digest(&reply);
             if actual != rec.reply_digest {
@@ -278,8 +341,9 @@ impl Standby {
                 });
             }
             self.next_lsn += 1;
+            applied += 1;
         }
-        Ok(records.len())
+        Ok(applied)
     }
 
     /// Read-only view of the standby's store (harness assertions).
@@ -291,6 +355,106 @@ impl Standby {
     /// promotion the caller serves requests against it directly.
     pub fn promote(self) -> SessionStore {
         self.store
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primary lease
+// ---------------------------------------------------------------------
+
+/// Parameters of the standby's primary lease.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseParams {
+    /// Consecutive missed heartbeats before the lease expires and the
+    /// standby self-promotes.
+    pub miss_threshold: u32,
+    /// Per-heartbeat connect/read timeout the prober should use.
+    pub ping_timeout: std::time::Duration,
+}
+
+impl Default for LeaseParams {
+    fn default() -> LeaseParams {
+        LeaseParams {
+            miss_threshold: 3,
+            ping_timeout: std::time::Duration::from_millis(250),
+        }
+    }
+}
+
+/// The standby's lease on its primary, driven by `(ping)` heartbeat
+/// outcomes.
+///
+/// This is a pure state machine — it owns no clock and no socket. The
+/// caller probes the primary (e.g. [`crate::client::ping`]) at
+/// whatever cadence it likes and reports each outcome with
+/// [`Lease::beat`] (answered) or [`Lease::miss`] (connect refused,
+/// timed out, or the connection died). After `miss_threshold`
+/// *consecutive* misses the lease expires — permanently — and the
+/// standby must stop pulling and promote. Keeping time out of the type
+/// keeps expiry deterministic: a harness that drops the primary and
+/// then probes `miss_threshold` times always observes expiry at the
+/// same beat, regardless of scheduling.
+#[derive(Debug)]
+pub struct Lease {
+    params: LeaseParams,
+    misses: u32,
+    expired: bool,
+    /// The primary's next-LSN from the last answered heartbeat.
+    last_lsn: u64,
+}
+
+impl Lease {
+    /// A fresh, unexpired lease.
+    pub fn new(params: LeaseParams) -> Lease {
+        Lease {
+            params,
+            misses: 0,
+            expired: false,
+            last_lsn: 0,
+        }
+    }
+
+    /// The lease's parameters.
+    pub fn params(&self) -> LeaseParams {
+        self.params
+    }
+
+    /// An answered heartbeat carrying the primary's next WAL LSN:
+    /// clears the consecutive-miss counter (unless already expired —
+    /// expiry is final; a zombie primary answering late must not
+    /// un-promote the standby).
+    pub fn beat(&mut self, lsn: u64) {
+        if !self.expired {
+            self.misses = 0;
+            self.last_lsn = lsn;
+        }
+    }
+
+    /// An unanswered heartbeat. Returns `true` once the lease has
+    /// expired (misses reached the threshold).
+    pub fn miss(&mut self) -> bool {
+        if !self.expired {
+            self.misses += 1;
+            if self.misses >= self.params.miss_threshold {
+                self.expired = true;
+            }
+        }
+        self.expired
+    }
+
+    /// True once the lease has expired; never reverts.
+    pub fn is_expired(&self) -> bool {
+        self.expired
+    }
+
+    /// Current consecutive-miss count.
+    pub fn misses(&self) -> u32 {
+        self.misses
+    }
+
+    /// The primary's next-LSN from the last answered heartbeat.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
     }
 }
 
@@ -312,16 +476,23 @@ mod tests {
     fn primary_step(store: &mut SessionStore, wal: &mut Wal, req: &Request) -> Reply {
         let reply = store.apply(req);
         match req {
-            Request::Open => {
+            Request::Open { token } => {
                 if let Reply::Opened { id } = reply {
-                    wal.append(id, WalOp::Open, reply_digest(&reply));
+                    wal.append(id, WalOp::Open { token: *token }, reply_digest(&reply));
                 }
             }
-            Request::Eval { id, src } => {
-                wal.append(*id, WalOp::Eval(src.clone()), reply_digest(&reply));
+            Request::Eval { id, seq, src } => {
+                wal.append(
+                    *id,
+                    WalOp::Eval {
+                        seq: *seq,
+                        src: src.clone(),
+                    },
+                    reply_digest(&reply),
+                );
             }
-            Request::Close { id } => {
-                wal.append(*id, WalOp::Close, reply_digest(&reply));
+            Request::Close { id, seq } => {
+                wal.append(*id, WalOp::Close { seq: *seq }, reply_digest(&reply));
             }
             _ => {}
         }
@@ -336,20 +507,26 @@ mod tests {
         // differs, results must not.
         let mut standby = Standby::new(cfg(1));
 
-        let mut reqs = vec![Request::Open, Request::Open, Request::Open];
+        let mut reqs = vec![
+            Request::Open { token: None },
+            Request::Open { token: None },
+            Request::Open { token: None },
+        ];
         for id in 0..3u64 {
             reqs.push(Request::Eval {
                 id,
+                seq: None,
                 src: "(setq acc nil)".to_string(),
             });
             for j in 0..4 {
                 reqs.push(Request::Eval {
                     id,
+                    seq: None,
                     src: format!("(setq acc (cons {} acc))", id as usize + j),
                 });
             }
         }
-        reqs.push(Request::Close { id: 1 });
+        reqs.push(Request::Close { id: 1, seq: None });
         for req in &reqs {
             let reply = primary_step(&mut primary, &mut wal, req);
             assert!(!reply.is_err(), "{req:?} → {}", reply.encode());
@@ -372,14 +549,24 @@ mod tests {
         }
         assert_eq!(promoted.aggregate_counts(), primary.aggregate_counts());
         // And the promoted store keeps serving with id continuity.
-        assert_eq!(promoted.apply(&Request::Open), Reply::Opened { id: 3 });
+        assert_eq!(
+            promoted.apply(&Request::Open { token: None }),
+            Reply::Opened { id: 3 }
+        );
     }
 
     #[test]
     fn corrupt_batch_fails_closed() {
         let mut wal = Wal::new();
-        wal.append(0, WalOp::Open, 7);
-        wal.append(0, WalOp::Eval("(add 1 2)".to_string()), 9);
+        wal.append(0, WalOp::Open { token: None }, 7);
+        wal.append(
+            0,
+            WalOp::Eval {
+                seq: None,
+                src: "(add 1 2)".to_string(),
+            },
+            9,
+        );
         let (mut batch, _) = wal.frames_from(0, usize::MAX);
         // Flip a payload byte: CRC must catch it.
         let last = batch.len() - 1;
@@ -401,12 +588,13 @@ mod tests {
     fn gap_and_divergence_fail_closed() {
         let mut primary = SessionStore::new(cfg(2));
         let mut wal = Wal::new();
-        primary_step(&mut primary, &mut wal, &Request::Open);
+        primary_step(&mut primary, &mut wal, &Request::Open { token: None });
         primary_step(
             &mut primary,
             &mut wal,
             &Request::Eval {
                 id: 0,
+                seq: None,
                 src: "(add 1 1)".to_string(),
             },
         );
@@ -422,7 +610,7 @@ mod tests {
         );
         // Lie about a reply digest: divergence at that lsn.
         let mut lying = Wal::new();
-        lying.append(0, WalOp::Open, 0xdead_beef);
+        lying.append(0, WalOp::Open { token: None }, 0xdead_beef);
         let (batch, _) = lying.frames_from(0, usize::MAX);
         let mut standby = Standby::new(cfg(2));
         assert!(matches!(
@@ -435,13 +623,26 @@ mod tests {
     fn frames_round_trip_and_batches_bound_bytes() {
         let mut wal = Wal::new();
         for k in 0..10u64 {
-            wal.append(k, WalOp::Eval(format!("(add {k} {k})")), k * 3);
+            wal.append(
+                k,
+                WalOp::Eval {
+                    seq: Some(k),
+                    src: format!("(add {k} {k})"),
+                },
+                k * 3,
+            );
         }
         let (all, next) = wal.frames_from(0, usize::MAX);
         assert_eq!(next, 10);
         let records = decode_frames(&all).expect("decode");
         assert_eq!(records.len(), 10);
-        assert_eq!(records[4].op, WalOp::Eval("(add 4 4)".to_string()));
+        assert_eq!(
+            records[4].op,
+            WalOp::Eval {
+                seq: Some(4),
+                src: "(add 4 4)".to_string()
+            }
+        );
         // Bounded pulls always progress and cover the log exactly.
         let mut at = 0;
         let mut seen = 0;
@@ -452,5 +653,98 @@ mod tests {
             at = next;
         }
         assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn duplicated_pulls_are_idempotent() {
+        let mut primary = SessionStore::new(cfg(2));
+        let mut wal = Wal::new();
+        let script = [
+            Request::Open { token: Some(9) },
+            Request::Eval {
+                id: 0,
+                seq: Some(0),
+                src: "(setq acc (cons 1 nil))".to_string(),
+            },
+            Request::Eval {
+                id: 0,
+                seq: Some(1),
+                src: "(setq acc (cons 2 acc))".to_string(),
+            },
+        ];
+        for req in &script {
+            assert!(!primary_step(&mut primary, &mut wal, req).is_err());
+        }
+        let (batch, _) = wal.frames_from(0, usize::MAX);
+        let mut standby = Standby::new(cfg(2));
+        assert_eq!(standby.apply(&batch).expect("first apply"), 3);
+        // The same batch again — a duplicated pull — applies nothing
+        // and changes nothing.
+        let ledger_before = standby.store.ledger(0);
+        assert_eq!(standby.apply(&batch).expect("duplicate apply"), 0);
+        assert_eq!(standby.applied_lsn(), 3);
+        assert_eq!(standby.store.ledger(0), ledger_before);
+        // An overlapping batch (middle of the log onward) also skips
+        // cleanly; a batch starting beyond the cursor is still a gap.
+        let (tail, _) = wal.frames_from(1, usize::MAX);
+        assert_eq!(standby.apply(&tail).expect("overlap apply"), 0);
+        let mut behind = Standby::new(cfg(2));
+        let (ahead, _) = wal.frames_from(2, usize::MAX);
+        assert!(matches!(behind.apply(&ahead), Err(ReplError::Gap { .. })));
+    }
+
+    #[test]
+    fn replay_rebuilds_the_dedup_state() {
+        let mut primary = SessionStore::new(cfg(2));
+        let mut wal = Wal::new();
+        primary_step(&mut primary, &mut wal, &Request::Open { token: Some(41) });
+        let eval = Request::Eval {
+            id: 0,
+            seq: Some(0),
+            src: "(setq acc (cons 7 nil))".to_string(),
+        };
+        let first = primary_step(&mut primary, &mut wal, &eval);
+        let mut standby = Standby::new(cfg(2));
+        let (batch, _) = wal.frames_from(0, usize::MAX);
+        standby.apply(&batch).expect("replay");
+        let mut promoted = standby.promote();
+        // A retry of the last pre-failover mutating request, landing on
+        // the promoted standby, is answered from the replicated replay
+        // window — not re-executed.
+        let ledger_before = promoted.ledger(0);
+        let (retry, applied) = promoted.eval_seq(0, 0, "(setq acc (cons 7 nil))");
+        assert!(!applied, "retry must hit the replicated dedup window");
+        assert_eq!(retry, first);
+        assert_eq!(promoted.ledger(0), ledger_before);
+        // A retried tokenized open also resolves to the original id.
+        let (reopened, applied) = promoted.open_with_token(99, 41);
+        assert!(!applied);
+        assert_eq!(reopened, Reply::Opened { id: 0 });
+    }
+
+    #[test]
+    fn lease_expires_after_consecutive_misses_and_stays_expired() {
+        let mut lease = Lease::new(LeaseParams {
+            miss_threshold: 3,
+            ..LeaseParams::default()
+        });
+        lease.beat(5);
+        assert_eq!((lease.misses(), lease.last_lsn()), (0, 5));
+        // Two misses, then an answered beat: the counter clears.
+        assert!(!lease.miss());
+        assert!(!lease.miss());
+        lease.beat(8);
+        assert_eq!(lease.misses(), 0);
+        // Three consecutive misses expire the lease — exactly at the
+        // threshold, deterministically.
+        assert!(!lease.miss());
+        assert!(!lease.miss());
+        assert!(lease.miss());
+        assert!(lease.is_expired());
+        // Expiry is final: a zombie primary answering late cannot
+        // un-expire it.
+        lease.beat(11);
+        assert!(lease.is_expired());
+        assert_eq!(lease.last_lsn(), 8);
     }
 }

@@ -191,6 +191,7 @@ pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Res
         decode_done: AtomicUsize::new(0),
         queues_done: AtomicUsize::new(0),
         next_id: AtomicU64::new(0),
+        open_tokens: Mutex::new(std::collections::HashMap::new()),
         wal: params.replicate.then(|| Mutex::new(Wal::new())),
         addr: local,
     });
@@ -326,6 +327,7 @@ mod tests {
             assert_eq!(
                 c.request(&Request::Eval {
                     id,
+                    seq: None,
                     src: format!("(setq acc (cons {id} nil))"),
                 })
                 .unwrap()
@@ -338,6 +340,7 @@ mod tests {
             assert_eq!(
                 c.request(&Request::Eval {
                     id,
+                    seq: None,
                     src: "(car acc)".to_string(),
                 })
                 .unwrap()
@@ -351,7 +354,7 @@ mod tests {
         }
         for &id in &ids {
             assert_eq!(
-                c.request(&Request::Close { id }).unwrap(),
+                c.request(&Request::Close { id, seq: None }).unwrap(),
                 Reply::Closed { occupancy: 0 }
             );
         }
@@ -379,6 +382,7 @@ mod tests {
         assert_eq!(
             c.request(&Request::Eval {
                 id: 404,
+                seq: None,
                 src: "(add 1 2)".to_string(),
             })
             .unwrap()
@@ -416,6 +420,7 @@ mod tests {
         for &id in &ids {
             c.request(&Request::Eval {
                 id,
+                seq: None,
                 src: "(setq acc (cons 1 (cons 2 nil)))".to_string(),
             })
             .unwrap();

@@ -20,8 +20,8 @@
 //! resident. The soak harness turns that property into a gate.
 
 use crate::protocol::{
-    compile_error_reply, lp_error_reply, parse_error_reply, persist_error_reply, vm_error_reply,
-    Reply,
+    compile_error_reply, lp_error_reply, parse_error_reply, persist_error_reply, seq_gap_reply,
+    seq_too_old_reply, vm_error_reply, Reply,
 };
 use crate::telemetry::ServeSink;
 use small_core::machine::SmallBackend;
@@ -74,6 +74,11 @@ impl ServeConfig {
 
 type Backend = SmallBackend<TwoPointerController, ServeSink>;
 
+/// How many recently applied sequenced replies a session keeps for
+/// retry deduplication. A retry older than this window gets a typed
+/// `seq-too-old` error instead of a cached reply.
+pub const DEDUP_WINDOW: usize = 32;
+
 /// A resident session: one full SMALL machine plus request bookkeeping.
 pub struct Session {
     /// Manager-assigned identifier (stable across suspend/resume).
@@ -86,6 +91,11 @@ pub struct Session {
     /// Running FNV-1a digest over every request text and reply text, in
     /// order — the session's externally checkable transcript fingerprint.
     pub digest: u64,
+    /// Next expected sequence number for sequenced (`seval`) requests.
+    next_seq: u64,
+    /// The last [`DEDUP_WINDOW`] applied sequenced replies, oldest
+    /// first, for exactly-once retry semantics.
+    replay: Vec<(u64, Reply)>,
 }
 
 fn empty_vm(interner: &mut Interner, backend: Backend) -> Vm<Backend> {
@@ -107,6 +117,8 @@ impl Session {
             step_budget: cfg.step_budget,
             requests: 0,
             digest: DIGEST_SEED,
+            next_seq: 0,
+            replay: Vec::new(),
         }
     }
 
@@ -128,6 +140,37 @@ impl Session {
         self.digest = digest_bytes(self.digest, reply.encode().as_bytes());
         self.requests += 1;
         reply
+    }
+
+    /// Run one *sequenced* request: execute exactly once, answer
+    /// retries from the replay window.
+    ///
+    /// Returns the reply plus an `applied` flag: `true` when the
+    /// request executed (and must be journaled), `false` when it was a
+    /// no-effect answer — a cached reply for a duplicate, or a typed
+    /// `seq-gap`/`seq-too-old` rejection that touched no machine state.
+    pub fn eval_seq(&mut self, seq: u64, src: &str) -> (Reply, bool) {
+        if seq == self.next_seq {
+            let reply = self.eval(src);
+            self.next_seq += 1;
+            if self.replay.len() == DEDUP_WINDOW {
+                self.replay.remove(0);
+            }
+            self.replay.push((seq, reply.clone()));
+            (reply, true)
+        } else if seq > self.next_seq {
+            (seq_gap_reply(self.next_seq, seq), false)
+        } else {
+            match self.replay.iter().find(|(s, _)| *s == seq) {
+                Some((_, cached)) => (cached.clone(), false),
+                None => (seq_too_old_reply(seq), false),
+            }
+        }
+    }
+
+    /// Next expected sequence number (the dedup cursor).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     fn eval_inner(&mut self, src: &str) -> Reply {
@@ -252,6 +295,14 @@ impl Session {
                 }
             }
         }
+        // Dedup state rides behind the globals so `peek_counts`'s
+        // fixed prefix stays valid.
+        w.put_u64(self.next_seq);
+        w.put_u64(self.replay.len() as u64);
+        for (seq, reply) in &self.replay {
+            w.put_u64(*seq);
+            w.put_str(&reply.encode());
+        }
         encode_checkpoint(&Checkpoint {
             event_index: self.requests,
             journal_seq: 0,
@@ -295,6 +346,16 @@ impl Session {
             };
             globals.push((sym, v));
         }
+        let next_seq = r.u64().map_err(corrupt)?;
+        let nreplay = r.len().map_err(corrupt)?;
+        let mut replay = Vec::with_capacity(nreplay.min(DEDUP_WINDOW));
+        for _ in 0..nreplay {
+            let seq = r.u64().map_err(corrupt)?;
+            let text = r.str().map_err(corrupt)?;
+            let reply =
+                Reply::decode(text).ok_or_else(|| corrupt("bad replay-window reply text"))?;
+            replay.push((seq, reply));
+        }
         r.expect_end().map_err(corrupt)?;
 
         let controller = TwoPointerController::import_image(&ckpt.controller)?;
@@ -318,6 +379,8 @@ impl Session {
             step_budget: cfg.step_budget,
             requests,
             digest,
+            next_seq,
+            replay,
         })
     }
 
@@ -443,6 +506,52 @@ mod tests {
         let (occ_a, _) = a.close();
         let (occ_b, _) = b.close();
         assert_eq!((occ_a, occ_b), (0, 0));
+    }
+
+    #[test]
+    fn sequenced_retries_replay_without_reexecuting() {
+        let mut s = Session::new(0, &cfg());
+        let (r0, applied) = s.eval_seq(0, "(setq acc (cons 1 nil))");
+        assert!(applied);
+        assert_eq!(r0.encode(), "(ok value (1))");
+        let (r1, applied) = s.eval_seq(1, "(setq acc (cons 2 acc))");
+        assert!(applied);
+        assert_eq!(r1.encode(), "(ok value (2 1))");
+        let ledger_before = s.ledger();
+        let digest_before = s.digest;
+        // A retried mutating request comes back from the cache: same
+        // bytes, no second application, ledger and digest untouched.
+        let (retry, applied) = s.eval_seq(1, "(setq acc (cons 2 acc))");
+        assert!(!applied);
+        assert_eq!(retry, r1);
+        assert_eq!(s.ledger(), ledger_before);
+        assert_eq!(s.digest, digest_before);
+        // Ahead of the cursor is a typed gap; far behind is too-old.
+        let (gap, applied) = s.eval_seq(5, "(add 1 1)");
+        assert!(!applied);
+        assert_eq!(gap.encode(), "(err session seq-gap 2 5)");
+        for k in 2..(2 + DEDUP_WINDOW as u64 + 1) {
+            assert!(s.eval_seq(k, "(add 1 1)").1);
+        }
+        let (old, applied) = s.eval_seq(0, "(setq acc (cons 1 nil))");
+        assert!(!applied);
+        assert_eq!(old.encode(), "(err session seq-too-old 0)");
+    }
+
+    #[test]
+    fn dedup_window_survives_suspend_resume() {
+        let c = cfg();
+        let mut s = Session::new(3, &c);
+        let (r0, _) = s.eval_seq(0, "(setq n 7)");
+        let (r1, _) = s.eval_seq(1, "(add n 1)");
+        let blob = s.suspend();
+        let mut s = Session::resume(3, &c, &blob).expect("resume");
+        assert_eq!(s.next_seq(), 2);
+        assert_eq!(s.eval_seq(0, "(setq n 7)"), (r0, false));
+        assert_eq!(s.eval_seq(1, "(add n 1)"), (r1, false));
+        let (r2, applied) = s.eval_seq(2, "(add n 2)");
+        assert!(applied);
+        assert_eq!(r2.encode(), "(ok value 9)");
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::protocol::{busy_reply, err, err_with, Reply, Request, Role, StatsBody
 use crate::reactor::{Conn, Outbox};
 use crate::repl::{reply_digest, Wal, WalOp};
 use crate::telemetry::{ShardMetrics, TraceLog, VolatileMetrics};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -64,13 +64,18 @@ const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(2);
 pub enum Action {
     /// Create the session under a pre-allocated global id.
     Open {
-        /// The id the decoding shard reserved.
+        /// The id the decoding shard reserved (or resolved through the
+        /// token map for a retried tokenized open).
         id: u64,
+        /// Idempotency token, when the open carried one.
+        token: Option<u64>,
     },
     /// Run a program on the session.
     Eval {
         /// Target session.
         id: u64,
+        /// Per-session request sequence number, when present.
+        seq: Option<u64>,
         /// Canonical program text.
         src: String,
     },
@@ -88,6 +93,8 @@ pub enum Action {
     Close {
         /// Target session.
         id: u64,
+        /// Per-session request sequence number, when present.
+        seq: Option<u64>,
     },
 }
 
@@ -95,11 +102,11 @@ impl Action {
     /// The session id this action targets (pins it to a shard).
     pub fn session(&self) -> u64 {
         match self {
-            Action::Open { id }
+            Action::Open { id, .. }
             | Action::Eval { id, .. }
             | Action::Ledger { id }
             | Action::Digest { id }
-            | Action::Close { id } => *id,
+            | Action::Close { id, .. } => *id,
         }
     }
 }
@@ -180,6 +187,11 @@ pub struct SharedState {
     pub queues_done: AtomicUsize,
     /// Global session-id allocator (decode-order dense).
     pub next_id: AtomicU64,
+    /// Idempotency-token → session-id routing map: a retried
+    /// `(open <token>)` must reach the *same home shard* as the
+    /// original, so the resolution happens at decode time, before
+    /// pinning. The owning store performs the authoritative dedup.
+    pub open_tokens: Mutex<HashMap<u64, u64>>,
     /// The replication log, when the server runs as a primary.
     pub wal: Option<Mutex<Wal>>,
     /// The listen address (shards self-connect to unblock the
@@ -256,14 +268,25 @@ impl SharedState {
     }
 }
 
-/// Execute one routed action against the shard's store.
-fn execute(store: &mut SessionStore, action: &Action) -> Reply {
+/// Execute one routed action against the shard's store. The second
+/// element is the journal-this flag: `true` when a mutating action
+/// actually executed (sequenced retries answered from the dedup caches
+/// return `false` and must *not* re-enter the WAL — the standby
+/// already replayed the original).
+fn execute(store: &mut SessionStore, action: &Action) -> (Reply, bool) {
     match action {
-        Action::Open { id } => store.open_with_id(*id),
-        Action::Eval { id, src } => store.eval(*id, src),
-        Action::Ledger { id } => store.ledger(*id),
-        Action::Digest { id } => store.digest(*id),
-        Action::Close { id } => store.close(*id),
+        Action::Open { id, token: None } => (store.open_with_id(*id), true),
+        Action::Open { id, token: Some(t) } => store.open_with_token(*id, *t),
+        Action::Eval { id, seq: None, src } => (store.eval(*id, src), true),
+        Action::Eval {
+            id,
+            seq: Some(s),
+            src,
+        } => store.eval_seq(*id, *s, src),
+        Action::Ledger { id } => (store.ledger(*id), false),
+        Action::Digest { id } => (store.digest(*id), false),
+        Action::Close { id, seq: None } => (store.close(*id), true),
+        Action::Close { id, seq: Some(s) } => store.close_seq(*id, *s),
     }
 }
 
@@ -300,14 +323,18 @@ fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> 
             };
             log.span(tid, name)
         });
-        let reply = catch_unwind(AssertUnwindSafe(|| execute(store, &job.action)))
-            .unwrap_or_else(|_| err("session", "panicked"));
+        let (reply, applied) = catch_unwind(AssertUnwindSafe(|| execute(store, &job.action)))
+            .unwrap_or_else(|_| (err("session", "panicked"), true));
         drop(span);
         if let Some(wal) = &shared.wal {
             let op = match &job.action {
-                Action::Open { .. } => Some(WalOp::Open),
-                Action::Eval { src, .. } => Some(WalOp::Eval(src.clone())),
-                Action::Close { .. } => Some(WalOp::Close),
+                _ if !applied => None,
+                Action::Open { token, .. } => Some(WalOp::Open { token: *token }),
+                Action::Eval { seq, src, .. } => Some(WalOp::Eval {
+                    seq: *seq,
+                    src: src.clone(),
+                }),
+                Action::Close { seq, .. } => Some(WalOp::Close { seq: *seq }),
                 Action::Ledger { .. } | Action::Digest { .. } => None,
             };
             if let Some(op) = op {
@@ -391,6 +418,16 @@ fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
         }
         Request::Stats => conn.outbox.complete(seq, &shared.stats_reply()),
         Request::Metrics => conn.outbox.complete(seq, &shared.metrics_reply()),
+        Request::Ping => {
+            // Answered at decode time so heartbeats stay cheap and
+            // cannot be shed by a full run queue.
+            let lsn = shared
+                .wal
+                .as_ref()
+                .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).next_lsn())
+                .unwrap_or(0);
+            conn.outbox.complete(seq, &Reply::Pong { lsn });
+        }
         Request::Shutdown => {
             conn.outbox.complete(seq, &Reply::Draining);
             shared.begin_stop();
@@ -410,6 +447,10 @@ fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
                         .unwrap_or_else(|e| e.into_inner());
                     vol.wal_pull_batches.inc();
                     vol.wal_shipped.add(next.saturating_sub(from));
+                    // `(pull <from>)` is the replica's applied-LSN
+                    // confession: everything below `from` has been
+                    // replayed on its side.
+                    vol.note_wal_applied(from);
                     Reply::Frames { next, bytes }
                 }
                 (_, None) => err("repl", "disabled"),
@@ -417,14 +458,26 @@ fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
             };
             conn.outbox.complete(seq, &reply);
         }
-        Request::Open => {
+        Request::Open { token: None } => {
             let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
-            route(Action::Open { id }, conn);
+            route(Action::Open { id, token: None }, conn);
         }
-        Request::Eval { id, src } => route(Action::Eval { id, src }, conn),
+        Request::Open { token: Some(t) } => {
+            // Resolve the token to a stable id *before* pinning, so a
+            // retried open routes to the same home shard as the
+            // original and the store-level dedup can see it.
+            let id = *shared
+                .open_tokens
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(t)
+                .or_insert_with(|| shared.next_id.fetch_add(1, Ordering::SeqCst));
+            route(Action::Open { id, token: Some(t) }, conn);
+        }
+        Request::Eval { id, seq, src } => route(Action::Eval { id, seq, src }, conn),
         Request::Ledger { id } => route(Action::Ledger { id }, conn),
         Request::Digest { id } => route(Action::Digest { id }, conn),
-        Request::Close { id } => route(Action::Close { id }, conn),
+        Request::Close { id, seq } => route(Action::Close { id, seq }, conn),
     }
 }
 
@@ -561,7 +614,10 @@ mod tests {
         Job {
             seq,
             outbox: Outbox::new(),
-            action: Action::Open { id: seq },
+            action: Action::Open {
+                id: seq,
+                token: None,
+            },
         }
     }
 
@@ -585,9 +641,10 @@ mod tests {
     fn actions_pin_to_their_session() {
         let a = Action::Eval {
             id: 7,
+            seq: None,
             src: "(add 1 2)".to_string(),
         };
         assert_eq!(a.session(), 7);
-        assert_eq!(Action::Close { id: 3 }.session(), 3);
+        assert_eq!(Action::Close { id: 3, seq: None }.session(), 3);
     }
 }

@@ -143,11 +143,11 @@ fn transcript_digest(replies: &[String]) -> u64 {
 fn client_requests(id: u64, seed: u64, client: u64, requests: usize) -> Vec<Request> {
     let mut reqs: Vec<Request> = programs_for(seed, client, requests)
         .into_iter()
-        .map(|src| Request::Eval { id, src })
+        .map(|src| Request::Eval { id, seq: None, src })
         .collect();
     reqs.push(Request::Ledger { id });
     reqs.push(Request::Digest { id });
-    reqs.push(Request::Close { id });
+    reqs.push(Request::Close { id, seq: None });
     reqs
 }
 
@@ -197,7 +197,7 @@ fn run_sweep(
     let mut t = Vec::new();
     let mut ids = Vec::new();
     for _ in 0..fleet {
-        let reply = req(&Request::Open)?;
+        let reply = req(&Request::Open { token: None })?;
         let id = match Reply::decode(&reply) {
             Some(Reply::Opened { id }) => id,
             _ => return Err(io::Error::new(io::ErrorKind::InvalidData, reply)),
@@ -213,6 +213,7 @@ fn run_sweep(
         for (&id, prog) in ids.iter().zip(progs.iter()) {
             t.push(req(&Request::Eval {
                 id,
+                seq: None,
                 src: prog[round].clone(),
             })?);
         }
@@ -220,7 +221,7 @@ fn run_sweep(
     for &id in &ids {
         t.push(req(&Request::Ledger { id })?);
         t.push(req(&Request::Digest { id })?);
-        t.push(req(&Request::Close { id })?);
+        t.push(req(&Request::Close { id, seq: None })?);
     }
     Ok(t)
 }
@@ -279,9 +280,9 @@ fn churn_worker_run(
     for script in churn_scripts(seed, worker, sessions) {
         let id = c.open()?;
         for src in script {
-            t.push(c.request_text(&Request::Eval { id, src }.encode())?);
+            t.push(c.request_text(&Request::Eval { id, seq: None, src }.encode())?);
         }
-        t.push(c.request_text(&Request::Close { id }.encode())?);
+        t.push(c.request_text(&Request::Close { id, seq: None }.encode())?);
     }
     Ok(t)
 }
@@ -331,9 +332,9 @@ fn run_churn(p: &SoakParams, seed: u64) -> io::Result<ChurnResult> {
         for script in churn_scripts(seed, w as u64, per_worker) {
             let id = twin.open();
             for src in script {
-                serial.push(twin.apply(&Request::Eval { id, src }).encode());
+                serial.push(twin.apply(&Request::Eval { id, seq: None, src }).encode());
             }
-            serial.push(twin.apply(&Request::Close { id }).encode());
+            serial.push(twin.apply(&Request::Close { id, seq: None }).encode());
         }
         let ok = matches!(transcript, Ok(t) if *t == serial);
         if !ok {

@@ -125,7 +125,7 @@ impl ReqKind {
     /// connection-scoped requests, which never reach a store).
     pub fn of(req: &Request) -> Option<ReqKind> {
         match req {
-            Request::Open => Some(ReqKind::Open),
+            Request::Open { .. } => Some(ReqKind::Open),
             Request::Eval { .. } => Some(ReqKind::Eval),
             Request::Ledger { .. } => Some(ReqKind::Ledger),
             Request::Digest { .. } => Some(ReqKind::Digest),
@@ -253,6 +253,11 @@ pub struct VolatileMetrics {
     pub wal_shipped: Counter,
     /// `(pull …)` batches served.
     pub wal_pull_batches: Counter,
+    /// Highest LSN a replica has confessed to having applied (the
+    /// `from` of its latest `(pull …)`). A high-water mark, not a
+    /// counter: merged by max, so the merged snapshot reports the most
+    /// advanced replica.
+    wal_applied: u64,
 }
 
 impl VolatileMetrics {
@@ -264,6 +269,24 @@ impl VolatileMetrics {
         self.wal_appended.merge(other.wal_appended);
         self.wal_shipped.merge(other.wal_shipped);
         self.wal_pull_batches.merge(other.wal_pull_batches);
+        self.wal_applied = self.wal_applied.max(other.wal_applied);
+    }
+
+    /// Record a replica's applied-LSN high-water mark (from the `from`
+    /// argument of a `(pull …)`).
+    pub fn note_wal_applied(&mut self, lsn: u64) {
+        self.wal_applied = self.wal_applied.max(lsn);
+    }
+
+    /// The applied-LSN high-water mark.
+    pub fn wal_applied(&self) -> u64 {
+        self.wal_applied
+    }
+
+    /// Shipped-minus-applied lag: records a replica has been handed
+    /// but has not yet confessed to replaying.
+    pub fn wal_applied_lag(&self) -> u64 {
+        self.wal_shipped.get().saturating_sub(self.wal_applied)
     }
 
     /// The volatile snapshot section (fixed key order, but the values
@@ -284,6 +307,8 @@ impl VolatileMetrics {
                 .saturating_sub(self.wal_shipped.get()),
         );
         wal.field_u64("pull_batches", self.wal_pull_batches.get());
+        wal.field_u64("applied", self.wal_applied);
+        wal.field_u64("applied_lag", self.wal_applied_lag());
         root.field_raw("wal", &wal.finish());
         root.field_raw("wall_us", &reqs.wall_json());
         root.finish()
@@ -364,6 +389,13 @@ pub fn prometheus_text(reqs: &ShardMetrics, vol: &VolatileMetrics) -> String {
     out.push_str(&format!(
         "small_wal_lag {}\n",
         vol.wal_appended.get().saturating_sub(vol.wal_shipped.get())
+    ));
+    out.push_str("# TYPE small_wal_applied gauge\n");
+    out.push_str(&format!("small_wal_applied {}\n", vol.wal_applied()));
+    out.push_str("# TYPE small_wal_applied_lag gauge\n");
+    out.push_str(&format!(
+        "small_wal_applied_lag {}\n",
+        vol.wal_applied_lag()
     ));
     out
 }
@@ -582,12 +614,33 @@ mod tests {
         v.busy_sheds.inc();
         v.wal_appended.add(10);
         v.wal_shipped.add(7);
+        v.note_wal_applied(5);
         let text = prometheus_text(&m, &v);
         assert!(text.contains("small_requests_total{kind=\"eval\"} 1"));
         assert!(text.contains("small_request_cycles{kind=\"eval\",quantile=\"0.5\"} 512"));
         assert!(text.contains("small_request_wall_us_count{kind=\"eval\"} 1"));
         assert!(text.contains("small_busy_sheds_total 1"));
         assert!(text.contains("small_wal_lag 3"));
+        assert!(text.contains("small_wal_applied 5"));
+        assert!(text.contains("small_wal_applied_lag 2"));
+    }
+
+    #[test]
+    fn applied_lag_is_a_max_merged_high_water_mark() {
+        let mut a = VolatileMetrics::default();
+        a.wal_shipped.add(9);
+        a.note_wal_applied(4);
+        a.note_wal_applied(2); // stale confession never regresses it
+        assert_eq!(a.wal_applied(), 4);
+        assert_eq!(a.wal_applied_lag(), 5);
+        let mut b = VolatileMetrics::default();
+        b.note_wal_applied(7);
+        a.merge(&b);
+        assert_eq!(a.wal_applied(), 7, "merge takes the max, not the sum");
+        assert_eq!(a.wal_applied_lag(), 2);
+        let json = a.json(&ShardMetrics::default());
+        assert!(json.contains("\"applied\":7"), "{json}");
+        assert!(json.contains("\"applied_lag\":2"), "{json}");
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn burst_requests(id: u64) -> Vec<Request> {
     (0..BURST)
         .map(|k| Request::Eval {
             id,
+            seq: None,
             src: format!("(add {k} {k})"),
         })
         .collect()
@@ -84,6 +85,7 @@ fn bounded_queue_sheds_with_typed_busy_and_connection_survives() {
     assert_eq!(
         c.request(&Request::Eval {
             id,
+            seq: None,
             src: "(add 20 22)".to_string(),
         })
         .unwrap()
@@ -91,7 +93,7 @@ fn bounded_queue_sheds_with_typed_busy_and_connection_survives() {
         "(ok value 42)"
     );
     assert_eq!(
-        c.request(&Request::Close { id }).unwrap(),
+        c.request(&Request::Close { id, seq: None }).unwrap(),
         Reply::Closed { occupancy: 0 }
     );
     handle.shutdown();
@@ -109,7 +111,7 @@ fn roomy_queue_absorbs_the_same_burst() {
         assert_eq!(text, &format!("(ok value {})", 2 * k), "reply {k}");
     }
     assert_eq!(
-        c.request(&Request::Close { id }).unwrap(),
+        c.request(&Request::Close { id, seq: None }).unwrap(),
         Reply::Closed { occupancy: 0 }
     );
     handle.shutdown();

@@ -49,6 +49,7 @@ fn promoted_standby_serves_the_primary_state() {
     for &(id, src) in &script {
         c.request(&Request::Eval {
             id,
+            seq: None,
             src: src.to_string(),
         })
         .unwrap();
@@ -90,7 +91,10 @@ fn promoted_standby_serves_the_primary_state() {
         .collect();
     assert_eq!(replayed, live);
     // ...and keeps allocating ids where the primary left off.
-    assert_eq!(promoted.apply(&Request::Open), Reply::Opened { id: 2 });
+    assert_eq!(
+        promoted.apply(&Request::Open { token: None }),
+        Reply::Opened { id: 2 }
+    );
 }
 
 #[test]
@@ -108,7 +112,7 @@ fn incremental_and_bulk_catch_up_converge() {
         } else {
             format!("(setq acc (cons {k} acc))")
         };
-        c.request(&Request::Eval { id, src }).unwrap();
+        c.request(&Request::Eval { id, seq: None, src }).unwrap();
         // Pull after every single acknowledged request...
         let target = handle.wal_next_lsn().unwrap();
         inc_puller.catch_up(&mut incremental, target).unwrap();

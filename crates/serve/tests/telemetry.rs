@@ -24,9 +24,9 @@ fn run_fleet(cfg: ServeConfig, params: ServerParams) -> (String, String) {
                 let mut cl = Client::connect(addr, Role::Client).unwrap();
                 let id = cl.open().unwrap();
                 for src in programs_for(SEED, c as u64, REQUESTS) {
-                    let _ = cl.request(&Request::Eval { id, src }).unwrap();
+                    let _ = cl.request(&Request::Eval { id, seq: None, src }).unwrap();
                 }
-                cl.request(&Request::Close { id }).unwrap();
+                cl.request(&Request::Close { id, seq: None }).unwrap();
             })
         })
         .collect();
