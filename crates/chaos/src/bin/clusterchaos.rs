@@ -1,23 +1,28 @@
-//! `netchaos` — deterministic network-fault chaos campaign for the
-//! serving stack, with a byte-deterministic JSON report.
+//! `clusterchaos` — replication-chain chaos campaign: kill the primary
+//! twice, survive both, with a byte-deterministic JSON report.
 //!
 //! ```text
-//! netchaos [--seeds N | --seeds a,b,c] [--sessions N] [--requests N]
-//!          [--kill-points a,b,c] [--out PATH]
+//! clusterchaos [--seeds N | --seeds a,b,c] [--sessions N] [--requests N]
+//!              [--kill-points a,b,c] [--out PATH]
 //! ```
 //!
-//! For every `(seed, kill point)` pair: run a replicating primary
-//! behind a seeded fault plan (torn frames, pinned-offset connection
-//! resets under a retrying client, duplicated / delayed / corrupted
-//! replica pulls), kill the primary at the pinned operation index, let
-//! the standby's lease expire and self-promote, and compare every
-//! reply byte-for-byte against an uninterrupted serial twin — plus
-//! prove a re-sent pre-kill request is answered from the replicated
-//! dedup window, not re-executed. Exit is nonzero on any divergence or
-//! unsurvived fault. CI runs this twice and `cmp`s the reports.
+//! For every `(seed, first kill point)` pair: run a three-node chain —
+//! sharded primary → relay standby S1 → relay standby S2 — under the
+//! seeded netchaos fault discipline (torn frames, pinned-offset resets
+//! under a cluster-aware failing-over client, duplicated / delayed /
+//! corrupted pulls on both hops). Kill the primary at the pinned index;
+//! S1's lease expires and S1 promotes on its own listener while still
+//! shipping WAL to S2. Then kill the promoted node too; S2 promotes the
+//! same way and serves the rest of the script plus a fully sequenced
+//! epilogue. Every reply must be byte-identical to an uninterrupted
+//! serial twin, and re-sent pre-kill mutations must be answered from
+//! the replicated dedup windows across one and two promotions. Exit is
+//! nonzero on any divergence. CI runs this twice and `cmp`s the
+//! reports; retry/reconnect/redial counters are timing-dependent and
+//! appear on stderr only.
 
+use small_serve::clusterchaos::{run_clusterchaos, ClusterChaosParams};
 use small_serve::gen::PINNED_SEEDS;
-use small_serve::netchaos::{run_netchaos, NetChaosParams};
 use std::process::ExitCode;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -47,7 +52,7 @@ fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
 
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut p = NetChaosParams::default();
+    let mut p = ClusterChaosParams::default();
     if let Some(s) = arg_value(&args, "--seeds") {
         p.seeds = parse_seeds(&s)?;
     }
@@ -64,9 +69,9 @@ fn run() -> Result<ExitCode, String> {
         return Err("need at least one kill point".to_string());
     }
     let out =
-        arg_value(&args, "--out").unwrap_or_else(|| "results/netchaos_report.json".to_string());
+        arg_value(&args, "--out").unwrap_or_else(|| "results/clusterchaos_report.json".to_string());
 
-    let outcome = run_netchaos(&p).map_err(|e| e.to_string())?;
+    let outcome = run_clusterchaos(&p).map_err(|e| e.to_string())?;
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -75,7 +80,7 @@ fn run() -> Result<ExitCode, String> {
     std::fs::write(&out, &outcome.report).map_err(|e| e.to_string())?;
 
     eprintln!(
-        "netchaos: {} seeds x {} kill points ({} sessions x {} requests) -> {}",
+        "clusterchaos: {} seeds x {} kill points ({} sessions x {} requests, chain of 3) -> {}",
         p.seeds.len(),
         p.kill_points.len(),
         p.sessions,
@@ -83,17 +88,17 @@ fn run() -> Result<ExitCode, String> {
         out
     );
     eprintln!(
-        "netchaos: fault_points={} mismatches={}",
+        "clusterchaos: fault_points={} mismatches={}",
         outcome.fault_points, outcome.mismatches
     );
     // Timing-dependent client-side telemetry: stderr only, never in
     // the byte-compared report.
     eprintln!(
-        "netchaos: client retries={} reconnects={} redials={}",
+        "clusterchaos: client retries={} reconnects={} redials={}",
         outcome.client_retries, outcome.client_reconnects, outcome.client_redials
     );
     if outcome.mismatches > 0 {
-        eprintln!("netchaos: FAILED: a fault was not survived or the twin diverged");
+        eprintln!("clusterchaos: FAILED: a fault was not survived or the twin diverged");
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
@@ -103,7 +108,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("netchaos: {e}");
+            eprintln!("clusterchaos: {e}");
             ExitCode::FAILURE
         }
     }

@@ -80,6 +80,12 @@ fn run() -> Result<ExitCode, String> {
         out
     );
     eprintln!("failover: mismatches={}", outcome.mismatches);
+    // Timing-dependent client-side telemetry: reported here, never in
+    // the byte-compared report.
+    eprintln!(
+        "failover: client retries={} reconnects={} redials={}",
+        outcome.client_retries, outcome.client_reconnects, outcome.client_redials
+    );
     if outcome.mismatches > 0 {
         eprintln!("failover: FAILED: promoted standby diverged from the serial twin");
         return Ok(ExitCode::FAILURE);

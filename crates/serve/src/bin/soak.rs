@@ -123,6 +123,12 @@ fn run() -> Result<ExitCode, String> {
         "soak: evictions={} resumes={} mismatches={}",
         outcome.evictions, outcome.resumes, outcome.mismatches
     );
+    // Timing-dependent client-side telemetry: reported here, never in
+    // the byte-compared report.
+    eprintln!(
+        "soak: client retries={} reconnects={} redials={}",
+        outcome.client_retries, outcome.client_reconnects, outcome.client_redials
+    );
     if outcome.mismatches > 0 {
         eprintln!("soak: FAILED: server transcripts diverged from the serial twin");
         return Ok(ExitCode::FAILURE);

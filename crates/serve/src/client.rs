@@ -20,7 +20,7 @@
 //! number on `(seval …)`/`(close …)`) — the server's replay window
 //! turns the duplicate into a cached reply.
 
-use crate::protocol::{read_frame, write_frame, Reply, Request, Role, PROTO_VERSION};
+use crate::protocol::{read_frame, write_frame, NodeRole, Reply, Request, Role, PROTO_VERSION};
 use crate::repl::{ReplError, Standby};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -63,6 +63,8 @@ impl Transport for TcpStream {
 pub struct Client<T: Transport = TcpStream> {
     reader: BufReader<T>,
     writer: BufWriter<T>,
+    /// Cluster role the server announced in its handshake.
+    node: NodeRole,
 }
 
 fn data_err(msg: String) -> io::Error {
@@ -103,11 +105,22 @@ impl<T: Transport> Client<T> {
         let mut client = Client {
             reader: BufReader::new(transport.try_split()?),
             writer: BufWriter::new(transport),
+            node: NodeRole::Primary,
         };
         match client.request(&Request::Hello { version, role })? {
-            Reply::Hello { .. } => Ok(client),
+            Reply::Hello { node, .. } => {
+                client.node = node;
+                Ok(client)
+            }
             other => Err(data_err(format!("handshake refused: {}", other.encode()))),
         }
+    }
+
+    /// The cluster role the server announced in its `(ok hello …)` —
+    /// a cluster-aware client scans its endpoint list for the one
+    /// answering [`NodeRole::Primary`].
+    pub fn node_role(&self) -> NodeRole {
+        self.node
     }
 
     /// Bound how long a single read or write may block. The retrying
@@ -176,7 +189,7 @@ impl<T: Transport> Client<T> {
     /// liveness heartbeat.
     pub fn ping(&mut self) -> io::Result<u64> {
         match self.request(&Request::Ping)? {
-            Reply::Pong { lsn } => Ok(lsn),
+            Reply::Pong { lsn, .. } => Ok(lsn),
             other => Err(data_err(format!("ping refused: {}", other.encode()))),
         }
     }
@@ -216,12 +229,22 @@ impl<T: Transport> Client<T> {
 /// ([`crate::repl::Lease`]) feeds: each `None` is a miss, each
 /// `Some(lsn)` a beat.
 pub fn ping(addr: SocketAddr, timeout: Duration) -> Option<u64> {
+    probe(addr, timeout).map(|(lsn, _)| lsn)
+}
+
+/// One discovery probe: dial `addr`, handshake, `(ping)`, and return
+/// the node's durable LSN *and announced cluster role* — or `None` if
+/// any step fails or exceeds `timeout`. Failing-over clients use the
+/// role to tell the new primary apart from the standbys on the same
+/// endpoint list.
+pub fn probe(addr: SocketAddr, timeout: Duration) -> Option<(u64, NodeRole)> {
     let stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
     stream.set_nodelay(true).ok()?;
     stream.set_read_timeout(Some(timeout)).ok()?;
     stream.set_write_timeout(Some(timeout)).ok()?;
     let mut client = Client::from_transport(stream, Role::Client).ok()?;
-    client.ping().ok()
+    let lsn = client.ping().ok()?;
+    Some((lsn, client.node_role()))
 }
 
 /// Retry/backoff knobs for [`RetryClient`].
@@ -255,6 +278,17 @@ impl Default for RetryPolicy {
     }
 }
 
+/// A boxed dial closure producing a fresh handshaken [`Client`].
+pub type DialFn<T> = Box<dyn FnMut() -> io::Result<Client<T>> + Send>;
+
+/// Where a [`RetryClient`] gets its connections: a single dial
+/// closure, or an ordered endpoint list it scans for the current
+/// primary on every (re)connect.
+enum Dialer<T: Transport> {
+    Single(DialFn<T>),
+    Cluster(Vec<DialFn<T>>),
+}
+
 /// A client that survives connection loss: on any transport error it
 /// reconnects (via the dial closure) with seeded-jitter exponential
 /// backoff and re-sends the request verbatim, up to
@@ -265,13 +299,24 @@ impl Default for RetryPolicy {
 /// mutating request the harnesses send (tokenized opens, sequenced
 /// evals and closes). A bare v2-style `(eval …)` retried through this
 /// client may execute twice; that is the caller's choice to make.
+///
+/// A *cluster* client ([`RetryClient::with_endpoints`]) holds an
+/// ordered endpoint list instead of one dial closure. On every
+/// (re)connect it scans the list in order and keeps the first endpoint
+/// whose `(ok hello …)` announces [`NodeRole::Primary`] — standbys are
+/// dropped and skipped, dead endpoints are dial errors absorbed by the
+/// backoff loop. Combined with verbatim re-send, a mutation acked by a
+/// primary that then died is re-sent to its promoted successor and
+/// answered from the *replicated* dedup window: no client-visible
+/// anomaly across failover.
 pub struct RetryClient<T: Transport> {
-    dial: Box<dyn FnMut() -> io::Result<Client<T>> + Send>,
+    dial: Dialer<T>,
     policy: RetryPolicy,
     conn: Option<Client<T>>,
     jitter: u64,
     retries: u64,
     reconnects: u64,
+    redials: u64,
 }
 
 impl<T: Transport> std::fmt::Debug for RetryClient<T> {
@@ -281,6 +326,7 @@ impl<T: Transport> std::fmt::Debug for RetryClient<T> {
             .field("connected", &self.conn.is_some())
             .field("retries", &self.retries)
             .field("reconnects", &self.reconnects)
+            .field("redials", &self.redials)
             .finish()
     }
 }
@@ -304,12 +350,29 @@ impl<T: Transport> RetryClient<T> {
         policy: RetryPolicy,
     ) -> RetryClient<T> {
         RetryClient {
-            dial: Box::new(dial),
+            dial: Dialer::Single(Box::new(dial)),
             policy,
             conn: None,
             jitter: policy.seed ^ 0x5DEE_CE66_D1CE_4E5B,
             retries: 0,
             reconnects: 0,
+            redials: 0,
+        }
+    }
+
+    /// Wrap an *ordered endpoint list* (one dial closure per cluster
+    /// node, primary first by convention). Every (re)connect scans the
+    /// list in order and keeps the first endpoint answering
+    /// [`NodeRole::Primary`]; standbys and dead endpoints are skipped.
+    pub fn with_endpoints(endpoints: Vec<DialFn<T>>, policy: RetryPolicy) -> RetryClient<T> {
+        RetryClient {
+            dial: Dialer::Cluster(endpoints),
+            policy,
+            conn: None,
+            jitter: policy.seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            retries: 0,
+            reconnects: 0,
+            redials: 0,
         }
     }
 
@@ -324,11 +387,52 @@ impl<T: Transport> RetryClient<T> {
         self.reconnects
     }
 
+    /// Endpoint dials attempted, including failed dials and standby
+    /// answers skipped during cluster scans (like [`Self::retries`],
+    /// timing-dependent — reported, never byte-compared).
+    pub fn redials(&self) -> u64 {
+        self.redials
+    }
+
     /// Drop the current connection (the failover harness does this
     /// when it kills the primary, so the next request dials the
     /// promoted standby).
     pub fn disconnect(&mut self) {
         self.conn = None;
+    }
+
+    /// One connection attempt. A single dialer is called as-is; a
+    /// cluster dialer scans its endpoint list in order and returns the
+    /// first connection whose handshake announced
+    /// [`NodeRole::Primary`] — a standby's connection is dropped on
+    /// the spot (it would refuse session traffic anyway).
+    fn dial_once(dial: &mut Dialer<T>, redials: &mut u64) -> io::Result<Client<T>> {
+        match dial {
+            Dialer::Single(d) => {
+                *redials += 1;
+                d()
+            }
+            Dialer::Cluster(list) => {
+                let mut last = io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "no endpoint answered as primary",
+                );
+                for d in list.iter_mut() {
+                    *redials += 1;
+                    match d() {
+                        Ok(conn) if conn.node_role() == NodeRole::Primary => return Ok(conn),
+                        Ok(_) => {
+                            last = io::Error::new(
+                                io::ErrorKind::NotConnected,
+                                "endpoint answered as standby",
+                            );
+                        }
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+        }
     }
 
     fn backoff(&mut self, attempt: u32) {
@@ -361,7 +465,7 @@ impl<T: Transport> RetryClient<T> {
                 self.retries += 1;
             }
             if self.conn.is_none() {
-                match (self.dial)() {
+                match Self::dial_once(&mut self.dial, &mut self.redials) {
                     Ok(conn) => {
                         // A hung read under faults must become an
                         // error the next attempt can absorb.
@@ -403,7 +507,7 @@ impl<T: Transport> RetryClient<T> {
     /// `(ping)` through the retry machinery.
     pub fn ping(&mut self) -> io::Result<u64> {
         match self.request(&Request::Ping)? {
-            Reply::Pong { lsn } => Ok(lsn),
+            Reply::Pong { lsn, .. } => Ok(lsn),
             other => Err(data_err(format!("ping refused: {}", other.encode()))),
         }
     }

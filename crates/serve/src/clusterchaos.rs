@@ -1,0 +1,640 @@
+//! Replication-chain chaos: survive any single node's death, twice.
+//!
+//! The netchaos campaign proved one failover under wire faults. This
+//! campaign points the same seeded fault discipline at a **three-node
+//! chain** — primary → S1 → S2 — and kills the primary *twice*:
+//!
+//! 1. A sharded primary serves the scripted workload while S1, a
+//!    [`RelayNode`], pulls its WAL and **relays** the retained frames
+//!    to S2 (a second relay) over real TCP — `(pull …)` served from
+//!    S1's applied log, per-hop lag published via `(metrics)`.
+//! 2. At the pinned kill index the primary dies. S1's [`Lease`]
+//!    expires after consecutive missed probes and S1 promotes — its
+//!    listener survives the handover
+//!    ([`crate::server::start_promoted`]), so S2's pull cursor and the
+//!    failing-over client both land on the same address and the chain
+//!    **heals**: the new primary keeps shipping to S2.
+//! 3. At a second pinned index the promoted node dies too. The lease
+//!    dance repeats and S2 — now two promotions deep — serves the rest
+//!    of the script and a fully sequenced epilogue **over the wire**.
+//!
+//! The client is a cluster-aware [`RetryClient`]: an *ordered endpoint
+//! list* re-scanned on every reconnect, keeping the first endpoint
+//! whose `(hello …)` answers as `primary` (standbys answer `standby`
+//! and are skipped). All client traffic rides seeded
+//! [`FaultyStream`]s — torn frames and pinned-offset resets — so
+//! re-sends land on whichever node currently leads.
+//!
+//! The oracle is the uninterrupted serial twin: every reply, across
+//! two failovers and every injected fault, must be byte-identical to
+//! the twin's. After *each* promotion the last acknowledged mutation
+//! is re-sent over the wire and must come back from the replicated
+//! dedup window — byte-equal reply, WAL untouched — and after the
+//! second promotion the *first* kill's re-send is probed again,
+//! proving dedup windows, token routes, and the id allocator survive
+//! two sequential handovers. The report
+//! (`results/clusterchaos_report.json`) contains only
+//! schedule-independent data and is byte-identical across runs; CI
+//! runs the campaign twice and `cmp`s the reports.
+
+use crate::client::{self, Client, DialFn, RetryClient, RetryPolicy};
+use crate::manager::SessionStore;
+use crate::netchaos::{
+    repl_io, script, splitmix64, transcript_digest, FaultPlan, FaultState, FaultyStream,
+    HEARTBEAT_EVERY, TOKEN_BASE,
+};
+use crate::protocol::{Request, Role};
+use crate::repl::{Lease, LeaseParams, RelayNode, ReplError};
+use crate::server::{self, ServerHandle, ServerParams};
+use crate::session::ServeConfig;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// Campaign shape.
+#[derive(Debug, Clone)]
+pub struct ClusterChaosParams {
+    /// Seeds to run; every seed runs once per first-kill point.
+    pub seeds: Vec<u64>,
+    /// Sessions opened (with idempotency tokens) before the rounds.
+    pub sessions: usize,
+    /// Generated eval requests per session.
+    pub requests: usize,
+    /// Global operation indices at which the *first* primary is
+    /// killed; the second kill is derived (halfway through the
+    /// remaining script, at least two ops later).
+    pub kill_points: Vec<usize>,
+    /// Primary (and twin-input) machine configuration.
+    pub cfg: ServeConfig,
+    /// S1 machine configuration (tighter residency, as in netchaos).
+    pub s1_cfg: ServeConfig,
+    /// S2 machine configuration (a third distinct eviction schedule).
+    pub s2_cfg: ServeConfig,
+    /// Primary server shape; `replicate` is forced on.
+    pub server: ServerParams,
+}
+
+impl Default for ClusterChaosParams {
+    fn default() -> Self {
+        let cfg = ServeConfig {
+            heap_cells: 1 << 13,
+            table_size: 384,
+            max_resident: 2,
+            ..ServeConfig::default()
+        };
+        ClusterChaosParams {
+            seeds: vec![11, 23],
+            sessions: 4,
+            requests: 8,
+            // Script length is sessions + sessions * requests = 36;
+            // kill1 = 5 → kill2 = 20, kill1 = 31 → kill2 = 33.
+            kill_points: vec![5, 31],
+            cfg,
+            s1_cfg: ServeConfig {
+                max_resident: 1,
+                ..cfg
+            },
+            s2_cfg: ServeConfig {
+                max_resident: 3,
+                ..cfg
+            },
+            server: ServerParams {
+                shards: 2,
+                queue_cap: 64,
+                max_conns_per_shard: 16,
+                replicate: true,
+                ..ServerParams::default()
+            },
+        }
+    }
+}
+
+/// What a campaign produced.
+pub struct ClusterChaosOutcome {
+    /// The deterministic JSON report body.
+    pub report: String,
+    /// Runs with any divergence or an unsurvived fault.
+    pub mismatches: usize,
+    /// Distinct fault points injected across the whole campaign.
+    pub fault_points: usize,
+    /// Summed [`RetryClient::retries`] across runs. Attempt counts are
+    /// timing-dependent, so these three live in the stderr summary
+    /// only — never in the byte-compared report.
+    pub client_retries: u64,
+    /// Summed [`RetryClient::reconnects`] across runs.
+    pub client_reconnects: u64,
+    /// Summed [`RetryClient::redials`] across runs (cluster scans
+    /// count every endpoint dialed, including standby answers
+    /// skipped).
+    pub client_redials: u64,
+}
+
+/// The second kill index: halfway through the script remaining after
+/// `kill1`, at least two ops later, and always inside the script.
+fn second_kill(kill1: usize, ops: usize) -> usize {
+    (kill1 + 2.max((ops - kill1) / 2)).min(ops - 1).max(kill1)
+}
+
+/// Six extra reset offsets continuing the netchaos spacing: the chain
+/// campaign keeps the whole script (plus the epilogue) on the faulty
+/// wire, so it moves far more bytes than one netchaos phase.
+fn extended_resets(seed: u64, base: &[u64]) -> Vec<u64> {
+    let mut rng = seed ^ 0x0063_6C75_7374_6572; // "cluster"
+    let mut offsets = base.to_vec();
+    let mut at = offsets.last().copied().unwrap_or(200);
+    for _ in 0..6 {
+        at += 384 + splitmix64(&mut rng) % 512;
+        offsets.push(at);
+    }
+    offsets
+}
+
+/// The wire epilogue: unlike netchaos's (applied directly to the
+/// promoted store), this one travels the faulty transport, so every
+/// mutating request is sequenced or tokenized — re-sendable verbatim.
+/// A tokenized fresh open proves the id allocator survived both
+/// promotions; per-session closes carry the next dense seq.
+fn wire_epilogue(sessions: usize, requests: usize) -> Vec<Request> {
+    let fresh = sessions as u64;
+    let mut ops = vec![
+        Request::Open {
+            token: Some(TOKEN_BASE + fresh),
+        },
+        Request::Eval {
+            id: fresh,
+            seq: Some(0),
+            src: "(setq acc (cons 7 nil))".to_string(),
+        },
+        Request::Close {
+            id: fresh,
+            seq: Some(1),
+        },
+    ];
+    for s in 0..sessions as u64 {
+        ops.push(Request::Ledger { id: s });
+        ops.push(Request::Digest { id: s });
+        ops.push(Request::Close {
+            id: s,
+            seq: Some(requests as u64),
+        });
+    }
+    ops
+}
+
+/// A faulty-transport dial closure for one endpoint. The plain
+/// `connect` runs *outside* the fault state, so a dead endpoint
+/// (connection refused) consumes no fault-schedule bytes and the
+/// reset offsets stay a pure function of the run key.
+fn faulty_dial(addr: SocketAddr, state: &Arc<Mutex<FaultState>>) -> DialFn<FaultyStream> {
+    let state = Arc::clone(state);
+    Box::new(move || {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Client::from_transport(FaultyStream::new(stream, Arc::clone(&state)), Role::Client)
+    })
+}
+
+/// Pull a relay up to `target` through a replica-role connection —
+/// the downstream hop of the chain, over real TCP.
+fn chain_pull(puller: &mut Client, node: &RelayNode, target: u64) -> io::Result<()> {
+    while node.next_lsn() < target {
+        let from = node.next_lsn();
+        let (next, bytes) = puller.pull(from)?;
+        if next == from {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chain pull made no progress",
+            ));
+        }
+        node.apply(&bytes).map_err(repl_io)?;
+    }
+    Ok(())
+}
+
+/// One heartbeat probe against `addr`, folded into the lease.
+fn probe_lease(addr: SocketAddr, lease: &mut Lease, beats: &mut u64) {
+    match client::ping(addr, lease.params().ping_timeout) {
+        Some(lsn) => {
+            lease.beat(lsn);
+            *beats += 1;
+        }
+        None => {
+            lease.miss();
+        }
+    }
+}
+
+/// Wait out a lease against a dead primary. Bounded in case the freed
+/// port is grabbed by a concurrent listener; clean expiry means the
+/// misses were exactly consecutive.
+fn expire_lease(addr: SocketAddr, lease: &mut Lease) -> bool {
+    for _ in 0..lease.params().miss_threshold * 10 {
+        if lease.is_expired() {
+            break;
+        }
+        match client::ping(addr, lease.params().ping_timeout) {
+            Some(lsn) => lease.beat(lsn),
+            None => {
+                lease.miss();
+            }
+        }
+    }
+    lease.is_expired() && lease.misses() == lease.params().miss_threshold
+}
+
+/// Re-send an already-acknowledged mutation over the wire. The answer
+/// must be byte-equal to the original acknowledgement and must not
+/// touch the WAL — exactly-once across however many failovers sit
+/// between the ack and the retry.
+fn resend_cached(
+    client: &mut RetryClient<FaultyStream>,
+    handle: &ServerHandle,
+    op: &Request,
+    original: &str,
+) -> io::Result<bool> {
+    let lsn_before = handle.wal_next_lsn();
+    let reply = client.request_text(&op.encode())?;
+    Ok(reply == original && handle.wal_next_lsn() == lsn_before)
+}
+
+struct RunResult {
+    json: String,
+    mismatched: bool,
+    fault_points: usize,
+    client_retries: u64,
+    client_reconnects: u64,
+    client_redials: u64,
+}
+
+/// One `(seed, kill1)` run: build the chain, kill the primary twice,
+/// compare every reply to the serial twin.
+fn run_one(p: &ClusterChaosParams, seed: u64, kill_point: usize) -> io::Result<RunResult> {
+    let mut params = p.server;
+    params.replicate = true;
+    let promoted_params = ServerParams {
+        shards: 1,
+        replicate: true,
+        wall: false,
+        trace: false,
+        ..params
+    };
+
+    // The chain: P (sharded) → S1 (relay) → S2 (relay).
+    let handle_p = server::start("127.0.0.1:0", p.cfg, params)?;
+    let addr_p = handle_p.addr();
+    let s1 = RelayNode::start("127.0.0.1:0", p.s1_cfg)?;
+    let addr_s1 = s1.addr();
+    let s2 = RelayNode::start("127.0.0.1:0", p.s2_cfg)?;
+    let addr_s2 = s2.addr();
+
+    let ops = script(seed, p.sessions, p.requests);
+    let kill1 = kill_point.min(ops.len().saturating_sub(1));
+    let kill2 = second_kill(kill1, ops.len());
+    let plan = FaultPlan::new(seed, kill1);
+    let resets = extended_resets(seed, &plan.reset_offsets);
+    let state = FaultState::shared(seed, &resets);
+
+    // The cluster-aware client: ordered endpoints, every connection on
+    // the faulty transport. Scans keep the first `primary` answer.
+    let mut cluster = RetryClient::with_endpoints(
+        vec![
+            faulty_dial(addr_p, &state),
+            faulty_dial(addr_s1, &state),
+            faulty_dial(addr_s2, &state),
+        ],
+        RetryPolicy {
+            attempts: 10,
+            seed,
+            ..RetryPolicy::default()
+        },
+    );
+    // Chain hops ride clean connections; their faults (dups, delays,
+    // corruption) are injected at the batch level where they can be
+    // asserted on precisely.
+    let mut puller1 = Client::connect(addr_p, Role::Replica)?;
+    let mut puller2 = Client::connect(addr_s1, Role::Replica)?;
+    let mut twin = SessionStore::new(ServeConfig {
+        max_resident: usize::MAX,
+        ..p.cfg
+    });
+    let mut lease1 = Lease::new(LeaseParams::default());
+    let mut lease2 = Lease::new(LeaseParams::default());
+
+    let mut transcript = Vec::new();
+    let mut oracle = Vec::new();
+    let (mut beats1, mut beats2) = (0u64, 0u64);
+    let (mut dup_pulls, mut delayed_pulls, mut corrupt_probes, mut chain_dup_pulls) =
+        (0u64, 0u64, 0u64, 0u64);
+    let (mut max_hop1_lag, mut max_hop2_lag) = (0u64, 0u64);
+    let (mut dup_ok, mut corrupt_ok, mut chain_dup_ok) = (true, true, true);
+
+    // Phase 1: P serves, S1 pulls through the fault plan, S2 chains
+    // off S1 over TCP, lockstep per op.
+    for (i, op) in ops.iter().take(kill1).enumerate() {
+        transcript.push(cluster.request_text(&op.encode())?);
+        oracle.push(twin.apply(op).encode());
+        let target = handle_p
+            .wal_next_lsn()
+            .expect("replicating primary has a WAL");
+        s1.note_upstream(target);
+        if plan.delayed_pulls.contains(&i) {
+            delayed_pulls += 1;
+            max_hop1_lag = max_hop1_lag.max(s1.relay_lag());
+        } else {
+            if plan.corrupt_pulls.contains(&i) && s1.next_lsn() < target {
+                let (_, bytes) = puller1.pull(s1.next_lsn())?;
+                if !bytes.is_empty() {
+                    let mut bad = bytes.clone();
+                    let last = bad.len() - 1;
+                    bad[last] ^= 0xff;
+                    // Fail closed: the corrupt batch must change nothing.
+                    let before = s1.next_lsn();
+                    corrupt_ok &= matches!(s1.apply(&bad), Err(ReplError::BadFrame { .. }));
+                    corrupt_ok &= s1.next_lsn() == before;
+                    s1.apply(&bytes).map_err(repl_io)?;
+                    corrupt_probes += 1;
+                }
+            }
+            chain_pull(&mut puller1, &s1, target)?;
+            if plan.dup_pulls.contains(&i) && s1.next_lsn() > 0 {
+                // Re-pull a window S1 already applied: at-least-once
+                // shipping on the first hop.
+                let from = s1.next_lsn().saturating_sub(2);
+                let (_, bytes) = puller1.pull(from)?;
+                dup_ok &= s1.apply(&bytes).map_err(repl_io)? == 0;
+                dup_pulls += 1;
+            }
+        }
+        // Second hop: S2 chains off whatever S1 has applied so far.
+        let target2 = s1.applied_lsn();
+        s2.note_upstream(target2);
+        max_hop2_lag = max_hop2_lag.max(target2.saturating_sub(s2.applied_lsn()));
+        chain_pull(&mut puller2, &s2, target2)?;
+        if plan.dup_pulls.contains(&i) && s2.next_lsn() > 0 {
+            // The same duplicated window, relayed: S1 must serve the
+            // already-applied frames and S2 must skip them.
+            let from = s2.next_lsn().saturating_sub(2);
+            let (_, bytes) = puller2.pull(from)?;
+            chain_dup_ok &= s2.apply(&bytes).map_err(repl_io)? == 0;
+            chain_dup_pulls += 1;
+        }
+        if i % HEARTBEAT_EVERY == 0 {
+            probe_lease(addr_p, &mut lease1, &mut beats1);
+        }
+    }
+    // Relay lag is on the discovery surface: S1 is fully caught up at
+    // the kill boundary and must say so via `(metrics)`.
+    let relay_metrics_ok = {
+        let mut probe = Client::connect(addr_s1, Role::Client)?;
+        match probe.request(&Request::Metrics)? {
+            crate::protocol::Reply::Metrics { volatile, .. } => {
+                volatile.contains("\"relay_lag\":0")
+            }
+            _ => false,
+        }
+    };
+
+    // Kill #1: the primary dies for real; S1's lease expires and S1
+    // promotes on its own listener.
+    cluster.disconnect();
+    drop(puller1);
+    let replicated_lsn1 = s1.next_lsn();
+    let corpse = handle_p.shutdown();
+    let drain1_ok = corpse.verify_suspended().is_ok();
+    let lease1_ok = expire_lease(addr_p, &mut lease1);
+    drop(puller2); // S1's conn threads are joined by stop(); detach first
+    let parts = s1.stop();
+    let promote1_ok = parts
+        .listener
+        .local_addr()
+        .map(|a| a == addr_s1)
+        .unwrap_or(false)
+        && parts.wal.next_lsn() == replicated_lsn1;
+    let handle_s1 =
+        server::start_promoted(parts.listener, promoted_params, parts.store, parts.wal)?;
+
+    // Exactly-once across the first failover, over the wire: the
+    // cluster client re-scans (P refuses, S1 now answers `primary`)
+    // and the re-sent mutation comes back from the replicated dedup
+    // window.
+    let mut retry1_ok = true;
+    let last1 = ops.iter().enumerate().take(kill1).rev().find(|(_, op)| {
+        matches!(
+            op,
+            Request::Eval { seq: Some(_), .. } | Request::Open { token: Some(_) }
+        )
+    });
+    if let Some((idx, op)) = last1 {
+        retry1_ok = resend_cached(&mut cluster, &handle_s1, op, &transcript[idx])?;
+    }
+
+    // Phase 2: the healed chain. S1 (now primary) keeps shipping to
+    // S2, whose pull cursor continues across the handover because the
+    // retained WAL kept LSN continuity on the same address.
+    let mut puller2b = Client::connect(addr_s1, Role::Replica)?;
+    for (i, op) in ops.iter().enumerate().take(kill2).skip(kill1) {
+        transcript.push(cluster.request_text(&op.encode())?);
+        oracle.push(twin.apply(op).encode());
+        let target = handle_s1
+            .wal_next_lsn()
+            .expect("promoted primary keeps replicating");
+        s2.note_upstream(target);
+        max_hop2_lag = max_hop2_lag.max(target.saturating_sub(s2.applied_lsn()));
+        chain_pull(&mut puller2b, &s2, target)?;
+        if i % HEARTBEAT_EVERY == 0 {
+            probe_lease(addr_s1, &mut lease2, &mut beats2);
+        }
+    }
+
+    // Kill #2: the promoted node dies too. S2 — the end of the chain —
+    // expires its lease and promotes the same way.
+    cluster.disconnect();
+    drop(puller2b);
+    let replicated_lsn2 = s2.next_lsn();
+    let corpse2 = handle_s1.shutdown();
+    let drain2_ok = corpse2.verify_suspended().is_ok();
+    let lease2_ok = expire_lease(addr_s1, &mut lease2);
+    let parts2 = s2.stop();
+    let promote2_ok = parts2
+        .listener
+        .local_addr()
+        .map(|a| a == addr_s2)
+        .unwrap_or(false)
+        && parts2.wal.next_lsn() == replicated_lsn2;
+    let handle_s2 =
+        server::start_promoted(parts2.listener, promoted_params, parts2.store, parts2.wal)?;
+
+    // Exactly-once across the second failover — and across *both*: the
+    // last pre-kill-2 mutation, then the pre-kill-1 one again. Both
+    // dedup windows must have survived two promotions.
+    let mut retry2_ok = true;
+    let last2 = ops.iter().enumerate().take(kill2).rev().find(|(_, op)| {
+        matches!(
+            op,
+            Request::Eval { seq: Some(_), .. } | Request::Open { token: Some(_) }
+        )
+    });
+    if let Some((idx, op)) = last2 {
+        retry2_ok = resend_cached(&mut cluster, &handle_s2, op, &transcript[idx])?;
+    }
+    let mut window1_survives = true;
+    if let Some((idx, op)) = last1 {
+        window1_survives = resend_cached(&mut cluster, &handle_s2, op, &transcript[idx])?;
+    }
+
+    // Phase 3: the tail of the script plus the fully sequenced
+    // epilogue, all over the wire against the twice-promoted survivor.
+    for op in ops.iter().skip(kill2) {
+        transcript.push(cluster.request_text(&op.encode())?);
+        oracle.push(twin.apply(op).encode());
+    }
+    for op in wire_epilogue(p.sessions, p.requests) {
+        transcript.push(cluster.request_text(&op.encode())?);
+        oracle.push(twin.apply(&op).encode());
+    }
+
+    cluster.disconnect();
+    let (client_retries, client_reconnects, client_redials) =
+        (cluster.retries(), cluster.reconnects(), cluster.redials());
+    drop(cluster);
+    let survivor = handle_s2.shutdown();
+    let drain3_ok = survivor.verify_suspended().is_ok();
+    let transcript_ok = transcript == oracle;
+    let counts_ok = survivor.aggregate_counts() == twin.aggregate_counts();
+    let sessions_ok = survivor.session_ids() == twin.session_ids();
+
+    let mismatched = !(transcript_ok
+        && counts_ok
+        && sessions_ok
+        && drain1_ok
+        && drain2_ok
+        && drain3_ok
+        && lease1_ok
+        && lease2_ok
+        && promote1_ok
+        && promote2_ok
+        && retry1_ok
+        && retry2_ok
+        && window1_survives
+        && relay_metrics_ok
+        && dup_ok
+        && corrupt_ok
+        && chain_dup_ok);
+    let resets_fired = {
+        let st = state.lock().unwrap_or_else(|e| e.into_inner());
+        st.resets_fired()
+    };
+    let fault_points = resets_fired as usize
+        + dup_pulls as usize
+        + delayed_pulls as usize
+        + corrupt_probes as usize
+        + chain_dup_pulls as usize;
+    Ok(RunResult {
+        json: format!(
+            "{{\"seed\":{seed},\"kill1\":{kill1},\"kill2\":{kill2},\"ops\":{},\
+             \"resets_planned\":{},\"resets_fired\":{resets_fired},\
+             \"dup_pulls\":{dup_pulls},\"delayed_pulls\":{delayed_pulls},\
+             \"corrupt_probes\":{corrupt_probes},\"chain_dup_pulls\":{chain_dup_pulls},\
+             \"max_hop1_lag\":{max_hop1_lag},\"max_hop2_lag\":{max_hop2_lag},\
+             \"replicated_lsn1\":{replicated_lsn1},\"replicated_lsn2\":{replicated_lsn2},\
+             \"lease1_beats\":{beats1},\"lease2_beats\":{beats2},\
+             \"transcript_digest\":\"d{:016x}\",\
+             \"transcript_match\":{transcript_ok},\"counts_match\":{counts_ok},\
+             \"sessions_match\":{sessions_ok},\
+             \"retry1_cached\":{retry1_ok},\"retry2_cached\":{retry2_ok},\
+             \"window1_survives\":{window1_survives},\
+             \"relay_metrics_ok\":{relay_metrics_ok},\
+             \"lease1_expired\":{lease1_ok},\"lease2_expired\":{lease2_ok},\
+             \"promote1_ok\":{promote1_ok},\"promote2_ok\":{promote2_ok},\
+             \"dup_idempotent\":{dup_ok},\"chain_dup_idempotent\":{chain_dup_ok},\
+             \"corrupt_failed_closed\":{corrupt_ok},\
+             \"drains_ok\":{}}}",
+            ops.len(),
+            resets.len(),
+            transcript_digest(&oracle),
+            drain1_ok && drain2_ok && drain3_ok,
+        ),
+        mismatched,
+        fault_points,
+        client_retries,
+        client_reconnects,
+        client_redials,
+    })
+}
+
+/// Run the whole campaign: every seed at every first-kill point.
+pub fn run_clusterchaos(p: &ClusterChaosParams) -> io::Result<ClusterChaosOutcome> {
+    let mut runs = Vec::new();
+    let mut mismatches = 0usize;
+    let mut fault_points = 0usize;
+    let (mut client_retries, mut client_reconnects, mut client_redials) = (0u64, 0u64, 0u64);
+    for &seed in &p.seeds {
+        for &kill in &p.kill_points {
+            let run = run_one(p, seed, kill)?;
+            if run.mismatched {
+                mismatches += 1;
+            }
+            fault_points += run.fault_points;
+            client_retries += run.client_retries;
+            client_reconnects += run.client_reconnects;
+            client_redials += run.client_redials;
+            runs.push(run.json);
+        }
+    }
+    let report = format!(
+        "{{\"schema\":\"clusterchaos_report_v1\",\"proto_version\":{},\
+         \"chain\":3,\"sessions\":{},\"requests\":{},\
+         \"kill_points\":[{}],\"seeds\":[{}],\
+         \"fault_points\":{fault_points},\"all_match\":{},\"runs\":[{}]}}\n",
+        crate::protocol::PROTO_VERSION,
+        p.sessions,
+        p.requests,
+        p.kill_points
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        p.seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        mismatches == 0,
+        runs.join(","),
+    );
+    Ok(ClusterChaosOutcome {
+        report,
+        mismatches,
+        fault_points,
+        client_retries,
+        client_reconnects,
+        client_redials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_kill_stays_inside_the_script() {
+        assert_eq!(second_kill(5, 36), 20);
+        assert_eq!(second_kill(31, 36), 33);
+        assert_eq!(second_kill(35, 36), 35); // degenerate but legal
+        assert!(second_kill(0, 4) > 0);
+    }
+
+    #[test]
+    fn clusterchaos_campaign_is_clean_and_deterministic() {
+        let p = ClusterChaosParams {
+            seeds: vec![11],
+            kill_points: vec![5, 31],
+            ..ClusterChaosParams::default()
+        };
+        let a = run_clusterchaos(&p).expect("campaign runs");
+        assert_eq!(a.mismatches, 0, "report: {}", a.report);
+        assert!(a.fault_points > 0, "faults must actually fire");
+        let b = run_clusterchaos(&p).expect("campaign reruns");
+        assert_eq!(a.report, b.report, "report must be byte-deterministic");
+    }
+}

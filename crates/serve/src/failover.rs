@@ -28,7 +28,7 @@
 //! schedule-independent data and is byte-identical across runs; CI
 //! runs the campaign twice and `cmp`s the two reports.
 
-use crate::client::{self, Client};
+use crate::client::{self, Client, RetryClient, RetryPolicy};
 use crate::gen::programs_for;
 use crate::manager::SessionStore;
 use crate::protocol::{Request, Role};
@@ -37,6 +37,7 @@ use crate::server::{self, ServerParams};
 use crate::session::ServeConfig;
 use small_persist::{digest_bytes, DIGEST_SEED};
 use std::io;
+use std::net::TcpStream;
 
 /// Heartbeat cadence during the live phase: one `(ping)` probe per
 /// this many script operations keeps the lease fed (and the probe
@@ -103,6 +104,14 @@ pub struct FailoverOutcome {
     /// Count of runs with any divergence (transcript, counts, or a
     /// torn blob in the dead primary).
     pub mismatches: usize,
+    /// Summed [`RetryClient::retries`] across runs. Attempt counts are
+    /// timing-dependent, so these three live in the stderr summary
+    /// only — never in the byte-compared report.
+    pub client_retries: u64,
+    /// Summed [`RetryClient::reconnects`] across runs.
+    pub client_reconnects: u64,
+    /// Summed [`RetryClient::redials`] across runs.
+    pub client_redials: u64,
 }
 
 /// The full mutating script: open every session, then deal the
@@ -165,6 +174,9 @@ fn transcript_digest(replies: &[String]) -> u64 {
 struct RunResult {
     json: String,
     mismatched: bool,
+    client_retries: u64,
+    client_reconnects: u64,
+    client_redials: u64,
 }
 
 /// One `(seed, kill_point)` run.
@@ -173,7 +185,21 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
     params.replicate = true;
     let handle = server::start("127.0.0.1:0", p.cfg, params)?;
     let addr = handle.addr();
-    let mut client = Client::connect(addr, Role::Client)?;
+    // The live-phase connection is a retrying client so the campaign
+    // exercises (and reports) the same client type production would
+    // point at the pair; on this clean local wire the counters are
+    // expected to read zero.
+    let mut client = RetryClient::new(
+        move || {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Client::from_transport(stream, Role::Client)
+        },
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        },
+    );
     let mut puller = Client::connect(addr, Role::Replica)?;
     let mut standby = Standby::new(p.standby_cfg);
     let mut twin = SessionStore::new(ServeConfig {
@@ -214,6 +240,8 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
     // Kill: drop the connections and drain the primary. Its final
     // state is only audited for torn blobs — the standby, not the
     // corpse, carries the service forward.
+    let (client_retries, client_reconnects, client_redials) =
+        (client.retries(), client.reconnects(), client.redials());
     drop(client);
     drop(puller);
     let replicated_lsn = standby.next_lsn();
@@ -267,6 +295,9 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
             transcript_digest(&oracle),
         ),
         mismatched,
+        client_retries,
+        client_reconnects,
+        client_redials,
     })
 }
 
@@ -274,12 +305,16 @@ fn run_one(p: &FailoverParams, seed: u64, kill_point: usize) -> io::Result<RunRe
 pub fn run_failover(p: &FailoverParams) -> io::Result<FailoverOutcome> {
     let mut runs = Vec::new();
     let mut mismatches = 0usize;
+    let (mut client_retries, mut client_reconnects, mut client_redials) = (0u64, 0u64, 0u64);
     for &seed in &p.seeds {
         for &kill in &p.kill_points {
             let run = run_one(p, seed, kill)?;
             if run.mismatched {
                 mismatches += 1;
             }
+            client_retries += run.client_retries;
+            client_reconnects += run.client_reconnects;
+            client_redials += run.client_redials;
             runs.push(run.json);
         }
     }
@@ -303,7 +338,13 @@ pub fn run_failover(p: &FailoverParams) -> io::Result<FailoverOutcome> {
         mismatches == 0,
         runs.join(","),
     );
-    Ok(FailoverOutcome { report, mismatches })
+    Ok(FailoverOutcome {
+        report,
+        mismatches,
+        client_retries,
+        client_reconnects,
+        client_redials,
+    })
 }
 
 #[cfg(test)]

@@ -43,10 +43,15 @@
 //!   delayed / corrupted replica pulls) injected under a retrying
 //!   client, proving exactly-once retry semantics and lease-based
 //!   automatic failover against the serial twin.
+//! * [`clusterchaos`] — the chain campaign: primary → S1 → S2 relayed
+//!   WAL shipping under the same seeded faults, the primary killed
+//!   twice in sequence, with a cluster-aware failing-over client whose
+//!   every reply must match the serial twin across both promotions.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod clusterchaos;
 pub mod failover;
 pub mod gen;
 pub mod manager;
@@ -61,12 +66,13 @@ pub mod soak;
 pub mod telemetry;
 
 pub use client::{Client, RetryClient, RetryPolicy, Transport};
+pub use clusterchaos::{run_clusterchaos, ClusterChaosOutcome, ClusterChaosParams};
 pub use failover::{run_failover, FailoverOutcome, FailoverParams};
 pub use manager::SessionStore;
 pub use netchaos::{run_netchaos, FaultPlan, FaultyStream, NetChaosOutcome, NetChaosParams};
 pub use protocol::{Reply, Request, Role, PROTO_VERSION};
-pub use repl::{Lease, LeaseParams, Standby, Wal};
-pub use server::{start, DrainOutcome, ServerHandle, ServerParams};
+pub use repl::{Lease, LeaseParams, RelayNode, RelayParts, Standby, Wal};
+pub use server::{start, start_promoted, DrainOutcome, ServerHandle, ServerParams};
 pub use session::{ServeConfig, Session};
 pub use soak::{run_soak, SoakOutcome, SoakParams};
 pub use telemetry::{prometheus_text, ReqKind, ServeSink, ShardMetrics, TraceLog, VolatileMetrics};

@@ -31,15 +31,28 @@
 //! uninterrupted in-process run is byte-comparable with wire traffic.
 
 use crate::protocol::{
-    err, seq_gap_reply, seq_too_old_reply, Reply, Request, StatsBody, PROTO_VERSION,
+    err, seq_gap_reply, seq_too_old_reply, NodeRole, Reply, Request, StatsBody, PROTO_VERSION,
 };
 use crate::session::{ServeConfig, Session};
 use crate::telemetry::{ReqKind, ShardMetrics, TraceLog, VolatileMetrics};
 use small_metrics::EventCounts;
 use small_persist::PersistError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many *closed* sessions' idempotency tokens stay answerable.
+/// A live session's token is never evicted; once the session closes its
+/// token moves to a FIFO retention ring of this capacity, deep enough
+/// to answer any plausibly-in-flight duplicate `(open <token>)` retry
+/// without letting the map grow without bound.
+pub const TOKEN_RETENTION: usize = 64;
+
+/// How many cached sequenced-close replies are retained (same FIFO
+/// discipline as [`TOKEN_RETENTION`]): enough to answer a retried
+/// `(close <id> <seq>)` that raced a reset, bounded so the cache cannot
+/// grow with session churn.
+pub const CLOSED_RETENTION: usize = 64;
 
 enum Slot {
     Resident(Box<Session>),
@@ -62,12 +75,23 @@ pub struct SessionStore {
     retired: EventCounts,
     /// Idempotency-token → session-id map for `(open <token>)`: a
     /// retried tokenized open returns the original `(ok opened <id>)`
-    /// instead of creating a second session.
+    /// instead of creating a second session. Live sessions' tokens are
+    /// pinned; closed sessions' tokens survive only while they sit in
+    /// the [`TOKEN_RETENTION`]-deep `retired_tokens` ring.
     open_tokens: HashMap<u64, u64>,
+    /// id → token reverse map for live tokenized sessions, so a close
+    /// can retire its token without scanning.
+    token_of: HashMap<u64, u64>,
+    /// FIFO of closed sessions' tokens still answerable; overflow
+    /// evicts the oldest from `open_tokens`.
+    retired_tokens: VecDeque<u64>,
     /// Per-id cached reply of the last *sequenced* close, so a retried
     /// `(close <id> <seq>)` that raced a reset is answered from cache
-    /// instead of `no-such-session`.
+    /// instead of `no-such-session`. Bounded by [`CLOSED_RETENTION`]
+    /// via `closed_order`.
     closed: HashMap<u64, (u64, Reply)>,
+    /// FIFO of ids in `closed`, oldest first.
+    closed_order: VecDeque<u64>,
     /// Per-request-kind latency telemetry for every request this store
     /// served. The virtual-cycle histograms are deterministic (latency
     /// is a pure function of each request's operation stream — see
@@ -92,7 +116,10 @@ impl SessionStore {
             resumes: 0,
             retired: EventCounts::default(),
             open_tokens: HashMap::new(),
+            token_of: HashMap::new(),
+            retired_tokens: VecDeque::new(),
             closed: HashMap::new(),
+            closed_order: VecDeque::new(),
             telemetry: ShardMetrics::default(),
             wall: false,
             trace: None,
@@ -172,9 +199,24 @@ impl SessionStore {
         let reply = self.open_with_id(id);
         if let Reply::Opened { id } = reply {
             self.open_tokens.insert(token, id);
+            self.token_of.insert(id, token);
             (Reply::Opened { id }, true)
         } else {
             (reply, false)
+        }
+    }
+
+    /// Move a closing session's idempotency token (if any) from the
+    /// pinned live set into the bounded retention ring; the overflow
+    /// victim stops being answerable.
+    fn retire_token(&mut self, id: u64) {
+        if let Some(token) = self.token_of.remove(&id) {
+            self.retired_tokens.push_back(token);
+            while self.retired_tokens.len() > TOKEN_RETENTION {
+                if let Some(old) = self.retired_tokens.pop_front() {
+                    self.open_tokens.remove(&old);
+                }
+            }
         }
     }
 
@@ -317,6 +359,11 @@ impl SessionStore {
     /// cyclic garbage).
     pub fn close(&mut self, id: u64) -> Reply {
         let t0 = self.wall_start();
+        if self.slots.contains_key(&id) {
+            // The slot is removed on every path below (even a failed
+            // resume drops it), so the token retires with the session.
+            self.retire_token(id);
+        }
         let reply = match self.slots.remove(&id) {
             None => err("session", "no-such-session"),
             Some(Slot::Resident(session)) => {
@@ -374,9 +421,31 @@ impl SessionStore {
             (seq_too_old_reply(seq), false)
         } else {
             let reply = self.close(id);
-            self.closed.insert(id, (seq, reply.clone()));
+            if self.closed.insert(id, (seq, reply.clone())).is_none() {
+                self.closed_order.push_back(id);
+            }
+            while self.closed_order.len() > CLOSED_RETENTION {
+                if let Some(old) = self.closed_order.pop_front() {
+                    self.closed.remove(&old);
+                }
+            }
             (reply, true)
         }
+    }
+
+    /// The store's next session id (promotion seeds the successor's
+    /// global id allocator from this so fresh ids never collide with
+    /// replicated ones).
+    pub fn next_session_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Every answerable `(open <token>)` route — live sessions' pinned
+    /// tokens plus the retained ring of recently closed ones — as
+    /// `(token, id)` pairs. Promotion primes the successor server's
+    /// shared token routes from this.
+    pub fn token_routes(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.open_tokens.iter().map(|(&t, &id)| (t, id))
     }
 
     /// Map any typed request to its reply, exactly as the server does —
@@ -389,6 +458,7 @@ impl SessionStore {
                 if *version == PROTO_VERSION {
                     Reply::Hello {
                         version: PROTO_VERSION,
+                        node: NodeRole::Primary,
                     }
                 } else {
                     crate::protocol::unsupported_version_reply(*version)
@@ -420,7 +490,10 @@ impl SessionStore {
             Request::Close { id, seq: None } => self.close(*id),
             Request::Close { id, seq: Some(s) } => self.close_seq(*id, *s).0,
             // The twin has no WAL; a real server answers its next LSN.
-            Request::Ping => Reply::Pong { lsn: 0 },
+            Request::Ping => Reply::Pong {
+                lsn: 0,
+                node: NodeRole::Primary,
+            },
             Request::Shutdown => Reply::Draining,
             Request::Pull { .. } => err("proto", "not-a-replica"),
         }
@@ -568,6 +641,43 @@ mod tests {
     }
 
     #[test]
+    fn token_and_close_caches_stay_bounded() {
+        let mut store = SessionStore::new(cfg(2));
+        // Churn far more tokenized sessions than the retention rings
+        // hold; every one is opened, sequenced-closed, and gone.
+        let churn = TOKEN_RETENTION + CLOSED_RETENTION;
+        for k in 0..churn as u64 {
+            let (reply, applied) = store.open_with_token(k, 10_000 + k);
+            assert!(applied);
+            assert_eq!(reply, Reply::Opened { id: k });
+            let (reply, applied) = store.close_seq(k, 0);
+            assert!(applied);
+            assert_eq!(reply, Reply::Closed { occupancy: 0 });
+        }
+        // Closed sessions' tokens are retained only TOKEN_RETENTION
+        // deep; the close cache is bounded the same way.
+        assert_eq!(store.open_tokens.len(), TOKEN_RETENTION);
+        assert_eq!(store.closed.len(), CLOSED_RETENTION);
+        // A duplicate retry of a *recently* closed token is still
+        // answered with the original id, not a fresh session …
+        let last = churn as u64 - 1;
+        let (reply, applied) = store.open_with_token(9999, 10_000 + last);
+        assert!(!applied);
+        assert_eq!(reply, Reply::Opened { id: last });
+        // … and so is a retried sequenced close.
+        let (reply, applied) = store.close_seq(last, 0);
+        assert!(!applied);
+        assert_eq!(reply, Reply::Closed { occupancy: 0 });
+        // The oldest token fell out of the ring: retrying it now
+        // (legitimately) creates a fresh session.
+        let (reply, applied) = store.open_with_token(churn as u64, 10_000);
+        assert!(applied);
+        assert_eq!(reply, Reply::Opened { id: churn as u64 });
+        // A *live* session's token is pinned regardless of churn.
+        assert!(store.open_tokens.contains_key(&10_000));
+    }
+
+    #[test]
     fn suspended_blobs_verify_clean() {
         let mut store = SessionStore::new(cfg(1));
         let a = store.open();
@@ -601,7 +711,8 @@ mod tests {
                 role: crate::protocol::Role::Client
             }),
             Reply::Hello {
-                version: PROTO_VERSION
+                version: PROTO_VERSION,
+                node: NodeRole::Primary
             }
         );
         assert_eq!(
@@ -611,9 +722,15 @@ mod tests {
                     role: crate::protocol::Role::Client
                 })
                 .encode(),
-            "(err proto unsupported-version 99 3)"
+            "(err proto unsupported-version 99 4)"
         );
-        assert_eq!(store.apply(&Request::Ping), Reply::Pong { lsn: 0 });
+        assert_eq!(
+            store.apply(&Request::Ping),
+            Reply::Pong {
+                lsn: 0,
+                node: NodeRole::Primary
+            }
+        );
         assert_eq!(store.apply(&Request::Shutdown), Reply::Draining);
         assert_eq!(
             store.apply(&Request::Pull { from: 0 }).encode(),

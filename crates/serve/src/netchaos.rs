@@ -57,14 +57,15 @@ use std::time::Duration;
 
 /// Heartbeat cadence during the live phase (every N script ops), so
 /// the lease sees real beats before the kill and the probe count is a
-/// deterministic function of the kill point.
-const HEARTBEAT_EVERY: usize = 8;
+/// deterministic function of the kill point. Shared with the
+/// cluster-chaos campaign so both harnesses probe identically.
+pub(crate) const HEARTBEAT_EVERY: usize = 8;
 
 /// Tokens for the scripted opens start here (any value works; being
 /// far from the session-id range keeps transcripts easy to read).
-const TOKEN_BASE: u64 = 1000;
+pub(crate) const TOKEN_BASE: u64 = 1000;
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -341,12 +342,22 @@ pub struct NetChaosOutcome {
     pub mismatches: usize,
     /// Distinct fault points injected across the whole campaign.
     pub fault_points: usize,
+    /// Summed [`RetryClient::retries`] across runs. Attempt counts are
+    /// timing-dependent, so these three live in the stderr summary
+    /// only — never in the byte-compared report.
+    pub client_retries: u64,
+    /// Summed [`RetryClient::reconnects`] across runs.
+    pub client_reconnects: u64,
+    /// Summed [`RetryClient::redials`] across runs.
+    pub client_redials: u64,
 }
 
 /// The fully idempotent script: tokenized opens, then the generated
 /// programs dealt round-robin as `(seval …)` with dense per-session
 /// sequence numbers. Every mutating request can be re-sent verbatim.
-fn script(seed: u64, sessions: usize, requests: usize) -> Vec<Request> {
+/// Shared with the cluster-chaos campaign (same workload, deeper
+/// topology).
+pub(crate) fn script(seed: u64, sessions: usize, requests: usize) -> Vec<Request> {
     let mut ops: Vec<Request> = (0..sessions)
         .map(|s| Request::Open {
             token: Some(TOKEN_BASE + s as u64),
@@ -396,7 +407,7 @@ fn epilogue(sessions: usize) -> Vec<Request> {
     ops
 }
 
-fn transcript_digest(replies: &[String]) -> u64 {
+pub(crate) fn transcript_digest(replies: &[String]) -> u64 {
     let mut h = DIGEST_SEED;
     for r in replies {
         h = digest_bytes(h, r.as_bytes());
@@ -404,7 +415,7 @@ fn transcript_digest(replies: &[String]) -> u64 {
     h
 }
 
-fn repl_io(e: ReplError) -> io::Error {
+pub(crate) fn repl_io(e: ReplError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
@@ -412,6 +423,9 @@ struct RunResult {
     json: String,
     mismatched: bool,
     fault_points: usize,
+    client_retries: u64,
+    client_reconnects: u64,
+    client_redials: u64,
 }
 
 /// One `(seed, kill_point)` run.
@@ -517,6 +531,8 @@ fn run_one(p: &NetChaosParams, seed: u64, kill_point: usize) -> io::Result<RunRe
 
     // Kill the primary for real.
     client.disconnect();
+    let (client_retries, client_reconnects, client_redials) =
+        (client.retries(), client.reconnects(), client.redials());
     drop(client);
     drop(puller);
     let replicated_lsn = standby.next_lsn();
@@ -612,6 +628,9 @@ fn run_one(p: &NetChaosParams, seed: u64, kill_point: usize) -> io::Result<RunRe
         ),
         mismatched,
         fault_points,
+        client_retries,
+        client_reconnects,
+        client_redials,
     })
 }
 
@@ -620,6 +639,7 @@ pub fn run_netchaos(p: &NetChaosParams) -> io::Result<NetChaosOutcome> {
     let mut runs = Vec::new();
     let mut mismatches = 0usize;
     let mut fault_points = 0usize;
+    let (mut client_retries, mut client_reconnects, mut client_redials) = (0u64, 0u64, 0u64);
     for &seed in &p.seeds {
         for &kill in &p.kill_points {
             let run = run_one(p, seed, kill)?;
@@ -627,6 +647,9 @@ pub fn run_netchaos(p: &NetChaosParams) -> io::Result<NetChaosOutcome> {
                 mismatches += 1;
             }
             fault_points += run.fault_points;
+            client_retries += run.client_retries;
+            client_reconnects += run.client_reconnects;
+            client_redials += run.client_redials;
             runs.push(run.json);
         }
     }
@@ -655,6 +678,9 @@ pub fn run_netchaos(p: &NetChaosParams) -> io::Result<NetChaosOutcome> {
         report,
         mismatches,
         fault_points,
+        client_retries,
+        client_reconnects,
+        client_redials,
     })
 }
 

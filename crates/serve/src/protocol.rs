@@ -32,7 +32,7 @@
 //!         | (shutdown)
 //!         | (pull <lsn:int>)                 replica connections only
 //!
-//! reply   = (ok hello <version:int>)
+//! reply   = (ok hello <version:int> <node>)   node = primary | standby
 //!         | (ok opened <id:int>)
 //!         | (ok value <form>)
 //!         | (ok ledger (<field:sym> <n:int>)*20)
@@ -41,7 +41,7 @@
 //!                     (requests <n>) (<counter:sym> <n:int>)*22)
 //!         | (ok metrics <det-json:h-hex> <vol-json:h-hex>)
 //!         | (ok closed <occupancy:int>)
-//!         | (ok pong <lsn:int>)
+//!         | (ok pong <lsn:int> <node>)
 //!         | (ok draining)
 //!         | (ok frames <next-lsn:int> <h-hex:sym>)
 //!         | (err <class:sym> <code:sym> <atom>...)
@@ -86,9 +86,22 @@
 //! `(err session seq-gap <expected> <got>)`; one that has fallen out of
 //! the window is `(err session seq-too-old <seq>)`. Seq-less requests
 //! keep the version-2 at-most-once semantics unchanged. `(ping)` →
-//! `(ok pong <lsn>)` is the liveness heartbeat the standby's primary
-//! lease counts; `lsn` is the primary's next WAL sequence number (0
-//! when replication is off).
+//! `(ok pong <lsn> <node>)` is the liveness heartbeat the standby's
+//! primary lease counts; `lsn` is the primary's next WAL sequence
+//! number (0 when replication is off).
+//!
+//! # Cluster role discovery (version 4)
+//!
+//! Version 4 adds a [`NodeRole`] atom to the two discovery replies:
+//! `(ok hello <version> <node>)` and `(ok pong <lsn> <node>)`, where
+//! `<node>` is `primary` or `standby`. A cluster-aware client redials
+//! an ordered endpoint list after a reset and picks the first endpoint
+//! whose handshake answers `primary`, so failover needs no extra
+//! round-trips; a standby relay answers `standby` and refuses session
+//! traffic with `(err repl not-primary)` while still serving
+//! `(pull …)`, `(ping)`, and `(metrics)` to its own downstream chain.
+//! Neither reply ever enters the byte-compared transcripts, so v3
+//! transcripts stay byte-identical under v4.
 
 use small_core::{LpError, LptStats};
 use small_lisp::compiler::CompileError;
@@ -102,8 +115,10 @@ use std::io::{self, Read, Write};
 /// Version 2 added the `(metrics)` request and the `(requests <n>)`
 /// field in `(ok stats …)`. Version 3 added `(ping)` heartbeats and
 /// the optional idempotency fields: `(open <token>)`,
-/// `(seval <id> <seq> …)`, `(close <id> <seq>)`.
-pub const PROTO_VERSION: u32 = 3;
+/// `(seval <id> <seq> …)`, `(close <id> <seq>)`. Version 4 added the
+/// [`NodeRole`] atom to `(ok hello …)` and `(ok pong …)` for cluster
+/// role discovery.
+pub const PROTO_VERSION: u32 = 4;
 
 /// Upper bound on a frame payload; a peer announcing more is corrupt
 /// (or hostile) and the connection is dropped.
@@ -263,6 +278,38 @@ impl Role {
         match self {
             Role::Client => "client",
             Role::Replica => "replica",
+        }
+    }
+}
+
+/// Cluster role a node announces in its `(ok hello …)` and
+/// `(ok pong …)` replies (version 4). A cluster-aware client scans its
+/// endpoint list for the node answering [`NodeRole::Primary`]; a
+/// standby relay answers [`NodeRole::Standby`] and refuses session
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// The node executing sessions and appending to the WAL.
+    Primary,
+    /// A warm standby replaying the primary's WAL (possibly relaying
+    /// it further down the chain).
+    Standby,
+}
+
+impl NodeRole {
+    /// The wire atom for this role.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeRole::Primary => "primary",
+            NodeRole::Standby => "standby",
+        }
+    }
+
+    fn parse(text: &str) -> Option<NodeRole> {
+        match text {
+            "primary" => Some(NodeRole::Primary),
+            "standby" => Some(NodeRole::Standby),
+            _ => None,
         }
     }
 }
@@ -475,10 +522,12 @@ pub struct StatsBody {
 /// A server→client reply, one per frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
-    /// `(ok hello <version>)` — handshake accepted.
+    /// `(ok hello <version> <node>)` — handshake accepted.
     Hello {
         /// Version the server speaks (always [`PROTO_VERSION`]).
         version: u32,
+        /// Cluster role of the answering node.
+        node: NodeRole,
     },
     /// `(ok opened <id>)`.
     Opened {
@@ -517,11 +566,14 @@ pub enum Reply {
         /// Residual LPT occupancy the closed session left behind.
         occupancy: u64,
     },
-    /// `(ok pong <lsn>)` — heartbeat answer carrying the primary's
-    /// next WAL sequence number (0 when replication is off).
+    /// `(ok pong <lsn> <node>)` — heartbeat answer carrying the
+    /// answering node's next WAL sequence number (a standby answers
+    /// its applied LSN; 0 when replication is off).
     Pong {
         /// Next WAL LSN on the answering server.
         lsn: u64,
+        /// Cluster role of the answering node.
+        node: NodeRole,
     },
     /// `(ok draining)` — shutdown acknowledged.
     Draining,
@@ -622,7 +674,9 @@ impl Reply {
     /// Canonical wire text of the reply.
     pub fn encode(&self) -> String {
         match self {
-            Reply::Hello { version } => format!("(ok hello {version})"),
+            Reply::Hello { version, node } => {
+                format!("(ok hello {version} {})", node.name())
+            }
             Reply::Opened { id } => format!("(ok opened {id})"),
             Reply::Value { text } => format!("(ok value {text})"),
             Reply::Ledger(stats) => {
@@ -655,7 +709,7 @@ impl Reply {
                 hex_sym(volatile.as_bytes())
             ),
             Reply::Closed { occupancy } => format!("(ok closed {occupancy})"),
-            Reply::Pong { lsn } => format!("(ok pong {lsn})"),
+            Reply::Pong { lsn, node } => format!("(ok pong {lsn} {})", node.name()),
             Reply::Draining => "(ok draining)".to_string(),
             Reply::Frames { next, bytes } => {
                 format!("(ok frames {next} {})", hex_sym(bytes))
@@ -687,8 +741,9 @@ impl Reply {
             "ok" => {
                 let tag = scratch.name(items.get(1)?.as_sym()?).to_string();
                 match tag.as_str() {
-                    "hello" if items.len() == 3 => Some(Reply::Hello {
+                    "hello" if items.len() == 4 => Some(Reply::Hello {
                         version: u32::try_from(items[2].as_int()?).ok()?,
+                        node: NodeRole::parse(scratch.name(items[3].as_sym()?))?,
                     }),
                     "opened" if items.len() == 3 => Some(Reply::Opened {
                         id: u64::try_from(items[2].as_int()?).ok()?,
@@ -757,8 +812,9 @@ impl Reply {
                     "closed" if items.len() == 3 => Some(Reply::Closed {
                         occupancy: u64::try_from(items[2].as_int()?).ok()?,
                     }),
-                    "pong" if items.len() == 3 => Some(Reply::Pong {
+                    "pong" if items.len() == 4 => Some(Reply::Pong {
                         lsn: u64::try_from(items[2].as_int()?).ok()?,
+                        node: NodeRole::parse(scratch.name(items[3].as_sym()?))?,
                     }),
                     "draining" if items.len() == 2 => Some(Reply::Draining),
                     "frames" if items.len() == 4 => {
@@ -1132,10 +1188,18 @@ mod tests {
     fn arb_reply() -> impl Strategy<Value = Reply> {
         prop_oneof![
             Just(Reply::Draining),
-            (0u32..10).prop_map(|version| Reply::Hello { version }),
+            (
+                0u32..10,
+                prop_oneof![Just(NodeRole::Primary), Just(NodeRole::Standby)]
+            )
+                .prop_map(|(version, node)| Reply::Hello { version, node }),
             (0u64..1_000_000).prop_map(|id| Reply::Opened { id }),
             (0u64..100).prop_map(|occupancy| Reply::Closed { occupancy }),
-            (0u64..1_000_000).prop_map(|lsn| Reply::Pong { lsn }),
+            (
+                0u64..1_000_000,
+                prop_oneof![Just(NodeRole::Primary), Just(NodeRole::Standby)]
+            )
+                .prop_map(|(lsn, node)| Reply::Pong { lsn, node }),
             any::<u64>().prop_map(|digest| Reply::Digest { digest }),
             prop_oneof![
                 Just("42".to_string()),

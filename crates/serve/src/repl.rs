@@ -27,12 +27,35 @@
 //! reply, ledger, and digest. The failover campaign runs the standby
 //! with a *different* residency cap than the primary to keep that
 //! honest.
+//!
+//! # Chained shipping (primary → S1 → S2)
+//!
+//! A [`Standby`] retains every frame it applies in its own [`Wal`]
+//! (byte-identical to the primary's — the record encoding is
+//! canonical), so it can serve `(pull <lsn>)` to a *downstream*
+//! replica: [`RelayNode`] wraps a standby in a TCP listener that
+//! answers `(hello …)`/`(ping)` with [`NodeRole::Standby`], ships
+//! retained frames to replica connections, publishes per-hop relay lag
+//! through `(metrics)`, and refuses session traffic with
+//! `(err repl not-primary)`. On promotion the relay hands back its
+//! *bound listener* along with the store and retained WAL, so the
+//! successor server ([`crate::server::start_promoted`]) serves on the
+//! same address with LSN continuity — the downstream replica keeps
+//! pulling the same endpoint with its cursor intact, and the chain
+//! heals to a fresh primary/standby pair.
 
 use crate::manager::SessionStore;
-use crate::protocol::Reply;
+use crate::protocol::{err, write_frame, FrameBuf, NodeRole, Reply, Request, Role, PROTO_VERSION};
 use crate::session::ServeConfig;
+use crate::telemetry::VolatileMetrics;
 use small_persist::{crc32, digest_bytes, ByteReader, ByteWriter, DIGEST_SEED};
 use std::fmt;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// The digest a WAL record stores for a reply: FNV-1a over the
 /// canonical encoded reply text.
@@ -250,6 +273,14 @@ impl Wal {
         lsn
     }
 
+    /// Append an already-decoded record verbatim (the standby's relay
+    /// retention path). The encoding is canonical, so the retained
+    /// frame is byte-identical to the one the upstream shipped.
+    pub fn append_record(&mut self, rec: &WalRecord) {
+        debug_assert_eq!(rec.lsn, self.frames.len() as u64, "retention gap");
+        self.frames.push(encode_record(rec));
+    }
+
     /// The LSN the next append will get (== records logged so far).
     pub fn next_lsn(&self) -> u64 {
         self.frames.len() as u64
@@ -274,9 +305,13 @@ impl Wal {
 }
 
 /// A warm standby: replays pulled WAL batches through its own store
-/// under digest verification, ready to be promoted.
+/// under digest verification, ready to be promoted. Applied frames are
+/// retained in the standby's own [`Wal`] so it can relay them to a
+/// downstream replica (and, on promotion, keep shipping from the same
+/// LSN space).
 pub struct Standby {
     store: SessionStore,
+    wal: Wal,
     next_lsn: u64,
 }
 
@@ -285,6 +320,7 @@ impl Standby {
     pub fn new(cfg: ServeConfig) -> Standby {
         Standby {
             store: SessionStore::new(cfg),
+            wal: Wal::new(),
             next_lsn: 0,
         }
     }
@@ -340,10 +376,18 @@ impl Standby {
                     actual,
                 });
             }
+            self.wal.append_record(rec);
             self.next_lsn += 1;
             applied += 1;
         }
         Ok(applied)
+    }
+
+    /// Serve a downstream pull from the retained WAL: concatenated
+    /// frames starting at `from`, bounded by `max_bytes`, plus the LSN
+    /// to pull from next (see [`Wal::frames_from`]).
+    pub fn frames_from(&self, from: u64, max_bytes: usize) -> (Vec<u8>, u64) {
+        self.wal.frames_from(from, max_bytes)
     }
 
     /// Read-only view of the standby's store (harness assertions).
@@ -355,6 +399,271 @@ impl Standby {
     /// promotion the caller serves requests against it directly.
     pub fn promote(self) -> SessionStore {
         self.store
+    }
+
+    /// Promote, keeping the retained WAL: the successor server seeds
+    /// its log from it so downstream pull cursors stay valid across
+    /// the handover.
+    pub fn promote_parts(self) -> (SessionStore, Wal) {
+        (self.store, self.wal)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relay node: a standby that serves downstream replicas
+// ---------------------------------------------------------------------
+
+/// Byte bound for a relayed `(pull …)` batch — the same bound the
+/// primary's shard loop uses, so chain hops behave identically.
+const RELAY_PULL_BATCH_BYTES: usize = 64 * 1024;
+
+/// Per-connection read timeout on the relay listener: short enough
+/// that conn threads notice a stop promptly, long enough to idle
+/// cheaply.
+const RELAY_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+struct RelayCore {
+    standby: Standby,
+    vol: VolatileMetrics,
+}
+
+/// What a stopped [`RelayNode`] dismantles into for promotion: the
+/// **still-bound listener** (so the successor serves on the same
+/// address and the downstream replica's connection target never
+/// changes), the replayed store, the retained WAL (LSN continuity for
+/// downstream pull cursors), and the relay's volatile metrics.
+pub struct RelayParts {
+    /// The relay's bound listener, ready to be inherited.
+    pub listener: TcpListener,
+    /// The replayed session store (dedup windows, token map, id cursor
+    /// all warm).
+    pub store: SessionStore,
+    /// The retained WAL, byte-identical to the upstream's prefix.
+    pub wal: Wal,
+    /// Relay-side volatile metrics (pull serving counters, hop lag).
+    pub vol: VolatileMetrics,
+}
+
+/// A chained standby serving the replication protocol over TCP: it
+/// answers `(hello …)` and `(ping)` with [`NodeRole::Standby`], ships
+/// its retained WAL to downstream `(pull …)`s, publishes per-hop relay
+/// lag via `(metrics)`, and refuses session traffic with
+/// `(err repl not-primary)` — a cluster-aware client that dials it
+/// moves on to the next endpoint. The relay's *own* upstream pulls are
+/// driven by the caller through [`RelayNode::apply`] (the campaign
+/// drivers pull in lockstep to stay deterministic).
+pub struct RelayNode {
+    addr: SocketAddr,
+    core: Arc<Mutex<RelayCore>>,
+    stop: Arc<AtomicBool>,
+    accept: JoinHandle<(TcpListener, Vec<JoinHandle<()>>)>,
+}
+
+impl RelayNode {
+    /// Bind `addr` and start serving the relay protocol.
+    pub fn start(addr: &str, cfg: ServeConfig) -> io::Result<RelayNode> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let core = Arc::new(Mutex::new(RelayCore {
+            standby: Standby::new(cfg),
+            vol: VolatileMetrics::default(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break; // the stop() self-connect wakeup
+                            }
+                            let core = Arc::clone(&core);
+                            let stop = Arc::clone(&stop);
+                            conns.push(thread::spawn(move || {
+                                relay_conn(&core, &stop, stream);
+                            }));
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                (listener, conns)
+            })
+        };
+        Ok(RelayNode {
+            addr: local,
+            core,
+            stop,
+            accept,
+        })
+    }
+
+    /// The bound address downstream replicas (and failing-over
+    /// clients) dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Apply a batch pulled from the upstream, retaining the frames
+    /// for downstream serving (see [`Standby::apply`] for the
+    /// fail-closed semantics).
+    pub fn apply(&self, bytes: &[u8]) -> Result<usize, ReplError> {
+        let mut core = self.lock();
+        let n = core.standby.apply(bytes)?;
+        let applied = core.standby.applied_lsn();
+        core.vol.note_relay_applied(applied);
+        Ok(n)
+    }
+
+    /// Record the upstream's next-LSN (observed by the caller's pull
+    /// loop) so `(metrics)` can report this hop's lag.
+    pub fn note_upstream(&self, lsn: u64) {
+        self.lock().vol.note_relay_upstream(lsn);
+    }
+
+    /// The LSN this relay wants next from its upstream.
+    pub fn next_lsn(&self) -> u64 {
+        self.lock().standby.next_lsn()
+    }
+
+    /// The highest LSN applied (and servable downstream) so far.
+    pub fn applied_lsn(&self) -> u64 {
+        self.lock().standby.applied_lsn()
+    }
+
+    /// This hop's upstream-minus-applied lag.
+    pub fn relay_lag(&self) -> u64 {
+        self.lock().vol.relay_lag()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RelayCore> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stop serving and dismantle into [`RelayParts`]. Connection
+    /// threads are joined (they notice the flag within one read
+    /// timeout), the accept thread hands the bound listener back, and
+    /// the standby is promoted with its retained WAL.
+    pub fn stop(self) -> RelayParts {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let (listener, conns) = self.accept.join().expect("relay accept thread");
+        for c in conns {
+            let _ = c.join();
+        }
+        let core = Arc::try_unwrap(self.core)
+            .map_err(|_| ())
+            .expect("relay conns joined")
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        let (store, wal) = core.standby.promote_parts();
+        RelayParts {
+            listener,
+            store,
+            wal,
+            vol: core.vol,
+        }
+    }
+}
+
+/// One relay connection: incremental frame reassembly through
+/// [`FrameBuf`] (torn writes from a faulty transport reassemble
+/// cleanly), replies written inline. Exits on EOF, any I/O error, a
+/// framing violation, or the relay's stop flag.
+fn relay_conn(core: &Arc<Mutex<RelayCore>>, stop: &Arc<AtomicBool>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(RELAY_READ_TIMEOUT));
+    let mut fb = FrameBuf::new();
+    let mut chunk = [0u8; 4096];
+    let mut replica = false;
+    loop {
+        loop {
+            match fb.pop() {
+                Ok(Some(text)) => {
+                    let reply = relay_reply(core, &text, &mut replica);
+                    if write_frame(&mut (&stream), &reply.encode()).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // oversized/corrupt framing: drop
+            }
+        }
+        match (&stream).read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => fb.extend(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Map one request to the relay's reply. Only the replication and
+/// discovery surface is served; session traffic is refused with a
+/// typed `(err repl not-primary)` so a scanning client moves on.
+fn relay_reply(core: &Arc<Mutex<RelayCore>>, text: &str, replica: &mut bool) -> Reply {
+    let req = match Request::decode(text) {
+        Ok(r) => r,
+        Err(reply) => return reply,
+    };
+    match req {
+        Request::Hello { version, role } => {
+            if version == PROTO_VERSION {
+                if role == Role::Replica {
+                    *replica = true;
+                }
+                Reply::Hello {
+                    version: PROTO_VERSION,
+                    node: NodeRole::Standby,
+                }
+            } else {
+                crate::protocol::unsupported_version_reply(version)
+            }
+        }
+        Request::Ping => {
+            let core = core.lock().unwrap_or_else(|e| e.into_inner());
+            Reply::Pong {
+                lsn: core.standby.applied_lsn(),
+                node: NodeRole::Standby,
+            }
+        }
+        Request::Pull { from } => {
+            if !*replica {
+                return err("proto", "not-a-replica");
+            }
+            let mut core = core.lock().unwrap_or_else(|e| e.into_inner());
+            let (bytes, next) = core.standby.frames_from(from, RELAY_PULL_BATCH_BYTES);
+            core.vol.wal_pull_batches.inc();
+            core.vol.wal_shipped.add(next.saturating_sub(from));
+            // The downstream's `(pull <from>)` is its applied-LSN
+            // confession, exactly as on the primary.
+            core.vol.note_wal_applied(from);
+            Reply::Frames { next, bytes }
+        }
+        Request::Metrics => {
+            let core = core.lock().unwrap_or_else(|e| e.into_inner());
+            Reply::Metrics {
+                deterministic: core.standby.store().telemetry().deterministic_json(),
+                volatile: core.vol.json(core.standby.store().telemetry()),
+            }
+        }
+        _ => err("repl", "not-primary"),
     }
 }
 
@@ -720,6 +1029,138 @@ mod tests {
         let (reopened, applied) = promoted.open_with_token(99, 41);
         assert!(!applied);
         assert_eq!(reopened, Reply::Opened { id: 0 });
+    }
+
+    #[test]
+    fn relay_ships_downstream_and_promotes_with_its_listener() {
+        use crate::client::Client;
+        use crate::protocol::{NodeRole, Role};
+
+        // A primary log with a tokenized open and seq'd mutations —
+        // the state a failover must preserve.
+        let mut primary = SessionStore::new(cfg(2));
+        let mut wal = Wal::new();
+        let script = [
+            Request::Open { token: Some(7) },
+            Request::Eval {
+                id: 0,
+                seq: Some(0),
+                src: "(setq acc (cons 1 nil))".to_string(),
+            },
+            Request::Eval {
+                id: 0,
+                seq: Some(1),
+                src: "(setq acc (cons 2 acc))".to_string(),
+            },
+        ];
+        for req in &script {
+            assert!(!primary_step(&mut primary, &mut wal, req).is_err());
+        }
+
+        // S1: relay fed by the harness (the upstream hop), serving TCP.
+        let relay = RelayNode::start("127.0.0.1:0", cfg(1)).expect("bind relay");
+        let addr = relay.addr();
+        relay.note_upstream(wal.next_lsn());
+        assert_eq!(relay.relay_lag(), wal.next_lsn());
+        while relay.next_lsn() < wal.next_lsn() {
+            let (batch, _) = wal.frames_from(relay.next_lsn(), 96);
+            relay.apply(&batch).expect("relay apply");
+        }
+        assert_eq!(relay.relay_lag(), 0);
+
+        // S2: a downstream standby catching up over the wire — the
+        // second hop of the chain.
+        let mut s2 = Standby::new(cfg(3));
+        let mut down = Client::connect(addr, Role::Replica).expect("dial relay");
+        assert_eq!(down.node_role(), NodeRole::Standby);
+        down.catch_up(&mut s2, wal.next_lsn())
+            .expect("chain catchup");
+        assert_eq!(s2.applied_lsn(), wal.next_lsn());
+
+        // Discovery surface: standby role on hello and ping, session
+        // traffic refused, pulls gated on the replica role, metrics
+        // expose the hop lag.
+        let mut c = Client::connect(addr, Role::Client).expect("dial as client");
+        assert_eq!(c.node_role(), NodeRole::Standby);
+        assert_eq!(c.ping().expect("ping"), wal.next_lsn());
+        assert_eq!(c.request_text("(open)").unwrap(), "(err repl not-primary)");
+        assert_eq!(
+            c.request_text("(pull 0)").unwrap(),
+            "(err proto not-a-replica)"
+        );
+        match c.request(&Request::Metrics).expect("metrics") {
+            Reply::Metrics { volatile, .. } => {
+                assert!(volatile.contains("\"relay_lag\":0"), "{volatile}");
+            }
+            other => panic!("want metrics, got {}", other.encode()),
+        }
+        drop(c);
+        drop(down);
+
+        // Stop → promotion parts: the listener survives still bound to
+        // the same address, the retained WAL keeps LSN continuity, and
+        // the store answers a retried pre-failover mutation from the
+        // replicated dedup window.
+        let parts = relay.stop();
+        assert_eq!(parts.listener.local_addr().unwrap(), addr);
+        assert_eq!(parts.wal.next_lsn(), wal.next_lsn());
+        let mut promoted = parts.store;
+        let (retry, applied) = promoted.eval_seq(0, 1, "(setq acc (cons 2 acc))");
+        assert!(!applied, "retry must hit the replicated dedup window");
+        assert!(!retry.is_err());
+        let (reopened, applied) = promoted.open_with_token(99, 7);
+        assert!(!applied);
+        assert_eq!(reopened, Reply::Opened { id: 0 });
+    }
+
+    mod lease_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Model check for the lease state machine over arbitrary
+            /// beat/miss interleavings: expiry fires at exactly
+            /// `miss_threshold` *consecutive* misses, never before,
+            /// and never reverts.
+            #[test]
+            fn lease_expiry_matches_the_consecutive_miss_model(
+                threshold in 1u32..6,
+                events in prop::collection::vec(any::<bool>(), 0..64),
+            ) {
+                let mut lease = Lease::new(LeaseParams {
+                    miss_threshold: threshold,
+                    ..LeaseParams::default()
+                });
+                let mut consecutive = 0u32;
+                let mut expired = false;
+                let mut last_lsn = 0u64;
+                for (i, &is_beat) in events.iter().enumerate() {
+                    if is_beat {
+                        lease.beat(i as u64 + 1);
+                        if !expired {
+                            consecutive = 0;
+                            last_lsn = i as u64 + 1;
+                        }
+                    } else {
+                        let fired = lease.miss();
+                        if !expired {
+                            consecutive += 1;
+                            if consecutive >= threshold {
+                                expired = true;
+                            }
+                        }
+                        prop_assert_eq!(fired, expired);
+                    }
+                    prop_assert_eq!(lease.is_expired(), expired);
+                    if !expired {
+                        prop_assert!(lease.misses() < threshold);
+                    }
+                    prop_assert_eq!(lease.last_lsn(), last_lsn);
+                }
+            }
+        }
     }
 
     #[test]

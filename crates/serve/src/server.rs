@@ -19,7 +19,7 @@ use crate::manager::SessionStore;
 use crate::protocol::StatsBody;
 use crate::repl::Wal;
 use crate::session::ServeConfig;
-use crate::shard::{shard_loop, RunQueue, SharedState};
+use crate::shard::{shard_loop, RunQueue, SharedState, TokenRoutes};
 use crate::telemetry::{prometheus_text, ShardMetrics, TraceLog, VolatileMetrics};
 use small_metrics::EventCounts;
 use small_persist::PersistError;
@@ -162,8 +162,56 @@ impl DrainOutcome {
 pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Result<ServerHandle> {
     assert!(params.shards > 0, "at least one shard");
     let listener = TcpListener::bind(addr)?;
+    let stores = (0..params.shards).map(|_| SessionStore::new(cfg)).collect();
+    start_on(listener, params, stores, None)
+}
+
+/// Start a server on an **already-bound** listener from a promoted
+/// standby's replayed state ([`crate::repl::RelayNode::stop`] hands
+/// both over). The listener keeps its file descriptor, so clients that
+/// redial the standby's advertised address land on the new primary
+/// without a rebind race. The retained WAL is installed as-is: its
+/// next LSN continues the chain, so a downstream replica's `(pull …)`
+/// cursor stays valid across the promotion.
+///
+/// The replayed store is necessarily single-sharded (a standby applies
+/// one serial record stream), so `params.shards` must be 1; dedup
+/// windows, the session-id allocator, and the token routes are all
+/// seeded from the store, making retried pre-failover requests
+/// answerable with their original replies.
+pub fn start_promoted(
+    listener: TcpListener,
+    params: ServerParams,
+    store: SessionStore,
+    wal: Wal,
+) -> std::io::Result<ServerHandle> {
+    assert_eq!(params.shards, 1, "a promoted standby is single-sharded");
+    assert!(params.replicate, "a promoted primary keeps shipping");
+    start_on(listener, params, vec![store], Some(wal))
+}
+
+/// Shared tail of [`start`] and [`start_promoted`]: spawn the shard
+/// loops over `stores` and the acceptor over `listener`.
+fn start_on(
+    listener: TcpListener,
+    params: ServerParams,
+    stores: Vec<SessionStore>,
+    retained_wal: Option<Wal>,
+) -> std::io::Result<ServerHandle> {
+    assert_eq!(stores.len(), params.shards, "one store per shard");
     let local = listener.local_addr()?;
     let trace = params.trace.then(|| Arc::new(TraceLog::new()));
+    let next_id = stores
+        .iter()
+        .map(|s| s.next_session_id())
+        .max()
+        .unwrap_or(0);
+    let mut routes = TokenRoutes::new();
+    for store in &stores {
+        for (token, id) in store.token_routes() {
+            routes.prime(token, id);
+        }
+    }
     let shared = Arc::new(SharedState {
         queues: (0..params.shards)
             .map(|_| Arc::new(RunQueue::new(params.queue_cap)))
@@ -190,16 +238,21 @@ pub fn start(addr: &str, cfg: ServeConfig, params: ServerParams) -> std::io::Res
         stop: AtomicBool::new(false),
         decode_done: AtomicUsize::new(0),
         queues_done: AtomicUsize::new(0),
-        next_id: AtomicU64::new(0),
-        open_tokens: Mutex::new(std::collections::HashMap::new()),
-        wal: params.replicate.then(|| Mutex::new(Wal::new())),
+        next_id: AtomicU64::new(next_id),
+        open_tokens: Mutex::new(routes),
+        wal: match retained_wal {
+            Some(wal) => Some(Mutex::new(wal)),
+            None => params.replicate.then(|| Mutex::new(Wal::new())),
+        },
         addr: local,
     });
 
-    let shards: Vec<JoinHandle<SessionStore>> = (0..params.shards)
-        .map(|me| {
+    let shards: Vec<JoinHandle<SessionStore>> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(me, store)| {
             let shared = Arc::clone(&shared);
-            let mut store = SessionStore::new(cfg).with_wall(params.wall);
+            let mut store = store.with_wall(params.wall);
             if let Some(log) = &trace {
                 store = store.with_trace(Arc::clone(log), me as u32 + 1);
             }

@@ -36,8 +36,10 @@
 //! suspend-to-checkpoint and tear the blob; this one cannot, and
 //! [`crate::server::DrainOutcome::verify_suspended`] checks it.
 
-use crate::manager::SessionStore;
-use crate::protocol::{busy_reply, err, err_with, Reply, Request, Role, StatsBody, PROTO_VERSION};
+use crate::manager::{SessionStore, TOKEN_RETENTION};
+use crate::protocol::{
+    busy_reply, err, err_with, NodeRole, Reply, Request, Role, StatsBody, PROTO_VERSION,
+};
 use crate::reactor::{Conn, Outbox};
 use crate::repl::{reply_digest, Wal, WalOp};
 use crate::telemetry::{ShardMetrics, TraceLog, VolatileMetrics};
@@ -163,6 +165,83 @@ impl RunQueue {
     }
 }
 
+/// Decode-time idempotency-token routing with bounded retention.
+///
+/// A retried `(open <token>)` must reach the *same home shard* as the
+/// original, so token → id resolution happens at decode time, before
+/// pinning. Routes for **live** sessions are pinned; once the session
+/// closes its route moves to a fixed-depth FIFO
+/// ([`crate::manager::TOKEN_RETENTION`] deep, mirroring the
+/// store-level policy) that keeps recently closed opens routable for
+/// duplicate retries while bounding the map for any workload length.
+pub struct TokenRoutes {
+    by_token: HashMap<u64, u64>,
+    /// Reverse map for live sessions only (id → token).
+    by_id: HashMap<u64, u64>,
+    /// Closed sessions' tokens, oldest first.
+    retired: VecDeque<u64>,
+}
+
+impl TokenRoutes {
+    /// An empty routing table.
+    pub fn new() -> TokenRoutes {
+        TokenRoutes {
+            by_token: HashMap::new(),
+            by_id: HashMap::new(),
+            retired: VecDeque::new(),
+        }
+    }
+
+    /// Resolve `token` to its stable session id, allocating through
+    /// `alloc` on first sight.
+    pub fn resolve_or_insert(&mut self, token: u64, alloc: impl FnOnce() -> u64) -> u64 {
+        if let Some(&id) = self.by_token.get(&token) {
+            return id;
+        }
+        let id = alloc();
+        self.by_token.insert(token, id);
+        self.by_id.insert(id, token);
+        id
+    }
+
+    /// Seed a live route (promotion: replayed state already holds the
+    /// token → id binding).
+    pub fn prime(&mut self, token: u64, id: u64) {
+        self.by_token.insert(token, id);
+        self.by_id.insert(id, token);
+    }
+
+    /// The session closed: move its token (if any) into the retired
+    /// ring, evicting the oldest route once over the retention cap.
+    pub fn note_close(&mut self, id: u64) {
+        let Some(token) = self.by_id.remove(&id) else {
+            return;
+        };
+        self.retired.push_back(token);
+        while self.retired.len() > TOKEN_RETENTION {
+            if let Some(old) = self.retired.pop_front() {
+                self.by_token.remove(&old);
+            }
+        }
+    }
+
+    /// Total routes currently held (live + retired).
+    pub fn len(&self) -> usize {
+        self.by_token.len()
+    }
+
+    /// Whether no routes are held.
+    pub fn is_empty(&self) -> bool {
+        self.by_token.is_empty()
+    }
+}
+
+impl Default for TokenRoutes {
+    fn default() -> TokenRoutes {
+        TokenRoutes::new()
+    }
+}
+
 /// State shared by the acceptor, every shard, and the server handle.
 pub struct SharedState {
     /// One bounded run queue per shard.
@@ -187,11 +266,10 @@ pub struct SharedState {
     pub queues_done: AtomicUsize,
     /// Global session-id allocator (decode-order dense).
     pub next_id: AtomicU64,
-    /// Idempotency-token → session-id routing map: a retried
-    /// `(open <token>)` must reach the *same home shard* as the
-    /// original, so the resolution happens at decode time, before
-    /// pinning. The owning store performs the authoritative dedup.
-    pub open_tokens: Mutex<HashMap<u64, u64>>,
+    /// Idempotency-token → session-id routes ([`TokenRoutes`]): the
+    /// owning store performs the authoritative dedup; this map only
+    /// guarantees a retried `(open <token>)` pins to the same shard.
+    pub open_tokens: Mutex<TokenRoutes>,
     /// The replication log, when the server runs as a primary.
     pub wal: Option<Mutex<Wal>>,
     /// The listen address (shards self-connect to unblock the
@@ -346,6 +424,16 @@ fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> 
                 wal_appends += 1;
             }
         }
+        if matches!(job.action, Action::Close { .. }) && matches!(reply, Reply::Closed { .. }) {
+            // The session is gone: retire its token route so the
+            // decode-time map stays bounded (duplicate retries stay
+            // answerable for TOKEN_RETENTION closes).
+            shared
+                .open_tokens
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .note_close(job.action.session());
+        }
         completions.push((job.outbox, job.seq, reply));
     }
     let ran = completions.len();
@@ -408,6 +496,7 @@ fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
                     seq,
                     &Reply::Hello {
                         version: PROTO_VERSION,
+                        node: NodeRole::Primary,
                     },
                 );
             } else {
@@ -426,7 +515,13 @@ fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
                 .as_ref()
                 .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).next_lsn())
                 .unwrap_or(0);
-            conn.outbox.complete(seq, &Reply::Pong { lsn });
+            conn.outbox.complete(
+                seq,
+                &Reply::Pong {
+                    lsn,
+                    node: NodeRole::Primary,
+                },
+            );
         }
         Request::Shutdown => {
             conn.outbox.complete(seq, &Reply::Draining);
@@ -466,12 +561,11 @@ fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
             // Resolve the token to a stable id *before* pinning, so a
             // retried open routes to the same home shard as the
             // original and the store-level dedup can see it.
-            let id = *shared
+            let id = shared
                 .open_tokens
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .entry(t)
-                .or_insert_with(|| shared.next_id.fetch_add(1, Ordering::SeqCst));
+                .resolve_or_insert(t, || shared.next_id.fetch_add(1, Ordering::SeqCst));
             route(Action::Open { id, token: Some(t) }, conn);
         }
         Request::Eval { id, seq, src } => route(Action::Eval { id, seq, src }, conn),
@@ -635,6 +729,35 @@ mod tests {
         assert!(q.is_empty());
         // Space freed: pushes succeed again.
         assert!(q.try_push(job(2)).is_ok());
+    }
+
+    #[test]
+    fn token_routes_stay_bounded_but_pin_live_sessions() {
+        let mut routes = TokenRoutes::new();
+        let next = std::cell::Cell::new(0u64);
+        let alloc = || {
+            let id = next.get();
+            next.set(id + 1);
+            id
+        };
+        // A live session's route is pinned no matter how much churn
+        // follows.
+        let live = routes.resolve_or_insert(9999, alloc);
+        for k in 0..(2 * TOKEN_RETENTION as u64) {
+            let id = routes.resolve_or_insert(k, alloc);
+            routes.note_close(id);
+        }
+        assert_eq!(routes.len(), TOKEN_RETENTION + 1);
+        assert_eq!(routes.resolve_or_insert(9999, alloc), live);
+        // A recently closed token still resolves to its original id…
+        let recent = 2 * TOKEN_RETENTION as u64 - 1;
+        let before = next.get();
+        assert_eq!(routes.resolve_or_insert(recent, alloc), recent + 1);
+        assert_eq!(next.get(), before, "recent retry must not allocate");
+        // …while one evicted from the ring allocates fresh.
+        assert_eq!(routes.resolve_or_insert(0, alloc), before);
+        // Closing an untokenized session is a no-op.
+        routes.note_close(u64::MAX);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! are returned to the caller for threshold assertions and stderr,
 //! never written to the report.
 
-use crate::client::Client;
+use crate::client::{Client, RetryClient, RetryPolicy};
 use crate::gen::programs_for;
 use crate::manager::SessionStore;
 use crate::protocol::{Reply, Request, Role};
@@ -57,6 +57,7 @@ use crate::telemetry::{prometheus_text, ReqKind, ShardMetrics, VolatileMetrics};
 use small_metrics::EventCounts;
 use small_persist::{digest_bytes, DIGEST_SEED};
 use std::io;
+use std::net::TcpStream;
 use std::time::Instant;
 
 /// Soak run shape.
@@ -128,6 +129,36 @@ pub struct SoakOutcome {
     /// Chrome Trace Format JSON from the last seed's server, when the
     /// soak ran with [`ServerParams::trace`].
     pub chrome_trace: Option<String>,
+    /// Summed [`RetryClient::retries`] across every fleet and churn
+    /// worker. Attempt counts are timing-dependent, so these three
+    /// live in the stderr summary only — never in the byte-compared
+    /// report.
+    pub client_retries: u64,
+    /// Summed [`RetryClient::reconnects`] across workers.
+    pub client_reconnects: u64,
+    /// Summed [`RetryClient::redials`] across workers.
+    pub client_redials: u64,
+}
+
+/// (retries, reconnects, redials) of one worker's client.
+type ClientCounters = (u64, u64, u64);
+
+/// A fresh single-endpoint retrying client against `addr`. The soak
+/// wire is clean local TCP, so the counters are expected to read
+/// zero — but the fleet runs the same client type the chaos campaigns
+/// torture, and the bins report whatever it actually absorbed.
+fn retry_client(addr: std::net::SocketAddr, seed: u64) -> RetryClient<TcpStream> {
+    RetryClient::new(
+        move || {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Client::from_transport(stream, Role::Client)
+        },
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        },
+    )
 }
 
 fn transcript_digest(replies: &[String]) -> u64 {
@@ -151,20 +182,24 @@ fn client_requests(id: u64, seed: u64, client: u64, requests: usize) -> Vec<Requ
     reqs
 }
 
-/// One TCP client's full scripted conversation.
+/// One TCP client's full scripted conversation, plus its retry
+/// counters (surfaced in the bin summary, never in the report).
 fn tcp_client_run(
     addr: std::net::SocketAddr,
     seed: u64,
     client: u64,
     requests: usize,
-) -> io::Result<Vec<String>> {
-    let mut c = Client::connect(addr, Role::Client)?;
-    let id = c.open()?;
+) -> io::Result<(Vec<String>, ClientCounters)> {
+    let mut c = retry_client(addr, seed ^ client.rotate_left(32));
+    let id = match c.request(&Request::Open { token: None })? {
+        Reply::Opened { id } => id,
+        other => return Err(io::Error::new(io::ErrorKind::InvalidData, other.encode())),
+    };
     let mut t = Vec::new();
     for req in client_requests(id, seed, client, requests) {
         t.push(c.request_text(&req.encode())?);
     }
-    Ok(t)
+    Ok((t, (c.retries(), c.reconnects(), c.redials())))
 }
 
 /// The serial twin of [`tcp_client_run`]: same typed requests, one
@@ -274,17 +309,20 @@ fn churn_worker_run(
     seed: u64,
     worker: u64,
     sessions: usize,
-) -> io::Result<Vec<String>> {
-    let mut c = Client::connect(addr, Role::Client)?;
+) -> io::Result<(Vec<String>, ClientCounters)> {
+    let mut c = retry_client(addr, seed ^ worker.rotate_left(48));
     let mut t = Vec::new();
     for script in churn_scripts(seed, worker, sessions) {
-        let id = c.open()?;
+        let id = match c.request(&Request::Open { token: None })? {
+            Reply::Opened { id } => id,
+            other => return Err(io::Error::new(io::ErrorKind::InvalidData, other.encode())),
+        };
         for src in script {
             t.push(c.request_text(&Request::Eval { id, seq: None, src }.encode())?);
         }
         t.push(c.request_text(&Request::Close { id, seq: None }.encode())?);
     }
-    Ok(t)
+    Ok((t, (c.retries(), c.reconnects(), c.redials())))
 }
 
 struct ChurnResult {
@@ -292,6 +330,7 @@ struct ChurnResult {
     mismatches: usize,
     evictions: u64,
     resumes: u64,
+    counters: ClientCounters,
 }
 
 /// The churn phase: `total` sessions rolled through a fresh server by
@@ -303,7 +342,7 @@ fn run_churn(p: &SoakParams, seed: u64) -> io::Result<ChurnResult> {
     let handle = server::start("127.0.0.1:0", p.cfg, p.server)?;
     let addr = handle.addr();
 
-    let transcripts: Vec<io::Result<Vec<String>>> = std::thread::scope(|s| {
+    let transcripts: Vec<io::Result<(Vec<String>, ClientCounters)>> = std::thread::scope(|s| {
         let joins: Vec<_> = (0..workers)
             .map(|w| s.spawn(move || churn_worker_run(addr, seed, w as u64, per_worker)))
             .collect();
@@ -327,6 +366,7 @@ fn run_churn(p: &SoakParams, seed: u64) -> io::Result<ChurnResult> {
     });
     let mut mismatches = 0usize;
     let mut digests = Vec::new();
+    let mut counters = (0u64, 0u64, 0u64);
     for (w, transcript) in transcripts.iter().enumerate() {
         let mut serial = Vec::new();
         for script in churn_scripts(seed, w as u64, per_worker) {
@@ -336,9 +376,14 @@ fn run_churn(p: &SoakParams, seed: u64) -> io::Result<ChurnResult> {
             }
             serial.push(twin.apply(&Request::Close { id, seq: None }).encode());
         }
-        let ok = matches!(transcript, Ok(t) if *t == serial);
+        let ok = matches!(transcript, Ok((t, _)) if *t == serial);
         if !ok {
             mismatches += 1;
+        }
+        if let Ok((_, (retries, reconnects, redials))) = transcript {
+            counters.0 += retries;
+            counters.1 += reconnects;
+            counters.2 += redials;
         }
         digests.push(format!(
             "{{\"worker\":{w},\"reply_digest\":\"d{:016x}\",\"match\":{ok}}}",
@@ -359,6 +404,7 @@ fn run_churn(p: &SoakParams, seed: u64) -> io::Result<ChurnResult> {
         mismatches,
         evictions,
         resumes,
+        counters,
     })
 }
 
@@ -374,6 +420,7 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
     let mut total_reqs = ShardMetrics::default();
     let mut total_vol = VolatileMetrics::default();
     let mut chrome_trace = None;
+    let (mut client_retries, mut client_reconnects, mut client_redials) = (0u64, 0u64, 0u64);
 
     for &seed in &p.seeds {
         let handle = server::start("127.0.0.1:0", p.cfg, p.server)?;
@@ -381,18 +428,24 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         let t_run = Instant::now();
 
         // Phase 1: the concurrent fleet.
-        let server_transcripts: Vec<io::Result<Vec<String>>> = std::thread::scope(|s| {
-            let joins: Vec<_> = (0..p.clients)
-                .map(|c| s.spawn(move || tcp_client_run(addr, seed, c as u64, p.requests)))
-                .collect();
-            joins
-                .into_iter()
-                .map(|j| {
-                    j.join()
-                        .unwrap_or_else(|_| Err(io::Error::other("client thread panicked")))
-                })
-                .collect()
-        });
+        let server_transcripts: Vec<io::Result<(Vec<String>, ClientCounters)>> =
+            std::thread::scope(|s| {
+                let joins: Vec<_> = (0..p.clients)
+                    .map(|c| s.spawn(move || tcp_client_run(addr, seed, c as u64, p.requests)))
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| {
+                        j.join()
+                            .unwrap_or_else(|_| Err(io::Error::other("client thread panicked")))
+                    })
+                    .collect()
+            });
+        for (_, (retries, reconnects, redials)) in server_transcripts.iter().flatten() {
+            client_retries += retries;
+            client_reconnects += reconnects;
+            client_redials += redials;
+        }
 
         // Phase 2: the deterministic eviction sweep over one connection.
         let sweep_server: io::Result<Vec<String>> = (|| {
@@ -477,7 +530,7 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         let mut sessions_json = Vec::new();
         for c in 0..p.clients {
             let serial = &serial_transcripts[c];
-            let ok = matches!(&server_transcripts[c], Ok(t) if t == serial);
+            let ok = matches!(&server_transcripts[c], Ok((t, _)) if t == serial);
             if !ok {
                 mismatches += 1;
             }
@@ -524,6 +577,9 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         mismatches += churn.mismatches;
         evictions += churn.evictions;
         resumes += churn.resumes;
+        client_retries += churn.counters.0;
+        client_reconnects += churn.counters.1;
+        client_redials += churn.counters.2;
         churn.json
     } else {
         "null".to_string()
@@ -554,5 +610,8 @@ pub fn run_soak(p: &SoakParams) -> io::Result<SoakOutcome> {
         summary,
         prometheus: prometheus_text(&total_reqs, &total_vol),
         chrome_trace,
+        client_retries,
+        client_reconnects,
+        client_redials,
     })
 }

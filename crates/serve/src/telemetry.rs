@@ -258,6 +258,13 @@ pub struct VolatileMetrics {
     /// counter: merged by max, so the merged snapshot reports the most
     /// advanced replica.
     wal_applied: u64,
+    /// Relay hop: the upstream primary's next-LSN as last observed by
+    /// this node when it is a chained standby. Max-merged high-water
+    /// mark; 0 on a primary.
+    relay_upstream: u64,
+    /// Relay hop: the LSN this node has applied (and can therefore
+    /// serve downstream). Max-merged high-water mark; 0 on a primary.
+    relay_applied: u64,
 }
 
 impl VolatileMetrics {
@@ -270,6 +277,8 @@ impl VolatileMetrics {
         self.wal_shipped.merge(other.wal_shipped);
         self.wal_pull_batches.merge(other.wal_pull_batches);
         self.wal_applied = self.wal_applied.max(other.wal_applied);
+        self.relay_upstream = self.relay_upstream.max(other.relay_upstream);
+        self.relay_applied = self.relay_applied.max(other.relay_applied);
     }
 
     /// Record a replica's applied-LSN high-water mark (from the `from`
@@ -287,6 +296,23 @@ impl VolatileMetrics {
     /// but has not yet confessed to replaying.
     pub fn wal_applied_lag(&self) -> u64 {
         self.wal_shipped.get().saturating_sub(self.wal_applied)
+    }
+
+    /// Record the upstream primary's next-LSN as seen by a chained
+    /// standby (its pull target).
+    pub fn note_relay_upstream(&mut self, lsn: u64) {
+        self.relay_upstream = self.relay_upstream.max(lsn);
+    }
+
+    /// Record the LSN a chained standby has applied and can relay.
+    pub fn note_relay_applied(&mut self, lsn: u64) {
+        self.relay_applied = self.relay_applied.max(lsn);
+    }
+
+    /// Per-hop relay lag: records the upstream has logged that this
+    /// chained standby has not yet applied (0 on a primary).
+    pub fn relay_lag(&self) -> u64 {
+        self.relay_upstream.saturating_sub(self.relay_applied)
     }
 
     /// The volatile snapshot section (fixed key order, but the values
@@ -309,6 +335,9 @@ impl VolatileMetrics {
         wal.field_u64("pull_batches", self.wal_pull_batches.get());
         wal.field_u64("applied", self.wal_applied);
         wal.field_u64("applied_lag", self.wal_applied_lag());
+        wal.field_u64("relay_upstream", self.relay_upstream);
+        wal.field_u64("relay_applied", self.relay_applied);
+        wal.field_u64("relay_lag", self.relay_lag());
         root.field_raw("wal", &wal.finish());
         root.field_raw("wall_us", &reqs.wall_json());
         root.finish()
@@ -397,6 +426,12 @@ pub fn prometheus_text(reqs: &ShardMetrics, vol: &VolatileMetrics) -> String {
         "small_wal_applied_lag {}\n",
         vol.wal_applied_lag()
     ));
+    out.push_str("# TYPE small_relay_upstream gauge\n");
+    out.push_str(&format!("small_relay_upstream {}\n", vol.relay_upstream));
+    out.push_str("# TYPE small_relay_applied gauge\n");
+    out.push_str(&format!("small_relay_applied {}\n", vol.relay_applied));
+    out.push_str("# TYPE small_relay_lag gauge\n");
+    out.push_str(&format!("small_relay_lag {}\n", vol.relay_lag()));
     out
 }
 
@@ -641,6 +676,29 @@ mod tests {
         let json = a.json(&ShardMetrics::default());
         assert!(json.contains("\"applied\":7"), "{json}");
         assert!(json.contains("\"applied_lag\":2"), "{json}");
+    }
+
+    #[test]
+    fn relay_lag_tracks_the_upstream_hop() {
+        let mut v = VolatileMetrics::default();
+        v.note_relay_upstream(12);
+        v.note_relay_applied(9);
+        assert_eq!(v.relay_lag(), 3);
+        // High-water marks: a stale observation never regresses them.
+        v.note_relay_upstream(10);
+        assert_eq!(v.relay_lag(), 3);
+        let mut other = VolatileMetrics::default();
+        other.note_relay_applied(11);
+        v.merge(&other);
+        assert_eq!(v.relay_lag(), 1, "merge takes the max per side");
+        let json = v.json(&ShardMetrics::default());
+        assert!(json.contains("\"relay_upstream\":12"), "{json}");
+        assert!(json.contains("\"relay_applied\":11"), "{json}");
+        assert!(json.contains("\"relay_lag\":1"), "{json}");
+        let text = prometheus_text(&ShardMetrics::default(), &v);
+        assert!(text.contains("small_relay_upstream 12"));
+        assert!(text.contains("small_relay_applied 11"));
+        assert!(text.contains("small_relay_lag 1"));
     }
 
     #[test]
