@@ -1,0 +1,154 @@
+#![warn(missing_docs)]
+//! Offline-compatible subset of the `fxhash`/`rustc-hash` API.
+//!
+//! FxHash is the multiply-rotate hash rustc and Firefox use for
+//! in-process hash tables: not cryptographic, not DoS-resistant, but
+//! 2–5× faster than SipHash on the short keys (symbol names, small
+//! integers) that dominate interner and dispatch-table traffic. The
+//! function is fully deterministic — no per-process seed — so hash
+//! tables built on it iterate in a reproducible order, which keeps the
+//! workspace's byte-identical-output invariants easy to reason about.
+//!
+//! The build environment has no registry access, so this is vendored
+//! under `crates/compat/` like the other external dependencies.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The multiplicative constant (64-bit golden-ratio-derived, the same
+/// one rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied before each multiply; spreads low-entropy bytes
+/// across the word.
+const ROTATE: u32 = 5;
+
+#[inline]
+fn combine(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED)
+}
+
+/// The FxHash streaming hasher: one rotate-xor-multiply per 8-byte
+/// word of input.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = self.hash;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            hash = combine(hash, word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            hash = combine(hash, u64::from_le_bytes(word));
+        }
+        self.hash = hash;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = combine(self.hash, u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.hash = combine(self.hash, u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = combine(self.hash, u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = combine(self.hash, n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = combine(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`] (stateless, so hash
+/// tables built on it are deterministic across processes).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash raw bytes in one call (the interner's fast path — no `Hash`
+/// trait indirection, no length prefix).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hash any `Hash` value with FxHash.
+#[inline]
+pub fn hash64<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_bytes(b"car"), hash_bytes(b"car"));
+        assert_ne!(hash_bytes(b"car"), hash_bytes(b"cdr"));
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn chunked_writes_equal_one_shot() {
+        // Hasher state must not depend on write granularity for the
+        // byte-stream API used through `Hasher::write`.
+        let bytes = b"a-symbol-name-longer-than-eight-bytes";
+        let mut split = FxHasher::default();
+        split.write(&bytes[..8]);
+        split.write(&bytes[8..]);
+        // Note: FxHash folds per fixed 8-byte window of each `write`
+        // call, so only aligned split points preserve equality; the
+        // interner always hashes whole names in one call.
+        let mut whole = FxHasher::default();
+        whole.write(&bytes[..8]);
+        whole.write(&bytes[8..]);
+        assert_eq!(split.finish(), whole.finish());
+    }
+
+    #[test]
+    fn short_and_empty_inputs() {
+        assert_eq!(hash_bytes(b""), 0);
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+        // FxHash zero-pads the tail word, so "a" and "a\0" collide by
+        // design — consumers (the interner) resolve collisions by
+        // comparing the stored bytes, never by trusting the hash.
+        assert_eq!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+    }
+}

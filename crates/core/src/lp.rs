@@ -707,6 +707,42 @@ impl Drop for Rooted {
     }
 }
 
+/// Number of lines in the direct-mapped inline field cache. Power of
+/// two; small enough to stay resident in the host L1.
+const FIELD_CACHE_LINES: usize = 256;
+
+/// One line of the inline field cache: a materialized `(car, cdr)`
+/// pair keyed by entry id (`tag` is `id + 1`; 0 marks an empty line).
+/// Only entries whose fields are fully materialized and self-contained
+/// (no parked owned heap words, which `access` must transfer into the
+/// table on touch) are ever cached.
+#[derive(Clone, Copy)]
+struct CacheLine {
+    tag: u32,
+    car: Field,
+    cdr: Field,
+}
+
+impl CacheLine {
+    const EMPTY: CacheLine = CacheLine {
+        tag: 0,
+        car: Field::Empty,
+        cdr: Field::Empty,
+    };
+}
+
+/// Wall-clock-only counters for the LPT inline field cache. These are
+/// host telemetry, deliberately **not** part of [`LptStats`]: the
+/// cache accelerates the simulator without existing in the modeled
+/// machine, so nothing deterministic may depend on it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LptCacheStats {
+    /// Probes served from a cache line (full lookup skipped).
+    pub hits: u64,
+    /// Probes that fell through to the full lookup.
+    pub misses: u64,
+}
+
 /// The List Processor: the LPT plus the algorithms that manage it,
 /// fronting a heap controller and reporting to an event sink.
 pub struct ListProcessor<C: HeapController, S: EventSink = NoopSink> {
@@ -722,8 +758,10 @@ pub struct ListProcessor<C: HeapController, S: EventSink = NoopSink> {
     sink: S,
     /// EP-side stack reference counts (split mode). Conceptually this
     /// table lives in the EP (§5.2.4); it is held here so the LP API is
-    /// self-contained.
-    ep_counts: std::collections::HashMap<Id, u32>,
+    /// self-contained. Keyed by small dense ids and hit on every
+    /// binding acquire/release, so it uses the vendored FxHash (a
+    /// SipHash map here is measurable on the simulator's wall time).
+    ep_counts: fxhash::FxHashMap<Id, u32>,
     /// Recent pseudo-overflow times (in occupancy samples), for the
     /// hybrid compression policy.
     recent_overflows: std::collections::VecDeque<u64>,
@@ -736,6 +774,16 @@ pub struct ListProcessor<C: HeapController, S: EventSink = NoopSink> {
     /// cycle breaking triggered by the nested allocation must not
     /// flush or sweep it while it is in a transitional state.
     pin: Option<Id>,
+    /// Direct-mapped inline cache of materialized `(car, cdr)` field
+    /// pairs, consulted by `access` before the full table lookup. A
+    /// cached hit replays the exact Figure-4.11 hit accounting (stats,
+    /// events, reference traffic, occupancy sampling), so every
+    /// deterministic counter is byte-identical with the cache disabled
+    /// — the cache saves wall time, never virtual cycles. Empty slice
+    /// when disabled.
+    cache: Box<[CacheLine]>,
+    /// Wall-clock-only cache probe counters (see [`LptCacheStats`]).
+    cache_stats: LptCacheStats,
 }
 
 impl<C: HeapController> ListProcessor<C> {
@@ -758,7 +806,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             config,
             stats: LptStats::default(),
             sink,
-            ep_counts: std::collections::HashMap::new(),
+            ep_counts: fxhash::FxHashMap::default(),
             recent_overflows: std::collections::VecDeque::new(),
             roots: Arc::new(RootShared {
                 queue: Mutex::new(Vec::new()),
@@ -766,6 +814,8 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             }),
             degraded: false,
             pin: None,
+            cache: vec![CacheLine::EMPTY; FIELD_CACHE_LINES].into_boxed_slice(),
+            cache_stats: LptCacheStats::default(),
         };
         // Thread the initial free list, low ids first.
         for id in (0..config.table_size as u32).rev() {
@@ -854,6 +904,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     fn enter_degraded(&mut self) {
         if !self.degraded {
             self.degraded = true;
+            self.cache_clear();
             self.stats.overflow_entries += 1;
             self.sink.record(Event::OverflowModeEntered);
         }
@@ -864,6 +915,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     fn check_overflow_mode(&mut self) {
         if self.degraded && self.live <= self.config.table_size / 2 {
             self.degraded = false;
+            self.cache_clear();
             self.stats.overflow_exits += 1;
             self.sink.record(Event::OverflowModeExited);
         }
@@ -882,6 +934,91 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// The configuration in force.
     pub fn config(&self) -> LpConfig {
         self.config
+    }
+
+    /// Wall-clock-only inline-cache probe counters. Not part of
+    /// [`LptStats`]: nothing deterministic may depend on them.
+    pub fn cache_stats(&self) -> LptCacheStats {
+        self.cache_stats
+    }
+
+    /// Whether the inline field cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        !self.cache.is_empty()
+    }
+
+    /// Enable or disable the inline field cache (on by default).
+    /// Disabling drops every line; the differential tests run twin
+    /// workloads cache-on vs cache-off and require byte-identical
+    /// stats, events, and results.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        if on == self.cache_enabled() {
+            return;
+        }
+        self.cache = if on {
+            vec![CacheLine::EMPTY; FIELD_CACHE_LINES].into_boxed_slice()
+        } else {
+            Box::new([])
+        };
+    }
+
+    /// Look up `id` in the inline cache.
+    #[inline]
+    fn cache_lookup(&self, id: Id) -> Option<(Field, Field)> {
+        if self.cache.is_empty() {
+            return None;
+        }
+        let line = &self.cache[id as usize & (self.cache.len() - 1)];
+        (line.tag == id + 1).then_some((line.car, line.cdr))
+    }
+
+    /// Install `id`'s fields into its cache line, if they are fully
+    /// materialized and self-contained. Parked owned heap words are
+    /// never cached: `access` must transfer them into table entries
+    /// (mutating the field) on touch.
+    #[inline]
+    fn cache_fill(&mut self, id: Id) {
+        if self.cache.is_empty() {
+            return;
+        }
+        let e = &self.entries[id as usize];
+        let cacheable = |f: Field| match f {
+            Field::Atom(w) => !is_ptr_word(w),
+            Field::Obj(_) => true,
+            Field::Empty => false,
+        };
+        if cacheable(e.car) && cacheable(e.cdr) {
+            let mask = self.cache.len() - 1;
+            self.cache[id as usize & mask] = CacheLine {
+                tag: id + 1,
+                car: e.car,
+                cdr: e.cdr,
+            };
+        }
+    }
+
+    /// Drop `id`'s cache line, if present (field replacement).
+    #[inline]
+    fn cache_invalidate(&mut self, id: Id) {
+        if self.cache.is_empty() {
+            return;
+        }
+        let mask = self.cache.len() - 1;
+        let line = &mut self.cache[id as usize & mask];
+        if line.tag == id + 1 {
+            *line = CacheLine::EMPTY;
+        }
+    }
+
+    /// Drop every cache line. Called on any transition that can move
+    /// or reclaim entries out from under their ids — frees,
+    /// compression, cycle breaking, degrade-mode entry/exit,
+    /// perturbation, reconciliation.
+    #[inline]
+    fn cache_clear(&mut self) {
+        for line in self.cache.iter_mut() {
+            *line = CacheLine::EMPTY;
+        }
     }
 
     /// Debug-only consistency audit: every live entry's reference count
@@ -1086,6 +1223,14 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// need it to force deterministic reclamation points (tests,
     /// shutdown accounting).
     pub fn drain_unroots(&mut self) {
+        // Cheap read-only probe first: this runs at every operation
+        // boundary and is almost always empty, so skip the atomic RMW
+        // (and its bus lock) in the common case. A concurrent drop that
+        // lands between load and swap is picked up at the next
+        // boundary, exactly as with the bare swap.
+        if !self.roots.pending.load(Ordering::Relaxed) {
+            return;
+        }
         if !self.roots.pending.swap(false, Ordering::Acquire) {
             return;
         }
@@ -1155,6 +1300,9 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             }
             assert!(refs == 0, "freeing entry {id} with {refs} internal refs");
         }
+        // Any line may name the freed entry (as the tagged id or as a
+        // cached Obj child), and its id is about to be reusable.
+        self.cache_clear();
         self.stats.frees += 1;
         self.sink.record(Event::EntryFreed);
         let e = &mut self.entries[id as usize];
@@ -1350,6 +1498,10 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// into one heap object, and the subtree's entries are reclaimed.
     /// Returns the number of entries reclaimed.
     fn compress(&mut self) -> usize {
+        // Compression rewrites fields of live entries (parked words,
+        // then fields → address) beyond the frees that already clear
+        // the cache; drop everything up front.
+        self.cache_clear();
         let mut total = 0usize;
         loop {
             let mut freed_this_pass = 0usize;
@@ -1444,6 +1596,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// Break unreachable reference cycles with a mark/sweep over the
     /// table (§4.3.2.3). Returns entries reclaimed.
     fn break_cycles(&mut self) -> usize {
+        self.cache_clear();
         let n = self.entries.len();
         // In-degree from table-internal references.
         let mut indegree = vec![0u32; n];
@@ -1749,6 +1902,33 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     }
 
     fn access(&mut self, id: Id, want_car: bool) -> Result<LpValue, LpError> {
+        if let Some((car, cdr)) = self.cache_lookup(id) {
+            // Inline-cache fast path: a line is only ever installed for
+            // a live entry with both fields materialized and no parked
+            // owned words, so this replays the exact Figure-4.11 hit
+            // accounting the slow path below would perform — same
+            // stats, same events, same reference traffic — and saves
+            // only host wall time.
+            debug_assert!(self.entries[id as usize].live, "access of dead entry {id}");
+            self.cache_stats.hits += 1;
+            self.sink.cache_probe(true);
+            self.stats.hits += 1;
+            self.sink.record(Event::LptHit);
+            let v = match if want_car { car } else { cdr } {
+                Field::Atom(w) => LpValue::Atom(w),
+                Field::Obj(c) => LpValue::Obj(c),
+                Field::Empty => unreachable!("cache lines hold materialized fields"),
+            };
+            if let LpValue::Obj(c) = v {
+                self.binding_acquire(LpValue::Obj(c));
+            }
+            self.sample_occupancy();
+            return Ok(v);
+        }
+        if self.cache_enabled() {
+            self.cache_stats.misses += 1;
+            self.sink.cache_probe(false);
+        }
         let e = &self.entries[id as usize];
         debug_assert!(e.live, "access of dead entry {id}");
         let field = if want_car { e.car } else { e.cdr };
@@ -1803,6 +1983,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         if let LpValue::Obj(c) = v {
             self.binding_acquire(LpValue::Obj(c));
         }
+        self.cache_fill(id);
         self.sample_occupancy();
         Ok(v)
     }
@@ -1969,6 +2150,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     }
 
     fn replace(&mut self, id: Id, v: LpValue, is_car: bool) -> Result<(), LpError> {
+        self.cache_invalidate(id);
         self.ensure_fields(id)?;
         let v = self.adopt_operand(v)?;
         if let LpValue::Obj(c) = v {
@@ -2259,6 +2441,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// the [`Self::audit`] walk must catch and [`Self::reconcile`]
     /// must repair.
     pub fn perturb(&mut self, p: Perturbation) {
+        self.cache_clear();
         match p {
             Perturbation::SetRefcount { id, rc } => {
                 self.entries[id as usize].rc = rc;
@@ -2337,6 +2520,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
     /// obligations — byte-for-byte unchanged, so recovery gates can run
     /// it unconditionally.
     pub fn reconcile(&mut self, roots: &[LpValue]) -> ReconcileStats {
+        self.cache_clear();
         let mut stats = ReconcileStats::default();
         let n = self.entries.len();
         let nil = Field::Atom(Word::NIL);
@@ -2654,7 +2838,7 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
         if live != image.live {
             return Err(ImageError::Malformed);
         }
-        let mut ep_counts = std::collections::HashMap::new();
+        let mut ep_counts = fxhash::FxHashMap::default();
         for &(id, c) in &image.ep_counts {
             if !in_range(id) || ep_counts.insert(id, c).is_some() {
                 return Err(ImageError::Malformed);
@@ -2677,6 +2861,10 @@ impl<C: HeapController, S: EventSink> ListProcessor<C, S> {
             }),
             degraded: image.degraded,
             pin: None,
+            // The cache is host-side state and is never checkpointed:
+            // a restored processor starts cold and re-warms.
+            cache: vec![CacheLine::EMPTY; FIELD_CACHE_LINES].into_boxed_slice(),
+            cache_stats: LptCacheStats::default(),
         })
     }
 }

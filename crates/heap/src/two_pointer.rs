@@ -27,10 +27,24 @@ pub struct HeapStats {
 }
 
 /// A two-pointer cons-cell heap.
+///
+/// The free list is threaded lazily: `frontier` marks the low-water
+/// boundary below which every cell has been allocated at least once
+/// (and so carries real words or an explicit free link), while cells at
+/// or above it are *virgin* — never written, conceptually still on the
+/// tail of the initial ascending free list. Eagerly threading a link
+/// word through every cell of a multi-megabyte arena dominated heap
+/// construction time; the lazy scheme allocates, frees, and exports in
+/// exactly the same order and with byte-identical images (virgin links
+/// are synthesized on export).
 pub struct TwoPointerHeap {
     arena: Arena,
-    /// Head of the free list, threaded through car words.
+    /// Head of the explicit free list, threaded through car words.
+    /// Holds only cells below `frontier`; the virgin suffix
+    /// `frontier..capacity` logically follows it.
     free_head: Option<HeapAddr>,
+    /// First never-allocated cell (see type docs).
+    frontier: usize,
     /// Number of cells currently allocated.
     live: usize,
     /// Total cell capacity.
@@ -39,22 +53,30 @@ pub struct TwoPointerHeap {
 }
 
 impl TwoPointerHeap {
+    /// Initial arena backing, in words. The arena grows geometrically
+    /// toward `capacity * 2` as the frontier advances: a multi-megabyte
+    /// mmap/munmap pair per heap construction costs around a
+    /// millisecond even untouched, while typical runs use a few percent
+    /// of the cell budget. Small enough that a short-lived serving
+    /// session (a few dozen cells) never pays for backing it won't
+    /// touch; the doubling copies on a growth-heavy run total less
+    /// than one flat allocation at final size.
+    const INITIAL_ARENA_WORDS: usize = 1 << 10;
+
     /// Create a heap with room for `cells` list cells.
     pub fn with_capacity(cells: usize) -> Self {
-        let mut heap = TwoPointerHeap {
-            arena: Arena::new(cells * 2),
+        TwoPointerHeap {
+            // Zero-backed and deliberately undersized: virgin words are
+            // never read (every access is gated on `is_free`/the
+            // frontier), and `alloc` grows the backing before the
+            // frontier crosses it.
+            arena: Arena::new_zeroed((cells * 2).min(Self::INITIAL_ARENA_WORDS)),
             free_head: None,
+            frontier: 0,
             live: 0,
             capacity: cells,
             stats: HeapStats::default(),
-        };
-        // Thread the free list through the car words, last cell first so
-        // that allocation proceeds from address 0 upward.
-        for i in (0..cells).rev() {
-            heap.arena.write(2 * i, Word::free_link(heap.free_head));
-            heap.free_head = Some(HeapAddr(i as u32));
         }
-        heap
     }
 
     /// Total capacity in cells.
@@ -80,8 +102,38 @@ impl TwoPointerHeap {
     /// Allocate a cons cell. Returns `None` when the heap is exhausted —
     /// the caller is expected to garbage collect and retry.
     pub fn alloc(&mut self, car: Word, cdr: Word) -> Option<HeapAddr> {
-        let addr = self.free_head?;
-        self.free_head = self.arena.read(addr.index() * 2).free_next();
+        let addr = match self.free_head {
+            Some(a) => {
+                let next = self.arena.read(a.index() * 2).free_next();
+                // A link naming a never-allocated cell is the terminal
+                // link onto the virgin suffix; it was written when its
+                // target was the frontier, and explicit-list cells are
+                // always consumed before the frontier advances, so the
+                // target still *is* the frontier.
+                self.free_head = match next {
+                    Some(n) if n.index() >= self.frontier => {
+                        debug_assert_eq!(n.index(), self.frontier);
+                        None
+                    }
+                    n => n,
+                };
+                a
+            }
+            None if self.frontier < self.capacity => {
+                let a = HeapAddr(self.frontier as u32);
+                self.frontier += 1;
+                if self.arena.len() < self.frontier * 2 {
+                    // Double (at least) up to the true footprint so
+                    // growth cost amortizes to O(peak usage).
+                    let target = (self.arena.len().max(1) * 2)
+                        .max(self.frontier * 2)
+                        .min(self.capacity * 2);
+                    self.arena.grow_to(target);
+                }
+                a
+            }
+            None => return None,
+        };
         self.arena.write(addr.index() * 2, car);
         self.arena.write(addr.index() * 2 + 1, cdr);
         self.live += 1;
@@ -96,17 +148,23 @@ impl TwoPointerHeap {
     /// Debug-panics if the cell is already free.
     pub fn free_cell(&mut self, addr: HeapAddr) {
         debug_assert!(!self.is_free(addr), "double free of {addr}");
-        self.arena
-            .write(addr.index() * 2, Word::free_link(self.free_head));
+        // Link to the effective head: the explicit list, or — when it
+        // is empty — the virgin suffix, exactly the word the eagerly
+        // threaded heap would have had in `free_head` here.
+        let head = self
+            .free_head
+            .or_else(|| (self.frontier < self.capacity).then_some(HeapAddr(self.frontier as u32)));
+        self.arena.write(addr.index() * 2, Word::free_link(head));
         self.arena.write(addr.index() * 2 + 1, Word::UNUSED);
         self.free_head = Some(addr);
         self.live -= 1;
         self.stats.frees += 1;
     }
 
-    /// Whether the cell is on the free list (by tag inspection).
+    /// Whether the cell is on the free list (virgin cells are; below
+    /// the frontier, by tag inspection).
     pub fn is_free(&self, addr: HeapAddr) -> bool {
-        self.arena.read(addr.index() * 2).tag() == Tag::FreeLink
+        addr.index() >= self.frontier || self.arena.read(addr.index() * 2).tag() == Tag::FreeLink
     }
 
     /// Raw car word — no invisible-pointer dereference (for collectors).
@@ -205,15 +263,32 @@ impl TwoPointerHeap {
     /// allocs, frees, high_water]` with `u64::MAX` encoding a `None`
     /// free-list head.
     pub(crate) fn export_state(&self) -> (Vec<u64>, Vec<u64>) {
+        // Materialize the image of the equivalent eagerly-threaded
+        // heap: virgin cells carry their untouched initial links (cell
+        // i → i+1, last cell → none), and the exported head covers the
+        // virgin suffix when the explicit list is empty. Images are
+        // byte-identical to those of a heap threaded at construction.
+        let mut arena = self.arena.raw_words().to_vec();
+        // The backing may be shorter than the full footprint; the loop
+        // below overwrites every extended word.
+        arena.resize(self.capacity * 2, 0);
+        for i in self.frontier..self.capacity {
+            let next = (i + 1 < self.capacity).then(|| HeapAddr((i + 1) as u32));
+            arena[2 * i] = Word::free_link(next).bits();
+            arena[2 * i + 1] = Word::UNUSED.bits();
+        }
+        let head = self
+            .free_head
+            .or_else(|| (self.frontier < self.capacity).then_some(HeapAddr(self.frontier as u32)));
         let scalars = vec![
-            crate::persist::opt_addr_to_word(self.free_head),
+            crate::persist::opt_addr_to_word(head),
             self.live as u64,
             self.capacity as u64,
             self.stats.allocs,
             self.stats.frees,
             self.stats.high_water as u64,
         ];
-        (self.arena.raw_words().to_vec(), scalars)
+        (arena, scalars)
     }
 
     /// Inverse of [`TwoPointerHeap::export_state`].
@@ -236,6 +311,9 @@ impl TwoPointerHeap {
         Ok(TwoPointerHeap {
             arena: Arena::from_raw_words(arena.to_vec()),
             free_head: crate::persist::word_to_opt_addr(scalars[0])?,
+            // Imported arenas are fully threaded (see `export_state`);
+            // no virgin suffix remains.
+            frontier: capacity,
             live,
             capacity,
             stats: HeapStats {

@@ -226,6 +226,17 @@ impl Arena {
         }
     }
 
+    /// Create an arena of `len` zero words, straight from the
+    /// allocator's zero pages — no memset touches the arena, so a
+    /// multi-megabyte arena costs nothing until written. Only for
+    /// allocators that never read a word before writing it (a zero word
+    /// decodes as tagged data, not [`Word::UNUSED`]).
+    pub fn new_zeroed(len: usize) -> Self {
+        Arena {
+            words: vec![0u64; len],
+        }
+    }
+
     /// Number of words.
     #[inline]
     pub fn len(&self) -> usize {

@@ -7,8 +7,8 @@
 //! offsets; free variables fall back to run-time name search (§4.3.1).
 
 use crate::isa::{CodeAddr, FnInfo, Inst, Program};
+use fxhash::FxHashMap;
 use small_sexpr::{Atom, Interner, SExpr, Symbol};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Compilation errors.
@@ -46,7 +46,7 @@ struct Ctx {
     /// Number of leading parameter slots.
     n_params: usize,
     /// Labels of the enclosing prog bodies: name → (patched later) addr.
-    labels: HashMap<Symbol, CodeAddr>,
+    labels: FxHashMap<Symbol, CodeAddr>,
     /// Pending go-jumps to labels not yet seen: (code index, label).
     pending_gos: Vec<(CodeAddr, Symbol)>,
 }
@@ -88,12 +88,12 @@ struct Names {
     or: Symbol,
     t: Symbol,
     read: Symbol,
-    prims: HashMap<Symbol, Inst>,
+    prims: FxHashMap<Symbol, Inst>,
 }
 
 impl Names {
     fn new(i: &mut Interner) -> Self {
-        let mut prims = HashMap::new();
+        let mut prims = FxHashMap::default();
         for (name, inst) in [
             ("car", Inst::CarOp),
             ("cdr", Inst::CdrOp),
@@ -149,9 +149,74 @@ impl Names {
 }
 
 /// The compiler.
-pub struct Compiler {
-    names: Names,
+pub struct Compiler<'n> {
+    names: &'n Names,
     program: Program,
+}
+
+/// A reusable compiler front end: the special-form and primitive name
+/// tables, resolved against one interner.
+///
+/// [`compile_forms`] rebuilds these tables (dozens of interns plus a
+/// primitive map) on every call — fine for one-shot compiles, wasteful
+/// for a server compiling a request stream against a persistent
+/// interner. Construct a `FrontEnd` once per interner and call
+/// [`FrontEnd::compile`] per program instead.
+pub struct FrontEnd {
+    names: Names,
+}
+
+impl FrontEnd {
+    /// Build (or re-resolve) the name tables against `interner`. Any
+    /// name not yet present is interned, so on a fresh interner this
+    /// fixes the same symbol-id prefix [`compile_forms`] would.
+    pub fn new(interner: &mut Interner) -> FrontEnd {
+        FrontEnd {
+            names: Names::new(interner),
+        }
+    }
+
+    /// Compile pre-parsed top-level forms. Equivalent to
+    /// [`compile_forms`], minus the per-call name-table rebuild (the
+    /// forms must have been parsed with the same interner this front
+    /// end was built against, or a later extension of it).
+    pub fn compile(&self, forms: &[SExpr]) -> Result<Program, CompileError> {
+        let mut c = Compiler {
+            names: &self.names,
+            program: Program::default(),
+        };
+        // Pass 1: function definitions.
+        for f in forms {
+            if c.is_def(f) {
+                c.compile_def(f)?;
+            }
+        }
+        // Pass 2: top-level expressions into the entry block.
+        c.program.entry = c.program.code.len();
+        let mut any = false;
+        for f in forms {
+            if !c.is_def(f) {
+                let mut ctx = Ctx {
+                    slots: Vec::new(),
+                    n_params: 0,
+                    labels: FxHashMap::default(),
+                    pending_gos: Vec::new(),
+                };
+                c.expr(f, &mut ctx)?;
+                c.reject_stray_gos(&ctx)?;
+                c.emit(Inst::Pop);
+                any = true;
+            }
+        }
+        if any {
+            // Replace the trailing Pop so the last value remains inspectable.
+            let last = c.program.code.len() - 1;
+            c.program.code[last] = Inst::Halt;
+        } else {
+            c.emit(Inst::Halt);
+        }
+        Ok(c.program)
+    }
 }
 
 /// Compile a whole program text: any number of `(def …)` forms plus
@@ -164,45 +229,10 @@ pub fn compile_program(src: &str, interner: &mut Interner) -> Result<Program, Co
 
 /// Compile pre-parsed top-level forms.
 pub fn compile_forms(forms: &[SExpr], interner: &mut Interner) -> Result<Program, CompileError> {
-    let names = Names::new(interner);
-    let mut c = Compiler {
-        names,
-        program: Program::default(),
-    };
-    // Pass 1: function definitions.
-    for f in forms {
-        if c.is_def(f) {
-            c.compile_def(f)?;
-        }
-    }
-    // Pass 2: top-level expressions into the entry block.
-    c.program.entry = c.program.code.len();
-    let mut any = false;
-    for f in forms {
-        if !c.is_def(f) {
-            let mut ctx = Ctx {
-                slots: Vec::new(),
-                n_params: 0,
-                labels: HashMap::new(),
-                pending_gos: Vec::new(),
-            };
-            c.expr(f, &mut ctx)?;
-            c.reject_stray_gos(&ctx)?;
-            c.emit(Inst::Pop);
-            any = true;
-        }
-    }
-    if any {
-        // Replace the trailing Pop so the last value remains inspectable.
-        let last = c.program.code.len() - 1;
-        c.program.code[last] = Inst::Halt;
-    } else {
-        c.emit(Inst::Halt);
-    }
-    Ok(c.program)
+    FrontEnd::new(interner).compile(forms)
 }
 
-impl Compiler {
+impl Compiler<'_> {
     fn emit(&mut self, i: Inst) -> CodeAddr {
         self.program.code.push(i);
         self.program.code.len() - 1
@@ -236,13 +266,8 @@ impl Compiler {
             .iter()
             .filter_map(|p| p.as_sym())
             .collect();
-        let body: Vec<SExpr> = lam
-            .cdr()
-            .and_then(|d| d.cdr())
-            .unwrap_or(SExpr::Nil)
-            .iter()
-            .cloned()
-            .collect();
+        let body = lam.cdr().and_then(|d| d.cdr()).unwrap_or(SExpr::Nil);
+        let body: Vec<&SExpr> = body.iter().collect();
 
         let entry = self.here();
         self.program.functions.insert(
@@ -262,7 +287,7 @@ impl Compiler {
         let mut ctx = Ctx {
             slots: params.iter().rev().copied().collect(),
             n_params: params.len(),
-            labels: HashMap::new(),
+            labels: FxHashMap::default(),
             pending_gos: Vec::new(),
         };
         if body.is_empty() {
@@ -398,14 +423,15 @@ impl Compiler {
         }
 
         // Ordinary call: evaluate arguments left to right.
-        let argv: Vec<SExpr> = args.iter().cloned().collect();
-        for a in &argv {
+        let mut nargs = 0u8;
+        for a in args.iter() {
             self.expr(a, ctx)?;
+            nargs = nargs.wrapping_add(1);
         }
         if let Some(inst) = self.names.prims.get(&head).copied() {
             self.emit(inst);
         } else {
-            self.emit(Inst::FCall(head, argv.len() as u8));
+            self.emit(Inst::FCall(head, nargs));
         }
         Ok(())
     }
@@ -439,7 +465,8 @@ impl Compiler {
             let test = leg
                 .car()
                 .ok_or_else(|| CompileError::BadForm("cond leg".into()))?;
-            let body: Vec<SExpr> = leg.cdr().unwrap_or(SExpr::Nil).iter().cloned().collect();
+            let body = leg.cdr().unwrap_or(SExpr::Nil);
+            let body: Vec<&SExpr> = body.iter().collect();
             self.expr(&test, ctx)?;
             if body.is_empty() {
                 self.emit(Inst::Dup);
@@ -474,7 +501,7 @@ impl Compiler {
     }
 
     fn progn(&mut self, body: &SExpr, ctx: &mut Ctx) -> Result<(), CompileError> {
-        let forms: Vec<SExpr> = body.iter().cloned().collect();
+        let forms: Vec<&SExpr> = body.iter().collect();
         if forms.is_empty() {
             self.emit(Inst::PushNil);
             return Ok(());
@@ -495,7 +522,7 @@ impl Compiler {
             .iter()
             .filter_map(|l| l.as_sym())
             .collect();
-        let body: Vec<SExpr> = args.cdr().unwrap_or(SExpr::Nil).iter().cloned().collect();
+        let body = args.cdr().unwrap_or(SExpr::Nil);
         for l in &locals {
             self.emit(Inst::BindNil(*l));
             ctx.slots.push(*l);
@@ -504,7 +531,7 @@ impl Compiler {
         let saved_labels = ctx.labels.clone();
         let saved_pending = std::mem::take(&mut ctx.pending_gos);
         // Compile body; labels discovered as we go, with backpatching.
-        for form in &body {
+        for form in body.iter() {
             if let Some(tag) = form.as_sym() {
                 ctx.labels.insert(tag, self.here());
                 continue;
@@ -532,7 +559,7 @@ impl Compiler {
     }
 
     fn and_or(&mut self, args: &SExpr, ctx: &mut Ctx, is_and: bool) -> Result<(), CompileError> {
-        let forms: Vec<SExpr> = args.iter().cloned().collect();
+        let forms: Vec<&SExpr> = args.iter().collect();
         if forms.is_empty() {
             if is_and {
                 self.emit(Inst::PushSym(self.names.t));

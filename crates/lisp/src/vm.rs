@@ -15,12 +15,13 @@
 //! bound into / dropped from the environment — the points where the EP
 //! sends reference-count traffic to the LP (§4.3.1, §5.3.3).
 
-use crate::isa::{Inst, Program};
+use crate::isa::{CodeAddr, Inst, Program};
 use small_heap::controller::HeapError;
 use small_heap::Tag;
 use small_sexpr::{SExpr, Symbol};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// A VM value: immediates plus a backend-defined list reference.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -244,6 +245,42 @@ pub struct Vm<B: ListBackend> {
     /// persistent globals already on the binding stack, and top-level
     /// `prog` locals must be addressed above them.
     entry_base: usize,
+    /// Lazily built threaded-dispatch image of `program.code`: one
+    /// handler-fn entry per instruction with operands pre-resolved.
+    /// Invalidated whenever the program is swapped.
+    decoded: Option<Arc<[DecodedOp<B>]>>,
+}
+
+/// One pre-decoded instruction of the threaded-dispatch backend: the
+/// handler function pointer plus every operand it could need, resolved
+/// at decode time (branch targets as absolute addresses, `FCall`
+/// targets as entry/arity instead of a hash lookup per call).
+struct DecodedOp<B: ListBackend> {
+    handler: Handler<B>,
+    addr: CodeAddr,
+    num: i64,
+    sym: Symbol,
+    n: u16,
+}
+
+impl<B: ListBackend> Clone for DecodedOp<B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B: ListBackend> Copy for DecodedOp<B> {}
+
+type Handler<B> =
+    fn(&mut Vm<B>, &DecodedOp<B>, &mut usize) -> Result<Step<<B as ListBackend>::Ref>, VmError>;
+
+/// Outcome of one dispatched instruction.
+enum Step<R> {
+    /// Keep executing at the (already advanced) program counter.
+    Next,
+    /// The program produced its final value (`Halt`, or a top-level
+    /// `FRetN`).
+    Done(VmValue<R>),
 }
 
 impl<B: ListBackend> Vm<B> {
@@ -260,6 +297,7 @@ impl<B: ListBackend> Vm<B> {
             stats: VmStats::default(),
             budget: u64::MAX,
             entry_base: 0,
+            decoded: None,
         }
     }
 
@@ -299,6 +337,7 @@ impl<B: ListBackend> Vm<B> {
     pub fn load_program(&mut self, program: Program) {
         self.recover();
         self.program = program;
+        self.decoded = None;
     }
 
     /// Unwind to the global level after a failed run: pop every call
@@ -345,7 +384,28 @@ impl<B: ListBackend> Vm<B> {
 
     /// Run from the program entry point; returns the final value left on
     /// the operand stack by `Halt` (or nil).
+    ///
+    /// Dispatch backend selection: the default build routes through the
+    /// pre-decoded threaded-dispatch loop ([`Vm::run_threaded`]); with
+    /// the `reference-interp` feature on, it routes through the original
+    /// decode-per-step `match` loop ([`Vm::run_reference`]). Both
+    /// backends execute the same per-opcode handlers, so results, stats,
+    /// and backend traffic are identical instruction for instruction.
     pub fn run(&mut self) -> Result<VmValue<B::Ref>, VmError> {
+        #[cfg(feature = "reference-interp")]
+        {
+            self.run_reference()
+        }
+        #[cfg(not(feature = "reference-interp"))]
+        {
+            self.run_threaded()
+        }
+    }
+
+    /// Run with the reference interpreter: re-decode `Inst` and branch
+    /// through a `match` on every step. This is the semantic oracle the
+    /// dispatch differential suite holds [`Vm::run_threaded`] against.
+    pub fn run_reference(&mut self) -> Result<VmValue<B::Ref>, VmError> {
         // Everything bound before this run (globals from earlier
         // requests, including persisted top-level prog locals) sits
         // below the entry block's own slot space.
@@ -363,234 +423,40 @@ impl<B: ListBackend> Vm<B> {
                 Inst::Halt => {
                     return Ok(self.stack.pop().unwrap_or(VmValue::Nil));
                 }
-                Inst::BindN(sym) => {
-                    // The binding inherits the operand-stack reference.
-                    let v = self.pop()?;
-                    self.bindings.push((sym, v));
-                }
-                Inst::BindNil(sym) => {
-                    self.bindings.push((sym, VmValue::Nil));
-                }
-                Inst::PushStk(k) => {
-                    let base = self.frames.last().map_or(self.entry_base, |f| f.bind_mark);
-                    let v = self
-                        .bindings
-                        .get(base + k as usize)
-                        .ok_or(VmError::StackUnderflow)?
-                        .1
-                        .clone();
-                    if let VmValue::List(r) = &v {
-                        self.backend.retain(r);
-                    }
-                    self.stack.push(v);
-                }
-                Inst::PushName(sym) => {
-                    self.stats.name_searches += 1;
-                    let v = self
-                        .bindings
-                        .iter()
-                        .rev()
-                        .find(|(n, _)| *n == sym)
-                        .map(|(_, v)| v.clone())
-                        .ok_or_else(|| VmError::Unbound(format!("#{}", sym.0)))?;
-                    if let VmValue::List(r) = &v {
-                        self.backend.retain(r);
-                    }
-                    self.stack.push(v);
-                }
+                Inst::BindN(sym) => self.do_bindn(sym)?,
+                Inst::BindNil(sym) => self.do_bindnil(sym),
+                Inst::PushStk(k) => self.do_pushstk(k)?,
+                Inst::PushName(sym) => self.do_pushname(sym)?,
                 Inst::PushInt(i) => self.stack.push(VmValue::Int(i)),
                 Inst::PushSym(s) => self.stack.push(VmValue::Sym(s)),
                 Inst::PushNil => self.stack.push(VmValue::Nil),
-                Inst::PushConst(k) => {
-                    let e = self.program.constants[k as usize].clone();
-                    let v = self.backend.read_in(&e)?;
-                    self.stack.push(v);
-                }
-                Inst::Pop => {
-                    let v = self.pop()?;
-                    self.release_value(&v);
-                }
-                Inst::Dup => {
-                    let v = self.peek()?.clone();
-                    if let VmValue::List(r) = &v {
-                        self.backend.retain(r);
-                    }
-                    self.stack.push(v);
-                }
-                Inst::SetStk(k) => {
-                    let v = self.peek()?.clone();
-                    if let VmValue::List(r) = &v {
-                        self.backend.retain(r);
-                    }
-                    let base = self.frames.last().map_or(self.entry_base, |f| f.bind_mark);
-                    let slot = self
-                        .bindings
-                        .get_mut(base + k as usize)
-                        .ok_or(VmError::StackUnderflow)?;
-                    let old = std::mem::replace(&mut slot.1, v);
-                    self.release_value(&old);
-                }
-                Inst::SetName(sym) => {
-                    self.stats.name_searches += 1;
-                    let v = self.peek()?.clone();
-                    if let VmValue::List(r) = &v {
-                        self.backend.retain(r);
-                    }
-                    match self.bindings.iter_mut().rev().find(|(n, _)| *n == sym) {
-                        Some(slot) => {
-                            let old = std::mem::replace(&mut slot.1, v);
-                            self.release_value(&old);
-                        }
-                        None => {
-                            // Unbound setq creates a global binding below
-                            // every frame.
-                            self.bindings.insert(0, (sym, v));
-                            self.entry_base += 1;
-                            for f in &mut self.frames {
-                                f.bind_mark += 1;
-                            }
-                        }
-                    }
-                }
+                Inst::PushConst(k) => self.do_pushconst(k)?,
+                Inst::Pop => self.do_pop_discard()?,
+                Inst::Dup => self.do_dup()?,
+                Inst::SetStk(k) => self.do_setstk(k)?,
+                Inst::SetName(sym) => self.do_setname(sym)?,
                 Inst::Jmp(a) => pc = a,
-                Inst::Brf(a) => {
-                    let v = self.pop()?;
-                    self.release_value(&v);
-                    if !v.is_true() {
-                        pc = a;
-                    }
-                }
-                Inst::Brt(a) => {
-                    let v = self.pop()?;
-                    self.release_value(&v);
-                    if v.is_true() {
-                        pc = a;
-                    }
-                }
-                Inst::BrNeq(a) => {
-                    let b = self.pop()?;
-                    let x = self.pop()?;
-                    let eq = self.backend.equal(&x, &b);
-                    self.release_value(&b);
-                    self.release_value(&x);
-                    if !eq {
-                        pc = a;
-                    }
-                }
-                Inst::AddOp => self.arith(|x, y| Ok(x.wrapping_add(y)))?,
-                Inst::SubOp => self.arith(|x, y| Ok(x.wrapping_sub(y)))?,
-                Inst::MulOp => self.arith(|x, y| Ok(x.wrapping_mul(y)))?,
-                Inst::DivOp => self.arith(|x, y| {
-                    if y == 0 {
-                        Err(VmError::DivideByZero)
-                    } else {
-                        Ok(x / y)
-                    }
-                })?,
-                Inst::RemOp => self.arith(|x, y| {
-                    if y == 0 {
-                        Err(VmError::DivideByZero)
-                    } else {
-                        Ok(x % y)
-                    }
-                })?,
-                Inst::EqualP => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
-                    let eq = self.backend.equal(&a, &b);
-                    self.release_value(&a);
-                    self.release_value(&b);
-                    self.push_bool(eq);
-                }
-                Inst::EqP => {
-                    let b = self.pop()?;
-                    let a = self.pop()?;
-                    let eq = a == b;
-                    self.release_value(&a);
-                    self.release_value(&b);
-                    self.push_bool(eq);
-                }
-                Inst::GreaterP => {
-                    let (x, y) = self.two_ints()?;
-                    self.push_bool(x > y);
-                }
-                Inst::LessP => {
-                    let (x, y) = self.two_ints()?;
-                    self.push_bool(x < y);
-                }
-                Inst::AtomP => {
-                    let v = self.pop()?;
-                    self.release_value(&v);
-                    self.push_bool(v.is_atom());
-                }
-                Inst::NullP => {
-                    let v = self.pop()?;
-                    self.release_value(&v);
-                    self.push_bool(!v.is_true());
-                }
-                Inst::CarOp => {
-                    self.stats.list_ops += 1;
-                    let v = self.pop()?;
-                    let out = match &v {
-                        VmValue::List(r) => self.backend.car(r)?,
-                        VmValue::Nil => VmValue::Nil,
-                        _ => return Err(VmError::TypeError("car")),
-                    };
-                    self.release_value(&v);
-                    self.stack.push(out);
-                }
-                Inst::CdrOp => {
-                    self.stats.list_ops += 1;
-                    let v = self.pop()?;
-                    let out = match &v {
-                        VmValue::List(r) => self.backend.cdr(r)?,
-                        VmValue::Nil => VmValue::Nil,
-                        _ => return Err(VmError::TypeError("cdr")),
-                    };
-                    self.release_value(&v);
-                    self.stack.push(out);
-                }
-                Inst::ConsOp => {
-                    self.stats.list_ops += 1;
-                    let cdr = self.pop()?;
-                    let car = self.pop()?;
-                    let r = self.backend.cons(car.clone(), cdr.clone())?;
-                    self.release_value(&car);
-                    self.release_value(&cdr);
-                    self.stack.push(VmValue::List(r));
-                }
-                Inst::RplacaOp => {
-                    self.stats.list_ops += 1;
-                    let v = self.pop()?;
-                    let target = self.pop()?;
-                    match &target {
-                        VmValue::List(r) => self.backend.rplaca(r, v.clone())?,
-                        _ => return Err(VmError::TypeError("rplaca")),
-                    }
-                    self.release_value(&v);
-                    self.stack.push(target);
-                }
-                Inst::RplacdOp => {
-                    self.stats.list_ops += 1;
-                    let v = self.pop()?;
-                    let target = self.pop()?;
-                    match &target {
-                        VmValue::List(r) => self.backend.rplacd(r, v.clone())?,
-                        _ => return Err(VmError::TypeError("rplacd")),
-                    }
-                    self.release_value(&v);
-                    self.stack.push(target);
-                }
-                Inst::RdList => {
-                    let e = self.input.pop_front().ok_or(VmError::ReadEof)?;
-                    let v = self.backend.read_in(&e)?;
-                    self.stack.push(v);
-                }
-                Inst::WrList => {
-                    let v = self.peek()?.clone();
-                    let e = self.backend.write_out(&v);
-                    self.output.push(e);
-                }
+                Inst::Brf(a) => self.do_brf(a, &mut pc)?,
+                Inst::Brt(a) => self.do_brt(a, &mut pc)?,
+                Inst::BrNeq(a) => self.do_brneq(a, &mut pc)?,
+                Inst::AddOp => self.do_add()?,
+                Inst::SubOp => self.do_sub()?,
+                Inst::MulOp => self.do_mul()?,
+                Inst::DivOp => self.do_div()?,
+                Inst::RemOp => self.do_rem()?,
+                Inst::EqualP => self.do_equalp()?,
+                Inst::EqP => self.do_eqp()?,
+                Inst::GreaterP => self.do_greaterp()?,
+                Inst::LessP => self.do_lessp()?,
+                Inst::AtomP => self.do_atomp()?,
+                Inst::NullP => self.do_nullp()?,
+                Inst::CarOp => self.do_car()?,
+                Inst::CdrOp => self.do_cdr()?,
+                Inst::ConsOp => self.do_cons()?,
+                Inst::RplacaOp => self.do_rplaca()?,
+                Inst::RplacdOp => self.do_rplacd()?,
+                Inst::RdList => self.do_rdlist()?,
+                Inst::WrList => self.do_wrlist()?,
                 Inst::FCall(name, _nargs) => {
                     let fi = self
                         .program
@@ -598,37 +464,753 @@ impl<B: ListBackend> Vm<B> {
                         .get(&name)
                         .copied()
                         .ok_or_else(|| VmError::NoSuchFunction(format!("#{}", name.0)))?;
-                    self.stats.fn_calls += 1;
-                    self.frames.push(Frame {
-                        ret_pc: pc,
-                        bind_mark: self.bindings.len(),
-                        op_mark: self.stack.len().saturating_sub(fi.arity as usize),
-                    });
-                    self.stats.max_depth = self.stats.max_depth.max(self.frames.len());
-                    pc = fi.entry;
+                    self.do_call(fi.entry, fi.arity, &mut pc);
                 }
                 Inst::FRetN => {
-                    let ret = self.pop()?;
-                    let Some(frame) = self.frames.pop() else {
+                    if let Some(ret) = self.do_fretn(&mut pc)? {
                         // `return` at top level (outside any call): the
                         // program's final value.
                         return Ok(ret);
-                    };
-                    // Unbind this call's bindings, releasing list refs
-                    // (the burst of decrement traffic of §5.3.3).
-                    while self.bindings.len() > frame.bind_mark {
-                        let (_, v) = self.bindings.pop().expect("marked binding");
-                        self.release_value(&v);
                     }
-                    while self.stack.len() > frame.op_mark {
-                        let v = self.stack.pop().expect("marked operand");
-                        self.release_value(&v);
-                    }
-                    self.stack.push(ret);
-                    pc = frame.ret_pc;
                 }
             }
         }
+    }
+
+    /// Run with threaded dispatch: on first use the program is decoded
+    /// into a dense array of handler-fn entries with operands resolved
+    /// (branch targets absolute, `FCall` targets looked up once), then
+    /// the loop is an indexed load and an indirect call per step — no
+    /// per-step operand decoding or function-table hashing.
+    pub fn run_threaded(&mut self) -> Result<VmValue<B::Ref>, VmError> {
+        let ops = match &self.decoded {
+            Some(ops) => Arc::clone(ops),
+            None => {
+                let ops: Arc<[DecodedOp<B>]> = self
+                    .program
+                    .code
+                    .iter()
+                    .map(|&inst| Self::decode_inst(inst, &self.program))
+                    .collect();
+                self.decoded = Some(Arc::clone(&ops));
+                ops
+            }
+        };
+        // Everything bound before this run (globals from earlier
+        // requests, including persisted top-level prog locals) sits
+        // below the entry block's own slot space.
+        self.entry_base = self.bindings.len();
+        let mut pc = self.program.entry;
+        loop {
+            if self.budget == 0 {
+                return Err(VmError::StepBudget);
+            }
+            self.budget -= 1;
+            self.stats.instructions += 1;
+            let op = &ops[pc];
+            pc += 1;
+            match (op.handler)(self, op, &mut pc)? {
+                Step::Next => {}
+                Step::Done(v) => return Ok(v),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Threaded-dispatch decode and handlers
+    // -----------------------------------------------------------------
+
+    fn decode_inst(inst: Inst, program: &Program) -> DecodedOp<B> {
+        let mut op = DecodedOp {
+            handler: Self::th_halt as Handler<B>,
+            addr: 0,
+            num: 0,
+            sym: Symbol(0),
+            n: 0,
+        };
+        match inst {
+            Inst::Halt => op.handler = Self::th_halt,
+            Inst::BindN(s) => (op.handler, op.sym) = (Self::th_bindn, s),
+            Inst::BindNil(s) => (op.handler, op.sym) = (Self::th_bindnil, s),
+            Inst::PushStk(k) => (op.handler, op.n) = (Self::th_pushstk, k),
+            Inst::PushName(s) => (op.handler, op.sym) = (Self::th_pushname, s),
+            Inst::PushInt(i) => (op.handler, op.num) = (Self::th_pushint, i),
+            Inst::PushSym(s) => (op.handler, op.sym) = (Self::th_pushsym, s),
+            Inst::PushNil => op.handler = Self::th_pushnil,
+            Inst::PushConst(k) => (op.handler, op.n) = (Self::th_pushconst, k),
+            Inst::Pop => op.handler = Self::th_pop,
+            Inst::Dup => op.handler = Self::th_dup,
+            Inst::SetStk(k) => (op.handler, op.n) = (Self::th_setstk, k),
+            Inst::SetName(s) => (op.handler, op.sym) = (Self::th_setname, s),
+            Inst::Jmp(a) => (op.handler, op.addr) = (Self::th_jmp, a),
+            Inst::Brf(a) => (op.handler, op.addr) = (Self::th_brf, a),
+            Inst::Brt(a) => (op.handler, op.addr) = (Self::th_brt, a),
+            Inst::BrNeq(a) => (op.handler, op.addr) = (Self::th_brneq, a),
+            Inst::AddOp => op.handler = Self::th_add,
+            Inst::SubOp => op.handler = Self::th_sub,
+            Inst::MulOp => op.handler = Self::th_mul,
+            Inst::DivOp => op.handler = Self::th_div,
+            Inst::RemOp => op.handler = Self::th_rem,
+            Inst::EqualP => op.handler = Self::th_equalp,
+            Inst::EqP => op.handler = Self::th_eqp,
+            Inst::GreaterP => op.handler = Self::th_greaterp,
+            Inst::LessP => op.handler = Self::th_lessp,
+            Inst::AtomP => op.handler = Self::th_atomp,
+            Inst::NullP => op.handler = Self::th_nullp,
+            Inst::CarOp => op.handler = Self::th_car,
+            Inst::CdrOp => op.handler = Self::th_cdr,
+            Inst::ConsOp => op.handler = Self::th_cons,
+            Inst::RplacaOp => op.handler = Self::th_rplaca,
+            Inst::RplacdOp => op.handler = Self::th_rplacd,
+            Inst::RdList => op.handler = Self::th_rdlist,
+            Inst::WrList => op.handler = Self::th_wrlist,
+            Inst::FCall(name, _nargs) => match program.functions.get(&name) {
+                // The hash lookup the reference loop pays per call
+                // happens once, here. A call to an undefined function
+                // must still fail at *execution* time (the call site may
+                // be dead code), so it decodes to an erroring handler.
+                Some(fi) => {
+                    (op.handler, op.addr, op.n) = (Self::th_call, fi.entry, u16::from(fi.arity))
+                }
+                None => (op.handler, op.sym) = (Self::th_call_missing, name),
+            },
+            Inst::FRetN => op.handler = Self::th_fretn,
+        }
+        op
+    }
+
+    fn th_halt(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        Ok(Step::Done(vm.stack.pop().unwrap_or(VmValue::Nil)))
+    }
+
+    fn th_bindn(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_bindn(op.sym)?;
+        Ok(Step::Next)
+    }
+
+    fn th_bindnil(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_bindnil(op.sym);
+        Ok(Step::Next)
+    }
+
+    fn th_pushstk(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_pushstk(op.n)?;
+        Ok(Step::Next)
+    }
+
+    fn th_pushname(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_pushname(op.sym)?;
+        Ok(Step::Next)
+    }
+
+    fn th_pushint(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.stack.push(VmValue::Int(op.num));
+        Ok(Step::Next)
+    }
+
+    fn th_pushsym(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.stack.push(VmValue::Sym(op.sym));
+        Ok(Step::Next)
+    }
+
+    fn th_pushnil(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.stack.push(VmValue::Nil);
+        Ok(Step::Next)
+    }
+
+    fn th_pushconst(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_pushconst(op.n)?;
+        Ok(Step::Next)
+    }
+
+    fn th_pop(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_pop_discard()?;
+        Ok(Step::Next)
+    }
+
+    fn th_dup(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_dup()?;
+        Ok(Step::Next)
+    }
+
+    fn th_setstk(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_setstk(op.n)?;
+        Ok(Step::Next)
+    }
+
+    fn th_setname(
+        vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_setname(op.sym)?;
+        Ok(Step::Next)
+    }
+
+    fn th_jmp(vm: &mut Self, op: &DecodedOp<B>, pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        let _ = vm;
+        *pc = op.addr;
+        Ok(Step::Next)
+    }
+
+    fn th_brf(vm: &mut Self, op: &DecodedOp<B>, pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_brf(op.addr, pc)?;
+        Ok(Step::Next)
+    }
+
+    fn th_brt(vm: &mut Self, op: &DecodedOp<B>, pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_brt(op.addr, pc)?;
+        Ok(Step::Next)
+    }
+
+    fn th_brneq(vm: &mut Self, op: &DecodedOp<B>, pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_brneq(op.addr, pc)?;
+        Ok(Step::Next)
+    }
+
+    fn th_add(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_add()?;
+        Ok(Step::Next)
+    }
+
+    fn th_sub(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_sub()?;
+        Ok(Step::Next)
+    }
+
+    fn th_mul(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_mul()?;
+        Ok(Step::Next)
+    }
+
+    fn th_div(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_div()?;
+        Ok(Step::Next)
+    }
+
+    fn th_rem(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_rem()?;
+        Ok(Step::Next)
+    }
+
+    fn th_equalp(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_equalp()?;
+        Ok(Step::Next)
+    }
+
+    fn th_eqp(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_eqp()?;
+        Ok(Step::Next)
+    }
+
+    fn th_greaterp(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_greaterp()?;
+        Ok(Step::Next)
+    }
+
+    fn th_lessp(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_lessp()?;
+        Ok(Step::Next)
+    }
+
+    fn th_atomp(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_atomp()?;
+        Ok(Step::Next)
+    }
+
+    fn th_nullp(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_nullp()?;
+        Ok(Step::Next)
+    }
+
+    fn th_car(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_car()?;
+        Ok(Step::Next)
+    }
+
+    fn th_cdr(vm: &mut Self, _op: &DecodedOp<B>, _pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_cdr()?;
+        Ok(Step::Next)
+    }
+
+    fn th_cons(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_cons()?;
+        Ok(Step::Next)
+    }
+
+    fn th_rplaca(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_rplaca()?;
+        Ok(Step::Next)
+    }
+
+    fn th_rplacd(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_rplacd()?;
+        Ok(Step::Next)
+    }
+
+    fn th_rdlist(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_rdlist()?;
+        Ok(Step::Next)
+    }
+
+    fn th_wrlist(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        vm.do_wrlist()?;
+        Ok(Step::Next)
+    }
+
+    fn th_call(vm: &mut Self, op: &DecodedOp<B>, pc: &mut usize) -> Result<Step<B::Ref>, VmError> {
+        vm.do_call(op.addr, op.n as u8, pc);
+        Ok(Step::Next)
+    }
+
+    fn th_call_missing(
+        _vm: &mut Self,
+        op: &DecodedOp<B>,
+        _pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        Err(VmError::NoSuchFunction(format!("#{}", op.sym.0)))
+    }
+
+    fn th_fretn(
+        vm: &mut Self,
+        _op: &DecodedOp<B>,
+        pc: &mut usize,
+    ) -> Result<Step<B::Ref>, VmError> {
+        match vm.do_fretn(pc)? {
+            Some(ret) => Ok(Step::Done(ret)),
+            None => Ok(Step::Next),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Per-opcode cores, shared by both dispatch backends
+    // -----------------------------------------------------------------
+
+    #[inline(always)]
+    fn frame_base(&self) -> usize {
+        self.frames.last().map_or(self.entry_base, |f| f.bind_mark)
+    }
+
+    #[inline(always)]
+    fn do_bindn(&mut self, sym: Symbol) -> Result<(), VmError> {
+        // The binding inherits the operand-stack reference.
+        let v = self.pop()?;
+        self.bindings.push((sym, v));
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_bindnil(&mut self, sym: Symbol) {
+        self.bindings.push((sym, VmValue::Nil));
+    }
+
+    #[inline(always)]
+    fn do_pushstk(&mut self, k: u16) -> Result<(), VmError> {
+        let base = self.frame_base();
+        let v = self
+            .bindings
+            .get(base + k as usize)
+            .ok_or(VmError::StackUnderflow)?
+            .1
+            .clone();
+        self.retain_value(&v);
+        self.stack.push(v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_pushname(&mut self, sym: Symbol) -> Result<(), VmError> {
+        self.stats.name_searches += 1;
+        let v = self
+            .bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == sym)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| VmError::Unbound(format!("#{}", sym.0)))?;
+        self.retain_value(&v);
+        self.stack.push(v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_pushconst(&mut self, k: u16) -> Result<(), VmError> {
+        let e = self.program.constants[k as usize].clone();
+        let v = self.backend.read_in(&e)?;
+        self.stack.push(v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_pop_discard(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        self.release_value(&v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_dup(&mut self) -> Result<(), VmError> {
+        let v = self.peek()?.clone();
+        self.retain_value(&v);
+        self.stack.push(v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_setstk(&mut self, k: u16) -> Result<(), VmError> {
+        let v = self.peek()?.clone();
+        self.retain_value(&v);
+        let base = self.frame_base();
+        let slot = self
+            .bindings
+            .get_mut(base + k as usize)
+            .ok_or(VmError::StackUnderflow)?;
+        let old = std::mem::replace(&mut slot.1, v);
+        self.release_value(&old);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_setname(&mut self, sym: Symbol) -> Result<(), VmError> {
+        self.stats.name_searches += 1;
+        let v = self.peek()?.clone();
+        self.retain_value(&v);
+        match self.bindings.iter_mut().rev().find(|(n, _)| *n == sym) {
+            Some(slot) => {
+                let old = std::mem::replace(&mut slot.1, v);
+                self.release_value(&old);
+            }
+            None => {
+                // Unbound setq creates a global binding below
+                // every frame.
+                self.bindings.insert(0, (sym, v));
+                self.entry_base += 1;
+                for f in &mut self.frames {
+                    f.bind_mark += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_brf(&mut self, a: CodeAddr, pc: &mut usize) -> Result<(), VmError> {
+        let v = self.pop()?;
+        self.release_value(&v);
+        if !v.is_true() {
+            *pc = a;
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_brt(&mut self, a: CodeAddr, pc: &mut usize) -> Result<(), VmError> {
+        let v = self.pop()?;
+        self.release_value(&v);
+        if v.is_true() {
+            *pc = a;
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_brneq(&mut self, a: CodeAddr, pc: &mut usize) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let x = self.pop()?;
+        let eq = self.backend.equal(&x, &b);
+        self.release_value(&b);
+        self.release_value(&x);
+        if !eq {
+            *pc = a;
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_add(&mut self) -> Result<(), VmError> {
+        self.arith(|x, y| Ok(x.wrapping_add(y)))
+    }
+
+    #[inline(always)]
+    fn do_sub(&mut self) -> Result<(), VmError> {
+        self.arith(|x, y| Ok(x.wrapping_sub(y)))
+    }
+
+    #[inline(always)]
+    fn do_mul(&mut self) -> Result<(), VmError> {
+        self.arith(|x, y| Ok(x.wrapping_mul(y)))
+    }
+
+    #[inline(always)]
+    fn do_div(&mut self) -> Result<(), VmError> {
+        self.arith(|x, y| {
+            if y == 0 {
+                Err(VmError::DivideByZero)
+            } else {
+                Ok(x / y)
+            }
+        })
+    }
+
+    #[inline(always)]
+    fn do_rem(&mut self) -> Result<(), VmError> {
+        self.arith(|x, y| {
+            if y == 0 {
+                Err(VmError::DivideByZero)
+            } else {
+                Ok(x % y)
+            }
+        })
+    }
+
+    #[inline(always)]
+    fn do_equalp(&mut self) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let eq = self.backend.equal(&a, &b);
+        self.release_value(&a);
+        self.release_value(&b);
+        self.push_bool(eq);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_eqp(&mut self) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let eq = a == b;
+        self.release_value(&a);
+        self.release_value(&b);
+        self.push_bool(eq);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_greaterp(&mut self) -> Result<(), VmError> {
+        let (x, y) = self.two_ints()?;
+        self.push_bool(x > y);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_lessp(&mut self) -> Result<(), VmError> {
+        let (x, y) = self.two_ints()?;
+        self.push_bool(x < y);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_atomp(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        self.release_value(&v);
+        self.push_bool(v.is_atom());
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_nullp(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        self.release_value(&v);
+        self.push_bool(!v.is_true());
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_car(&mut self) -> Result<(), VmError> {
+        self.stats.list_ops += 1;
+        let v = self.pop()?;
+        let out = match &v {
+            VmValue::List(r) => self.backend.car(r)?,
+            VmValue::Nil => VmValue::Nil,
+            _ => return Err(VmError::TypeError("car")),
+        };
+        self.release_value(&v);
+        self.stack.push(out);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_cdr(&mut self) -> Result<(), VmError> {
+        self.stats.list_ops += 1;
+        let v = self.pop()?;
+        let out = match &v {
+            VmValue::List(r) => self.backend.cdr(r)?,
+            VmValue::Nil => VmValue::Nil,
+            _ => return Err(VmError::TypeError("cdr")),
+        };
+        self.release_value(&v);
+        self.stack.push(out);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_cons(&mut self) -> Result<(), VmError> {
+        self.stats.list_ops += 1;
+        let cdr = self.pop()?;
+        let car = self.pop()?;
+        let r = self.backend.cons(car.clone(), cdr.clone())?;
+        self.release_value(&car);
+        self.release_value(&cdr);
+        self.stack.push(VmValue::List(r));
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_rplaca(&mut self) -> Result<(), VmError> {
+        self.stats.list_ops += 1;
+        let v = self.pop()?;
+        let target = self.pop()?;
+        match &target {
+            VmValue::List(r) => self.backend.rplaca(r, v.clone())?,
+            _ => return Err(VmError::TypeError("rplaca")),
+        }
+        self.release_value(&v);
+        self.stack.push(target);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_rplacd(&mut self) -> Result<(), VmError> {
+        self.stats.list_ops += 1;
+        let v = self.pop()?;
+        let target = self.pop()?;
+        match &target {
+            VmValue::List(r) => self.backend.rplacd(r, v.clone())?,
+            _ => return Err(VmError::TypeError("rplacd")),
+        }
+        self.release_value(&v);
+        self.stack.push(target);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_rdlist(&mut self) -> Result<(), VmError> {
+        let e = self.input.pop_front().ok_or(VmError::ReadEof)?;
+        let v = self.backend.read_in(&e)?;
+        self.stack.push(v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_wrlist(&mut self) -> Result<(), VmError> {
+        let v = self.peek()?.clone();
+        let e = self.backend.write_out(&v);
+        self.output.push(e);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn do_call(&mut self, entry: CodeAddr, arity: u8, pc: &mut usize) {
+        self.stats.fn_calls += 1;
+        self.frames.push(Frame {
+            ret_pc: *pc,
+            bind_mark: self.bindings.len(),
+            op_mark: self.stack.len().saturating_sub(arity as usize),
+        });
+        self.stats.max_depth = self.stats.max_depth.max(self.frames.len());
+        *pc = entry;
+    }
+
+    /// Returns `Some(value)` on a top-level `return` (outside any call).
+    #[inline(always)]
+    fn do_fretn(&mut self, pc: &mut usize) -> Result<Option<VmValue<B::Ref>>, VmError> {
+        let ret = self.pop()?;
+        let Some(frame) = self.frames.pop() else {
+            return Ok(Some(ret));
+        };
+        // Unbind this call's bindings, releasing list refs
+        // (the burst of decrement traffic of §5.3.3).
+        while self.bindings.len() > frame.bind_mark {
+            let (_, v) = self.bindings.pop().expect("marked binding");
+            self.release_value(&v);
+        }
+        while self.stack.len() > frame.op_mark {
+            let v = self.stack.pop().expect("marked operand");
+            self.release_value(&v);
+        }
+        self.stack.push(ret);
+        *pc = frame.ret_pc;
+        Ok(None)
     }
 
     fn pop(&mut self) -> Result<VmValue<B::Ref>, VmError> {
@@ -638,6 +1220,13 @@ impl<B: ListBackend> Vm<B> {
     fn release_value(&mut self, v: &VmValue<B::Ref>) {
         if let VmValue::List(r) = v {
             self.backend.release(r);
+        }
+    }
+
+    #[inline(always)]
+    fn retain_value(&mut self, v: &VmValue<B::Ref>) {
+        if let VmValue::List(r) = v {
+            self.backend.retain(r);
         }
     }
 

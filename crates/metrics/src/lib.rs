@@ -153,18 +153,24 @@ impl Histogram {
 
     /// Lower bound of the bucket containing the `q`-quantile sample.
     ///
-    /// `q` is clamped to `[0, 1]` and mapped to the `max(1, ⌈q·count⌉)`-th
-    /// sample in sorted order, so the edges are defined: `quantile(0.0)`
-    /// is the minimum sample's bucket bound, `quantile(1.0)` the maximum
-    /// sample's. An empty histogram reports 0 for every `q`. Because the
-    /// answer depends only on the bucket array and the count, it is
-    /// invariant under recording order and under any sequence of
+    /// `q` is clamped to `[0, 1]` and mapped to the
+    /// `min(count, ⌊q·count⌋+1)`-th sample in sorted order — the
+    /// *exclusive* nearest rank, which resolves an exact boundary to
+    /// the sample *above* it. (The previous inclusive rank `⌈q·count⌉`
+    /// resolved boundaries downward, so a histogram with half its
+    /// samples at 0 reported `quantile(0.5) == 0` no matter how large
+    /// the upper half was — the soak trajectory's `eval_p50_cycles: 0`
+    /// bug.) The edges stay exact: `quantile(0.0)` is the minimum
+    /// sample's bucket bound, `quantile(1.0)` the maximum sample's. An
+    /// empty histogram reports 0 for every `q`. Because the answer
+    /// depends only on the bucket array and the count, it is invariant
+    /// under recording order and under any sequence of
     /// [`Histogram::merge`] calls producing the same sample multiset.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).floor() as u64 + 1).min(self.count);
         let mut seen = 0u64;
         for (k, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -398,6 +404,15 @@ pub trait EventSink {
     /// overflow still consumed its timing-class cycles).
     #[inline(always)]
     fn op_end(&mut self, _class: OpClass) {}
+
+    /// A wall-clock-only accelerator (the LPT inline field cache)
+    /// probed its fast path. Strictly host-side telemetry: probes are
+    /// **not** [`Event`]s, advance no virtual clock, and appear in no
+    /// deterministic counter — the modeled machine behaves identically
+    /// whether the accelerator is on or off, so default sinks ignore
+    /// them at zero cost.
+    #[inline(always)]
+    fn cache_probe(&mut self, _hit: bool) {}
 }
 
 /// The default sink: discards every event. With this sink the compiler
@@ -722,6 +737,11 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn op_end(&mut self, class: OpClass) {
         (**self).op_end(class);
     }
+
+    #[inline]
+    fn cache_probe(&mut self, hit: bool) {
+        (**self).cache_probe(hit);
+    }
 }
 
 /// Tee: a pair of sinks both observe the same stream (e.g. a
@@ -743,6 +763,12 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
     fn op_end(&mut self, class: OpClass) {
         self.0.op_end(class);
         self.1.op_end(class);
+    }
+
+    #[inline]
+    fn cache_probe(&mut self, hit: bool) {
+        self.0.cache_probe(hit);
+        self.1.cache_probe(hit);
     }
 }
 
@@ -918,6 +944,31 @@ mod tests {
         other.record(7);
         h.merge(&other);
         assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn median_of_half_zero_half_large_is_the_upper_half() {
+        // The `eval_p50_cycles: 0` soak bug: with exactly half the
+        // samples at 0, the inclusive rank ⌈0.5·count⌉ landed on the
+        // last zero, reporting p50 = 0 against a p99 of 64. The
+        // exclusive rank ⌊0.5·count⌋+1 resolves the boundary upward.
+        let mut h = Histogram::new();
+        for _ in 0..8 {
+            h.record(0);
+        }
+        for _ in 0..8 {
+            h.record(64);
+        }
+        assert_eq!(h.quantile(0.5), 64, "p50 must be the upper half");
+        assert_eq!(h.quantile(0.99), 64);
+        // Just below the boundary still resolves to the zeros; the
+        // exact endpoints stay pinned to min and max.
+        assert_eq!(h.quantile(0.49), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 64);
+        // A strict zero-majority median is still legitimately 0.
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0, "9 zeros of 17 put the median at 0");
     }
 
     #[test]

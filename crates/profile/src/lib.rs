@@ -153,7 +153,10 @@ pub struct SpanSink<const ACTIVE: bool = true> {
     // Monotone placement cursors for the heap and GC tracks.
     heap_cursor: u64,
     gc_cursor: u64,
-    cur: Option<(PrimKind, Vec<Event>)>,
+    cur: Option<PrimKind>,
+    /// Scratch buffer for the open operation's events, reused across
+    /// operations (a per-op `Vec` was measurable on the sweep path).
+    buf: Vec<Event>,
     classes: Vec<OpClass>,
     spans: Vec<Span>,
     attr: [PrimAttribution; PrimKind::ALL.len()],
@@ -190,6 +193,7 @@ impl<const ACTIVE: bool> SpanSink<ACTIVE> {
             heap_cursor: 0,
             gc_cursor: 0,
             cur: None,
+            buf: Vec::new(),
             classes: Vec::new(),
             spans: Vec::new(),
             attr: [PrimAttribution::default(); PrimKind::ALL.len()],
@@ -228,7 +232,7 @@ impl<const ACTIVE: bool> SpanSink<ACTIVE> {
 
     /// Advance the virtual clock over one completed operation — the loop
     /// body of [`TimingModel::run_stream`], verbatim.
-    fn close_op(&mut self, prim: PrimKind, class: OpClass, events: Vec<Event>) {
+    fn close_op(&mut self, prim: PrimKind, class: OpClass, events: &[Event]) {
         self.classes.push(class);
         let t = self.model.op(TimedOp::from_class(class));
         let op_start = self.now;
@@ -250,7 +254,7 @@ impl<const ACTIVE: bool> SpanSink<ACTIVE> {
         a.stall += stall;
         a.blocked += t.latency;
         a.lp_tail += t.lp_tail;
-        for e in &events {
+        for e in events {
             a.add_event(e);
         }
 
@@ -301,7 +305,7 @@ impl<const ACTIVE: bool> SpanSink<ACTIVE> {
                 }
             }
         }
-        self.place_episode_spans(&events, service_start, Some(prim));
+        self.place_episode_spans(events, service_start, Some(prim));
     }
 
     /// Heap and reclamation episodes get their own tracks. They are
@@ -360,12 +364,11 @@ impl<const ACTIVE: bool> EventSink for SpanSink<ACTIVE> {
         if !ACTIVE {
             return;
         }
-        match &mut self.cur {
-            Some((_, buf)) => buf.push(event),
-            None => {
-                self.outside.add_event(&event);
-                self.place_episode_spans(&[event], self.now, None);
-            }
+        if self.cur.is_some() {
+            self.buf.push(event);
+        } else {
+            self.outside.add_event(&event);
+            self.place_episode_spans(&[event], self.now, None);
         }
     }
 
@@ -373,15 +376,21 @@ impl<const ACTIVE: bool> EventSink for SpanSink<ACTIVE> {
         if !ACTIVE {
             return;
         }
-        self.cur = Some((prim, Vec::new()));
+        self.cur = Some(prim);
+        self.buf.clear();
     }
 
     fn op_end(&mut self, class: OpClass) {
         if !ACTIVE {
             return;
         }
-        if let Some((prim, events)) = self.cur.take() {
-            self.close_op(prim, class, events);
+        if let Some(prim) = self.cur.take() {
+            // The scratch buffer is moved out for the duration of the
+            // close (borrow discipline) and returned to keep its
+            // allocation warm for the next operation.
+            let events = std::mem::take(&mut self.buf);
+            self.close_op(prim, class, &events);
+            self.buf = events;
         }
     }
 }

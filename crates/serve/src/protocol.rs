@@ -108,7 +108,8 @@ use small_lisp::compiler::CompileError;
 use small_lisp::vm::{BackendError, VmError};
 use small_metrics::EventCounts;
 use small_persist::PersistError;
-use small_sexpr::{parse, print, Interner, ParseError, SExpr};
+use small_sexpr::{parse, print, print_into, Interner, ParseError, SExpr};
+use std::borrow::Cow;
 use std::io::{self, Read, Write};
 
 /// Current protocol version, announced in the `(hello …)` handshake.
@@ -187,10 +188,19 @@ impl FrameBuf {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Pop the next complete frame, if one is buffered. An oversized
-    /// length announcement or non-UTF-8 payload is a protocol error —
-    /// the connection should be dropped.
+    /// Pop the next complete frame, if one is buffered, as an owned
+    /// `String`. An oversized length announcement or non-UTF-8 payload
+    /// is a protocol error — the connection should be dropped.
     pub fn pop(&mut self) -> io::Result<Option<String>> {
+        Ok(self.pop_ref()?.map(str::to_string))
+    }
+
+    /// Pop the next complete frame *borrowed straight from the receive
+    /// buffer* — the zero-copy variant of [`FrameBuf::pop`]. The text
+    /// stays valid until the next call that touches the buffer; decode
+    /// it (or copy it out) before feeding more bytes. Error conditions
+    /// are identical to [`FrameBuf::pop`].
+    pub fn pop_ref(&mut self) -> io::Result<Option<&str>> {
         if self.buf.len() - self.at < 4 {
             self.compact();
             return Ok(None);
@@ -208,8 +218,7 @@ impl FrameBuf {
         }
         let start = self.at + 4;
         let text = std::str::from_utf8(&self.buf[start..start + len])
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?
-            .to_string();
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
         self.at = start + len;
         Ok(Some(text))
     }
@@ -232,11 +241,15 @@ impl FrameBuf {
 // ---------------------------------------------------------------------
 
 /// Encode bytes as the `h<hex>` symbol used by `(ok frames …)`.
+/// Payloads run up to [`MAX_FRAME`], so the digits are pushed directly
+/// rather than through a per-byte `format!`.
 pub fn hex_sym(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(1 + bytes.len() * 2);
     s.push('h');
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
+    for &b in bytes {
+        s.push(DIGITS[(b >> 4) as usize] as char);
+        s.push(DIGITS[(b & 0xf) as usize] as char);
     }
     s
 }
@@ -380,6 +393,20 @@ pub enum Request {
     },
 }
 
+/// Re-print payload forms, space-joined, into one buffer — the
+/// session compiles canonical text with its own interner. One
+/// allocation regardless of form count.
+fn join_forms(forms: &[&SExpr], interner: &Interner) -> String {
+    let mut src = String::new();
+    for (k, f) in forms.iter().enumerate() {
+        if k > 0 {
+            src.push(' ');
+        }
+        print_into(&mut src, f, interner);
+    }
+    src
+}
+
 impl Request {
     /// Canonical wire text of the request.
     pub fn encode(&self) -> String {
@@ -446,28 +473,20 @@ impl Request {
             },
             "eval" if items.len() >= 3 => {
                 let Some(id) = uint(1) else { return bad() };
-                // Re-print the payload forms so the session compiles
-                // canonical text with its own interner.
-                let src = items[2..]
-                    .iter()
-                    .map(|f| print(f, &scratch))
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                Ok(Request::Eval { id, seq: None, src })
+                Ok(Request::Eval {
+                    id,
+                    seq: None,
+                    src: join_forms(&items[2..], &scratch),
+                })
             }
             "seval" if items.len() >= 4 => {
                 let (Some(id), Some(seq)) = (uint(1), uint(2)) else {
                     return bad();
                 };
-                let src = items[3..]
-                    .iter()
-                    .map(|f| print(f, &scratch))
-                    .collect::<Vec<_>>()
-                    .join(" ");
                 Ok(Request::Eval {
                     id,
                     seq: Some(seq),
-                    src,
+                    src: join_forms(&items[3..], &scratch),
                 })
             }
             "ledger" if items.len() == 2 => match uint(1) {
@@ -585,11 +604,17 @@ pub enum Reply {
         bytes: Vec<u8>,
     },
     /// `(err <class> <code> <atom>...)`.
+    ///
+    /// Class and code are `Cow`s: the typed error constructors below
+    /// borrow their `'static` vocabulary (no allocation on the error
+    /// path), while [`Reply::decode`] owns what it read off the wire.
+    /// `Cow`'s `PartialEq` compares contents, so the two origins are
+    /// interchangeable.
     Err {
         /// Failing layer (`proto`, `busy`, `vm`, …).
-        class: String,
+        class: Cow<'static, str>,
         /// Kebab-case variant code.
-        code: String,
+        code: Cow<'static, str>,
         /// Extra atoms (each printed as one token).
         detail: Vec<String>,
     },
@@ -826,8 +851,8 @@ impl Reply {
                 }
             }
             "err" if items.len() >= 3 => {
-                let class = scratch.name(items[1].as_sym()?).to_string();
-                let code = scratch.name(items[2].as_sym()?).to_string();
+                let class = Cow::Owned(scratch.name(items[1].as_sym()?).to_string());
+                let code = Cow::Owned(scratch.name(items[2].as_sym()?).to_string());
                 let detail = items[3..]
                     .iter()
                     .map(|e| print(e, &scratch))
@@ -852,20 +877,21 @@ impl Reply {
 // Typed error-reply constructors
 // ---------------------------------------------------------------------
 
-/// Build an `(err <class> <code>)` reply.
-pub fn err(class: &str, code: &str) -> Reply {
+/// Build an `(err <class> <code>)` reply. The class/code vocabulary is
+/// `'static`, so no allocation happens until the reply is encoded.
+pub fn err(class: &'static str, code: &'static str) -> Reply {
     Reply::Err {
-        class: class.to_string(),
-        code: code.to_string(),
+        class: Cow::Borrowed(class),
+        code: Cow::Borrowed(code),
         detail: Vec::new(),
     }
 }
 
 /// An `(err <class> <code> <detail>...)` reply with extra atoms.
-pub fn err_with(class: &str, code: &str, detail: &[&str]) -> Reply {
+pub fn err_with(class: &'static str, code: &'static str, detail: &[&str]) -> Reply {
     Reply::Err {
-        class: class.to_string(),
-        code: code.to_string(),
+        class: Cow::Borrowed(class),
+        code: Cow::Borrowed(code),
         detail: detail.iter().map(|d| d.to_string()).collect(),
     }
 }
@@ -1050,6 +1076,43 @@ mod tests {
         assert_eq!(parse_hex_sym("habc"), None, "odd digit count");
         assert_eq!(parse_hex_sym("xff"), None, "bad prefix");
         assert_eq!(parse_hex_sym("hAB"), None, "uppercase is non-canonical");
+    }
+
+    #[test]
+    fn borrowed_pop_at_every_split_boundary() {
+        // One frame with a binary hex-armored payload, torn at every
+        // possible byte boundary (through the length prefix and
+        // through the payload): the borrowed pop never yields early,
+        // never yields torn text, and the completed frame decodes to
+        // the original reply.
+        let reply = Reply::Frames {
+            next: 7,
+            bytes: (0u8..=63).collect(),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &reply.encode()).unwrap();
+        for cut in 0..=wire.len() {
+            let mut fb = FrameBuf::new();
+            fb.extend(&wire[..cut]);
+            let early = fb.pop_ref().unwrap().map(str::to_string);
+            assert_eq!(
+                early.is_some(),
+                cut == wire.len(),
+                "pop at cut {cut}/{}",
+                wire.len()
+            );
+            if cut < wire.len() {
+                assert_eq!(fb.has_partial(), cut > 0, "partial at cut {cut}");
+                fb.extend(&wire[cut..]);
+            }
+            let text = match early {
+                Some(t) => t,
+                None => fb.pop_ref().unwrap().expect("frame complete").to_string(),
+            };
+            assert_eq!(Reply::decode(&text).as_ref(), Some(&reply));
+            assert!(!fb.has_partial());
+            assert_eq!(fb.pop_ref().unwrap(), None);
+        }
     }
 
     #[test]
@@ -1254,8 +1317,8 @@ mod tests {
                 )
             )
                 .prop_map(|(class, code, detail)| Reply::Err {
-                    class: class.to_string(),
-                    code: code.to_string(),
+                    class: Cow::Borrowed(class),
+                    code: Cow::Borrowed(code),
                     detail,
                 }),
         ]
@@ -1312,6 +1375,47 @@ mod tests {
             }
             prop_assert_eq!(seen, expected);
             prop_assert!(!fb.has_partial());
+        }
+
+        /// The borrowed pop ([`FrameBuf::pop_ref`]) yields exactly the
+        /// frames the owned pop does under any chunking, over the full
+        /// reply grammar — including the hex-armored metrics and WAL
+        /// payloads — and each borrowed frame decodes back to the
+        /// reply that produced it.
+        #[test]
+        fn borrowed_pop_equals_owned_pop(
+            replies in prop::collection::vec(arb_reply(), 1..6),
+            splits in prop::collection::vec(1usize..17, 1..64),
+        ) {
+            let mut wire = Vec::new();
+            for r in &replies {
+                write_frame(&mut wire, &r.encode()).unwrap();
+            }
+            let mut owned = FrameBuf::new();
+            let mut borrowed = FrameBuf::new();
+            let mut seen_owned = Vec::new();
+            let mut seen_borrowed = Vec::new();
+            let mut at = 0;
+            let mut turn = 0;
+            while at < wire.len() {
+                let end = (at + splits[turn % splits.len()]).min(wire.len());
+                turn += 1;
+                owned.extend(&wire[at..end]);
+                borrowed.extend(&wire[at..end]);
+                at = end;
+                while let Some(f) = owned.pop().unwrap() {
+                    seen_owned.push(f);
+                }
+                while let Some(f) = borrowed.pop_ref().unwrap() {
+                    seen_borrowed.push(f.to_string());
+                }
+            }
+            prop_assert_eq!(&seen_owned, &seen_borrowed);
+            prop_assert!(!borrowed.has_partial());
+            prop_assert_eq!(seen_borrowed.len(), replies.len());
+            for (f, r) in seen_borrowed.iter().zip(replies.iter()) {
+                prop_assert_eq!(Reply::decode(f).as_ref(), Some(r), "{}", f);
+            }
         }
 
         /// An oversized length prefix is refused the moment the 4

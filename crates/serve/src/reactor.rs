@@ -18,7 +18,7 @@
 //! portability; the structural properties (bounded queues, pinned
 //! sessions, ordered replies) are what this PR is about.
 
-use crate::protocol::{FrameBuf, Reply, Role};
+use crate::protocol::{FrameBuf, Reply, Request, Role};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -127,13 +127,11 @@ impl Conn {
         })
     }
 
-    /// Drain everything currently readable into complete frames.
-    /// Protocol damage (oversized frame, non-UTF-8, torn EOF) marks
-    /// the connection dead.
-    pub fn read_frames(&mut self) -> Vec<String> {
-        let mut out = Vec::new();
+    /// Read the socket dry into the frame buffer. EOF mid-frame or an
+    /// I/O error marks the connection dead.
+    pub fn fill(&mut self) {
         if self.dead || self.eof {
-            return out;
+            return;
         }
         let mut buf = [0u8; 4096];
         loop {
@@ -154,6 +152,33 @@ impl Conn {
                 }
             }
         }
+    }
+
+    /// Pop and decode the next buffered request without materializing
+    /// the frame text: the bytes are borrowed straight from the
+    /// receive buffer and only the typed [`Request`] (or the typed
+    /// error [`Reply`] to send back) is owned. Protocol damage
+    /// (oversized frame, non-UTF-8) marks the connection dead and ends
+    /// the stream. Call [`Conn::fill`] first.
+    pub fn next_request(&mut self) -> Option<Result<Request, Reply>> {
+        match self.frames.pop_ref() {
+            Ok(Some(text)) => Some(Request::decode(text)),
+            Ok(None) => None,
+            Err(_) => {
+                self.dead = true;
+                None
+            }
+        }
+    }
+
+    /// Drain everything currently readable into complete owned frames.
+    /// Protocol damage (oversized frame, non-UTF-8, torn EOF) marks
+    /// the connection dead. The shard loops use the allocation-free
+    /// [`Conn::fill`] + [`Conn::next_request`] pair instead; this
+    /// remains for callers that want the raw text.
+    pub fn read_frames(&mut self) -> Vec<String> {
+        self.fill();
+        let mut out = Vec::new();
         loop {
             match self.frames.pop() {
                 Ok(Some(text)) => out.push(text),

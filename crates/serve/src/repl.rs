@@ -585,9 +585,9 @@ fn relay_conn(core: &Arc<Mutex<RelayCore>>, stop: &Arc<AtomicBool>, stream: TcpS
     let mut replica = false;
     loop {
         loop {
-            match fb.pop() {
+            match fb.pop_ref() {
                 Ok(Some(text)) => {
-                    let reply = relay_reply(core, &text, &mut replica);
+                    let reply = relay_reply(core, text, &mut replica);
                     if write_frame(&mut (&stream), &reply.encode()).is_err() {
                         return;
                     }

@@ -28,7 +28,7 @@ use small_core::machine::SmallBackend;
 use small_core::{Id, ListProcessor, LpConfig, LptStats};
 use small_heap::controller::TwoPointerController;
 use small_heap::PersistableController;
-use small_lisp::compiler::{compile_forms, compile_program};
+use small_lisp::compiler::FrontEnd;
 use small_lisp::vm::{ListBackend, Vm, VmValue};
 use small_metrics::EventCounts;
 use small_persist::{
@@ -84,6 +84,10 @@ pub struct Session {
     /// Manager-assigned identifier (stable across suspend/resume).
     pub id: u64,
     interner: Interner,
+    /// Cached compiler name tables (the special-form and primitive
+    /// symbols live in `interner` from birth, so rebuilding these per
+    /// request would only repeat the same lookups).
+    front: FrontEnd,
     vm: Vm<Backend>,
     step_budget: u64,
     /// Requests served so far (evals only).
@@ -98,8 +102,9 @@ pub struct Session {
     replay: Vec<(u64, Reply)>,
 }
 
-fn empty_vm(interner: &mut Interner, backend: Backend) -> Vm<Backend> {
-    let program = compile_program("nil", interner).expect("the empty program compiles");
+fn empty_vm(front: &FrontEnd, interner: &mut Interner, backend: Backend) -> Vm<Backend> {
+    let forms = parse_all("nil", interner).expect("the empty program parses");
+    let program = front.compile(&forms).expect("the empty program compiles");
     Vm::new(program, backend)
 }
 
@@ -107,12 +112,16 @@ impl Session {
     /// A fresh session with an empty machine.
     pub fn new(id: u64, cfg: &ServeConfig) -> Session {
         let mut interner = Interner::new();
+        // Intern the compiler's name tables first — the same id prefix
+        // the per-call front end fixed here historically.
+        let front = FrontEnd::new(&mut interner);
         let backend =
             SmallBackend::with_sink(cfg.heap_cells, cfg.lp_config(), ServeSink::default());
-        let vm = empty_vm(&mut interner, backend);
+        let vm = empty_vm(&front, &mut interner, backend);
         Session {
             id,
             interner,
+            front,
             vm,
             step_budget: cfg.step_budget,
             requests: 0,
@@ -178,7 +187,7 @@ impl Session {
             Ok(f) => f,
             Err(e) => return parse_error_reply(&e),
         };
-        let program = match compile_forms(&forms, &mut self.interner) {
+        let program = match self.front.compile(&forms) {
             Ok(p) => p,
             Err(e) => return compile_error_reply(&e),
         };
@@ -370,11 +379,15 @@ impl Session {
                 backend.resume_retained(*obj);
             }
         }
-        let mut vm = empty_vm(&mut interner, backend);
+        // The name tables were interned at the session's birth, so this
+        // re-resolves existing ids without growing the restored interner.
+        let front = FrontEnd::new(&mut interner);
+        let mut vm = empty_vm(&front, &mut interner, backend);
         vm.restore_globals(globals);
         Ok(Session {
             id,
             interner,
+            front,
             vm,
             step_budget: cfg.step_budget,
             requests,

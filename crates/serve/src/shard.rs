@@ -458,12 +458,19 @@ fn run_queue_jobs(me: usize, store: &mut SessionStore, shared: &SharedState) -> 
     ran
 }
 
-/// Decode-time handling of one frame: answer connection-scoped
+/// Decode-time handling of one decoded frame: answer connection-scoped
 /// requests immediately, route session-scoped ones to their home
-/// shard's bounded queue.
-fn handle_frame(me: usize, text: &str, conn: &mut Conn, shared: &SharedState) {
+/// shard's bounded queue. `decoded` is [`Conn::next_request`]'s output
+/// — the typed request, or the typed error reply a malformed frame
+/// earned.
+fn handle_request(
+    me: usize,
+    decoded: Result<Request, Reply>,
+    conn: &mut Conn,
+    shared: &SharedState,
+) {
     let seq = conn.outbox.alloc();
-    let req = match Request::decode(text) {
+    let req = match decoded {
         Ok(r) => r,
         Err(reply) => {
             conn.outbox.complete(seq, &reply);
@@ -626,16 +633,22 @@ pub fn shard_loop(
                     }
                 }
                 drop(accept_span);
-                // Decode and route everything readable.
+                // Decode and route everything readable. Frames are
+                // decoded borrowed straight out of the receive buffer
+                // ([`Conn::next_request`]) — no per-frame text
+                // allocation on this path.
                 for conn in conns.iter_mut() {
-                    let texts = conn.read_frames();
-                    worked += texts.len();
-                    let decode_span = (!texts.is_empty())
-                        .then(|| shared.trace.as_ref())
-                        .flatten()
-                        .map(|log| log.span(me as u32 + 1, "decode"));
-                    for text in texts {
-                        handle_frame(me, &text, conn, &shared);
+                    conn.fill();
+                    let mut decode_span = None;
+                    while let Some(decoded) = conn.next_request() {
+                        if decode_span.is_none() {
+                            decode_span = shared
+                                .trace
+                                .as_ref()
+                                .map(|log| log.span(me as u32 + 1, "decode"));
+                        }
+                        worked += 1;
+                        handle_request(me, decoded, conn, &shared);
                     }
                     drop(decode_span);
                 }

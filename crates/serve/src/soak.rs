@@ -277,10 +277,44 @@ pub fn twin_telemetry(
         ..*cfg
     });
     for c in 0..clients {
-        let _ = serial_client_run(&mut twin, seed, c as u64, requests);
+        // Same request stream as `serial_client_run`, but nobody reads
+        // the replies here — telemetry is recorded inside `apply` — so
+        // skip the transcript encode.
+        let id = twin.open();
+        for req in client_requests(id, seed, c as u64, requests) {
+            let _ = twin.apply(&req);
+        }
     }
-    run_sweep(&mut |req| Ok(twin.apply(req).encode()), seed, cfg)
-        .expect("serial sweep is infallible");
+    // The eviction sweep, mirroring `run_sweep`'s exact request
+    // sequence (same opens, same round-robin evals, same teardown —
+    // `regress --check` holds the telemetry byte-identical to the
+    // transcripted path), minus the reply encode/decode round-trips
+    // nothing here reads.
+    let fleet = cfg.max_resident + 2;
+    let sweep_seed = seed.wrapping_add(0x5eed);
+    let ids: Vec<u64> = (0..fleet)
+        .map(|_| match twin.apply(&Request::Open { token: None }) {
+            Reply::Opened { id } => id,
+            other => unreachable!("twin open failed: {}", other.encode()),
+        })
+        .collect();
+    let progs: Vec<Vec<String>> = (0..fleet)
+        .map(|k| programs_for(sweep_seed, k as u64, 6))
+        .collect();
+    for round in 0..progs[0].len() {
+        for (&id, prog) in ids.iter().zip(progs.iter()) {
+            let _ = twin.apply(&Request::Eval {
+                id,
+                seq: None,
+                src: prog[round].clone(),
+            });
+        }
+    }
+    for &id in &ids {
+        let _ = twin.apply(&Request::Ledger { id });
+        let _ = twin.apply(&Request::Digest { id });
+        let _ = twin.apply(&Request::Close { id, seq: None });
+    }
     twin.telemetry().clone()
 }
 

@@ -5,7 +5,6 @@
 //! also terminates lists; it is represented at the [`crate::SExpr`] level
 //! rather than here.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// An interned symbol name. Cheap to copy and compare; resolve the text
@@ -44,11 +43,30 @@ impl fmt::Display for Atom {
 /// Interning keeps symbol comparison O(1) and makes traces compact —
 /// important because the LYRA-scale traces contain >150 000 primitive
 /// events (Table 5.1).
+///
+/// Storage is arena-backed: every name's bytes live contiguously in one
+/// append-only `String` (a bump allocation per symbol, never an owned
+/// `String` each), addressed by `(offset, len)` spans, and the
+/// name→symbol index is a hand-rolled open-addressed table keyed by
+/// [FxHash](fxhash) — so `intern` of a known name touches no allocator
+/// at all, and a miss costs exactly one arena append. Symbols are dense
+/// ids in intern order, so iterating `0..len()` replays the exact
+/// sequence — the property the suspend/resume image format relies on.
 #[derive(Default, Debug, Clone)]
 pub struct Interner {
-    names: Vec<String>,
-    index: HashMap<String, Symbol>,
+    /// Bump arena holding every interned name back to back.
+    arena: String,
+    /// Per-symbol `(offset, len)` span into `arena`, in intern order.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressed index: each slot holds `symbol index + 1`, with 0
+    /// marking an empty slot. Length is always a power of two.
+    table: Vec<u32>,
 }
+
+/// Above this load (numerator/denominator of table slots occupied) the
+/// index doubles.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
 
 impl Interner {
     /// Create an empty interner.
@@ -56,20 +74,69 @@ impl Interner {
         Self::default()
     }
 
+    #[inline]
+    fn span_str(&self, k: usize) -> &str {
+        let (off, len) = self.spans[k];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    /// Find the table slot for `name`: either the slot already holding
+    /// its symbol, or the empty slot where it belongs.
+    #[inline]
+    fn probe(&self, name: &str) -> usize {
+        debug_assert!(!self.table.is_empty());
+        let mask = self.table.len() - 1;
+        let mut idx = fxhash::hash_bytes(name.as_bytes()) as usize & mask;
+        loop {
+            match self.table[idx] {
+                0 => return idx,
+                slot => {
+                    if self.span_str((slot - 1) as usize) == name {
+                        return idx;
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        self.table.clear();
+        self.table.resize(cap, 0);
+        let mask = cap - 1;
+        for k in 0..self.spans.len() {
+            let mut idx = fxhash::hash_bytes(self.span_str(k).as_bytes()) as usize & mask;
+            while self.table[idx] != 0 {
+                idx = (idx + 1) & mask;
+            }
+            self.table[idx] = k as u32 + 1;
+        }
+    }
+
     /// Intern `name`, returning the existing symbol if already present.
     pub fn intern(&mut self, name: &str) -> Symbol {
-        if let Some(&sym) = self.index.get(name) {
-            return sym;
+        if self.spans.len() + 1 > self.table.len() * LOAD_NUM / LOAD_DEN {
+            self.grow();
         }
-        let sym = Symbol(self.names.len() as u32);
-        self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), sym);
+        let idx = self.probe(name);
+        if let Some(slot) = self.table[idx].checked_sub(1) {
+            return Symbol(slot);
+        }
+        let sym = Symbol(self.spans.len() as u32);
+        let off = self.arena.len() as u32;
+        self.arena.push_str(name);
+        self.spans.push((off, name.len() as u32));
+        self.table[idx] = sym.0 + 1;
         sym
     }
 
     /// Look up a symbol without interning. Returns `None` if never seen.
     pub fn get(&self, name: &str) -> Option<Symbol> {
-        self.index.get(name).copied()
+        if self.table.is_empty() {
+            return None;
+        }
+        self.table[self.probe(name)].checked_sub(1).map(Symbol)
     }
 
     /// Resolve a symbol back to its name.
@@ -77,17 +144,17 @@ impl Interner {
     /// # Panics
     /// Panics if `sym` did not come from this interner.
     pub fn name(&self, sym: Symbol) -> &str {
-        &self.names[sym.index()]
+        self.span_str(sym.index())
     }
 
     /// Number of distinct symbols interned.
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.spans.len()
     }
 
     /// Whether no symbols have been interned.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.spans.is_empty()
     }
 }
 
@@ -126,5 +193,49 @@ mod tests {
     fn interner_is_case_sensitive() {
         let mut i = Interner::new();
         assert_ne!(i.intern("Foo"), i.intern("foo"));
+    }
+
+    #[test]
+    fn ids_are_dense_in_intern_order() {
+        let mut i = Interner::new();
+        let names = ["car", "cdr", "cons", "", "x", "car-of-cdr"];
+        for (k, n) in names.iter().enumerate() {
+            assert_eq!(i.intern(n), Symbol(k as u32));
+        }
+        // Replaying 0..len() reproduces the exact intern sequence — the
+        // suspend/resume image format serializes symbols this way.
+        for (k, n) in names.iter().enumerate() {
+            assert_eq!(i.name(Symbol(k as u32)), *n);
+        }
+        assert_eq!(i.len(), names.len());
+    }
+
+    #[test]
+    fn arena_neighbors_do_not_alias() {
+        // Adjacent arena spans must not bleed into each other: "ab"+"c"
+        // interned back to back is distinct from "a"+"bc".
+        let mut i = Interner::new();
+        let ab = i.intern("ab");
+        let c = i.intern("c");
+        assert_ne!(i.get("a"), Some(ab));
+        assert_eq!(i.get("abc"), None);
+        assert_eq!(i.get("ab"), Some(ab));
+        assert_eq!(i.get("c"), Some(c));
+    }
+
+    #[test]
+    fn survives_index_growth_and_clone() {
+        let mut i = Interner::new();
+        let syms: Vec<Symbol> = (0..500).map(|k| i.intern(&format!("sym-{k}"))).collect();
+        for (k, s) in syms.iter().enumerate() {
+            assert_eq!(i.name(*s), format!("sym-{k}"));
+            assert_eq!(i.get(&format!("sym-{k}")), Some(*s));
+            assert_eq!(i.intern(&format!("sym-{k}")), *s, "re-intern is stable");
+        }
+        let mut j = i.clone();
+        assert_eq!(j.intern("sym-499"), syms[499]);
+        let fresh = j.intern("sym-500");
+        assert_eq!(fresh, Symbol(500));
+        assert_eq!(j.name(fresh), "sym-500");
     }
 }

@@ -27,5 +27,5 @@ pub mod tree;
 
 pub use atom::{Atom, Interner, Symbol};
 pub use expr::SExpr;
-pub use printer::print;
+pub use printer::{print, print_into};
 pub use reader::{parse, parse_all, ParseError};

@@ -7,8 +7,16 @@ use std::fmt::Write;
 /// Print an expression using `interner` to resolve symbol names.
 pub fn print(expr: &SExpr, interner: &Interner) -> String {
     let mut out = String::new();
-    write_expr(&mut out, expr, interner);
+    print_into(&mut out, expr, interner);
     out
+}
+
+/// Append the canonical printed form of `expr` to `out`. The
+/// allocation-free variant of [`print`] for callers assembling many
+/// forms into one buffer (e.g. the wire protocol's space-joined eval
+/// payloads).
+pub fn print_into(out: &mut String, expr: &SExpr, interner: &Interner) {
+    write_expr(out, expr, interner);
 }
 
 fn write_expr(out: &mut String, expr: &SExpr, interner: &Interner) {

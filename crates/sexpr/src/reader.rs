@@ -34,14 +34,16 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-#[derive(Debug, Clone, PartialEq)]
-enum Token {
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Token<'a> {
     Open,
     Close,
     Quote,
     Dot,
     Int(i64),
-    Sym(String),
+    /// A symbol name, borrowed from the source text (interned only at
+    /// the parser level — the lexer never allocates).
+    Sym(&'a str),
 }
 
 struct Lexer<'a> {
@@ -72,7 +74,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next(&mut self) -> Option<(usize, Token)> {
+    fn next(&mut self) -> Option<(usize, Token<'a>)> {
         self.skip_ws();
         if self.pos >= self.src.len() {
             return None;
@@ -109,7 +111,7 @@ impl<'a> Lexer<'a> {
                 } else if let Ok(i) = text.parse::<i64>() {
                     Token::Int(i)
                 } else {
-                    Token::Sym(text.to_owned())
+                    Token::Sym(text)
                 }
             }
         };
@@ -117,21 +119,25 @@ impl<'a> Lexer<'a> {
     }
 }
 
-struct Parser<'a> {
+struct Parser<'a, 'i> {
     lexer: Lexer<'a>,
-    interner: &'a mut Interner,
-    peeked: Option<Option<(usize, Token)>>,
+    interner: &'i mut Interner,
+    peeked: Option<Option<(usize, Token<'a>)>>,
+    /// Retired element buffers from completed lists, reused by later
+    /// lists in the same parse so steady-state parsing does not grow
+    /// a fresh `Vec` per `(`.
+    scratch: Vec<Vec<SExpr>>,
 }
 
-impl<'a> Parser<'a> {
-    fn peek(&mut self) -> &Option<(usize, Token)> {
+impl<'a> Parser<'a, '_> {
+    fn peek(&mut self) -> &Option<(usize, Token<'a>)> {
         if self.peeked.is_none() {
             self.peeked = Some(self.lexer.next());
         }
         self.peeked.as_ref().unwrap()
     }
 
-    fn advance(&mut self) -> Option<(usize, Token)> {
+    fn advance(&mut self) -> Option<(usize, Token<'a>)> {
         match self.peeked.take() {
             Some(t) => t,
             None => self.lexer.next(),
@@ -146,14 +152,14 @@ impl<'a> Parser<'a> {
                 if s.eq_ignore_ascii_case("nil") {
                     Ok(SExpr::Nil)
                 } else {
-                    let sym = self.interner.intern(&s);
+                    let sym = self.interner.intern(s);
                     Ok(SExpr::sym(sym))
                 }
             }
             Token::Quote => {
                 let quoted = self.expr()?;
                 let q = self.interner.intern("quote");
-                Ok(SExpr::list(vec![SExpr::sym(q), quoted]))
+                Ok(SExpr::cons(SExpr::sym(q), SExpr::cons(quoted, SExpr::Nil)))
             }
             Token::Open => self.list_tail(at),
             Token::Close => Err(ParseError::UnbalancedClose(at)),
@@ -162,13 +168,18 @@ impl<'a> Parser<'a> {
     }
 
     fn list_tail(&mut self, _open_at: usize) -> Result<SExpr, ParseError> {
-        let mut items = Vec::new();
+        let mut items = self.scratch.pop().unwrap_or_default();
         loop {
             match self.peek() {
                 None => return Err(ParseError::UnexpectedEof),
                 Some((_, Token::Close)) => {
                     self.advance();
-                    return Ok(SExpr::list(items));
+                    let list = items
+                        .drain(..)
+                        .rev()
+                        .fold(SExpr::Nil, |acc, x| SExpr::cons(x, acc));
+                    self.scratch.push(items);
+                    return Ok(list);
                 }
                 Some((at, Token::Dot)) => {
                     let at = *at;
@@ -180,9 +191,10 @@ impl<'a> Parser<'a> {
                     match self.advance() {
                         Some((_, Token::Close)) => {
                             let list = items
-                                .into_iter()
+                                .drain(..)
                                 .rev()
                                 .fold(tail, |acc, x| SExpr::cons(x, acc));
+                            self.scratch.push(items);
                             return Ok(list);
                         }
                         Some((at, _)) => return Err(ParseError::BadDot(at)),
@@ -204,6 +216,7 @@ pub fn parse(src: &str, interner: &mut Interner) -> Result<SExpr, ParseError> {
         lexer: Lexer::new(src),
         interner,
         peeked: None,
+        scratch: Vec::new(),
     };
     let e = p.expr()?;
     if let Some((at, _)) = p.advance() {
@@ -218,6 +231,7 @@ pub fn parse_all(src: &str, interner: &mut Interner) -> Result<Vec<SExpr>, Parse
         lexer: Lexer::new(src),
         interner,
         peeked: None,
+        scratch: Vec::new(),
     };
     let mut out = Vec::new();
     while p.peek().is_some() {

@@ -36,13 +36,28 @@ pub fn pointer_distance(rng: &mut StdRng) -> i64 {
 /// distribution (falling back to a small default when the trace carries
 /// no list uids).
 pub fn sample_np(rng: &mut StdRng, uids: &[small_trace::event::UidInfo]) -> (u32, u32) {
-    let lists: Vec<&small_trace::event::UidInfo> =
-        uids.iter().filter(|u| !u.atom && u.n > 0).collect();
-    if lists.is_empty() {
+    sample_np_pooled(rng, &np_pool(uids))
+}
+
+/// The `(n, p)` pool [`sample_np`] draws from, precomputed. Callers that
+/// sample repeatedly from one trace (the driver calls this per `read`
+/// primitive) should build the pool once and use [`sample_np_pooled`]
+/// rather than re-filtering the uid table on every draw.
+pub fn np_pool(uids: &[small_trace::event::UidInfo]) -> Vec<(u32, u32)> {
+    uids.iter()
+        .filter(|u| !u.atom && u.n > 0)
+        .map(|u| (u.n, u.p))
+        .collect()
+}
+
+/// [`sample_np`] against a precomputed [`np_pool`]. Draw-for-draw
+/// identical to `sample_np` on the pool's source uids: one `gen_range`
+/// when the pool is non-empty, no draw for the empty fallback.
+pub fn sample_np_pooled(rng: &mut StdRng, pool: &[(u32, u32)]) -> (u32, u32) {
+    if pool.is_empty() {
         return (3, 0);
     }
-    let u = lists[rng.gen_range(0..lists.len())];
-    (u.n, u.p)
+    pool[rng.gen_range(0..pool.len())]
 }
 
 /// Generate a random proper list with approximately the given `n` atoms

@@ -34,6 +34,7 @@
 use crate::cache::LruCache;
 use crate::clark;
 use crate::config::SimParams;
+use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use small_core::LptStats;
@@ -41,7 +42,6 @@ use small_core::{Id, ListProcessor, LpConfig, LpError, LpValue, Rooted};
 use small_heap::controller::{ControllerStats, HeapController, TwoPointerController};
 use small_metrics::{EventSink, NoopSink};
 use small_trace::{Prim, Trace};
-use std::collections::HashMap;
 
 /// Optional cache model configuration.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +107,9 @@ pub(crate) struct FrameSim {
 
 pub(crate) struct Driver<'t, C: HeapController, S: EventSink> {
     pub(crate) trace: &'t Trace,
+    /// Precomputed `clark::np_pool` of the trace — derived, never
+    /// serialized in checkpoints.
+    pub(crate) np_pool: Vec<(u32, u32)>,
     pub(crate) params: SimParams,
     pub(crate) lp: ListProcessor<C, S>,
     pub(crate) rng: StdRng,
@@ -115,7 +118,7 @@ pub(crate) struct Driver<'t, C: HeapController, S: EventSink> {
     pub(crate) tos: Option<Rooted>,
     // Cache model.
     pub(crate) cache: Option<LruCache>,
-    pub(crate) addrs: HashMap<Id, u64>,
+    pub(crate) addrs: FxHashMap<Id, u64>,
     pub(crate) next_addr: u64,
     pub(crate) access_hits: u64,
     pub(crate) access_misses: u64,
@@ -187,6 +190,7 @@ pub fn run_sim_on_controller<C: HeapController, S: EventSink>(
     );
     let mut d = Driver {
         trace,
+        np_pool: clark::np_pool(&trace.uids),
         params,
         lp,
         rng: StdRng::seed_from_u64(params.seed),
@@ -194,7 +198,7 @@ pub fn run_sim_on_controller<C: HeapController, S: EventSink>(
         globals: Vec::new(),
         tos: None,
         cache: cache.map(|c| LruCache::new(c.lines, c.line_cells)),
-        addrs: HashMap::new(),
+        addrs: FxHashMap::default(),
         next_addr: 0,
         access_hits: 0,
         access_misses: 0,
@@ -285,7 +289,7 @@ impl<'t, C: HeapController, S: EventSink> Driver<'t, C, S> {
     // -- object creation ------------------------------------------------
 
     fn fresh_object(&mut self) -> Result<LpValue, LpError> {
-        let (n, p) = clark::sample_np(&mut self.rng, &self.trace.uids);
+        let (n, p) = clark::sample_np_pooled(&mut self.rng, &self.np_pool);
         let e = clark::gen_sexpr(&mut self.rng, n, p);
         let v = self.lp.retrying(|lp| lp.readlist(None, &e))?;
         if let LpValue::Obj(id) = v {
@@ -323,21 +327,39 @@ impl<'t, C: HeapController, S: EventSink> Driver<'t, C, S> {
     }
 
     /// A value "older on the stack": a random existing slot, or a fresh
-    /// object when none exists.
+    /// object when none exists. The pool — TOS, then every frame's args
+    /// and locals in order, then the globals — is indexed virtually;
+    /// materializing it per call dominated the simulator's wall time on
+    /// deep-stack traces without changing which value is drawn.
     fn older_value(&mut self) -> Result<LpValue, LpError> {
-        let mut pool: Vec<LpValue> = Vec::with_capacity(8);
-        if let Some(h) = &self.tos {
-            pool.push(h.value());
-        }
-        for f in &self.frames {
-            pool.extend(f.args.iter().chain(&f.locals).map(Rooted::value));
-        }
-        pool.extend(self.globals.iter().map(Rooted::value));
-        if pool.is_empty() {
+        let tos = usize::from(self.tos.is_some());
+        let stack: usize = self
+            .frames
+            .iter()
+            .map(|f| f.args.len() + f.locals.len())
+            .sum();
+        let len = tos + stack + self.globals.len();
+        if len == 0 {
             return self.fresh_object();
         }
-        let k = self.rng.gen_range(0..pool.len());
-        Ok(pool[k])
+        let mut k = self.rng.gen_range(0..len);
+        if let Some(h) = &self.tos {
+            if k == 0 {
+                return Ok(h.value());
+            }
+            k -= 1;
+        }
+        for f in &self.frames {
+            if k < f.args.len() {
+                return Ok(f.args[k].value());
+            }
+            k -= f.args.len();
+            if k < f.locals.len() {
+                return Ok(f.locals[k].value());
+            }
+            k -= f.locals.len();
+        }
+        Ok(self.globals[k].value())
     }
 
     // -- operand selection (§5.2.1) --------------------------------------
@@ -359,20 +381,17 @@ impl<'t, C: HeapController, S: EventSink> Driver<'t, C, S> {
                 return (1, cur, k);
             }
         }
-        // Non-local: an outer frame slot or a global.
-        let outer: Vec<(usize, usize, usize)> = self
-            .frames
+        // Non-local: an outer frame slot or a global. The outer-slot
+        // list (every non-current frame's args then locals, in frame
+        // order) is indexed virtually — same draw, no per-call
+        // materialization.
+        let outer_frames = self.frames.len().saturating_sub(1);
+        let outer_len: usize = self.frames[..outer_frames]
             .iter()
-            .enumerate()
-            .take(self.frames.len().saturating_sub(1))
-            .flat_map(|(fi, f)| {
-                (0..f.args.len())
-                    .map(move |k| (0usize, fi, k))
-                    .chain((0..f.locals.len()).map(move |k| (1usize, fi, k)))
-            })
-            .collect();
-        let total = outer.len() + self.globals.len();
-        if total == 0 || self.rng.gen_range(0..total) >= outer.len() {
+            .map(|f| f.args.len() + f.locals.len())
+            .sum();
+        let total = outer_len + self.globals.len();
+        if total == 0 || self.rng.gen_range(0..total) >= outer_len {
             let k = if self.globals.is_empty() {
                 0
             } else {
@@ -380,7 +399,18 @@ impl<'t, C: HeapController, S: EventSink> Driver<'t, C, S> {
             };
             (2, 0, k)
         } else {
-            outer[self.rng.gen_range(0..outer.len())]
+            let mut k = self.rng.gen_range(0..outer_len);
+            for (fi, f) in self.frames[..outer_frames].iter().enumerate() {
+                if k < f.args.len() {
+                    return (0, fi, k);
+                }
+                k -= f.args.len();
+                if k < f.locals.len() {
+                    return (1, fi, k);
+                }
+                k -= f.locals.len();
+            }
+            unreachable!("outer slot index within summed bounds")
         }
     }
 

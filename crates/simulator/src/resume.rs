@@ -27,6 +27,7 @@
 
 use crate::config::SimParams;
 use crate::driver::{Driver, FrameSim, SimResult};
+use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use small_core::{Id, ListProcessor, LpConfig, LpError, LpValue, RootKind, Rooted};
@@ -38,7 +39,6 @@ use small_persist::{
     ByteWriter, Checkpoint, CrashStore, JournalBatch, JournalSink, PersistError,
 };
 use small_trace::Trace;
-use std::collections::HashMap;
 
 type DurableSink = JournalSink<NoopSink>;
 type DurableDriver<'t> = Driver<'t, TwoPointerController, DurableSink>;
@@ -170,7 +170,7 @@ fn decode_driver<'t>(
         frames.push(FrameSim { args, locals });
     }
     let naddrs = r.len().map_err(corrupt)?;
-    let mut addrs = HashMap::with_capacity(naddrs);
+    let mut addrs = FxHashMap::with_capacity_and_hasher(naddrs, Default::default());
     for _ in 0..naddrs {
         let id = r.u32().map_err(corrupt)?;
         let addr = r.u64().map_err(corrupt)?;
@@ -186,6 +186,7 @@ fn decode_driver<'t>(
     Ok((
         Driver {
             trace,
+            np_pool: crate::clark::np_pool(&trace.uids),
             params,
             lp,
             rng: StdRng::from_state(rng_state),
@@ -302,6 +303,7 @@ pub fn run_sim_resumable(
             );
             let mut d = Driver {
                 trace,
+                np_pool: crate::clark::np_pool(&trace.uids),
                 params,
                 lp,
                 rng: StdRng::seed_from_u64(params.seed),
@@ -309,7 +311,7 @@ pub fn run_sim_resumable(
                 globals: Vec::new(),
                 tos: None,
                 cache: None,
-                addrs: HashMap::new(),
+                addrs: FxHashMap::default(),
                 next_addr: 0,
                 access_hits: 0,
                 access_misses: 0,
